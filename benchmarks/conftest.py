@@ -1,0 +1,52 @@
+"""Shared configuration for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper (see
+DESIGN.md's per-experiment index) and writes the rendered artifact to
+``benchmarks/results/``.  Two modes:
+
+* **quick** (default): per-solve time limit of 12 s and a 240 s budget
+  per experiment — the whole harness finishes in tens of minutes and
+  every *shape* assertion still holds.
+* **full**: set ``REPRO_BENCH_FULL=1`` for 60 s / 900 s budgets, which
+  reproduces the higher-quality end of the search (e.g. the partition
+  relaxation finding better DCT solutions at small ``C_T``).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core import SolverSettings
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+FULL_MODE = os.environ.get("REPRO_BENCH_FULL", "") not in ("", "0")
+
+SOLVE_LIMIT = 60.0 if FULL_MODE else 12.0
+EXPERIMENT_BUDGET = 900.0 if FULL_MODE else 240.0
+
+
+@pytest.fixture
+def bench_settings() -> SolverSettings:
+    return SolverSettings(time_limit=SOLVE_LIMIT)
+
+
+@pytest.fixture
+def experiment_budget() -> float:
+    return EXPERIMENT_BUDGET
+
+
+def write_artifact(name: str, text: str) -> Path:
+    """Persist a rendered table/figure under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / name
+    path.write_text(text + "\n")
+    return path
+
+
+@pytest.fixture
+def artifact_writer():
+    return write_artifact

@@ -1,0 +1,34 @@
+"""Shared helpers for the DCT table benchmarks (Tables 3-8)."""
+
+from __future__ import annotations
+
+from repro.experiments import ExperimentResult
+
+
+def run_and_record(
+    benchmark, artifact_writer, table_fn, name, settings, budget
+) -> ExperimentResult:
+    result = benchmark.pedantic(
+        lambda: table_fn(settings=settings, time_budget=budget),
+        rounds=1,
+        iterations=1,
+    )
+    artifact_writer(f"{name}.txt", result.table().render())
+    return result
+
+
+def assert_common_shape(result: ExperimentResult) -> None:
+    """Invariants every DCT sweep satisfies."""
+    assert result.best_latency is not None, "DCT must be partitionable"
+    design = result.result.design
+    processor = result.experiment.processor()
+    assert design.audit(processor) == []
+    assert result.best_latency == design.total_latency(processor)
+    # Iteration numbering restarts at 1 for every partition bound.
+    for n in {r.num_partitions for r in result.result.trace}:
+        iterations = [
+            r.iteration
+            for r in result.result.trace
+            if r.num_partitions == n
+        ]
+        assert iterations == list(range(1, len(iterations) + 1))

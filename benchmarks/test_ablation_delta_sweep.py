@@ -1,0 +1,60 @@
+"""Ablation B: the latency-tolerance trade-off (Tables 5 vs 7, 6 vs 8).
+
+Paper claim: "reducing latency tolerance increases the run time but
+achieves better solutions."  Sweep delta on the R=1024 DCT experiment and
+record iterations + achieved latency per setting.
+"""
+
+from repro.core import SolverSettings
+from repro.experiments import DctExperiment, SMALL_CT, TextTable, run_experiment
+from repro.taskgraph import dct_4x4
+from repro.core import FormulationOptions
+
+DELTAS = (1600.0, 800.0, 200.0)
+
+
+def run_delta(delta, settings, budget):
+    experiment = DctExperiment(
+        table=f"delta={delta:g}",
+        resource_capacity=1024,
+        reconfiguration_time=SMALL_CT,
+        delta=delta,
+        alpha=1,
+        gamma=0,
+        solver=settings,
+        time_budget=budget,
+    )
+    return run_experiment(
+        experiment,
+        dct_4x4(),
+        options=FormulationOptions(symmetry_breaking=True),
+    )
+
+
+def test_delta_sweep(benchmark, bench_settings, artifact_writer,
+                     experiment_budget):
+    budget = experiment_budget / len(DELTAS)
+
+    def sweep():
+        return [run_delta(d, bench_settings, budget) for d in DELTAS]
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    table = TextTable(
+        "Ablation B: latency tolerance (delta) vs effort and quality",
+        ("delta", "ILP solves", "best D_a (ns)", "wall time (s)"),
+    )
+    for delta, result in zip(DELTAS, results):
+        table.add_row(
+            delta, result.iterations, result.best_latency,
+            round(result.wall_time, 1),
+        )
+    artifact_writer("ablation_delta_sweep.txt", table.render())
+
+    solves = [r.iterations for r in results]
+    latencies = [r.best_latency for r in results]
+    assert all(lat is not None for lat in latencies)
+    # Tightening the tolerance never reduces the iteration count...
+    assert solves[-1] >= solves[0]
+    # ...and never worsens the solution beyond solver noise.
+    assert latencies[-1] <= latencies[0] * 1.05

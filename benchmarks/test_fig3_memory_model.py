@@ -1,0 +1,21 @@
+"""Figure 3: the crossing-variable (w) memory model.
+
+The hand-partitioned five-task example's analytic boundary occupancies
+must agree with the ILP's linearized ``w`` variables.
+"""
+
+import pytest
+
+from repro.experiments import figure3_memory_model
+
+
+def test_fig3_memory_model(benchmark, artifact_writer):
+    result = benchmark.pedantic(figure3_memory_model, rounds=1, iterations=1)
+    artifact_writer("fig3.txt", result.table.render())
+    assert result.consistent
+    assert result.analytic_memory[2] == pytest.approx(12.0)
+    assert result.analytic_memory[3] == pytest.approx(10.0)
+    # The edge spanning two boundaries is charged to both (Figure 3's
+    # point: w models adjacent AND non-adjacent partitions).
+    assert result.ilp_w[(2, "t1", "t4")] == pytest.approx(1.0)
+    assert result.ilp_w[(3, "t1", "t4")] == pytest.approx(1.0)

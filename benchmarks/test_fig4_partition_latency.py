@@ -1,0 +1,27 @@
+"""Figure 4: per-partition latency = the longest mapped path.
+
+Three paths (350/400/150 ns) mapped to partition 1 give d_1 = 400 ns;
+partition 2's single 300 ns path gives d_2 = 300 ns.  The execution
+simulator must agree with the analytic value.
+"""
+
+import pytest
+
+from repro.arch import ReconfigurableProcessor, simulate
+from repro.experiments import figure4_partition_latency
+
+
+def test_fig4_partition_latency(benchmark, artifact_writer):
+    result = benchmark.pedantic(
+        figure4_partition_latency, rounds=1, iterations=1
+    )
+    artifact_writer("fig4.txt", result.table.render())
+    assert result.d1 == pytest.approx(400.0)
+    assert result.d2 == pytest.approx(300.0)
+
+    processor = ReconfigurableProcessor(1000, 1000, 50.0)
+    report = simulate(result.design, processor)
+    assert report.makespan == pytest.approx(400 + 300 + 2 * 50)
+    by_partition = {t.partition: t for t in report.partitions}
+    assert by_partition[1].compute_latency == pytest.approx(400.0)
+    assert by_partition[2].compute_latency == pytest.approx(300.0)

@@ -1,0 +1,19 @@
+"""Figure 5: the AR-filter task graph (structure + DOT export)."""
+
+from repro.experiments import figure5_ar_graph
+from repro.taskgraph import ar_filter
+
+
+def test_fig5_ar_graph(benchmark, artifact_writer):
+    dot = benchmark.pedantic(figure5_ar_graph, rounds=1, iterations=1)
+    artifact_writer("fig5.dot", dot)
+
+    graph = ar_filter()
+    # The figure's structure: 6 tasks, single source T1, single sink T6,
+    # the T3/T4 parallel sections, and the paper's design-point counts.
+    assert len(graph) == 6
+    assert graph.sources() == ("T1",)
+    assert graph.sinks() == ("T6",)
+    assert set(graph.successors("T2")) == {"T3", "T4"}
+    assert len(graph.task("T1").design_points) == 3
+    assert '"T2" -> "T3"' in dot

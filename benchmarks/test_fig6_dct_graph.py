@@ -1,0 +1,20 @@
+"""Figure 6: the 32-task DCT graph (4 collections of 8 tasks)."""
+
+from repro.experiments import figure6_dct_graph
+from repro.taskgraph import dct_4x4
+
+
+def test_fig6_dct_graph(benchmark, artifact_writer):
+    dot = benchmark.pedantic(figure6_dct_graph, rounds=1, iterations=1)
+    artifact_writer("fig6.dot", dot)
+
+    graph = dct_4x4()
+    assert len(graph) == 32
+    assert graph.num_edges == 64
+    # "A collection of eight tasks forms a row of the 4x4 output matrix":
+    # the four collections are mutually disconnected.
+    for row in range(4):
+        for col in range(4):
+            succs = graph.successors(f"Y{row}{col}")
+            assert all(s.startswith(f"Z{row}") for s in succs)
+    assert dot.count("->") == 64

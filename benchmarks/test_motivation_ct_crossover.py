@@ -1,0 +1,53 @@
+"""Section 2 motivating experiment: the reconfiguration-overhead regimes.
+
+Paper claim: with a large ``C_T`` the least-partition solution minimizes
+latency; with a small ``C_T`` spending extra partitions on faster design
+points can win.  We sweep ``C_T`` over five orders of magnitude on a
+synthetic layered workload and check both regimes.
+"""
+
+from repro.arch import ReconfigurableProcessor
+from repro.core import RefinementConfig, SolverSettings
+from repro.experiments import reconfiguration_sweep, sweep_table
+from repro.taskgraph import layered_graph
+
+CTS = (0.0, 10.0, 1_000.0, 100_000.0)
+
+
+def test_ct_crossover(benchmark, bench_settings, artifact_writer):
+    graph = layered_graph(
+        num_levels=4, tasks_per_level=3, seed=7, edge_probability=0.6
+    )
+    base = ReconfigurableProcessor(900, 512, 0.0)
+
+    points = benchmark.pedantic(
+        lambda: reconfiguration_sweep(
+            graph,
+            base,
+            CTS,
+            config=RefinementConfig(gamma=1, delta_fraction=0.03,
+                                    time_budget=120.0),
+            settings=bench_settings,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    artifact_writer(
+        "motivation_ct_crossover.txt",
+        sweep_table(
+            points, "Section 2 motivation: partition count vs C_T"
+        ).render(),
+    )
+
+    assert all(p.partitions is not None for p in points)
+    smallest_ct, largest_ct = points[0], points[-1]
+    # Large overhead collapses to no more partitions than zero overhead.
+    assert largest_ct.partitions <= smallest_ct.partitions
+    # At zero overhead the ILP's *execution* latency is at least as good
+    # as at the large-overhead point (it may buy speed with partitions).
+    assert smallest_ct.execution_latency <= (
+        largest_ct.execution_latency + 1e-6
+    )
+    # And the combined method never loses to the greedy baseline.
+    for point in points:
+        assert point.total_latency <= point.greedy_latency + 1e-6

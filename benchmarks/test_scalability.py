@@ -1,0 +1,80 @@
+"""Scalability: model size and first-feasible time vs graph size.
+
+Not a paper table — the engineering counterpart of the paper's "for
+larger designs ... we have developed this directed search procedure":
+measures how the formulation and one feasibility query grow with the
+workload, and how much chain clustering buys.
+"""
+
+import time
+
+from repro.arch import ReconfigurableProcessor
+from repro.core import FormulationOptions, bounds, build_model
+from repro.experiments import TextTable
+from repro.taskgraph import cluster_chains, layered_graph
+
+
+def one_query(graph, processor, solve_limit=30.0):
+    n = bounds.min_area_partitions(
+        graph, processor.resource_capacity
+    ) + 1
+    started = time.perf_counter()
+    tp = build_model(
+        graph,
+        processor,
+        n,
+        bounds.max_latency(graph, n, processor.reconfiguration_time),
+        options=FormulationOptions(symmetry_breaking=True),
+    )
+    build_time = time.perf_counter() - started
+    started = time.perf_counter()
+    solution = tp.solve(
+        backend="highs", first_feasible=True, time_limit=solve_limit
+    )
+    solve_time = time.perf_counter() - started
+    return tp.model, solution, build_time, solve_time
+
+
+def test_scalability(benchmark, artifact_writer):
+    processor = ReconfigurableProcessor(900, 4096, 30)
+    sizes = [(2, 3), (3, 4), (4, 5), (5, 6)]
+
+    table = TextTable(
+        "Scalability: layered graphs, first-feasible query",
+        (
+            "tasks", "clustered", "binaries", "rows",
+            "build (s)", "solve (s)", "feasible",
+        ),
+    )
+    rows = []
+
+    def run():
+        for levels, per_level in sizes:
+            graph = layered_graph(levels, per_level, seed=13)
+            clustered = cluster_chains(graph).graph
+            model, solution, build_time, solve_time = one_query(
+                clustered, processor
+            )
+            rows.append(
+                (
+                    len(graph),
+                    len(clustered),
+                    model.num_integer_vars,
+                    model.num_constraints,
+                    round(build_time, 2),
+                    round(solve_time, 2),
+                    solution.status.has_solution,
+                )
+            )
+        return rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    for row in rows:
+        table.add_row(*row)
+    artifact_writer("scalability.txt", table.render())
+
+    # Every size must produce a feasible design within the budget, and
+    # the model grows monotonically with the workload.
+    assert all(row[-1] for row in rows)
+    binaries = [row[2] for row in rows]
+    assert binaries == sorted(binaries)

@@ -1,0 +1,45 @@
+"""Table 2: the DCT task design points and their derived bound figures.
+
+Also cross-checks the bundled HLS estimator: estimating the DCT's
+vector-product template must give the same *shape* of design space
+(monotone area-latency trade-off, comparable magnitudes).
+"""
+
+import pytest
+
+from repro.experiments import table2_design_points
+from repro.hls import estimate_design_points, vector_product_dfg
+from repro.taskgraph.library import DCT_T1_POINTS, DCT_T2_POINTS
+
+
+def test_table2_design_points(benchmark, artifact_writer):
+    table = benchmark.pedantic(table2_design_points, rounds=1, iterations=1)
+    artifact_writer("table2.txt", table.render())
+    assert len(table.rows) == 6
+
+
+def test_design_points_monotone_tradeoff(benchmark):
+    def check():
+        for points in (DCT_T1_POINTS, DCT_T2_POINTS):
+            for smaller, larger in zip(points, points[1:]):
+                assert larger.area > smaller.area
+                assert larger.latency < smaller.latency
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+def test_hls_estimator_reproduces_design_space_shape(benchmark):
+    estimated = benchmark.pedantic(
+        lambda: estimate_design_points(
+            vector_product_dfg(length=4, data_width=8, accum_width=12)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(estimated) >= 3
+    # Same magnitude regime as the calibrated Table 2 points.
+    assert 30 <= estimated[0].area <= 300
+    assert 50 <= estimated[0].latency <= 2000
+    ratio = estimated[0].latency / estimated[-1].latency
+    paper_ratio = DCT_T1_POINTS[0].latency / DCT_T1_POINTS[-1].latency
+    assert ratio == pytest.approx(paper_ratio, rel=1.0)  # same order

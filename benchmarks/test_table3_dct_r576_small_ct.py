@@ -1,0 +1,30 @@
+"""Table 3: DCT, R_max = 576, small C_T (30 ns), delta = 200.
+
+Shape reproduced: the search starts at ``N_min^l = 8``; with gamma = 1 it
+never explores past 12 ("we stop our search at 12"); the trace mixes
+feasible rows with infeasible bisection probes.
+"""
+
+from dct_common import assert_common_shape, run_and_record
+
+from repro.experiments import table3
+
+
+def test_table3(benchmark, bench_settings, experiment_budget, artifact_writer):
+    result = run_and_record(
+        benchmark, artifact_writer, table3, "table3",
+        bench_settings, experiment_budget,
+    )
+    assert_common_shape(result)
+
+    explored = result.result.trace.partition_counts()
+    assert explored[0] == 8              # N_min^l at R_max = 576
+    assert max(explored) <= 12           # N_min^u + gamma
+    # The refinement tightened below the first feasible latency.
+    first_feasible = next(
+        r.achieved for r in result.result.trace if r.feasible
+    )
+    assert result.best_latency <= first_feasible
+    # Small C_T: the reconfiguration overhead is a tiny share of latency.
+    overhead = result.best_partitions * 30.0
+    assert overhead < 0.1 * result.best_latency

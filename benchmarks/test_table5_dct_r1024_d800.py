@@ -1,0 +1,25 @@
+"""Table 5: DCT, R_max = 1024, small C_T, delta = 800, alpha = 1.
+
+Shape reproduced: alpha = 1 starts the search at ``N_min^l + 1 = 6``
+(the paper's Table 5 trace begins at N = 6); the coarse tolerance keeps
+the iteration count low relative to Table 7's delta = 100 run.
+"""
+
+from dct_common import assert_common_shape, run_and_record
+
+from repro.experiments import table5
+
+
+def test_table5(benchmark, bench_settings, experiment_budget, artifact_writer):
+    result = run_and_record(
+        benchmark, artifact_writer, table5, "table5",
+        bench_settings, experiment_budget,
+    )
+    assert_common_shape(result)
+
+    explored = result.result.trace.partition_counts()
+    assert explored[0] == 6              # N_min^l(1024) = 5, alpha = 1
+    # R = 1024 holds more parallelism than R = 576: the achieved
+    # execution latency beats the serial worst case by a wide margin.
+    execution = result.result.design.execution_latency()
+    assert execution < 10_000            # serial worst case is 26,880

@@ -1,0 +1,27 @@
+"""Table 6: DCT, R_max = 1024, delta = 800, C_T = 10 ms, alpha = 0.
+
+Shape reproduced: the search starts at ``N_min^l = 5`` and the
+min-latency cut blocks all relaxation (large-overhead regime).
+"""
+
+from dct_common import assert_common_shape, run_and_record
+
+from repro.experiments import table6
+
+
+def test_table6(benchmark, bench_settings, experiment_budget, artifact_writer):
+    result = run_and_record(
+        benchmark, artifact_writer, table6, "table6",
+        bench_settings, experiment_budget,
+    )
+    assert_common_shape(result)
+
+    explored = result.result.trace.partition_counts()
+    assert explored[0] == 5              # N_min^l at R_max = 1024
+    assert result.result.stopped_by_min_latency_cut
+    assert result.best_partitions == 5
+    # 5 reconfigurations dominate the total.
+    assert result.best_latency > 5 * 10e6
+    # Fewer partitions than the R=576 large-C_T run (Table 4): the bigger
+    # device needs fewer configurations.
+    assert result.best_partitions < 8

@@ -1,0 +1,32 @@
+"""Table 8: DCT, R_max = 1024, delta = 100, C_T = 10 ms, alpha = 0.
+
+Shape reproduced: same regime as Table 6 but with the fine tolerance —
+at least as many refinement iterations, a solution at least as good, and
+still no partition relaxation (the 10 ms overhead cut fires).
+"""
+
+from dct_common import assert_common_shape, run_and_record
+
+from repro.experiments import table6, table8
+
+
+def test_table8_vs_table6(
+    benchmark, bench_settings, experiment_budget, artifact_writer
+):
+    result8 = run_and_record(
+        benchmark, artifact_writer, table8, "table8",
+        bench_settings, experiment_budget,
+    )
+    assert_common_shape(result8)
+
+    explored = result8.result.trace.partition_counts()
+    assert explored[0] == 5
+    assert result8.result.stopped_by_min_latency_cut
+    assert result8.best_partitions == 5
+
+    result6 = table6(settings=bench_settings, time_budget=experiment_budget)
+    artifact_writer("table8_vs_table6.txt", "\n\n".join([
+        result6.table().render(), result8.table().render()
+    ]))
+    assert len(result8.result.trace) >= len(result6.result.trace)
+    assert result8.best_latency <= result6.best_latency * 1.05

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""The DCT case study (paper, Tables 3-8), selectable from the command line.
+
+Run with::
+
+    python examples/dct_case_study.py            # Table 5 (fast-ish default)
+    python examples/dct_case_study.py 4          # any of tables 3..8
+    python examples/dct_case_study.py 3 --budget 120
+
+Each experiment sweeps the partition count per the paper's
+``Refine_Partitions_Bound`` and prints the iteration trace in the paper's
+table format (latency bounds shown without the ``N x C_T`` overhead).
+"""
+
+import argparse
+
+from repro.core import SolverSettings
+from repro.experiments import DCT_EXPERIMENTS
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "table",
+        type=int,
+        nargs="?",
+        default=5,
+        choices=sorted(DCT_EXPERIMENTS),
+        help="paper table number to regenerate (3-8)",
+    )
+    parser.add_argument(
+        "--budget",
+        type=float,
+        default=300.0,
+        help="overall wall-clock budget in seconds",
+    )
+    parser.add_argument(
+        "--solve-limit",
+        type=float,
+        default=20.0,
+        help="time limit per ILP solve in seconds",
+    )
+    parser.add_argument(
+        "--backend",
+        default="highs",
+        choices=("highs", "bnb"),
+        help="ILP backend (highs = scipy/HiGHS, bnb = from-scratch B&B)",
+    )
+    args = parser.parse_args()
+
+    experiment = DCT_EXPERIMENTS[args.table]
+    result = experiment(
+        settings=SolverSettings(
+            backend=args.backend, time_limit=args.solve_limit
+        ),
+        time_budget=args.budget,
+    )
+    print(result.table().render())
+    if result.result.design is not None:
+        print()
+        print(result.result.design.summary(result.experiment.processor()))
+
+if __name__ == "__main__":
+    main()

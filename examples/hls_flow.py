@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""End-to-end flow: behavioral DFGs -> HLS estimation -> partitioning.
+
+This mirrors how the paper's SPARCS environment is meant to be used: you
+do not hand-write design points — a high-level-synthesis estimator
+derives them from each task's operations.  Here we build a small
+JPEG-encoder-like pipeline (color transform, row/column DCT stages, and
+quantization), estimate every task with the bundled HLS estimator, and
+partition the result.
+
+Run with::
+
+    python examples/hls_flow.py
+"""
+
+from repro import PartitionerConfig, RefinementConfig, SolverSettings, TemporalPartitioner
+from repro.arch import time_multiplexed
+from repro.hls import (
+    EstimatorConfig,
+    estimate_task,
+    filter_section_dfg,
+    fir_dfg,
+    vector_product_dfg,
+)
+from repro.taskgraph import TaskGraph
+
+def build_pipeline() -> TaskGraph:
+    graph = TaskGraph("jpeg_like_pipeline")
+    config = EstimatorConfig(max_points=4)
+
+    # Color transform: three weighted sums (vector products) per pixel block.
+    for channel in ("yy", "cb", "cr"):
+        estimate_task(
+            graph,
+            f"ct_{channel}",
+            vector_product_dfg(length=3, data_width=8, accum_width=10),
+            kind="color",
+            config=config,
+        )
+
+    # Row DCT stage: four vector products consuming all color channels.
+    for row in range(4):
+        estimate_task(
+            graph,
+            f"dct_row{row}",
+            vector_product_dfg(length=4, data_width=8, accum_width=12),
+            kind="dct_row",
+            config=config,
+        )
+        for channel in ("yy", "cb", "cr"):
+            graph.add_edge(f"ct_{channel}", f"dct_row{row}", 4)
+
+    # Column DCT stage.
+    for col in range(4):
+        estimate_task(
+            graph,
+            f"dct_col{col}",
+            vector_product_dfg(length=4, data_width=12, accum_width=16),
+            kind="dct_col",
+            config=config,
+        )
+        for row in range(4):
+            graph.add_edge(f"dct_row{row}", f"dct_col{col}", 1)
+
+    # Quantization: a filter-section-like divide-and-round per column,
+    # then an entropy pre-pass modeled as a FIR accumulation.
+    for col in range(4):
+        estimate_task(
+            graph,
+            f"quant{col}",
+            filter_section_dfg(taps=2, data_width=12),
+            kind="quant",
+            config=config,
+        )
+        graph.add_edge(f"dct_col{col}", f"quant{col}", 4)
+    estimate_task(
+        graph, "entropy", fir_dfg(taps=4, data_width=12), kind="entropy",
+        config=config,
+    )
+    for col in range(4):
+        graph.add_edge(f"quant{col}", "entropy", 4)
+
+    for channel in ("yy", "cb", "cr"):
+        graph.set_env_input(f"ct_{channel}", 16)
+    graph.set_env_output("entropy", 16)
+    return graph
+
+def main() -> None:
+    graph = build_pipeline()
+    print(f"pipeline: {len(graph)} tasks, {graph.num_edges} edges")
+    for task in graph:
+        points = ", ".join(str(dp) for dp in task.design_points)
+        print(f"  {task.name:<10} [{task.kind:<8}] {points}")
+
+    processor = time_multiplexed(resource_capacity=700, memory_capacity=512)
+    partitioner = TemporalPartitioner(
+        processor,
+        PartitionerConfig(
+            search=RefinementConfig(gamma=1, delta_fraction=0.05,
+                                    time_budget=120.0),
+            solver=SolverSettings(time_limit=15.0),
+        ),
+    )
+    outcome = partitioner.partition(graph)
+    print()
+    if outcome.feasible:
+        print(outcome.design.summary(processor))
+    else:
+        print("no feasible partitioning under these constraints")
+
+if __name__ == "__main__":
+    main()

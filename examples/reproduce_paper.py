@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's full evaluation section in one run.
+
+Regenerates Tables 1-8 and the Figure 3/4 worked examples, printing each
+in the paper's format.  Budgets are configurable; with the defaults the
+whole run takes roughly 10-20 minutes (the DCT sweeps dominate).
+
+Run with::
+
+    python examples/reproduce_paper.py                 # everything
+    python examples/reproduce_paper.py --tables 1 2 4  # a subset
+    python examples/reproduce_paper.py --budget 120 --solve-limit 10
+"""
+
+import argparse
+import time
+
+from repro.core import SolverSettings
+from repro.experiments import (
+    DCT_EXPERIMENTS,
+    figure3_memory_model,
+    figure4_partition_latency,
+    table1_ar_filter,
+    table2_design_points,
+)
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--tables", type=int, nargs="*", default=list(range(1, 9)),
+        choices=range(1, 9),
+        help="which tables to regenerate (default: all)",
+    )
+    parser.add_argument("--budget", type=float, default=240.0,
+                        help="wall-clock budget per DCT experiment (s)")
+    parser.add_argument("--solve-limit", type=float, default=12.0,
+                        help="time limit per ILP solve (s)")
+    parser.add_argument("--skip-figures", action="store_true")
+    args = parser.parse_args()
+
+    settings = SolverSettings(time_limit=args.solve_limit)
+    started = time.perf_counter()
+
+    for number in args.tables:
+        if number == 1:
+            result = table1_ar_filter(settings=settings)
+            print(result.table.render())
+        elif number == 2:
+            print(table2_design_points().render())
+        else:
+            experiment = DCT_EXPERIMENTS[number](
+                settings=settings, time_budget=args.budget
+            )
+            print(experiment.table().render())
+        print()
+
+    if not args.skip_figures:
+        fig3 = figure3_memory_model()
+        print(fig3.table.render())
+        print(f"ILP w-variables consistent with analytic crossings: "
+              f"{fig3.consistent}")
+        print()
+        fig4 = figure4_partition_latency()
+        print(fig4.table.render())
+        print()
+
+    elapsed = time.perf_counter() - started
+    print(f"reproduction run finished in {elapsed / 60:.1f} minutes")
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Map the partition-count/latency trade-off curve for the DCT.
+
+Section 2 of the paper argues that extra temporal partitions are "area
+over time": with a small reconfiguration overhead they can buy faster
+design points, with a large one they just cost latency.  This example
+computes the *whole curve* for the 4x4 DCT at both overhead regimes (the
+single best point of each curve is what Tables 3-8 report), then prints
+the LP shadow prices showing which partition's area budget binds.
+
+Run with::
+
+    python examples/tradeoff_curve.py [--quick]
+"""
+
+import argparse
+
+from repro.arch import ReconfigurableProcessor
+from repro.core import (
+    FormulationOptions,
+    SolverSettings,
+    bounds,
+    build_model,
+    capacity_shadow_prices,
+    partition_latency_curve,
+)
+from repro.taskgraph import dct_4x4
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="fewer partition counts, shorter solves")
+    parser.add_argument("--solve-limit", type=float, default=15.0)
+    args = parser.parse_args()
+
+    graph = dct_4x4()
+    counts = [5, 6, 7] if args.quick else [5, 6, 7, 8, 9]
+    settings = SolverSettings(time_limit=args.solve_limit)
+    options = FormulationOptions(symmetry_breaking=True)
+
+    for c_t, label in ((30.0, "time-multiplexed (C_T = 30 ns)"),
+                       (10e6, "WILDFORCE-like (C_T = 10 ms)")):
+        processor = ReconfigurableProcessor(1024, 2048, c_t)
+        curve = partition_latency_curve(
+            graph, processor,
+            partition_counts=counts,
+            delta=400.0,
+            options=options,
+            settings=settings,
+        )
+        print(curve.table(f"DCT trade-off curve, {label}").render())
+        print()
+
+    # Where does the area budget bind?  Shadow prices at N = 5.
+    processor = ReconfigurableProcessor(1024, 2048, 30.0)
+    tp = build_model(
+        graph, processor, 5,
+        bounds.max_latency(graph, 5, 30.0),
+        options=FormulationOptions(symmetry_breaking=True,
+                                   minimize_latency=True),
+    )
+    report = capacity_shadow_prices(tp)
+    if report is not None:
+        print(report.table().render())
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Temporal partitioning with design space exploration (DATE 1999).
+
+A from-scratch reproduction of Kaul & Vemuri, *"Temporal Partitioning
+combined with Design Space Exploration for Latency Minimization of
+Run-Time Reconfigured Designs"*, DATE 1999.
+
+Subpackages
+-----------
+``repro.core``
+    The paper's contribution: the combined ILP formulation, the
+    ``Reduce_Latency`` / ``Refine_Partitions_Bound`` iterative search,
+    bounds, baselines, and the optimality oracle.
+``repro.ilp``
+    A self-contained MILP stack (modeling layer, simplex, branch & bound,
+    plus a scipy/HiGHS backend) standing in for CPLEX.
+``repro.taskgraph``
+    Task graphs, design points, the paper's AR-filter and DCT benchmarks,
+    synthetic generators, and serialization.
+``repro.hls``
+    A high-level-synthesis estimator that produces design points from
+    operation-level data-flow graphs (the paper's estimation tool).
+``repro.arch``
+    The reconfigurable-processor model and an execution-timeline
+    simulator used as an independent semantics oracle.
+``repro.experiments``
+    The harness that regenerates every table and figure of the paper.
+
+Quickstart::
+
+    from repro import TemporalPartitioner
+    from repro.arch import time_multiplexed
+    from repro.taskgraph import dct_4x4
+
+    partitioner = TemporalPartitioner(time_multiplexed(resource_capacity=576))
+    outcome = partitioner.partition(dct_4x4())
+    print(outcome.design.summary(partitioner.processor))
+"""
+
+from repro.core import (
+    FormulationOptions,
+    PartitionedDesign,
+    PartitionerConfig,
+    PartitioningOutcome,
+    RefinementConfig,
+    SolverSettings,
+    TemporalPartitioner,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FormulationOptions",
+    "PartitionedDesign",
+    "PartitionerConfig",
+    "PartitioningOutcome",
+    "RefinementConfig",
+    "SolverSettings",
+    "TemporalPartitioner",
+    "__version__",
+]

@@ -1,0 +1,23 @@
+"""Target architecture model: processor parameters and timeline simulation."""
+
+from repro.arch.executor import (
+    ExecutionReport,
+    PartitionTrace,
+    TimelineEvent,
+    simulate,
+)
+from repro.arch.processor import (
+    ReconfigurableProcessor,
+    time_multiplexed,
+    wildforce,
+)
+
+__all__ = [
+    "ExecutionReport",
+    "PartitionTrace",
+    "ReconfigurableProcessor",
+    "TimelineEvent",
+    "simulate",
+    "time_multiplexed",
+    "wildforce",
+]

@@ -1,0 +1,114 @@
+"""Target architecture parameters of the run-time reconfigurable processor.
+
+The paper abstracts the board to three numbers (Section 3): the resource
+capacity ``R_max`` (CLBs / function generators of the FPGA), the on-board
+memory ``M_max`` for inter-partition data, and the reconfiguration time
+``C_T``.  Two presets bracket the reconfiguration-overhead regimes the
+paper discusses:
+
+* :func:`wildforce` — a WILDFORCE-like board whose reconfiguration time
+  (milliseconds) dwarfs task latencies: minimizing the number of
+  partitions minimizes overall latency.
+* :func:`time_multiplexed` — a Xilinx time-multiplexed-FPGA-like device
+  with nanosecond-scale context switches: extra partitions can pay for
+  themselves by enabling faster (larger) design points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["ReconfigurableProcessor", "wildforce", "time_multiplexed"]
+
+
+@dataclass(frozen=True)
+class ReconfigurableProcessor:
+    """A single-FPGA run-time reconfigurable processor.
+
+    Attributes
+    ----------
+    resource_capacity:
+        ``R_max`` — logic resources available per configuration.
+    memory_capacity:
+        ``M_max`` — on-board memory (in data units) for values that cross
+        temporal-partition boundaries.
+    reconfiguration_time:
+        ``C_T`` — time to load one configuration, in the same unit as task
+        latencies (nanoseconds throughout this repository).
+    name:
+        Label used in reports.
+    """
+
+    resource_capacity: float
+    memory_capacity: float
+    reconfiguration_time: float
+    name: str = "processor"
+    #: Capacities of additional resource types (block RAMs, dedicated
+    #: multipliers, ...) as sorted ``(type, capacity)`` pairs.  The ILP
+    #: adds one capacity row per partition per declared type.
+    extra_capacities: tuple[tuple[str, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.resource_capacity <= 0:
+            raise ValueError("resource capacity must be positive")
+        if self.memory_capacity < 0:
+            raise ValueError("memory capacity must be non-negative")
+        if self.reconfiguration_time < 0:
+            raise ValueError("reconfiguration time must be non-negative")
+        for kind, capacity in self.extra_capacities:
+            if capacity < 0:
+                raise ValueError(
+                    f"negative capacity for resource {kind!r}: {capacity}"
+                )
+
+    def extra_capacity(self, kind: str) -> float:
+        """Capacity of one extra resource type (0 when undeclared)."""
+        return dict(self.extra_capacities).get(kind, 0.0)
+
+    def with_extra_capacities(self, **capacities: float) -> "ReconfigurableProcessor":
+        """Copy with extra resource types, e.g. ``with_extra_capacities(bram=16)``."""
+        merged = dict(self.extra_capacities)
+        merged.update(capacities)
+        return replace(
+            self, extra_capacities=tuple(sorted(merged.items()))
+        )
+
+    def with_resources(self, resource_capacity: float) -> "ReconfigurableProcessor":
+        """Copy with a different ``R_max`` (the paper's 576 vs 1024 sweep)."""
+        return replace(self, resource_capacity=resource_capacity)
+
+    def with_reconfiguration_time(self, c_t: float) -> "ReconfigurableProcessor":
+        """Copy with a different ``C_T`` (small- vs large-overhead regime)."""
+        return replace(self, reconfiguration_time=c_t)
+
+    def reconfiguration_overhead(self, partitions: int) -> float:
+        """Total overhead ``N * C_T`` for ``partitions`` configurations."""
+        if partitions < 0:
+            raise ValueError("partition count must be non-negative")
+        return partitions * self.reconfiguration_time
+
+
+def wildforce(
+    resource_capacity: float = 576,
+    memory_capacity: float = 2048,
+) -> ReconfigurableProcessor:
+    """A WILDFORCE-like board: ``C_T`` = 10 ms (in ns)."""
+    return ReconfigurableProcessor(
+        resource_capacity=resource_capacity,
+        memory_capacity=memory_capacity,
+        reconfiguration_time=10e6,
+        name="wildforce",
+    )
+
+
+def time_multiplexed(
+    resource_capacity: float = 576,
+    memory_capacity: float = 2048,
+) -> ReconfigurableProcessor:
+    """A time-multiplexed-FPGA-like device: ``C_T`` = 30 ns."""
+    return ReconfigurableProcessor(
+        resource_capacity=resource_capacity,
+        memory_capacity=memory_capacity,
+        reconfiguration_time=30.0,
+        name="time_multiplexed",
+    )

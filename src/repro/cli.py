@@ -1,0 +1,414 @@
+"""Command-line interface: ``repro-tp``.
+
+Subcommands:
+
+``partition``
+    Temporally partition a task graph stored as JSON (see
+    :mod:`repro.taskgraph.io` for the schema) for a given device, print
+    the solution summary and iteration trace, optionally write the
+    partitioned design as JSON and/or clustered Graphviz DOT.
+``bounds``
+    Print the Section 3.1 bounds for a graph/device pair without solving.
+``generate``
+    Emit a synthetic task graph (layered / fork-join / series-parallel /
+    random) as JSON — handy for quick experiments and fuzzing.
+``estimate``
+    Run the HLS estimator on a built-in DFG template and print the
+    resulting design points.
+``table``
+    Regenerate one of the paper's tables (1-8).
+
+Examples::
+
+    repro-tp generate layered --levels 3 --per-level 4 -o g.json
+    repro-tp bounds g.json --r-max 700
+    repro-tp partition g.json --r-max 700 --m-max 512 --ct 40 --gamma 1
+    repro-tp estimate vector-product --length 4 --data-width 8
+    repro-tp table 1
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.arch.processor import ReconfigurableProcessor
+from repro.core import (
+    PartitionerConfig,
+    RefinementConfig,
+    SolverSettings,
+    TemporalPartitioner,
+    bounds,
+)
+from repro.taskgraph import generators, io as graph_io
+from repro.taskgraph.graph import TaskGraph
+
+__all__ = ["main", "build_parser"]
+
+
+def _add_device_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--r-max", type=float, required=True,
+        help="resource capacity of the device (R_max)",
+    )
+    parser.add_argument(
+        "--m-max", type=float, default=2048.0,
+        help="on-board memory capacity (M_max), default 2048",
+    )
+    parser.add_argument(
+        "--ct", type=float, default=30.0,
+        help="reconfiguration time C_T in ns, default 30",
+    )
+
+
+def _device(args: argparse.Namespace) -> ReconfigurableProcessor:
+    return ReconfigurableProcessor(
+        resource_capacity=args.r_max,
+        memory_capacity=args.m_max,
+        reconfiguration_time=args.ct,
+        name="cli_device",
+    )
+
+
+def _load_graph(path: str) -> TaskGraph:
+    return graph_io.load_json(Path(path))
+
+
+def _cmd_partition(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph)
+    processor = _device(args)
+    clustering = None
+    if args.cluster:
+        from repro.taskgraph import cluster_chains
+
+        clustering = cluster_chains(graph)
+        if clustering.num_merged:
+            print(
+                f"chain clustering: {len(graph)} tasks -> "
+                f"{len(clustering.graph)}"
+            )
+            graph = clustering.graph
+        else:
+            clustering = None
+    config = PartitionerConfig(
+        search=RefinementConfig(
+            alpha=args.alpha,
+            gamma=args.gamma,
+            delta=args.delta,
+            delta_fraction=args.delta_fraction,
+            time_budget=args.time_budget,
+        ),
+        solver=SolverSettings(
+            backend=args.backend, time_limit=args.solve_limit
+        ),
+    )
+    outcome = TemporalPartitioner(processor, config).partition(graph)
+
+    if args.trace:
+        print("N  I  D_min        D_max        D_a")
+        for record in outcome.trace:
+            n, i, d_min, d_max, achieved = record.row(
+                processor.reconfiguration_time
+            )
+            shown = "Inf." if achieved is None else f"{achieved:,.1f}"
+            print(f"{n:<3}{i:<3}{d_min:<13,.1f}{d_max:<13,.1f}{shown}")
+        print()
+        print(outcome.trace.convergence_chart())
+        print()
+
+    if not outcome.feasible:
+        print("no feasible temporal partitioning found", file=sys.stderr)
+        return 1
+
+    design = outcome.design
+    if clustering is not None:
+        design = clustering.expand(design)
+        graph = design.graph
+        outcome.design = design
+
+    print(design.summary(processor))
+    if args.report:
+        from repro.core import design_point_histogram, utilization_report
+
+        print()
+        print(utilization_report(outcome.design, processor).table().render())
+        histogram = design_point_histogram(outcome.design)
+        chosen = ", ".join(f"{k}: {v}" for k, v in histogram.items())
+        print(f"design points chosen: {chosen}")
+    if args.out_json:
+        Path(args.out_json).write_text(
+            json.dumps(outcome.design.as_assignment(), indent=2)
+        )
+        print(f"assignment written to {args.out_json}")
+    if args.out_dot:
+        partition_of = {
+            name: outcome.design.partition_of(name)
+            for name in graph.task_names
+        }
+        Path(args.out_dot).write_text(
+            graph_io.to_dot(graph, partition_of)
+        )
+        print(f"clustered DOT written to {args.out_dot}")
+    return 0
+
+
+def _cmd_bounds(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph)
+    processor = _device(args)
+    prange = bounds.partition_range(graph, processor)
+    print(f"graph: {graph.name} ({len(graph)} tasks, {graph.num_edges} edges)")
+    print(f"N_min^l (min-area partitions): {prange.lower_bound}")
+    print(f"N_min^u (max-area partitions): {prange.upper_seed}")
+    for n in prange:
+        d_max = bounds.max_latency(graph, n, processor.reconfiguration_time)
+        d_min = bounds.min_latency(graph, n, processor.reconfiguration_time)
+        print(f"N={n}: D_min={d_min:,.1f}  D_max={d_max:,.1f}")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.kind == "layered":
+        graph = generators.layered_graph(
+            args.levels, args.per_level, seed=args.seed
+        )
+    elif args.kind == "fork-join":
+        graph = generators.fork_join_graph(
+            args.branches, args.branch_length, seed=args.seed
+        )
+    elif args.kind == "series-parallel":
+        graph = generators.series_parallel_graph(args.depth, seed=args.seed)
+    else:
+        graph = generators.random_dag(
+            args.tasks, seed=args.seed, edge_probability=args.density
+        )
+    if args.output:
+        graph_io.save_json(graph, args.output)
+        print(f"{graph.name}: {len(graph)} tasks -> {args.output}")
+    else:
+        print(json.dumps(graph_io.to_dict(graph), indent=2))
+    return 0
+
+
+def _cmd_estimate(args: argparse.Namespace) -> int:
+    from repro.hls import (
+        EstimatorConfig,
+        estimate_design_points,
+        filter_section_dfg,
+        fir_dfg,
+        vector_product_dfg,
+    )
+
+    if args.template == "vector-product":
+        dfg = vector_product_dfg(
+            args.length, args.data_width, args.data_width + 4
+        )
+    elif args.template == "filter-section":
+        dfg = filter_section_dfg(args.length, args.data_width)
+    else:
+        dfg = fir_dfg(args.length, args.data_width)
+    points = estimate_design_points(
+        dfg, config=EstimatorConfig(max_points=args.max_points)
+    )
+    print(f"{dfg.name}: {len(dfg)} operations")
+    for dp in points:
+        print(f"  {dp}  modules={dp.module_set}")
+    return 0
+
+
+def _cmd_curve(args: argparse.Namespace) -> int:
+    from repro.core import partition_latency_curve
+
+    graph = _load_graph(args.graph)
+    processor = _device(args)
+    counts = None
+    if args.min_n is not None or args.max_n is not None:
+        lo = args.min_n or 1
+        hi = args.max_n or (lo + 4)
+        counts = list(range(lo, hi + 1))
+    curve = partition_latency_curve(
+        graph,
+        processor,
+        partition_counts=counts,
+        delta=args.delta,
+        settings=SolverSettings(time_limit=args.solve_limit),
+    )
+    print(curve.table(
+        f"Partition/latency trade-off ({graph.name}, "
+        f"C_T={processor.reconfiguration_time:g} ns)"
+    ).render())
+    return 0 if curve.best() is not None else 1
+
+
+def _cmd_diagnose(args: argparse.Namespace) -> int:
+    from repro.core import build_model, diagnose_infeasibility
+
+    graph = _load_graph(args.graph)
+    processor = _device(args)
+    d_max = args.d_max
+    if d_max is None:
+        d_max = bounds.max_latency(
+            graph, args.partitions, processor.reconfiguration_time
+        )
+    tp = build_model(graph, processor, args.partitions, d_max)
+    solution = tp.solve(
+        backend="highs", first_feasible=True, time_limit=args.solve_limit
+    )
+    if solution.status.has_solution:
+        design = tp.design_from(solution)
+        print(
+            f"feasible at N={args.partitions}, d_max={d_max:g}: "
+            f"latency {design.total_latency(processor):,.1f} ns"
+        )
+        return 0
+    report = diagnose_infeasibility(tp)
+    print(f"infeasible at N={args.partitions}, d_max={d_max:g}")
+    print(f"diagnosis: {report.message}")
+    for family, restored in sorted(report.detail.items()):
+        marker = "CULPRIT" if restored else "ok"
+        print(f"  {family:<16}{marker}")
+    return 1
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        DCT_EXPERIMENTS,
+        table1_ar_filter,
+        table2_design_points,
+    )
+
+    settings = SolverSettings(time_limit=args.solve_limit)
+    if args.number == 1:
+        print(table1_ar_filter(settings=settings).table.render())
+    elif args.number == 2:
+        print(table2_design_points().render())
+    else:
+        result = DCT_EXPERIMENTS[args.number](
+            settings=settings, time_budget=args.time_budget
+        )
+        print(result.table().render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-tp",
+        description="Temporal partitioning with design space exploration "
+        "(DATE 1999 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    partition = subparsers.add_parser(
+        "partition", help="partition a JSON task graph"
+    )
+    partition.add_argument("graph", help="task graph JSON file")
+    _add_device_arguments(partition)
+    partition.add_argument("--alpha", type=int, default=0)
+    partition.add_argument("--gamma", type=int, default=0)
+    partition.add_argument(
+        "--delta", type=float, default=None,
+        help="latency tolerance (absolute); default: fraction of D_max",
+    )
+    partition.add_argument("--delta-fraction", type=float, default=0.02)
+    partition.add_argument("--time-budget", type=float, default=300.0)
+    partition.add_argument("--solve-limit", type=float, default=30.0)
+    partition.add_argument("--backend", default="highs",
+                           choices=("highs", "bnb"))
+    partition.add_argument("--trace", action="store_true",
+                           help="print the iteration trace")
+    partition.add_argument("--report", action="store_true",
+                           help="print per-partition utilization")
+    partition.add_argument("--cluster", action="store_true",
+                           help="merge linear task chains before solving "
+                           "(smaller ILP; chains stay co-located)")
+    partition.add_argument("--out-json", default=None,
+                           help="write the assignment as JSON")
+    partition.add_argument("--out-dot", default=None,
+                           help="write a partition-clustered DOT file")
+    partition.set_defaults(func=_cmd_partition)
+
+    bounds_cmd = subparsers.add_parser(
+        "bounds", help="print Section 3.1 bounds without solving"
+    )
+    bounds_cmd.add_argument("graph")
+    _add_device_arguments(bounds_cmd)
+    bounds_cmd.set_defaults(func=_cmd_bounds)
+
+    generate = subparsers.add_parser(
+        "generate", help="emit a synthetic task graph as JSON"
+    )
+    generate.add_argument(
+        "kind",
+        choices=("layered", "fork-join", "series-parallel", "random"),
+    )
+    generate.add_argument("--levels", type=int, default=3)
+    generate.add_argument("--per-level", type=int, default=3)
+    generate.add_argument("--branches", type=int, default=3)
+    generate.add_argument("--branch-length", type=int, default=2)
+    generate.add_argument("--depth", type=int, default=3)
+    generate.add_argument("--tasks", type=int, default=10)
+    generate.add_argument("--density", type=float, default=0.2)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("-o", "--output", default=None)
+    generate.set_defaults(func=_cmd_generate)
+
+    estimate = subparsers.add_parser(
+        "estimate", help="estimate design points for a DFG template"
+    )
+    estimate.add_argument(
+        "template",
+        choices=("vector-product", "filter-section", "fir"),
+    )
+    estimate.add_argument("--length", type=int, default=4,
+                          help="vector length / tap count")
+    estimate.add_argument("--data-width", type=int, default=8)
+    estimate.add_argument("--max-points", type=int, default=6)
+    estimate.set_defaults(func=_cmd_estimate)
+
+    curve = subparsers.add_parser(
+        "curve",
+        help="map the partition-count/latency trade-off curve",
+    )
+    curve.add_argument("graph")
+    _add_device_arguments(curve)
+    curve.add_argument("--min-n", type=int, default=None)
+    curve.add_argument("--max-n", type=int, default=None)
+    curve.add_argument("--delta", type=float, default=None)
+    curve.add_argument("--solve-limit", type=float, default=15.0)
+    curve.set_defaults(func=_cmd_curve)
+
+    diagnose = subparsers.add_parser(
+        "diagnose",
+        help="explain why a graph/device/partition-count combination "
+        "has no solution",
+    )
+    diagnose.add_argument("graph")
+    _add_device_arguments(diagnose)
+    diagnose.add_argument("--partitions", "-n", type=int, required=True)
+    diagnose.add_argument(
+        "--d-max", type=float, default=None,
+        help="latency upper bound incl. overhead; default MaxLatency(N)",
+    )
+    diagnose.add_argument("--solve-limit", type=float, default=30.0)
+    diagnose.set_defaults(func=_cmd_diagnose)
+
+    table = subparsers.add_parser(
+        "table", help="regenerate one of the paper's tables"
+    )
+    table.add_argument("number", type=int, choices=range(1, 9))
+    table.add_argument("--solve-limit", type=float, default=15.0)
+    table.add_argument("--time-budget", type=float, default=300.0)
+    table.set_defaults(func=_cmd_table)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,146 @@
+"""Post-partitioning analysis: utilization, slack, and bottlenecks.
+
+After the search returns a :class:`PartitionedDesign`, designers want to
+know *where the budget went*: which partition saturates the device,
+whether memory or area binds, which tasks were downgraded to slow design
+points, and how much latency a bigger device would buy.  This module
+computes those reports from a finished design — no solver involved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.processor import ReconfigurableProcessor
+from repro.core.solution import PartitionedDesign
+from repro.report import TextTable
+
+__all__ = [
+    "PartitionUtilization",
+    "UtilizationReport",
+    "utilization_report",
+    "design_point_histogram",
+]
+
+
+@dataclass(frozen=True)
+class PartitionUtilization:
+    """Resource picture of one temporal partition."""
+
+    partition: int
+    tasks: int
+    area_used: float
+    area_fraction: float
+    latency: float
+    latency_fraction: float       # of total execution latency
+    memory_at_boundary: float
+    memory_fraction: float
+
+    @property
+    def is_area_saturated(self) -> bool:
+        return self.area_fraction >= 0.95
+
+
+@dataclass
+class UtilizationReport:
+    """Whole-design utilization summary."""
+
+    partitions: list[PartitionUtilization] = field(default_factory=list)
+    total_latency: float = 0.0
+    execution_latency: float = 0.0
+    reconfiguration_overhead: float = 0.0
+    overhead_fraction: float = 0.0
+
+    @property
+    def bottleneck(self) -> PartitionUtilization:
+        """The partition contributing the most execution latency."""
+        return max(self.partitions, key=lambda p: p.latency)
+
+    @property
+    def peak_area_fraction(self) -> float:
+        return max(p.area_fraction for p in self.partitions)
+
+    @property
+    def peak_memory_fraction(self) -> float:
+        return max(p.memory_fraction for p in self.partitions)
+
+    def table(self) -> TextTable:
+        table = TextTable(
+            "Partition utilization",
+            (
+                "partition", "tasks", "area", "area %",
+                "latency (ns)", "latency %", "memory", "memory %",
+            ),
+        )
+        for p in self.partitions:
+            table.add_row(
+                p.partition,
+                p.tasks,
+                p.area_used,
+                round(100 * p.area_fraction, 1),
+                p.latency,
+                round(100 * p.latency_fraction, 1),
+                p.memory_at_boundary,
+                round(100 * p.memory_fraction, 1),
+            )
+        table.footer = (
+            f"total {self.total_latency:,.0f} ns = execution "
+            f"{self.execution_latency:,.0f} + reconfiguration "
+            f"{self.reconfiguration_overhead:,.0f} "
+            f"({100 * self.overhead_fraction:.1f}%)"
+        )
+        return table
+
+
+def utilization_report(
+    design: PartitionedDesign,
+    processor: ReconfigurableProcessor,
+    include_env_memory: bool = True,
+) -> UtilizationReport:
+    """Compute per-partition utilization for a finished design."""
+    execution = design.execution_latency()
+    total = design.total_latency(processor)
+    overhead = processor.reconfiguration_overhead(
+        design.num_partitions_used
+    )
+    report = UtilizationReport(
+        total_latency=total,
+        execution_latency=execution,
+        reconfiguration_overhead=overhead,
+        overhead_fraction=overhead / total if total else 0.0,
+    )
+    memory_cap = processor.memory_capacity
+    for partition in design.partitions():
+        area = design.partition_area(partition)
+        latency = design.partition_latency(partition)
+        memory = design.memory_at_boundary(partition, include_env_memory)
+        report.partitions.append(
+            PartitionUtilization(
+                partition=partition,
+                tasks=len(design.tasks_in(partition)),
+                area_used=area,
+                area_fraction=area / processor.resource_capacity,
+                latency=latency,
+                latency_fraction=latency / execution if execution else 0.0,
+                memory_at_boundary=memory,
+                memory_fraction=memory / memory_cap if memory_cap else 0.0,
+            )
+        )
+    return report
+
+
+def design_point_histogram(design: PartitionedDesign) -> dict[str, int]:
+    """How often each design-point label was chosen across the design.
+
+    With small devices the histogram skews toward ``dp1`` (small/slow);
+    relaxing the partition count shifts it toward faster points — the
+    mechanism behind the paper's small-``C_T`` results.
+    """
+    histogram: dict[str, int] = {}
+    for name in design.graph.task_names:
+        task = design.graph.task(name)
+        point = design.design_point_of(name)
+        index = task.design_points.index(point) + 1
+        label = point.label(index)
+        histogram[label] = histogram.get(label, 0) + 1
+    return dict(sorted(histogram.items()))

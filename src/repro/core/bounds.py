@@ -1,0 +1,109 @@
+"""Partition-count and latency bounds (paper, Section 3.1).
+
+Four estimators seed and steer the iterative search:
+
+* :func:`min_area_partitions` — ``N_min^l``: partitions needed if every
+  task uses its *smallest* design point (a true lower bound on the
+  partition count of any feasible solution),
+* :func:`max_area_partitions` — ``N_min^u``: partitions needed if every
+  task uses its *largest* design point.  As the paper is careful to note,
+  this is **not** an upper bound on partitions a solution may need (a
+  too-large task pushes its descendants to later partitions and leaves
+  holes); it is the *minimum* count to explore when mapping maximum-area
+  points, and the search ranges up to ``N_min^u + gamma``,
+* :func:`max_latency` — ``D_max``: everything serialized on the slowest
+  design points, plus ``N * C_T``,
+* :func:`min_latency` — ``D_min``: critical path on the fastest design
+  points, plus ``N * C_T``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.arch.processor import ReconfigurableProcessor
+from repro.taskgraph.graph import TaskGraph
+from repro.taskgraph.paths import longest_path_latency
+
+__all__ = [
+    "min_area_partitions",
+    "max_area_partitions",
+    "max_latency",
+    "min_latency",
+    "PartitionRange",
+    "partition_range",
+]
+
+
+def min_area_partitions(graph: TaskGraph, resource_capacity: float) -> int:
+    """``N_min^l = ceil(sum of minimum areas / R_max)`` (at least 1)."""
+    if resource_capacity <= 0:
+        raise ValueError("resource capacity must be positive")
+    return max(1, math.ceil(graph.total_min_area() / resource_capacity))
+
+
+def max_area_partitions(graph: TaskGraph, resource_capacity: float) -> int:
+    """``N_min^u = ceil(sum of maximum areas / R_max)`` (at least 1)."""
+    if resource_capacity <= 0:
+        raise ValueError("resource capacity must be positive")
+    return max(1, math.ceil(graph.total_max_area() / resource_capacity))
+
+
+def max_latency(
+    graph: TaskGraph, partitions: int, reconfiguration_time: float
+) -> float:
+    """``D_max(N)``: fully serial execution on slowest points + overhead."""
+    if partitions < 1:
+        raise ValueError("partition count must be at least 1")
+    return graph.total_max_latency() + partitions * reconfiguration_time
+
+
+def min_latency(
+    graph: TaskGraph, partitions: int, reconfiguration_time: float
+) -> float:
+    """``D_min(N)``: critical path on fastest points + overhead."""
+    if partitions < 1:
+        raise ValueError("partition count must be at least 1")
+    path = longest_path_latency(
+        graph, lambda name: graph.task(name).min_latency
+    )
+    return path + partitions * reconfiguration_time
+
+
+@dataclass(frozen=True)
+class PartitionRange:
+    """The partition counts the search explores: ``[start, stop]``."""
+
+    lower_bound: int       # N_min^l
+    upper_seed: int        # N_min^u
+    start: int             # N_min^l + alpha
+    stop: int              # N_min^u + gamma
+
+    def __iter__(self):
+        return iter(range(self.start, self.stop + 1))
+
+
+def partition_range(
+    graph: TaskGraph,
+    processor: ReconfigurableProcessor,
+    alpha: int = 0,
+    gamma: int = 0,
+) -> PartitionRange:
+    """Compute the explored range per the paper's Figure 2 preamble.
+
+    ``alpha`` (*Starting Partition Relaxation*) shifts the entry point past
+    ``N_min^l``; ``gamma`` (*Ending Partition Relaxation*) extends past
+    ``N_min^u``.  For large-``C_T`` architectures both default to 0
+    because the least-partition solution dominates.
+    """
+    if alpha < 0 or gamma < 0:
+        raise ValueError("alpha and gamma must be non-negative")
+    lower = min_area_partitions(graph, processor.resource_capacity)
+    upper = max_area_partitions(graph, processor.resource_capacity)
+    return PartitionRange(
+        lower_bound=lower,
+        upper_seed=upper,
+        start=lower + alpha,
+        stop=max(upper + gamma, lower + alpha),
+    )

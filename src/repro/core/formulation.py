@@ -1,0 +1,548 @@
+"""The combined temporal-partitioning + design-space-exploration ILP.
+
+This module implements Section 3.2.3 of the paper.  Given a task graph, a
+processor, a partition budget ``N`` and a latency window
+``[D_min, D_max]``, :func:`build_model` constructs a
+:class:`repro.ilp.Model` with:
+
+========  =====================================================  =========
+variable  meaning                                                 paper
+========  =====================================================  =========
+``Y``     ``Y[t,p,m] = 1`` iff task ``t`` is in partition ``p``   (1)-(2)
+          with module set (design point) ``m``
+``w``     ``w[p,(t1,t2)] = 1`` iff edge ``t1->t2`` crosses the    (4)-(5)
+          boundary of partition ``p`` (producer before ``p``,
+          consumer at ``p`` or later)
+``d_p``   latency of partition ``p``                              (7)
+``eta``   number of partitions actually used                      (8)
+========  =====================================================  =========
+
+and the constraints: uniqueness (1), temporal order (2), memory (3),
+resource (6), per-path partition latency (7), partition count (8) and the
+two-sided latency window (9)-(10).
+
+The non-linear products in (4)-(5) are linearized one-sidedly by default:
+``w >= before(t1) + atOrAfter(t2) - 1`` suffices because ``w`` appears
+elsewhere only in the memory *capacity* row, which pushes it down (see
+:func:`repro.ilp.linearize.product_of_sums`).  ``FormulationOptions`` can
+request the exact two-sided linearization for verification.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Mapping, Sequence
+
+from repro.arch.processor import ReconfigurableProcessor
+from repro.ilp import Model, Solution, VarType, lin_sum
+from repro.taskgraph.graph import TaskGraph
+from repro.taskgraph.paths import count_paths, enumerate_paths
+from repro.core.solution import PartitionedDesign, Placement
+
+__all__ = [
+    "FormulationOptions",
+    "TemporalPartitioningModel",
+    "build_model",
+    "extract_design",
+    "interchangeable_groups",
+    "lp_latency_lower_bound",
+]
+
+
+def interchangeable_groups(graph: TaskGraph) -> list[tuple[str, ...]]:
+    """Partition tasks into groups that any solution may permute freely.
+
+    Two tasks are interchangeable when they have identical design-point
+    tuples, the same predecessor and successor sets with the same data
+    volumes, and the same environment I/O.  Swapping two such tasks maps
+    any feasible partitioned design onto another feasible design with the
+    same latency, so ordering them by partition index loses nothing.
+    Only groups of size >= 2 are returned, in deterministic task order.
+    """
+    signatures: dict[tuple, list[str]] = {}
+    for task in graph:
+        signature = (
+            tuple(
+                (dp.area, dp.latency, dp.extra_resources)
+                for dp in task.design_points
+            ),
+            tuple(
+                sorted(
+                    (pred, graph.data_volume(pred, task.name))
+                    for pred in graph.predecessors(task.name)
+                )
+            ),
+            tuple(
+                sorted(
+                    (succ, graph.data_volume(task.name, succ))
+                    for succ in graph.successors(task.name)
+                )
+            ),
+            graph.env_input(task.name),
+            graph.env_output(task.name),
+        )
+        signatures.setdefault(signature, []).append(task.name)
+    groups = [
+        tuple(names) for names in signatures.values() if len(names) >= 2
+    ]
+    # Tasks that appear in each other's neighbor signatures are never
+    # grouped together (their signatures differ), so the ordering
+    # constraints below cannot conflict with the temporal order.
+    return groups
+
+
+@dataclass(frozen=True)
+class FormulationOptions:
+    """Knobs of the ILP formulation.
+
+    Attributes
+    ----------
+    order_mode:
+        ``"pairwise"`` — the paper's equation (2), one row per edge and
+        partition (tighter LP relaxation); ``"index"`` — the compact
+        partition-index inequality ``sum p*Y[t1] <= sum p*Y[t2]`` (fewer
+        rows, weaker relaxation).  The ablation benchmark compares them.
+    two_sided_w:
+        Add the exact ``w <= ...`` rows of the linearization instead of
+        the sufficient one-sided form.
+    include_env_memory:
+        Buffer host input until a task's partition and host output from a
+        task's partition onward (the ``B(env,t)`` / ``B(t,env)`` terms of
+        equation (3)).
+    latency_mode:
+        How equation (7) is encoded.  ``"paths"`` — the paper's explicit
+        per-path rows (tightest; needs path enumeration).  ``"levels"`` —
+        a start-time big-M encoding with one row per edge and per
+        (task, partition) pair, polynomial regardless of path count
+        (weaker LP relaxation; exact on integer points).  ``"auto"``
+        (default) uses paths when the graph has at most ``path_limit``
+        of them and falls back to levels otherwise.
+    path_limit:
+        Maximum number of source-sink paths enumerated for the latency
+        constraint (7); beyond this, ``"paths"`` raises
+        :class:`repro.taskgraph.paths.PathLimitExceeded` and ``"auto"``
+        switches to ``"levels"``.
+    minimize_latency:
+        Attach the objective ``min sum(d_p) + C_T * eta``.  The paper's
+        iterative mode leaves the model objective-free (pure constraint
+        satisfaction); the optimality oracle of ``core.optimal`` enables
+        this.
+    symmetry_breaking:
+        Add partition-index ordering constraints over *interchangeable*
+        tasks (identical design points, predecessors, successors and
+        environment I/O).  Such tasks can be permuted in any solution, so
+        ordering them removes only duplicates; on the DCT (four identical
+        producers and four identical consumers per collection) this
+        shrinks the symmetric solution space by ``(4!)^8`` and speeds up
+        infeasibility proofs dramatically.  An extension beyond the
+        paper; off by default, on in the experiment harness.
+    """
+
+    order_mode: str = "pairwise"
+    two_sided_w: bool = False
+    include_env_memory: bool = True
+    latency_mode: str = "auto"
+    path_limit: int = 100_000
+    minimize_latency: bool = False
+    symmetry_breaking: bool = False
+
+    def __post_init__(self) -> None:
+        if self.order_mode not in ("pairwise", "index"):
+            raise ValueError(
+                f"unknown order_mode {self.order_mode!r}; "
+                "expected 'pairwise' or 'index'"
+            )
+        if self.latency_mode not in ("auto", "paths", "levels"):
+            raise ValueError(
+                f"unknown latency_mode {self.latency_mode!r}; "
+                "expected 'auto', 'paths' or 'levels'"
+            )
+
+
+@dataclass
+class TemporalPartitioningModel:
+    """A built ILP plus the handles needed to interpret its solutions."""
+
+    model: Model
+    graph: TaskGraph
+    processor: ReconfigurableProcessor
+    num_partitions: int
+    d_max: float
+    d_min: float
+    options: FormulationOptions
+    y_name: Mapping[tuple[str, int, int], str] = field(default_factory=dict)
+    d_name: Mapping[int, str] = field(default_factory=dict)
+    eta_name: str = "eta"
+
+    def solve(self, **solve_kwargs) -> Solution:
+        """Solve the underlying model (see :meth:`repro.ilp.Model.solve`)."""
+        return self.model.solve(**solve_kwargs)
+
+    def design_from(self, solution: Solution) -> PartitionedDesign:
+        """Decode a solver solution into a :class:`PartitionedDesign`."""
+        return extract_design(self, solution)
+
+
+def _y_name(task: str, partition: int, dp_index: int) -> str:
+    return f"Y[{task},{partition},{dp_index}]"
+
+
+def _w_name(partition: int, src: str, dst: str) -> str:
+    return f"w[{partition},{src},{dst}]"
+
+
+def build_model(
+    graph: TaskGraph,
+    processor: ReconfigurableProcessor,
+    num_partitions: int,
+    d_max: float,
+    d_min: float = 0.0,
+    options: FormulationOptions | None = None,
+) -> TemporalPartitioningModel:
+    """Build the combined partitioning + design-selection ILP.
+
+    ``d_max``/``d_min`` bound the *overall* latency
+    ``sum(d_p) + C_T * eta`` (equations (9)-(10)); both include the
+    reconfiguration overhead, exactly as produced by
+    :func:`repro.core.bounds.max_latency` / ``min_latency``.
+    """
+    if num_partitions < 1:
+        raise ValueError("need at least one partition")
+    if d_max < d_min:
+        raise ValueError(f"empty latency window [{d_min}, {d_max}]")
+    options = options or FormulationOptions()
+    n = num_partitions
+    partitions = range(1, n + 1)
+    model = Model(f"tp_{graph.name}_N{n}")
+
+    # -- variables ---------------------------------------------------------
+    y: dict[tuple[str, int, int], object] = {}
+    y_name: dict[tuple[str, int, int], str] = {}
+    for task in graph:
+        for p in partitions:
+            for k, _dp in enumerate(task.design_points, start=1):
+                name = _y_name(task.name, p, k)
+                y[(task.name, p, k)] = model.add_binary(name)
+                y_name[(task.name, p, k)] = name
+
+    # The slowest serial schedule bounds any d_p from above; a finite upper
+    # bound keeps the LP relaxations bounded in feasibility mode.
+    d_cap = graph.total_max_latency()
+    d = {
+        p: model.add_var(f"d[{p}]", lb=0.0, ub=d_cap)
+        for p in partitions
+    }
+    d_name = {p: f"d[{p}]" for p in partitions}
+    eta = model.add_var("eta", lb=1, ub=n, vtype=VarType.INTEGER)
+
+    def y_sum(task: str, parts, dp_indices=None):
+        count = len(graph.task(task).design_points)
+        indices = dp_indices or range(1, count + 1)
+        return lin_sum(y[(task, p, k)] for p in parts for k in indices)
+
+    # -- (1) uniqueness ------------------------------------------------------
+    for task in graph:
+        model.add_constr(
+            y_sum(task.name, partitions) == 1, name=f"uniq[{task.name}]"
+        )
+
+    # -- (2) temporal order ---------------------------------------------------
+    if options.order_mode == "pairwise":
+        # t2 in partition p forbids t1 in any later partition.
+        for src, dst, _volume in graph.edges:
+            for p in partitions:
+                if p == n:
+                    continue  # no later partition exists
+                model.add_constr(
+                    y_sum(dst, [p]) + y_sum(src, range(p + 1, n + 1)) <= 1,
+                    name=f"order[{src},{dst},{p}]",
+                )
+    else:
+        for src, dst, _volume in graph.edges:
+            src_index = lin_sum(
+                p * y[(src, p, k)]
+                for p in partitions
+                for k in range(1, len(graph.task(src).design_points) + 1)
+            )
+            dst_index = lin_sum(
+                p * y[(dst, p, k)]
+                for p in partitions
+                for k in range(1, len(graph.task(dst).design_points) + 1)
+            )
+            model.add_constr(
+                src_index <= dst_index, name=f"order[{src},{dst}]"
+            )
+
+    # -- (4)-(5) crossing variables ---------------------------------------------
+    w: dict[tuple[int, str, str], object] = {}
+    for p in range(2, n + 1):
+        for src, dst, _volume in graph.edges:
+            name = _w_name(p, src, dst)
+            var = model.add_binary(name)
+            w[(p, src, dst)] = var
+            before = y_sum(src, range(1, p))
+            at_or_after = y_sum(dst, range(p, n + 1))
+            model.add_constr(
+                var >= before + at_or_after - 1, name=f"{name}_ge"
+            )
+            if options.two_sided_w:
+                model.add_constr(var <= before, name=f"{name}_le_src")
+                model.add_constr(var <= at_or_after, name=f"{name}_le_dst")
+
+    # -- (3) memory ----------------------------------------------------------------
+    for p in partitions:
+        terms = []
+        for src, dst, volume in graph.edges:
+            if p >= 2 and volume:
+                terms.append(volume * w[(p, src, dst)])
+        if options.include_env_memory:
+            for task_name, volume in graph.env_inputs.items():
+                if volume:
+                    terms.append(
+                        volume * y_sum(task_name, range(p, n + 1))
+                    )
+            for task_name, volume in graph.env_outputs.items():
+                if volume and p >= 2:
+                    terms.append(volume * y_sum(task_name, range(1, p)))
+        if terms:
+            model.add_constr(
+                lin_sum(terms) <= processor.memory_capacity,
+                name=f"memory[{p}]",
+            )
+
+    # -- (6) resource ------------------------------------------------------------------
+    for p in partitions:
+        usage = lin_sum(
+            task.design_points[k - 1].area * y[(task.name, p, k)]
+            for task in graph
+            for k in range(1, len(task.design_points) + 1)
+        )
+        model.add_constr(
+            usage <= processor.resource_capacity, name=f"resource[{p}]"
+        )
+    # Additional resource types ("similar equations can be added if
+    # multiple resource types exist in the FPGA", Section 3.2.3).
+    for kind, capacity in processor.extra_capacities:
+        for p in partitions:
+            usage = lin_sum(
+                task.design_points[k - 1].resource_usage(kind)
+                * y[(task.name, p, k)]
+                for task in graph
+                for k in range(1, len(task.design_points) + 1)
+            )
+            if usage.terms:
+                model.add_constr(
+                    usage <= capacity, name=f"resource_{kind}[{p}]"
+                )
+
+    # -- (7) per-partition latency ---------------------------------------------------
+    latency_mode = options.latency_mode
+    if latency_mode == "auto":
+        latency_mode = (
+            "paths"
+            if count_paths(graph) <= options.path_limit
+            else "levels"
+        )
+    if latency_mode == "paths":
+        paths = enumerate_paths(graph, limit=options.path_limit)
+        for index, path in enumerate(paths):
+            for p in partitions:
+                load = lin_sum(
+                    graph.task(t).design_points[k - 1].latency * y[(t, p, k)]
+                    for t in path
+                    for k in range(1, len(graph.task(t).design_points) + 1)
+                )
+                model.add_constr(load <= d[p], name=f"pathlat[{index},{p}]")
+    else:
+        # Start-time big-M encoding: polynomial in |T| + |E| regardless
+        # of the number of paths.  s[t] is the task's start offset within
+        # its own partition; an edge inside one partition forces the
+        # consumer after the producer; d_p dominates every member's
+        # finish time.  Exact on integer points, weaker as an LP.
+        big_m = d_cap
+
+        def duration(t: str):
+            task = graph.task(t)
+            return lin_sum(
+                task.design_points[k - 1].latency * y[(t, p, k)]
+                for p in partitions
+                for k in range(1, len(task.design_points) + 1)
+            )
+
+        s = {
+            task.name: model.add_var(f"s[{task.name}]", lb=0.0, ub=d_cap)
+            for task in graph
+        }
+        for src, dst, _volume in graph.edges:
+            same = model.add_var(f"same[{src},{dst}]", lb=0.0, ub=1.0)
+            for p in partitions:
+                model.add_constr(
+                    same >= y_sum(src, [p]) + y_sum(dst, [p]) - 1,
+                    name=f"same[{src},{dst},{p}]",
+                )
+            model.add_constr(
+                s[dst] >= s[src] + duration(src) - big_m * (1 - same),
+                name=f"prec[{src},{dst}]",
+            )
+        for task in graph:
+            for p in partitions:
+                model.add_constr(
+                    d[p]
+                    >= s[task.name]
+                    + duration(task.name)
+                    - big_m * (1 - y_sum(task.name, [p])),
+                    name=f"finish[{task.name},{p}]",
+                )
+
+    # Valid inequality: every used partition holds at most R_max area, so
+    # eta * R_max bounds the total area of the chosen design points.  The
+    # cut removes no integer solution but stops the LP relaxation from
+    # pretending one reconfiguration suffices, which makes the LP latency
+    # bound useful in the large-C_T regime.
+    total_area = lin_sum(
+        task.design_points[k - 1].area * y[(task.name, p, k)]
+        for task in graph
+        for p in partitions
+        for k in range(1, len(task.design_points) + 1)
+    )
+    model.add_constr(
+        processor.resource_capacity * eta >= total_area,
+        name="eta_area_cut",
+    )
+
+    # -- (8) partitions used ------------------------------------------------------------------
+    for sink in graph.sinks():
+        sink_index = lin_sum(
+            p * y[(sink, p, k)]
+            for p in partitions
+            for k in range(1, len(graph.task(sink).design_points) + 1)
+        )
+        model.add_constr(eta >= sink_index, name=f"eta[{sink}]")
+
+    # -- symmetry breaking (extension; see FormulationOptions) -------------------------
+    if options.symmetry_breaking:
+        for group in interchangeable_groups(graph):
+            for first, second in zip(group, group[1:]):
+                first_index = lin_sum(
+                    p * y[(first, p, k)]
+                    for p in partitions
+                    for k in range(
+                        1, len(graph.task(first).design_points) + 1
+                    )
+                )
+                second_index = lin_sum(
+                    p * y[(second, p, k)]
+                    for p in partitions
+                    for k in range(
+                        1, len(graph.task(second).design_points) + 1
+                    )
+                )
+                model.add_constr(
+                    first_index <= second_index,
+                    name=f"sym[{first},{second}]",
+                )
+
+    # -- (9)-(10) latency window ----------------------------------------------------------------
+    total_latency = (
+        lin_sum(d.values()) + processor.reconfiguration_time * eta
+    )
+    model.add_constr(total_latency <= d_max, name="latency_ub")
+    if d_min > 0:
+        model.add_constr(total_latency >= d_min, name="latency_lb")
+
+    if options.minimize_latency:
+        model.set_objective(
+            lin_sum(d.values()) + processor.reconfiguration_time * eta
+        )
+
+    return TemporalPartitioningModel(
+        model=model,
+        graph=graph,
+        processor=processor,
+        num_partitions=n,
+        d_max=d_max,
+        d_min=d_min,
+        options=options,
+        y_name=y_name,
+        d_name=d_name,
+        eta_name="eta",
+    )
+
+
+def lp_latency_lower_bound(
+    graph: TaskGraph,
+    processor: ReconfigurableProcessor,
+    num_partitions: int,
+    options: FormulationOptions | None = None,
+) -> float:
+    """LP-relaxation lower bound on the total latency at ``N`` partitions.
+
+    Solves the *linear relaxation* of the minimize-latency model (no
+    latency window), which is a valid lower bound on any integer design's
+    ``sum(d_p) + C_T * eta``.  The iterative search uses it to tighten
+    ``D_min`` beyond the paper's critical-path bound: bisection windows
+    below this value are provably empty and never reach the MILP solver.
+    This is an extension over the paper (see DESIGN.md, Ablation E).
+    """
+    from repro.ilp.scipy_backend import solve_relaxation
+    from repro.ilp.status import SolveStatus as _Status
+
+    base = options or FormulationOptions()
+    relax_options = replace(base, minimize_latency=True)
+    # The serial worst case is always representable, so this d_max never
+    # cuts the relaxation's optimum.
+    d_max = graph.total_max_latency() + num_partitions * (
+        processor.reconfiguration_time
+    )
+    tp_model = build_model(
+        graph, processor, num_partitions, d_max, 0.0, relax_options
+    )
+    form = tp_model.model.to_standard_form()
+    status, _x, objective, _iters = solve_relaxation(form)
+    if status is _Status.INFEASIBLE:
+        return math.inf
+    if status is not _Status.OPTIMAL:
+        # No usable bound; fall back to "no information".
+        return 0.0
+    return objective + form.c0
+
+
+def extract_design(
+    tp_model: TemporalPartitioningModel, solution: Solution
+) -> PartitionedDesign:
+    """Decode the ``Y`` assignment of a feasible solution.
+
+    Raises
+    ------
+    ValueError
+        If the solution carries no assignment or a task has no (or more
+        than one) selected ``Y`` variable — which would indicate a solver
+        bug, since uniqueness is a hard constraint.
+    """
+    if not solution.status.has_solution:
+        raise ValueError(
+            f"solution has status {solution.status}; nothing to extract"
+        )
+    graph = tp_model.graph
+    placements: dict[str, Placement] = {}
+    for task in graph:
+        chosen: tuple[int, int] | None = None
+        for p in range(1, tp_model.num_partitions + 1):
+            for k in range(1, len(task.design_points) + 1):
+                name = tp_model.y_name[(task.name, p, k)]
+                if solution.values.get(name, 0.0) > 0.5:
+                    if chosen is not None:
+                        raise ValueError(
+                            f"task {task.name!r} selected twice "
+                            f"(Y at {chosen} and {(p, k)})"
+                        )
+                    chosen = (p, k)
+        if chosen is None:
+            raise ValueError(f"task {task.name!r} has no selected Y variable")
+        partition, dp_index = chosen
+        placements[task.name] = Placement(
+            partition=partition,
+            design_point=task.design_points[dp_index - 1],
+        )
+    return PartitionedDesign(graph, placements)

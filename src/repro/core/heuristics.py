@@ -1,0 +1,142 @@
+"""Greedy baseline partitioners.
+
+The paper motivates its ``alpha``/``gamma`` relaxation parameters with a
+simple heuristic: "map the least-area design point for each task, pack
+greedily, and see how many partitions come out" (Section 3.2.2).  This
+module implements that family of list-packing heuristics.  They serve
+three roles in the reproduction:
+
+* the baseline the ILP approach is compared against (latency quality),
+* the ``alpha``/``gamma`` estimators of the paper,
+* a fast primal fallback for enormous graphs where even the iterative
+  ILP procedure is too slow.
+
+The greedy walks tasks in topological order and opens a new temporal
+partition whenever the next task does not fit the current one (area) or
+would violate the memory budget at the new boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.arch.processor import ReconfigurableProcessor
+from repro.core.solution import PartitionedDesign, Placement
+from repro.taskgraph.designpoint import DesignPoint
+from repro.taskgraph.graph import TaskGraph
+
+__all__ = [
+    "POLICIES",
+    "greedy_partition",
+    "heuristic_partition_count",
+    "estimate_alpha_gamma",
+]
+
+
+def _min_area(task) -> DesignPoint:
+    return min(task.design_points, key=lambda dp: (dp.area, dp.latency))
+
+
+def _max_area(task) -> DesignPoint:
+    return max(task.design_points, key=lambda dp: (dp.area, -dp.latency))
+
+
+def _min_latency(task) -> DesignPoint:
+    return min(task.design_points, key=lambda dp: (dp.latency, dp.area))
+
+
+def _balanced(task) -> DesignPoint:
+    """Middle of the area-sorted design points (median area/latency trade)."""
+    ordered = sorted(task.design_points, key=lambda dp: dp.area)
+    return ordered[len(ordered) // 2]
+
+
+#: Selection policies: name -> (task -> design point).
+POLICIES: dict[str, Callable] = {
+    "min_area": _min_area,
+    "max_area": _max_area,
+    "min_latency": _min_latency,
+    "balanced": _balanced,
+}
+
+
+@dataclass
+class GreedyResult:
+    """A greedy design plus its feasibility with respect to memory."""
+
+    design: PartitionedDesign
+    policy: str
+    memory_feasible: bool
+
+
+def greedy_partition(
+    graph: TaskGraph,
+    processor: ReconfigurableProcessor,
+    policy: str = "min_area",
+    include_env_memory: bool = True,
+) -> GreedyResult:
+    """Greedy level-packing with a fixed design-point policy.
+
+    Tasks are visited in topological order; each is placed in the current
+    partition when (a) its chosen design point fits the remaining area and
+    (b) placing it does not exceed the memory budget at the partition's
+    boundary; otherwise a new partition opens.  Because placement follows
+    a topological order, the temporal-order constraint holds by
+    construction.
+
+    Memory feasibility is re-audited on the finished design (boundary
+    occupancies depend on later placements too); ``memory_feasible``
+    reports the outcome.  Callers needing hard feasibility should fall
+    back to the ILP partitioner.
+    """
+    if policy not in POLICIES:
+        raise ValueError(
+            f"unknown policy {policy!r}; expected one of {sorted(POLICIES)}"
+        )
+    select = POLICIES[policy]
+    placements: dict[str, Placement] = {}
+    current = 1
+    area_used = 0.0
+    for name in graph.topological_order():
+        task = graph.task(name)
+        point = select(task)
+        if point.area > processor.resource_capacity:
+            # Fall back to the smallest implementation for oversized picks.
+            point = _min_area(task)
+        if area_used + point.area > processor.resource_capacity:
+            current += 1
+            area_used = 0.0
+        placements[name] = Placement(current, point)
+        area_used += point.area
+
+    design = PartitionedDesign(graph, placements)
+    violations = design.audit(processor, include_env_memory)
+    memory_ok = not any(v.kind == "memory" for v in violations)
+    return GreedyResult(design=design, policy=policy, memory_feasible=memory_ok)
+
+
+def heuristic_partition_count(
+    graph: TaskGraph,
+    processor: ReconfigurableProcessor,
+    policy: str,
+) -> int:
+    """Partitions the greedy needs under ``policy`` (``N'``/``N''``)."""
+    return greedy_partition(graph, processor, policy).design.num_partitions_used
+
+
+def estimate_alpha_gamma(
+    graph: TaskGraph, processor: ReconfigurableProcessor
+) -> tuple[int, int]:
+    """The paper's heuristic seeding of the relaxation parameters.
+
+    ``alpha = max(0, N' - N_min^l)`` with ``N'`` from min-area packing;
+    ``gamma = max(0, N'' - N_min^u)`` with ``N''`` from max-area packing.
+    """
+    from repro.core import bounds  # local import to avoid a cycle
+
+    n_prime = heuristic_partition_count(graph, processor, "min_area")
+    n_double_prime = heuristic_partition_count(graph, processor, "max_area")
+    lower = bounds.min_area_partitions(graph, processor.resource_capacity)
+    upper = bounds.max_area_partitions(graph, processor.resource_capacity)
+    return max(0, n_prime - lower), max(0, n_double_prime - upper)

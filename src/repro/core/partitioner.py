@@ -1,0 +1,132 @@
+"""The public facade: :class:`TemporalPartitioner`.
+
+Wraps validation, bounds, the combined ILP formulation and the two-level
+iterative search behind one call::
+
+    from repro import TemporalPartitioner, PartitionerConfig
+    from repro.arch import time_multiplexed
+    from repro.taskgraph import dct_4x4
+
+    partitioner = TemporalPartitioner(time_multiplexed(resource_capacity=576))
+    outcome = partitioner.partition(dct_4x4())
+    print(outcome.design.summary(partitioner.processor))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.processor import ReconfigurableProcessor
+from repro.core import bounds
+from repro.core.formulation import FormulationOptions
+from repro.core.reduce_latency import SolverSettings
+from repro.core.refine_partitions import (
+    RefinementConfig,
+    RefinementResult,
+    refine_partitions_bound,
+)
+from repro.core.solution import PartitionedDesign
+from repro.core.trace import SearchTrace
+from repro.taskgraph.graph import TaskGraph
+from repro.taskgraph.validate import validate_graph
+
+__all__ = ["PartitionerConfig", "PartitioningOutcome", "TemporalPartitioner"]
+
+
+@dataclass(frozen=True)
+class PartitionerConfig:
+    """All user-facing parameters in one object.
+
+    ``search`` carries the paper's algorithm parameters (``alpha``,
+    ``gamma``, ``delta``, time budget); ``formulation`` the ILP modeling
+    choices; ``solver`` the backend selection and per-solve budgets.
+    """
+
+    search: RefinementConfig = field(default_factory=RefinementConfig)
+    formulation: FormulationOptions = field(
+        default_factory=FormulationOptions
+    )
+    solver: SolverSettings = field(default_factory=SolverSettings)
+    validate: bool = True
+
+
+@dataclass
+class PartitioningOutcome:
+    """Everything a caller may want to know about one partitioning run."""
+
+    design: PartitionedDesign | None
+    total_latency: float | None       # incl. reconfiguration overhead
+    trace: SearchTrace
+    partition_range: bounds.PartitionRange
+    delta: float
+    stopped_by_min_latency_cut: bool
+    stopped_by_time: bool
+
+    @property
+    def feasible(self) -> bool:
+        return self.design is not None
+
+    @property
+    def num_partitions(self) -> int | None:
+        return None if self.design is None else self.design.num_partitions_used
+
+    @property
+    def execution_latency(self) -> float | None:
+        return None if self.design is None else self.design.execution_latency()
+
+
+class TemporalPartitioner:
+    """Combined temporal partitioning and design space exploration."""
+
+    def __init__(
+        self,
+        processor: ReconfigurableProcessor,
+        config: PartitionerConfig | None = None,
+    ) -> None:
+        self.processor = processor
+        self.config = config or PartitionerConfig()
+
+    def partition(self, graph: TaskGraph) -> PartitioningOutcome:
+        """Partition ``graph`` for this processor.
+
+        Raises
+        ------
+        repro.taskgraph.GraphValidationError
+            When the graph is structurally unusable (cycles, or a task
+            whose smallest design point exceeds the device capacity).
+        """
+        if self.config.validate:
+            report = validate_graph(
+                graph, resource_capacity=self.processor.resource_capacity
+            )
+            report.raise_if_failed()
+        result: RefinementResult = refine_partitions_bound(
+            graph,
+            self.processor,
+            config=self.config.search,
+            options=self.config.formulation,
+            settings=self.config.solver,
+        )
+        prange = bounds.partition_range(
+            graph,
+            self.processor,
+            alpha=self.config.search.alpha,
+            gamma=self.config.search.gamma,
+        )
+        return PartitioningOutcome(
+            design=result.design,
+            total_latency=result.achieved,
+            trace=result.trace,
+            partition_range=prange,
+            delta=result.delta,
+            stopped_by_min_latency_cut=result.stopped_by_min_latency_cut,
+            stopped_by_time=result.stopped_by_time,
+        )
+
+    def bounds_for(self, graph: TaskGraph, num_partitions: int) -> tuple[float, float]:
+        """(D_max, D_min) for ``num_partitions`` — convenience accessor."""
+        c_t = self.processor.reconfiguration_time
+        return (
+            bounds.max_latency(graph, num_partitions, c_t),
+            bounds.min_latency(graph, num_partitions, c_t),
+        )

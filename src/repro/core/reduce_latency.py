@@ -1,0 +1,220 @@
+"""Algorithm ``Reduce_Latency`` — latency refinement by binary subdivision.
+
+This is Figure 1 of the paper.  For a fixed partition bound ``N`` and a
+latency window ``[D_min, D_max]`` it repeatedly
+
+1. asks the ILP for *any* constraint-satisfying solution in the window,
+2. on success, pulls the upper bound down to the achieved latency and
+   bisects the remaining window,
+3. on failure, pushes the lower bound up to the tried upper bound,
+
+until the window is narrower than the *latency tolerance* ``delta`` or
+the incumbent sits within ``delta`` of the lower bound.  The tolerance
+trades solution quality against run time: the paper's Tables 5 vs 7 (and
+6 vs 8) show ``delta = 100`` finding better solutions than
+``delta = 800`` at the cost of more iterations — our ablation benchmark
+reproduces that trade-off.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+
+from repro.arch.processor import ReconfigurableProcessor
+from repro.core.formulation import (
+    FormulationOptions,
+    build_model,
+    lp_latency_lower_bound,
+)
+from repro.core.solution import PartitionedDesign
+from repro.core.trace import IterationRecord, SearchTrace
+from repro.ilp import SolveStatus
+from repro.taskgraph.graph import TaskGraph
+
+__all__ = ["SolverSettings", "ReduceLatencyResult", "reduce_latency"]
+
+
+@dataclass(frozen=True)
+class SolverSettings:
+    """How each ``SolveModel()`` call is executed.
+
+    Attributes
+    ----------
+    backend:
+        ILP backend name (``"highs"`` or ``"bnb"``).
+    time_limit:
+        Per-solve wall-clock budget.  A solve that exhausts it without an
+        incumbent is treated as infeasible by the search — the same
+        pragmatic convention the paper applies to CPLEX runs.
+    use_lp_bound:
+        Tighten ``D_min`` with the LP-relaxation latency bound
+        (:func:`repro.core.formulation.lp_latency_lower_bound`) before the
+        bisection starts.  Windows below the LP bound are provably empty,
+        so this removes most time-limited infeasibility probes.  An
+        extension over the paper; disable to reproduce the paper's exact
+        bound bookkeeping (Ablation E compares both).
+    guide_with_objective:
+        Attach the latency objective even in constraint-satisfaction mode
+        so the MILP heuristics aim low; the first incumbent is still
+        accepted as-is (the paper's semantics).
+    """
+
+    backend: str = "highs"
+    time_limit: float | None = 60.0
+    node_limit: int | None = None
+    use_lp_bound: bool = True
+    guide_with_objective: bool = True
+    extra: dict = field(default_factory=dict)
+
+
+@dataclass
+class ReduceLatencyResult:
+    """Outcome of one :func:`reduce_latency` run (one partition bound)."""
+
+    num_partitions: int
+    design: PartitionedDesign | None
+    achieved: float | None           # total latency incl. reconfiguration
+    trace: SearchTrace
+
+    @property
+    def feasible(self) -> bool:
+        return self.design is not None
+
+
+def _solve_window(
+    graph: TaskGraph,
+    processor: ReconfigurableProcessor,
+    num_partitions: int,
+    d_max: float,
+    d_min: float,
+    options: FormulationOptions,
+    settings: SolverSettings,
+) -> tuple[PartitionedDesign | None, float, int]:
+    """FormModel + SolveModel: one constraint-satisfaction ILP call.
+
+    Returns ``(design, wall_time, solver_iterations)``; ``design`` is
+    ``None`` on infeasibility (or when the solver ran out of budget
+    without an incumbent, which the iterative procedure must treat the
+    same way the paper treats CPLEX giving up).
+    """
+    start = time.perf_counter()
+    if settings.guide_with_objective and not options.minimize_latency:
+        options = replace(options, minimize_latency=True)
+    tp_model = build_model(
+        graph, processor, num_partitions, d_max, d_min, options
+    )
+    solution = tp_model.solve(
+        backend=settings.backend,
+        first_feasible=True,
+        time_limit=settings.time_limit,
+        node_limit=settings.node_limit,
+        **settings.extra,
+    )
+    elapsed = time.perf_counter() - start
+    if not solution.status.has_solution:
+        return None, elapsed, solution.iterations
+    design = tp_model.design_from(solution)
+    return design, elapsed, solution.iterations
+
+
+def reduce_latency(
+    graph: TaskGraph,
+    processor: ReconfigurableProcessor,
+    num_partitions: int,
+    d_max: float,
+    d_min: float,
+    delta: float,
+    options: FormulationOptions | None = None,
+    settings: SolverSettings | None = None,
+    deadline: float | None = None,
+) -> ReduceLatencyResult:
+    """Run Algorithm ``Reduce_Latency(N, D_max, D_min)`` (Figure 1).
+
+    Parameters
+    ----------
+    num_partitions:
+        The partition bound ``N``.
+    d_max, d_min:
+        Latency window *including* the ``N * C_T`` overhead, as produced
+        by :func:`repro.core.bounds.max_latency` / ``min_latency`` or by
+        the outer partition-space search.
+    delta:
+        Latency tolerance: the unexplored window the caller accepts.
+    deadline:
+        Absolute ``time.perf_counter()`` stamp after which no further ILP
+        is started (the paper's ``TimeExpired()``).
+    """
+    if delta <= 0:
+        raise ValueError("latency tolerance delta must be positive")
+    options = options or FormulationOptions()
+    settings = settings or SolverSettings()
+    trace = SearchTrace()
+    iteration = 1
+
+    if settings.use_lp_bound:
+        # Extension: windows below the LP-relaxation latency bound are
+        # provably empty; raising D_min to the bound keeps every bisection
+        # trial in the region where solutions may exist.
+        lp_bound = lp_latency_lower_bound(
+            graph, processor, num_partitions, options
+        )
+        if lp_bound > d_max:
+            trace.add(
+                IterationRecord(
+                    num_partitions=num_partitions,
+                    iteration=iteration,
+                    d_max=d_max,
+                    d_min=d_min,
+                    achieved=None,
+                )
+            )
+            return ReduceLatencyResult(num_partitions, None, None, trace)
+        d_min = max(d_min, lp_bound)
+
+    def record(window_max, window_min, achieved, wall, iters) -> None:
+        nonlocal iteration
+        trace.add(
+            IterationRecord(
+                num_partitions=num_partitions,
+                iteration=iteration,
+                d_max=window_max,
+                d_min=window_min,
+                achieved=achieved,
+                wall_time=wall,
+                solver_iterations=iters,
+            )
+        )
+        iteration += 1
+
+    # First call on the full window.
+    design, wall, iters = _solve_window(
+        graph, processor, num_partitions, d_max, d_min, options, settings
+    )
+    if design is None:
+        record(d_max, d_min, None, wall, iters)
+        return ReduceLatencyResult(num_partitions, None, None, trace)
+    achieved = design.total_latency(processor)
+    record(d_max, d_min, achieved, wall, iters)
+    best = design
+
+    while (d_max - d_min >= delta) and (achieved - d_min >= delta):
+        if deadline is not None and time.perf_counter() > deadline:
+            break
+        # Bisect, then keep halving until the trial bound undercuts the
+        # incumbent — otherwise the solve could return the same solution.
+        trial = (d_max + d_min) / 2.0
+        while trial >= achieved:
+            trial = (trial + d_min) / 2.0
+        candidate, wall, iters = _solve_window(
+            graph, processor, num_partitions, trial, d_min, options, settings
+        )
+        if candidate is None:
+            record(trial, d_min, None, wall, iters)
+            d_min = trial
+        else:
+            achieved = candidate.total_latency(processor)
+            record(trial, d_min, achieved, wall, iters)
+            best = candidate
+            d_max = achieved
+    return ReduceLatencyResult(num_partitions, best, achieved, trace)

@@ -1,0 +1,200 @@
+"""Algorithm ``Refine_Partitions_Bound`` — partition-space exploration.
+
+This is Figure 2 of the paper: the outer loop around
+:func:`repro.core.reduce_latency.reduce_latency`.
+
+1. Start at ``N = N_min^l + alpha`` partitions.  While the partition bound
+   is infeasible, increase ``N`` by one (the paper's Table 4 shows exactly
+   this: 8 partitions infeasible, 9 succeeds).
+2. Once a solution exists with latency ``D_a``, relax ``N`` one step at a
+   time up to ``N_min^u + gamma``.  Each relaxation first checks the cheap
+   cut ``MinLatency(N) >= D_a``: if even the critical path on the fastest
+   design points (plus the now-larger reconfiguration overhead) cannot
+   beat the incumbent, the search stops — with a large ``C_T`` this fires
+   immediately, which is why the paper's large-overhead experiments never
+   relax ``N``.
+3. Otherwise re-run the latency refinement with the incumbent as the new
+   upper bound, keeping the better result.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.arch.processor import ReconfigurableProcessor
+from repro.core import bounds
+from repro.core.formulation import FormulationOptions
+from repro.core.reduce_latency import (
+    ReduceLatencyResult,
+    SolverSettings,
+    reduce_latency,
+)
+from repro.core.solution import PartitionedDesign
+from repro.core.trace import SearchTrace
+from repro.taskgraph.graph import TaskGraph
+
+__all__ = ["RefinementConfig", "RefinementResult", "refine_partitions_bound"]
+
+
+@dataclass(frozen=True)
+class RefinementConfig:
+    """User parameters of the partition-space search (paper, Section 3.2.2).
+
+    Attributes
+    ----------
+    alpha:
+        *Starting Partition Relaxation* — offset above ``N_min^l`` where
+        the search begins.
+    gamma:
+        *Ending Partition Relaxation* — how far past ``N_min^u`` to keep
+        relaxing once solutions exist.
+    delta:
+        Latency tolerance handed to ``Reduce_Latency``.  When ``None``,
+        ``delta_fraction * MaxLatency(N_start)`` is used, following the
+        paper's advice to set the tolerance to a small percentage of the
+        worst-case latency.
+    delta_fraction:
+        See ``delta``.
+    time_budget:
+        Overall wall-clock budget in seconds (the paper's
+        ``TimeExpired()`` guard); ``None`` disables it.
+    infeasible_escalation_limit:
+        Safety net: how many consecutive infeasible partition bounds to
+        try past the explored range before giving up (the paper's loop
+        has no textual bound; a graph whose smallest design points cannot
+        fit the device would loop forever without this).
+    """
+
+    alpha: int = 0
+    gamma: int = 0
+    delta: float | None = None
+    delta_fraction: float = 0.02
+    time_budget: float | None = None
+    infeasible_escalation_limit: int = 64
+
+    def resolve_delta(self, d_max_at_start: float) -> float:
+        if self.delta is not None:
+            if self.delta <= 0:
+                raise ValueError("delta must be positive")
+            return self.delta
+        return max(self.delta_fraction * d_max_at_start, 1e-9)
+
+
+@dataclass
+class RefinementResult:
+    """Outcome of the full combined search."""
+
+    design: PartitionedDesign | None
+    achieved: float | None            # total latency incl. reconfiguration
+    trace: SearchTrace                # all iterations, all partition bounds
+    explored_partitions: tuple[int, ...]
+    delta: float
+    stopped_by_min_latency_cut: bool = False
+    stopped_by_time: bool = False
+
+    @property
+    def feasible(self) -> bool:
+        return self.design is not None
+
+
+def refine_partitions_bound(
+    graph: TaskGraph,
+    processor: ReconfigurableProcessor,
+    config: RefinementConfig | None = None,
+    options: FormulationOptions | None = None,
+    settings: SolverSettings | None = None,
+) -> RefinementResult:
+    """Run Algorithm ``Refine_Partitions_Bound`` (Figure 2)."""
+    config = config or RefinementConfig()
+    options = options or FormulationOptions()
+    settings = settings or SolverSettings()
+    deadline = (
+        time.perf_counter() + config.time_budget
+        if config.time_budget is not None
+        else None
+    )
+
+    def time_expired() -> bool:
+        return deadline is not None and time.perf_counter() > deadline
+
+    c_t = processor.reconfiguration_time
+    prange = bounds.partition_range(
+        graph, processor, alpha=config.alpha, gamma=config.gamma
+    )
+    n = prange.start
+    delta = config.resolve_delta(bounds.max_latency(graph, n, c_t))
+
+    trace = SearchTrace()
+    explored: list[int] = []
+
+    def run_reduce(num_partitions, d_max, d_min) -> ReduceLatencyResult:
+        result = reduce_latency(
+            graph,
+            processor,
+            num_partitions,
+            d_max,
+            d_min,
+            delta,
+            options=options,
+            settings=settings,
+            deadline=deadline,
+        )
+        trace.extend(result.trace)
+        explored.append(num_partitions)
+        return result
+
+    # Phase 1: find the first feasible partition bound.
+    result = run_reduce(
+        n, bounds.max_latency(graph, n, c_t), bounds.min_latency(graph, n, c_t)
+    )
+    escalations = 0
+    while not result.feasible:
+        if time_expired():
+            return RefinementResult(
+                None, None, trace, tuple(explored), delta,
+                stopped_by_time=True,
+            )
+        escalations += 1
+        if escalations > config.infeasible_escalation_limit:
+            return RefinementResult(
+                None, None, trace, tuple(explored), delta
+            )
+        n += 1
+        result = run_reduce(
+            n,
+            bounds.max_latency(graph, n, c_t),
+            bounds.min_latency(graph, n, c_t),
+        )
+
+    best_design = result.design
+    best_latency = result.achieved
+    stopped_by_cut = False
+    stopped_by_time = False
+
+    # Phase 2: relax N while better solutions remain possible.
+    while n < prange.stop:
+        if time_expired():
+            stopped_by_time = True
+            break
+        n += 1
+        d_min = bounds.min_latency(graph, n, c_t)
+        if d_min >= best_latency:
+            # Even the fastest possible schedule at N partitions loses to
+            # the incumbent: no relaxation can help (large-C_T early exit).
+            stopped_by_cut = True
+            break
+        result = run_reduce(n, best_latency, d_min)
+        if result.feasible and result.achieved < best_latency:
+            best_design = result.design
+            best_latency = result.achieved
+
+    return RefinementResult(
+        design=best_design,
+        achieved=best_latency,
+        trace=trace,
+        explored_partitions=tuple(explored),
+        delta=delta,
+        stopped_by_min_latency_cut=stopped_by_cut,
+        stopped_by_time=stopped_by_time,
+    )

@@ -1,0 +1,133 @@
+"""Iteration traces of the search procedures.
+
+The paper reports its results as tables whose *rows are iterations*: each
+row shows the partition bound ``N``, the iteration number ``I``, the
+latency window ``[D_min, D_max]`` given to the ILP, and either the
+achieved latency ``D_a`` or "Inf." (infeasible).  This module captures
+exactly that, so the experiment harness can print paper-shaped tables
+directly from a search run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+__all__ = ["IterationRecord", "SearchTrace"]
+
+
+@dataclass(frozen=True)
+class IterationRecord:
+    """One ILP solve inside the iterative search (a table row).
+
+    ``d_max``/``d_min`` are the window handed to the solver **including**
+    the reconfiguration overhead; ``achieved`` is the true latency of the
+    decoded design (``None`` when the solve was infeasible).
+    """
+
+    num_partitions: int
+    iteration: int
+    d_max: float
+    d_min: float
+    achieved: float | None
+    wall_time: float = 0.0
+    solver_iterations: int = 0
+
+    @property
+    def feasible(self) -> bool:
+        return self.achieved is not None
+
+    def row(self, reconfiguration_time: float = 0.0) -> tuple:
+        """(N, I, D_min, D_max, D_a) with the overhead ``N*C_T`` removed.
+
+        The paper's tables print bounds "without N x C_T"; passing the
+        processor's ``C_T`` reproduces that convention.
+        """
+        overhead = self.num_partitions * reconfiguration_time
+        achieved = (
+            None if self.achieved is None else self.achieved - overhead
+        )
+        return (
+            self.num_partitions,
+            self.iteration,
+            self.d_min - overhead,
+            self.d_max - overhead,
+            achieved,
+        )
+
+
+@dataclass
+class SearchTrace:
+    """Ordered list of iteration records across the whole search."""
+
+    records: list[IterationRecord] = field(default_factory=list)
+
+    def add(self, record: IterationRecord) -> None:
+        self.records.append(record)
+
+    def extend(self, records: Iterable[IterationRecord]) -> None:
+        self.records.extend(records)
+
+    def __iter__(self) -> Iterator[IterationRecord]:
+        return iter(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    @property
+    def total_solves(self) -> int:
+        return len(self.records)
+
+    @property
+    def total_wall_time(self) -> float:
+        return sum(r.wall_time for r in self.records)
+
+    def for_partitions(self, num_partitions: int) -> list[IterationRecord]:
+        return [
+            r for r in self.records if r.num_partitions == num_partitions
+        ]
+
+    def partition_counts(self) -> tuple[int, ...]:
+        seen: list[int] = []
+        for record in self.records:
+            if record.num_partitions not in seen:
+                seen.append(record.num_partitions)
+        return tuple(seen)
+
+    def best(self) -> IterationRecord | None:
+        feasible = [r for r in self.records if r.feasible]
+        if not feasible:
+            return None
+        return min(feasible, key=lambda r: r.achieved)
+
+    def convergence_chart(self, width: int = 60) -> str:
+        """ASCII view of the bisection: window per iteration, incumbent.
+
+        One line per record: ``-`` spans the latency window handed to the
+        solver, ``*`` marks the achieved latency (``x`` for infeasible
+        probes at the window's upper end).  Useful for eyeballing how the
+        search narrows — the textual analogue of a convergence plot.
+        """
+        if not self.records:
+            return "(empty trace)"
+        low = min(r.d_min for r in self.records)
+        high = max(r.d_max for r in self.records)
+        span = max(high - low, 1e-12)
+
+        def column(value: float) -> int:
+            position = int((value - low) / span * (width - 1))
+            return min(max(position, 0), width - 1)
+
+        lines = []
+        for record in self.records:
+            cells = [" "] * width
+            start, end = column(record.d_min), column(record.d_max)
+            for i in range(start, end + 1):
+                cells[i] = "-"
+            if record.feasible:
+                cells[column(record.achieved)] = "*"
+            else:
+                cells[end] = "x"
+            label = f"N={record.num_partitions:<3}I={record.iteration:<3}"
+            lines.append(f"{label}|{''.join(cells)}|")
+        return "\n".join(lines)

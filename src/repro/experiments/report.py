@@ -1,0 +1,11 @@
+"""Compatibility shim: the table renderer lives in :mod:`repro.report`.
+
+Kept so experiment code (and downstream users) can keep importing
+``repro.experiments.report``; the implementation moved up a level so that
+core modules can render tables without importing the experiments package
+(which imports core — a cycle).
+"""
+
+from repro.report import TextTable, format_value
+
+__all__ = ["TextTable", "format_value"]

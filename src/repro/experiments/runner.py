@@ -1,0 +1,138 @@
+"""Experiment definitions and execution.
+
+Each of the paper's DCT experiments (Tables 3-8) is one run of the
+combined search with a specific ``(R_max, C_T, delta, alpha, gamma)``
+tuple.  :class:`DctExperiment` captures that tuple; :func:`run_experiment`
+executes it and packages the iteration trace in table-ready form.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.arch.processor import ReconfigurableProcessor
+from repro.core import (
+    FormulationOptions,
+    RefinementConfig,
+    SolverSettings,
+    refine_partitions_bound,
+)
+from repro.core.refine_partitions import RefinementResult
+from repro.experiments.report import TextTable
+from repro.taskgraph.graph import TaskGraph
+
+__all__ = ["DctExperiment", "ExperimentResult", "run_experiment"]
+
+#: Small reconfiguration overhead (time-multiplexed FPGA regime), ns.
+SMALL_CT = 30.0
+#: Large reconfiguration overhead (WILDFORCE regime): 10 ms in ns.
+LARGE_CT = 10e6
+
+
+@dataclass(frozen=True)
+class DctExperiment:
+    """Parameters of one paper experiment."""
+
+    table: str                       # e.g. "Table 3"
+    resource_capacity: float
+    reconfiguration_time: float
+    delta: float
+    alpha: int = 0
+    gamma: int = 1
+    memory_capacity: float = 2048.0
+    solver: SolverSettings = field(default_factory=SolverSettings)
+    time_budget: float | None = 600.0
+
+    def processor(self) -> ReconfigurableProcessor:
+        return ReconfigurableProcessor(
+            resource_capacity=self.resource_capacity,
+            memory_capacity=self.memory_capacity,
+            reconfiguration_time=self.reconfiguration_time,
+            name=f"R{self.resource_capacity:g}_CT{self.reconfiguration_time:g}",
+        )
+
+    def config(self) -> RefinementConfig:
+        return RefinementConfig(
+            alpha=self.alpha,
+            gamma=self.gamma,
+            delta=self.delta,
+            time_budget=self.time_budget,
+        )
+
+
+@dataclass
+class ExperimentResult:
+    """Search outcome plus table-ready presentation."""
+
+    experiment: DctExperiment
+    result: RefinementResult
+    wall_time: float
+
+    @property
+    def best_latency(self) -> float | None:
+        return self.result.achieved
+
+    @property
+    def best_partitions(self) -> int | None:
+        if self.result.design is None:
+            return None
+        return self.result.design.num_partitions_used
+
+    @property
+    def iterations(self) -> int:
+        return len(self.result.trace)
+
+    def table(self, include_overhead: bool = False) -> TextTable:
+        """The paper-shaped iteration table.
+
+        By default latency columns exclude the ``N * C_T`` overhead
+        ("Bound (without N x C_T)") exactly as the paper prints them.
+        """
+        c_t = (
+            0.0
+            if include_overhead
+            else self.experiment.reconfiguration_time
+        )
+        exp = self.experiment
+        table = TextTable(
+            title=(
+                f"{exp.table}: DCT, R_max={exp.resource_capacity:g}, "
+                f"C_T={exp.reconfiguration_time:g} ns, "
+                f"delta={exp.delta:g}, alpha={exp.alpha}, gamma={exp.gamma}"
+            ),
+            columns=("N", "I", "D_min (ns)", "D_max (ns)", "D_a (ns)"),
+        )
+        for record in self.result.trace:
+            n, i, d_min, d_max, achieved = record.row(c_t)
+            table.add_row(n, i, round(d_min, 1), round(d_max, 1), achieved)
+        best = self.best_latency
+        note = "infeasible" if best is None else (
+            f"best D_a = {best:,.0f} ns at N = {self.best_partitions} "
+            f"({self.iterations} ILP solves, {self.wall_time:.1f}s)"
+        )
+        if self.result.stopped_by_min_latency_cut:
+            note += "; stopped early: MinLatency(N) >= D_a"
+        table.footer = note
+        return table
+
+
+def run_experiment(
+    experiment: DctExperiment,
+    graph: TaskGraph,
+    options: FormulationOptions | None = None,
+) -> ExperimentResult:
+    """Execute one experiment on ``graph`` and collect its trace."""
+    start = time.perf_counter()
+    result = refine_partitions_bound(
+        graph,
+        experiment.processor(),
+        config=experiment.config(),
+        options=options,
+        settings=experiment.solver,
+    )
+    return ExperimentResult(
+        experiment=experiment,
+        result=result,
+        wall_time=time.perf_counter() - start,
+    )

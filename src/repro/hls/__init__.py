@@ -1,0 +1,54 @@
+"""High-level-synthesis estimation: DFGs -> design points.
+
+Stand-in for the paper's in-house estimation tool.  Pipeline:
+
+``Dfg`` (operations with bit-widths)
+-> :func:`enumerate_allocations` (module sets)
+-> :func:`list_schedule` (latency per allocation)
+-> :func:`estimate_design_points` (area model + Pareto pruning)
+-> ``tuple[DesignPoint, ...]`` consumed by :mod:`repro.taskgraph`.
+"""
+
+from repro.hls.allocation import Allocation, enumerate_allocations
+from repro.hls.dfg import (
+    Dfg,
+    Operation,
+    filter_section_dfg,
+    fir_dfg,
+    vector_product_dfg,
+)
+from repro.hls.estimator import (
+    EstimatorConfig,
+    estimate_design_points,
+    estimate_task,
+)
+from repro.hls.modules import FuLibrary, FuType, default_library
+from repro.hls.pareto import prune_design_space, subsample_front
+from repro.hls.scheduling import (
+    Schedule,
+    alap_times,
+    asap_times,
+    list_schedule,
+)
+
+__all__ = [
+    "Allocation",
+    "Dfg",
+    "EstimatorConfig",
+    "FuLibrary",
+    "FuType",
+    "Operation",
+    "Schedule",
+    "alap_times",
+    "asap_times",
+    "default_library",
+    "enumerate_allocations",
+    "estimate_design_points",
+    "estimate_task",
+    "filter_section_dfg",
+    "fir_dfg",
+    "list_schedule",
+    "prune_design_space",
+    "subsample_front",
+    "vector_product_dfg",
+]

@@ -1,0 +1,76 @@
+"""Module-set (allocation) enumeration.
+
+A *module set* fixes, for every operation kind of a task's DFG, which
+functional-unit type implements it and how many instances exist.  The
+estimator turns each allocation into one design point by scheduling the
+DFG on it.  The enumeration is the raw design space; Pareto pruning
+happens afterwards in :mod:`repro.hls.estimator`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.hls.dfg import Dfg
+from repro.hls.modules import FuLibrary, FuType
+
+__all__ = ["Allocation", "enumerate_allocations"]
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """One allocation: per operation kind, (unit type, instance count)."""
+
+    assignments: tuple[tuple[str, str, int], ...]   # (kind, unit name, count)
+
+    def instances(self) -> dict[str, int]:
+        """Instance count per unit name (merging kinds sharing a unit)."""
+        merged: dict[str, int] = {}
+        for _kind, unit, count in self.assignments:
+            merged[unit] = max(merged.get(unit, 0), count)
+        return merged
+
+    def unit_for(self, kind: str) -> tuple[str, int]:
+        for assigned_kind, unit, count in self.assignments:
+            if assigned_kind == kind:
+                return unit, count
+        raise KeyError(kind)
+
+
+def enumerate_allocations(
+    dfg: Dfg,
+    library: FuLibrary,
+    max_instances_per_kind: int = 4,
+    limit: int = 512,
+) -> list[Allocation]:
+    """All allocations covering the DFG's kinds, capped at ``limit``.
+
+    For each operation kind the choices are every capable unit type at
+    every instance count from 1 to ``min(#ops of the kind,
+    max_instances_per_kind)``.  The cartesian product across kinds is
+    truncated (breadth-first over instance counts, so small allocations
+    survive truncation) when it exceeds ``limit``.
+    """
+    kinds = dfg.kinds()
+    if not kinds:
+        return []
+    per_kind: list[list[tuple[str, str, int]]] = []
+    for kind, op_count in sorted(kinds.items()):
+        cap = max(1, min(op_count, max_instances_per_kind))
+        choices = [
+            (kind, unit.name, count)
+            for count in range(1, cap + 1)
+            for unit in library.units_for(kind)
+        ]
+        per_kind.append(choices)
+
+    # Sort the product by total instance count so truncation keeps the
+    # cheap end of the space (the paper prunes the same way: candidate
+    # points, smallest first).
+    product = itertools.product(*per_kind)
+    scored = sorted(
+        product, key=lambda combo: (sum(c for _k, _u, c in combo), combo)
+    )
+    allocations = [Allocation(tuple(combo)) for combo in scored[:limit]]
+    return allocations

@@ -1,0 +1,186 @@
+"""Operation-level data-flow graphs — the input of the HLS estimator.
+
+The paper's tasks are "sets of operations" synthesized by an in-house
+high-level-synthesis estimation tool; a task's design points come from
+synthesizing its operations under different functional-unit allocations.
+This module provides the operation-level representation plus builders for
+the operation patterns the paper's benchmarks use (vector products for
+the DCT, filter sections for the AR filter).
+
+Operations carry bit-widths because the paper's tasks "differ in their
+bit-widths" — the functional-unit area/delay models in
+:mod:`repro.hls.modules` scale with them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+__all__ = [
+    "Operation",
+    "Dfg",
+    "vector_product_dfg",
+    "filter_section_dfg",
+    "fir_dfg",
+]
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One operation: a kind (``"mul"``, ``"add"``, ...) and a bit-width."""
+
+    name: str
+    kind: str
+    bitwidth: int
+
+    def __post_init__(self) -> None:
+        if self.bitwidth < 1:
+            raise ValueError(f"operation {self.name!r}: bad bit-width")
+
+
+class Dfg:
+    """A DAG of operations with value dependencies."""
+
+    def __init__(self, name: str = "dfg") -> None:
+        self.name = name
+        self._ops: dict[str, Operation] = {}
+        self._preds: dict[str, list[str]] = {}
+        self._succs: dict[str, list[str]] = {}
+
+    def add_op(
+        self,
+        name: str,
+        kind: str,
+        bitwidth: int,
+        depends_on: Iterable[str] = (),
+    ) -> Operation:
+        if name in self._ops:
+            raise ValueError(f"duplicate operation {name!r}")
+        op = Operation(name, kind, bitwidth)
+        self._ops[name] = op
+        self._preds[name] = []
+        self._succs[name] = []
+        for dep in depends_on:
+            if dep not in self._ops:
+                raise ValueError(
+                    f"operation {name!r} depends on unknown {dep!r}"
+                )
+            self._preds[name].append(dep)
+            self._succs[dep].append(name)
+        return op
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def __iter__(self) -> Iterator[Operation]:
+        return iter(self._ops.values())
+
+    def operation(self, name: str) -> Operation:
+        return self._ops[name]
+
+    def predecessors(self, name: str) -> tuple[str, ...]:
+        return tuple(self._preds[name])
+
+    def successors(self, name: str) -> tuple[str, ...]:
+        return tuple(self._succs[name])
+
+    def kinds(self) -> dict[str, int]:
+        """Histogram of operation kinds (drives allocation enumeration)."""
+        counts: dict[str, int] = {}
+        for op in self:
+            counts[op.kind] = counts.get(op.kind, 0) + 1
+        return counts
+
+    def topological_order(self) -> tuple[str, ...]:
+        in_degree = {name: len(self._preds[name]) for name in self._ops}
+        ready = [name for name, deg in in_degree.items() if deg == 0]
+        order: list[str] = []
+        while ready:
+            current = ready.pop(0)
+            order.append(current)
+            for succ in self._succs[current]:
+                in_degree[succ] -= 1
+                if in_degree[succ] == 0:
+                    ready.append(succ)
+        if len(order) != len(self._ops):
+            raise ValueError(f"DFG {self.name!r} contains a cycle")
+        return tuple(order)
+
+    def __repr__(self) -> str:
+        return f"Dfg({self.name!r}, ops={len(self)})"
+
+
+def vector_product_dfg(
+    length: int = 4, data_width: int = 8, accum_width: int = 12
+) -> Dfg:
+    """Dot product of two ``length``-vectors: muls + adder tree.
+
+    This is the DCT task template: each of the paper's 32 DCT tasks is a
+    vector product (Figure 6).
+    """
+    if length < 1:
+        raise ValueError("vector length must be positive")
+    dfg = Dfg(f"vprod{length}_w{data_width}")
+    products = []
+    for i in range(length):
+        products.append(
+            dfg.add_op(f"mul{i}", "mul", data_width).name
+        )
+    frontier = products
+    level = 0
+    while len(frontier) > 1:
+        next_frontier = []
+        for i in range(0, len(frontier) - 1, 2):
+            name = f"add{level}_{i // 2}"
+            dfg.add_op(
+                name, "add", accum_width,
+                depends_on=(frontier[i], frontier[i + 1]),
+            )
+            next_frontier.append(name)
+        if len(frontier) % 2:
+            next_frontier.append(frontier[-1])
+        frontier = next_frontier
+        level += 1
+    return dfg
+
+
+def filter_section_dfg(
+    taps: int = 2, data_width: int = 16, label: str = ""
+) -> Dfg:
+    """A direct-form II-ish filter section: the AR-filter task template.
+
+    ``taps`` multiply-accumulate pairs feeding a final subtract (the
+    feedback combination), mirroring the paper's "Task A" structure.
+    """
+    if taps < 1:
+        raise ValueError("need at least one tap")
+    dfg = Dfg(label or f"section{taps}_w{data_width}")
+    accumulated: str | None = None
+    for i in range(taps):
+        mul = dfg.add_op(f"mul{i}", "mul", data_width).name
+        if accumulated is None:
+            accumulated = mul
+        else:
+            accumulated = dfg.add_op(
+                f"acc{i}", "add", data_width, depends_on=(accumulated, mul)
+            ).name
+    dfg.add_op("fb", "sub", data_width, depends_on=(accumulated,))
+    return dfg
+
+
+def fir_dfg(taps: int = 8, data_width: int = 12) -> Dfg:
+    """A ``taps``-tap FIR filter: chain of multiply-accumulates."""
+    if taps < 1:
+        raise ValueError("need at least one tap")
+    dfg = Dfg(f"fir{taps}_w{data_width}")
+    accumulated: str | None = None
+    for i in range(taps):
+        mul = dfg.add_op(f"mul{i}", "mul", data_width).name
+        if accumulated is None:
+            accumulated = mul
+        else:
+            accumulated = dfg.add_op(
+                f"acc{i}", "add", data_width + 4, depends_on=(accumulated, mul)
+            ).name
+    return dfg

@@ -1,0 +1,117 @@
+"""Design-point estimation: DFG -> set of (area, latency) alternatives.
+
+This is the reproduction's stand-in for the paper's high-level-synthesis
+estimation tool ([17], [18]): it enumerates functional-unit allocations,
+list-schedules the task's DFG on each, adds a register/steering overhead
+to the raw functional-unit area, and Pareto-prunes the outcome into the
+``M_t`` handed to the partitioner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hls.allocation import Allocation, enumerate_allocations
+from repro.hls.dfg import Dfg
+from repro.hls.modules import FuLibrary, default_library
+from repro.hls.pareto import prune_design_space
+from repro.hls.scheduling import list_schedule
+from repro.taskgraph.designpoint import DesignPoint, ModuleSet
+
+__all__ = ["EstimatorConfig", "estimate_design_points", "estimate_task"]
+
+
+@dataclass(frozen=True)
+class EstimatorConfig:
+    """Estimation parameters.
+
+    ``overhead_per_op`` models registers/multiplexing per operation (CLB
+    units); ``max_points`` caps the pruned design-point count per task
+    (the paper's "candidate design points").
+    """
+
+    max_instances_per_kind: int = 4
+    allocation_limit: int = 256
+    overhead_per_op: float = 1.0
+    max_points: int = 6
+
+    def __post_init__(self) -> None:
+        if self.max_points < 1:
+            raise ValueError("need at least one design point")
+
+
+def _area_of(
+    dfg: Dfg,
+    library: FuLibrary,
+    allocation: Allocation,
+    overhead_per_op: float,
+) -> float:
+    """Functional-unit area at the widest bit-width used, plus overhead."""
+    width_of_unit: dict[str, int] = {}
+    for op in dfg:
+        unit_name, _count = allocation.unit_for(op.kind)
+        width_of_unit[unit_name] = max(
+            width_of_unit.get(unit_name, 0), op.bitwidth
+        )
+    area = 0.0
+    for unit_name, count in allocation.instances().items():
+        width = width_of_unit.get(unit_name, 0)
+        if width == 0:
+            continue  # allocated but unused (merged kinds)
+        area += count * library.unit(unit_name).area(width)
+    return area + overhead_per_op * len(dfg)
+
+
+def estimate_design_points(
+    dfg: Dfg,
+    library: FuLibrary | None = None,
+    config: EstimatorConfig | None = None,
+) -> tuple[DesignPoint, ...]:
+    """Synthesize the design-point set for one task DFG.
+
+    Returns a Pareto-pruned, area-sorted tuple of at most
+    ``config.max_points`` points, labeled ``dp1..dpK`` smallest first —
+    the convention the paper's tables follow.
+    """
+    library = library or default_library()
+    config = config or EstimatorConfig()
+    if len(dfg) == 0:
+        raise ValueError("cannot estimate an empty DFG")
+    raw: list[DesignPoint] = []
+    for allocation in enumerate_allocations(
+        dfg,
+        library,
+        max_instances_per_kind=config.max_instances_per_kind,
+        limit=config.allocation_limit,
+    ):
+        schedule = list_schedule(dfg, library, allocation)
+        area = _area_of(dfg, library, allocation, config.overhead_per_op)
+        raw.append(
+            DesignPoint(
+                area=round(area, 1),
+                latency=round(schedule.makespan, 1),
+                module_set=ModuleSet.from_mapping(allocation.instances()),
+            )
+        )
+    pruned = prune_design_space(raw, max_points=config.max_points)
+    return tuple(
+        DesignPoint(p.area, p.latency, p.module_set, f"dp{i + 1}")
+        for i, p in enumerate(pruned)
+    )
+
+
+def estimate_task(
+    graph,
+    name: str,
+    dfg: Dfg,
+    kind: str = "",
+    library: FuLibrary | None = None,
+    config: EstimatorConfig | None = None,
+):
+    """Estimate ``dfg`` and add the resulting task to ``graph``.
+
+    Convenience wrapper for building task graphs straight from behavioral
+    templates (see ``examples/hls_flow.py``).
+    """
+    points = estimate_design_points(dfg, library=library, config=config)
+    return graph.add_task(name, points, kind=kind)

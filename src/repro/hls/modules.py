@@ -1,0 +1,114 @@
+"""Functional-unit library with bit-width-parameterized area/delay models.
+
+Models the estimation substrate behind the paper's design points (their
+tool follows [18]; ours uses standard first-order FPGA cost models):
+
+* a ripple/carry adder grows linearly with bit-width in both area and
+  delay,
+* an array multiplier grows quadratically in area and linearly in delay,
+* CLB-style area units and nanosecond delays keep the numbers in the same
+  regime as the paper's Table 2.
+
+The exact constants are calibration knobs, not truth — what the
+partitioner's search exploits is only the *monotone area/latency
+trade-off* across module sets, which these models guarantee.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+__all__ = ["FuType", "FuLibrary", "default_library"]
+
+
+@dataclass(frozen=True)
+class FuType:
+    """A functional-unit template instantiable at any bit-width.
+
+    ``area_fn``/``delay_fn`` map a bit-width to CLB count and ns delay.
+    """
+
+    name: str
+    kinds: frozenset[str]                 # operation kinds it executes
+    area_fn: Callable[[int], float]
+    delay_fn: Callable[[int], float]
+
+    def area(self, bitwidth: int) -> float:
+        value = self.area_fn(bitwidth)
+        if value <= 0:
+            raise ValueError(f"{self.name}: non-positive area at {bitwidth}b")
+        return value
+
+    def delay(self, bitwidth: int) -> float:
+        value = self.delay_fn(bitwidth)
+        if value <= 0:
+            raise ValueError(f"{self.name}: non-positive delay at {bitwidth}b")
+        return value
+
+    def executes(self, kind: str) -> bool:
+        return kind in self.kinds
+
+
+class FuLibrary:
+    """A collection of functional-unit types, indexed by operation kind."""
+
+    def __init__(self, units: Mapping[str, FuType]) -> None:
+        self._units = dict(units)
+        if not self._units:
+            raise ValueError("functional-unit library cannot be empty")
+
+    def __iter__(self):
+        return iter(self._units.values())
+
+    def unit(self, name: str) -> FuType:
+        return self._units[name]
+
+    def units_for(self, kind: str) -> tuple[FuType, ...]:
+        """All unit types able to execute operation kind ``kind``."""
+        found = tuple(u for u in self._units.values() if u.executes(kind))
+        if not found:
+            raise KeyError(
+                f"no functional unit executes operation kind {kind!r}"
+            )
+        return found
+
+    def cheapest_for(self, kind: str, bitwidth: int) -> FuType:
+        """The smallest-area unit for ``kind`` at ``bitwidth``."""
+        return min(self.units_for(kind), key=lambda u: u.area(bitwidth))
+
+
+def default_library() -> FuLibrary:
+    """The standard library: adder, subtractor, multiplier, ALU.
+
+    The ALU covers add/sub in one (slightly bigger, slightly slower)
+    unit, giving the allocator genuine alternatives.
+    """
+    return FuLibrary(
+        {
+            "add": FuType(
+                name="add",
+                kinds=frozenset({"add"}),
+                area_fn=lambda bw: 2.0 * bw,
+                delay_fn=lambda bw: 1.5 * bw + 6.0,
+            ),
+            "sub": FuType(
+                name="sub",
+                kinds=frozenset({"sub"}),
+                area_fn=lambda bw: 2.0 * bw,
+                delay_fn=lambda bw: 1.5 * bw + 6.0,
+            ),
+            "alu": FuType(
+                name="alu",
+                kinds=frozenset({"add", "sub"}),
+                area_fn=lambda bw: 2.6 * bw,
+                delay_fn=lambda bw: 1.8 * bw + 8.0,
+            ),
+            "mul": FuType(
+                name="mul",
+                kinds=frozenset({"mul"}),
+                area_fn=lambda bw: 0.9 * bw * bw,
+                delay_fn=lambda bw: 4.0 * bw + 12.0,
+            ),
+        }
+    )

@@ -1,0 +1,36 @@
+"""Design-space pruning: Pareto filtering plus curve subsampling.
+
+The paper (Section 2): *"If the number of design alternatives for a task
+are too many, then exploring the large design space can become too
+computationally expensive.  In such cases, 'candidate' design points must
+be obtained by effective design space pruning techniques."*
+
+Two stages:
+
+1. drop dominated points (strict Pareto front) —
+   :func:`repro.taskgraph.designpoint.pareto_filter`,
+2. if the front is still larger than ``max_points``, keep a subsample
+   that covers the area-latency curve evenly with both extremes pinned —
+   :func:`repro.taskgraph.designpoint.subsample_front` (shared with the
+   chain-clustering preprocessor).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.taskgraph.designpoint import (
+    DesignPoint,
+    pareto_filter,
+    subsample_front,
+)
+
+__all__ = ["subsample_front", "prune_design_space"]
+
+
+def prune_design_space(
+    points: Iterable[DesignPoint], max_points: int = 6
+) -> list[DesignPoint]:
+    """Pareto-filter then subsample down to ``max_points`` candidates."""
+    front = pareto_filter(points)
+    return subsample_front(front, max_points)

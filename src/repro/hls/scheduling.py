@@ -1,0 +1,151 @@
+"""Operation scheduling: ASAP, ALAP and resource-constrained list scheduling.
+
+The estimator's latency model: given a DFG and a concrete set of
+functional-unit instances, schedule operations in continuous time —
+an operation starts when all its predecessors have finished *and* an
+instance of its assigned unit type is free; it occupies that instance for
+the unit's delay at the operation's bit-width.
+
+List scheduling priority is the classic ALAP-derived criticality (least
+slack first), which is what the paper-era estimators [18] used.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.hls.allocation import Allocation
+from repro.hls.dfg import Dfg
+from repro.hls.modules import FuLibrary
+
+__all__ = ["Schedule", "asap_times", "alap_times", "list_schedule"]
+
+
+@dataclass
+class Schedule:
+    """A complete schedule: per-op start/finish plus the makespan."""
+
+    start: dict[str, float] = field(default_factory=dict)
+    finish: dict[str, float] = field(default_factory=dict)
+    unit_of: dict[str, tuple[str, int]] = field(default_factory=dict)
+    makespan: float = 0.0
+
+    def is_consistent(self, dfg: Dfg) -> bool:
+        """Every op scheduled after its predecessors (audit helper)."""
+        for op in dfg:
+            for pred in dfg.predecessors(op.name):
+                if self.start[op.name] < self.finish[pred] - 1e-9:
+                    return False
+        return True
+
+
+def _delay_of(dfg: Dfg, library: FuLibrary, allocation: Allocation):
+    """Per-operation delay under the allocation's unit choices."""
+    delays: dict[str, float] = {}
+    for op in dfg:
+        unit_name, _count = allocation.unit_for(op.kind)
+        delays[op.name] = library.unit(unit_name).delay(op.bitwidth)
+    return delays
+
+
+def asap_times(
+    dfg: Dfg, delays: dict[str, float]
+) -> dict[str, float]:
+    """Unconstrained as-soon-as-possible start times."""
+    start: dict[str, float] = {}
+    for name in dfg.topological_order():
+        start[name] = max(
+            (start[p] + delays[p] for p in dfg.predecessors(name)),
+            default=0.0,
+        )
+    return start
+
+
+def alap_times(
+    dfg: Dfg, delays: dict[str, float], horizon: float | None = None
+) -> dict[str, float]:
+    """As-late-as-possible start times against ``horizon``.
+
+    ``horizon`` defaults to the critical-path length (so critical ops get
+    zero slack).
+    """
+    asap = asap_times(dfg, delays)
+    if horizon is None:
+        horizon = max(
+            (asap[op.name] + delays[op.name] for op in dfg), default=0.0
+        )
+    start: dict[str, float] = {}
+    for name in reversed(dfg.topological_order()):
+        succs = dfg.successors(name)
+        latest_finish = min(
+            (start[s] for s in succs), default=horizon
+        )
+        start[name] = latest_finish - delays[name]
+    return start
+
+
+def list_schedule(
+    dfg: Dfg, library: FuLibrary, allocation: Allocation
+) -> Schedule:
+    """Resource-constrained list scheduling in continuous time.
+
+    Ties are broken deterministically (slack, then name), so estimates
+    are reproducible run to run.
+    """
+    delays = _delay_of(dfg, library, allocation)
+    alap = alap_times(dfg, delays)
+
+    # Free time per (unit name, instance index).
+    instances = allocation.instances()
+    free_at: dict[tuple[str, int], float] = {
+        (unit, idx): 0.0
+        for unit, count in instances.items()
+        for idx in range(count)
+    }
+
+    remaining_preds = {
+        op.name: len(dfg.predecessors(op.name)) for op in dfg
+    }
+    data_ready: dict[str, float] = {
+        op.name: 0.0 for op in dfg if remaining_preds[op.name] == 0
+    }
+    # Priority queue of schedulable ops: (slack, name).
+    ready: list[tuple[float, str]] = [
+        (alap[name], name) for name in data_ready
+    ]
+    heapq.heapify(ready)
+
+    schedule = Schedule()
+    scheduled = 0
+    total = len(dfg)
+    while ready:
+        _priority, name = heapq.heappop(ready)
+        op = dfg.operation(name)
+        unit_name, _count = allocation.unit_for(op.kind)
+        # Earliest-free instance of the op's unit type.
+        candidates = [
+            (free_at[key], key)
+            for key in free_at
+            if key[0] == unit_name
+        ]
+        free_time, key = min(candidates)
+        start = max(data_ready[name], free_time)
+        finish = start + delays[name]
+        free_at[key] = finish
+        schedule.start[name] = start
+        schedule.finish[name] = finish
+        schedule.unit_of[name] = key
+        schedule.makespan = max(schedule.makespan, finish)
+        scheduled += 1
+        for succ in dfg.successors(name):
+            remaining_preds[succ] -= 1
+            data_ready[succ] = max(data_ready.get(succ, 0.0), finish)
+            if remaining_preds[succ] == 0:
+                heapq.heappush(ready, (alap[succ], succ))
+    if scheduled != total:
+        raise RuntimeError(
+            f"list scheduling left {total - scheduled} operations "
+            f"unscheduled in {dfg.name!r} (cycle?)"
+        )
+    return schedule

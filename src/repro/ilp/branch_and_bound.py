@@ -1,0 +1,303 @@
+"""From-scratch branch & bound for mixed-integer linear programs.
+
+Together with :mod:`repro.ilp.simplex` this forms the self-contained MILP
+solver of the reproduction (no CPLEX, no PuLP).  Design:
+
+* depth-first search with a last-in-first-out stack — DFS reaches integer
+  leaves quickly, which suits the constraint-satisfaction usage pattern of
+  the paper (``SolveModel()`` returns the first feasible point),
+* LP relaxations per node, solved either by our own two-phase simplex
+  (``lp_engine="own"``) or by scipy/HiGHS (``lp_engine="scipy"``, default),
+* most-fractional branching with objective-coefficient tie-breaking,
+* LP diving (:func:`repro.ilp.rounding.dive`) at the root and every
+  ``dive_every`` explored nodes to find incumbents early,
+* node pruning by bound against the incumbent, with the standard integer
+  rounding of bounds when all objective coefficients are integral.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ilp import rounding
+from repro.ilp.scipy_backend import solve_relaxation
+from repro.ilp.simplex import solve_lp
+from repro.ilp.status import Solution, SolveStatus
+
+__all__ = ["BnbOptions", "BnbResult", "branch_and_bound", "solve_with_bnb"]
+
+
+@dataclass
+class BnbOptions:
+    """Tuning knobs of the branch & bound."""
+
+    lp_engine: str = "scipy"        # "scipy" or "own"
+    first_feasible: bool = False    # stop at the first incumbent
+    node_limit: int = 200_000
+    time_limit: float | None = None
+    int_tol: float = 1e-6
+    gap_tol: float = 1e-9           # absolute optimality gap
+    dive_every: int = 50            # run the diving heuristic every N nodes
+    dive_resolves: int = 25
+    #: Optional warm start: a feasible point (original variable order).
+    #: Installed as the initial incumbent, enabling immediate pruning.
+    warm_start: np.ndarray | None = None
+    #: Rounds of knapsack cover cuts separated at the root node (0 = off).
+    #: Valid for all integer points; tightens packing relaxations.
+    root_cuts: int = 0
+
+
+@dataclass
+class BnbResult:
+    """Raw outcome of :func:`branch_and_bound`."""
+
+    status: SolveStatus
+    x: np.ndarray | None
+    objective: float
+    nodes: int
+    best_bound: float = -math.inf
+    incumbents: list[float] = field(default_factory=list)
+
+
+@dataclass
+class _Node:
+    lb: np.ndarray
+    ub: np.ndarray
+    depth: int
+    parent_bound: float
+
+
+def _strengthen_with_cover_cuts(form, rounds: int):
+    """Append violated knapsack cover cuts to the form (root node only).
+
+    Cuts remove only fractional points, so the returned form is
+    equivalent on integers; all node relaxations inherit the tightening.
+    """
+    import dataclasses
+
+    from repro.ilp.cuts import apply_cuts, find_cover_cuts
+
+    work = form
+    for _ in range(rounds):
+        status, x, _objective, _n = solve_relaxation(work)
+        if status is not SolveStatus.OPTIMAL or x is None:
+            break
+        is_binary = work.is_integral & (work.lb >= 0.0) & (work.ub <= 1.0)
+        cuts = find_cover_cuts(work.a_ub, work.b_ub, is_binary, x)
+        if not cuts:
+            break
+        a_ub, b_ub = apply_cuts(
+            work.a_ub, work.b_ub, cuts, work.num_vars
+        )
+        work = dataclasses.replace(work, a_ub=a_ub, b_ub=b_ub)
+    return work
+
+
+def branch_and_bound(form, options: BnbOptions | None = None) -> BnbResult:
+    """Minimize a :class:`repro.ilp.model.StandardForm` MILP.
+
+    The returned objective excludes the standard form's constant ``c0``
+    (callers add it back), matching :func:`solve_relaxation`.
+    """
+    options = options or BnbOptions()
+    deadline = (
+        time.perf_counter() + options.time_limit
+        if options.time_limit is not None
+        else None
+    )
+
+    if options.root_cuts > 0:
+        form = _strengthen_with_cover_cuts(form, options.root_cuts)
+
+    def out_of_time() -> bool:
+        return deadline is not None and time.perf_counter() > deadline
+
+    def solve_node(lb, ub):
+        if options.lp_engine == "own":
+            result = solve_lp(
+                form.c, form.a_ub, form.b_ub, form.a_eq, form.b_eq, lb, ub
+            )
+            return result.status, result.x, result.objective
+        status, x, objective, _ = solve_relaxation(
+            form, extra_lb=lb, extra_ub=ub
+        )
+        return status, x, objective
+
+    mask = form.is_integral
+    # When the objective has only integer coefficients on integer variables
+    # and none on continuous ones, LP bounds can be rounded up.
+    integral_objective = bool(
+        np.all(form.c[~mask] == 0.0)
+        and np.all(form.c[mask] == np.round(form.c[mask]))
+    )
+
+    incumbent_x: np.ndarray | None = None
+    incumbent_obj = math.inf
+    incumbents: list[float] = []
+    nodes_explored = 0
+    best_bound = -math.inf
+
+    def register(x: np.ndarray, objective: float) -> None:
+        nonlocal incumbent_x, incumbent_obj
+        if objective < incumbent_obj - options.gap_tol:
+            incumbent_x = x.copy()
+            incumbent_obj = objective
+            incumbents.append(objective)
+
+    if options.warm_start is not None:
+        candidate = rounding.round_nearest(form, options.warm_start)
+        if candidate is not None and rounding.is_integral(
+            candidate, mask, options.int_tol
+        ):
+            register(candidate, float(form.c @ candidate))
+
+    root = _Node(
+        lb=form.lb.astype(float).copy(),
+        ub=form.ub.astype(float).copy(),
+        depth=0,
+        parent_bound=-math.inf,
+    )
+    stack: list[_Node] = [root]
+    status_on_exit = SolveStatus.OPTIMAL
+
+    while stack:
+        if out_of_time():
+            status_on_exit = SolveStatus.TIME_LIMIT
+            break
+        if nodes_explored >= options.node_limit:
+            status_on_exit = SolveStatus.NODE_LIMIT
+            break
+        node = stack.pop()
+        if node.parent_bound >= incumbent_obj - options.gap_tol:
+            continue
+        status, x, objective = solve_node(node.lb, node.ub)
+        nodes_explored += 1
+        if status is SolveStatus.INFEASIBLE:
+            continue
+        if status is SolveStatus.UNBOUNDED:
+            return BnbResult(
+                SolveStatus.UNBOUNDED, None, -math.inf, nodes_explored
+            )
+        if status is not SolveStatus.OPTIMAL or x is None:
+            status_on_exit = SolveStatus.ERROR
+            break
+
+        bound = objective
+        if integral_objective:
+            bound = math.ceil(objective - options.gap_tol)
+        if node.depth == 0:
+            best_bound = bound
+        if bound >= incumbent_obj - options.gap_tol:
+            continue
+
+        branch_index = rounding.most_fractional_index(
+            x, mask, weights=form.c
+        )
+        if branch_index is None:
+            register(x, objective)
+            if options.first_feasible:
+                break
+            continue
+
+        run_dive = (
+            node.depth == 0 or nodes_explored % options.dive_every == 0
+        )
+        if run_dive:
+            dived = rounding.dive(
+                form,
+                x,
+                node.lb,
+                node.ub,
+                lambda lb, ub: solve_node(lb, ub),
+                max_resolves=options.dive_resolves,
+            )
+            if dived is not None:
+                dive_x, dive_obj = dived
+                register(dive_x, dive_obj - form.c0)
+                if options.first_feasible and incumbent_x is not None:
+                    break
+
+        value = x[branch_index]
+        floor_ub = node.ub.copy()
+        floor_ub[branch_index] = math.floor(value + options.int_tol)
+        ceil_lb = node.lb.copy()
+        ceil_lb[branch_index] = math.ceil(value - options.int_tol)
+        down = _Node(node.lb.copy(), floor_ub, node.depth + 1, bound)
+        up = _Node(ceil_lb, node.ub.copy(), node.depth + 1, bound)
+        # Explore the branch nearest the LP value first (LIFO: push last).
+        if value - math.floor(value) <= 0.5:
+            stack.append(up)
+            stack.append(down)
+        else:
+            stack.append(down)
+            stack.append(up)
+
+    if incumbent_x is None:
+        if status_on_exit in (SolveStatus.TIME_LIMIT, SolveStatus.NODE_LIMIT):
+            return BnbResult(
+                status_on_exit, None, math.nan, nodes_explored, best_bound
+            )
+        return BnbResult(
+            SolveStatus.INFEASIBLE, None, math.nan, nodes_explored, best_bound
+        )
+
+    finished = not stack and status_on_exit is SolveStatus.OPTIMAL
+    if options.first_feasible and not finished:
+        status = SolveStatus.FEASIBLE
+    elif finished:
+        status = SolveStatus.OPTIMAL
+    else:
+        status = SolveStatus.FEASIBLE
+    return BnbResult(
+        status,
+        incumbent_x,
+        incumbent_obj,
+        nodes_explored,
+        best_bound,
+        incumbents,
+    )
+
+
+def solve_with_bnb(model, **options) -> Solution:
+    """Backend adapter for :meth:`repro.ilp.model.Model.solve`."""
+    form = model.to_standard_form()
+    bnb_options = BnbOptions(
+        lp_engine=options.get("lp_engine", "scipy"),
+        first_feasible=bool(options.get("first_feasible", False)),
+        node_limit=options.get("node_limit") or 200_000,
+        time_limit=options.get("time_limit"),
+    )
+    if "dive_every" in options:
+        bnb_options.dive_every = options["dive_every"]
+    if "root_cuts" in options:
+        bnb_options.root_cuts = int(options["root_cuts"])
+    warm_start = options.get("warm_start")
+    if warm_start is not None:
+        # A name -> value mapping; unknown names are ignored, missing
+        # variables default to their lower bound.
+        x0 = form.lb.astype(float).copy()
+        x0[~np.isfinite(x0)] = 0.0
+        for position, var in enumerate(form.variables):
+            if var.name in warm_start:
+                x0[position] = float(warm_start[var.name])
+        bnb_options.warm_start = x0
+    result = branch_and_bound(form, bnb_options)
+    values: dict[str, float] = {}
+    objective = math.nan
+    if result.x is not None:
+        x = result.x.copy()
+        x[form.is_integral] = np.round(x[form.is_integral])
+        values = form.values_to_dict(x)
+        objective = form.objective_at(x)
+    bound = result.best_bound + form.c0 if math.isfinite(result.best_bound) else None
+    return Solution(
+        status=result.status,
+        objective=objective,
+        values=values,
+        iterations=result.nodes,
+        bound=bound,
+    )

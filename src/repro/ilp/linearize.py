@@ -1,0 +1,109 @@
+"""Linearization helpers for products and logical forms on binary variables.
+
+The paper's memory-constraint variables ``w_{p,t1,t2}`` (equations (4)-(5))
+are products of sums of binaries; ILP solvers need them rewritten as linear
+constraints.  This module provides the standard constructions:
+
+* :func:`product_binary` — exact linearization of ``z = x * y``,
+* :func:`product_of_sums` — ``z = 1`` iff both of two 0/1-valued sums are 1,
+  with a one-sided (cheaper) variant sufficient when the model only pushes
+  ``z`` *down* (as the memory capacity constraint does),
+* :func:`indicator_ge` / big-M helpers used by extension formulations.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.ilp.expr import Constraint, LinExpr, Variable, lin_sum
+from repro.ilp.model import Model
+
+__all__ = [
+    "product_binary",
+    "product_of_sums",
+    "indicator_ge",
+    "big_m_upper",
+]
+
+
+def product_binary(
+    model: Model, x: Variable, y: Variable, name: str
+) -> Variable:
+    """Create ``z`` with ``z == x * y`` for binary ``x``, ``y``.
+
+    Adds the exact three-constraint linearization::
+
+        z <= x,  z <= y,  z >= x + y - 1
+    """
+    z = model.add_binary(name)
+    model.add_constr(z <= x, name=f"{name}_le_x")
+    model.add_constr(z <= y, name=f"{name}_le_y")
+    model.add_constr(z >= x + y - 1, name=f"{name}_ge_and")
+    return z
+
+
+def product_of_sums(
+    model: Model,
+    left: Iterable,
+    right: Iterable,
+    name: str,
+    one_sided: bool = False,
+) -> Variable:
+    """Create ``z = (sum(left)) * (sum(right))`` for 0/1-valued sums.
+
+    Both sums must be guaranteed by the rest of the model to take values in
+    ``{0, 1}`` (the paper's ``Y`` sums are, via the uniqueness constraint).
+
+    With ``one_sided=True`` only ``z >= L + R - 1`` is added.  That is
+    sufficient — and much cheaper — whenever every other occurrence of ``z``
+    only *penalizes* large values (e.g. ``sum(B * z) <= M_max``): the solver
+    is free to leave ``z`` at 0 when the product is 0, and is forced to 1
+    when the product is 1.  This one-sidedness is exactly why the paper can
+    state (4)-(5) as inequalities after linearization.
+    """
+    left_sum = lin_sum(left)
+    right_sum = lin_sum(right)
+    z = model.add_binary(name)
+    model.add_constr(
+        z >= left_sum + right_sum - 1, name=f"{name}_ge_and"
+    )
+    if not one_sided:
+        model.add_constr(z <= left_sum, name=f"{name}_le_l")
+        model.add_constr(z <= right_sum, name=f"{name}_le_r")
+    return z
+
+
+def indicator_ge(
+    model: Model,
+    indicator: Variable,
+    expr,
+    threshold: float,
+    big_m: float,
+    name: str,
+) -> Constraint:
+    """Add ``indicator = 1  =>  expr >= threshold`` via big-M.
+
+    Encoded as ``expr >= threshold - M * (1 - indicator)``.
+    """
+    expr = LinExpr.from_value(expr)
+    return model.add_constr(
+        expr >= threshold - big_m * (1 - indicator), name=name
+    )
+
+
+def big_m_upper(
+    model: Model,
+    expr,
+    bound_if_active: float,
+    switch: Variable,
+    big_m: float,
+    name: str,
+) -> Constraint:
+    """Add ``switch = 1  =>  expr <= bound_if_active`` via big-M.
+
+    Encoded as ``expr <= bound_if_active + M * (1 - switch)``.
+    """
+    expr = LinExpr.from_value(expr)
+    return model.add_constr(
+        expr <= bound_if_active + big_m * (1 - switch), name=name
+    )

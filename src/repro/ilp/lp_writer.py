@@ -1,0 +1,108 @@
+"""Export models in the CPLEX LP file format.
+
+The paper solved its formulations with CPLEX; this writer makes any model
+built by this library inspectable with (or portable to) external solvers,
+and is also handy when debugging a formulation by eye.
+
+Format reference: the classic CPLEX LP format — ``Minimize``/``Maximize``,
+``Subject To``, ``Bounds``, ``General``/``Binary`` sections, ``End``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TextIO
+
+from repro.ilp.expr import LinExpr, Sense, VarType
+from repro.ilp.model import Model, ObjectiveSense
+
+__all__ = ["write_lp", "lp_string"]
+
+_SENSE_TOKEN = {Sense.LE: "<=", Sense.GE: ">=", Sense.EQ: "="}
+
+
+def _sanitize(name: str) -> str:
+    """Make a name LP-format safe (no brackets, commas or spaces)."""
+    out = []
+    for ch in name:
+        out.append(ch if ch.isalnum() or ch in "_." else "_")
+    text = "".join(out)
+    if text[0].isdigit():
+        text = "x_" + text
+    return text
+
+
+def _format_expr(expr: LinExpr, names: dict[int, str]) -> str:
+    parts: list[str] = []
+    terms = sorted(expr.terms.items(), key=lambda kv: kv[0].index)
+    for var, coef in terms:
+        if coef == 0:
+            continue
+        sign = "-" if coef < 0 else "+"
+        magnitude = abs(coef)
+        coef_text = "" if magnitude == 1 else f"{magnitude:.12g} "
+        parts.append(f"{sign} {coef_text}{names[var.index]}")
+    if not parts:
+        return "0"
+    text = " ".join(parts)
+    return text[2:] if text.startswith("+ ") else text
+
+
+def write_lp(model: Model, stream: TextIO) -> None:
+    """Write ``model`` to ``stream`` in LP format."""
+    names = {var.index: _sanitize(var.name) for var in model.variables}
+    if len(set(names.values())) != len(names):
+        # Sanitization collided; fall back to positional names.
+        names = {
+            var.index: f"v{pos}" for pos, var in enumerate(model.variables)
+        }
+
+    header = (
+        "Maximize"
+        if model.objective_sense == ObjectiveSense.MAXIMIZE
+        else "Minimize"
+    )
+    stream.write(f"\\ Model: {model.name}\n{header}\n")
+    stream.write(f" obj: {_format_expr(model.objective, names)}\n")
+
+    stream.write("Subject To\n")
+    for pos, constr in enumerate(model.constraints):
+        label = _sanitize(constr.name) if constr.name else f"c{pos}"
+        stream.write(
+            f" {label}: {_format_expr(constr.expr, names)} "
+            f"{_SENSE_TOKEN[constr.sense]} {constr.rhs:.12g}\n"
+        )
+
+    stream.write("Bounds\n")
+    for var in model.variables:
+        name = names[var.index]
+        if var.vtype is VarType.BINARY:
+            continue  # implied 0/1 by the Binary section
+        lower = "-inf" if var.lb == -math.inf else f"{var.lb:.12g}"
+        upper = "+inf" if var.ub == math.inf else f"{var.ub:.12g}"
+        stream.write(f" {lower} <= {name} <= {upper}\n")
+
+    generals = [
+        names[v.index] for v in model.variables if v.vtype is VarType.INTEGER
+    ]
+    binaries = [
+        names[v.index] for v in model.variables if v.vtype is VarType.BINARY
+    ]
+    if generals:
+        stream.write("General\n")
+        for name in generals:
+            stream.write(f" {name}\n")
+    if binaries:
+        stream.write("Binary\n")
+        for name in binaries:
+            stream.write(f" {name}\n")
+    stream.write("End\n")
+
+
+def lp_string(model: Model) -> str:
+    """Return the LP-format text of ``model``."""
+    import io
+
+    buffer = io.StringIO()
+    write_lp(model, buffer)
+    return buffer.getvalue()

@@ -1,0 +1,360 @@
+"""The MILP model container and its standard-form matrix view.
+
+A :class:`Model` collects variables, linear constraints and an optional
+linear objective, then dispatches to one of the registered backends:
+
+``highs``
+    :func:`scipy.optimize.milp` (HiGHS).  Fast; the production default.
+``bnb``
+    The from-scratch branch & bound of
+    :mod:`repro.ilp.branch_and_bound`, with LP relaxations solved either
+    by our own simplex or by scipy's ``linprog``.
+``simplex``
+    Pure-LP solve with the from-scratch two-phase simplex (ignores
+    integrality; used for relaxations and in tests).
+
+Backends all consume the same :class:`StandardForm` matrix view, so a model
+built once can be solved and cross-checked by every backend.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.ilp.errors import BackendNotAvailableError, ModelError
+from repro.ilp.expr import Constraint, LinExpr, Sense, Variable, VarType
+from repro.ilp.status import Solution, SolveStatus
+
+__all__ = ["Model", "ObjectiveSense", "StandardForm"]
+
+
+class ObjectiveSense:
+    MINIMIZE = "minimize"
+    MAXIMIZE = "maximize"
+
+
+@dataclass
+class StandardForm:
+    """Matrix view of a model, shared by every backend.
+
+    The representation keeps inequality rows (all normalized to ``<=``)
+    separate from equality rows, and carries variable bounds and an
+    integrality mask rather than folding bounds into rows.
+    """
+
+    variables: list[Variable]
+    c: np.ndarray              # objective (minimization direction)
+    c0: float                  # objective constant
+    a_ub: np.ndarray           # inequality rows, <= b_ub
+    b_ub: np.ndarray
+    a_eq: np.ndarray           # equality rows, == b_eq
+    b_eq: np.ndarray
+    lb: np.ndarray
+    ub: np.ndarray
+    is_integral: np.ndarray    # boolean mask per column
+
+    @property
+    def num_vars(self) -> int:
+        return len(self.variables)
+
+    def values_to_dict(self, x: Sequence[float]) -> dict[str, float]:
+        return {var.name: float(val) for var, val in zip(self.variables, x)}
+
+    def objective_at(self, x: np.ndarray) -> float:
+        return float(self.c @ x) + self.c0
+
+
+class Model:
+    """A mixed-integer linear program under construction.
+
+    Example
+    -------
+    >>> m = Model("knapsack")
+    >>> x = [m.add_var(f"x{i}", vtype=VarType.BINARY) for i in range(3)]
+    >>> m.add_constr(2 * x[0] + 3 * x[1] + 4 * x[2] <= 5, name="capacity")
+    >>> m.set_objective(3 * x[0] + 4 * x[1] + 5 * x[2],
+    ...                 sense=ObjectiveSense.MAXIMIZE)
+    >>> sol = m.solve()
+    >>> sol.status.has_solution
+    True
+    """
+
+    def __init__(self, name: str = "model") -> None:
+        self.name = name
+        self._variables: list[Variable] = []
+        self._names: set[str] = set()
+        self._constraints: list[Constraint] = []
+        self._objective: LinExpr = LinExpr()
+        self._sense: str = ObjectiveSense.MINIMIZE
+
+    # -- construction ------------------------------------------------------
+
+    def add_var(
+        self,
+        name: str,
+        lb: float = 0.0,
+        ub: float = math.inf,
+        vtype: VarType = VarType.CONTINUOUS,
+    ) -> Variable:
+        """Create a variable, register it, and return it."""
+        if name in self._names:
+            raise ModelError(f"duplicate variable name {name!r}")
+        var = Variable(name, lb=lb, ub=ub, vtype=vtype)
+        self._variables.append(var)
+        self._names.add(name)
+        return var
+
+    def add_binary(self, name: str) -> Variable:
+        return self.add_var(name, vtype=VarType.BINARY)
+
+    def add_integer(
+        self, name: str, lb: float = 0.0, ub: float = math.inf
+    ) -> Variable:
+        return self.add_var(name, lb=lb, ub=ub, vtype=VarType.INTEGER)
+
+    def add_constr(
+        self, constraint: Constraint, name: str | None = None
+    ) -> Constraint:
+        """Register a constraint built with ``<=``, ``>=`` or ``==``."""
+        if not isinstance(constraint, Constraint):
+            raise ModelError(
+                f"expected a Constraint, got {type(constraint).__name__}; "
+                "build constraints with <=, >= or == on expressions"
+            )
+        for var in constraint.expr.variables():
+            if var.name not in self._names:
+                raise ModelError(
+                    f"constraint uses variable {var.name!r} that does not "
+                    f"belong to model {self.name!r}"
+                )
+        if name is not None:
+            constraint.name = name
+        self._constraints.append(constraint)
+        return constraint
+
+    def add_constrs(self, constraints: Iterable[Constraint]) -> None:
+        for constraint in constraints:
+            self.add_constr(constraint)
+
+    def set_objective(
+        self, expr, sense: str = ObjectiveSense.MINIMIZE
+    ) -> None:
+        if sense not in (ObjectiveSense.MINIMIZE, ObjectiveSense.MAXIMIZE):
+            raise ModelError(f"unknown objective sense {sense!r}")
+        self._objective = LinExpr.from_value(expr)
+        self._sense = sense
+
+    # -- inspection ----------------------------------------------------------
+
+    @property
+    def variables(self) -> Sequence[Variable]:
+        return tuple(self._variables)
+
+    @property
+    def constraints(self) -> Sequence[Constraint]:
+        return tuple(self._constraints)
+
+    @property
+    def objective(self) -> LinExpr:
+        return self._objective
+
+    @property
+    def objective_sense(self) -> str:
+        return self._sense
+
+    @property
+    def num_vars(self) -> int:
+        return len(self._variables)
+
+    @property
+    def num_constraints(self) -> int:
+        return len(self._constraints)
+
+    @property
+    def num_integer_vars(self) -> int:
+        return sum(1 for v in self._variables if v.vtype.is_integral)
+
+    def variable(self, name: str) -> Variable:
+        for var in self._variables:
+            if var.name == name:
+                return var
+        raise KeyError(name)
+
+    def check_point(
+        self, values: Mapping[str, float], tol: float = 1e-6
+    ) -> list[Constraint]:
+        """Return the constraints violated by ``values`` (bounds included).
+
+        Used pervasively in tests: any solution returned by any backend is
+        replayed through this audit.
+        """
+        violated = [
+            c for c in self._constraints if not c.is_satisfied(values, tol)
+        ]
+        for var in self._variables:
+            val = values[var.name]
+            out_of_bounds = val < var.lb - tol or val > var.ub + tol
+            not_integral = var.vtype.is_integral and abs(
+                val - round(val)
+            ) > tol
+            if out_of_bounds or not_integral:
+                bound_expr = var.to_expr()
+                violated.append(
+                    Constraint(bound_expr - val, Sense.EQ, name=f"bound[{var.name}]")
+                )
+        return violated
+
+    # -- standard form ---------------------------------------------------------
+
+    def to_standard_form(self) -> StandardForm:
+        """Build the dense matrix view consumed by the backends.
+
+        The objective is always expressed in the *minimization* direction;
+        a MAXIMIZE objective is negated here and the reported objective
+        value is negated back by :meth:`solve`.
+        """
+        variables = list(self._variables)
+        index = {var: j for j, var in enumerate(variables)}
+        n = len(variables)
+
+        c = np.zeros(n)
+        for var, coef in self._objective.terms.items():
+            c[index[var]] = coef
+        c0 = self._objective.constant
+        if self._sense == ObjectiveSense.MAXIMIZE:
+            c, c0 = -c, -c0
+
+        ub_rows: list[np.ndarray] = []
+        ub_rhs: list[float] = []
+        eq_rows: list[np.ndarray] = []
+        eq_rhs: list[float] = []
+        for constr in self._constraints:
+            row = np.zeros(n)
+            for var, coef in constr.expr.terms.items():
+                row[index[var]] = coef
+            if constr.sense is Sense.LE:
+                ub_rows.append(row)
+                ub_rhs.append(constr.rhs)
+            elif constr.sense is Sense.GE:
+                ub_rows.append(-row)
+                ub_rhs.append(-constr.rhs)
+            else:
+                eq_rows.append(row)
+                eq_rhs.append(constr.rhs)
+
+        def stack(rows: list[np.ndarray]) -> np.ndarray:
+            return np.array(rows) if rows else np.zeros((0, n))
+
+        return StandardForm(
+            variables=variables,
+            c=c,
+            c0=c0,
+            a_ub=stack(ub_rows),
+            b_ub=np.array(ub_rhs),
+            a_eq=stack(eq_rows),
+            b_eq=np.array(eq_rhs),
+            lb=np.array([v.lb for v in variables]),
+            ub=np.array([v.ub for v in variables]),
+            is_integral=np.array(
+                [v.vtype.is_integral for v in variables], dtype=bool
+            ),
+        )
+
+    # -- solving -----------------------------------------------------------------
+
+    def solve(
+        self,
+        backend: str = "highs",
+        first_feasible: bool = False,
+        time_limit: float | None = None,
+        node_limit: int | None = None,
+        **options,
+    ) -> Solution:
+        """Solve the model with the chosen backend.
+
+        Parameters
+        ----------
+        backend:
+            ``"highs"``, ``"bnb"`` or ``"simplex"`` (or any name registered
+            via :meth:`register_backend`).
+        first_feasible:
+            Stop at the first integer-feasible point.  This is the mode the
+            paper's ``SolveModel()`` uses: the iterative search only needs
+            constraint satisfaction.
+        time_limit:
+            Wall-clock budget in seconds.
+        node_limit:
+            Branch & bound node budget (ignored by pure-LP backends).
+        """
+        try:
+            solver = _BACKENDS[backend]
+        except KeyError:
+            raise BackendNotAvailableError(
+                f"unknown backend {backend!r}; available: {sorted(_BACKENDS)}"
+            ) from None
+        start = time.perf_counter()
+        solution = solver(
+            self,
+            first_feasible=first_feasible,
+            time_limit=time_limit,
+            node_limit=node_limit,
+            **options,
+        )
+        elapsed = time.perf_counter() - start
+        objective = solution.objective
+        if self._sense == ObjectiveSense.MAXIMIZE and not math.isnan(objective):
+            # StandardForm negates MAXIMIZE objectives; undo for reporting.
+            objective = -objective
+        bound = solution.bound
+        if (
+            bound is not None
+            and self._sense == ObjectiveSense.MAXIMIZE
+        ):
+            bound = -bound
+        return Solution(
+            status=solution.status,
+            objective=objective,
+            values=solution.values,
+            iterations=solution.iterations,
+            wall_time=elapsed,
+            bound=bound,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Model({self.name!r}, vars={self.num_vars} "
+            f"({self.num_integer_vars} integer), "
+            f"constrs={self.num_constraints})"
+        )
+
+
+# -- backend registry -----------------------------------------------------------
+
+_BACKENDS: dict[str, Callable[..., Solution]] = {}
+
+
+def register_backend(name: str, solver: Callable[..., Solution]) -> None:
+    """Register a solver callable under ``name``.
+
+    The callable receives the model plus the keyword options of
+    :meth:`Model.solve` and returns a :class:`Solution` whose objective is
+    in the *minimization* direction of the standard form.
+    """
+    _BACKENDS[name] = solver
+
+
+def _install_default_backends() -> None:
+    # Imported lazily to avoid a circular import at module load.
+    from repro.ilp import branch_and_bound, scipy_backend, simplex
+
+    register_backend("highs", scipy_backend.solve_with_highs)
+    register_backend("bnb", branch_and_bound.solve_with_bnb)
+    register_backend("simplex", simplex.solve_with_simplex)
+
+
+_install_default_backends()

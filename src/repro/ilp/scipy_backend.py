@@ -1,0 +1,164 @@
+"""Adapters from the :class:`repro.ilp.model.Model` layer to scipy solvers.
+
+Two entry points:
+
+* :func:`solve_with_highs` — full MILP solve via :func:`scipy.optimize.milp`
+  (the HiGHS branch-and-cut engine).  This is the production default
+  backend, playing the role CPLEX played in the paper.
+* :func:`solve_relaxation` — LP relaxation via :func:`scipy.optimize.linprog`,
+  used by the from-scratch branch & bound when configured with
+  ``lp_engine="scipy"``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy import optimize, sparse
+
+from repro.ilp.status import Solution, SolveStatus
+
+__all__ = ["solve_with_highs", "solve_relaxation"]
+
+
+def _bounds(form) -> optimize.Bounds:
+    return optimize.Bounds(lb=form.lb, ub=form.ub)
+
+
+def _linear_constraints(form) -> list[optimize.LinearConstraint]:
+    constraints = []
+    if form.a_ub.shape[0]:
+        constraints.append(
+            optimize.LinearConstraint(
+                sparse.csr_matrix(form.a_ub),
+                -np.inf * np.ones(form.a_ub.shape[0]),
+                form.b_ub,
+            )
+        )
+    if form.a_eq.shape[0]:
+        constraints.append(
+            optimize.LinearConstraint(
+                sparse.csr_matrix(form.a_eq), form.b_eq, form.b_eq
+            )
+        )
+    return constraints
+
+
+def solve_with_highs(model, **options) -> Solution:
+    """Solve a MILP with scipy's HiGHS engine.
+
+    Honors ``first_feasible`` by setting a HiGHS MIP gap so large that the
+    search stops as soon as an incumbent exists, which reproduces the
+    paper's use of CPLEX as a constraint-satisfaction engine.
+    """
+    form = model.to_standard_form()
+    milp_options: dict = {}
+    time_limit = options.get("time_limit")
+    if time_limit is not None:
+        milp_options["time_limit"] = float(time_limit)
+    node_limit = options.get("node_limit")
+    if node_limit is not None:
+        milp_options["node_limit"] = int(node_limit)
+    if options.get("first_feasible"):
+        # Accept any incumbent: a relative gap of 1e20 terminates HiGHS as
+        # soon as a primal solution is known.
+        milp_options["mip_rel_gap"] = 1e20
+
+    result = optimize.milp(
+        c=form.c,
+        constraints=_linear_constraints(form),
+        integrality=form.is_integral.astype(int),
+        bounds=_bounds(form),
+        options=milp_options,
+    )
+
+    iterations = int(getattr(result, "mip_node_count", 0) or 0)
+    if result.status == 0:
+        status = SolveStatus.OPTIMAL
+    elif result.status == 2:
+        status = SolveStatus.INFEASIBLE
+    elif result.status == 3:
+        status = SolveStatus.UNBOUNDED
+    elif result.status == 1 and result.x is not None:
+        # Iteration/time limit with an incumbent.
+        status = SolveStatus.FEASIBLE
+    elif result.status == 1:
+        status = (
+            SolveStatus.TIME_LIMIT
+            if time_limit is not None
+            else SolveStatus.NODE_LIMIT
+        )
+    else:
+        status = SolveStatus.ERROR
+
+    if options.get("first_feasible") and status is SolveStatus.OPTIMAL:
+        # With the huge gap the "optimum" is merely the first incumbent.
+        status = SolveStatus.FEASIBLE
+
+    values: dict[str, float] = {}
+    objective = math.nan
+    if result.x is not None:
+        x = np.asarray(result.x, dtype=float)
+        # HiGHS can return values a hair outside bounds / integrality.
+        x = np.clip(x, form.lb, form.ub)
+        x[form.is_integral] = np.round(x[form.is_integral])
+        values = form.values_to_dict(x)
+        objective = form.objective_at(x)
+    bound = getattr(result, "mip_dual_bound", None)
+    if bound is not None and not math.isfinite(bound):
+        bound = None
+    return Solution(
+        status=status,
+        objective=objective,
+        values=values,
+        iterations=iterations,
+        bound=bound,
+    )
+
+
+def solve_relaxation(
+    form,
+    extra_lb: np.ndarray | None = None,
+    extra_ub: np.ndarray | None = None,
+    time_limit: float | None = None,
+) -> tuple[SolveStatus, np.ndarray | None, float, int]:
+    """Solve the LP relaxation of a standard form with scipy ``linprog``.
+
+    ``extra_lb``/``extra_ub`` override the form's bounds (used for branch
+    & bound node bounds).  Returns ``(status, x, objective, iterations)``
+    with the objective in the minimization direction and *excluding* the
+    constant term ``form.c0``.
+    """
+    lb = form.lb if extra_lb is None else extra_lb
+    ub = form.ub if extra_ub is None else extra_ub
+    if np.any(lb > ub + 1e-12):
+        return SolveStatus.INFEASIBLE, None, math.nan, 0
+    lp_options: dict = {"presolve": True}
+    if time_limit is not None:
+        lp_options["time_limit"] = float(time_limit)
+    result = optimize.linprog(
+        c=form.c,
+        A_ub=form.a_ub if form.a_ub.shape[0] else None,
+        b_ub=form.b_ub if form.a_ub.shape[0] else None,
+        A_eq=form.a_eq if form.a_eq.shape[0] else None,
+        b_eq=form.b_eq if form.a_eq.shape[0] else None,
+        bounds=np.column_stack([lb, ub]),
+        method="highs",
+        options=lp_options,
+    )
+    iterations = int(getattr(result, "nit", 0) or 0)
+    if result.status == 0:
+        return (
+            SolveStatus.OPTIMAL,
+            np.asarray(result.x, dtype=float),
+            float(result.fun),
+            iterations,
+        )
+    if result.status == 2:
+        return SolveStatus.INFEASIBLE, None, math.nan, iterations
+    if result.status == 3:
+        return SolveStatus.UNBOUNDED, None, -math.inf, iterations
+    if result.status == 1:
+        return SolveStatus.TIME_LIMIT, None, math.nan, iterations
+    return SolveStatus.ERROR, None, math.nan, iterations

@@ -1,0 +1,75 @@
+"""Aligned text-table rendering for experiment reports.
+
+Produces the paper-style tables: one row per search iteration, ``Inf.``
+for infeasible solves, thousands separators on latencies, and a caption
+carrying the experiment parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+__all__ = ["TextTable", "format_value"]
+
+
+def format_value(value, precision: int = 0) -> str:
+    """Render a cell: ``None`` -> ``Inf.``, floats with separators."""
+    if value is None:
+        return "Inf."
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == int(value):
+            return f"{int(value):,}"
+        return f"{value:,.{max(precision, 1)}f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+@dataclass
+class TextTable:
+    """A small, dependency-free aligned table."""
+
+    title: str
+    columns: Sequence[str]
+    rows: list[Sequence] = field(default_factory=list)
+    footer: str = ""
+
+    def add_row(self, *cells) -> None:
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has "
+                f"{len(self.columns)} columns"
+            )
+        self.rows.append(cells)
+
+    def render(self) -> str:
+        cells = [
+            [format_value(value) for value in row] for row in self.rows
+        ]
+        widths = [
+            max(
+                len(str(header)),
+                *(len(row[i]) for row in cells),
+            )
+            if cells
+            else len(str(header))
+            for i, header in enumerate(self.columns)
+        ]
+
+        def line(parts: Sequence[str]) -> str:
+            return "| " + " | ".join(
+                part.rjust(widths[i]) for i, part in enumerate(parts)
+            ) + " |"
+
+        separator = "|-" + "-|-".join("-" * w for w in widths) + "-|"
+        out = [self.title, line([str(c) for c in self.columns]), separator]
+        out.extend(line(row) for row in cells)
+        if self.footer:
+            out.append(self.footer)
+        return "\n".join(out)
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,75 @@
+"""Task graphs: the behavioral input of the temporal partitioner.
+
+Contents:
+
+* :class:`TaskGraph` / :class:`Task` — the DAG with per-edge data volumes
+  and per-task design-point sets,
+* :class:`DesignPoint` / :class:`ModuleSet` — implementation alternatives,
+* path utilities (:mod:`repro.taskgraph.paths`),
+* seeded synthetic generators (:mod:`repro.taskgraph.generators`),
+* the paper's benchmarks :func:`ar_filter` and :func:`dct_4x4`
+  (:mod:`repro.taskgraph.library`),
+* JSON/DOT serialization (:mod:`repro.taskgraph.io`) and validation
+  (:mod:`repro.taskgraph.validate`).
+"""
+
+from repro.taskgraph.clustering import ClusteringResult, cluster_chains
+from repro.taskgraph.designpoint import DesignPoint, ModuleSet, pareto_filter
+from repro.taskgraph.generators import (
+    DesignSpaceSpec,
+    fork_join_graph,
+    layered_graph,
+    random_dag,
+    random_design_points,
+    series_parallel_graph,
+)
+from repro.taskgraph.graph import GraphValidationError, Task, TaskGraph
+from repro.taskgraph.io import from_dict, load_json, save_json, to_dict, to_dot
+from repro.taskgraph.metrics import (
+    GraphMetrics,
+    compute_metrics,
+    parallelism_profile,
+)
+from repro.taskgraph.library import ar_filter, dct_4x4
+from repro.taskgraph.paths import (
+    PathLimitExceeded,
+    count_paths,
+    critical_path,
+    enumerate_paths,
+    longest_path_latency,
+)
+from repro.taskgraph.validate import ValidationReport, validate_graph
+
+__all__ = [
+    "ClusteringResult",
+    "DesignPoint",
+    "DesignSpaceSpec",
+    "GraphMetrics",
+    "GraphValidationError",
+    "ModuleSet",
+    "PathLimitExceeded",
+    "Task",
+    "TaskGraph",
+    "ValidationReport",
+    "ar_filter",
+    "cluster_chains",
+    "compute_metrics",
+    "count_paths",
+    "critical_path",
+    "dct_4x4",
+    "enumerate_paths",
+    "fork_join_graph",
+    "from_dict",
+    "layered_graph",
+    "load_json",
+    "longest_path_latency",
+    "parallelism_profile",
+    "pareto_filter",
+    "random_dag",
+    "random_design_points",
+    "save_json",
+    "series_parallel_graph",
+    "to_dict",
+    "to_dot",
+    "validate_graph",
+]

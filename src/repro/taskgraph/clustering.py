@@ -1,0 +1,259 @@
+"""Chain clustering: a model-size-reducing preprocessing step.
+
+The paper assumes tasks are produced "by clustering or template
+extraction techniques" (Section 2).  This module implements the simplest
+useful instance — merging *linear chains*: maximal runs ``t1 -> t2 ->
+... -> tk`` where every interior vertex has exactly one predecessor and
+one successor.  Tasks of a chain always execute back-to-back, so merging
+them is **lossless for the partitioning problem whenever the chain ends
+up co-located**, and conservative otherwise (a merged chain cannot be
+split across partitions, which removes some solutions but never invents
+any).
+
+Each merged task's design points are the Pareto front of the component
+combinations: serial latency is the sum, area is the sum (components
+coexist in one configuration), environment I/O is accumulated, and
+in-chain edges disappear (their data never crosses a boundary).
+
+:func:`cluster_chains` returns a :class:`ClusteringResult` that can
+*expand* a partitioned design of the clustered graph back onto the
+original tasks — every component inherits the cluster's partition and
+its own design point from the chosen combination — so the rest of the
+toolchain (audit, simulator, reports) keeps operating on the real graph.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping
+
+from repro.taskgraph.designpoint import (
+    DesignPoint,
+    ModuleSet,
+    pareto_filter,
+    subsample_front,
+)
+from repro.taskgraph.graph import TaskGraph
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.solution import PartitionedDesign
+
+__all__ = ["ClusteringResult", "cluster_chains"]
+
+#: Cap on combinations explored per chain before Pareto pruning.
+_COMBO_LIMIT = 256
+
+
+@dataclass
+class ClusteringResult:
+    """A clustered graph plus the bookkeeping to undo it."""
+
+    graph: TaskGraph
+    #: cluster task name -> ordered tuple of original component names.
+    members: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    #: (cluster name, merged dp label) -> per-component dp labels.
+    combination: dict[tuple[str, str], tuple[str, ...]] = field(
+        default_factory=dict
+    )
+    original: TaskGraph | None = None
+
+    @property
+    def num_merged(self) -> int:
+        """Original tasks absorbed into multi-task clusters."""
+        return sum(
+            len(components)
+            for components in self.members.values()
+            if len(components) > 1
+        )
+
+    def expand(self, design: "PartitionedDesign") -> "PartitionedDesign":
+        """Map a clustered-graph design back onto the original graph."""
+        from repro.core.solution import PartitionedDesign, Placement
+
+        if self.original is None:
+            raise ValueError("clustering result lost its original graph")
+        placements: dict[str, Placement] = {}
+        for cluster_name, placement in design.placements.items():
+            components = self.members[cluster_name]
+            if len(components) == 1:
+                placements[components[0]] = placement
+                continue
+            merged_label = placement.design_point.label()
+            component_labels = self.combination[
+                (cluster_name, merged_label)
+            ]
+            for component, label in zip(components, component_labels):
+                task = self.original.task(component)
+                placements[component] = Placement(
+                    placement.partition, task.design_point(label)
+                )
+        return PartitionedDesign(self.original, placements)
+
+
+def _chains(graph: TaskGraph) -> list[list[str]]:
+    """Maximal linear chains, in topological order of their heads."""
+    in_line = {
+        name: len(graph.predecessors(name)) == 1
+        for name in graph.task_names
+    }
+    out_line = {
+        name: len(graph.successors(name)) == 1
+        for name in graph.task_names
+    }
+
+    def chain_continues(src: str, dst: str) -> bool:
+        return out_line[src] and in_line[dst]
+
+    assigned: set[str] = set()
+    chains: list[list[str]] = []
+    for name in graph.topological_order():
+        if name in assigned:
+            continue
+        chain = [name]
+        assigned.add(name)
+        current = name
+        while True:
+            succs = graph.successors(current)
+            if len(succs) != 1:
+                break
+            nxt = succs[0]
+            if nxt in assigned or not chain_continues(current, nxt):
+                break
+            chain.append(nxt)
+            assigned.add(nxt)
+            current = nxt
+        chains.append(chain)
+    return chains
+
+
+def _merged_points(
+    graph: TaskGraph,
+    chain: list[str],
+    max_points: int,
+) -> tuple[tuple[DesignPoint, ...], dict[str, tuple[str, ...]]]:
+    """Pareto-pruned design points of a chain + label bookkeeping."""
+    per_task = [
+        [
+            (dp.label(i), dp)
+            for i, dp in enumerate(graph.task(t).design_points, start=1)
+        ]
+        for t in chain
+    ]
+    combos = list(itertools.islice(
+        itertools.product(*per_task), _COMBO_LIMIT
+    ))
+    # The truncation must never lose the extreme combinations: all-min-area
+    # preserves N_min^l, all-min-latency preserves MinLatency bounds.
+    min_area_combo = tuple(
+        min(choices, key=lambda c: (c[1].area, c[1].latency))
+        for choices in per_task
+    )
+    min_latency_combo = tuple(
+        min(choices, key=lambda c: (c[1].latency, c[1].area))
+        for choices in per_task
+    )
+    for extreme in (min_area_combo, min_latency_combo):
+        if extreme not in combos:
+            combos.append(extreme)
+    candidates: list[tuple[DesignPoint, tuple[str, ...]]] = []
+    for combo in combos:
+        labels = tuple(label for label, _dp in combo)
+        points = [dp for _label, dp in combo]
+        merged_units: dict[str, int] = {}
+        for dp in points:
+            for unit, count in dp.module_set.counts:
+                merged_units[unit] = merged_units.get(unit, 0) + count
+        candidates.append(
+            (
+                DesignPoint(
+                    area=sum(dp.area for dp in points),
+                    latency=sum(dp.latency for dp in points),
+                    module_set=ModuleSet.from_mapping(merged_units),
+                ),
+                labels,
+            )
+        )
+    front = pareto_filter(dp for dp, _labels in candidates)
+    # Keep both extremes: the fastest combo preserves MinLatency bounds,
+    # the smallest preserves N_min^l.
+    front = subsample_front(front, max_points)
+    labeled: list[DesignPoint] = []
+    mapping: dict[str, tuple[str, ...]] = {}
+    for index, point in enumerate(front, start=1):
+        label = f"dp{index}"
+        labeled.append(
+            DesignPoint(point.area, point.latency, point.module_set, label)
+        )
+        # Recover which combination produced this Pareto point.
+        for candidate, labels in candidates:
+            if (
+                candidate.area == point.area
+                and candidate.latency == point.latency
+            ):
+                mapping[label] = labels
+                break
+    return tuple(labeled), mapping
+
+
+def cluster_chains(
+    graph: TaskGraph, max_points: int = 8
+) -> ClusteringResult:
+    """Merge maximal linear chains of ``graph`` into single tasks.
+
+    Parameters
+    ----------
+    graph:
+        The original task graph (unmodified).
+    max_points:
+        Design-point cap per merged task after Pareto pruning.
+    """
+    clustered = TaskGraph(f"{graph.name}_clustered")
+    result = ClusteringResult(
+        graph=clustered, original=graph
+    )
+    cluster_of: dict[str, str] = {}
+
+    for chain in _chains(graph):
+        if len(chain) == 1:
+            name = chain[0]
+            task = graph.task(name)
+            clustered.add_task(name, task.design_points, kind=task.kind)
+            result.members[name] = (name,)
+            cluster_of[name] = name
+            continue
+        cluster_name = "+".join(chain)
+        points, mapping = _merged_points(graph, chain, max_points)
+        clustered.add_task(cluster_name, points, kind="cluster")
+        result.members[cluster_name] = tuple(chain)
+        for label, labels in mapping.items():
+            result.combination[(cluster_name, label)] = labels
+        for component in chain:
+            cluster_of[component] = cluster_name
+
+    for src, dst, volume in graph.edges:
+        cluster_src, cluster_dst = cluster_of[src], cluster_of[dst]
+        if cluster_src == cluster_dst:
+            continue  # in-chain edge: never crosses a boundary
+        try:
+            existing = clustered.data_volume(cluster_src, cluster_dst)
+        except Exception:
+            clustered.add_edge(cluster_src, cluster_dst, volume)
+        else:
+            # Parallel edges between clusters accumulate volume.
+            clustered._succ[cluster_src][cluster_dst] = existing + volume
+            clustered._pred[cluster_dst][cluster_src] = existing + volume
+
+    env_in: dict[str, float] = {}
+    env_out: dict[str, float] = {}
+    for name, volume in graph.env_inputs.items():
+        env_in[cluster_of[name]] = env_in.get(cluster_of[name], 0.0) + volume
+    for name, volume in graph.env_outputs.items():
+        env_out[cluster_of[name]] = (
+            env_out.get(cluster_of[name], 0.0) + volume
+        )
+    for name, volume in env_in.items():
+        clustered.set_env_input(name, volume)
+    for name, volume in env_out.items():
+        clustered.set_env_output(name, volume)
+    return result

@@ -1,0 +1,172 @@
+"""Design points and module sets.
+
+A *design point* for a task is one synthesized implementation alternative,
+characterized by its area ``R(m)`` and latency ``D(m)`` (paper, Section
+3.1).  Each design point carries a *module set* — the multiset of
+functional units the implementation instantiates — mirroring the paper's
+``m ∈ M_t`` notation.  The temporal partitioner itself only reads
+``area``/``latency``; module sets document provenance and connect design
+points back to the HLS estimator that produced them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+__all__ = ["ModuleSet", "DesignPoint", "pareto_filter", "subsample_front"]
+
+
+@dataclass(frozen=True)
+class ModuleSet:
+    """A named multiset of functional units, e.g. ``{mult16: 2, add16: 1}``.
+
+    Attributes
+    ----------
+    counts:
+        Mapping from functional-unit name to instance count.
+    """
+
+    counts: tuple[tuple[str, int], ...] = ()
+
+    @staticmethod
+    def from_mapping(counts: Mapping[str, int]) -> "ModuleSet":
+        cleaned = tuple(
+            sorted((name, int(n)) for name, n in counts.items() if n > 0)
+        )
+        return ModuleSet(cleaned)
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self.counts)
+
+    def count(self, unit: str) -> int:
+        return self.as_dict().get(unit, 0)
+
+    @property
+    def total_units(self) -> int:
+        return sum(n for _name, n in self.counts)
+
+    def __str__(self) -> str:
+        if not self.counts:
+            return "{}"
+        inner = ", ".join(f"{name} x{n}" for name, n in self.counts)
+        return "{" + inner + "}"
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One (area, latency) implementation alternative for a task.
+
+    Attributes
+    ----------
+    area:
+        Primary resource cost ``R(m)`` in device resource units (CLBs /
+        function generators in the paper's experiments).
+    latency:
+        Execution time ``D(m)``; the paper expresses latency in total
+        execution time (nanoseconds), not clock cycles.
+    module_set:
+        Functional units used by the implementation.
+    name:
+        Optional label (``"dp1"`` etc.) used in reports and traces.
+    extra_resources:
+        Costs on additional device resource types (e.g. block RAMs,
+        dedicated multipliers) as sorted ``(type, amount)`` pairs.  The
+        paper notes "similar equations can be added if multiple resource
+        types exist in the FPGA"; the formulation adds one capacity row
+        per declared type.  Use :meth:`with_resources` to attach them.
+    """
+
+    area: float
+    latency: float
+    module_set: ModuleSet = field(default_factory=ModuleSet)
+    name: str = ""
+    extra_resources: tuple[tuple[str, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.area <= 0:
+            raise ValueError(f"design point area must be positive: {self.area}")
+        if self.latency <= 0:
+            raise ValueError(
+                f"design point latency must be positive: {self.latency}"
+            )
+        for kind, amount in self.extra_resources:
+            if amount < 0:
+                raise ValueError(
+                    f"negative usage of resource {kind!r}: {amount}"
+                )
+
+    def with_resources(self, **usage: float) -> "DesignPoint":
+        """Copy with extra resource usage, e.g. ``with_resources(bram=2)``."""
+        merged = dict(self.extra_resources)
+        merged.update(usage)
+        return DesignPoint(
+            area=self.area,
+            latency=self.latency,
+            module_set=self.module_set,
+            name=self.name,
+            extra_resources=tuple(sorted(merged.items())),
+        )
+
+    def resource_usage(self, kind: str) -> float:
+        """Usage of one extra resource type (0 when undeclared)."""
+        return dict(self.extra_resources).get(kind, 0.0)
+
+    def dominates(self, other: "DesignPoint") -> bool:
+        """Pareto dominance: no worse in both dimensions, better in one."""
+        no_worse = self.area <= other.area and self.latency <= other.latency
+        better = self.area < other.area or self.latency < other.latency
+        return no_worse and better
+
+    def label(self, fallback_index: int | None = None) -> str:
+        if self.name:
+            return self.name
+        if fallback_index is not None:
+            return f"dp{fallback_index}"
+        return f"(area={self.area:g}, latency={self.latency:g})"
+
+    def __str__(self) -> str:
+        tag = f"{self.name}: " if self.name else ""
+        return f"{tag}area={self.area:g}, latency={self.latency:g}"
+
+
+def subsample_front(
+    front: list[DesignPoint], max_points: int
+) -> list[DesignPoint]:
+    """Pick ``max_points`` points spread evenly along a Pareto front.
+
+    ``front`` must be area-sorted (as returned by :func:`pareto_filter`).
+    The two extreme points are always kept: the min-area point drives
+    ``N_min^l`` and the min-latency point drives ``MinLatency``, so
+    dropping either would silently change the partitioner's search space.
+    """
+    if max_points < 1:
+        raise ValueError("max_points must be at least 1")
+    if len(front) <= max_points:
+        return list(front)
+    if max_points == 1:
+        return [front[0]]
+    picks = sorted(
+        {
+            round(i * (len(front) - 1) / (max_points - 1))
+            for i in range(max_points)
+        }
+    )
+    return [front[i] for i in picks]
+
+
+def pareto_filter(points: Iterable[DesignPoint]) -> list[DesignPoint]:
+    """Return the non-dominated subset, sorted by increasing area.
+
+    Ties on both coordinates keep the first occurrence.  This is the
+    "candidate design point" pruning the paper recommends when a task's
+    design space is too large (Section 2).
+    """
+    ordered = sorted(points, key=lambda dp: (dp.area, dp.latency))
+    front: list[DesignPoint] = []
+    best_latency = float("inf")
+    for point in ordered:
+        if point.latency < best_latency:
+            front.append(point)
+            best_latency = point.latency
+    return front

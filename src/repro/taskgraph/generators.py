@@ -1,0 +1,253 @@
+"""Seeded synthetic task-graph generators.
+
+The paper evaluates on two hand-built graphs (AR filter, 4x4 DCT).  For a
+usable library — and because the calibration notes for this reproduction
+call for synthetic task graphs — this module generates families of DAGs
+with controlled shape, plus realistic design-point sets exhibiting the
+monotone area-latency trade-off the search exploits:
+
+* :func:`layered_graph` — the classic layered/"LU-style" random DAG used
+  in scheduling literature: tasks arranged in levels, edges only between
+  consecutive (or skipping) levels,
+* :func:`series_parallel_graph` — recursive series/parallel composition,
+* :func:`fork_join_graph` — one fork, parallel branches of chains, one join,
+* :func:`random_dag` — Erdős–Rényi-style DAG on a random topological order,
+* :func:`random_design_points` — Pareto-consistent (area, latency) sets.
+
+Every generator takes an explicit ``seed`` so experiments are exactly
+repeatable.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.taskgraph.designpoint import DesignPoint, ModuleSet, pareto_filter
+from repro.taskgraph.graph import TaskGraph
+
+__all__ = [
+    "DesignSpaceSpec",
+    "random_design_points",
+    "layered_graph",
+    "series_parallel_graph",
+    "fork_join_graph",
+    "random_dag",
+]
+
+
+@dataclass(frozen=True)
+class DesignSpaceSpec:
+    """Parameters of the synthetic per-task design space.
+
+    The generated points follow the area-time product heuristic: fast
+    implementations cost proportionally more area, with multiplicative
+    noise.  ``num_points`` alternatives per task, areas within
+    ``[min_area, max_area]``.
+    """
+
+    num_points: tuple[int, int] = (2, 4)   # inclusive range
+    min_area: float = 50.0
+    max_area: float = 400.0
+    base_latency: float = 100.0
+    latency_spread: float = 4.0            # slowest / fastest ratio
+    noise: float = 0.15
+
+
+def random_design_points(
+    rng: random.Random, spec: DesignSpaceSpec
+) -> tuple[DesignPoint, ...]:
+    """Generate a Pareto-consistent set of design points for one task."""
+    count = rng.randint(*spec.num_points)
+    smallest = rng.uniform(spec.min_area, spec.max_area / spec.latency_spread)
+    slowest = spec.base_latency * rng.uniform(1.0, spec.latency_spread)
+    points = []
+    for index in range(count):
+        # Spread areas geometrically from the smallest implementation.
+        scale = (spec.latency_spread) ** (index / max(count - 1, 1))
+        area = smallest * scale * rng.uniform(1 - spec.noise, 1 + spec.noise)
+        latency = (
+            slowest / scale * rng.uniform(1 - spec.noise, 1 + spec.noise)
+        )
+        module_set = ModuleSet.from_mapping(
+            {"fu": index + 1}
+        )
+        points.append(
+            DesignPoint(
+                area=round(area, 1),
+                latency=round(latency, 1),
+                module_set=module_set,
+                name=f"dp{index + 1}",
+            )
+        )
+    front = pareto_filter(points)
+    # Relabel after pruning so labels stay dense and deterministic.
+    return tuple(
+        DesignPoint(p.area, p.latency, p.module_set, f"dp{i + 1}")
+        for i, p in enumerate(front)
+    )
+
+
+def _add_tasks(
+    graph: TaskGraph,
+    count: int,
+    rng: random.Random,
+    spec: DesignSpaceSpec,
+    prefix: str = "t",
+) -> list[str]:
+    names = []
+    for i in range(count):
+        name = f"{prefix}{i}"
+        graph.add_task(name, random_design_points(rng, spec))
+        names.append(name)
+    return names
+
+
+def _volume(rng: random.Random, max_volume: int) -> float:
+    return float(rng.randint(1, max_volume))
+
+
+def layered_graph(
+    num_levels: int,
+    tasks_per_level: int,
+    seed: int = 0,
+    edge_probability: float = 0.5,
+    skip_probability: float = 0.1,
+    max_volume: int = 16,
+    spec: DesignSpaceSpec | None = None,
+) -> TaskGraph:
+    """A layered DAG: edges go from level ``k`` to ``k+1`` (or skip ahead).
+
+    Every non-source task is guaranteed at least one predecessor in the
+    previous level, so no level is vacuously parallel.
+    """
+    if num_levels < 1 or tasks_per_level < 1:
+        raise ValueError("need at least one level and one task per level")
+    rng = random.Random(seed)
+    spec = spec or DesignSpaceSpec()
+    graph = TaskGraph(f"layered_{num_levels}x{tasks_per_level}_s{seed}")
+    levels: list[list[str]] = []
+    for level in range(num_levels):
+        names = []
+        for i in range(tasks_per_level):
+            name = f"L{level}_{i}"
+            graph.add_task(name, random_design_points(rng, spec))
+            names.append(name)
+        levels.append(names)
+    for level in range(1, num_levels):
+        for dst in levels[level]:
+            anchors = [
+                src
+                for src in levels[level - 1]
+                if rng.random() < edge_probability
+            ]
+            if not anchors:
+                anchors = [rng.choice(levels[level - 1])]
+            for src in anchors:
+                graph.add_edge(src, dst, _volume(rng, max_volume))
+            if level >= 2 and rng.random() < skip_probability:
+                src = rng.choice(levels[level - 2])
+                graph.add_edge(src, dst, _volume(rng, max_volume))
+    for name in graph.sources():
+        graph.set_env_input(name, _volume(rng, max_volume))
+    for name in graph.sinks():
+        graph.set_env_output(name, _volume(rng, max_volume))
+    return graph
+
+
+def fork_join_graph(
+    branches: int,
+    branch_length: int,
+    seed: int = 0,
+    max_volume: int = 16,
+    spec: DesignSpaceSpec | None = None,
+) -> TaskGraph:
+    """One fork task, ``branches`` parallel chains, one join task."""
+    if branches < 1 or branch_length < 1:
+        raise ValueError("need at least one branch of length one")
+    rng = random.Random(seed)
+    spec = spec or DesignSpaceSpec()
+    graph = TaskGraph(f"forkjoin_{branches}x{branch_length}_s{seed}")
+    graph.add_task("fork", random_design_points(rng, spec))
+    graph.add_task("join", random_design_points(rng, spec))
+    for b in range(branches):
+        previous = "fork"
+        for k in range(branch_length):
+            name = f"b{b}_{k}"
+            graph.add_task(name, random_design_points(rng, spec))
+            graph.add_edge(previous, name, _volume(rng, max_volume))
+            previous = name
+        graph.add_edge(previous, "join", _volume(rng, max_volume))
+    graph.set_env_input("fork", _volume(rng, max_volume))
+    graph.set_env_output("join", _volume(rng, max_volume))
+    return graph
+
+
+def series_parallel_graph(
+    depth: int,
+    seed: int = 0,
+    max_volume: int = 16,
+    spec: DesignSpaceSpec | None = None,
+) -> TaskGraph:
+    """Recursive series-parallel DAG of roughly ``2**depth`` tasks."""
+    if depth < 0:
+        raise ValueError("depth must be non-negative")
+    rng = random.Random(seed)
+    spec = spec or DesignSpaceSpec()
+    graph = TaskGraph(f"sp_d{depth}_s{seed}")
+    counter = [0]
+
+    def fresh() -> str:
+        name = f"sp{counter[0]}"
+        counter[0] += 1
+        graph.add_task(name, random_design_points(rng, spec))
+        return name
+
+    def build(level: int) -> tuple[str, str]:
+        """Return (entry, exit) task names of a sub-network."""
+        if level == 0:
+            single = fresh()
+            return single, single
+        if rng.random() < 0.5:
+            first_in, first_out = build(level - 1)
+            second_in, second_out = build(level - 1)
+            graph.add_edge(first_out, second_in, _volume(rng, max_volume))
+            return first_in, second_out
+        head, tail = fresh(), fresh()
+        for _ in range(2):
+            inner_in, inner_out = build(level - 1)
+            graph.add_edge(head, inner_in, _volume(rng, max_volume))
+            graph.add_edge(inner_out, tail, _volume(rng, max_volume))
+        return head, tail
+
+    entry, exit_ = build(depth)
+    graph.set_env_input(entry, _volume(rng, max_volume))
+    graph.set_env_output(exit_, _volume(rng, max_volume))
+    return graph
+
+
+def random_dag(
+    num_tasks: int,
+    seed: int = 0,
+    edge_probability: float = 0.2,
+    max_volume: int = 16,
+    spec: DesignSpaceSpec | None = None,
+) -> TaskGraph:
+    """Random DAG: edges sampled forward along a shuffled topological order."""
+    if num_tasks < 1:
+        raise ValueError("need at least one task")
+    rng = random.Random(seed)
+    spec = spec or DesignSpaceSpec()
+    graph = TaskGraph(f"random_{num_tasks}_s{seed}")
+    names = _add_tasks(graph, num_tasks, rng, spec)
+    order = names[:]
+    rng.shuffle(order)
+    for i in range(num_tasks):
+        for j in range(i + 1, num_tasks):
+            if rng.random() < edge_probability:
+                graph.add_edge(order[i], order[j], _volume(rng, max_volume))
+    for name in graph.sources():
+        graph.set_env_input(name, _volume(rng, max_volume))
+    for name in graph.sinks():
+        graph.set_env_output(name, _volume(rng, max_volume))
+    return graph

@@ -1,0 +1,270 @@
+"""Tasks and task graphs — the behavioral input of the partitioner.
+
+The paper's input (Section 3) is a directed acyclic *task graph*:
+
+* vertices are tasks, each with a set of pre-synthesized design points,
+* edges carry ``B(t_i, t_j)``, the number of data units communicated
+  between the tasks (buffered in on-board memory when the edge crosses a
+  temporal-partition boundary),
+* tasks may additionally read ``B(env, t)`` data units from the host
+  environment and write ``B(t, env)`` back.
+
+:class:`TaskGraph` keeps insertion order stable (deterministic model
+construction and reports) and validates acyclicity on demand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.taskgraph.designpoint import DesignPoint
+
+__all__ = ["Task", "TaskGraph", "GraphValidationError"]
+
+
+class GraphValidationError(ValueError):
+    """The task graph is structurally invalid (cycle, dangling edge, ...)."""
+
+
+@dataclass(frozen=True)
+class Task:
+    """A vertex of the task graph.
+
+    Attributes
+    ----------
+    name:
+        Unique identifier within the graph.
+    design_points:
+        Non-empty tuple of implementation alternatives ``M_t``.
+    kind:
+        Optional template label (the paper's DCT uses kinds ``T1``/``T2``);
+        informational only.
+    """
+
+    name: str
+    design_points: tuple[DesignPoint, ...]
+    kind: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise GraphValidationError("task name must be non-empty")
+        if not self.design_points:
+            raise GraphValidationError(
+                f"task {self.name!r} has no design points"
+            )
+
+    @property
+    def min_area(self) -> float:
+        return min(dp.area for dp in self.design_points)
+
+    @property
+    def max_area(self) -> float:
+        return max(dp.area for dp in self.design_points)
+
+    @property
+    def min_latency(self) -> float:
+        return min(dp.latency for dp in self.design_points)
+
+    @property
+    def max_latency(self) -> float:
+        return max(dp.latency for dp in self.design_points)
+
+    def design_point(self, label: str) -> DesignPoint:
+        """Look up a design point by its label."""
+        for index, dp in enumerate(self.design_points, start=1):
+            if dp.label(index) == label:
+                return dp
+        raise KeyError(f"task {self.name!r} has no design point {label!r}")
+
+
+class TaskGraph:
+    """A DAG of tasks with data volumes on edges and environment I/O."""
+
+    def __init__(self, name: str = "taskgraph") -> None:
+        self.name = name
+        self._tasks: dict[str, Task] = {}
+        self._succ: dict[str, dict[str, float]] = {}
+        self._pred: dict[str, dict[str, float]] = {}
+        self._env_in: dict[str, float] = {}
+        self._env_out: dict[str, float] = {}
+
+    # -- construction -----------------------------------------------------
+
+    def add_task(
+        self,
+        name: str,
+        design_points: Iterable[DesignPoint],
+        kind: str = "",
+    ) -> Task:
+        if name in self._tasks:
+            raise GraphValidationError(f"duplicate task name {name!r}")
+        task = Task(name, tuple(design_points), kind=kind)
+        self._tasks[name] = task
+        self._succ[name] = {}
+        self._pred[name] = {}
+        return task
+
+    def add_edge(self, src: str, dst: str, data_units: float = 0.0) -> None:
+        """Add the dependency ``src -> dst`` carrying ``data_units``."""
+        self._require(src)
+        self._require(dst)
+        if src == dst:
+            raise GraphValidationError(f"self-loop on task {src!r}")
+        if dst in self._succ[src]:
+            raise GraphValidationError(f"duplicate edge {src!r} -> {dst!r}")
+        if data_units < 0:
+            raise GraphValidationError(
+                f"negative data volume on edge {src!r} -> {dst!r}"
+            )
+        self._succ[src][dst] = float(data_units)
+        self._pred[dst][src] = float(data_units)
+
+    def set_env_input(self, task: str, data_units: float) -> None:
+        """Declare ``B(env, task)`` data units read from the host."""
+        self._require(task)
+        if data_units < 0:
+            raise GraphValidationError("negative environment input volume")
+        self._env_in[task] = float(data_units)
+
+    def set_env_output(self, task: str, data_units: float) -> None:
+        """Declare ``B(task, env)`` data units written back to the host."""
+        self._require(task)
+        if data_units < 0:
+            raise GraphValidationError("negative environment output volume")
+        self._env_out[task] = float(data_units)
+
+    def _require(self, name: str) -> None:
+        if name not in self._tasks:
+            raise GraphValidationError(f"unknown task {name!r}")
+
+    # -- basic queries ------------------------------------------------------
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tasks
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def __iter__(self) -> Iterator[Task]:
+        return iter(self._tasks.values())
+
+    @property
+    def task_names(self) -> tuple[str, ...]:
+        return tuple(self._tasks)
+
+    @property
+    def tasks(self) -> tuple[Task, ...]:
+        return tuple(self._tasks.values())
+
+    def task(self, name: str) -> Task:
+        self._require(name)
+        return self._tasks[name]
+
+    @property
+    def edges(self) -> tuple[tuple[str, str, float], ...]:
+        return tuple(
+            (src, dst, volume)
+            for src, targets in self._succ.items()
+            for dst, volume in targets.items()
+        )
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(targets) for targets in self._succ.values())
+
+    def successors(self, name: str) -> tuple[str, ...]:
+        self._require(name)
+        return tuple(self._succ[name])
+
+    def predecessors(self, name: str) -> tuple[str, ...]:
+        self._require(name)
+        return tuple(self._pred[name])
+
+    def data_volume(self, src: str, dst: str) -> float:
+        """``B(src, dst)`` for an existing edge."""
+        self._require(src)
+        try:
+            return self._succ[src][dst]
+        except KeyError:
+            raise GraphValidationError(f"no edge {src!r} -> {dst!r}") from None
+
+    def env_input(self, task: str) -> float:
+        return self._env_in.get(task, 0.0)
+
+    def env_output(self, task: str) -> float:
+        return self._env_out.get(task, 0.0)
+
+    @property
+    def env_inputs(self) -> Mapping[str, float]:
+        return dict(self._env_in)
+
+    @property
+    def env_outputs(self) -> Mapping[str, float]:
+        return dict(self._env_out)
+
+    def sources(self) -> tuple[str, ...]:
+        """Tasks with no predecessor (the paper's ``T_l``)."""
+        return tuple(name for name in self._tasks if not self._pred[name])
+
+    def sinks(self) -> tuple[str, ...]:
+        """Tasks with no successor (the paper's ``T_r``)."""
+        return tuple(name for name in self._tasks if not self._succ[name])
+
+    # -- structure ------------------------------------------------------------
+
+    def topological_order(self) -> tuple[str, ...]:
+        """Kahn's algorithm; raises on cycles.
+
+        Deterministic: among ready tasks, insertion order wins.
+        """
+        in_degree = {name: len(self._pred[name]) for name in self._tasks}
+        ready = [name for name in self._tasks if in_degree[name] == 0]
+        order: list[str] = []
+        while ready:
+            current = ready.pop(0)
+            order.append(current)
+            for succ in self._succ[current]:
+                in_degree[succ] -= 1
+                if in_degree[succ] == 0:
+                    ready.append(succ)
+        if len(order) != len(self._tasks):
+            cyclic = sorted(n for n, d in in_degree.items() if d > 0)
+            raise GraphValidationError(
+                f"task graph contains a cycle through {cyclic}"
+            )
+        return tuple(order)
+
+    def is_acyclic(self) -> bool:
+        try:
+            self.topological_order()
+        except GraphValidationError:
+            return False
+        return True
+
+    def level_of(self) -> dict[str, int]:
+        """Longest-path depth (in edges) of each task from the sources."""
+        levels: dict[str, int] = {}
+        for name in self.topological_order():
+            preds = self._pred[name]
+            levels[name] = (
+                0 if not preds else 1 + max(levels[p] for p in preds)
+            )
+        return levels
+
+    # -- aggregate figures used by the bounds (Section 3.1) --------------------
+
+    def total_min_area(self) -> float:
+        return sum(task.min_area for task in self)
+
+    def total_max_area(self) -> float:
+        return sum(task.max_area for task in self)
+
+    def total_max_latency(self) -> float:
+        return sum(task.max_latency for task in self)
+
+    def __repr__(self) -> str:
+        return (
+            f"TaskGraph({self.name!r}, tasks={len(self)}, "
+            f"edges={self.num_edges})"
+        )

@@ -1,0 +1,143 @@
+"""Serialization of task graphs: JSON round-trip and Graphviz DOT export.
+
+The JSON schema is intentionally flat and versioned so that externally
+generated workloads (e.g. from a real HLS flow) can be fed to the
+partitioner without touching Python::
+
+    {
+      "version": 1,
+      "name": "my_graph",
+      "tasks": [
+        {"name": "T1", "kind": "A",
+         "design_points": [
+            {"name": "dp1", "area": 200, "latency": 120,
+             "module_set": {"mult16": 1}}]}
+      ],
+      "edges": [{"src": "T1", "dst": "T2", "data_units": 8}],
+      "env_inputs": {"T1": 8},
+      "env_outputs": {"T2": 8}
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.taskgraph.designpoint import DesignPoint, ModuleSet
+from repro.taskgraph.graph import GraphValidationError, TaskGraph
+
+__all__ = ["to_dict", "from_dict", "save_json", "load_json", "to_dot"]
+
+_SCHEMA_VERSION = 1
+
+
+def to_dict(graph: TaskGraph) -> dict[str, Any]:
+    """Plain-dict representation of ``graph`` (JSON-serializable)."""
+    return {
+        "version": _SCHEMA_VERSION,
+        "name": graph.name,
+        "tasks": [
+            {
+                "name": task.name,
+                "kind": task.kind,
+                "design_points": [
+                    {
+                        "name": dp.label(i),
+                        "area": dp.area,
+                        "latency": dp.latency,
+                        "module_set": dp.module_set.as_dict(),
+                        **(
+                            {"extra_resources": dict(dp.extra_resources)}
+                            if dp.extra_resources
+                            else {}
+                        ),
+                    }
+                    for i, dp in enumerate(task.design_points, start=1)
+                ],
+            }
+            for task in graph
+        ],
+        "edges": [
+            {"src": src, "dst": dst, "data_units": volume}
+            for src, dst, volume in graph.edges
+        ],
+        "env_inputs": dict(graph.env_inputs),
+        "env_outputs": dict(graph.env_outputs),
+    }
+
+
+def from_dict(payload: dict[str, Any]) -> TaskGraph:
+    """Rebuild a :class:`TaskGraph` from :func:`to_dict` output."""
+    version = payload.get("version", _SCHEMA_VERSION)
+    if version != _SCHEMA_VERSION:
+        raise GraphValidationError(
+            f"unsupported task-graph schema version {version!r}"
+        )
+    graph = TaskGraph(payload.get("name", "taskgraph"))
+    for entry in payload["tasks"]:
+        points = tuple(
+            DesignPoint(
+                area=dp["area"],
+                latency=dp["latency"],
+                module_set=ModuleSet.from_mapping(dp.get("module_set", {})),
+                name=dp.get("name", ""),
+                extra_resources=tuple(
+                    sorted(dp.get("extra_resources", {}).items())
+                ),
+            )
+            for dp in entry["design_points"]
+        )
+        graph.add_task(entry["name"], points, kind=entry.get("kind", ""))
+    for edge in payload.get("edges", ()):
+        graph.add_edge(edge["src"], edge["dst"], edge.get("data_units", 0.0))
+    for name, volume in payload.get("env_inputs", {}).items():
+        graph.set_env_input(name, volume)
+    for name, volume in payload.get("env_outputs", {}).items():
+        graph.set_env_output(name, volume)
+    return graph
+
+
+def save_json(graph: TaskGraph, path: str | Path) -> None:
+    Path(path).write_text(json.dumps(to_dict(graph), indent=2))
+
+
+def load_json(path: str | Path) -> TaskGraph:
+    return from_dict(json.loads(Path(path).read_text()))
+
+
+def to_dot(
+    graph: TaskGraph,
+    partition_of: dict[str, int] | None = None,
+) -> str:
+    """Graphviz DOT text for ``graph``.
+
+    When ``partition_of`` is given (task name → 1-based partition number),
+    tasks are clustered by temporal partition — the natural way to look at
+    a partitioned design.
+    """
+    lines = [f'digraph "{graph.name}" {{', "  rankdir=TB;"]
+    if partition_of:
+        by_partition: dict[int, list[str]] = {}
+        for name, partition in partition_of.items():
+            by_partition.setdefault(partition, []).append(name)
+        for partition in sorted(by_partition):
+            lines.append(f"  subgraph cluster_p{partition} {{")
+            lines.append(f'    label="partition {partition}";')
+            for name in by_partition[partition]:
+                task = graph.task(name)
+                lines.append(
+                    f'    "{name}" [label="{name}\\n{task.kind}"];'
+                )
+            lines.append("  }")
+    else:
+        for task in graph:
+            points = len(task.design_points)
+            lines.append(
+                f'  "{task.name}" [label="{task.name}\\n{points} pts"];'
+            )
+    for src, dst, volume in graph.edges:
+        lines.append(f'  "{src}" -> "{dst}" [label="{volume:g}"];')
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,78 @@
+"""Structural metrics of task graphs.
+
+Used by reports and by experimenters picking workloads: a graph's
+*width* (peak level parallelism) bounds how much a single configuration
+can exploit, the *parallelism profile* shows where partitions will be
+forced, and the serialization ratio predicts which reconfiguration
+regime the workload cares about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.taskgraph.graph import TaskGraph
+from repro.taskgraph.paths import count_paths, critical_path
+
+__all__ = ["GraphMetrics", "compute_metrics", "parallelism_profile"]
+
+
+def parallelism_profile(graph: TaskGraph) -> dict[int, int]:
+    """Tasks per level (longest-path depth): the width histogram."""
+    profile: dict[int, int] = {}
+    for level in graph.level_of().values():
+        profile[level] = profile.get(level, 0) + 1
+    return dict(sorted(profile.items()))
+
+
+@dataclass(frozen=True)
+class GraphMetrics:
+    """Summary statistics of one task graph."""
+
+    num_tasks: int
+    num_edges: int
+    depth: int                      # levels (longest path, in tasks)
+    width: int                      # max tasks on one level
+    num_paths: int
+    density: float                  # edges / possible forward edges
+    avg_design_points: float
+    serialization_ratio: float      # critical path / total work (min dps)
+    total_data_volume: float
+
+    @property
+    def is_chainlike(self) -> bool:
+        return self.width == 1
+
+    @property
+    def is_embarrassingly_parallel(self) -> bool:
+        return self.depth == 1 and self.num_tasks > 1
+
+
+def compute_metrics(graph: TaskGraph) -> GraphMetrics:
+    """Compute :class:`GraphMetrics` for ``graph``."""
+    if len(graph) == 0:
+        raise ValueError("cannot compute metrics of an empty graph")
+    profile = parallelism_profile(graph)
+    depth = max(profile) + 1
+    width = max(profile.values())
+    n = len(graph)
+    possible = n * (n - 1) / 2
+    path_latency, _path = critical_path(
+        graph, lambda t: graph.task(t).min_latency
+    )
+    total_work = sum(task.min_latency for task in graph)
+    return GraphMetrics(
+        num_tasks=n,
+        num_edges=graph.num_edges,
+        depth=depth,
+        width=width,
+        num_paths=count_paths(graph),
+        density=graph.num_edges / possible if possible else 0.0,
+        avg_design_points=(
+            sum(len(task.design_points) for task in graph) / n
+        ),
+        serialization_ratio=(
+            path_latency / total_work if total_work else 0.0
+        ),
+        total_data_volume=sum(v for _s, _d, v in graph.edges),
+    )

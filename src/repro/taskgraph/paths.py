@@ -1,0 +1,162 @@
+"""Path utilities on task graphs.
+
+Two distinct needs of the reproduction meet here:
+
+* the **bounds** of Section 3.1 need the *longest* source-to-sink path
+  latency under a per-task design-point choice — computed by dynamic
+  programming, no enumeration;
+* the **ILP latency constraint** (equation (7)) is stated per explicit
+  source-to-sink path, so the formulation needs to enumerate paths.  Path
+  counts are exponential in general; :func:`enumerate_paths` therefore
+  takes a hard cap and callers either accept the cap or switch to the
+  chain-free formulation.  :func:`count_paths` (cheap DP) lets callers
+  check before enumerating.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Sequence
+
+from repro.taskgraph.graph import GraphValidationError, TaskGraph
+
+__all__ = [
+    "count_paths",
+    "enumerate_paths",
+    "longest_path_latency",
+    "critical_path",
+    "PathLimitExceeded",
+]
+
+
+class PathLimitExceeded(GraphValidationError):
+    """Raised when a graph has more source-sink paths than the caller's cap."""
+
+
+def count_paths(graph: TaskGraph) -> int:
+    """Number of source-to-sink paths (isolated tasks count as one path)."""
+    counts: dict[str, int] = {}
+    total = 0
+    for name in reversed(graph.topological_order()):
+        succs = graph.successors(name)
+        counts[name] = (
+            1 if not succs else sum(counts[s] for s in succs)
+        )
+        if not graph.predecessors(name):
+            total += counts[name]
+    return total
+
+
+def enumerate_paths(
+    graph: TaskGraph, limit: int = 100_000
+) -> list[tuple[str, ...]]:
+    """All source-to-sink paths as task-name tuples, in DFS order.
+
+    Raises
+    ------
+    PathLimitExceeded
+        When the graph has more than ``limit`` paths (checked cheaply with
+        :func:`count_paths` before any enumeration happens).
+    """
+    total = count_paths(graph)
+    if total > limit:
+        raise PathLimitExceeded(
+            f"task graph {graph.name!r} has {total} source-sink paths, "
+            f"exceeding the limit of {limit}; use the start-time latency "
+            "formulation instead (FormulationOptions.latency_mode='levels')"
+        )
+    paths: list[tuple[str, ...]] = []
+    stack: list[str] = []
+
+    def visit(name: str) -> None:
+        stack.append(name)
+        succs = graph.successors(name)
+        if not succs:
+            paths.append(tuple(stack))
+        else:
+            for succ in succs:
+                visit(succ)
+        stack.pop()
+
+    for source in graph.sources():
+        visit(source)
+    return paths
+
+
+def longest_path_latency(
+    graph: TaskGraph,
+    task_latency: Callable[[str], float],
+) -> float:
+    """Maximum over source-sink paths of the summed per-task latency.
+
+    ``task_latency`` maps a task name to the latency to use for it — e.g.
+    ``lambda t: graph.task(t).min_latency`` gives the paper's
+    ``MinLatency`` ingredient (fastest design point everywhere).
+    """
+    best: dict[str, float] = {}
+    overall = 0.0
+    for name in graph.topological_order():
+        preds = graph.predecessors(name)
+        arrival = max((best[p] for p in preds), default=0.0)
+        best[name] = arrival + task_latency(name)
+        overall = max(overall, best[name])
+    return overall
+
+
+def critical_path(
+    graph: TaskGraph,
+    task_latency: Callable[[str], float],
+) -> tuple[float, tuple[str, ...]]:
+    """Longest path and its latency under ``task_latency``.
+
+    Returns ``(latency, path)``; the empty graph yields ``(0.0, ())``.
+    """
+    best: dict[str, float] = {}
+    choice: dict[str, str | None] = {}
+    for name in graph.topological_order():
+        preds = graph.predecessors(name)
+        if preds:
+            prev = max(preds, key=lambda p: best[p])
+            best[name] = best[prev] + task_latency(name)
+            choice[name] = prev
+        else:
+            best[name] = task_latency(name)
+            choice[name] = None
+    if not best:
+        return 0.0, ()
+    end = max(best, key=lambda n: best[n])
+    path: list[str] = []
+    cursor: str | None = end
+    while cursor is not None:
+        path.append(cursor)
+        cursor = choice[cursor]
+    return best[end], tuple(reversed(path))
+
+
+def restrict_path_latency(
+    path: Sequence[str],
+    member_latency: Callable[[str], float | None],
+) -> float:
+    """Sum ``member_latency`` over a path, skipping ``None`` entries.
+
+    Used when replaying a partitioned design: the latency a path
+    contributes to partition ``p`` is the sum over its tasks placed in
+    ``p`` (a contiguous subpath, by the temporal-order constraint).
+    """
+    total = 0.0
+    for name in path:
+        value = member_latency(name)
+        if value is not None:
+            total += value
+    return total
+
+
+def transitive_predecessors(graph: TaskGraph) -> dict[str, frozenset[str]]:
+    """Map each task to the set of all its ancestors."""
+    ancestors: dict[str, set[str]] = {}
+    for name in graph.topological_order():
+        acc: set[str] = set()
+        for pred in graph.predecessors(name):
+            acc.add(pred)
+            acc |= ancestors[pred]
+        ancestors[name] = acc
+    return {name: frozenset(block) for name, block in ancestors.items()}

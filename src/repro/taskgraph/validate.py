@@ -1,0 +1,102 @@
+"""Structural validation of task graphs before partitioning.
+
+:func:`validate_graph` runs every check and either returns a report or
+raises :class:`~repro.taskgraph.graph.GraphValidationError`.  The
+partitioner calls this up front so that formulation-time failures carry a
+task-level diagnosis rather than an opaque solver error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.taskgraph.designpoint import pareto_filter
+from repro.taskgraph.graph import GraphValidationError, TaskGraph
+
+__all__ = ["ValidationReport", "validate_graph"]
+
+
+@dataclass
+class ValidationReport:
+    """Result of :func:`validate_graph`.
+
+    ``errors`` make a graph unusable; ``warnings`` flag conditions that are
+    legal but usually unintended (dominated design points, tasks that fit
+    no device, unreachable fragments).
+    """
+
+    errors: list[str] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def raise_if_failed(self) -> None:
+        if self.errors:
+            raise GraphValidationError("; ".join(self.errors))
+
+
+def validate_graph(
+    graph: TaskGraph,
+    resource_capacity: float | None = None,
+    strict: bool = False,
+) -> ValidationReport:
+    """Check ``graph`` for structural problems.
+
+    Parameters
+    ----------
+    graph:
+        The graph to check.
+    resource_capacity:
+        When given, tasks whose *smallest* design point exceeds it are
+        reported as errors — no temporal partitioning can ever place them.
+    strict:
+        Promote warnings to errors.
+    """
+    report = ValidationReport()
+
+    if len(graph) == 0:
+        report.errors.append("task graph has no tasks")
+        return report
+
+    try:
+        graph.topological_order()
+    except GraphValidationError as exc:
+        report.errors.append(str(exc))
+        return report
+
+    for task in graph:
+        dominated = len(task.design_points) - len(
+            pareto_filter(task.design_points)
+        )
+        if dominated:
+            report.warnings.append(
+                f"task {task.name!r}: {dominated} dominated design point(s) "
+                "(harmless, but they enlarge the search space for nothing)"
+            )
+        if resource_capacity is not None and task.min_area > resource_capacity:
+            report.errors.append(
+                f"task {task.name!r}: smallest design point "
+                f"(area {task.min_area:g}) exceeds the device capacity "
+                f"{resource_capacity:g}; no temporal partitioning exists"
+            )
+
+    # Isolated tasks are legal but usually indicate a modeling slip.
+    for task in graph:
+        no_neighbors = not graph.predecessors(task.name) and not (
+            graph.successors(task.name)
+        )
+        no_env = (
+            graph.env_input(task.name) == 0
+            and graph.env_output(task.name) == 0
+        )
+        if no_neighbors and no_env and len(graph) > 1:
+            report.warnings.append(
+                f"task {task.name!r} is isolated (no edges, no env I/O)"
+            )
+
+    if strict:
+        report.errors.extend(report.warnings)
+        report.warnings = []
+    return report

@@ -1,0 +1,122 @@
+"""Unit tests for the execution-timeline simulator."""
+
+import pytest
+
+from repro.arch import ReconfigurableProcessor, simulate
+from repro.core import PartitionedDesign
+from repro.taskgraph import DesignPoint, TaskGraph
+
+
+def proc(c_t=10.0):
+    return ReconfigurableProcessor(1000, 1000, c_t)
+
+
+def design_from(graph, assignment):
+    return PartitionedDesign.from_labels(
+        graph, {t: (p, "dp1") for t, p in assignment.items()}
+    )
+
+
+def chain():
+    graph = TaskGraph("chain")
+    for name, latency in (("a", 10), ("b", 20), ("c", 30)):
+        graph.add_task(name, (DesignPoint(100, latency, name="dp1"),))
+    graph.add_edge("a", "b", 2)
+    graph.add_edge("b", "c", 2)
+    return graph
+
+
+class TestMakespan:
+    def test_single_partition(self):
+        graph = chain()
+        design = design_from(graph, {"a": 1, "b": 1, "c": 1})
+        report = simulate(design, proc())
+        assert report.makespan == pytest.approx(10 + 60)
+        assert report.reconfigurations == 1
+
+    def test_three_partitions(self):
+        graph = chain()
+        design = design_from(graph, {"a": 1, "b": 2, "c": 3})
+        report = simulate(design, proc())
+        assert report.makespan == pytest.approx(3 * 10 + 60)
+        assert report.reconfigurations == 3
+
+    def test_parallel_tasks_overlap(self):
+        graph = TaskGraph("par")
+        graph.add_task("x", (DesignPoint(10, 40, name="dp1"),))
+        graph.add_task("y", (DesignPoint(10, 25, name="dp1"),))
+        design = design_from(graph, {"x": 1, "y": 1})
+        report = simulate(design, proc())
+        assert report.makespan == pytest.approx(10 + 40)
+
+    def test_matches_design_total_latency(self, diamond_graph):
+        design = PartitionedDesign.from_labels(
+            diamond_graph,
+            {
+                "a": (1, "small"),
+                "b": (1, "big"),
+                "c": (2, "small"),
+                "d": (2, "big"),
+            },
+        )
+        processor = proc(c_t=7.0)
+        report = simulate(design, processor)
+        assert report.makespan == pytest.approx(
+            design.total_latency(processor)
+        )
+
+    def test_gap_partition_still_costs_reconfiguration(self):
+        graph = chain()
+        # Partition 2 is empty; eta = 3 so 3 reconfigurations are paid.
+        design = design_from(graph, {"a": 1, "b": 1, "c": 3})
+        report = simulate(design, proc())
+        assert report.reconfigurations == 3
+        assert report.makespan == pytest.approx(3 * 10 + 30 + 30)
+
+
+class TestTimelineStructure:
+    def test_tasks_start_after_configuration(self):
+        graph = chain()
+        design = design_from(graph, {"a": 1, "b": 1, "c": 2})
+        report = simulate(design, proc())
+        for trace in report.partitions:
+            for event in trace.tasks:
+                assert event.start >= trace.configure_end - 1e-9
+
+    def test_dependencies_within_partition_respected(self):
+        graph = chain()
+        design = design_from(graph, {"a": 1, "b": 1, "c": 1})
+        report = simulate(design, proc())
+        events = {e.label: e for e in report.partitions[0].tasks}
+        assert events["b"].start >= events["a"].end - 1e-9
+        assert events["c"].start >= events["b"].end - 1e-9
+
+    def test_compute_latency_matches_partition_latency(self):
+        graph = chain()
+        design = design_from(graph, {"a": 1, "b": 1, "c": 2})
+        report = simulate(design, proc())
+        for trace in report.partitions:
+            assert trace.compute_latency == pytest.approx(
+                design.partition_latency(trace.partition)
+            )
+
+    def test_memory_trace_populated(self):
+        graph = chain()
+        design = design_from(graph, {"a": 1, "b": 2, "c": 2})
+        report = simulate(design, proc())
+        by_partition = {t.partition: t for t in report.partitions}
+        assert by_partition[2].memory_live >= 2  # a->b crosses
+
+    def test_events_time_ordered(self):
+        graph = chain()
+        design = design_from(graph, {"a": 1, "b": 2, "c": 3})
+        events = simulate(design, proc()).events()
+        starts = [e.start for e in events]
+        assert starts == sorted(starts)
+
+    def test_gantt_renders(self):
+        graph = chain()
+        design = design_from(graph, {"a": 1, "b": 2, "c": 2})
+        text = simulate(design, proc()).gantt(width=40)
+        assert "#" in text and "=" in text
+        assert "a" in text

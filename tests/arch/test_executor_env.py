@@ -1,0 +1,78 @@
+"""Executor behaviour around environment memory and edge cases."""
+
+import pytest
+
+from repro.arch import ReconfigurableProcessor, simulate
+from repro.core import PartitionedDesign
+from repro.taskgraph import DesignPoint, TaskGraph
+
+
+def env_graph():
+    graph = TaskGraph("env")
+    graph.add_task("a", (DesignPoint(100, 10, name="dp1"),))
+    graph.add_task("b", (DesignPoint(100, 10, name="dp1"),))
+    graph.add_edge("a", "b", 2)
+    graph.set_env_input("a", 30)
+    graph.set_env_output("b", 7)
+    return graph
+
+
+def split_design():
+    return PartitionedDesign.from_labels(
+        env_graph(), {"a": (1, "dp1"), "b": (2, "dp1")}
+    )
+
+
+class TestEnvMemoryFlag:
+    def test_env_included_by_default(self):
+        report = simulate(split_design(), ReconfigurableProcessor(200, 64, 5))
+        boundary2 = next(
+            t for t in report.partitions if t.partition == 2
+        )
+        # a->b edge (2) + nothing else: env input consumed in partition 1,
+        # env output produced in partition 2 (counted after).
+        assert boundary2.memory_live == pytest.approx(2.0)
+
+    def test_env_excluded(self):
+        report = simulate(
+            split_design(),
+            ReconfigurableProcessor(200, 64, 5),
+            include_env_memory=False,
+        )
+        boundary1 = next(
+            t for t in report.partitions if t.partition == 1
+        )
+        assert boundary1.memory_live == pytest.approx(0.0)
+
+    def test_env_input_live_at_first_boundary(self):
+        report = simulate(split_design(), ReconfigurableProcessor(200, 64, 5))
+        boundary1 = next(
+            t for t in report.partitions if t.partition == 1
+        )
+        # 30 units of host input wait for task a.
+        assert boundary1.memory_live == pytest.approx(30.0)
+
+
+class TestDegenerateDesigns:
+    def test_single_task_timeline(self):
+        graph = TaskGraph("one")
+        graph.add_task("t", (DesignPoint(10, 42, name="dp1"),))
+        design = PartitionedDesign.from_labels(graph, {"t": (1, "dp1")})
+        report = simulate(design, ReconfigurableProcessor(100, 10, 8))
+        assert report.makespan == pytest.approx(50.0)
+        assert len(report.events()) == 2      # reconfigure + task
+
+    def test_zero_reconfiguration_time(self):
+        design = split_design()
+        report = simulate(design, ReconfigurableProcessor(200, 64, 0))
+        assert report.makespan == pytest.approx(20.0)
+
+    def test_high_partition_indices(self):
+        graph = env_graph()
+        design = PartitionedDesign.from_labels(
+            graph, {"a": (3, "dp1"), "b": (9, "dp1")}
+        )
+        report = simulate(design, ReconfigurableProcessor(200, 64, 5))
+        # eta = 9: all nine reconfigurations are paid.
+        assert report.reconfigurations == 9
+        assert report.makespan == pytest.approx(9 * 5 + 20)

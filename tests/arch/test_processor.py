@@ -1,0 +1,64 @@
+"""Unit tests for the processor model."""
+
+import pytest
+
+from repro.arch import ReconfigurableProcessor, time_multiplexed, wildforce
+
+
+class TestValidation:
+    def test_positive_resources_required(self):
+        with pytest.raises(ValueError):
+            ReconfigurableProcessor(0, 10, 10)
+
+    def test_negative_memory_rejected(self):
+        with pytest.raises(ValueError):
+            ReconfigurableProcessor(10, -1, 10)
+
+    def test_negative_reconfiguration_rejected(self):
+        with pytest.raises(ValueError):
+            ReconfigurableProcessor(10, 10, -1)
+
+    def test_zero_reconfiguration_allowed(self):
+        proc = ReconfigurableProcessor(10, 10, 0)
+        assert proc.reconfiguration_overhead(5) == 0
+
+
+class TestBehaviour:
+    def test_overhead(self):
+        proc = ReconfigurableProcessor(10, 10, 7)
+        assert proc.reconfiguration_overhead(3) == 21
+
+    def test_overhead_negative_partitions(self):
+        proc = ReconfigurableProcessor(10, 10, 7)
+        with pytest.raises(ValueError):
+            proc.reconfiguration_overhead(-1)
+
+    def test_with_resources_copy(self):
+        proc = wildforce()
+        bigger = proc.with_resources(1024)
+        assert bigger.resource_capacity == 1024
+        assert bigger.reconfiguration_time == proc.reconfiguration_time
+        assert proc.resource_capacity == 576  # original untouched
+
+    def test_with_reconfiguration_time(self):
+        proc = wildforce().with_reconfiguration_time(5.0)
+        assert proc.reconfiguration_time == 5.0
+
+    def test_frozen(self):
+        proc = wildforce()
+        with pytest.raises(AttributeError):
+            proc.resource_capacity = 1
+
+
+class TestPresets:
+    def test_wildforce_regime(self):
+        # Milliseconds in nanosecond units.
+        assert wildforce().reconfiguration_time == pytest.approx(10e6)
+
+    def test_time_multiplexed_regime(self):
+        assert time_multiplexed().reconfiguration_time == pytest.approx(30.0)
+
+    def test_presets_accept_overrides(self):
+        proc = time_multiplexed(resource_capacity=1024, memory_capacity=64)
+        assert proc.resource_capacity == 1024
+        assert proc.memory_capacity == 64

@@ -1,0 +1,70 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import ReconfigurableProcessor
+from repro.core import SolverSettings
+from repro.taskgraph import DesignPoint, TaskGraph, ar_filter, dct_4x4
+
+
+@pytest.fixture
+def ar_graph() -> TaskGraph:
+    return ar_filter()
+
+
+@pytest.fixture
+def dct_graph() -> TaskGraph:
+    return dct_4x4()
+
+
+@pytest.fixture
+def ar_device() -> ReconfigurableProcessor:
+    """The device the AR-filter study uses."""
+    return ReconfigurableProcessor(
+        resource_capacity=400,
+        memory_capacity=128,
+        reconfiguration_time=20.0,
+        name="ar_device",
+    )
+
+
+@pytest.fixture
+def fast_settings() -> SolverSettings:
+    """Solver settings that keep unit tests quick."""
+    return SolverSettings(backend="highs", time_limit=10.0)
+
+
+@pytest.fixture
+def diamond_graph() -> TaskGraph:
+    """A 4-task diamond with two design points per task."""
+    graph = TaskGraph("diamond")
+    for name in ("a", "b", "c", "d"):
+        graph.add_task(
+            name,
+            (
+                DesignPoint(area=100, latency=50, name="small"),
+                DesignPoint(area=180, latency=25, name="big"),
+            ),
+        )
+    graph.add_edge("a", "b", 4)
+    graph.add_edge("a", "c", 4)
+    graph.add_edge("b", "d", 4)
+    graph.add_edge("c", "d", 4)
+    graph.set_env_input("a", 8)
+    graph.set_env_output("d", 8)
+    return graph
+
+
+@pytest.fixture
+def chain_graph() -> TaskGraph:
+    """A 3-task chain with one design point per task."""
+    graph = TaskGraph("chain")
+    for i, (area, latency) in enumerate(((100, 10), (150, 20), (120, 30))):
+        graph.add_task(
+            f"t{i}", (DesignPoint(area=area, latency=latency, name="dp1"),)
+        )
+    graph.add_edge("t0", "t1", 2)
+    graph.add_edge("t1", "t2", 3)
+    return graph

@@ -1,0 +1,102 @@
+"""Unit tests for the utilization analysis module."""
+
+import pytest
+
+from repro.arch import ReconfigurableProcessor
+from repro.core import (
+    PartitionedDesign,
+    design_point_histogram,
+    utilization_report,
+)
+from repro.taskgraph import DesignPoint, TaskGraph
+
+
+def build_design():
+    graph = TaskGraph("g")
+    graph.add_task(
+        "a",
+        (
+            DesignPoint(100, 50, name="dp1"),
+            DesignPoint(200, 25, name="dp2"),
+        ),
+    )
+    graph.add_task("b", (DesignPoint(150, 75, name="dp1"),))
+    graph.add_task("c", (DesignPoint(120, 30, name="dp1"),))
+    graph.add_edge("a", "b", 10)
+    graph.add_edge("b", "c", 4)
+    return PartitionedDesign.from_labels(
+        graph, {"a": (1, "dp2"), "b": (1, "dp1"), "c": (2, "dp1")}
+    )
+
+
+@pytest.fixture
+def processor():
+    return ReconfigurableProcessor(400, 64, 10.0)
+
+
+class TestUtilizationReport:
+    def test_partition_rows(self, processor):
+        report = utilization_report(build_design(), processor)
+        assert len(report.partitions) == 2
+        first = report.partitions[0]
+        assert first.tasks == 2
+        assert first.area_used == pytest.approx(350.0)
+        assert first.area_fraction == pytest.approx(350 / 400)
+        assert first.latency == pytest.approx(100.0)  # a(25) -> b(75)
+
+    def test_totals(self, processor):
+        report = utilization_report(build_design(), processor)
+        assert report.execution_latency == pytest.approx(130.0)
+        assert report.total_latency == pytest.approx(150.0)
+        assert report.reconfiguration_overhead == pytest.approx(20.0)
+        assert report.overhead_fraction == pytest.approx(20 / 150)
+
+    def test_bottleneck(self, processor):
+        report = utilization_report(build_design(), processor)
+        assert report.bottleneck.partition == 1
+
+    def test_memory_fractions(self, processor):
+        report = utilization_report(build_design(), processor)
+        second = report.partitions[1]
+        # Boundary of partition 2 carries the b->c edge (4 units).
+        assert second.memory_at_boundary == pytest.approx(4.0)
+        assert second.memory_fraction == pytest.approx(4 / 64)
+
+    def test_zero_memory_capacity_handled(self):
+        processor = ReconfigurableProcessor(400, 0, 10.0)
+        graph = TaskGraph("solo")
+        graph.add_task("t", (DesignPoint(10, 5, name="dp1"),))
+        design = PartitionedDesign.from_labels(graph, {"t": (1, "dp1")})
+        report = utilization_report(design, processor)
+        assert report.partitions[0].memory_fraction == 0.0
+
+    def test_table_renders(self, processor):
+        text = utilization_report(build_design(), processor).table().render()
+        assert "Partition utilization" in text
+        assert "reconfiguration" in text
+
+    def test_saturation_flag(self, processor):
+        report = utilization_report(build_design(), processor)
+        assert not report.partitions[0].is_area_saturated
+        assert report.peak_area_fraction == pytest.approx(350 / 400)
+
+
+class TestHistogram:
+    def test_counts_by_label(self):
+        histogram = design_point_histogram(build_design())
+        assert histogram == {"dp1": 2, "dp2": 1}
+
+    def test_full_pipeline_histogram(self, ar_graph, ar_device,
+                                     fast_settings):
+        from repro.core import (
+            RefinementConfig,
+            refine_partitions_bound,
+        )
+
+        result = refine_partitions_bound(
+            ar_graph, ar_device,
+            config=RefinementConfig(delta=10.0, gamma=1),
+            settings=fast_settings,
+        )
+        histogram = design_point_histogram(result.design)
+        assert sum(histogram.values()) == 6

@@ -1,0 +1,95 @@
+"""Unit tests for the Section 3.1 bounds."""
+
+import pytest
+
+from repro.arch import ReconfigurableProcessor
+from repro.core import bounds
+from repro.taskgraph import DesignPoint, TaskGraph, ar_filter, dct_4x4
+
+
+class TestPartitionCounts:
+    def test_min_area_partitions(self, dct_graph):
+        assert bounds.min_area_partitions(dct_graph, 576) == 8
+        assert bounds.min_area_partitions(dct_graph, 4160) == 1
+        assert bounds.min_area_partitions(dct_graph, 100000) == 1
+
+    def test_max_area_partitions(self, dct_graph):
+        assert bounds.max_area_partitions(dct_graph, 576) == 11
+
+    def test_invalid_capacity(self, dct_graph):
+        with pytest.raises(ValueError):
+            bounds.min_area_partitions(dct_graph, 0)
+        with pytest.raises(ValueError):
+            bounds.max_area_partitions(dct_graph, -5)
+
+    def test_single_small_task(self):
+        graph = TaskGraph()
+        graph.add_task("a", (DesignPoint(10, 5),))
+        assert bounds.min_area_partitions(graph, 100) == 1
+
+
+class TestLatencyBounds:
+    def test_max_latency_serializes_everything(self, ar_graph):
+        d_max = bounds.max_latency(ar_graph, 3, 20)
+        expected = sum(t.max_latency for t in ar_graph) + 60
+        assert d_max == pytest.approx(expected)
+
+    def test_min_latency_uses_critical_path(self, dct_graph):
+        assert bounds.min_latency(dct_graph, 5, 0) == pytest.approx(795.0)
+        assert bounds.min_latency(dct_graph, 5, 30) == pytest.approx(945.0)
+
+    def test_bounds_ordered(self, ar_graph):
+        for n in range(1, 6):
+            assert bounds.min_latency(ar_graph, n, 20) <= (
+                bounds.max_latency(ar_graph, n, 20)
+            )
+
+    def test_invalid_partition_count(self, ar_graph):
+        with pytest.raises(ValueError):
+            bounds.max_latency(ar_graph, 0, 20)
+        with pytest.raises(ValueError):
+            bounds.min_latency(ar_graph, 0, 20)
+
+    def test_bounds_are_true_bounds_for_any_design(self, ar_graph, ar_device):
+        """Every feasible design's latency sits inside [D_min, D_max]."""
+        from repro.core import greedy_partition
+
+        for policy in ("min_area", "max_area", "balanced", "min_latency"):
+            design = greedy_partition(ar_graph, ar_device, policy).design
+            n = design.num_partitions_used
+            latency = design.total_latency(ar_device)
+            assert latency >= bounds.min_latency(
+                ar_graph, n, ar_device.reconfiguration_time
+            ) - 1e-9
+            assert latency <= bounds.max_latency(
+                ar_graph, n, ar_device.reconfiguration_time
+            ) + 1e-9
+
+
+class TestPartitionRange:
+    def test_defaults(self, dct_graph):
+        processor = ReconfigurableProcessor(576, 2048, 30)
+        prange = bounds.partition_range(dct_graph, processor)
+        assert prange.lower_bound == 8
+        assert prange.upper_seed == 11
+        assert prange.start == 8
+        assert prange.stop == 11
+        assert list(prange) == [8, 9, 10, 11]
+
+    def test_alpha_gamma(self, dct_graph):
+        processor = ReconfigurableProcessor(576, 2048, 30)
+        prange = bounds.partition_range(dct_graph, processor, alpha=1, gamma=2)
+        assert prange.start == 9
+        assert prange.stop == 13
+
+    def test_stop_never_below_start(self):
+        graph = TaskGraph()
+        graph.add_task("a", (DesignPoint(10, 5),))
+        processor = ReconfigurableProcessor(100, 10, 1)
+        prange = bounds.partition_range(graph, processor, alpha=5)
+        assert prange.stop >= prange.start
+
+    def test_negative_relaxation_rejected(self, dct_graph):
+        processor = ReconfigurableProcessor(576, 2048, 30)
+        with pytest.raises(ValueError):
+            bounds.partition_range(dct_graph, processor, alpha=-1)

@@ -1,0 +1,95 @@
+"""Unit tests for infeasibility diagnosis."""
+
+import pytest
+
+from repro.arch import ReconfigurableProcessor
+from repro.core import build_model, diagnose_infeasibility
+from repro.core.bounds import max_latency
+from repro.taskgraph import DesignPoint, TaskGraph
+
+
+def chain(area=300, volume=5):
+    graph = TaskGraph("chain")
+    graph.add_task("a", (DesignPoint(area, 100, name="dp1"),))
+    graph.add_task("b", (DesignPoint(area, 100, name="dp1"),))
+    graph.add_edge("a", "b", volume)
+    return graph
+
+
+class TestCulprits:
+    def test_resource_culprit(self):
+        graph = chain(area=300)
+        # One partition, 400 units: 600 needed -> resource binds.
+        processor = ReconfigurableProcessor(400, 1000, 10)
+        tp = build_model(graph, processor, 1, d_max=1e9)
+        report = diagnose_infeasibility(tp)
+        assert report.lp_infeasible
+        assert "resource" in report.culprits
+        assert "restores LP feasibility" in report.message
+
+    def test_latency_culprit(self):
+        graph = chain(area=100)
+        processor = ReconfigurableProcessor(400, 1000, 10)
+        # Window far below the 210 ns minimum.
+        tp = build_model(graph, processor, 1, d_max=50.0)
+        report = diagnose_infeasibility(tp)
+        assert report.lp_infeasible
+        assert "latency_window" in report.culprits
+
+    def test_memory_culprit_from_env_volume(self):
+        # Host input alone exceeds M_max: an LP-provable memory conflict.
+        graph = chain(area=100, volume=1)
+        graph.set_env_input("a", 500)
+        processor = ReconfigurableProcessor(400, 50, 10)
+        tp = build_model(
+            graph, processor, 2, d_max=max_latency(graph, 2, 10)
+        )
+        report = diagnose_infeasibility(tp)
+        assert report.lp_infeasible
+        assert report.culprits == ["memory"]
+
+    def test_fractional_memory_conflict_reports_integrality(self):
+        # Crossing-edge memory conflicts vanish in the LP (fractional
+        # placements drive w to 0), so the report must blame integrality.
+        graph = chain(area=300, volume=50)
+        processor = ReconfigurableProcessor(400, 5, 10)
+        tp = build_model(
+            graph, processor, 2, d_max=max_latency(graph, 2, 10)
+        )
+        solution = tp.solve(backend="highs", first_feasible=True)
+        assert not solution.status.has_solution
+        report = diagnose_infeasibility(tp)
+        assert not report.lp_infeasible
+        assert "integrality" in report.message
+
+    def test_feasible_lp_reports_integrality(self):
+        # Three tasks of area 200 on a 390-unit device, 2 partitions:
+        # LP packs fractionally (1.5 tasks per partition), the ILP can't.
+        graph = TaskGraph("frag")
+        prev = None
+        for i in range(3):
+            graph.add_task(f"t{i}", (DesignPoint(200, 10, name="dp1"),))
+            if prev:
+                graph.add_edge(prev, f"t{i}", 1)
+            prev = f"t{i}"
+        processor = ReconfigurableProcessor(390, 1000, 10)
+        tp = build_model(
+            graph, processor, 2, d_max=max_latency(graph, 2, 10)
+        )
+        solution = tp.solve(backend="highs", first_feasible=True)
+        assert not solution.status.has_solution
+        report = diagnose_infeasibility(tp)
+        assert not report.lp_infeasible
+        assert not report.certain
+        assert "integrality" in report.message
+
+
+class TestReportShape:
+    def test_detail_covers_all_families(self):
+        graph = chain(area=300)
+        processor = ReconfigurableProcessor(400, 1000, 10)
+        tp = build_model(graph, processor, 1, d_max=1e9)
+        report = diagnose_infeasibility(tp)
+        assert set(report.detail) == {
+            "resource", "memory", "latency_window", "order"
+        }

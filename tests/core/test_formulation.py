@@ -1,0 +1,169 @@
+"""Unit tests for the ILP formulation (equations (1)-(10))."""
+
+import pytest
+
+from repro.arch import ReconfigurableProcessor
+from repro.core import FormulationOptions, build_model
+from repro.core.formulation import interchangeable_groups, lp_latency_lower_bound
+from repro.taskgraph import DesignPoint, TaskGraph, dct_4x4
+
+
+def proc(r=400, m=1000, c_t=10.0):
+    return ReconfigurableProcessor(r, m, c_t)
+
+
+def solve_design(tp_model, **kwargs):
+    solution = tp_model.solve(backend="highs", first_feasible=True, **kwargs)
+    assert solution.status.has_solution
+    return tp_model.design_from(solution)
+
+
+class TestBasics:
+    def test_invalid_window_rejected(self, chain_graph):
+        with pytest.raises(ValueError):
+            build_model(chain_graph, proc(), 2, d_max=10, d_min=20)
+
+    def test_invalid_partition_count(self, chain_graph):
+        with pytest.raises(ValueError):
+            build_model(chain_graph, proc(), 0, d_max=100)
+
+    def test_bad_order_mode(self):
+        with pytest.raises(ValueError):
+            FormulationOptions(order_mode="psychic")
+
+    def test_variable_counts(self, chain_graph):
+        tp = build_model(chain_graph, proc(), 3, d_max=1000)
+        # Y: 3 tasks x 3 partitions x 1 dp; w: 2 edges x 2 boundaries;
+        # d: 3; eta: 1.
+        assert tp.model.num_vars == 9 + 4 + 3 + 1
+
+    def test_solution_respects_everything(self, diamond_graph):
+        tp = build_model(diamond_graph, proc(r=250), 3, d_max=1000)
+        design = solve_design(tp)
+        assert design.audit(proc(r=250)) == []
+
+
+class TestConstraints:
+    def test_uniqueness_soundness(self, diamond_graph):
+        tp = build_model(diamond_graph, proc(), 2, d_max=1000)
+        design = solve_design(tp)
+        # extract_design would raise if a task were double-assigned.
+        assert len(design.placements) == 4
+
+    def test_temporal_order_enforced(self, chain_graph):
+        tp = build_model(chain_graph, proc(r=160), 3, d_max=1000)
+        design = solve_design(tp)
+        assert design.partition_of("t0") <= design.partition_of("t1")
+        assert design.partition_of("t1") <= design.partition_of("t2")
+
+    @pytest.mark.parametrize("order_mode", ["pairwise", "index"])
+    def test_order_modes_equivalent_feasibility(self, chain_graph, order_mode):
+        options = FormulationOptions(order_mode=order_mode)
+        tp = build_model(
+            chain_graph, proc(r=160), 3, d_max=1000, options=options
+        )
+        design = solve_design(tp)
+        assert design.audit(proc(r=160)) == []
+
+    def test_resource_constraint_forces_split(self, diamond_graph):
+        # Each task needs >= 100 area; device of 150 fits one per partition.
+        tp = build_model(diamond_graph, proc(r=150), 4, d_max=10_000)
+        design = solve_design(tp)
+        assert design.num_partitions_used == 4
+
+    def test_memory_constraint_infeasible_when_tiny(self, diamond_graph):
+        # Forcing a split (r=150) but allowing no crossing data.
+        tp = build_model(
+            diamond_graph,
+            ReconfigurableProcessor(150, 0.5, 10),
+            4,
+            d_max=10_000,
+        )
+        solution = tp.solve(backend="highs", first_feasible=True)
+        assert not solution.status.has_solution
+
+    def test_memory_constraint_without_env(self, diamond_graph):
+        # Env I/O excluded: only the 4-unit edges count; a budget of 8.5
+        # admits designs whose boundaries carry at most two edges.
+        options = FormulationOptions(include_env_memory=False)
+        tp = build_model(
+            diamond_graph,
+            ReconfigurableProcessor(150, 8.5, 10),
+            4,
+            d_max=10_000,
+            options=options,
+        )
+        design = solve_design(tp)
+        assert design.peak_memory(include_env=False) <= 8.5
+
+    def test_latency_upper_bound_respected(self, diamond_graph):
+        processor = proc(r=400, c_t=10)
+        tp = build_model(diamond_graph, processor, 2, d_max=150)
+        design = solve_design(tp)
+        assert design.total_latency(processor) <= 150 + 1e-6
+
+    def test_latency_window_infeasible_when_too_tight(self, diamond_graph):
+        processor = proc(r=150, c_t=10)   # forces 4 partitions
+        # 4 partitions cost 40 ns alone; 4 tasks at best 25 each = 100.
+        tp = build_model(diamond_graph, processor, 4, d_max=120)
+        solution = tp.solve(backend="highs", first_feasible=True)
+        assert not solution.status.has_solution
+
+    def test_eta_counts_highest_partition(self, chain_graph):
+        processor = proc(r=160, c_t=100)  # big C_T: minimize partitions
+        tp = build_model(
+            chain_graph, processor, 5, d_max=10_000,
+            options=FormulationOptions(minimize_latency=True),
+        )
+        solution = tp.model.solve(backend="highs")
+        design = tp.design_from(solution)
+        eta_value = solution.value("eta")
+        assert eta_value == pytest.approx(design.num_partitions_used)
+
+
+class TestExtract:
+    def test_extract_requires_solution(self, chain_graph):
+        tp = build_model(chain_graph, proc(), 1, d_max=1e-3)
+        solution = tp.solve(backend="highs", first_feasible=True)
+        with pytest.raises(ValueError):
+            tp.design_from(solution)
+
+
+class TestSymmetry:
+    def test_dct_groups_found(self):
+        groups = interchangeable_groups(dct_4x4())
+        # 4 collections x 2 stages = 8 groups of 4.
+        assert len(groups) == 8
+        assert all(len(g) == 4 for g in groups)
+
+    def test_chain_has_no_groups(self, chain_graph):
+        assert interchangeable_groups(chain_graph) == []
+
+    def test_symmetry_breaking_preserves_feasibility(self, diamond_graph):
+        # b and c are interchangeable in the diamond.
+        groups = interchangeable_groups(diamond_graph)
+        assert ("b", "c") in groups
+        options = FormulationOptions(symmetry_breaking=True)
+        tp = build_model(
+            diamond_graph, proc(r=250), 3, d_max=1000, options=options
+        )
+        design = solve_design(tp)
+        assert design.audit(proc(r=250)) == []
+        assert design.partition_of("b") <= design.partition_of("c")
+
+
+class TestLpBound:
+    def test_lp_bound_is_lower_bound(self, diamond_graph):
+        processor = proc(r=250, c_t=10)
+        bound = lp_latency_lower_bound(diamond_graph, processor, 3)
+        options = FormulationOptions(minimize_latency=True)
+        tp = build_model(diamond_graph, processor, 3, d_max=10_000,
+                         options=options)
+        solution = tp.model.solve(backend="highs")
+        design = tp.design_from(solution)
+        assert bound <= design.total_latency(processor) + 1e-6
+
+    def test_lp_bound_infeasible_model(self, diamond_graph):
+        processor = ReconfigurableProcessor(150, 0.5, 10)
+        bound = lp_latency_lower_bound(diamond_graph, processor, 1)
+        assert bound == float("inf")

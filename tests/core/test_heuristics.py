@@ -1,0 +1,81 @@
+"""Unit tests for the greedy baselines and alpha/gamma estimation."""
+
+import pytest
+
+from repro.arch import ReconfigurableProcessor
+from repro.core import (
+    POLICIES,
+    bounds,
+    estimate_alpha_gamma,
+    greedy_partition,
+    heuristic_partition_count,
+)
+from repro.taskgraph import DesignPoint, TaskGraph
+
+
+class TestGreedy:
+    @pytest.mark.parametrize("policy", sorted(POLICIES))
+    def test_respects_order_and_area(self, ar_graph, ar_device, policy):
+        result = greedy_partition(ar_graph, ar_device, policy)
+        violations = result.design.audit(ar_device)
+        assert not any(v.kind == "order" for v in violations)
+        assert not any(v.kind == "resource" for v in violations)
+
+    def test_unknown_policy(self, ar_graph, ar_device):
+        with pytest.raises(ValueError):
+            greedy_partition(ar_graph, ar_device, "vibes")
+
+    def test_min_area_never_more_partitions_than_max_area(
+        self, dct_graph
+    ):
+        processor = ReconfigurableProcessor(576, 4096, 30)
+        small = heuristic_partition_count(dct_graph, processor, "min_area")
+        large = heuristic_partition_count(dct_graph, processor, "max_area")
+        assert small <= large
+
+    def test_count_at_least_lower_bound(self, dct_graph):
+        processor = ReconfigurableProcessor(576, 4096, 30)
+        count = heuristic_partition_count(dct_graph, processor, "min_area")
+        assert count >= bounds.min_area_partitions(dct_graph, 576)
+
+    def test_oversized_policy_pick_falls_back_to_min_area(self):
+        graph = TaskGraph("mix")
+        graph.add_task(
+            "a",
+            (
+                DesignPoint(100, 100, name="small"),
+                DesignPoint(900, 10, name="huge"),
+            ),
+        )
+        processor = ReconfigurableProcessor(400, 64, 10)
+        result = greedy_partition(graph, processor, "min_latency")
+        # min_latency would pick the 900-area point; it cannot fit, so the
+        # greedy must fall back to the small one.
+        assert result.design.design_point_of("a").name == "small"
+
+    def test_memory_feasibility_reported(self):
+        graph = TaskGraph("heavy")
+        graph.add_task("p", (DesignPoint(300, 10, name="dp1"),))
+        graph.add_task("q", (DesignPoint(300, 10, name="dp1"),))
+        graph.add_edge("p", "q", 50)
+        tight = ReconfigurableProcessor(400, 10, 10)   # forces a crossing
+        result = greedy_partition(graph, tight, "min_area")
+        assert not result.memory_feasible
+
+
+class TestAlphaGamma:
+    def test_estimates_non_negative(self, dct_graph):
+        processor = ReconfigurableProcessor(576, 4096, 30)
+        alpha, gamma = estimate_alpha_gamma(dct_graph, processor)
+        assert alpha >= 0
+        assert gamma >= 0
+
+    def test_perfect_packing_gives_zero(self):
+        graph = TaskGraph("exact")
+        for i in range(4):
+            graph.add_task(f"t{i}", (DesignPoint(100, 10, name="dp1"),))
+            if i:
+                graph.add_edge(f"t{i-1}", f"t{i}", 1)
+        processor = ReconfigurableProcessor(200, 64, 10)
+        alpha, _gamma = estimate_alpha_gamma(graph, processor)
+        assert alpha == 0

@@ -1,0 +1,123 @@
+"""Tests for the two latency encodings (paths vs levels big-M).
+
+The paper's per-path rows require path enumeration, which explodes on
+deep diamond graphs; the ``levels`` start-time encoding is polynomial.
+Both must agree exactly on integer optima.
+"""
+
+import pytest
+
+from repro.arch import ReconfigurableProcessor
+from repro.core import FormulationOptions, bounds, build_model
+from repro.taskgraph import DesignPoint, TaskGraph, count_paths, layered_graph
+
+
+def proc(r=400, c_t=10.0):
+    return ReconfigurableProcessor(r, 1000, c_t)
+
+
+def optimum(graph, processor, n, mode, path_limit=100_000):
+    options = FormulationOptions(
+        latency_mode=mode, minimize_latency=True, path_limit=path_limit
+    )
+    tp = build_model(
+        graph,
+        processor,
+        n,
+        bounds.max_latency(graph, n, processor.reconfiguration_time),
+        options=options,
+    )
+    solution = tp.model.solve(backend="highs", time_limit=60.0)
+    assert solution.status.has_solution
+    design = tp.design_from(solution)
+    assert design.audit(processor) == []
+    return design.total_latency(processor)
+
+
+def deep_diamond(stages: int) -> TaskGraph:
+    """2**stages source-sink paths with tiny task count."""
+    graph = TaskGraph(f"diamonds{stages}")
+    graph.add_task("n0", (DesignPoint(60, 20, name="dp1"),))
+    for stage in range(stages):
+        top, bottom, joint = f"t{stage}", f"b{stage}", f"n{stage + 1}"
+        graph.add_task(top, (
+            DesignPoint(60, 30, name="dp1"),
+            DesignPoint(100, 15, name="dp2"),
+        ))
+        graph.add_task(bottom, (DesignPoint(60, 25, name="dp1"),))
+        graph.add_task(joint, (DesignPoint(60, 20, name="dp1"),))
+        graph.add_edge(f"n{stage}", top, 2)
+        graph.add_edge(f"n{stage}", bottom, 2)
+        graph.add_edge(top, joint, 2)
+        graph.add_edge(bottom, joint, 2)
+    return graph
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_modes_agree_on_layered_graphs(self, seed):
+        graph = layered_graph(3, 2, seed=seed)
+        processor = ReconfigurableProcessor(700, 512, 40)
+        n = bounds.min_area_partitions(graph, 700) + 1
+        paths_opt = optimum(graph, processor, n, "paths")
+        levels_opt = optimum(graph, processor, n, "levels")
+        assert paths_opt == pytest.approx(levels_opt, abs=1e-6)
+
+    def test_modes_agree_on_diamond(self, diamond_graph):
+        processor = proc(r=250)
+        for n in (2, 3):
+            assert optimum(diamond_graph, processor, n, "paths") == (
+                pytest.approx(
+                    optimum(diamond_graph, processor, n, "levels"),
+                    abs=1e-6,
+                )
+            )
+
+
+class TestAutoFallback:
+    def test_auto_uses_levels_beyond_path_limit(self):
+        graph = deep_diamond(9)   # 2^9 = 512 paths
+        assert count_paths(graph) == 512
+        processor = proc(r=200, c_t=5.0)
+        # N_min^l = 9 is fragmentation-infeasible (3 x 60 per device max,
+        # 28 tasks need 10 bins); give the search the honest count.
+        n = bounds.min_area_partitions(graph, 200) + 1
+        options = FormulationOptions(
+            latency_mode="auto", path_limit=100, minimize_latency=True
+        )
+        tp = build_model(
+            graph,
+            processor,
+            n,
+            bounds.max_latency(graph, n, 5.0),
+            options=options,
+        )
+        # Levels mode introduces start-time variables.
+        names = {v.name for v in tp.model.variables}
+        assert any(name.startswith("s[") for name in names)
+        solution = tp.model.solve(backend="highs", time_limit=60.0)
+        assert solution.status.has_solution
+        design = tp.design_from(solution)
+        assert design.audit(processor) == []
+
+    def test_explicit_paths_mode_still_raises(self):
+        from repro.taskgraph.paths import PathLimitExceeded
+
+        graph = deep_diamond(9)
+        options = FormulationOptions(latency_mode="paths", path_limit=100)
+        with pytest.raises(PathLimitExceeded):
+            build_model(graph, proc(r=200), 3, d_max=1e9, options=options)
+
+    def test_levels_latency_matches_design_semantics(self):
+        # On a small instance the levels optimum equals the paths optimum
+        # AND the decoded design's own latency computation.
+        graph = deep_diamond(2)   # 4 paths: cheap for both modes
+        processor = proc(r=200, c_t=5.0)
+        n = 3
+        paths_opt = optimum(graph, processor, n, "paths")
+        levels_opt = optimum(graph, processor, n, "levels")
+        assert paths_opt == pytest.approx(levels_opt, abs=1e-6)
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError):
+            FormulationOptions(latency_mode="psychic")

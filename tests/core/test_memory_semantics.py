@@ -1,0 +1,115 @@
+"""Boundary-by-boundary memory semantics, ILP vs analytic.
+
+Equation (3) has subtle corners: edges spanning several boundaries,
+environment input held until consumption, environment output held after
+production, and the first partition (no crossing variables exist for
+p = 1).  These tests pin assignments inside the ILP and compare every
+boundary against the analytic `memory_at_boundary`.
+"""
+
+import pytest
+
+from repro.arch import ReconfigurableProcessor
+from repro.core import FormulationOptions, PartitionedDesign, build_model
+from repro.taskgraph import DesignPoint, TaskGraph
+
+
+def pipeline_graph():
+    """Four-stage pipeline with env I/O and a long-span edge."""
+    graph = TaskGraph("pipe")
+    for name in ("a", "b", "c", "d"):
+        graph.add_task(name, (DesignPoint(80, 10, name="dp1"),))
+    graph.add_edge("a", "b", 3)
+    graph.add_edge("b", "c", 5)
+    graph.add_edge("c", "d", 7)
+    graph.add_edge("a", "d", 2)      # spans boundaries 2, 3, 4
+    graph.set_env_input("a", 11)
+    graph.set_env_input("c", 13)
+    graph.set_env_output("b", 4)
+    graph.set_env_output("d", 6)
+    return graph
+
+
+def place_each_in_own_partition():
+    return PartitionedDesign.from_labels(
+        pipeline_graph(),
+        {"a": (1, "dp1"), "b": (2, "dp1"), "c": (3, "dp1"), "d": (4, "dp1")},
+    )
+
+
+class TestAnalyticBoundaries:
+    def test_boundary_1_env_inputs_only(self):
+        design = place_each_in_own_partition()
+        # Before partition 1 executes: both env inputs wait (11 + 13).
+        assert design.memory_at_boundary(1) == pytest.approx(24.0)
+
+    def test_boundary_2(self):
+        design = place_each_in_own_partition()
+        # Crossing: a->b (3), a->d (2).  Env: c's input still waiting
+        # (13); a has produced nothing for env.
+        assert design.memory_at_boundary(2) == pytest.approx(3 + 2 + 13)
+
+    def test_boundary_3(self):
+        design = place_each_in_own_partition()
+        # Crossing: b->c (5), a->d (2).  Env: c input (13) + b output (4).
+        assert design.memory_at_boundary(3) == pytest.approx(5 + 2 + 13 + 4)
+
+    def test_boundary_4(self):
+        design = place_each_in_own_partition()
+        # Crossing: c->d (7), a->d (2).  Env: b output (4).
+        assert design.memory_at_boundary(4) == pytest.approx(7 + 2 + 4)
+
+    def test_peak(self):
+        design = place_each_in_own_partition()
+        assert design.peak_memory() == pytest.approx(24.0)
+
+
+class TestIlpAgreesWithAnalytic:
+    @pytest.fixture(scope="class")
+    def pinned_solution(self):
+        graph = pipeline_graph()
+        processor = ReconfigurableProcessor(100, 64, 5)
+        tp = build_model(
+            graph, processor, 4, d_max=1e9,
+            options=FormulationOptions(two_sided_w=True),
+        )
+        for position, name in enumerate(("a", "b", "c", "d"), start=1):
+            tp.model.add_constr(
+                tp.model.variable(f"Y[{name},{position},1]") >= 1,
+                name=f"pin[{name}]",
+            )
+        solution = tp.solve(backend="highs", first_feasible=True)
+        assert solution.status.has_solution
+        return tp, solution
+
+    def test_w_values_match_crossings(self, pinned_solution):
+        tp, solution = pinned_solution
+        design = place_each_in_own_partition()
+        graph = design.graph
+        for p in (2, 3, 4):
+            ilp_crossing = sum(
+                volume * solution.values[f"w[{p},{src},{dst}]"]
+                for src, dst, volume in graph.edges
+            )
+            analytic_crossing = sum(
+                volume
+                for src, dst, volume in graph.edges
+                if design.partition_of(src) < p <= design.partition_of(dst)
+            )
+            assert ilp_crossing == pytest.approx(analytic_crossing)
+
+    def test_memory_budget_binds_where_analytic_says(self):
+        graph = pipeline_graph()
+        # Budget of 23 < boundary-1 demand of 24: infeasible everywhere.
+        processor = ReconfigurableProcessor(400, 23, 5)
+        tp = build_model(graph, processor, 4, d_max=1e9)
+        solution = tp.solve(backend="highs", first_feasible=True)
+        assert not solution.status.has_solution
+        # Budget 24 is exactly enough if everything is co-located
+        # (single partition: no crossings, env input 24 at boundary 1).
+        processor = ReconfigurableProcessor(400, 24, 5)
+        tp = build_model(graph, processor, 4, d_max=1e9)
+        solution = tp.solve(backend="highs", first_feasible=True)
+        assert solution.status.has_solution
+        design = tp.design_from(solution)
+        assert design.audit(processor) == []

@@ -1,0 +1,149 @@
+"""Tests for the multiple-resource-types extension.
+
+The paper: "Similar equations can be added if multiple resource types
+exist in the FPGA" (Section 3.2.3).  Design points may declare usage of
+extra resource kinds (block RAMs, dedicated multipliers); the processor
+declares per-kind capacities; the ILP, the CP solver and the audit all
+enforce them.
+"""
+
+import pytest
+
+from repro.arch import ReconfigurableProcessor
+from repro.core import (
+    FormulationOptions,
+    PartitionedDesign,
+    build_model,
+    cp_solve,
+)
+from repro.taskgraph import DesignPoint, TaskGraph, from_dict, to_dict
+
+
+def dsp_point(area, latency, dsp, name="dp1"):
+    return DesignPoint(area=area, latency=latency, name=name).with_resources(
+        dsp=dsp
+    )
+
+
+def dsp_graph():
+    """Two independent tasks, each wanting 3 DSP blocks."""
+    graph = TaskGraph("dsp")
+    for name in ("a", "b"):
+        graph.add_task(
+            name,
+            (
+                dsp_point(100, 100, dsp=3, name="dsp_heavy"),
+                DesignPoint(area=150, latency=300, name="lut_only"),
+            ),
+        )
+    return graph
+
+
+class TestDesignPoint:
+    def test_with_resources(self):
+        dp = dsp_point(100, 10, dsp=2)
+        assert dp.resource_usage("dsp") == 2
+        assert dp.resource_usage("bram") == 0
+
+    def test_negative_usage_rejected(self):
+        with pytest.raises(ValueError):
+            DesignPoint(
+                area=1, latency=1, extra_resources=(("dsp", -1),)
+            )
+
+    def test_json_round_trip_keeps_resources(self):
+        graph = dsp_graph()
+        rebuilt = from_dict(to_dict(graph))
+        dp = rebuilt.task("a").design_points[0]
+        assert dp.resource_usage("dsp") == 3
+
+
+class TestProcessor:
+    def test_with_extra_capacities(self):
+        proc = ReconfigurableProcessor(400, 64, 10).with_extra_capacities(
+            dsp=4, bram=8
+        )
+        assert proc.extra_capacity("dsp") == 4
+        assert proc.extra_capacity("other") == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ReconfigurableProcessor(
+                400, 64, 10, extra_capacities=(("dsp", -1),)
+            )
+
+
+class TestFormulation:
+    def test_dsp_capacity_forces_spread_or_fallback(self):
+        graph = dsp_graph()
+        # Only 4 DSPs per configuration: both tasks cannot use their
+        # DSP-heavy (3 each) points in the same partition.
+        processor = ReconfigurableProcessor(
+            1000, 64, 10
+        ).with_extra_capacities(dsp=4)
+        tp = build_model(
+            graph, processor, 1, d_max=1e9,
+            options=FormulationOptions(minimize_latency=True),
+        )
+        solution = tp.model.solve(backend="highs")
+        design = tp.design_from(solution)
+        assert design.audit(processor) == []
+        heavy = [
+            t for t in ("a", "b")
+            if design.design_point_of(t).name == "dsp_heavy"
+        ]
+        assert len(heavy) <= 1   # one must fall back to LUTs
+
+    def test_two_partitions_allow_both_heavy(self):
+        graph = dsp_graph()
+        processor = ReconfigurableProcessor(
+            1000, 64, 10
+        ).with_extra_capacities(dsp=4)
+        tp = build_model(
+            graph, processor, 2, d_max=1e9,
+            options=FormulationOptions(minimize_latency=True),
+        )
+        solution = tp.model.solve(backend="highs")
+        design = tp.design_from(solution)
+        assert design.audit(processor) == []
+        # With C_T = 10 << 100 ns saved, splitting and running both
+        # DSP-heavy points is optimal.
+        names = {design.design_point_of(t).name for t in ("a", "b")}
+        assert names == {"dsp_heavy"}
+        assert design.num_partitions_used == 2
+
+
+class TestAuditAndCp:
+    def test_audit_flags_extra_resource_violation(self):
+        graph = dsp_graph()
+        processor = ReconfigurableProcessor(
+            1000, 64, 10
+        ).with_extra_capacities(dsp=4)
+        design = PartitionedDesign.from_labels(
+            graph, {"a": (1, "dsp_heavy"), "b": (1, "dsp_heavy")}
+        )
+        violations = design.audit(processor)
+        assert any("dsp" in v.detail for v in violations)
+
+    def test_cp_respects_extra_resources(self):
+        graph = dsp_graph()
+        processor = ReconfigurableProcessor(
+            1000, 64, 10
+        ).with_extra_capacities(dsp=4)
+        design = cp_solve(graph, processor, 1, d_max=1e9)
+        assert design is not None
+        assert design.audit(processor) == []
+
+    def test_cp_and_ilp_agree_with_extra_resources(self):
+        graph = dsp_graph()
+        # Zero DSPs: heavy points unusable anywhere; LUT fallback exists,
+        # so both solvers must still find a design.
+        processor = ReconfigurableProcessor(
+            1000, 64, 10
+        ).with_extra_capacities(dsp=0)
+        cp_design = cp_solve(graph, processor, 1, d_max=1e9)
+        tp = build_model(graph, processor, 1, d_max=1e9)
+        ilp = tp.solve(backend="highs", first_feasible=True)
+        assert cp_design is not None
+        assert ilp.status.has_solution
+        assert cp_design.design_point_of("a").name == "lut_only"

@@ -1,0 +1,68 @@
+"""Unit tests for the optimality oracle."""
+
+import pytest
+
+from repro.arch import ReconfigurableProcessor
+from repro.core import (
+    RefinementConfig,
+    SolverSettings,
+    refine_partitions_bound,
+    solve_optimal,
+)
+from repro.ilp import SolveStatus
+
+
+class TestSolveOptimal:
+    def test_ar_filter_optimum(self, ar_graph, ar_device):
+        result = solve_optimal(ar_graph, ar_device)
+        assert result.feasible
+        assert result.proven_optimal
+        assert result.latency == pytest.approx(510.0)
+        assert result.design.is_valid(ar_device)
+
+    def test_iterative_matches_optimal(self, ar_graph, ar_device):
+        """The paper's Table 1 claim."""
+        iterative = refine_partitions_bound(
+            ar_graph,
+            ar_device,
+            config=RefinementConfig(delta=10.0, gamma=1),
+            settings=SolverSettings(time_limit=15.0),
+        )
+        optimal = solve_optimal(ar_graph, ar_device)
+        assert iterative.achieved == pytest.approx(optimal.latency)
+
+    def test_explicit_partition_counts(self, ar_graph, ar_device):
+        result = solve_optimal(ar_graph, ar_device, [3])
+        assert len(result.attempts) == 1
+        assert result.attempts[0].num_partitions == 3
+
+    def test_infeasible_bound_recorded(self, ar_graph, ar_device):
+        result = solve_optimal(ar_graph, ar_device, [1])
+        assert not result.feasible
+        assert result.attempts[0].status is SolveStatus.INFEASIBLE
+        # A run whose only attempt is proven infeasible is still "proven".
+        assert result.proven_optimal
+
+    def test_best_over_multiple_bounds(self, ar_graph, ar_device):
+        result = solve_optimal(ar_graph, ar_device, [3, 4, 5])
+        latencies = [
+            a.latency for a in result.attempts if a.latency is not None
+        ]
+        assert result.latency == min(latencies)
+
+    def test_node_limit_degrades_gracefully(self, ar_graph, ar_device):
+        result = solve_optimal(
+            ar_graph, ar_device, [3], node_limit=1
+        )
+        # Either solved at the root or stopped early; never crashes, and
+        # proven_optimal reflects whether the solve completed.
+        attempt = result.attempts[0]
+        if attempt.status is SolveStatus.OPTIMAL:
+            assert result.proven_optimal
+        else:
+            assert not result.proven_optimal
+
+    def test_large_ct_prefers_fewer_partitions(self, ar_graph):
+        processor = ReconfigurableProcessor(400, 128, 1e6)
+        result = solve_optimal(ar_graph, processor)
+        assert result.design.num_partitions_used == 3  # the minimum

@@ -1,0 +1,128 @@
+"""Unit tests for Algorithm Reduce_Latency (Figure 1)."""
+
+import pytest
+
+from repro.arch import ReconfigurableProcessor
+from repro.core import SolverSettings, bounds, reduce_latency
+
+
+def proc(r=400, c_t=20.0):
+    return ReconfigurableProcessor(r, 128, c_t)
+
+
+def run(graph, processor, n, delta=10.0, settings=None, **kwargs):
+    d_max = bounds.max_latency(graph, n, processor.reconfiguration_time)
+    d_min = bounds.min_latency(graph, n, processor.reconfiguration_time)
+    return reduce_latency(
+        graph,
+        processor,
+        n,
+        d_max,
+        d_min,
+        delta,
+        settings=settings or SolverSettings(time_limit=15.0),
+        **kwargs,
+    )
+
+
+class TestBasics:
+    def test_invalid_delta(self, ar_graph):
+        with pytest.raises(ValueError):
+            run(ar_graph, proc(), 3, delta=0.0)
+
+    def test_finds_feasible_solution(self, ar_graph):
+        result = run(ar_graph, proc(), 3)
+        assert result.feasible
+        assert result.design.is_valid(proc())
+        assert result.achieved == pytest.approx(
+            result.design.total_latency(proc())
+        )
+
+    def test_infeasible_partition_bound(self, ar_graph):
+        # One partition cannot hold 970+ area on a 400-unit device.
+        result = run(ar_graph, proc(), 1)
+        assert not result.feasible
+        assert result.achieved is None
+        assert len(result.trace) == 1
+        assert not result.trace.records[0].feasible
+
+    def test_trace_has_monotone_iterations(self, ar_graph):
+        result = run(ar_graph, proc(), 3)
+        iterations = [r.iteration for r in result.trace]
+        assert iterations == list(range(1, len(iterations) + 1))
+
+
+class TestConvergence:
+    def test_achieved_within_delta_of_final_lower_bound(self, ar_graph):
+        """Termination: either window < delta or D_a - D_min < delta."""
+        delta = 10.0
+        result = run(ar_graph, proc(), 3, delta=delta)
+        assert result.feasible
+        records = result.trace.records
+        last = records[-1]
+        final_d_min = last.d_min if not last.feasible else records[-1].d_min
+        # The incumbent cannot be more than delta above any proven-empty
+        # region boundary explored last.
+        infeasible_maxima = [
+            r.d_max for r in records if not r.feasible
+        ]
+        if infeasible_maxima:
+            assert result.achieved - max(infeasible_maxima) <= delta + 1e-6
+
+    def test_achieved_never_worse_than_first(self, ar_graph):
+        result = run(ar_graph, proc(), 3)
+        feasible = [r.achieved for r in result.trace if r.feasible]
+        assert feasible == sorted(feasible, reverse=True)
+        assert result.achieved == feasible[-1]
+
+    def test_larger_delta_means_fewer_iterations(self, ar_graph):
+        fine = run(ar_graph, proc(), 3, delta=5.0)
+        coarse = run(ar_graph, proc(), 3, delta=200.0)
+        assert len(coarse.trace) <= len(fine.trace)
+
+    def test_trials_always_below_incumbent(self, ar_graph):
+        result = run(ar_graph, proc(), 3)
+        incumbent = None
+        for record in result.trace:
+            if incumbent is not None:
+                assert record.d_max < incumbent
+            if record.feasible:
+                incumbent = record.achieved
+
+
+class TestExtensions:
+    def test_lp_bound_off_reproduces_paper_window(self, ar_graph):
+        settings = SolverSettings(use_lp_bound=False, time_limit=15.0)
+        result = run(ar_graph, proc(), 3, settings=settings)
+        first = result.trace.records[0]
+        assert first.d_min == pytest.approx(
+            bounds.min_latency(ar_graph, 3, 20.0)
+        )
+
+    def test_lp_bound_on_tightens_d_min(self, ar_graph):
+        on = run(ar_graph, proc(), 3)
+        off = run(
+            ar_graph, proc(), 3,
+            settings=SolverSettings(use_lp_bound=False, time_limit=15.0),
+        )
+        assert on.trace.records[0].d_min >= off.trace.records[0].d_min
+        # Both converge to the same quality (the bound removes no design).
+        assert on.achieved == pytest.approx(off.achieved, rel=0.05)
+
+    def test_unguided_solves_still_work(self, ar_graph):
+        settings = SolverSettings(
+            guide_with_objective=False, time_limit=15.0
+        )
+        result = run(ar_graph, proc(), 3, settings=settings)
+        assert result.feasible
+
+
+class TestDeadline:
+    def test_expired_deadline_stops_after_first_solve(self, ar_graph):
+        import time
+
+        result = run(
+            ar_graph, proc(), 3, deadline=time.perf_counter() - 1.0
+        )
+        # First solve always happens; refinement loop must not start.
+        assert len(result.trace) == 1

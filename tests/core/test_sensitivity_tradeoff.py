@@ -1,0 +1,117 @@
+"""Tests for LP shadow prices and the partition/latency trade-off curve."""
+
+import pytest
+
+from repro.arch import ReconfigurableProcessor
+from repro.core import (
+    FormulationOptions,
+    SolverSettings,
+    bounds,
+    build_model,
+    capacity_shadow_prices,
+    partition_latency_curve,
+)
+from repro.taskgraph import DesignPoint, TaskGraph, ar_filter
+
+
+def tight_graph():
+    """Two parallel tasks whose fast points need more area than R_max."""
+    graph = TaskGraph("tight")
+    for name in ("a", "b"):
+        graph.add_task(
+            name,
+            (
+                DesignPoint(100, 200, name="slow"),
+                DesignPoint(260, 80, name="fast"),
+            ),
+        )
+    return graph
+
+
+class TestShadowPrices:
+    def test_binding_resource_row_has_negative_price(self):
+        graph = tight_graph()
+        processor = ReconfigurableProcessor(300, 256, 10)
+        tp = build_model(
+            graph, processor, 1,
+            bounds.max_latency(graph, 1, 10),
+            options=FormulationOptions(minimize_latency=True),
+        )
+        report = capacity_shadow_prices(tp)
+        assert report is not None
+        # One partition, 300 units: fast+fast needs 520; the resource row
+        # binds and extra capacity would lower the LP latency bound.
+        assert report.resource_prices[1] < -1e-9
+        assert 1 in report.binding_resource_partitions
+
+    def test_slack_rows_have_zero_price(self):
+        graph = tight_graph()
+        processor = ReconfigurableProcessor(2000, 4096, 10)
+        tp = build_model(
+            graph, processor, 1,
+            bounds.max_latency(graph, 1, 10),
+            options=FormulationOptions(minimize_latency=True),
+        )
+        report = capacity_shadow_prices(tp)
+        assert report.resource_prices[1] == pytest.approx(0.0, abs=1e-9)
+
+    def test_infeasible_returns_none(self):
+        graph = tight_graph()
+        processor = ReconfigurableProcessor(150, 256, 10)  # nothing fits
+        tp = build_model(graph, processor, 1, d_max=1e9)
+        assert capacity_shadow_prices(tp) is None
+
+    def test_table_renders(self):
+        graph = tight_graph()
+        processor = ReconfigurableProcessor(300, 256, 10)
+        tp = build_model(
+            graph, processor, 1,
+            bounds.max_latency(graph, 1, 10),
+            options=FormulationOptions(minimize_latency=True),
+        )
+        text = capacity_shadow_prices(tp).table().render()
+        assert "shadow prices" in text
+        assert "LP latency bound" in text
+
+
+class TestTradeoffCurve:
+    @pytest.fixture(scope="class")
+    def ar_curve(self):
+        return partition_latency_curve(
+            ar_filter(),
+            ReconfigurableProcessor(400, 128, 20),
+            partition_counts=[2, 3, 4, 5],
+            delta=10.0,
+            settings=SolverSettings(time_limit=15.0),
+        )
+
+    def test_infeasible_bounds_marked(self, ar_curve):
+        by_n = {p.num_partitions: p for p in ar_curve.points}
+        assert not by_n[2].feasible     # 970 area cannot fit 2 x 400
+        assert by_n[3].feasible
+
+    def test_best_matches_known_optimum(self, ar_curve):
+        assert ar_curve.best().total_latency == pytest.approx(510.0)
+
+    def test_designs_kept_per_bound(self, ar_curve):
+        for point in ar_curve.points:
+            if point.feasible:
+                design = ar_curve.designs[point.num_partitions]
+                assert design.num_partitions_used <= point.num_partitions
+
+    def test_large_ct_curve_increases(self):
+        curve = partition_latency_curve(
+            ar_filter(),
+            ReconfigurableProcessor(400, 128, 1e6),
+            partition_counts=[3, 4, 5],
+            delta=10.0,
+            settings=SolverSettings(time_limit=15.0),
+        )
+        latencies = [p.total_latency for p in curve.points if p.feasible]
+        assert latencies == sorted(latencies)
+        assert curve.best().num_partitions == 3
+
+    def test_table_renders(self, ar_curve):
+        text = ar_curve.table().render()
+        assert "trade-off" in text
+        assert "best:" in text

@@ -1,0 +1,82 @@
+"""Symmetry breaking must never change optimal values, only effort."""
+
+import pytest
+
+from repro.arch import ReconfigurableProcessor
+from repro.core import FormulationOptions, bounds, build_model
+from repro.core.formulation import interchangeable_groups
+from repro.taskgraph import DesignPoint, TaskGraph, dct_4x4
+
+
+def symmetric_fanout(copies=4):
+    """One producer feeding `copies` identical consumers."""
+    graph = TaskGraph("fanout")
+    graph.add_task("src", (DesignPoint(100, 50, name="dp1"),))
+    for i in range(copies):
+        graph.add_task(
+            f"c{i}",
+            (
+                DesignPoint(120, 80, name="dp1"),
+                DesignPoint(200, 40, name="dp2"),
+            ),
+        )
+        graph.add_edge("src", f"c{i}", 3)
+    return graph
+
+
+class TestGroups:
+    def test_fanout_consumers_grouped(self):
+        groups = interchangeable_groups(symmetric_fanout())
+        assert groups == [("c0", "c1", "c2", "c3")]
+
+    def test_different_volumes_not_grouped(self):
+        graph = symmetric_fanout(2)
+        graph2 = TaskGraph("uneven")
+        graph2.add_task("src", (DesignPoint(100, 50, name="dp1"),))
+        graph2.add_task("c0", (DesignPoint(120, 80, name="dp1"),))
+        graph2.add_task("c1", (DesignPoint(120, 80, name="dp1"),))
+        graph2.add_edge("src", "c0", 3)
+        graph2.add_edge("src", "c1", 7)   # different volume
+        assert interchangeable_groups(graph2) == []
+
+    def test_different_env_not_grouped(self):
+        graph = TaskGraph("env")
+        graph.add_task("a", (DesignPoint(10, 10, name="dp1"),))
+        graph.add_task("b", (DesignPoint(10, 10, name="dp1"),))
+        graph.set_env_input("a", 5)
+        assert interchangeable_groups(graph) == []
+
+
+class TestOptimalValuePreserved:
+    @pytest.mark.parametrize("n", [2, 3])
+    def test_same_optimum_with_and_without(self, n):
+        graph = symmetric_fanout()
+        processor = ReconfigurableProcessor(450, 256, 15)
+        d_max = bounds.max_latency(graph, n, 15)
+        values = {}
+        for flag in (False, True):
+            options = FormulationOptions(
+                symmetry_breaking=flag, minimize_latency=True
+            )
+            tp = build_model(graph, processor, n, d_max, options=options)
+            solution = tp.model.solve(backend="highs", time_limit=30.0)
+            assert solution.status.has_solution
+            design = tp.design_from(solution)
+            assert design.audit(processor) == []
+            values[flag] = design.total_latency(processor)
+        assert values[True] == pytest.approx(values[False])
+
+    def test_dct_model_shrinks_symmetric_space(self):
+        graph = dct_4x4()
+        processor = ReconfigurableProcessor(1024, 2048, 30)
+        plain = build_model(
+            graph, processor, 5,
+            bounds.max_latency(graph, 5, 30),
+        ).model
+        broken = build_model(
+            graph, processor, 5,
+            bounds.max_latency(graph, 5, 30),
+            options=FormulationOptions(symmetry_breaking=True),
+        ).model
+        # 8 groups x 3 ordering rows each = 24 extra constraints.
+        assert broken.num_constraints == plain.num_constraints + 24

@@ -1,0 +1,128 @@
+"""Unit tests for iteration traces."""
+
+import pytest
+
+from repro.core import IterationRecord, SearchTrace
+
+
+def record(n=3, i=1, d_max=100.0, d_min=10.0, achieved=50.0):
+    return IterationRecord(
+        num_partitions=n,
+        iteration=i,
+        d_max=d_max,
+        d_min=d_min,
+        achieved=achieved,
+        wall_time=0.5,
+        solver_iterations=7,
+    )
+
+
+class TestIterationRecord:
+    def test_feasible_flag(self):
+        assert record().feasible
+        assert not record(achieved=None).feasible
+
+    def test_row_strips_overhead(self):
+        r = record(n=3, d_max=160.0, d_min=70.0, achieved=130.0)
+        n, i, d_min, d_max, achieved = r.row(reconfiguration_time=20.0)
+        assert (n, i) == (3, 1)
+        assert d_min == pytest.approx(10.0)
+        assert d_max == pytest.approx(100.0)
+        assert achieved == pytest.approx(70.0)
+
+    def test_row_infeasible_keeps_none(self):
+        n, i, d_min, d_max, achieved = record(achieved=None).row(20.0)
+        assert achieved is None
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            record().iteration = 99
+
+
+class TestSearchTrace:
+    def test_add_and_iterate(self):
+        trace = SearchTrace()
+        trace.add(record(i=1))
+        trace.add(record(i=2, achieved=None))
+        assert len(trace) == 2
+        assert trace.total_solves == 2
+        assert [r.iteration for r in trace] == [1, 2]
+
+    def test_extend(self):
+        trace = SearchTrace()
+        trace.extend([record(i=1), record(i=2)])
+        assert len(trace) == 2
+
+    def test_total_wall_time(self):
+        trace = SearchTrace()
+        trace.extend([record(), record()])
+        assert trace.total_wall_time == pytest.approx(1.0)
+
+    def test_for_partitions(self):
+        trace = SearchTrace()
+        trace.extend([record(n=3), record(n=4), record(n=3, i=2)])
+        assert len(trace.for_partitions(3)) == 2
+        assert len(trace.for_partitions(5)) == 0
+
+    def test_partition_counts_in_first_seen_order(self):
+        trace = SearchTrace()
+        trace.extend([record(n=4), record(n=3), record(n=4, i=2)])
+        assert trace.partition_counts() == (4, 3)
+
+    def test_best(self):
+        trace = SearchTrace()
+        trace.extend(
+            [
+                record(i=1, achieved=90.0),
+                record(i=2, achieved=None),
+                record(i=3, achieved=60.0),
+            ]
+        )
+        assert trace.best().achieved == 60.0
+
+    def test_best_of_empty_or_infeasible(self):
+        trace = SearchTrace()
+        assert trace.best() is None
+        trace.add(record(achieved=None))
+        assert trace.best() is None
+
+
+class TestConvergenceChart:
+    def test_empty(self):
+        assert SearchTrace().convergence_chart() == "(empty trace)"
+
+    def test_marks_feasible_and_infeasible(self):
+        trace = SearchTrace()
+        trace.add(record(i=1, d_min=0.0, d_max=100.0, achieved=50.0))
+        trace.add(record(i=2, d_min=0.0, d_max=40.0, achieved=None))
+        chart = trace.convergence_chart(width=40)
+        lines = chart.splitlines()
+        assert len(lines) == 2
+        assert "*" in lines[0]
+        assert "x" in lines[1]
+        assert all(line.startswith("N=3") for line in lines)
+
+    def test_width_respected(self):
+        trace = SearchTrace()
+        trace.add(record())
+        chart = trace.convergence_chart(width=30)
+        body = chart.split("|")[1]
+        assert len(body) == 30
+
+    def test_real_search_chart(self, ):
+        from repro.arch import ReconfigurableProcessor
+        from repro.core import (
+            RefinementConfig,
+            SolverSettings,
+            refine_partitions_bound,
+        )
+        from repro.taskgraph import ar_filter
+
+        result = refine_partitions_bound(
+            ar_filter(),
+            ReconfigurableProcessor(400, 128, 20),
+            config=RefinementConfig(delta=10.0, gamma=1),
+            settings=SolverSettings(time_limit=15.0),
+        )
+        chart = result.trace.convergence_chart()
+        assert chart.count("\n") + 1 == len(result.trace)

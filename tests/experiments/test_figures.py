@@ -1,0 +1,55 @@
+"""Tests for the figure reconstructions (Figures 3-6)."""
+
+import pytest
+
+from repro.experiments import (
+    figure3_memory_model,
+    figure4_partition_latency,
+    figure5_ar_graph,
+    figure6_dct_graph,
+)
+
+
+class TestFigure3:
+    def test_analytic_memory_matches_hand_count(self):
+        result = figure3_memory_model()
+        # Boundary 2: t1->t3 (4) + t2->t3 (6) + t1->t4 (2) = 12.
+        assert result.analytic_memory[2] == pytest.approx(12.0)
+        # Boundary 3: t1->t4 (2) + t3->t5 (8) = 10.
+        assert result.analytic_memory[3] == pytest.approx(10.0)
+
+    def test_ilp_w_variables_agree(self):
+        result = figure3_memory_model()
+        assert result.consistent
+        # The double-crossing edge t1->t4 sets w at both boundaries.
+        assert result.ilp_w[(2, "t1", "t4")] == pytest.approx(1.0)
+        assert result.ilp_w[(3, "t1", "t4")] == pytest.approx(1.0)
+        # A same-partition edge never crosses.
+        assert result.ilp_w[(2, "t4", "t5")] == pytest.approx(0.0)
+
+    def test_table_renders(self):
+        text = figure3_memory_model().table.render()
+        assert "Boundary" in text
+
+
+class TestFigure4:
+    def test_partition_latencies_match_paper(self):
+        result = figure4_partition_latency()
+        assert result.d1 == pytest.approx(400.0)
+        assert result.d2 == pytest.approx(300.0)
+
+    def test_design_is_consistent(self):
+        result = figure4_partition_latency()
+        assert result.design.execution_latency() == pytest.approx(700.0)
+
+
+class TestGraphFigures:
+    def test_figure5_dot(self):
+        dot = figure5_ar_graph()
+        assert dot.startswith('digraph "ar_filter"')
+        assert '"T1"' in dot
+
+    def test_figure6_dot(self):
+        dot = figure6_dct_graph()
+        assert dot.startswith('digraph "dct_4x4"')
+        assert dot.count("->") == 64

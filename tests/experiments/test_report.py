@@ -1,0 +1,61 @@
+"""Unit tests for the text-table renderer."""
+
+import pytest
+
+from repro.experiments import TextTable, format_value
+
+
+class TestFormatValue:
+    def test_none_is_inf(self):
+        assert format_value(None) == "Inf."
+
+    def test_integral_float(self):
+        assert format_value(25440.0) == "25,440"
+
+    def test_fractional_float(self):
+        assert format_value(12.345, precision=1) == "12.3"
+
+    def test_int_with_separators(self):
+        assert format_value(1000000) == "1,000,000"
+
+    def test_bool(self):
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+
+    def test_string_passthrough(self):
+        assert format_value("abc") == "abc"
+
+
+class TestTextTable:
+    def test_render_alignment(self):
+        table = TextTable("Demo", ("A", "Longer"))
+        table.add_row(1, 22222)
+        table.add_row(333, None)
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "Demo"
+        # All body lines have equal width.
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1
+        assert "Inf." in text
+
+    def test_wrong_cell_count_rejected(self):
+        table = TextTable("Demo", ("A", "B"))
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_footer_rendered(self):
+        table = TextTable("Demo", ("A",))
+        table.add_row(1)
+        table.footer = "note"
+        assert table.render().endswith("note")
+
+    def test_empty_table_renders_header(self):
+        table = TextTable("Empty", ("Col",))
+        text = table.render()
+        assert "Col" in text
+
+    def test_str_is_render(self):
+        table = TextTable("Demo", ("A",))
+        table.add_row(5)
+        assert str(table) == table.render()

@@ -1,0 +1,59 @@
+"""Unit tests for the experiment runner plumbing (no heavy solving)."""
+
+import pytest
+
+from repro.core import RefinementConfig, SolverSettings
+from repro.experiments import DctExperiment, LARGE_CT, SMALL_CT
+
+
+class TestDctExperiment:
+    def test_processor_carries_parameters(self):
+        experiment = DctExperiment(
+            table="X",
+            resource_capacity=1024,
+            reconfiguration_time=SMALL_CT,
+            delta=200.0,
+            memory_capacity=4096,
+        )
+        processor = experiment.processor()
+        assert processor.resource_capacity == 1024
+        assert processor.memory_capacity == 4096
+        assert processor.reconfiguration_time == SMALL_CT
+
+    def test_config_carries_search_parameters(self):
+        experiment = DctExperiment(
+            table="X",
+            resource_capacity=576,
+            reconfiguration_time=LARGE_CT,
+            delta=100.0,
+            alpha=2,
+            gamma=3,
+            time_budget=42.0,
+        )
+        config = experiment.config()
+        assert isinstance(config, RefinementConfig)
+        assert config.alpha == 2
+        assert config.gamma == 3
+        assert config.delta == 100.0
+        assert config.time_budget == 42.0
+
+    def test_frozen(self):
+        experiment = DctExperiment(
+            table="X", resource_capacity=576,
+            reconfiguration_time=SMALL_CT, delta=1.0,
+        )
+        with pytest.raises(AttributeError):
+            experiment.delta = 2.0
+
+    def test_ct_constants_regimes(self):
+        # Small: nanoseconds; large: 10 ms expressed in ns.
+        assert SMALL_CT == 30.0
+        assert LARGE_CT == 10e6
+        assert LARGE_CT / SMALL_CT > 1e5
+
+    def test_default_solver_settings(self):
+        experiment = DctExperiment(
+            table="X", resource_capacity=576,
+            reconfiguration_time=SMALL_CT, delta=1.0,
+        )
+        assert isinstance(experiment.solver, SolverSettings)

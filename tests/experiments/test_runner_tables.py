@@ -1,0 +1,79 @@
+"""Tests for the experiment runner and the fast table reproductions.
+
+The expensive DCT sweeps (Tables 3-8) live in ``benchmarks/``; here we
+exercise the harness itself plus the cheap experiments (Tables 1 and 2)
+and a budget-capped smoke run of one DCT experiment.
+"""
+
+import pytest
+
+from repro.core import SolverSettings
+from repro.experiments import (
+    DCT_EXPERIMENTS,
+    DctExperiment,
+    run_experiment,
+    table1_ar_filter,
+    table2_design_points,
+)
+from repro.taskgraph import dct_4x4
+
+
+class TestTable1:
+    def test_iterative_matches_optimal(self):
+        result = table1_ar_filter(
+            settings=SolverSettings(time_limit=15.0)
+        )
+        assert result.matches
+        assert result.iterative_latency == pytest.approx(510.0)
+
+    def test_table_renders_with_inf_rows(self):
+        result = table1_ar_filter(
+            settings=SolverSettings(time_limit=15.0)
+        )
+        text = result.table.render()
+        assert "Inf." in text          # bisection probes below optimum
+        assert "match" in text
+
+
+class TestTable2:
+    def test_design_point_rows(self):
+        table = table2_design_points()
+        assert len(table.rows) == 6     # 2 kinds x 3 points
+        text = table.render()
+        assert "T1" in text and "T2" in text
+        assert "4,160" in text.replace(" ", ",")
+
+
+class TestRunner:
+    def test_experiment_processor_construction(self):
+        experiment = DctExperiment(
+            table="T", resource_capacity=576,
+            reconfiguration_time=30.0, delta=200.0,
+        )
+        processor = experiment.processor()
+        assert processor.resource_capacity == 576
+        assert processor.reconfiguration_time == 30.0
+
+    def test_registry_covers_tables_3_to_8(self):
+        assert sorted(DCT_EXPERIMENTS) == [3, 4, 5, 6, 7, 8]
+
+    def test_budget_capped_dct_run(self):
+        """A heavily capped run still produces a well-formed trace."""
+        experiment = DctExperiment(
+            table="smoke",
+            resource_capacity=1024,
+            reconfiguration_time=10e6,
+            delta=3000.0,
+            alpha=0,
+            gamma=0,
+            solver=SolverSettings(time_limit=20.0),
+            time_budget=90.0,
+        )
+        result = run_experiment(experiment, dct_4x4())
+        assert result.iterations >= 1
+        table_text = result.table().render()
+        assert "N" in table_text
+        if result.best_latency is not None:
+            assert result.best_partitions >= 5
+            # Rendering without overhead shows execution-only latencies.
+            assert result.best_latency > 10e6  # includes reconfigurations

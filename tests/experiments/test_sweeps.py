@@ -1,0 +1,48 @@
+"""Unit tests for the reconfiguration sweep harness."""
+
+import pytest
+
+from repro.arch import ReconfigurableProcessor
+from repro.core import RefinementConfig, SolverSettings
+from repro.experiments import reconfiguration_sweep, sweep_table
+from repro.taskgraph import layered_graph
+
+
+@pytest.fixture(scope="module")
+def sweep_points():
+    graph = layered_graph(2, 2, seed=3)
+    base = ReconfigurableProcessor(700, 512, 0.0)
+    return reconfiguration_sweep(
+        graph,
+        base,
+        (0.0, 50_000.0),
+        config=RefinementConfig(gamma=1, delta_fraction=0.05,
+                                time_budget=60.0),
+        settings=SolverSettings(time_limit=15.0),
+    )
+
+
+class TestSweep:
+    def test_one_point_per_ct(self, sweep_points):
+        assert [p.reconfiguration_time for p in sweep_points] == [
+            0.0, 50_000.0
+        ]
+
+    def test_points_feasible(self, sweep_points):
+        assert all(p.partitions is not None for p in sweep_points)
+        assert all(p.total_latency is not None for p in sweep_points)
+
+    def test_greedy_baseline_recorded(self, sweep_points):
+        assert all(p.greedy_partitions >= 1 for p in sweep_points)
+        for p in sweep_points:
+            assert p.total_latency <= p.greedy_latency + 1e-6
+
+    def test_zero_ct_total_equals_execution(self, sweep_points):
+        zero = sweep_points[0]
+        assert zero.total_latency == pytest.approx(zero.execution_latency)
+
+    def test_table_rendering(self, sweep_points):
+        table = sweep_table(sweep_points, "demo sweep")
+        text = table.render()
+        assert "C_T (ns)" in text
+        assert len(table.rows) == 2

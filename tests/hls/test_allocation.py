@@ -1,0 +1,70 @@
+"""Unit tests for module-set enumeration."""
+
+import pytest
+
+from repro.hls import default_library, enumerate_allocations, vector_product_dfg
+from repro.hls.allocation import Allocation
+
+
+class TestEnumeration:
+    def test_covers_every_kind(self):
+        dfg = vector_product_dfg(4)
+        lib = default_library()
+        for allocation in enumerate_allocations(dfg, lib):
+            kinds = {kind for kind, _u, _c in allocation.assignments}
+            assert kinds == {"mul", "add"}
+
+    def test_counts_bounded_by_ops(self):
+        dfg = vector_product_dfg(2)   # 2 muls, 1 add
+        lib = default_library()
+        for allocation in enumerate_allocations(dfg, lib):
+            for kind, _unit, count in allocation.assignments:
+                assert 1 <= count <= dfg.kinds()[kind]
+
+    def test_limit_keeps_smallest(self):
+        dfg = vector_product_dfg(4)
+        lib = default_library()
+        limited = enumerate_allocations(dfg, lib, limit=3)
+        assert len(limited) == 3
+        # The single-instance-everywhere allocation must survive.
+        totals = [
+            sum(c for _k, _u, c in a.assignments) for a in limited
+        ]
+        assert min(totals) == 2
+
+    def test_alternative_units_enumerated(self):
+        dfg = vector_product_dfg(2)
+        lib = default_library()
+        units_used = {
+            unit
+            for a in enumerate_allocations(dfg, lib)
+            for kind, unit, _c in a.assignments
+            if kind == "add"
+        }
+        assert units_used == {"add", "alu"}
+
+    def test_empty_dfg(self):
+        from repro.hls import Dfg
+
+        assert enumerate_allocations(Dfg(), default_library()) == []
+
+    def test_deterministic(self):
+        dfg = vector_product_dfg(3)
+        lib = default_library()
+        a = enumerate_allocations(dfg, lib)
+        b = enumerate_allocations(dfg, lib)
+        assert a == b
+
+
+class TestAllocation:
+    def test_instances_merge_shared_units(self):
+        allocation = Allocation(
+            (("add", "alu", 2), ("sub", "alu", 3))
+        )
+        assert allocation.instances() == {"alu": 3}
+
+    def test_unit_for(self):
+        allocation = Allocation((("mul", "mul", 2),))
+        assert allocation.unit_for("mul") == ("mul", 2)
+        with pytest.raises(KeyError):
+            allocation.unit_for("add")

@@ -1,0 +1,81 @@
+"""Unit tests for operation data-flow graphs."""
+
+import pytest
+
+from repro.hls import Dfg, filter_section_dfg, fir_dfg, vector_product_dfg
+
+
+class TestDfg:
+    def test_add_and_query(self):
+        dfg = Dfg("t")
+        dfg.add_op("m", "mul", 8)
+        dfg.add_op("a", "add", 12, depends_on=("m",))
+        assert len(dfg) == 2
+        assert dfg.predecessors("a") == ("m",)
+        assert dfg.successors("m") == ("a",)
+        assert dfg.operation("m").kind == "mul"
+
+    def test_duplicate_rejected(self):
+        dfg = Dfg()
+        dfg.add_op("m", "mul", 8)
+        with pytest.raises(ValueError):
+            dfg.add_op("m", "mul", 8)
+
+    def test_unknown_dependency_rejected(self):
+        dfg = Dfg()
+        with pytest.raises(ValueError):
+            dfg.add_op("a", "add", 8, depends_on=("ghost",))
+
+    def test_bad_bitwidth(self):
+        dfg = Dfg()
+        with pytest.raises(ValueError):
+            dfg.add_op("a", "add", 0)
+
+    def test_kinds_histogram(self):
+        dfg = vector_product_dfg(4)
+        assert dfg.kinds() == {"mul": 4, "add": 3}
+
+    def test_topological_order(self):
+        dfg = vector_product_dfg(4)
+        order = dfg.topological_order()
+        positions = {name: i for i, name in enumerate(order)}
+        for op in dfg:
+            for pred in dfg.predecessors(op.name):
+                assert positions[pred] < positions[op.name]
+
+
+class TestBuilders:
+    @pytest.mark.parametrize("length,muls,adds", [(1, 1, 0), (2, 2, 1),
+                                                  (4, 4, 3), (5, 5, 4)])
+    def test_vector_product_counts(self, length, muls, adds):
+        dfg = vector_product_dfg(length)
+        kinds = dfg.kinds()
+        assert kinds.get("mul", 0) == muls
+        assert kinds.get("add", 0) == adds
+
+    def test_vector_product_single_sink(self):
+        dfg = vector_product_dfg(4)
+        sinks = [op.name for op in dfg if not dfg.successors(op.name)]
+        assert len(sinks) == 1
+
+    def test_vector_product_bitwidths(self):
+        dfg = vector_product_dfg(4, data_width=8, accum_width=12)
+        assert dfg.operation("mul0").bitwidth == 8
+        adds = [op for op in dfg if op.kind == "add"]
+        assert all(op.bitwidth == 12 for op in adds)
+
+    def test_filter_section(self):
+        dfg = filter_section_dfg(taps=2, data_width=16)
+        kinds = dfg.kinds()
+        assert kinds == {"mul": 2, "add": 1, "sub": 1}
+
+    def test_fir(self):
+        dfg = fir_dfg(taps=4, data_width=12)
+        assert dfg.kinds() == {"mul": 4, "add": 3}
+
+    @pytest.mark.parametrize("builder", [
+        vector_product_dfg, filter_section_dfg, fir_dfg
+    ])
+    def test_bad_size_rejected(self, builder):
+        with pytest.raises(ValueError):
+            builder(0)

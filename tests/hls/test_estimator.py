@@ -1,0 +1,84 @@
+"""Unit tests for the design-point estimator."""
+
+import pytest
+
+from repro.hls import (
+    Dfg,
+    EstimatorConfig,
+    estimate_design_points,
+    estimate_task,
+    filter_section_dfg,
+    vector_product_dfg,
+)
+from repro.taskgraph import TaskGraph, pareto_filter
+
+
+class TestEstimateDesignPoints:
+    def test_returns_pareto_front(self):
+        points = estimate_design_points(vector_product_dfg(4))
+        assert list(points) == pareto_filter(points)
+
+    def test_labels_dense_and_area_sorted(self):
+        points = estimate_design_points(vector_product_dfg(4))
+        assert [p.name for p in points] == [
+            f"dp{i + 1}" for i in range(len(points))
+        ]
+        areas = [p.area for p in points]
+        assert areas == sorted(areas)
+
+    def test_max_points_respected(self):
+        config = EstimatorConfig(max_points=2)
+        points = estimate_design_points(vector_product_dfg(6), config=config)
+        assert len(points) <= 2
+
+    def test_monotone_tradeoff(self):
+        points = estimate_design_points(vector_product_dfg(4))
+        for smaller, larger in zip(points, points[1:]):
+            assert larger.area > smaller.area
+            assert larger.latency < smaller.latency
+
+    def test_module_sets_populated(self):
+        points = estimate_design_points(vector_product_dfg(4))
+        assert all(p.module_set.total_units >= 1 for p in points)
+
+    def test_bitwidth_affects_estimates(self):
+        narrow = estimate_design_points(
+            vector_product_dfg(4, data_width=8, accum_width=10)
+        )
+        wide = estimate_design_points(
+            vector_product_dfg(4, data_width=16, accum_width=20)
+        )
+        assert wide[0].area > narrow[0].area
+        assert wide[0].latency > narrow[0].latency
+
+    def test_empty_dfg_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_design_points(Dfg())
+
+    def test_deterministic(self):
+        a = estimate_design_points(filter_section_dfg(2))
+        b = estimate_design_points(filter_section_dfg(2))
+        assert [(p.area, p.latency) for p in a] == [
+            (p.area, p.latency) for p in b
+        ]
+
+
+class TestEstimateTask:
+    def test_adds_task_to_graph(self):
+        graph = TaskGraph("g")
+        task = estimate_task(graph, "vp", vector_product_dfg(4), kind="T1")
+        assert "vp" in graph
+        assert task.kind == "T1"
+        assert len(task.design_points) >= 1
+
+    def test_estimated_graph_is_partitionable(self):
+        from repro.arch import ReconfigurableProcessor
+        from repro.core import greedy_partition
+
+        graph = TaskGraph("g")
+        estimate_task(graph, "a", vector_product_dfg(3))
+        estimate_task(graph, "b", vector_product_dfg(3))
+        graph.add_edge("a", "b", 4)
+        processor = ReconfigurableProcessor(400, 128, 10)
+        result = greedy_partition(graph, processor, "min_area")
+        assert result.design.is_valid(processor)

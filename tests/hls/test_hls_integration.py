@@ -1,0 +1,77 @@
+"""Integration tests within the HLS substrate: allocation sharing, scaling."""
+
+import pytest
+
+from repro.hls import (
+    Dfg,
+    EstimatorConfig,
+    default_library,
+    enumerate_allocations,
+    estimate_design_points,
+    list_schedule,
+)
+
+
+def addsub_dfg():
+    """A DFG mixing add and sub so ALU sharing becomes attractive."""
+    dfg = Dfg("addsub")
+    dfg.add_op("a0", "add", 12)
+    dfg.add_op("s0", "sub", 12, depends_on=("a0",))
+    dfg.add_op("a1", "add", 12, depends_on=("s0",))
+    dfg.add_op("s1", "sub", 12, depends_on=("a1",))
+    return dfg
+
+
+class TestAluSharing:
+    def test_alu_allocations_exist_and_schedule(self):
+        dfg = addsub_dfg()
+        lib = default_library()
+        shared = [
+            a
+            for a in enumerate_allocations(dfg, lib)
+            if a.unit_for("add")[0] == "alu"
+            and a.unit_for("sub")[0] == "alu"
+        ]
+        assert shared, "ALU-shared allocations must be enumerated"
+        schedule = list_schedule(dfg, lib, shared[0])
+        assert schedule.is_consistent(dfg)
+        # One shared ALU instance serializes everything.
+        one_alu = next(
+            a for a in shared if a.instances() == {"alu": 1}
+        )
+        serial = list_schedule(dfg, lib, one_alu)
+        delays = 4 * lib.unit("alu").delay(12)
+        assert serial.makespan == pytest.approx(delays)
+
+    def test_estimator_offers_shared_and_dedicated_variants(self):
+        points = estimate_design_points(
+            addsub_dfg(), config=EstimatorConfig(max_points=8)
+        )
+        units_seen = set()
+        for dp in points:
+            units_seen |= set(dp.module_set.as_dict())
+        # Pareto pruning keeps at least one of the unit-choice families.
+        assert units_seen & {"alu", "add", "sub"}
+
+
+class TestScalingBehaviour:
+    @pytest.mark.parametrize("length", [2, 4, 8])
+    def test_fastest_point_improves_with_parallelism(self, length):
+        from repro.hls import vector_product_dfg
+
+        points = estimate_design_points(
+            vector_product_dfg(length),
+            config=EstimatorConfig(max_points=8),
+        )
+        slowest = points[0].latency
+        fastest = points[-1].latency
+        if length > 2:
+            assert fastest < slowest
+
+    def test_latency_grows_with_problem_size(self):
+        from repro.hls import vector_product_dfg
+
+        small = estimate_design_points(vector_product_dfg(2))
+        large = estimate_design_points(vector_product_dfg(8))
+        assert large[0].latency > small[0].latency
+        assert large[0].area > small[0].area

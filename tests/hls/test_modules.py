@@ -1,0 +1,59 @@
+"""Unit tests for the functional-unit library."""
+
+import pytest
+
+from repro.hls import FuLibrary, FuType, default_library
+
+
+class TestFuType:
+    def test_area_and_delay_scale_with_width(self):
+        lib = default_library()
+        mul = lib.unit("mul")
+        assert mul.area(16) > mul.area(8)
+        assert mul.delay(16) > mul.delay(8)
+
+    def test_executes(self):
+        lib = default_library()
+        assert lib.unit("alu").executes("add")
+        assert lib.unit("alu").executes("sub")
+        assert not lib.unit("alu").executes("mul")
+
+    def test_non_positive_model_rejected(self):
+        bad = FuType(
+            name="bad",
+            kinds=frozenset({"add"}),
+            area_fn=lambda bw: 0.0,
+            delay_fn=lambda bw: 1.0,
+        )
+        with pytest.raises(ValueError):
+            bad.area(8)
+
+
+class TestLibrary:
+    def test_empty_library_rejected(self):
+        with pytest.raises(ValueError):
+            FuLibrary({})
+
+    def test_units_for_kind(self):
+        lib = default_library()
+        add_units = {u.name for u in lib.units_for("add")}
+        assert add_units == {"add", "alu"}
+
+    def test_unknown_kind(self):
+        lib = default_library()
+        with pytest.raises(KeyError):
+            lib.units_for("fft")
+
+    def test_cheapest_for(self):
+        lib = default_library()
+        assert lib.cheapest_for("add", 16).name == "add"
+
+    def test_multiplier_quadratic_growth(self):
+        lib = default_library()
+        mul = lib.unit("mul")
+        # Doubling the width should much more than double the area.
+        assert mul.area(16) > 3 * mul.area(8)
+
+    def test_iteration(self):
+        lib = default_library()
+        assert {u.name for u in lib} == {"add", "sub", "alu", "mul"}

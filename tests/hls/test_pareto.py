@@ -1,0 +1,54 @@
+"""Unit and property tests for design-space pruning."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hls import prune_design_space, subsample_front
+from repro.taskgraph import DesignPoint, pareto_filter
+
+
+def front_of(pairs):
+    return pareto_filter(DesignPoint(a, l) for a, l in pairs)
+
+
+class TestSubsample:
+    def test_small_front_untouched(self):
+        front = front_of([(10, 30), (20, 20), (30, 10)])
+        assert subsample_front(front, 5) == front
+
+    def test_extremes_always_kept(self):
+        front = front_of([(i * 10 + 10, 200 - i * 10) for i in range(12)])
+        picked = subsample_front(front, 4)
+        assert picked[0] == front[0]
+        assert picked[-1] == front[-1]
+        assert len(picked) == 4
+
+    def test_single_point_request(self):
+        front = front_of([(10, 30), (20, 20), (30, 10)])
+        assert subsample_front(front, 1) == [front[0]]
+
+    def test_bad_count(self):
+        with pytest.raises(ValueError):
+            subsample_front([], 0)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(1, 500), st.integers(1, 500)),
+            min_size=1,
+            max_size=40,
+        ),
+        st.integers(1, 8),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_property_result_size_and_order(self, pairs, max_points):
+        pruned = prune_design_space(
+            (DesignPoint(a, l) for a, l in pairs), max_points
+        )
+        assert 1 <= len(pruned) <= max_points
+        areas = [p.area for p in pruned]
+        assert areas == sorted(areas)
+        # Still mutually non-dominating.
+        for p in pruned:
+            for q in pruned:
+                if p is not q:
+                    assert not p.dominates(q)

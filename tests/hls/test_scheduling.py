@@ -1,0 +1,128 @@
+"""Unit and property tests for the HLS schedulers."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hls import (
+    alap_times,
+    asap_times,
+    default_library,
+    enumerate_allocations,
+    list_schedule,
+    vector_product_dfg,
+    fir_dfg,
+)
+from repro.hls.allocation import Allocation
+
+
+def delays_for(dfg, library, allocation):
+    from repro.hls.scheduling import _delay_of
+
+    return _delay_of(dfg, library, allocation)
+
+
+def serial_allocation(dfg, library):
+    """One instance of the cheapest unit per kind."""
+    assignments = []
+    for kind in sorted(dfg.kinds()):
+        widest = max(
+            op.bitwidth for op in dfg if op.kind == kind
+        )
+        unit = library.cheapest_for(kind, widest)
+        assignments.append((kind, unit.name, 1))
+    return Allocation(tuple(assignments))
+
+
+class TestAsapAlap:
+    def test_asap_respects_dependencies(self):
+        dfg = vector_product_dfg(4)
+        lib = default_library()
+        alloc = serial_allocation(dfg, lib)
+        delays = delays_for(dfg, lib, alloc)
+        asap = asap_times(dfg, delays)
+        for op in dfg:
+            for pred in dfg.predecessors(op.name):
+                assert asap[op.name] >= asap[pred] + delays[pred] - 1e-9
+
+    def test_alap_never_earlier_than_asap(self):
+        dfg = vector_product_dfg(4)
+        lib = default_library()
+        alloc = serial_allocation(dfg, lib)
+        delays = delays_for(dfg, lib, alloc)
+        asap = asap_times(dfg, delays)
+        alap = alap_times(dfg, delays)
+        for name in asap:
+            assert alap[name] >= asap[name] - 1e-9
+
+    def test_critical_ops_have_zero_slack(self):
+        dfg = fir_dfg(3)
+        lib = default_library()
+        alloc = serial_allocation(dfg, lib)
+        delays = delays_for(dfg, lib, alloc)
+        asap = asap_times(dfg, delays)
+        alap = alap_times(dfg, delays)
+        slacks = [alap[n] - asap[n] for n in asap]
+        assert min(slacks) == pytest.approx(0.0)
+
+
+class TestListSchedule:
+    def test_schedule_is_consistent(self):
+        dfg = vector_product_dfg(4)
+        lib = default_library()
+        schedule = list_schedule(dfg, lib, serial_allocation(dfg, lib))
+        assert schedule.is_consistent(dfg)
+
+    def test_no_unit_overlap(self):
+        dfg = vector_product_dfg(4)
+        lib = default_library()
+        schedule = list_schedule(dfg, lib, serial_allocation(dfg, lib))
+        by_unit: dict = {}
+        for name, key in schedule.unit_of.items():
+            by_unit.setdefault(key, []).append(
+                (schedule.start[name], schedule.finish[name])
+            )
+        for intervals in by_unit.values():
+            intervals.sort()
+            for (s1, f1), (s2, _f2) in zip(intervals, intervals[1:]):
+                assert s2 >= f1 - 1e-9
+
+    def test_more_units_never_slower(self):
+        dfg = vector_product_dfg(4)
+        lib = default_library()
+        allocations = enumerate_allocations(dfg, lib)
+        one_mul = next(
+            a for a in allocations
+            if dict(a.instances()).get("mul") == 1 and "add" in a.instances()
+        )
+        four_mul = next(
+            (a for a in allocations
+             if dict(a.instances()).get("mul") == 4
+             and a.instances().get("add") == a.instances().get("add")),
+            None,
+        )
+        slow = list_schedule(dfg, lib, one_mul).makespan
+        if four_mul is not None:
+            fast = list_schedule(dfg, lib, four_mul).makespan
+            assert fast <= slow + 1e-9
+
+    def test_makespan_at_least_critical_path(self):
+        dfg = vector_product_dfg(4)
+        lib = default_library()
+        alloc = serial_allocation(dfg, lib)
+        delays = delays_for(dfg, lib, alloc)
+        asap = asap_times(dfg, delays)
+        critical = max(asap[op.name] + delays[op.name] for op in dfg)
+        schedule = list_schedule(dfg, lib, alloc)
+        assert schedule.makespan >= critical - 1e-9
+
+    @given(st.integers(1, 6), st.integers(1, 4))
+    @settings(max_examples=30, deadline=None)
+    def test_property_all_allocations_consistent(self, length, max_inst):
+        dfg = vector_product_dfg(length)
+        lib = default_library()
+        for allocation in enumerate_allocations(
+            dfg, lib, max_instances_per_kind=max_inst, limit=20
+        ):
+            schedule = list_schedule(dfg, lib, allocation)
+            assert schedule.is_consistent(dfg)
+            assert len(schedule.start) == len(dfg)

@@ -1,0 +1,52 @@
+"""Tests for the solver backend registry."""
+
+import pytest
+
+from repro.ilp import Model, Solution, SolveStatus, register_backend
+
+
+class TestRegistry:
+    def test_custom_backend_dispatch(self):
+        calls = {}
+
+        def stub(model, **options):
+            calls["options"] = options
+            return Solution(
+                SolveStatus.FEASIBLE,
+                objective=42.0,
+                values={v.name: 0.0 for v in model.variables},
+            )
+
+        register_backend("stub-test", stub)
+        m = Model()
+        m.add_var("x", ub=1)
+        solution = m.solve(
+            backend="stub-test", first_feasible=True, time_limit=5.0
+        )
+        assert solution.objective == 42.0
+        assert calls["options"]["first_feasible"] is True
+        assert calls["options"]["time_limit"] == 5.0
+
+    def test_custom_backend_maximize_negation(self):
+        def stub(model, **options):
+            return Solution(SolveStatus.OPTIMAL, objective=-10.0)
+
+        register_backend("stub-max", stub)
+        m = Model()
+        x = m.add_var("x", ub=1)
+        from repro.ilp import ObjectiveSense
+
+        m.set_objective(x, sense=ObjectiveSense.MAXIMIZE)
+        solution = m.solve(backend="stub-max")
+        # Backends report in minimization direction; solve() flips back.
+        assert solution.objective == 10.0
+
+    def test_wall_time_measured_by_dispatcher(self):
+        def stub(model, **options):
+            return Solution(SolveStatus.OPTIMAL, objective=0.0)
+
+        register_backend("stub-time", stub)
+        m = Model()
+        m.add_var("x", ub=1)
+        solution = m.solve(backend="stub-time")
+        assert solution.wall_time >= 0.0

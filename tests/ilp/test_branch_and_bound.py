@@ -1,0 +1,135 @@
+"""Unit tests for the from-scratch branch & bound."""
+
+import numpy as np
+import pytest
+
+from repro.ilp import Model, SolveStatus, VarType
+from repro.ilp.branch_and_bound import BnbOptions, branch_and_bound
+
+
+def knapsack_model(weights, values, capacity):
+    m = Model("knapsack")
+    xs = [m.add_binary(f"x{i}") for i in range(len(weights))]
+    m.add_constr(
+        sum(w * x for w, x in zip(weights, xs)) <= capacity
+    )
+    m.set_objective(-sum(v * x for v, x in zip(values, xs)))
+    return m
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("lp_engine", ["scipy", "own"])
+    def test_knapsack_optimum(self, lp_engine):
+        m = knapsack_model([2, 3, 4, 5, 6], [3, 4, 5, 8, 9], 10)
+        solution = m.solve(backend="bnb", lp_engine=lp_engine)
+        assert solution.status is SolveStatus.OPTIMAL
+        assert solution.objective == pytest.approx(-15.0)
+        assert m.check_point(solution.values) == []
+
+    def test_integer_variables(self):
+        m = Model()
+        x = m.add_integer("x", ub=10)
+        y = m.add_integer("y", ub=10)
+        m.add_constr(3 * x + 5 * y <= 17)
+        m.set_objective(-(2 * x + 3 * y))
+        solution = m.solve(backend="bnb")
+        # Best: x=4, y=1 -> 11.
+        assert solution.objective == pytest.approx(-11.0)
+
+    def test_mixed_integer(self):
+        m = Model()
+        x = m.add_var("x", ub=10)          # continuous
+        y = m.add_integer("y", ub=10)
+        m.add_constr(x + y <= 7.5)
+        m.set_objective(-(x + 2 * y))
+        solution = m.solve(backend="bnb")
+        # y=7, x=0.5 -> 14.5.
+        assert solution.objective == pytest.approx(-14.5)
+
+    def test_infeasible(self):
+        m = Model()
+        x = m.add_binary("x")
+        m.add_constr(3 * x >= 2)
+        m.add_constr(x <= 0)
+        solution = m.solve(backend="bnb")
+        assert solution.status is SolveStatus.INFEASIBLE
+
+    def test_unbounded(self):
+        m = Model()
+        x = m.add_integer("x")
+        m.set_objective(-x)
+        solution = m.solve(backend="bnb")
+        assert solution.status is SolveStatus.UNBOUNDED
+
+    def test_pure_lp_passthrough(self):
+        m = Model()
+        x = m.add_var("x", ub=3.5)
+        m.set_objective(-x)
+        solution = m.solve(backend="bnb")
+        assert solution.objective == pytest.approx(-3.5)
+
+    def test_equality_constrained_milp(self):
+        m = Model()
+        x = m.add_integer("x", ub=10)
+        y = m.add_integer("y", ub=10)
+        m.add_constr(x + y == 7)
+        m.set_objective(x - y)
+        solution = m.solve(backend="bnb")
+        assert solution.objective == pytest.approx(-7.0)  # x=0, y=7
+
+
+class TestModes:
+    def test_first_feasible_stops_early(self):
+        m = knapsack_model([2, 3, 4, 5, 6], [3, 4, 5, 8, 9], 10)
+        solution = m.solve(backend="bnb", first_feasible=True)
+        assert solution.status in (SolveStatus.FEASIBLE, SolveStatus.OPTIMAL)
+        # Whatever it returned must satisfy the model.
+        assert m.check_point(solution.values) == []
+
+    def test_node_limit_respected(self):
+        m = knapsack_model(
+            list(range(3, 23)), list(range(5, 25)), 60
+        )
+        solution = m.solve(backend="bnb", node_limit=3)
+        assert solution.iterations <= 4
+
+    def test_bound_reported(self):
+        m = knapsack_model([2, 3, 4], [3, 4, 5], 6)
+        solution = m.solve(backend="bnb")
+        assert solution.bound is not None
+        # For minimization the proven bound never exceeds the objective.
+        assert solution.bound <= solution.objective + 1e-6
+
+
+class TestAgainstHighs:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_small_milps_agree(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 6))
+        m_rows = int(rng.integers(1, 5))
+        model = Model(f"rand{seed}")
+        xs = [
+            model.add_var(
+                f"x{i}",
+                ub=float(rng.integers(1, 8)),
+                vtype=VarType.INTEGER if rng.random() < 0.7 else (
+                    VarType.CONTINUOUS
+                ),
+            )
+            for i in range(n)
+        ]
+        for r in range(m_rows):
+            coefs = rng.integers(-4, 5, size=n)
+            rhs = float(rng.integers(0, 20))
+            model.add_constr(
+                sum(int(c) * x for c, x in zip(coefs, xs)) <= rhs
+            )
+        obj_coefs = rng.integers(-5, 5, size=n)
+        model.set_objective(sum(int(c) * x for c, x in zip(obj_coefs, xs)))
+
+        ours = model.solve(backend="bnb")
+        ref = model.solve(backend="highs")
+        assert ours.status.has_solution == ref.status.has_solution
+        if ref.status.has_solution:
+            assert ours.objective == pytest.approx(ref.objective, abs=1e-6)
+            assert model.check_point(ours.values) == []

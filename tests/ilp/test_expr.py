@@ -1,0 +1,172 @@
+"""Unit tests for the linear-expression algebra."""
+
+import math
+
+import pytest
+
+from repro.ilp import ExpressionError, LinExpr, Sense, VarType, lin_sum
+from repro.ilp.expr import Constraint, Variable
+
+
+def var(name="x", **kwargs):
+    return Variable(name, **kwargs)
+
+
+class TestVariable:
+    def test_defaults(self):
+        x = var()
+        assert x.lb == 0.0
+        assert x.ub == math.inf
+        assert x.vtype is VarType.CONTINUOUS
+
+    def test_binary_clamps_bounds(self):
+        b = var("b", lb=-5, ub=9, vtype=VarType.BINARY)
+        assert (b.lb, b.ub) == (0.0, 1.0)
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(ExpressionError):
+            var(lb=3, ub=2)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ExpressionError):
+            Variable("")
+
+    def test_unique_indices(self):
+        a, b = var("a"), var("b")
+        assert a.index != b.index
+
+    def test_hashable_by_identity(self):
+        a = var("a")
+        b = var("a")
+        assert len({a, b}) == 2
+
+
+class TestAlgebra:
+    def test_addition(self):
+        x, y = var("x"), var("y")
+        expr = x + 2 * y + 3
+        assert expr.coefficient(x) == 1
+        assert expr.coefficient(y) == 2
+        assert expr.constant == 3
+
+    def test_subtraction_and_negation(self):
+        x, y = var("x"), var("y")
+        expr = -(x - y) - 1
+        assert expr.coefficient(x) == -1
+        assert expr.coefficient(y) == 1
+        assert expr.constant == -1
+
+    def test_rsub(self):
+        x = var("x")
+        expr = 5 - x
+        assert expr.coefficient(x) == -1
+        assert expr.constant == 5
+
+    def test_scalar_multiplication_both_sides(self):
+        x = var("x")
+        assert (3 * x).coefficient(x) == 3
+        assert (x * 3).coefficient(x) == 3
+
+    def test_division(self):
+        x = var("x")
+        assert (x / 4).coefficient(x) == 0.25
+
+    def test_division_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            _ = var("x").to_expr() / 0
+
+    def test_product_of_variables_rejected(self):
+        x, y = var("x"), var("y")
+        with pytest.raises(ExpressionError):
+            _ = x.to_expr() * y.to_expr()
+
+    def test_product_with_constant_expr_allowed(self):
+        x = var("x")
+        two = LinExpr(constant=2.0)
+        assert (x.to_expr() * two).coefficient(x) == 2
+
+    def test_terms_cancel_to_zero_are_dropped(self):
+        x = var("x")
+        expr = x - x
+        assert expr.is_constant
+
+    def test_evaluate(self):
+        x, y = var("x"), var("y")
+        expr = 2 * x - y + 1
+        assert expr.evaluate({"x": 3.0, "y": 4.0}) == 3.0
+
+    def test_lin_sum_matches_naive_sum(self):
+        xs = [var(f"x{i}") for i in range(10)]
+        fast = lin_sum(2 * x for x in xs)
+        slow = sum((2 * x for x in xs), LinExpr())
+        assert {v.name: c for v, c in fast.terms.items()} == {
+            v.name: c for v, c in slow.terms.items()
+        }
+
+    def test_lin_sum_with_constants(self):
+        x = var("x")
+        expr = lin_sum([x, 5, 2 * x, -1])
+        assert expr.coefficient(x) == 3
+        assert expr.constant == 4
+
+    def test_simplified_drops_small_terms(self):
+        x, y = var("x"), var("y")
+        expr = 1e-12 * x + y
+        cleaned = expr.simplified(tol=1e-9)
+        assert x not in cleaned.terms
+        assert cleaned.coefficient(y) == 1
+
+
+class TestConstraints:
+    def test_le_moves_constant_to_rhs(self):
+        x = var("x")
+        constraint = x + 3 <= 10
+        assert constraint.sense is Sense.LE
+        assert constraint.rhs == 7
+        assert constraint.expr.constant == 0
+
+    def test_ge(self):
+        x = var("x")
+        constraint = x >= 4
+        assert constraint.sense is Sense.GE
+        assert constraint.rhs == 4
+
+    def test_eq_between_expressions(self):
+        x, y = var("x"), var("y")
+        constraint = x + 1 == y
+        assert constraint.sense is Sense.EQ
+        assert constraint.expr.coefficient(y) == -1
+
+    def test_violation_le(self):
+        x = var("x")
+        constraint = x <= 5
+        assert constraint.violation({"x": 7.0}) == pytest.approx(2.0)
+        assert constraint.violation({"x": 4.0}) == 0.0
+
+    def test_violation_ge(self):
+        x = var("x")
+        constraint = x >= 5
+        assert constraint.violation({"x": 3.0}) == pytest.approx(2.0)
+
+    def test_violation_eq(self):
+        x = var("x")
+        constraint = x.to_expr() == 5
+        assert constraint.violation({"x": 3.0}) == pytest.approx(2.0)
+        assert constraint.violation({"x": 7.0}) == pytest.approx(2.0)
+
+    def test_is_satisfied_with_tolerance(self):
+        x = var("x")
+        constraint = x <= 5
+        assert constraint.is_satisfied({"x": 5.0 + 1e-9})
+        assert not constraint.is_satisfied({"x": 5.1})
+
+    def test_named(self):
+        x = var("x")
+        constraint = (x <= 1).named("cap")
+        assert constraint.name == "cap"
+
+    def test_variable_comparison_builds_constraint(self):
+        x, y = var("x"), var("y")
+        constraint = x <= y
+        assert isinstance(constraint, Constraint)
+        assert constraint.rhs == 0

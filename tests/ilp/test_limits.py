@@ -1,0 +1,72 @@
+"""Budget-exhaustion behaviour of the from-scratch solvers."""
+
+import numpy as np
+import pytest
+
+from repro.ilp import Model, SolveStatus
+from repro.ilp.simplex import solve_lp
+
+
+def big_knapsack(n=18):
+    m = Model("bigks")
+    xs = [m.add_binary(f"x{i}") for i in range(n)]
+    weights = [3 + (i * 7) % 11 for i in range(n)]
+    values = [5 + (i * 5) % 13 for i in range(n)]
+    m.add_constr(sum(w * x for w, x in zip(weights, xs)) <= 40)
+    m.set_objective(-sum(v * x for v, x in zip(values, xs)))
+    return m
+
+
+class TestBnbLimits:
+    def test_node_limit_with_incumbent_reports_feasible(self):
+        m = big_knapsack()
+        solution = m.solve(backend="bnb", node_limit=30)
+        # The diving heuristic finds an incumbent quickly, so a truncated
+        # search still returns something usable.
+        if solution.status.has_solution:
+            assert solution.status is SolveStatus.FEASIBLE
+            assert m.check_point(solution.values) == []
+        else:
+            assert solution.status is SolveStatus.NODE_LIMIT
+
+    def test_time_limit_zero(self):
+        m = big_knapsack()
+        solution = m.solve(backend="bnb", time_limit=0.0)
+        assert solution.status in (
+            SolveStatus.TIME_LIMIT,
+            SolveStatus.FEASIBLE,
+        )
+
+    def test_bound_gap_sane_on_truncated_search(self):
+        m = big_knapsack()
+        solution = m.solve(backend="bnb", node_limit=50)
+        if solution.status.has_solution and solution.bound is not None:
+            assert solution.bound <= solution.objective + 1e-6
+
+
+class TestSimplexLimits:
+    def test_iteration_limit_reports_error(self):
+        n = 12
+        rng = np.random.default_rng(3)
+        a_ub = rng.uniform(0, 1, size=(20, n))
+        b_ub = rng.uniform(5, 10, size=20)
+        c = rng.uniform(-1, 1, size=n)
+        result = solve_lp(
+            c, a_ub, b_ub, np.zeros((0, n)), np.zeros(0),
+            np.zeros(n), np.full(n, 10.0),
+            max_iters=1,
+        )
+        assert result.status in (SolveStatus.ERROR, SolveStatus.OPTIMAL)
+
+    def test_time_limit_respected(self):
+        n = 30
+        rng = np.random.default_rng(4)
+        a_ub = rng.uniform(0, 1, size=(60, n))
+        b_ub = rng.uniform(5, 10, size=60)
+        c = rng.uniform(-1, 1, size=n)
+        result = solve_lp(
+            c, a_ub, b_ub, np.zeros((0, n)), np.zeros(0),
+            np.zeros(n), np.full(n, 10.0),
+            time_limit=0.0,
+        )
+        assert result.status is SolveStatus.TIME_LIMIT

@@ -1,0 +1,108 @@
+"""Unit tests for binary-product linearization helpers."""
+
+import itertools
+
+import pytest
+
+from repro.ilp import Model, product_binary, product_of_sums
+from repro.ilp.linearize import big_m_upper, indicator_ge
+
+
+class TestProductBinary:
+    @pytest.mark.parametrize("x_val,y_val", itertools.product([0, 1], [0, 1]))
+    def test_exact_for_all_corners(self, x_val, y_val):
+        m = Model()
+        x = m.add_binary("x")
+        y = m.add_binary("y")
+        z = product_binary(m, x, y, "z")
+        m.add_constr(x.to_expr() == x_val)
+        m.add_constr(y.to_expr() == y_val)
+        # Both extremes of z must coincide with the product.
+        m.set_objective(z)
+        low = m.solve(backend="highs")
+        m.set_objective(-1 * z)
+        high = m.solve(backend="highs")
+        assert low.value("z") == pytest.approx(x_val * y_val)
+        assert high.value("z") == pytest.approx(x_val * y_val)
+
+
+class TestProductOfSums:
+    def test_two_sided_is_exact(self):
+        m = Model()
+        a = m.add_binary("a")
+        b = m.add_binary("b")
+        c = m.add_binary("c")
+        z = product_of_sums(m, [a, b], [c], "z")
+        m.add_constr(a.to_expr() == 1)
+        m.add_constr(b.to_expr() == 0)
+        m.add_constr(c.to_expr() == 1)
+        m.set_objective(z)      # push z down; exact form must hold it at 1
+        solution = m.solve(backend="highs")
+        assert solution.value("z") == pytest.approx(1.0)
+
+    def test_one_sided_forces_up_but_not_down(self):
+        m = Model()
+        a = m.add_binary("a")
+        c = m.add_binary("c")
+        z = product_of_sums(m, [a], [c], "z", one_sided=True)
+        m.add_constr(a.to_expr() == 1)
+        m.add_constr(c.to_expr() == 1)
+        m.set_objective(z)
+        solution = m.solve(backend="highs")
+        # Product is 1 -> even minimizing, z must be 1.
+        assert solution.value("z") == pytest.approx(1.0)
+
+    def test_one_sided_leaves_zero_when_product_zero(self):
+        m = Model()
+        a = m.add_binary("a")
+        c = m.add_binary("c")
+        z = product_of_sums(m, [a], [c], "z", one_sided=True)
+        m.add_constr(a.to_expr() == 0)
+        m.add_constr(c.to_expr() == 1)
+        m.set_objective(z)
+        solution = m.solve(backend="highs")
+        assert solution.value("z") == pytest.approx(0.0)
+
+
+class TestBigM:
+    def test_indicator_ge_active(self):
+        m = Model()
+        flag = m.add_binary("flag")
+        x = m.add_var("x", ub=10)
+        indicator_ge(m, flag, x, threshold=5, big_m=100, name="ind")
+        m.add_constr(flag.to_expr() == 1)
+        m.set_objective(x)
+        solution = m.solve(backend="highs")
+        assert solution.value("x") == pytest.approx(5.0)
+
+    def test_indicator_ge_inactive(self):
+        m = Model()
+        flag = m.add_binary("flag")
+        x = m.add_var("x", ub=10)
+        indicator_ge(m, flag, x, threshold=5, big_m=100, name="ind")
+        m.add_constr(flag.to_expr() == 0)
+        m.set_objective(x)
+        solution = m.solve(backend="highs")
+        assert solution.value("x") == pytest.approx(0.0)
+
+    def test_big_m_upper_active(self):
+        m = Model()
+        switch = m.add_binary("s")
+        x = m.add_var("x", ub=10)
+        big_m_upper(m, x, bound_if_active=3, switch=switch, big_m=100,
+                    name="cap")
+        m.add_constr(switch.to_expr() == 1)
+        m.set_objective(-x)
+        solution = m.solve(backend="highs")
+        assert solution.value("x") == pytest.approx(3.0)
+
+    def test_big_m_upper_inactive(self):
+        m = Model()
+        switch = m.add_binary("s")
+        x = m.add_var("x", ub=10)
+        big_m_upper(m, x, bound_if_active=3, switch=switch, big_m=100,
+                    name="cap")
+        m.add_constr(switch.to_expr() == 0)
+        m.set_objective(-x)
+        solution = m.solve(backend="highs")
+        assert solution.value("x") == pytest.approx(10.0)

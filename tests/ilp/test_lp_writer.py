@@ -1,0 +1,83 @@
+"""Unit tests for the CPLEX LP-format writer."""
+
+import math
+
+import pytest
+
+from repro.ilp import Model, ObjectiveSense, VarType, lp_string
+
+
+def demo_model():
+    m = Model("demo")
+    x = m.add_var("x", lb=-1, ub=4)
+    y = m.add_binary("y")
+    k = m.add_integer("k", ub=7)
+    m.add_constr(x + 2 * y - k <= 3, name="row one")
+    m.add_constr(x - y >= -2, name="r2")
+    m.add_constr(k.to_expr() == 5, name="fix")
+    m.set_objective(x + y + k)
+    return m
+
+
+class TestStructure:
+    def test_sections_present(self):
+        text = lp_string(demo_model())
+        for section in ("Minimize", "Subject To", "Bounds", "General",
+                        "Binary", "End"):
+            assert section in text
+
+    def test_maximize_header(self):
+        m = Model()
+        x = m.add_var("x", ub=1)
+        m.set_objective(x, sense=ObjectiveSense.MAXIMIZE)
+        assert "Maximize" in lp_string(m)
+
+    def test_constraint_senses(self):
+        text = lp_string(demo_model())
+        assert "<= 3" in text
+        assert ">= -2" in text
+        assert "= 5" in text
+
+    def test_names_sanitized(self):
+        m = Model()
+        x = m.add_var("Y[a,1,2]", ub=1)
+        m.add_constr(x <= 1, name="weird name!")
+        text = lp_string(m)
+        assert "Y_a_1_2_" in text
+        assert "," not in text.split("Subject To")[1].split("Bounds")[0]
+
+    def test_binary_vars_not_in_bounds_section(self):
+        text = lp_string(demo_model())
+        bounds_section = text.split("Bounds")[1].split("General")[0]
+        assert "y" not in bounds_section
+
+    def test_infinite_bounds_rendered(self):
+        m = Model()
+        m.add_var("free", lb=-math.inf)
+        text = lp_string(m)
+        assert "-inf <= free <= +inf" in text
+
+    def test_unit_coefficients_have_no_number(self):
+        m = Model()
+        x = m.add_var("x", ub=1)
+        y = m.add_var("y", ub=1)
+        m.add_constr(x - y <= 0, name="c")
+        text = lp_string(m)
+        assert "x - y <= 0" in text
+
+    def test_empty_objective_renders_zero(self):
+        m = Model()
+        m.add_var("x", ub=1)
+        assert " obj: 0" in lp_string(m)
+
+
+class TestWriteToStream:
+    def test_write_lp_file(self, tmp_path):
+        from repro.ilp import write_lp
+
+        path = tmp_path / "model.lp"
+        with open(path, "w") as handle:
+            write_lp(demo_model(), handle)
+        content = path.read_text()
+        assert content.startswith("\\ Model: demo")
+        assert content.rstrip().endswith("End")

@@ -1,0 +1,94 @@
+"""Property tests: the from-scratch simplex on LPs with equality rows.
+
+The main property suite (`test_simplex.py`) fuzzes inequality-only LPs;
+equality rows exercise phase I artificial handling and the
+drive-artificials-out step, so they get their own generator.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ilp import SolveStatus
+from repro.ilp.simplex import solve_lp
+
+
+@st.composite
+def lp_with_equalities(draw):
+    n = draw(st.integers(2, 5))
+    m_eq = draw(st.integers(1, 2))
+    m_ub = draw(st.integers(0, 3))
+    finite = st.floats(-5, 5, allow_nan=False, width=32)
+    c = np.array(draw(st.lists(finite, min_size=n, max_size=n)))
+    a_eq = np.array(
+        draw(
+            st.lists(
+                st.lists(finite, min_size=n, max_size=n),
+                min_size=m_eq, max_size=m_eq,
+            )
+        )
+    ).reshape(m_eq, n)
+    # Make the equalities consistent by construction: pick a point in
+    # the box and use its image as the right-hand side.
+    point = np.array(
+        draw(
+            st.lists(
+                st.floats(0, 3, allow_nan=False, width=32),
+                min_size=n, max_size=n,
+            )
+        )
+    )
+    b_eq = a_eq @ point
+    a_ub = np.array(
+        draw(
+            st.lists(
+                st.lists(finite, min_size=n, max_size=n),
+                min_size=m_ub, max_size=m_ub,
+            )
+        )
+    ).reshape(m_ub, n)
+    # Slacken the inequalities at the same point so it stays feasible.
+    slack = np.array(
+        draw(
+            st.lists(
+                st.floats(0, 5, allow_nan=False, width=32),
+                min_size=m_ub, max_size=m_ub,
+            )
+        )
+    )
+    b_ub = a_ub @ point + slack
+    lb = np.zeros(n)
+    ub = np.full(n, 10.0)
+    return c, a_ub, b_ub, a_eq, b_eq, lb, ub
+
+
+class TestEqualityLps:
+    @given(lp_with_equalities())
+    @settings(max_examples=50, deadline=None)
+    def test_matches_scipy(self, lp):
+        c, a_ub, b_ub, a_eq, b_eq, lb, ub = lp
+        ours = solve_lp(c, a_ub, b_ub, a_eq, b_eq, lb, ub)
+
+        from scipy import optimize
+        ref = optimize.linprog(
+            c,
+            A_ub=a_ub if len(b_ub) else None,
+            b_ub=b_ub if len(b_ub) else None,
+            A_eq=a_eq,
+            b_eq=b_eq,
+            bounds=np.column_stack([lb, ub]),
+            method="highs",
+        )
+        if ref.status == 0:
+            assert ours.status is SolveStatus.OPTIMAL
+            assert ours.objective == pytest.approx(
+                ref.fun, abs=1e-4, rel=1e-4
+            )
+            # And our point satisfies the rows we were given.
+            x = ours.x
+            assert np.all(a_eq @ x <= b_eq + 1e-5)
+            assert np.all(a_eq @ x >= b_eq - 1e-5)
+            if len(b_ub):
+                assert np.all(a_ub @ x <= b_ub + 1e-5)
+        elif ref.status == 2:
+            assert ours.status is SolveStatus.INFEASIBLE

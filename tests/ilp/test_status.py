@@ -1,0 +1,49 @@
+"""Unit tests for solve statuses and the Solution value object."""
+
+import math
+
+import pytest
+
+from repro.ilp import Solution, SolveStatus
+
+
+class TestSolveStatus:
+    @pytest.mark.parametrize(
+        "status,expected",
+        [
+            (SolveStatus.OPTIMAL, True),
+            (SolveStatus.FEASIBLE, True),
+            (SolveStatus.INFEASIBLE, False),
+            (SolveStatus.UNBOUNDED, False),
+            (SolveStatus.NODE_LIMIT, False),
+            (SolveStatus.TIME_LIMIT, False),
+            (SolveStatus.ERROR, False),
+        ],
+    )
+    def test_has_solution(self, status, expected):
+        assert status.has_solution is expected
+
+
+class TestSolution:
+    def test_truthiness_tracks_status(self):
+        good = Solution(SolveStatus.FEASIBLE, 1.0, {"x": 1.0})
+        bad = Solution(SolveStatus.INFEASIBLE)
+        assert bool(good)
+        assert not bool(bad)
+
+    def test_value_accessor(self):
+        solution = Solution(SolveStatus.OPTIMAL, 2.0, {"x": 2.0})
+        assert solution.value("x") == 2.0
+        with pytest.raises(KeyError):
+            solution.value("y")
+
+    def test_defaults(self):
+        solution = Solution(SolveStatus.INFEASIBLE)
+        assert math.isnan(solution.objective)
+        assert solution.values == {}
+        assert solution.bound is None
+
+    def test_frozen(self):
+        solution = Solution(SolveStatus.OPTIMAL)
+        with pytest.raises(AttributeError):
+            solution.objective = 5.0

@@ -1,0 +1,55 @@
+"""Tests for branch & bound warm starting."""
+
+import pytest
+
+from repro.ilp import Model, SolveStatus
+
+
+def knapsack():
+    m = Model("ks")
+    xs = [m.add_binary(f"x{i}") for i in range(5)]
+    weights, values = [2, 3, 4, 5, 6], [3, 4, 5, 8, 9]
+    m.add_constr(sum(w * x for w, x in zip(weights, xs)) <= 10)
+    m.set_objective(-sum(v * x for v, x in zip(values, xs)))
+    return m
+
+
+class TestWarmStart:
+    def test_feasible_warm_start_accepted(self):
+        m = knapsack()
+        warm = {"x0": 1, "x1": 1, "x2": 0, "x3": 1, "x4": 0}   # value 15
+        solution = m.solve(backend="bnb", warm_start=warm)
+        assert solution.status is SolveStatus.OPTIMAL
+        assert solution.objective == pytest.approx(-15.0)
+
+    def test_warm_start_with_first_feasible_returns_at_least_as_good(self):
+        m = knapsack()
+        warm = {"x0": 1, "x1": 1}   # value 7, feasible
+        solution = m.solve(
+            backend="bnb", warm_start=warm, first_feasible=True
+        )
+        assert solution.status.has_solution
+        assert solution.objective <= -7.0 + 1e-9
+
+    def test_infeasible_warm_start_ignored(self):
+        m = knapsack()
+        warm = {f"x{i}": 1 for i in range(5)}   # weight 20 > 10
+        solution = m.solve(backend="bnb", warm_start=warm)
+        assert solution.objective == pytest.approx(-15.0)
+
+    def test_partial_warm_start_defaults_missing_to_lb(self):
+        m = knapsack()
+        solution = m.solve(backend="bnb", warm_start={"x3": 1})
+        assert solution.objective == pytest.approx(-15.0)
+
+    def test_unknown_names_ignored(self):
+        m = knapsack()
+        solution = m.solve(backend="bnb", warm_start={"ghost": 1})
+        assert solution.objective == pytest.approx(-15.0)
+
+    def test_warm_start_prunes_nodes(self):
+        m = knapsack()
+        cold = m.solve(backend="bnb")
+        optimal_warm = {"x0": 1, "x1": 1, "x3": 1}
+        warm = m.solve(backend="bnb", warm_start=optimal_warm)
+        assert warm.iterations <= cold.iterations

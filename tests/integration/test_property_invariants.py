@@ -1,0 +1,128 @@
+"""Property-based invariants across the whole pipeline.
+
+Random synthetic task graphs are partitioned and the results are checked
+against the independent oracles:
+
+* every returned design passes the audit (no shared code with the ILP),
+* the execution-timeline simulator reproduces the reported latency,
+* bounds bracket the achieved latency,
+* the ILP and CP solvers agree on feasibility of the same question.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.arch import ReconfigurableProcessor, simulate
+from repro.core import (
+    FormulationOptions,
+    SolverSettings,
+    bounds,
+    build_model,
+    cp_solve,
+    reduce_latency,
+)
+from repro.taskgraph import random_dag
+
+SLOW = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def graph_for(seed: int):
+    return random_dag(
+        num_tasks=5 + seed % 4,
+        seed=seed,
+        edge_probability=0.3,
+    )
+
+
+def processor_for(seed: int):
+    return ReconfigurableProcessor(
+        resource_capacity=600 + 50 * (seed % 5),
+        memory_capacity=512,
+        reconfiguration_time=float(10 * (seed % 4)),
+        name=f"prop{seed}",
+    )
+
+
+class TestPipelineInvariants:
+    @given(st.integers(0, 10_000))
+    @SLOW
+    def test_feasible_designs_audit_clean_and_simulate_exactly(self, seed):
+        graph = graph_for(seed)
+        processor = processor_for(seed)
+        n = bounds.min_area_partitions(graph, processor.resource_capacity)
+        d_max = bounds.max_latency(
+            graph, n, processor.reconfiguration_time
+        )
+        tp = build_model(graph, processor, n, d_max)
+        solution = tp.solve(
+            backend="highs", first_feasible=True, time_limit=20.0
+        )
+        if not solution.status.has_solution:
+            return  # fragmentation can make N_min^l infeasible: fine
+        design = tp.design_from(solution)
+        assert design.audit(processor) == []
+        report = simulate(design, processor)
+        assert report.makespan == pytest.approx(
+            design.total_latency(processor)
+        )
+        assert design.total_latency(processor) <= d_max + 1e-6
+        assert design.total_latency(processor) >= bounds.min_latency(
+            graph, 1, 0.0
+        ) - 1e-6
+
+    @given(st.integers(0, 10_000))
+    @SLOW
+    def test_reduce_latency_result_within_bounds(self, seed):
+        graph = graph_for(seed)
+        processor = processor_for(seed)
+        n = bounds.min_area_partitions(
+            graph, processor.resource_capacity
+        ) + 1
+        d_max = bounds.max_latency(graph, n, processor.reconfiguration_time)
+        d_min = bounds.min_latency(graph, n, processor.reconfiguration_time)
+        result = reduce_latency(
+            graph, processor, n, d_max, d_min, delta=d_max * 0.05,
+            settings=SolverSettings(time_limit=15.0),
+        )
+        if not result.feasible:
+            return
+        assert d_min - 1e-6 <= result.achieved <= d_max + 1e-6
+        assert result.design.audit(processor) == []
+
+    @given(st.integers(0, 10_000))
+    @SLOW
+    def test_cp_and_ilp_feasibility_agree(self, seed):
+        graph = graph_for(seed)
+        processor = processor_for(seed)
+        n = bounds.min_area_partitions(graph, processor.resource_capacity)
+        d_max = bounds.max_latency(graph, n, processor.reconfiguration_time)
+        cp_design = cp_solve(
+            graph, processor, n, d_max, node_limit=500_000,
+        )
+        tp = build_model(graph, processor, n, d_max)
+        ilp = tp.solve(backend="highs", first_feasible=True, time_limit=20.0)
+        assert (cp_design is not None) == ilp.status.has_solution
+        if cp_design is not None:
+            assert cp_design.audit(processor) == []
+
+    @given(st.integers(0, 10_000))
+    @SLOW
+    def test_symmetry_breaking_preserves_feasibility(self, seed):
+        graph = graph_for(seed)
+        processor = processor_for(seed)
+        n = bounds.min_area_partitions(
+            graph, processor.resource_capacity
+        ) + 1
+        d_max = bounds.max_latency(graph, n, processor.reconfiguration_time)
+        plain = build_model(graph, processor, n, d_max).solve(
+            backend="highs", first_feasible=True, time_limit=20.0
+        )
+        broken = build_model(
+            graph, processor, n, d_max,
+            options=FormulationOptions(symmetry_breaking=True),
+        ).solve(backend="highs", first_feasible=True, time_limit=20.0)
+        assert plain.status.has_solution == broken.status.has_solution

@@ -1,0 +1,134 @@
+"""Tests for chain clustering and design expansion."""
+
+import pytest
+
+from repro.arch import ReconfigurableProcessor
+from repro.core import PartitionedDesign, bounds, build_model
+from repro.taskgraph import (
+    DesignPoint,
+    TaskGraph,
+    ar_filter,
+    cluster_chains,
+    dct_4x4,
+    layered_graph,
+)
+
+
+def chain_graph():
+    """a -> b -> c -> d, with a diamond hanging off c? No: pure chain."""
+    graph = TaskGraph("chain4")
+    specs = {
+        "a": ((100, 40), (160, 20)),
+        "b": ((80, 30),),
+        "c": ((120, 50), (200, 25)),
+        "d": ((90, 10),),
+    }
+    for name, points in specs.items():
+        graph.add_task(
+            name,
+            tuple(
+                DesignPoint(area, lat, name=f"dp{i+1}")
+                for i, (area, lat) in enumerate(points)
+            ),
+        )
+    graph.add_edge("a", "b", 4)
+    graph.add_edge("b", "c", 4)
+    graph.add_edge("c", "d", 4)
+    graph.set_env_input("a", 8)
+    graph.set_env_output("d", 2)
+    return graph
+
+
+class TestChainDetection:
+    def test_pure_chain_collapses_to_one_task(self):
+        result = cluster_chains(chain_graph())
+        assert len(result.graph) == 1
+        (cluster,) = result.graph.tasks
+        assert result.members[cluster.name] == ("a", "b", "c", "d")
+        assert result.graph.num_edges == 0
+
+    def test_env_io_accumulated(self):
+        result = cluster_chains(chain_graph())
+        (cluster,) = result.graph.tasks
+        assert result.graph.env_input(cluster.name) == 8
+        assert result.graph.env_output(cluster.name) == 2
+
+    def test_diamond_not_merged_through_branch(self, diamond_graph):
+        result = cluster_chains(diamond_graph)
+        # a has two successors, d two predecessors: nothing merges.
+        assert len(result.graph) == 4
+        assert result.num_merged == 0
+
+    def test_dct_has_no_chains(self):
+        result = cluster_chains(dct_4x4())
+        assert len(result.graph) == 32
+
+    def test_ar_filter_merges_tail(self):
+        result = cluster_chains(ar_filter())
+        # T1->T2 is a chain head (T2 forks after), T5->T6 merges.
+        names = set(result.graph.task_names)
+        assert any("T5" in n and "T6" in n for n in names)
+        assert len(result.graph) < 6
+
+
+class TestMergedDesignPoints:
+    def test_points_are_pareto_and_sane(self):
+        result = cluster_chains(chain_graph())
+        (cluster,) = result.graph.tasks
+        areas = [dp.area for dp in cluster.design_points]
+        latencies = [dp.latency for dp in cluster.design_points]
+        assert areas == sorted(areas)
+        assert latencies == sorted(latencies, reverse=True)
+        # Cheapest combo: 100+80+120+90; fastest: 160+80+200+90.
+        assert min(areas) == pytest.approx(390)
+        assert min(latencies) == pytest.approx(20 + 30 + 25 + 10)
+
+    def test_combination_bookkeeping(self):
+        result = cluster_chains(chain_graph())
+        (cluster,) = result.graph.tasks
+        for i, dp in enumerate(cluster.design_points, start=1):
+            labels = result.combination[(cluster.name, dp.label(i))]
+            assert len(labels) == 4
+
+
+class TestExpansion:
+    def test_expanded_design_is_valid_and_equivalent(self):
+        graph = chain_graph()
+        result = cluster_chains(graph)
+        processor = ReconfigurableProcessor(600, 64, 10)
+        n = bounds.min_area_partitions(result.graph, 600)
+        tp = build_model(
+            result.graph, processor, n,
+            bounds.max_latency(result.graph, n, 10),
+        )
+        solution = tp.solve(backend="highs", first_feasible=True)
+        clustered_design = tp.design_from(solution)
+        expanded = result.expand(clustered_design)
+        assert isinstance(expanded, PartitionedDesign)
+        assert expanded.graph is graph
+        assert expanded.audit(processor) == []
+        # Serial chain in one partition: latency identical by construction.
+        assert expanded.total_latency(processor) == pytest.approx(
+            clustered_design.total_latency(processor)
+        )
+
+    def test_expand_on_layered_graph_end_to_end(self):
+        graph = layered_graph(4, 1, seed=6)   # a 4-chain
+        result = cluster_chains(graph)
+        assert len(result.graph) <= len(graph)
+        processor = ReconfigurableProcessor(900, 512, 10)
+        n = bounds.min_area_partitions(result.graph, 900)
+        tp = build_model(
+            result.graph, processor, n,
+            bounds.max_latency(result.graph, n, 10),
+        )
+        solution = tp.solve(backend="highs", first_feasible=True)
+        expanded = result.expand(tp.design_from(solution))
+        assert expanded.audit(processor) == []
+        assert set(expanded.placements) == set(graph.task_names)
+
+    def test_expand_without_original_rejected(self):
+        result = cluster_chains(chain_graph())
+        result.original = None
+        with pytest.raises(ValueError):
+            result.expand(None)  # type: ignore[arg-type]

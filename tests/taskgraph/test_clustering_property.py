@@ -1,0 +1,81 @@
+"""Property-based tests for chain clustering."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.arch import ReconfigurableProcessor
+from repro.core import bounds, build_model
+from repro.taskgraph import cluster_chains, compute_metrics, random_dag
+
+SLOW = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestClusteringProperties:
+    @given(st.integers(0, 10_000))
+    @SLOW
+    def test_clustered_graph_is_valid_dag(self, seed):
+        graph = random_dag(8, seed=seed, edge_probability=0.25)
+        result = cluster_chains(graph)
+        assert result.graph.is_acyclic()
+        # Members partition the original task set.
+        covered = [
+            name
+            for components in result.members.values()
+            for name in components
+        ]
+        assert sorted(covered) == sorted(graph.task_names)
+
+    @given(st.integers(0, 10_000))
+    @SLOW
+    def test_clustering_never_grows_the_graph(self, seed):
+        graph = random_dag(8, seed=seed, edge_probability=0.25)
+        result = cluster_chains(graph)
+        assert len(result.graph) <= len(graph)
+        assert result.graph.num_edges <= graph.num_edges
+
+    @given(st.integers(0, 10_000))
+    @SLOW
+    def test_min_latency_bound_preserved(self, seed):
+        """Serial chains keep the critical path identical."""
+        graph = random_dag(8, seed=seed, edge_probability=0.25)
+        result = cluster_chains(graph)
+        original = bounds.min_latency(graph, 1, 0.0)
+        clustered = bounds.min_latency(result.graph, 1, 0.0)
+        assert clustered == pytest.approx(original)
+
+    @given(st.integers(0, 2_000))
+    @SLOW
+    def test_expanded_designs_audit_clean(self, seed):
+        graph = random_dag(7, seed=seed, edge_probability=0.3)
+        result = cluster_chains(graph)
+        processor = ReconfigurableProcessor(900, 4096, 10)
+        n = bounds.min_area_partitions(result.graph, 900) + 1
+        tp = build_model(
+            result.graph, processor, n,
+            bounds.max_latency(result.graph, n, 10),
+        )
+        solution = tp.solve(
+            backend="highs", first_feasible=True, time_limit=20.0
+        )
+        if not solution.status.has_solution:
+            return
+        expanded = result.expand(tp.design_from(solution))
+        assert expanded.audit(processor) == []
+        # Total latency is preserved by expansion.
+        assert expanded.total_latency(processor) == pytest.approx(
+            tp.design_from(solution).total_latency(processor)
+        )
+
+    @given(st.integers(0, 10_000))
+    @SLOW
+    def test_chainlike_graphs_collapse_fully(self, seed):
+        graph = random_dag(6, seed=seed, edge_probability=0.0)
+        # No edges: every task is its own chain; nothing merges.
+        result = cluster_chains(graph)
+        assert len(result.graph) == 6
+        metrics = compute_metrics(result.graph)
+        assert metrics.is_embarrassingly_parallel or len(graph) == 1

@@ -1,0 +1,126 @@
+"""Unit tests for design points, module sets, and Pareto filtering."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.taskgraph import DesignPoint, ModuleSet, pareto_filter
+
+
+class TestModuleSet:
+    def test_from_mapping_sorts_and_drops_zeros(self):
+        ms = ModuleSet.from_mapping({"mul": 2, "add": 1, "sub": 0})
+        assert ms.counts == (("add", 1), ("mul", 2))
+
+    def test_as_dict_round_trip(self):
+        ms = ModuleSet.from_mapping({"mul": 2, "add": 1})
+        assert ms.as_dict() == {"mul": 2, "add": 1}
+
+    def test_count_accessor(self):
+        ms = ModuleSet.from_mapping({"mul": 2})
+        assert ms.count("mul") == 2
+        assert ms.count("add") == 0
+
+    def test_total_units(self):
+        ms = ModuleSet.from_mapping({"mul": 2, "add": 3})
+        assert ms.total_units == 5
+
+    def test_str(self):
+        assert str(ModuleSet()) == "{}"
+        assert "mul x2" in str(ModuleSet.from_mapping({"mul": 2}))
+
+    def test_hashable_and_equal(self):
+        a = ModuleSet.from_mapping({"mul": 1})
+        b = ModuleSet.from_mapping({"mul": 1})
+        assert a == b
+        assert len({a, b}) == 1
+
+
+class TestDesignPoint:
+    def test_positive_area_required(self):
+        with pytest.raises(ValueError):
+            DesignPoint(area=0, latency=10)
+
+    def test_positive_latency_required(self):
+        with pytest.raises(ValueError):
+            DesignPoint(area=10, latency=-1)
+
+    def test_dominates(self):
+        small_fast = DesignPoint(area=10, latency=10)
+        big_slow = DesignPoint(area=20, latency=20)
+        assert small_fast.dominates(big_slow)
+        assert not big_slow.dominates(small_fast)
+
+    def test_equal_points_do_not_dominate(self):
+        a = DesignPoint(area=10, latency=10)
+        b = DesignPoint(area=10, latency=10)
+        assert not a.dominates(b)
+
+    def test_incomparable_points(self):
+        small_slow = DesignPoint(area=10, latency=20)
+        big_fast = DesignPoint(area=20, latency=10)
+        assert not small_slow.dominates(big_fast)
+        assert not big_fast.dominates(small_slow)
+
+    def test_label(self):
+        assert DesignPoint(1, 1, name="dpX").label() == "dpX"
+        assert DesignPoint(1, 1).label(3) == "dp3"
+
+
+class TestParetoFilter:
+    def test_dominated_points_removed(self):
+        points = [
+            DesignPoint(10, 100),
+            DesignPoint(20, 50),
+            DesignPoint(15, 120),   # dominated by (10, 100)
+        ]
+        front = pareto_filter(points)
+        assert len(front) == 2
+        assert all(p.latency in (100, 50) for p in front)
+
+    def test_front_sorted_by_area(self):
+        points = [DesignPoint(30, 10), DesignPoint(10, 30), DesignPoint(20, 20)]
+        front = pareto_filter(points)
+        assert [p.area for p in front] == [10, 20, 30]
+
+    def test_duplicates_collapse(self):
+        points = [DesignPoint(10, 10), DesignPoint(10, 10)]
+        assert len(pareto_filter(points)) == 1
+
+    def test_empty_input(self):
+        assert pareto_filter([]) == []
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(1, 100), st.integers(1, 100)
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_front_is_mutually_non_dominating(self, pairs):
+        points = [DesignPoint(a, l) for a, l in pairs]
+        front = pareto_filter(points)
+        for p in front:
+            for q in front:
+                if p is not q:
+                    assert not p.dominates(q)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(1, 100), st.integers(1, 100)),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_every_point_dominated_by_or_on_front(self, pairs):
+        points = [DesignPoint(a, l) for a, l in pairs]
+        front = pareto_filter(points)
+        for p in points:
+            covered = any(
+                q.dominates(p) or (q.area == p.area and q.latency == p.latency)
+                for q in front
+            )
+            assert covered

@@ -1,0 +1,114 @@
+"""Unit and property tests for the synthetic task-graph generators."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.taskgraph import (
+    DesignSpaceSpec,
+    fork_join_graph,
+    layered_graph,
+    pareto_filter,
+    random_dag,
+    random_design_points,
+    series_parallel_graph,
+)
+
+
+class TestDesignPoints:
+    def test_points_are_pareto_front(self):
+        rng = random.Random(0)
+        for _ in range(20):
+            points = random_design_points(rng, DesignSpaceSpec())
+            assert list(points) == pareto_filter(points)
+
+    def test_labels_dense(self):
+        rng = random.Random(1)
+        points = random_design_points(rng, DesignSpaceSpec())
+        assert [p.name for p in points] == [
+            f"dp{i + 1}" for i in range(len(points))
+        ]
+
+    def test_deterministic_for_seed(self):
+        a = random_design_points(random.Random(42), DesignSpaceSpec())
+        b = random_design_points(random.Random(42), DesignSpaceSpec())
+        assert [(p.area, p.latency) for p in a] == [
+            (p.area, p.latency) for p in b
+        ]
+
+
+class TestLayered:
+    def test_structure(self):
+        graph = layered_graph(3, 4, seed=5)
+        assert len(graph) == 12
+        assert graph.is_acyclic()
+        # Non-source tasks have at least one predecessor.
+        levels = graph.level_of()
+        for task in graph:
+            if levels[task.name] > 0:
+                assert graph.predecessors(task.name)
+
+    def test_env_io_on_boundary_tasks(self):
+        graph = layered_graph(3, 2, seed=1)
+        assert all(graph.env_input(t) > 0 for t in graph.sources())
+        assert all(graph.env_output(t) > 0 for t in graph.sinks())
+
+    def test_determinism(self):
+        a = layered_graph(4, 3, seed=9)
+        b = layered_graph(4, 3, seed=9)
+        assert a.edges == b.edges
+
+    def test_seed_changes_structure(self):
+        a = layered_graph(4, 3, seed=1)
+        b = layered_graph(4, 3, seed=2)
+        assert a.edges != b.edges
+
+    def test_bad_parameters(self):
+        with pytest.raises(ValueError):
+            layered_graph(0, 3)
+
+
+class TestForkJoin:
+    def test_structure(self):
+        graph = fork_join_graph(3, 2, seed=0)
+        assert len(graph) == 2 + 3 * 2
+        assert graph.sources() == ("fork",)
+        assert graph.sinks() == ("join",)
+        assert graph.is_acyclic()
+
+    def test_bad_parameters(self):
+        with pytest.raises(ValueError):
+            fork_join_graph(0, 1)
+
+
+class TestSeriesParallel:
+    @pytest.mark.parametrize("depth", [0, 1, 2, 3])
+    def test_acyclic_at_any_depth(self, depth):
+        graph = series_parallel_graph(depth, seed=3)
+        assert graph.is_acyclic()
+        assert len(graph) >= 1
+
+    def test_single_entry_exit_env(self):
+        graph = series_parallel_graph(3, seed=4)
+        assert sum(1 for t in graph if graph.env_input(t.name) > 0) == 1
+        assert sum(1 for t in graph if graph.env_output(t.name) > 0) == 1
+
+
+class TestRandomDag:
+    @given(
+        st.integers(1, 20),
+        st.integers(0, 10_000),
+        st.floats(0.0, 1.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_always_acyclic(self, n, seed, p):
+        graph = random_dag(n, seed=seed, edge_probability=p)
+        assert len(graph) == n
+        assert graph.is_acyclic()
+
+    def test_every_task_has_design_points(self):
+        graph = random_dag(15, seed=2, edge_probability=0.3)
+        for task in graph:
+            assert len(task.design_points) >= 1
+            assert task.min_area <= task.max_area

@@ -1,0 +1,148 @@
+"""Unit tests for the TaskGraph container."""
+
+import pytest
+
+from repro.taskgraph import DesignPoint, GraphValidationError, TaskGraph
+
+
+def dp(area=10, latency=5, name="dp1"):
+    return DesignPoint(area=area, latency=latency, name=name)
+
+
+def two_tasks():
+    graph = TaskGraph("g")
+    graph.add_task("a", (dp(),))
+    graph.add_task("b", (dp(),))
+    return graph
+
+
+class TestConstruction:
+    def test_duplicate_task_rejected(self):
+        graph = two_tasks()
+        with pytest.raises(GraphValidationError):
+            graph.add_task("a", (dp(),))
+
+    def test_task_without_design_points_rejected(self):
+        graph = TaskGraph()
+        with pytest.raises(GraphValidationError):
+            graph.add_task("a", ())
+
+    def test_edge_to_unknown_task_rejected(self):
+        graph = two_tasks()
+        with pytest.raises(GraphValidationError):
+            graph.add_edge("a", "zzz", 1)
+
+    def test_self_loop_rejected(self):
+        graph = two_tasks()
+        with pytest.raises(GraphValidationError):
+            graph.add_edge("a", "a", 1)
+
+    def test_duplicate_edge_rejected(self):
+        graph = two_tasks()
+        graph.add_edge("a", "b", 1)
+        with pytest.raises(GraphValidationError):
+            graph.add_edge("a", "b", 2)
+
+    def test_negative_volume_rejected(self):
+        graph = two_tasks()
+        with pytest.raises(GraphValidationError):
+            graph.add_edge("a", "b", -1)
+
+    def test_negative_env_rejected(self):
+        graph = two_tasks()
+        with pytest.raises(GraphValidationError):
+            graph.set_env_input("a", -1)
+
+
+class TestQueries:
+    def test_membership_and_len(self):
+        graph = two_tasks()
+        assert "a" in graph
+        assert "c" not in graph
+        assert len(graph) == 2
+
+    def test_neighbors(self):
+        graph = two_tasks()
+        graph.add_edge("a", "b", 7)
+        assert graph.successors("a") == ("b",)
+        assert graph.predecessors("b") == ("a",)
+        assert graph.data_volume("a", "b") == 7
+
+    def test_missing_edge_volume(self):
+        graph = two_tasks()
+        with pytest.raises(GraphValidationError):
+            graph.data_volume("a", "b")
+
+    def test_env_defaults_to_zero(self):
+        graph = two_tasks()
+        assert graph.env_input("a") == 0.0
+        graph.set_env_input("a", 4)
+        assert graph.env_input("a") == 4.0
+
+    def test_sources_and_sinks(self):
+        graph = two_tasks()
+        graph.add_edge("a", "b", 1)
+        assert graph.sources() == ("a",)
+        assert graph.sinks() == ("b",)
+
+    def test_edges_listing(self):
+        graph = two_tasks()
+        graph.add_edge("a", "b", 3)
+        assert graph.edges == (("a", "b", 3.0),)
+        assert graph.num_edges == 1
+
+
+class TestTopology:
+    def test_topological_order_respects_edges(self):
+        graph = TaskGraph()
+        for name in "abcd":
+            graph.add_task(name, (dp(),))
+        graph.add_edge("a", "c", 1)
+        graph.add_edge("b", "c", 1)
+        graph.add_edge("c", "d", 1)
+        order = graph.topological_order()
+        assert order.index("a") < order.index("c") < order.index("d")
+        assert order.index("b") < order.index("c")
+
+    def test_cycle_detected(self):
+        graph = two_tasks()
+        graph.add_edge("a", "b", 1)
+        graph.add_edge("b", "a", 1)
+        with pytest.raises(GraphValidationError):
+            graph.topological_order()
+        assert not graph.is_acyclic()
+
+    def test_levels(self):
+        graph = TaskGraph()
+        for name in "abc":
+            graph.add_task(name, (dp(),))
+        graph.add_edge("a", "b", 1)
+        graph.add_edge("b", "c", 1)
+        assert graph.level_of() == {"a": 0, "b": 1, "c": 2}
+
+
+class TestAggregates:
+    def test_min_max_area_and_latency(self):
+        graph = TaskGraph()
+        graph.add_task(
+            "a",
+            (dp(area=10, latency=100), dp(area=20, latency=50, name="dp2")),
+        )
+        graph.add_task("b", (dp(area=5, latency=30),))
+        assert graph.total_min_area() == 15
+        assert graph.total_max_area() == 25
+        assert graph.total_max_latency() == 130
+
+    def test_task_accessors(self):
+        graph = TaskGraph()
+        task = graph.add_task(
+            "a",
+            (dp(area=10, latency=100), dp(area=20, latency=50, name="dp2")),
+        )
+        assert task.min_area == 10
+        assert task.max_area == 20
+        assert task.min_latency == 50
+        assert task.max_latency == 100
+        assert task.design_point("dp2").latency == 50
+        with pytest.raises(KeyError):
+            task.design_point("nope")

@@ -1,0 +1,97 @@
+"""Hypothesis properties of the TaskGraph container itself."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.taskgraph import (
+    DesignPoint,
+    TaskGraph,
+    count_paths,
+    longest_path_latency,
+    random_dag,
+)
+from repro.taskgraph.paths import transitive_predecessors
+
+QUICK = settings(max_examples=60, deadline=None)
+
+
+@st.composite
+def any_dag(draw):
+    n = draw(st.integers(1, 15))
+    seed = draw(st.integers(0, 100_000))
+    p = draw(st.floats(0.0, 0.6))
+    return random_dag(n, seed=seed, edge_probability=p)
+
+
+class TestTopology:
+    @given(any_dag())
+    @QUICK
+    def test_topological_order_is_a_permutation(self, graph):
+        order = graph.topological_order()
+        assert sorted(order) == sorted(graph.task_names)
+
+    @given(any_dag())
+    @QUICK
+    def test_every_edge_respects_order(self, graph):
+        position = {n: i for i, n in enumerate(graph.topological_order())}
+        for src, dst, _v in graph.edges:
+            assert position[src] < position[dst]
+
+    @given(any_dag())
+    @QUICK
+    def test_levels_increase_along_edges(self, graph):
+        levels = graph.level_of()
+        for src, dst, _v in graph.edges:
+            assert levels[dst] >= levels[src] + 1
+
+    @given(any_dag())
+    @QUICK
+    def test_sources_and_sinks_consistent(self, graph):
+        for source in graph.sources():
+            assert graph.predecessors(source) == ()
+        for sink in graph.sinks():
+            assert graph.successors(sink) == ()
+        assert graph.sources() and graph.sinks()
+
+    @given(any_dag())
+    @QUICK
+    def test_transitive_predecessors_contain_direct(self, graph):
+        ancestors = transitive_predecessors(graph)
+        for name in graph.task_names:
+            for pred in graph.predecessors(name):
+                assert pred in ancestors[name]
+                assert ancestors[pred] <= ancestors[name]
+
+
+class TestPathInvariants:
+    @given(any_dag())
+    @QUICK
+    def test_path_count_at_least_sink_count(self, graph):
+        assert count_paths(graph) >= len(graph.sinks())
+
+    @given(any_dag())
+    @QUICK
+    def test_longest_path_bounds(self, graph):
+        latency = longest_path_latency(
+            graph, lambda t: graph.task(t).min_latency
+        )
+        single_max = max(t.min_latency for t in graph)
+        total = sum(t.min_latency for t in graph)
+        assert single_max - 1e-9 <= latency <= total + 1e-9
+
+    @given(any_dag())
+    @QUICK
+    def test_uniform_latency_equals_depth(self, graph):
+        depth_tasks = longest_path_latency(graph, lambda t: 1.0)
+        assert depth_tasks == max(graph.level_of().values()) + 1
+
+
+class TestEdgeMutationSafety:
+    def test_edges_tuple_is_a_snapshot(self):
+        graph = TaskGraph()
+        graph.add_task("a", (DesignPoint(1, 1),))
+        graph.add_task("b", (DesignPoint(1, 1),))
+        snapshot = graph.edges
+        graph.add_edge("a", "b", 1)
+        assert snapshot == ()
+        assert graph.edges == (("a", "b", 1.0),)

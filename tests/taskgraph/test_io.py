@@ -1,0 +1,84 @@
+"""Unit tests for JSON round-trip and DOT export."""
+
+import json
+
+import pytest
+
+from repro.taskgraph import (
+    GraphValidationError,
+    ar_filter,
+    dct_4x4,
+    from_dict,
+    layered_graph,
+    load_json,
+    save_json,
+    to_dict,
+    to_dot,
+)
+
+
+def graphs_equal(a, b) -> bool:
+    if a.task_names != b.task_names:
+        return False
+    for task_a in a:
+        task_b = b.task(task_a.name)
+        points_a = [(p.area, p.latency, p.module_set) for p in task_a.design_points]
+        points_b = [(p.area, p.latency, p.module_set) for p in task_b.design_points]
+        if points_a != points_b or task_a.kind != task_b.kind:
+            return False
+    return (
+        a.edges == b.edges
+        and dict(a.env_inputs) == dict(b.env_inputs)
+        and dict(a.env_outputs) == dict(b.env_outputs)
+    )
+
+
+class TestJsonRoundTrip:
+    @pytest.mark.parametrize(
+        "factory",
+        [ar_filter, dct_4x4, lambda: layered_graph(3, 3, seed=1)],
+    )
+    def test_round_trip(self, factory):
+        graph = factory()
+        rebuilt = from_dict(to_dict(graph))
+        assert graphs_equal(graph, rebuilt)
+
+    def test_file_round_trip(self, tmp_path):
+        graph = ar_filter()
+        path = tmp_path / "graph.json"
+        save_json(graph, path)
+        rebuilt = load_json(path)
+        assert graphs_equal(graph, rebuilt)
+        # And the file is actual JSON.
+        payload = json.loads(path.read_text())
+        assert payload["version"] == 1
+
+    def test_unsupported_version_rejected(self):
+        payload = to_dict(ar_filter())
+        payload["version"] = 99
+        with pytest.raises(GraphValidationError):
+            from_dict(payload)
+
+    def test_dict_is_json_serializable(self):
+        text = json.dumps(to_dict(dct_4x4()))
+        assert "Y00" in text
+
+
+class TestDot:
+    def test_plain_dot(self):
+        dot = to_dot(ar_filter())
+        assert dot.startswith('digraph "ar_filter"')
+        assert '"T1" -> "T2"' in dot
+        assert dot.rstrip().endswith("}")
+
+    def test_clustered_dot(self):
+        graph = ar_filter()
+        partition_of = {name: 1 + (i // 3) for i, name in enumerate(graph.task_names)}
+        dot = to_dot(graph, partition_of)
+        assert "cluster_p1" in dot
+        assert "cluster_p2" in dot
+        assert 'label="partition 1"' in dot
+
+    def test_edge_volumes_labeled(self):
+        dot = to_dot(ar_filter())
+        assert '[label="8"]' in dot

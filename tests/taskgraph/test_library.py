@@ -1,0 +1,111 @@
+"""Tests pinning the paper's benchmark graphs to their calibrated figures.
+
+These assertions encode the derived quantities the reproduction relies on
+(see DESIGN.md, "Calibrated DCT numbers"); changing the library values
+without updating the experiments would break the table reproductions, and
+these tests catch that immediately.
+"""
+
+import math
+
+import pytest
+
+from repro.core import bounds
+from repro.taskgraph import (
+    ar_filter,
+    count_paths,
+    dct_4x4,
+    longest_path_latency,
+    validate_graph,
+)
+
+
+class TestArFilter:
+    def test_six_tasks(self):
+        assert len(ar_filter()) == 6
+
+    def test_design_point_counts_follow_paper(self):
+        graph = ar_filter()
+        counts = {t.name: len(t.design_points) for t in graph}
+        assert counts == {
+            "T1": 3, "T2": 1, "T3": 2, "T4": 2, "T5": 1, "T6": 1
+        }
+
+    def test_structure(self):
+        graph = ar_filter()
+        assert graph.sources() == ("T1",)
+        assert graph.sinks() == ("T6",)
+        assert count_paths(graph) == 2
+        assert graph.is_acyclic()
+
+    def test_kinds(self):
+        graph = ar_filter()
+        assert graph.task("T1").kind == "A"
+        assert graph.task("T2").kind == "B"
+
+    def test_validates_cleanly(self):
+        report = validate_graph(ar_filter(), resource_capacity=400)
+        assert report.ok
+
+
+class TestDct:
+    def test_thirty_two_tasks_sixty_four_edges(self):
+        graph = dct_4x4()
+        assert len(graph) == 32
+        assert graph.num_edges == 64
+
+    def test_three_design_points_each(self):
+        graph = dct_4x4()
+        assert all(len(t.design_points) == 3 for t in graph)
+
+    def test_kind_split(self):
+        graph = dct_4x4()
+        kinds = [t.kind for t in graph]
+        assert kinds.count("T1") == 16
+        assert kinds.count("T2") == 16
+
+    def test_four_collections_of_eight(self):
+        graph = dct_4x4()
+        # Stage-2 task Zrc depends exactly on the four Yr* of its row.
+        for row in range(4):
+            for col in range(4):
+                preds = set(graph.predecessors(f"Z{row}{col}"))
+                assert preds == {f"Y{row}{k}" for k in range(4)}
+
+    def test_calibrated_min_area_sum(self):
+        assert dct_4x4().total_min_area() == 4160
+
+    def test_calibrated_max_area_sum(self):
+        assert dct_4x4().total_max_area() == 6336
+
+    def test_partition_bounds_match_paper(self):
+        graph = dct_4x4()
+        # Table 4 starts at 8 partitions; Tables 6/8 start at 5.
+        assert bounds.min_area_partitions(graph, 576) == 8
+        assert bounds.min_area_partitions(graph, 1024) == 5
+        # gamma = 1 stops the R=576 search at 12 ("stop our search at 12").
+        assert bounds.max_area_partitions(graph, 576) == 11
+
+    def test_min_critical_path_is_795(self):
+        graph = dct_4x4()
+        latency = longest_path_latency(
+            graph, lambda t: graph.task(t).min_latency
+        )
+        assert latency == pytest.approx(795.0)
+
+    def test_serial_worst_case(self):
+        assert dct_4x4().total_max_latency() == pytest.approx(26_880.0)
+
+    def test_path_count_is_tractable(self):
+        assert count_paths(dct_4x4()) == 64
+
+    def test_validates_cleanly(self):
+        report = validate_graph(dct_4x4(), resource_capacity=576)
+        assert report.ok
+        assert report.warnings == []
+
+    def test_env_io(self):
+        graph = dct_4x4()
+        assert graph.env_input("Y00") == 4
+        assert graph.env_output("Z33") == 1
+        assert graph.env_input("Z00") == 0

@@ -1,0 +1,69 @@
+"""Unit tests for graph metrics."""
+
+import pytest
+
+from repro.taskgraph import (
+    DesignPoint,
+    TaskGraph,
+    ar_filter,
+    compute_metrics,
+    dct_4x4,
+    parallelism_profile,
+)
+
+
+class TestParallelismProfile:
+    def test_chain(self, chain_graph):
+        assert parallelism_profile(chain_graph) == {0: 1, 1: 1, 2: 1}
+
+    def test_dct_profile(self):
+        # 16 sources at level 0, 16 consumers at level 1.
+        assert parallelism_profile(dct_4x4()) == {0: 16, 1: 16}
+
+    def test_ar_profile(self):
+        profile = parallelism_profile(ar_filter())
+        assert profile == {0: 1, 1: 1, 2: 2, 3: 1, 4: 1}
+
+
+class TestComputeMetrics:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            compute_metrics(TaskGraph())
+
+    def test_dct_metrics(self):
+        metrics = compute_metrics(dct_4x4())
+        assert metrics.num_tasks == 32
+        assert metrics.num_edges == 64
+        assert metrics.depth == 2
+        assert metrics.width == 16
+        assert metrics.num_paths == 64
+        assert metrics.avg_design_points == pytest.approx(3.0)
+        assert metrics.total_data_volume == pytest.approx(64.0)
+        # Critical path 795 over total min work (16*375 + 16*420).
+        assert metrics.serialization_ratio == pytest.approx(
+            795 / (16 * 375 + 16 * 420)
+        )
+        assert not metrics.is_chainlike
+
+    def test_chain_metrics(self, chain_graph):
+        metrics = compute_metrics(chain_graph)
+        assert metrics.is_chainlike
+        assert metrics.serialization_ratio == pytest.approx(1.0)
+        assert not metrics.is_embarrassingly_parallel
+
+    def test_parallel_metrics(self):
+        graph = TaskGraph("par")
+        for i in range(4):
+            graph.add_task(f"t{i}", (DesignPoint(10, 10, name="dp1"),))
+        metrics = compute_metrics(graph)
+        assert metrics.is_embarrassingly_parallel
+        assert metrics.density == 0.0
+        assert metrics.serialization_ratio == pytest.approx(0.25)
+
+    def test_single_task(self):
+        graph = TaskGraph("one")
+        graph.add_task("t", (DesignPoint(10, 10, name="dp1"),))
+        metrics = compute_metrics(graph)
+        assert metrics.depth == 1
+        assert metrics.width == 1
+        assert not metrics.is_embarrassingly_parallel

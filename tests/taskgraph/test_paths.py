@@ -1,0 +1,132 @@
+"""Unit tests for path utilities."""
+
+import pytest
+
+from repro.taskgraph import (
+    DesignPoint,
+    TaskGraph,
+    count_paths,
+    critical_path,
+    enumerate_paths,
+    longest_path_latency,
+)
+from repro.taskgraph.paths import (
+    PathLimitExceeded,
+    restrict_path_latency,
+    transitive_predecessors,
+)
+
+
+def dp(latency, area=10):
+    return DesignPoint(area=area, latency=latency, name="dp1")
+
+
+def diamond():
+    graph = TaskGraph("diamond")
+    graph.add_task("a", (dp(10),))
+    graph.add_task("b", (dp(20),))
+    graph.add_task("c", (dp(5),))
+    graph.add_task("d", (dp(1),))
+    graph.add_edge("a", "b", 1)
+    graph.add_edge("a", "c", 1)
+    graph.add_edge("b", "d", 1)
+    graph.add_edge("c", "d", 1)
+    return graph
+
+
+class TestCounting:
+    def test_diamond_has_two_paths(self):
+        assert count_paths(diamond()) == 2
+
+    def test_isolated_task_counts_one(self):
+        graph = TaskGraph()
+        graph.add_task("solo", (dp(1),))
+        assert count_paths(graph) == 1
+
+    def test_wide_bipartite(self):
+        graph = TaskGraph()
+        for i in range(3):
+            graph.add_task(f"s{i}", (dp(1),))
+        for i in range(3):
+            graph.add_task(f"t{i}", (dp(1),))
+        for i in range(3):
+            for j in range(3):
+                graph.add_edge(f"s{i}", f"t{j}", 1)
+        assert count_paths(graph) == 9
+
+
+class TestEnumeration:
+    def test_paths_of_diamond(self):
+        paths = enumerate_paths(diamond())
+        assert ("a", "b", "d") in paths
+        assert ("a", "c", "d") in paths
+        assert len(paths) == 2
+
+    def test_limit_enforced_before_enumeration(self):
+        graph = TaskGraph()
+        # 2^10 paths through 10 diamond stages.
+        graph.add_task("n0", (dp(1),))
+        for stage in range(10):
+            top, bottom, joint = (
+                f"t{stage}", f"b{stage}", f"n{stage + 1}"
+            )
+            graph.add_task(top, (dp(1),))
+            graph.add_task(bottom, (dp(1),))
+            graph.add_task(joint, (dp(1),))
+            graph.add_edge(f"n{stage}", top, 1)
+            graph.add_edge(f"n{stage}", bottom, 1)
+            graph.add_edge(top, joint, 1)
+            graph.add_edge(bottom, joint, 1)
+        assert count_paths(graph) == 2 ** 10
+        with pytest.raises(PathLimitExceeded):
+            enumerate_paths(graph, limit=100)
+
+    def test_every_enumerated_path_runs_source_to_sink(self):
+        graph = diamond()
+        for path in enumerate_paths(graph):
+            assert path[0] in graph.sources()
+            assert path[-1] in graph.sinks()
+            for src, dst in zip(path, path[1:]):
+                assert dst in graph.successors(src)
+
+
+class TestLongestPath:
+    def test_longest_path_latency(self):
+        graph = diamond()
+        latency = longest_path_latency(
+            graph, lambda t: graph.task(t).design_points[0].latency
+        )
+        assert latency == 31  # a + b + d
+
+    def test_critical_path_returns_path(self):
+        graph = diamond()
+        latency, path = critical_path(
+            graph, lambda t: graph.task(t).design_points[0].latency
+        )
+        assert latency == 31
+        assert path == ("a", "b", "d")
+
+    def test_empty_graph_critical_path(self):
+        graph = TaskGraph()
+        assert critical_path(graph, lambda t: 0.0) == (0.0, ())
+
+    def test_custom_latency_function(self):
+        graph = diamond()
+        latency = longest_path_latency(graph, lambda t: 1.0)
+        assert latency == 3  # three tasks on the longest path
+
+
+class TestHelpers:
+    def test_restrict_path_latency_skips_none(self):
+        total = restrict_path_latency(
+            ["a", "b", "c"],
+            lambda t: {"a": 5.0, "b": None, "c": 2.0}[t],
+        )
+        assert total == 7.0
+
+    def test_transitive_predecessors(self):
+        graph = diamond()
+        ancestors = transitive_predecessors(graph)
+        assert ancestors["a"] == frozenset()
+        assert ancestors["d"] == frozenset({"a", "b", "c"})
+        assert ancestors["b"] == frozenset({"a"})

@@ -1,0 +1,91 @@
+"""Unit tests for task-graph validation."""
+
+import pytest
+
+from repro.taskgraph import (
+    DesignPoint,
+    GraphValidationError,
+    TaskGraph,
+    ar_filter,
+    validate_graph,
+)
+
+
+def dp(area=10, latency=5, name="dp1"):
+    return DesignPoint(area=area, latency=latency, name=name)
+
+
+class TestErrors:
+    def test_empty_graph(self):
+        report = validate_graph(TaskGraph())
+        assert not report.ok
+        assert "no tasks" in report.errors[0]
+
+    def test_cycle_reported(self):
+        graph = TaskGraph()
+        graph.add_task("a", (dp(),))
+        graph.add_task("b", (dp(),))
+        graph.add_edge("a", "b", 1)
+        graph.add_edge("b", "a", 1)
+        report = validate_graph(graph)
+        assert not report.ok
+        assert "cycle" in report.errors[0]
+
+    def test_oversized_task_with_capacity(self):
+        graph = TaskGraph()
+        graph.add_task("huge", (dp(area=1000),))
+        report = validate_graph(graph, resource_capacity=500)
+        assert not report.ok
+        assert "exceeds the device capacity" in report.errors[0]
+
+    def test_raise_if_failed(self):
+        report = validate_graph(TaskGraph())
+        with pytest.raises(GraphValidationError):
+            report.raise_if_failed()
+
+
+class TestWarnings:
+    def test_dominated_design_point_warned(self):
+        graph = TaskGraph()
+        graph.add_task(
+            "a",
+            (dp(area=10, latency=10), dp(area=20, latency=20, name="dp2")),
+        )
+        report = validate_graph(graph)
+        assert report.ok
+        assert any("dominated" in w for w in report.warnings)
+
+    def test_isolated_task_warned(self):
+        graph = TaskGraph()
+        graph.add_task("a", (dp(),))
+        graph.add_task("island", (dp(),))
+        graph.add_task("b", (dp(),))
+        graph.add_edge("a", "b", 1)
+        report = validate_graph(graph)
+        assert any("isolated" in w for w in report.warnings)
+
+    def test_isolated_with_env_io_not_warned(self):
+        graph = TaskGraph()
+        graph.add_task("a", (dp(),))
+        graph.add_task("b", (dp(),))
+        graph.set_env_input("a", 1)
+        graph.set_env_output("a", 1)
+        graph.add_edge("a", "b", 1)  # keep b connected
+        report = validate_graph(graph)
+        assert report.warnings == []
+
+    def test_strict_promotes_warnings(self):
+        graph = TaskGraph()
+        graph.add_task(
+            "a",
+            (dp(area=10, latency=10), dp(area=20, latency=20, name="dp2")),
+        )
+        report = validate_graph(graph, strict=True)
+        assert not report.ok
+
+
+class TestCleanGraphs:
+    def test_paper_graph_clean(self):
+        report = validate_graph(ar_filter(), resource_capacity=400)
+        assert report.ok
+        assert report.warnings == []

@@ -1,0 +1,180 @@
+"""Tests for the repro-tp command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.taskgraph import ar_filter, save_json
+
+
+@pytest.fixture
+def ar_json(tmp_path):
+    path = tmp_path / "ar.json"
+    save_json(ar_filter(), path)
+    return str(path)
+
+
+class TestGenerate:
+    def test_generate_to_file(self, tmp_path, capsys):
+        out = tmp_path / "g.json"
+        code = main([
+            "generate", "layered", "--levels", "2", "--per-level", "2",
+            "--seed", "3", "-o", str(out),
+        ])
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert len(payload["tasks"]) == 4
+
+    def test_generate_to_stdout(self, capsys):
+        code = main(["generate", "random", "--tasks", "5", "--seed", "1"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["tasks"]) == 5
+
+    @pytest.mark.parametrize("kind", ["fork-join", "series-parallel"])
+    def test_other_kinds(self, kind, capsys):
+        assert main(["generate", kind]) == 0
+
+
+class TestBounds:
+    def test_bounds_output(self, ar_json, capsys):
+        code = main(["bounds", ar_json, "--r-max", "400", "--ct", "20"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "N_min^l (min-area partitions): 3" in out
+        assert "N=3:" in out
+
+
+class TestPartition:
+    def test_partition_ar(self, ar_json, tmp_path, capsys):
+        out_json = tmp_path / "assignment.json"
+        out_dot = tmp_path / "design.dot"
+        code = main([
+            "partition", ar_json,
+            "--r-max", "400", "--m-max", "128", "--ct", "20",
+            "--gamma", "1", "--delta", "10",
+            "--trace",
+            "--out-json", str(out_json),
+            "--out-dot", str(out_dot),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "total latency: 510" in out
+        assert "Inf." in out               # trace printed
+        assignment = json.loads(out_json.read_text())
+        assert set(assignment) == {"T1", "T2", "T3", "T4", "T5", "T6"}
+        assert "cluster_p1" in out_dot.read_text()
+
+    def test_partition_report_flag(self, ar_json, capsys):
+        code = main([
+            "partition", ar_json,
+            "--r-max", "400", "--m-max", "128", "--ct", "20",
+            "--gamma", "1", "--delta", "10", "--report",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Partition utilization" in out
+        assert "design points chosen:" in out
+
+    def test_partition_infeasible_exit_code(self, tmp_path, capsys):
+        from repro.taskgraph import DesignPoint, TaskGraph
+
+        graph = TaskGraph("stuck")
+        graph.add_task("a", (DesignPoint(300, 10, name="dp1"),))
+        graph.add_task("b", (DesignPoint(300, 10, name="dp1"),))
+        graph.add_edge("a", "b", 9999)
+        path = tmp_path / "stuck.json"
+        save_json(graph, path)
+        code = main([
+            "partition", str(path),
+            "--r-max", "400", "--m-max", "16", "--ct", "10",
+            "--time-budget", "20",
+        ])
+        assert code == 1
+        assert "no feasible" in capsys.readouterr().err
+
+
+class TestEstimate:
+    def test_estimate_vector_product(self, capsys):
+        code = main([
+            "estimate", "vector-product", "--length", "3",
+            "--data-width", "8",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "operations" in out
+        assert "area=" in out
+
+    def test_estimate_fir(self, capsys):
+        assert main(["estimate", "fir", "--length", "3"]) == 0
+
+
+class TestTable:
+    def test_table1(self, capsys):
+        code = main(["table", "1", "--solve-limit", "15"])
+        assert code == 0
+        assert "match" in capsys.readouterr().out
+
+    def test_table2(self, capsys):
+        code = main(["table", "2"])
+        assert code == 0
+        assert "Table 2" in capsys.readouterr().out
+
+
+class TestDiagnose:
+    def test_diagnose_feasible(self, ar_json, capsys):
+        code = main([
+            "diagnose", ar_json, "--r-max", "400", "--m-max", "128",
+            "--ct", "20", "-n", "3",
+        ])
+        assert code == 0
+        assert "feasible at N=3" in capsys.readouterr().out
+
+    def test_diagnose_resource_culprit(self, ar_json, capsys):
+        code = main([
+            "diagnose", ar_json, "--r-max", "400", "--m-max", "128",
+            "--ct", "20", "-n", "1",
+        ])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "infeasible at N=1" in out
+        assert "CULPRIT" in out
+
+    def test_diagnose_latency_window(self, ar_json, capsys):
+        code = main([
+            "diagnose", ar_json, "--r-max", "400", "--m-max", "128",
+            "--ct", "20", "-n", "3", "--d-max", "100",
+        ])
+        assert code == 1
+        assert "latency_window" in capsys.readouterr().out
+
+
+class TestCurve:
+    def test_curve_on_ar(self, ar_json, capsys):
+        code = main([
+            "curve", ar_json, "--r-max", "400", "--m-max", "128",
+            "--ct", "20", "--min-n", "3", "--max-n", "4",
+            "--delta", "10",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "trade-off" in out
+        assert "best:" in out
+
+    def test_curve_infeasible_range_exit_code(self, ar_json, capsys):
+        code = main([
+            "curve", ar_json, "--r-max", "400", "--m-max", "128",
+            "--ct", "20", "--min-n", "1", "--max-n", "2",
+        ])
+        assert code == 1
+
+
+class TestParser:
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_table_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["table", "9"])

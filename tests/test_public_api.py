@@ -1,0 +1,72 @@
+"""Packaging sanity: every name each package exports must resolve.
+
+Guards against stale ``__all__`` entries and accidental removal of
+public API — the kind of breakage editable installs hide until release.
+"""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.ilp",
+    "repro.taskgraph",
+    "repro.hls",
+    "repro.arch",
+    "repro.core",
+    "repro.experiments",
+]
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_all_entries_resolve(package_name):
+    package = importlib.import_module(package_name)
+    assert hasattr(package, "__all__"), f"{package_name} lacks __all__"
+    for name in package.__all__:
+        assert hasattr(package, name), (
+            f"{package_name}.__all__ lists {name!r} but the attribute "
+            "is missing"
+        )
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_all_is_sorted_and_unique(package_name):
+    package = importlib.import_module(package_name)
+    entries = list(package.__all__)
+    assert len(entries) == len(set(entries)), f"{package_name}: duplicates"
+
+
+def test_version_string():
+    import repro
+
+    assert repro.__version__.count(".") == 2
+
+
+def test_cli_module_importable_without_side_effects():
+    import repro.cli
+
+    parser = repro.cli.build_parser()
+    assert parser.prog == "repro-tp"
+
+
+def test_quickstart_snippet_from_readme():
+    """The README quickstart must stay runnable (tiny budget variant)."""
+    from repro import (
+        PartitionerConfig,
+        RefinementConfig,
+        SolverSettings,
+        TemporalPartitioner,
+    )
+    from repro.arch import time_multiplexed
+    from repro.taskgraph import ar_filter
+
+    partitioner = TemporalPartitioner(
+        time_multiplexed(resource_capacity=400, memory_capacity=128),
+        PartitionerConfig(
+            search=RefinementConfig(delta=25.0, time_budget=30.0),
+            solver=SolverSettings(time_limit=10.0),
+        ),
+    )
+    outcome = partitioner.partition(ar_filter())
+    assert outcome.feasible

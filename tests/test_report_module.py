@@ -1,0 +1,30 @@
+"""Tests for the top-level repro.report module and its shim."""
+
+from repro.experiments import report as shim
+from repro import report
+
+
+class TestShim:
+    def test_shim_reexports_same_objects(self):
+        assert shim.TextTable is report.TextTable
+        assert shim.format_value is report.format_value
+
+    def test_import_core_analysis_does_not_pull_experiments(self):
+        # Regression for the circular import: importing core.analysis in
+        # a fresh interpreter must not require repro.experiments.
+        import subprocess
+        import sys
+
+        code = (
+            "import sys\n"
+            "from repro.core import analysis\n"
+            "assert 'repro.experiments' not in sys.modules, 'cycle back'\n"
+            "print('clean')\n"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "clean" in proc.stdout
