@@ -1,0 +1,133 @@
+"""Smoke benchmark of the solver execution layer (portfolio + cache).
+
+Three passes over the Table 3 configuration (DCT, R_max = 576, small
+C_T, delta = 200):
+
+1. **sequential** — scipy/HiGHS only, cold cache: the baseline search.
+2. **portfolio (warm cache)** — highs+bnb racing, but sharing the
+   sequential run's solve cache.  Exact-replay hits preserve the search
+   trajectory bit-for-bit, so the final latency must equal the
+   sequential run's and the cache hit rate must be nonzero.
+3. **portfolio (cold cache)** — a genuine race from scratch, recorded
+   for the wall-time comparison (its trajectory may legitimately differ:
+   which backend answers first within the per-solve budget decides each
+   window).
+
+A fourth micro-run drives the whole search with an artificially tiny
+per-solve budget and asserts it *completes* with ``degraded=True`` —
+the execution layer's no-exception guarantee.
+
+Writes ``benchmarks/results/BENCH_portfolio.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from conftest import EXPERIMENT_BUDGET, RESULTS_DIR, SOLVE_LIMIT
+from repro.arch import ReconfigurableProcessor
+from repro.core import RefinementConfig, SolverSettings, refine_partitions_bound
+from repro.solve import SolveExecutor
+from repro.taskgraph import dct_4x4
+
+R_MAX = 576.0
+C_T = 30.0
+DELTA = 200.0
+
+
+def run_search(settings, executor=None):
+    processor = ReconfigurableProcessor(R_MAX, 2048.0, C_T, name="R576")
+    start = time.perf_counter()
+    result = refine_partitions_bound(
+        dct_4x4(),
+        processor,
+        RefinementConfig(delta=DELTA, gamma=1, time_budget=EXPERIMENT_BUDGET),
+        settings=settings,
+        executor=executor,
+    )
+    wall = time.perf_counter() - start
+    return result, wall, processor
+
+
+def run_payload(result, wall):
+    telemetry = result.telemetry
+    return {
+        "final_latency": result.achieved,
+        "wall_time": round(wall, 3),
+        "degraded": result.degraded,
+        "iterations": len(result.trace),
+        "cache_hit_rate": telemetry.cache_hit_rate,
+        "cache_hits": telemetry.cache_hits,
+        "timeouts": telemetry.timeouts,
+        "fallbacks": telemetry.fallbacks,
+        "backend_wins": dict(telemetry.backend_wins),
+    }
+
+
+def test_portfolio_speedup_and_cache():
+    sequential_settings = SolverSettings(time_limit=SOLVE_LIMIT)
+    portfolio_settings = SolverSettings(
+        time_limit=SOLVE_LIMIT, portfolio=("highs", "bnb")
+    )
+
+    # 1. Sequential baseline, cold cache.
+    seq_executor = SolveExecutor(sequential_settings)
+    seq, seq_wall, processor = run_search(
+        sequential_settings, executor=seq_executor
+    )
+    assert seq.feasible, "DCT at R_max=576 must be partitionable"
+    assert seq.design.audit(processor) == []
+
+    # 2. Portfolio run reusing the sequential run's solve cache: exact
+    #    replays answer every previously-seen window, preserving the
+    #    trajectory, so the outcome must be identical.
+    warm_executor = SolveExecutor(
+        portfolio_settings, cache=seq_executor.cache
+    )
+    warm, warm_wall, _ = run_search(portfolio_settings, executor=warm_executor)
+    assert warm.feasible
+    assert warm.achieved == pytest.approx(seq.achieved, abs=1e-6)
+    assert warm.telemetry.cache_hit_rate > 0.0
+
+    # 3. Portfolio run from scratch: wall-time comparison only.
+    cold, cold_wall, _ = run_search(portfolio_settings)
+    assert cold.feasible
+
+    # 4. Hostile budget: the search completes, flagged degraded.
+    tiny = refine_partitions_bound(
+        dct_4x4(),
+        ReconfigurableProcessor(R_MAX, 2048.0, C_T),
+        RefinementConfig(delta=DELTA, gamma=0, time_budget=30.0),
+        settings=SolverSettings(time_limit=1e-4),
+    )
+    assert tiny.degraded
+    assert tiny.feasible            # greedy fallback certified a design
+
+    payload = {
+        "experiment": {
+            "graph": "dct_4x4",
+            "r_max": R_MAX,
+            "c_t": C_T,
+            "delta": DELTA,
+            "solve_limit": SOLVE_LIMIT,
+            "time_budget": EXPERIMENT_BUDGET,
+        },
+        "sequential": run_payload(seq, seq_wall),
+        "portfolio_warm_cache": run_payload(warm, warm_wall),
+        "portfolio_cold": run_payload(cold, cold_wall),
+        "tiny_budget": {
+            "degraded": tiny.degraded,
+            "feasible": tiny.feasible,
+            "final_latency": tiny.achieved,
+        },
+        "speedup_cold_vs_sequential": (
+            round(seq_wall / cold_wall, 3) if cold_wall > 0 else None
+        ),
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_portfolio.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )

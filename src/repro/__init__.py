@@ -40,11 +40,13 @@ from repro.core import (
     FormulationOptions,
     PartitionedDesign,
     PartitionerConfig,
+    PartitionRequest,
     PartitioningOutcome,
     RefinementConfig,
     SolverSettings,
     TemporalPartitioner,
 )
+from repro.solve import RunTelemetry, SolveCache, SolveExecutor
 
 __version__ = "1.0.0"
 
@@ -52,8 +54,12 @@ __all__ = [
     "FormulationOptions",
     "PartitionedDesign",
     "PartitionerConfig",
+    "PartitionRequest",
     "PartitioningOutcome",
     "RefinementConfig",
+    "RunTelemetry",
+    "SolveCache",
+    "SolveExecutor",
     "SolverSettings",
     "TemporalPartitioner",
     "__version__",

@@ -92,6 +92,20 @@ def _cmd_partition(args: argparse.Namespace) -> int:
             graph = clustering.graph
         else:
             clustering = None
+    if args.backend == "portfolio":
+        # Race the scipy/HiGHS backend against the native branch & bound;
+        # the first conclusive verdict wins each window solve.
+        solver = SolverSettings(
+            portfolio=("highs", "bnb"),
+            time_limit=args.solve_limit,
+            enable_cache=not args.no_cache,
+        )
+    else:
+        solver = SolverSettings(
+            backend=args.backend,
+            time_limit=args.solve_limit,
+            enable_cache=not args.no_cache,
+        )
     config = PartitionerConfig(
         search=RefinementConfig(
             alpha=args.alpha,
@@ -100,11 +114,21 @@ def _cmd_partition(args: argparse.Namespace) -> int:
             delta_fraction=args.delta_fraction,
             time_budget=args.time_budget,
         ),
-        solver=SolverSettings(
-            backend=args.backend, time_limit=args.solve_limit
-        ),
+        solver=solver,
     )
     outcome = TemporalPartitioner(processor, config).partition(graph)
+
+    if args.telemetry_json and outcome.telemetry is not None:
+        Path(args.telemetry_json).write_text(
+            json.dumps(outcome.telemetry.to_dict(include_solves=True), indent=2)
+        )
+        print(f"telemetry written to {args.telemetry_json}")
+    if outcome.degraded:
+        print(
+            "warning: solver budget exhausted on some windows; "
+            "result comes from the heuristic fallback (degraded)",
+            file=sys.stderr,
+        )
 
     if args.trace:
         print("N  I  D_min        D_max        D_a")
@@ -314,7 +338,15 @@ def build_parser() -> argparse.ArgumentParser:
     partition.add_argument("--time-budget", type=float, default=300.0)
     partition.add_argument("--solve-limit", type=float, default=30.0)
     partition.add_argument("--backend", default="highs",
-                           choices=("highs", "bnb"))
+                           choices=("highs", "bnb", "portfolio"),
+                           help="ILP backend; 'portfolio' races highs "
+                           "and bnb per window solve")
+    partition.add_argument("--no-cache", action="store_true",
+                           help="disable solve memoization")
+    partition.add_argument("--telemetry-json", default=None,
+                           help="write execution-layer telemetry "
+                           "(backend wins, cache hits, per-solve stats) "
+                           "as JSON")
     partition.add_argument("--trace", action="store_true",
                            help="print the iteration trace")
     partition.add_argument("--report", action="store_true",

@@ -44,6 +44,7 @@ from repro.core.heuristics import (
 from repro.core.optimal import OptimalAttempt, OptimalResult, solve_optimal
 from repro.core.partitioner import (
     PartitionerConfig,
+    PartitionRequest,
     PartitioningOutcome,
     TemporalPartitioner,
 )
@@ -80,6 +81,7 @@ __all__ = [
     "OptimalResult",
     "POLICIES",
     "PartitionRange",
+    "PartitionRequest",
     "PartitionUtilization",
     "PartitionedDesign",
     "PartitionerConfig",

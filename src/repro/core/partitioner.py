@@ -3,13 +3,18 @@
 Wraps validation, bounds, the combined ILP formulation and the two-level
 iterative search behind one call::
 
-    from repro import TemporalPartitioner, PartitionerConfig
+    from repro import PartitionRequest, TemporalPartitioner
     from repro.arch import time_multiplexed
     from repro.taskgraph import dct_4x4
 
     partitioner = TemporalPartitioner(time_multiplexed(resource_capacity=576))
-    outcome = partitioner.partition(dct_4x4())
+    outcome = partitioner.solve(PartitionRequest(graph=dct_4x4()))
     print(outcome.design.summary(partitioner.processor))
+
+:meth:`TemporalPartitioner.solve` on a :class:`PartitionRequest` is the
+canonical entry point; :meth:`TemporalPartitioner.partition` remains and
+accepts either a bare :class:`~repro.taskgraph.graph.TaskGraph` (the
+original API) or a request.
 """
 
 from __future__ import annotations
@@ -27,10 +32,16 @@ from repro.core.refine_partitions import (
 )
 from repro.core.solution import PartitionedDesign
 from repro.core.trace import SearchTrace
+from repro.solve.telemetry import RunTelemetry
 from repro.taskgraph.graph import TaskGraph
 from repro.taskgraph.validate import validate_graph
 
-__all__ = ["PartitionerConfig", "PartitioningOutcome", "TemporalPartitioner"]
+__all__ = [
+    "PartitionerConfig",
+    "PartitionRequest",
+    "PartitioningOutcome",
+    "TemporalPartitioner",
+]
 
 
 @dataclass(frozen=True)
@@ -50,9 +61,34 @@ class PartitionerConfig:
     validate: bool = True
 
 
-@dataclass
+@dataclass(frozen=True)
+class PartitionRequest:
+    """One partitioning problem, fully described.
+
+    Bundles what to partition (``graph``), where to run it
+    (``processor``) and how to search (``config``).  ``processor`` and
+    ``config`` default to the :class:`TemporalPartitioner`'s own when
+    ``None``, so a request can be as small as
+    ``PartitionRequest(graph=g)`` — or carry per-call overrides without
+    mutating the partitioner.
+    """
+
+    graph: TaskGraph
+    processor: ReconfigurableProcessor | None = None
+    config: PartitionerConfig | None = None
+
+
+@dataclass(kw_only=True)
 class PartitioningOutcome:
-    """Everything a caller may want to know about one partitioning run."""
+    """Everything a caller may want to know about one partitioning run.
+
+    Fields are keyword-only: construct as
+    ``PartitioningOutcome(design=..., total_latency=..., ...)``.  The
+    outcome is self-describing — ``feasible``, ``degraded`` and
+    ``telemetry`` answer "did it work, can I trust it, what did it cost"
+    without digging through the trace, and :meth:`to_dict` serializes the
+    lot for JSON reports.
+    """
 
     design: PartitionedDesign | None
     total_latency: float | None       # incl. reconfiguration overhead
@@ -61,6 +97,13 @@ class PartitioningOutcome:
     delta: float
     stopped_by_min_latency_cut: bool
     stopped_by_time: bool
+    #: At least one window solve exhausted every backend's budget and fell
+    #: back to the greedy heuristics — the design is valid but possibly
+    #: weaker than an exhaustive search would return.
+    degraded: bool = False
+    #: Execution-layer metrics (per-solve stats, backend wins, cache hit
+    #: rate); ``None`` only for outcomes built outside the normal path.
+    telemetry: RunTelemetry | None = None
 
     @property
     def feasible(self) -> bool:
@@ -74,6 +117,44 @@ class PartitioningOutcome:
     def execution_latency(self) -> float | None:
         return None if self.design is None else self.design.execution_latency()
 
+    def to_dict(self, include_solves: bool = False) -> dict:
+        """JSON-serializable summary (design as placement table).
+
+        ``include_solves`` forwards to
+        :meth:`repro.solve.RunTelemetry.to_dict` — per-solve records are
+        verbose, so they are off by default.
+        """
+        design = None
+        if self.design is not None:
+            design = {
+                name: {
+                    "partition": placement.partition,
+                    "design_point": placement.design_point.name,
+                }
+                for name, placement in sorted(self.design.placements.items())
+            }
+        return {
+            "feasible": self.feasible,
+            "degraded": self.degraded,
+            "total_latency": self.total_latency,
+            "execution_latency": self.execution_latency,
+            "num_partitions": self.num_partitions,
+            "partition_range": [
+                self.partition_range.start,
+                self.partition_range.stop,
+            ],
+            "delta": self.delta,
+            "stopped_by_min_latency_cut": self.stopped_by_min_latency_cut,
+            "stopped_by_time": self.stopped_by_time,
+            "iterations": len(self.trace),
+            "design": design,
+            "telemetry": (
+                None
+                if self.telemetry is None
+                else self.telemetry.to_dict(include_solves=include_solves)
+            ),
+        }
+
 
 class TemporalPartitioner:
     """Combined temporal partitioning and design space exploration."""
@@ -86,8 +167,8 @@ class TemporalPartitioner:
         self.processor = processor
         self.config = config or PartitionerConfig()
 
-    def partition(self, graph: TaskGraph) -> PartitioningOutcome:
-        """Partition ``graph`` for this processor.
+    def solve(self, request: PartitionRequest) -> PartitioningOutcome:
+        """Canonical entry point: solve one :class:`PartitionRequest`.
 
         Raises
         ------
@@ -95,23 +176,25 @@ class TemporalPartitioner:
             When the graph is structurally unusable (cycles, or a task
             whose smallest design point exceeds the device capacity).
         """
-        if self.config.validate:
+        processor = request.processor or self.processor
+        config = request.config or self.config
+        if config.validate:
             report = validate_graph(
-                graph, resource_capacity=self.processor.resource_capacity
+                request.graph, resource_capacity=processor.resource_capacity
             )
             report.raise_if_failed()
         result: RefinementResult = refine_partitions_bound(
-            graph,
-            self.processor,
-            config=self.config.search,
-            options=self.config.formulation,
-            settings=self.config.solver,
+            request.graph,
+            processor,
+            config=config.search,
+            options=config.formulation,
+            settings=config.solver,
         )
         prange = bounds.partition_range(
-            graph,
-            self.processor,
-            alpha=self.config.search.alpha,
-            gamma=self.config.search.gamma,
+            request.graph,
+            processor,
+            alpha=config.search.alpha,
+            gamma=config.search.gamma,
         )
         return PartitioningOutcome(
             design=result.design,
@@ -121,7 +204,23 @@ class TemporalPartitioner:
             delta=result.delta,
             stopped_by_min_latency_cut=result.stopped_by_min_latency_cut,
             stopped_by_time=result.stopped_by_time,
+            degraded=result.degraded,
+            telemetry=result.telemetry,
         )
+
+    def partition(
+        self, graph: TaskGraph | PartitionRequest
+    ) -> PartitioningOutcome:
+        """Partition a graph (or solve a request) for this processor.
+
+        Kept as the friendly entry point: a bare
+        :class:`~repro.taskgraph.graph.TaskGraph` is wrapped in a
+        :class:`PartitionRequest` using the partitioner's processor and
+        config; a request is forwarded to :meth:`solve` unchanged.
+        """
+        if isinstance(graph, PartitionRequest):
+            return self.solve(graph)
+        return self.solve(PartitionRequest(graph=graph))
 
     def bounds_for(self, graph: TaskGraph, num_partitions: int) -> tuple[float, float]:
         """(D_max, D_min) for ``num_partitions`` — convenience accessor."""

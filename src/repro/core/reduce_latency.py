@@ -14,22 +14,27 @@ trades solution quality against run time: the paper's Tables 5 vs 7 (and
 6 vs 8) show ``delta = 100`` finding better solutions than
 ``delta = 800`` at the cost of more iterations — our ablation benchmark
 reproduces that trade-off.
+
+Each window question is executed by the solver execution layer
+(:class:`repro.solve.SolveExecutor`): backend portfolio racing, solve
+memoization, deadline enforcement and graceful degradation all live
+there, not in this algorithm (see ``docs/solving.md``).
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 
 from repro.arch.processor import ReconfigurableProcessor
 from repro.core.formulation import (
     FormulationOptions,
-    build_model,
     lp_latency_lower_bound,
 )
 from repro.core.solution import PartitionedDesign
 from repro.core.trace import IterationRecord, SearchTrace
-from repro.ilp import SolveStatus
+from repro.solve.executor import SolveExecutor, WindowOutcome
+from repro.solve.telemetry import RunTelemetry
 from repro.taskgraph.graph import TaskGraph
 
 __all__ = ["SolverSettings", "ReduceLatencyResult", "reduce_latency"]
@@ -42,11 +47,20 @@ class SolverSettings:
     Attributes
     ----------
     backend:
-        ILP backend name (``"highs"`` or ``"bnb"``).
+        ILP backend name (``"highs"`` or ``"bnb"``) used when no
+        portfolio is configured.
+    portfolio:
+        When set (e.g. ``("highs", "bnb")``), every window solve races
+        these backends concurrently and keeps the first conclusive
+        verdict, cancelling the rest (``"cp"`` adds the problem-specific
+        backtracker to the race).  ``None`` solves sequentially with
+        ``backend`` — the previous behavior.
     time_limit:
-        Per-solve wall-clock budget.  A solve that exhausts it without an
-        incumbent is treated as infeasible by the search — the same
-        pragmatic convention the paper applies to CPLEX runs.
+        Per-solve wall-clock budget, enforced on every backend.  A solve
+        that exhausts it without an incumbent is treated as infeasible by
+        the search — the same pragmatic convention the paper applies to
+        CPLEX runs — unless the greedy fallback produces a certificate
+        (see ``heuristic_fallback``).
     use_lp_bound:
         Tighten ``D_min`` with the LP-relaxation latency bound
         (:func:`repro.core.formulation.lp_latency_lower_bound`) before the
@@ -58,13 +72,24 @@ class SolverSettings:
         Attach the latency objective even in constraint-satisfaction mode
         so the MILP heuristics aim low; the first incumbent is still
         accepted as-is (the paper's semantics).
+    enable_cache:
+        Memoize window verdicts by model fingerprint
+        (:mod:`repro.solve.cache`), reusing feasibility certificates and
+        emptiness proofs across the run's near-identical ILPs.
+    heuristic_fallback:
+        When every backend times out, fall back to the greedy
+        level-packing heuristics and mark the outcome ``degraded=True``
+        instead of silently reporting infeasibility.
     """
 
     backend: str = "highs"
+    portfolio: tuple[str, ...] | None = None
     time_limit: float | None = 60.0
     node_limit: int | None = None
     use_lp_bound: bool = True
     guide_with_objective: bool = True
+    enable_cache: bool = True
+    heuristic_fallback: bool = True
     extra: dict = field(default_factory=dict)
 
 
@@ -76,46 +101,12 @@ class ReduceLatencyResult:
     design: PartitionedDesign | None
     achieved: float | None           # total latency incl. reconfiguration
     trace: SearchTrace
+    degraded: bool = False           # some window fell back past every backend
+    telemetry: RunTelemetry | None = None
 
     @property
     def feasible(self) -> bool:
         return self.design is not None
-
-
-def _solve_window(
-    graph: TaskGraph,
-    processor: ReconfigurableProcessor,
-    num_partitions: int,
-    d_max: float,
-    d_min: float,
-    options: FormulationOptions,
-    settings: SolverSettings,
-) -> tuple[PartitionedDesign | None, float, int]:
-    """FormModel + SolveModel: one constraint-satisfaction ILP call.
-
-    Returns ``(design, wall_time, solver_iterations)``; ``design`` is
-    ``None`` on infeasibility (or when the solver ran out of budget
-    without an incumbent, which the iterative procedure must treat the
-    same way the paper treats CPLEX giving up).
-    """
-    start = time.perf_counter()
-    if settings.guide_with_objective and not options.minimize_latency:
-        options = replace(options, minimize_latency=True)
-    tp_model = build_model(
-        graph, processor, num_partitions, d_max, d_min, options
-    )
-    solution = tp_model.solve(
-        backend=settings.backend,
-        first_feasible=True,
-        time_limit=settings.time_limit,
-        node_limit=settings.node_limit,
-        **settings.extra,
-    )
-    elapsed = time.perf_counter() - start
-    if not solution.status.has_solution:
-        return None, elapsed, solution.iterations
-    design = tp_model.design_from(solution)
-    return design, elapsed, solution.iterations
 
 
 def reduce_latency(
@@ -128,6 +119,7 @@ def reduce_latency(
     options: FormulationOptions | None = None,
     settings: SolverSettings | None = None,
     deadline: float | None = None,
+    executor: SolveExecutor | None = None,
 ) -> ReduceLatencyResult:
     """Run Algorithm ``Reduce_Latency(N, D_max, D_min)`` (Figure 1).
 
@@ -143,14 +135,32 @@ def reduce_latency(
         Latency tolerance: the unexplored window the caller accepts.
     deadline:
         Absolute ``time.perf_counter()`` stamp after which no further ILP
-        is started (the paper's ``TimeExpired()``).
+        is started (the paper's ``TimeExpired()``); also clips every
+        backend's per-solve budget.
+    executor:
+        The execution layer to solve through.  Passing one shares its
+        solve cache and telemetry across calls (the outer search does
+        this); when ``None`` a fresh executor is built from ``settings``.
     """
     if delta <= 0:
         raise ValueError("latency tolerance delta must be positive")
     options = options or FormulationOptions()
     settings = settings or SolverSettings()
+    if executor is None:
+        executor = SolveExecutor(settings)
     trace = SearchTrace()
     iteration = 1
+    degraded = False
+
+    def result(design, achieved) -> ReduceLatencyResult:
+        return ReduceLatencyResult(
+            num_partitions,
+            design,
+            achieved,
+            trace,
+            degraded=degraded,
+            telemetry=executor.telemetry,
+        )
 
     if settings.use_lp_bound:
         # Extension: windows below the LP-relaxation latency bound are
@@ -169,34 +179,44 @@ def reduce_latency(
                     achieved=None,
                 )
             )
-            return ReduceLatencyResult(num_partitions, None, None, trace)
+            return result(None, None)
         d_min = max(d_min, lp_bound)
 
-    def record(window_max, window_min, achieved, wall, iters) -> None:
-        nonlocal iteration
+    def solve(window_max: float, window_min: float) -> WindowOutcome:
+        nonlocal iteration, degraded
+        outcome = executor.solve_window(
+            graph,
+            processor,
+            num_partitions,
+            window_max,
+            window_min,
+            options,
+            deadline=deadline,
+        )
+        degraded = degraded or outcome.degraded
         trace.add(
             IterationRecord(
                 num_partitions=num_partitions,
                 iteration=iteration,
                 d_max=window_max,
                 d_min=window_min,
-                achieved=achieved,
-                wall_time=wall,
-                solver_iterations=iters,
+                achieved=outcome.achieved,
+                wall_time=outcome.wall_time,
+                solver_iterations=outcome.iterations,
+                backend=outcome.backend,
+                cache_hit=outcome.cache_hit,
+                degraded=outcome.degraded,
             )
         )
         iteration += 1
+        return outcome
 
     # First call on the full window.
-    design, wall, iters = _solve_window(
-        graph, processor, num_partitions, d_max, d_min, options, settings
-    )
-    if design is None:
-        record(d_max, d_min, None, wall, iters)
-        return ReduceLatencyResult(num_partitions, None, None, trace)
-    achieved = design.total_latency(processor)
-    record(d_max, d_min, achieved, wall, iters)
-    best = design
+    first = solve(d_max, d_min)
+    if first.design is None:
+        return result(None, None)
+    achieved = first.achieved
+    best = first.design
 
     while (d_max - d_min >= delta) and (achieved - d_min >= delta):
         if deadline is not None and time.perf_counter() > deadline:
@@ -206,15 +226,11 @@ def reduce_latency(
         trial = (d_max + d_min) / 2.0
         while trial >= achieved:
             trial = (trial + d_min) / 2.0
-        candidate, wall, iters = _solve_window(
-            graph, processor, num_partitions, trial, d_min, options, settings
-        )
-        if candidate is None:
-            record(trial, d_min, None, wall, iters)
+        candidate = solve(trial, d_min)
+        if candidate.design is None:
             d_min = trial
         else:
-            achieved = candidate.total_latency(processor)
-            record(trial, d_min, achieved, wall, iters)
-            best = candidate
+            achieved = candidate.achieved
+            best = candidate.design
             d_max = achieved
-    return ReduceLatencyResult(num_partitions, best, achieved, trace)
+    return result(best, achieved)

@@ -32,6 +32,8 @@ from repro.core.reduce_latency import (
 )
 from repro.core.solution import PartitionedDesign
 from repro.core.trace import SearchTrace
+from repro.solve.executor import SolveExecutor
+from repro.solve.telemetry import RunTelemetry
 from repro.taskgraph.graph import TaskGraph
 
 __all__ = ["RefinementConfig", "RefinementResult", "refine_partitions_bound"]
@@ -92,6 +94,13 @@ class RefinementResult:
     delta: float
     stopped_by_min_latency_cut: bool = False
     stopped_by_time: bool = False
+    #: Some window solve fell back to the greedy heuristics after every
+    #: backend exhausted its budget; the result is still valid but may be
+    #: weaker than an exhaustive search would have found.
+    degraded: bool = False
+    #: Execution-layer metrics for the whole run (one shared
+    #: :class:`repro.solve.SolveExecutor` serves every window solve).
+    telemetry: RunTelemetry | None = None
 
     @property
     def feasible(self) -> bool:
@@ -104,11 +113,19 @@ def refine_partitions_bound(
     config: RefinementConfig | None = None,
     options: FormulationOptions | None = None,
     settings: SolverSettings | None = None,
+    executor: SolveExecutor | None = None,
 ) -> RefinementResult:
-    """Run Algorithm ``Refine_Partitions_Bound`` (Figure 2)."""
+    """Run Algorithm ``Refine_Partitions_Bound`` (Figure 2).
+
+    One :class:`repro.solve.SolveExecutor` serves every window solve of
+    the run, so the solve cache and telemetry span both phases.  Pass
+    ``executor`` to share them across runs too (e.g. a warm-cache replay).
+    """
     config = config or RefinementConfig()
     options = options or FormulationOptions()
     settings = settings or SolverSettings()
+    if executor is None:
+        executor = SolveExecutor(settings)
     deadline = (
         time.perf_counter() + config.time_budget
         if config.time_budget is not None
@@ -127,8 +144,10 @@ def refine_partitions_bound(
 
     trace = SearchTrace()
     explored: list[int] = []
+    degraded = False
 
     def run_reduce(num_partitions, d_max, d_min) -> ReduceLatencyResult:
+        nonlocal degraded
         result = reduce_latency(
             graph,
             processor,
@@ -139,9 +158,11 @@ def refine_partitions_bound(
             options=options,
             settings=settings,
             deadline=deadline,
+            executor=executor,
         )
         trace.extend(result.trace)
         explored.append(num_partitions)
+        degraded = degraded or result.degraded
         return result
 
     # Phase 1: find the first feasible partition bound.
@@ -154,11 +175,15 @@ def refine_partitions_bound(
             return RefinementResult(
                 None, None, trace, tuple(explored), delta,
                 stopped_by_time=True,
+                degraded=degraded,
+                telemetry=executor.telemetry,
             )
         escalations += 1
         if escalations > config.infeasible_escalation_limit:
             return RefinementResult(
-                None, None, trace, tuple(explored), delta
+                None, None, trace, tuple(explored), delta,
+                degraded=degraded,
+                telemetry=executor.telemetry,
             )
         n += 1
         result = run_reduce(
@@ -197,4 +222,6 @@ def refine_partitions_bound(
         delta=delta,
         stopped_by_min_latency_cut=stopped_by_cut,
         stopped_by_time=stopped_by_time,
+        degraded=degraded,
+        telemetry=executor.telemetry,
     )

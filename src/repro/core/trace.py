@@ -32,6 +32,14 @@ class IterationRecord:
     achieved: float | None
     wall_time: float = 0.0
     solver_iterations: int = 0
+    #: Which backend decided this iteration: a solver name, ``"cache"``
+    #: for a memoized verdict, ``"heuristic:<policy>"`` for the degraded
+    #: fallback, or ``""`` (pre-execution-layer records / hard timeout).
+    backend: str = ""
+    #: The verdict came from the solve cache (no solver ran).
+    cache_hit: bool = False
+    #: Every backend exhausted its budget; the row reflects the fallback.
+    degraded: bool = False
 
     @property
     def feasible(self) -> bool:

@@ -83,6 +83,15 @@ class ExperimentResult:
     def iterations(self) -> int:
         return len(self.result.trace)
 
+    @property
+    def telemetry(self):
+        """Execution-layer metrics of the run (``RunTelemetry | None``)."""
+        return self.result.telemetry
+
+    @property
+    def degraded(self) -> bool:
+        return self.result.degraded
+
     def table(self, include_overhead: bool = False) -> TextTable:
         """The paper-shaped iteration table.
 
@@ -113,6 +122,8 @@ class ExperimentResult:
         )
         if self.result.stopped_by_min_latency_cut:
             note += "; stopped early: MinLatency(N) >= D_a"
+        if self.result.degraded:
+            note += "; degraded: heuristic fallback used"
         table.footer = note
         return table
 

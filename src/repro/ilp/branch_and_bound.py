@@ -20,6 +20,7 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
@@ -46,6 +47,10 @@ class BnbOptions:
     #: Optional warm start: a feasible point (original variable order).
     #: Installed as the initial incumbent, enabling immediate pruning.
     warm_start: np.ndarray | None = None
+    #: Cooperative cancellation: polled alongside the wall-clock deadline
+    #: before every node, every diving re-solve and every root-cut round.
+    #: Used by the portfolio runner to stop a losing race early.
+    should_stop: Callable[[], bool] | None = None
     #: Rounds of knapsack cover cuts separated at the root node (0 = off).
     #: Valid for all integer points; tightens packing relaxations.
     root_cuts: int = 0
@@ -71,11 +76,13 @@ class _Node:
     parent_bound: float
 
 
-def _strengthen_with_cover_cuts(form, rounds: int):
+def _strengthen_with_cover_cuts(form, rounds: int, stop=None):
     """Append violated knapsack cover cuts to the form (root node only).
 
     Cuts remove only fractional points, so the returned form is
     equivalent on integers; all node relaxations inherit the tightening.
+    ``stop`` (the solver's budget predicate) bounds the separation loop:
+    cut rounds are an optimization, not worth blowing the deadline for.
     """
     import dataclasses
 
@@ -83,6 +90,8 @@ def _strengthen_with_cover_cuts(form, rounds: int):
 
     work = form
     for _ in range(rounds):
+        if stop is not None and stop():
+            break
         status, x, _objective, _n = solve_relaxation(work)
         if status is not SolveStatus.OPTIMAL or x is None:
             break
@@ -110,20 +119,35 @@ def branch_and_bound(form, options: BnbOptions | None = None) -> BnbResult:
         else None
     )
 
-    if options.root_cuts > 0:
-        form = _strengthen_with_cover_cuts(form, options.root_cuts)
-
     def out_of_time() -> bool:
         return deadline is not None and time.perf_counter() > deadline
 
+    def halted() -> bool:
+        """Budget predicate: deadline blown or cancelled from outside."""
+        if options.should_stop is not None and options.should_stop():
+            return True
+        return out_of_time()
+
+    if options.root_cuts > 0:
+        form = _strengthen_with_cover_cuts(form, options.root_cuts, stop=halted)
+
     def solve_node(lb, ub):
+        # The budget binds *inside* the node loop too: no LP (including a
+        # diving re-solve) starts once it is spent, and scipy LPs inherit
+        # whatever wall clock remains so one long relaxation cannot
+        # overshoot the deadline.
+        if halted():
+            return SolveStatus.TIME_LIMIT, None, math.nan
         if options.lp_engine == "own":
             result = solve_lp(
                 form.c, form.a_ub, form.b_ub, form.a_eq, form.b_eq, lb, ub
             )
             return result.status, result.x, result.objective
+        remaining = None
+        if deadline is not None:
+            remaining = max(deadline - time.perf_counter(), 1e-3)
         status, x, objective, _ = solve_relaxation(
-            form, extra_lb=lb, extra_ub=ub
+            form, extra_lb=lb, extra_ub=ub, time_limit=remaining
         )
         return status, x, objective
 
@@ -165,7 +189,7 @@ def branch_and_bound(form, options: BnbOptions | None = None) -> BnbResult:
     status_on_exit = SolveStatus.OPTIMAL
 
     while stack:
-        if out_of_time():
+        if halted():
             status_on_exit = SolveStatus.TIME_LIMIT
             break
         if nodes_explored >= options.node_limit:
@@ -182,6 +206,10 @@ def branch_and_bound(form, options: BnbOptions | None = None) -> BnbResult:
             return BnbResult(
                 SolveStatus.UNBOUNDED, None, -math.inf, nodes_explored
             )
+        if status is SolveStatus.TIME_LIMIT:
+            # The budget expired between the loop check and the node LP.
+            status_on_exit = SolveStatus.TIME_LIMIT
+            break
         if status is not SolveStatus.OPTIMAL or x is None:
             status_on_exit = SolveStatus.ERROR
             break
@@ -270,6 +298,7 @@ def solve_with_bnb(model, **options) -> Solution:
         first_feasible=bool(options.get("first_feasible", False)),
         node_limit=options.get("node_limit") or 200_000,
         time_limit=options.get("time_limit"),
+        should_stop=options.get("should_stop"),
     )
     if "dive_every" in options:
         bnb_options.dive_every = options["dive_every"]

@@ -72,6 +72,24 @@ def solve_with_highs(model, **options) -> Solution:
         bounds=_bounds(form),
         options=milp_options,
     )
+    if result.status == 4:
+        # HiGHS occasionally aborts with "Solve error" (status 4) on
+        # models its presolve mishandles; re-running without presolve
+        # solves most of them cleanly.
+        result = optimize.milp(
+            c=form.c,
+            constraints=_linear_constraints(form),
+            integrality=form.is_integral.astype(int),
+            bounds=_bounds(form),
+            options={**milp_options, "presolve": False},
+        )
+    if result.status == 4:
+        # Still erroring: hand the model to the native branch & bound
+        # instead of reporting ERROR for a perfectly well-posed MILP
+        # (scipy's vendored HiGHS has rare MIP-transform failures).
+        from repro.ilp.branch_and_bound import solve_with_bnb
+
+        return solve_with_bnb(model, **options)
 
     iterations = int(getattr(result, "mip_node_count", 0) or 0)
     if result.status == 0:

@@ -1,0 +1,42 @@
+"""Solver execution layer: portfolio racing, memoization, telemetry.
+
+This package sits between the search algorithms of :mod:`repro.core` and
+the solver backends of :mod:`repro.ilp`.  The search asks *decision*
+questions ("is there a design in this latency window?"); this layer
+decides *how* each question is answered:
+
+* :mod:`repro.solve.executor` — the :class:`SolveExecutor` entry point:
+  cache lookup, deadline policy, portfolio dispatch, greedy fallback;
+* :mod:`repro.solve.portfolio` — backend racing with cooperative
+  cancellation;
+* :mod:`repro.solve.cache` — window-monotonic solve memoization;
+* :mod:`repro.solve.fingerprint` — canonical model fingerprints;
+* :mod:`repro.solve.telemetry` — machine-readable run metrics.
+
+See ``docs/solving.md`` for the full design.
+"""
+
+from repro.solve.cache import CachedVerdict, SolveCache
+from repro.solve.executor import KNOWN_BACKENDS, SolveExecutor, WindowOutcome
+from repro.solve.fingerprint import (
+    ModelFingerprint,
+    fingerprint_ilp,
+    fingerprint_model,
+)
+from repro.solve.portfolio import SolveAttempt, race_backends
+from repro.solve.telemetry import RunTelemetry, SolveStats
+
+__all__ = [
+    "CachedVerdict",
+    "KNOWN_BACKENDS",
+    "ModelFingerprint",
+    "RunTelemetry",
+    "SolveAttempt",
+    "SolveCache",
+    "SolveExecutor",
+    "SolveStats",
+    "WindowOutcome",
+    "fingerprint_ilp",
+    "fingerprint_model",
+    "race_backends",
+]

@@ -1,0 +1,192 @@
+"""Solve memoization with window-monotonic verdict reuse.
+
+The binary-subdivision search re-solves near-identical ILPs: the same
+constraint system under a sliding latency window, and whole windows are
+revisited verbatim when an experiment (or a replayed run) repeats a
+query.  The cache keys entries by the *windowless* model digest of
+:mod:`repro.solve.fingerprint` and stores per-window verdicts, serving
+three kinds of hits:
+
+``exact``
+    The same window was solved before — replay the stored verdict
+    (design or proven infeasibility).  Trajectory-preserving: the search
+    behaves exactly as if the solver had run again.
+``feasible (monotone)``
+    A cached design's total latency ``L`` lies inside the queried window
+    ``[lo, hi]``.  A design feasible at window ``[a, b]`` is feasible for
+    any window containing its latency — in particular any *wider*
+    window — so the design itself is a certificate and is returned
+    without solving.
+``infeasible (monotone)``
+    A previously *proven* empty window contains the queried window.
+    Infeasibility of ``[a, b]`` implies infeasibility of every
+    ``[lo, hi] ⊆ [a, b]``.  Only verdicts with status ``INFEASIBLE`` are
+    stored this way: a time-limited solve that found nothing proves
+    nothing and is never cached.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.solve.fingerprint import ModelFingerprint
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.solution import PartitionedDesign
+
+__all__ = ["CachedVerdict", "SolveCache"]
+
+#: Tolerance for window comparisons (floats produced by bisection).
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class CachedVerdict:
+    """One stored window verdict.
+
+    ``feasible`` entries carry the certificate design and its total
+    latency; ``infeasible`` entries carry only the proven-empty window.
+    """
+
+    d_min: float
+    d_max: float
+    feasible: bool
+    achieved: float | None = None
+    design: "PartitionedDesign | None" = None
+    backend: str = ""
+
+
+@dataclass(frozen=True)
+class CacheHit:
+    """Lookup result: the verdict plus which rule matched."""
+
+    verdict: CachedVerdict
+    rule: str  # "exact", "feasible", or "infeasible"
+
+
+@dataclass
+class SolveCache:
+    """Window-verdict memoization shared across a search run (or runs).
+
+    Thread-safe; the portfolio runner's worker threads never touch the
+    cache directly (the executor looks up before dispatch and stores
+    after), but a shared cache may serve several searches.
+    """
+
+    _entries: dict[str, list[CachedVerdict]] = field(default_factory=dict)
+    _lock: threading.Lock = field(default_factory=threading.Lock)
+    hits: int = 0
+    misses: int = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return sum(len(v) for v in self._entries.values())
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    # -- lookup -------------------------------------------------------------
+
+    def lookup(self, fp: ModelFingerprint) -> CacheHit | None:
+        """Return a stored verdict valid for ``fp``'s window, or ``None``."""
+        lo, hi = fp.d_min, fp.d_max
+        with self._lock:
+            records = self._entries.get(fp.base, ())
+            exact = None
+            feasible = None
+            infeasible = None
+            for record in records:
+                same_window = (
+                    abs(record.d_min - lo) <= _EPS
+                    and abs(record.d_max - hi) <= _EPS
+                )
+                if same_window and exact is None:
+                    exact = record
+                if (
+                    record.feasible
+                    and record.achieved is not None
+                    and lo - _EPS <= record.achieved <= hi + _EPS
+                    and feasible is None
+                ):
+                    feasible = record
+                if (
+                    not record.feasible
+                    and record.d_min <= lo + _EPS
+                    and hi <= record.d_max + _EPS
+                    and infeasible is None
+                ):
+                    infeasible = record
+            # Exact replays win (they preserve the search trajectory
+            # bit-for-bit); then certificates, then emptiness proofs.
+            if exact is not None:
+                hit = CacheHit(exact, "exact")
+            elif feasible is not None:
+                hit = CacheHit(feasible, "feasible")
+            elif infeasible is not None:
+                hit = CacheHit(infeasible, "infeasible")
+            else:
+                self.misses += 1
+                return None
+            self.hits += 1
+            return hit
+
+    # -- store --------------------------------------------------------------
+
+    def store_feasible(
+        self,
+        fp: ModelFingerprint,
+        design: "PartitionedDesign",
+        achieved: float,
+        backend: str = "",
+    ) -> None:
+        """Record a feasibility certificate for ``fp``'s window."""
+        self._store(
+            fp,
+            CachedVerdict(
+                d_min=fp.d_min,
+                d_max=fp.d_max,
+                feasible=True,
+                achieved=float(achieved),
+                design=design,
+                backend=backend,
+            ),
+        )
+
+    def store_infeasible(self, fp: ModelFingerprint, backend: str = "") -> None:
+        """Record a *proven* emptiness verdict for ``fp``'s window.
+
+        Callers must only pass windows whose solve ended with status
+        ``INFEASIBLE`` — never a timeout treated as infeasible by the
+        search's pragmatic convention.
+        """
+        self._store(
+            fp,
+            CachedVerdict(
+                d_min=fp.d_min,
+                d_max=fp.d_max,
+                feasible=False,
+                backend=backend,
+            ),
+        )
+
+    def _store(self, fp: ModelFingerprint, record: CachedVerdict) -> None:
+        with self._lock:
+            bucket = self._entries.setdefault(fp.base, [])
+            for existing in bucket:
+                if (
+                    existing.feasible == record.feasible
+                    and abs(existing.d_min - record.d_min) <= _EPS
+                    and abs(existing.d_max - record.d_max) <= _EPS
+                ):
+                    return  # duplicate verdict
+            bucket.append(record)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0

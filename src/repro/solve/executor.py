@@ -1,0 +1,413 @@
+"""The solver execution layer: one place where window solves happen.
+
+:class:`SolveExecutor` sits between the search algorithms of
+:mod:`repro.core` and the solver backends of :mod:`repro.ilp`.  Every
+``FormModel + SolveModel`` step of the paper's procedures goes through
+:meth:`SolveExecutor.solve_window`, which layers, in order:
+
+1. **memoization** — the built model is fingerprinted and the
+   :class:`repro.solve.cache.SolveCache` consulted before any backend
+   runs (exact replays and window-monotone verdict reuse),
+2. **deadline policy** — the per-solve budget is the minimum of the
+   settings' ``time_limit`` and whatever remains of the search's overall
+   deadline; an already-expired deadline skips the backends entirely,
+3. **portfolio execution** — the configured backends race in worker
+   threads (:func:`repro.solve.portfolio.race_backends`); the first
+   conclusive verdict wins and cooperative backends are cancelled,
+4. **graceful degradation** — when every backend exhausts its budget,
+   the greedy level-packing heuristics are tried as a last resort and
+   the outcome is marked ``degraded=True`` instead of raising or
+   silently reporting infeasibility,
+5. **telemetry** — every step is recorded in a
+   :class:`repro.solve.telemetry.RunTelemetry` shared across the run.
+
+One executor instance is created per ``Refine_Partitions_Bound`` run (or
+handed in by the caller to share the cache across runs).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.ilp.status import SolveStatus
+from repro.solve.cache import SolveCache
+from repro.solve.fingerprint import ModelFingerprint, fingerprint_model
+from repro.solve.portfolio import AttemptFn, SolveAttempt, race_backends
+from repro.solve.telemetry import RunTelemetry, SolveStats
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guards
+    from repro.arch.processor import ReconfigurableProcessor
+    from repro.core.formulation import FormulationOptions
+    from repro.core.reduce_latency import SolverSettings
+    from repro.core.solution import PartitionedDesign
+    from repro.taskgraph.graph import TaskGraph
+
+__all__ = ["WindowOutcome", "SolveExecutor", "KNOWN_BACKENDS"]
+
+#: Backends the executor knows how to drive.  ``highs`` and ``bnb`` are
+#: ILP backends solving the built model; ``cp`` is the problem-specific
+#: backtracker, raced at the graph level.
+KNOWN_BACKENDS = ("highs", "bnb", "cp")
+
+#: Greedy fallback policies, tried in this order (feasibility-friendly
+#: first).
+_FALLBACK_POLICIES = ("min_area", "balanced", "min_latency", "max_area")
+
+
+@dataclass(frozen=True)
+class WindowOutcome:
+    """Verdict of one window solve, however it was produced."""
+
+    design: "PartitionedDesign | None"
+    achieved: float | None          # total latency incl. overhead
+    status: SolveStatus
+    backend: str                    # winner, "cache", or "heuristic:<p>"
+    wall_time: float
+    iterations: int = 0
+    cache_hit: bool = False
+    degraded: bool = False
+
+    @property
+    def feasible(self) -> bool:
+        return self.design is not None
+
+
+class SolveExecutor:
+    """Executes window solves with caching, racing, deadlines, telemetry."""
+
+    def __init__(
+        self,
+        settings: "SolverSettings | None" = None,
+        cache: SolveCache | None = None,
+        telemetry: RunTelemetry | None = None,
+    ) -> None:
+        if settings is None:
+            from repro.core.reduce_latency import SolverSettings
+
+            settings = SolverSettings()
+        self.settings = settings
+        use_cache = getattr(settings, "enable_cache", True)
+        self.cache = cache if cache is not None else (
+            SolveCache() if use_cache else None
+        )
+        self.telemetry = telemetry if telemetry is not None else RunTelemetry()
+        self._validate_backends()
+
+    def _validate_backends(self) -> None:
+        for name in self.backends:
+            if name not in KNOWN_BACKENDS:
+                raise ValueError(
+                    f"unknown solve backend {name!r}; "
+                    f"known: {KNOWN_BACKENDS}"
+                )
+
+    @property
+    def backends(self) -> tuple[str, ...]:
+        """The backends a window solve will run (portfolio or solo)."""
+        portfolio = getattr(self.settings, "portfolio", None)
+        if portfolio:
+            return tuple(portfolio)
+        return (self.settings.backend,)
+
+    # -- the one entry point -------------------------------------------------
+
+    def solve_window(
+        self,
+        graph: "TaskGraph",
+        processor: "ReconfigurableProcessor",
+        num_partitions: int,
+        d_max: float,
+        d_min: float,
+        options: "FormulationOptions | None" = None,
+        deadline: float | None = None,
+    ) -> WindowOutcome:
+        """Answer "is there a design in ``[d_min, d_max]`` at ``N``?".
+
+        ``deadline`` is an absolute ``time.perf_counter()`` stamp (the
+        search's overall budget); the per-backend budget is clipped to
+        whatever remains of it.
+        """
+        from dataclasses import replace as _replace
+
+        from repro.core.formulation import FormulationOptions, build_model
+
+        start = time.perf_counter()
+        options = options or FormulationOptions()
+        if self.settings.guide_with_objective and not options.minimize_latency:
+            options = _replace(options, minimize_latency=True)
+        tp_model = build_model(
+            graph, processor, num_partitions, d_max, d_min, options
+        )
+
+        fp: ModelFingerprint | None = None
+        if self.cache is not None:
+            fp = fingerprint_model(tp_model)
+            hit = self.cache.lookup(fp)
+            if hit is not None:
+                return self._from_cache(hit, num_partitions, d_min, d_max, start)
+
+        budget = self._remaining_budget(deadline)
+        if budget is not None and budget <= 0.0:
+            # The overall deadline is already spent: degrade immediately.
+            return self._degrade(
+                graph, processor, num_partitions, d_max, d_min,
+                options, fp, start, timed_out=True,
+            )
+
+        attempts = self._build_attempts(
+            tp_model, graph, processor, num_partitions, d_max, options, budget
+        )
+        winner, completed = race_backends(attempts)
+        for attempt in completed:
+            self.telemetry.add_backend_wall(attempt.backend, attempt.wall_time)
+            # Count budget exhaustion only when the race as a whole was
+            # inconclusive — a loser cancelled mid-race also reports
+            # TIME_LIMIT, but nothing actually timed out then.
+            if winner is None and attempt.status in (
+                SolveStatus.TIME_LIMIT,
+                SolveStatus.NODE_LIMIT,
+            ):
+                self.telemetry.timeouts += 1
+
+        if winner is not None and winner.design is not None:
+            achieved = winner.design.total_latency(processor)
+            if fp is not None:
+                self.cache.store_feasible(
+                    fp, winner.design, achieved, backend=winner.backend
+                )
+            return self._conclude(
+                winner.design, achieved, winner.status, winner.backend,
+                num_partitions, d_min, d_max, start,
+                iterations=winner.iterations,
+            )
+        if winner is not None:  # proven INFEASIBLE (or UNBOUNDED)
+            if fp is not None and winner.status is SolveStatus.INFEASIBLE:
+                self.cache.store_infeasible(fp, backend=winner.backend)
+            return self._conclude(
+                None, None, winner.status, winner.backend,
+                num_partitions, d_min, d_max, start,
+                iterations=winner.iterations,
+            )
+
+        # Every backend ran out of budget (or crashed): degrade.
+        return self._degrade(
+            graph, processor, num_partitions, d_max, d_min,
+            options, fp, start, timed_out=True,
+        )
+
+    # -- outcome assembly ----------------------------------------------------
+
+    def _conclude(
+        self,
+        design,
+        achieved,
+        status: SolveStatus,
+        backend: str,
+        num_partitions: int,
+        d_min: float,
+        d_max: float,
+        start: float,
+        iterations: int = 0,
+        cache_hit: bool = False,
+        degraded: bool = False,
+    ) -> WindowOutcome:
+        wall = time.perf_counter() - start
+        outcome = WindowOutcome(
+            design=design,
+            achieved=achieved,
+            status=status,
+            backend=backend,
+            wall_time=wall,
+            iterations=iterations,
+            cache_hit=cache_hit,
+            degraded=degraded,
+        )
+        self.telemetry.record(
+            SolveStats(
+                num_partitions=num_partitions,
+                d_min=d_min,
+                d_max=d_max,
+                backend=backend,
+                status=status.value,
+                wall_time=wall,
+                iterations=iterations,
+                cache_hit=cache_hit,
+                degraded=degraded,
+            )
+        )
+        return outcome
+
+    def _from_cache(
+        self, hit, num_partitions: int, d_min: float, d_max: float, start: float
+    ) -> WindowOutcome:
+        verdict = hit.verdict
+        if verdict.feasible:
+            return self._conclude(
+                verdict.design, verdict.achieved, SolveStatus.FEASIBLE,
+                "cache", num_partitions, d_min, d_max, start, cache_hit=True,
+            )
+        return self._conclude(
+            None, None, SolveStatus.INFEASIBLE,
+            "cache", num_partitions, d_min, d_max, start, cache_hit=True,
+        )
+
+    def _degrade(
+        self,
+        graph,
+        processor,
+        num_partitions: int,
+        d_max: float,
+        d_min: float,
+        options,
+        fp: ModelFingerprint | None,
+        start: float,
+        timed_out: bool,
+    ) -> WindowOutcome:
+        """Last resort: greedy level-packing instead of an exception.
+
+        A greedy design is a genuine feasibility certificate when it uses
+        at most ``N`` partitions, meets every architectural constraint
+        and fits under ``d_max`` (a latency *below* ``d_min`` is accepted
+        — the window's lower edge only steers the bisection bookkeeping
+        and excludes no true design).
+        """
+        if getattr(self.settings, "heuristic_fallback", True):
+            from repro.core.heuristics import greedy_partition
+
+            for policy in _FALLBACK_POLICIES:
+                result = greedy_partition(
+                    graph,
+                    processor,
+                    policy,
+                    include_env_memory=options.include_env_memory,
+                )
+                design = result.design
+                if design.num_partitions_used > num_partitions:
+                    continue
+                achieved = design.total_latency(processor)
+                if achieved > d_max + 1e-9:
+                    continue
+                if design.audit(processor, options.include_env_memory):
+                    continue
+                if fp is not None:
+                    self.cache.store_feasible(
+                        fp, design, achieved, backend=f"heuristic:{policy}"
+                    )
+                return self._conclude(
+                    design, achieved, SolveStatus.FEASIBLE,
+                    f"heuristic:{policy}", num_partitions, d_min, d_max,
+                    start, degraded=True,
+                )
+        status = SolveStatus.TIME_LIMIT if timed_out else SolveStatus.ERROR
+        return self._conclude(
+            None, None, status, "", num_partitions, d_min, d_max, start,
+            degraded=True,
+        )
+
+    # -- backend dispatch ----------------------------------------------------
+
+    def _remaining_budget(self, deadline: float | None) -> float | None:
+        limit = self.settings.time_limit
+        if deadline is None:
+            return limit
+        remaining = deadline - time.perf_counter()
+        if limit is None:
+            return remaining
+        return min(limit, remaining)
+
+    def _build_attempts(
+        self,
+        tp_model,
+        graph,
+        processor,
+        num_partitions: int,
+        d_max: float,
+        options,
+        time_limit: float | None,
+    ) -> list[tuple[str, AttemptFn]]:
+        attempts: list[tuple[str, AttemptFn]] = []
+        for name in self.backends:
+            if name == "cp":
+                attempts.append(
+                    (
+                        name,
+                        self._cp_attempt(
+                            graph, processor, num_partitions, d_max,
+                            options, time_limit,
+                        ),
+                    )
+                )
+            else:
+                attempts.append(
+                    (name, self._ilp_attempt(tp_model, name, time_limit))
+                )
+        return attempts
+
+    def _ilp_attempt(self, tp_model, backend: str, time_limit) -> AttemptFn:
+        settings = self.settings
+
+        def run(cancel: threading.Event) -> SolveAttempt:
+            start = time.perf_counter()
+            kwargs = dict(settings.extra)
+            if backend == "bnb":
+                kwargs.setdefault("should_stop", cancel.is_set)
+            solution = tp_model.solve(
+                backend=backend,
+                first_feasible=True,
+                time_limit=time_limit,
+                node_limit=settings.node_limit,
+                **kwargs,
+            )
+            design = None
+            if solution.status.has_solution:
+                design = tp_model.design_from(solution)
+            return SolveAttempt(
+                backend=backend,
+                status=solution.status,
+                design=design,
+                wall_time=time.perf_counter() - start,
+                iterations=solution.iterations,
+            )
+
+        return run
+
+    def _cp_attempt(
+        self, graph, processor, num_partitions, d_max, options, time_limit
+    ) -> AttemptFn:
+        def run(cancel: threading.Event) -> SolveAttempt:
+            from repro.core.cp_solver import CpStats, cp_solve
+
+            start = time.perf_counter()
+            stats = CpStats()
+            design = cp_solve(
+                graph,
+                processor,
+                num_partitions,
+                d_max,
+                include_env_memory=options.include_env_memory,
+                time_limit=time_limit,
+                stats=stats,
+                should_stop=cancel.is_set,
+            )
+            if design is not None:
+                status = SolveStatus.FEASIBLE
+            elif stats.timed_out:
+                status = SolveStatus.TIME_LIMIT
+            elif stats.nodes >= 2_000_000:
+                status = SolveStatus.NODE_LIMIT
+            else:
+                # Exhaustive search: a genuine emptiness proof for the
+                # (stronger) question "any design with latency <= d_max".
+                status = SolveStatus.INFEASIBLE
+            return SolveAttempt(
+                backend="cp",
+                status=status,
+                design=design,
+                wall_time=time.perf_counter() - start,
+                iterations=stats.nodes,
+            )
+
+        return run

@@ -1,0 +1,106 @@
+"""Canonical fingerprints of built temporal-partitioning models.
+
+The solve cache must recognize that two ``build_model()`` calls describe
+the *same* constraint system even though the objects differ, and it must
+separate the latency window (equations (9)-(10)) from the rest of the
+model so window-monotonic verdict reuse is possible.  This module hashes
+the built :class:`repro.ilp.Model`:
+
+* every variable as ``(name, lb, ub, vtype)``,
+* every constraint as ``(name, sorted terms, sense, rhs)`` — *except*
+  the two latency-window rows (``latency_ub`` / ``latency_lb``), which
+  are represented structurally by the fingerprint's ``d_min``/``d_max``
+  fields instead,
+* the objective terms and sense.
+
+Floats are hashed via ``repr`` so the digest is exact (no quantization):
+a perturbed capacity, latency value or coefficient changes the digest.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.formulation import TemporalPartitioningModel
+    from repro.ilp.model import Model
+
+__all__ = ["ModelFingerprint", "fingerprint_model", "fingerprint_ilp"]
+
+#: Constraint names that encode the latency window, excluded from the
+#: structural digest and carried as the fingerprint's window fields.
+WINDOW_ROW_NAMES = ("latency_ub", "latency_lb")
+
+
+@dataclass(frozen=True)
+class ModelFingerprint:
+    """Identity of one window solve: structure digest + latency window.
+
+    Two fingerprints with equal ``base`` describe the same constraint
+    system up to the latency window; the window itself is kept as plain
+    numbers so the cache can reason about containment and monotonicity.
+    """
+
+    base: str            # sha256 hex digest of the windowless structure
+    num_partitions: int
+    d_min: float
+    d_max: float
+
+    @property
+    def window(self) -> tuple[float, float]:
+        return (self.d_min, self.d_max)
+
+    def same_model(self, other: "ModelFingerprint") -> bool:
+        """Same constraint system, ignoring the latency window."""
+        return self.base == other.base
+
+    def __str__(self) -> str:  # compact, log-friendly
+        return (
+            f"{self.base[:12]}@N{self.num_partitions}"
+            f"[{self.d_min:g},{self.d_max:g}]"
+        )
+
+
+def fingerprint_ilp(model: "Model", skip_rows: tuple[str, ...] = ()) -> str:
+    """SHA-256 digest of an ILP's structure, skipping named rows."""
+    digest = hashlib.sha256()
+    update = digest.update
+    for var in model.variables:
+        update(
+            f"v|{var.name}|{var.lb!r}|{var.ub!r}|{var.vtype.value}\n".encode()
+        )
+    for constr in model.constraints:
+        if constr.name in skip_rows:
+            continue
+        terms = sorted(
+            (var.name, coef) for var, coef in constr.expr.terms.items()
+        )
+        update(f"c|{constr.name}|{constr.sense.value}|{constr.rhs!r}|".encode())
+        for name, coef in terms:
+            update(f"{name}:{coef!r},".encode())
+        update(b"\n")
+    objective = sorted(
+        (var.name, coef) for var, coef in model.objective.terms.items()
+    )
+    update(f"o|{model.objective_sense}|{model.objective.constant!r}|".encode())
+    for name, coef in objective:
+        update(f"{name}:{coef!r},".encode())
+    return digest.hexdigest()
+
+
+def fingerprint_model(tp_model: "TemporalPartitioningModel") -> ModelFingerprint:
+    """Fingerprint a built temporal-partitioning model.
+
+    The latency-window rows are excluded from the digest and surfaced as
+    the fingerprint's ``d_min``/``d_max``, enabling the cache's
+    monotonicity rules (see :mod:`repro.solve.cache`).
+    """
+    base = fingerprint_ilp(tp_model.model, skip_rows=WINDOW_ROW_NAMES)
+    return ModelFingerprint(
+        base=base,
+        num_partitions=tp_model.num_partitions,
+        d_min=float(tp_model.d_min),
+        d_max=float(tp_model.d_max),
+    )

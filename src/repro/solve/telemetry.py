@@ -1,0 +1,161 @@
+"""Machine-readable run metrics of the solver execution layer.
+
+Every window solve executed by :class:`repro.solve.executor.SolveExecutor`
+produces one :class:`SolveStats`; a :class:`RunTelemetry` aggregates them
+across a whole search run (counts, per-backend wall time, cache hit rate,
+timeout and fallback events).  The structures are plain data with
+``to_dict()`` serializers so the CLI (``--telemetry-json``), the
+experiment harness and downstream dashboards can persist them as JSON.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["SolveStats", "RunTelemetry"]
+
+
+@dataclass(frozen=True)
+class SolveStats:
+    """One window solve as executed (possibly answered from the cache).
+
+    Attributes
+    ----------
+    num_partitions, d_min, d_max:
+        The query: partition bound and latency window (incl. overhead).
+    backend:
+        Who produced the verdict: a solver backend name, ``"cache"`` for a
+        memoized answer, ``"heuristic:<policy>"`` for the greedy fallback,
+        or ``""`` when no backend produced anything (hard timeout).
+    status:
+        The :class:`repro.ilp.SolveStatus` value name (``"feasible"``,
+        ``"infeasible"``, ``"time_limit"``, ...).
+    wall_time:
+        Wall-clock seconds of the whole window solve (all backends).
+    iterations:
+        Work measure reported by the winning backend (nodes / pivots).
+    cache_hit:
+        The verdict came from the solve cache; no backend ran.
+    degraded:
+        All backends exhausted their budgets and the verdict (if any)
+        came from the greedy fallback.
+    """
+
+    num_partitions: int
+    d_min: float
+    d_max: float
+    backend: str
+    status: str
+    wall_time: float
+    iterations: int = 0
+    cache_hit: bool = False
+    degraded: bool = False
+
+    def to_dict(self) -> dict:
+        return {
+            "num_partitions": self.num_partitions,
+            "d_min": self.d_min,
+            "d_max": self.d_max,
+            "backend": self.backend,
+            "status": self.status,
+            "wall_time": self.wall_time,
+            "iterations": self.iterations,
+            "cache_hit": self.cache_hit,
+            "degraded": self.degraded,
+        }
+
+
+@dataclass
+class RunTelemetry:
+    """Aggregated execution metrics of one search run.
+
+    Filled incrementally by the :class:`SolveExecutor`; shared across
+    every ``Reduce_Latency`` invocation of a ``Refine_Partitions_Bound``
+    run so the numbers describe the run as a whole.
+    """
+
+    solves: list[SolveStats] = field(default_factory=list)
+    #: Wall seconds per backend, including losing portfolio attempts.
+    backend_wall: dict[str, float] = field(default_factory=dict)
+    #: Window solves each backend decided (portfolio wins or solo runs).
+    backend_wins: dict[str, int] = field(default_factory=dict)
+    #: Backend attempts that exhausted their budget without a verdict.
+    timeouts: int = 0
+    #: Window solves answered by the greedy heuristic fallback.
+    fallbacks: int = 0
+
+    # -- recording (executor-facing) ----------------------------------------
+
+    def record(self, stats: SolveStats) -> None:
+        self.solves.append(stats)
+        if stats.backend and not stats.cache_hit:
+            self.backend_wins[stats.backend] = (
+                self.backend_wins.get(stats.backend, 0) + 1
+            )
+        if stats.degraded:
+            self.fallbacks += 1
+
+    def add_backend_wall(self, backend: str, seconds: float) -> None:
+        self.backend_wall[backend] = (
+            self.backend_wall.get(backend, 0.0) + seconds
+        )
+
+    # -- derived views ------------------------------------------------------
+
+    @property
+    def total_solves(self) -> int:
+        return len(self.solves)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for s in self.solves if s.cache_hit)
+
+    @property
+    def cache_misses(self) -> int:
+        return self.total_solves - self.cache_hits
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of window solves answered from the cache (0 when idle)."""
+        if not self.solves:
+            return 0.0
+        return self.cache_hits / len(self.solves)
+
+    @property
+    def total_wall_time(self) -> float:
+        return sum(s.wall_time for s in self.solves)
+
+    @property
+    def degraded(self) -> bool:
+        """``True`` when any window solve fell back past every backend."""
+        return self.fallbacks > 0 or any(s.degraded for s in self.solves)
+
+    def to_dict(self, include_solves: bool = True) -> dict:
+        """JSON-ready summary (schema documented in docs/solving.md)."""
+        payload = {
+            "total_solves": self.total_solves,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": self.cache_hit_rate,
+            "total_wall_time": self.total_wall_time,
+            "timeouts": self.timeouts,
+            "fallbacks": self.fallbacks,
+            "degraded": self.degraded,
+            "backend_wall": dict(self.backend_wall),
+            "backend_wins": dict(self.backend_wins),
+        }
+        if include_solves:
+            payload["solves"] = [s.to_dict() for s in self.solves]
+        return payload
+
+    def summary(self) -> str:
+        """One-line human summary for CLI footers and logs."""
+        backends = ", ".join(
+            f"{name}: {wins}" for name, wins in sorted(self.backend_wins.items())
+        ) or "none"
+        return (
+            f"{self.total_solves} solves "
+            f"({self.cache_hits} cached, hit rate "
+            f"{self.cache_hit_rate:.0%}), wins: {backends}, "
+            f"{self.timeouts} timeouts, {self.fallbacks} fallbacks"
+        )

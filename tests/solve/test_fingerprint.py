@@ -1,0 +1,72 @@
+"""Canonical model fingerprints: identity, windows, perturbations."""
+
+import pytest
+
+from repro.arch import ReconfigurableProcessor
+from repro.core.formulation import FormulationOptions, build_model
+from repro.solve import ModelFingerprint, fingerprint_model
+from repro.taskgraph import ar_filter
+
+
+@pytest.fixture
+def processor() -> ReconfigurableProcessor:
+    return ReconfigurableProcessor(400, 128, 20.0)
+
+
+def fp(graph, processor, n=3, d_max=700.0, d_min=300.0, options=None):
+    return fingerprint_model(
+        build_model(graph, processor, n, d_max, d_min, options)
+    )
+
+
+class TestFingerprintIdentity:
+    def test_same_model_same_fingerprint(self, processor):
+        a = fp(ar_filter(), processor)
+        b = fp(ar_filter(), processor)
+        assert a == b
+        assert a.base == b.base
+
+    def test_window_is_not_part_of_the_base(self, processor):
+        a = fp(ar_filter(), processor, d_max=700.0)
+        b = fp(ar_filter(), processor, d_max=650.0)
+        assert a.same_model(b)
+        assert a != b                      # the window still distinguishes
+        assert a.window == (300.0, 700.0)
+        assert b.window == (300.0, 650.0)
+
+    def test_perturbed_capacity_changes_base(self, processor):
+        a = fp(ar_filter(), processor)
+        b = fp(ar_filter(), ReconfigurableProcessor(401, 128, 20.0))
+        assert not a.same_model(b)
+
+    def test_perturbed_memory_changes_base(self, processor):
+        a = fp(ar_filter(), processor)
+        b = fp(ar_filter(), ReconfigurableProcessor(400, 127, 20.0))
+        assert not a.same_model(b)
+
+    def test_partition_count_changes_base(self, processor):
+        a = fp(ar_filter(), processor, n=3)
+        b = fp(ar_filter(), processor, n=4)
+        assert not a.same_model(b)
+        assert (a.num_partitions, b.num_partitions) == (3, 4)
+
+    def test_formulation_options_change_base(self, processor):
+        a = fp(ar_filter(), processor)
+        b = fp(
+            ar_filter(), processor,
+            options=FormulationOptions(include_env_memory=False),
+        )
+        assert not a.same_model(b)
+
+    def test_str_is_compact(self, processor):
+        text = str(fp(ar_filter(), processor))
+        assert "@N3[300,700]" in text
+
+
+class TestFingerprintValue:
+    def test_same_model_helper(self):
+        a = ModelFingerprint("abc", 3, 1.0, 2.0)
+        b = ModelFingerprint("abc", 3, 5.0, 9.0)
+        c = ModelFingerprint("def", 3, 1.0, 2.0)
+        assert a.same_model(b)
+        assert not a.same_model(c)

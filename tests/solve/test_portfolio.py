@@ -1,0 +1,109 @@
+"""Portfolio racing: first conclusive verdict wins, losers are cancelled."""
+
+import threading
+import time
+
+from repro.ilp.status import SolveStatus
+from repro.solve import SolveAttempt, race_backends
+
+
+def attempt(backend, status, design=None, wall=0.0):
+    return SolveAttempt(
+        backend=backend, status=status, design=design, wall_time=wall
+    )
+
+
+class FakeDesign:
+    pass
+
+
+def instant_winner(name, design):
+    def run(cancel):
+        return attempt(name, SolveStatus.FEASIBLE, design)
+
+    return run
+
+
+def cooperative_slowpoke(name, cancelled_flag, step=0.01, steps=500):
+    """Simulates a node loop polling the shared cancellation event."""
+
+    def run(cancel):
+        for _ in range(steps):
+            if cancel.is_set():
+                cancelled_flag.set()
+                return attempt(name, SolveStatus.TIME_LIMIT)
+            time.sleep(step)
+        return attempt(name, SolveStatus.FEASIBLE, FakeDesign())
+
+    return run
+
+
+class TestRace:
+    def test_single_attempt_runs_inline(self):
+        design = FakeDesign()
+        winner, completed = race_backends(
+            [("solo", instant_winner("solo", design))]
+        )
+        assert winner is not None and winner.design is design
+        assert [a.backend for a in completed] == ["solo"]
+
+    def test_fast_winner_cancels_cooperative_loser(self):
+        cancelled = threading.Event()
+        design = FakeDesign()
+        winner, completed = race_backends(
+            [
+                ("slow", cooperative_slowpoke("slow", cancelled)),
+                ("fast", instant_winner("fast", design)),
+            ]
+        )
+        assert winner is not None and winner.backend == "fast"
+        assert winner.design is design
+        # The loser observes the cancellation signal promptly.
+        assert cancelled.wait(timeout=2.0)
+
+    def test_proven_infeasible_is_conclusive(self):
+        def prover(cancel):
+            return attempt("bnb", SolveStatus.INFEASIBLE)
+
+        winner, _ = race_backends([("bnb", prover)])
+        assert winner is not None
+        assert winner.status is SolveStatus.INFEASIBLE
+
+    def test_all_timeouts_yield_no_winner(self):
+        def timed_out(name):
+            def run(cancel):
+                return attempt(name, SolveStatus.TIME_LIMIT)
+
+            return run
+
+        winner, completed = race_backends(
+            [("a", timed_out("a")), ("b", timed_out("b"))]
+        )
+        assert winner is None
+        assert {a.backend for a in completed} == {"a", "b"}
+
+    def test_crashing_backend_becomes_error_attempt(self):
+        def boom(cancel):
+            raise RuntimeError("backend exploded")
+
+        design = FakeDesign()
+        winner, completed = race_backends(
+            [("boom", boom), ("ok", instant_winner("ok", design))]
+        )
+        assert winner is not None and winner.backend == "ok"
+        crash = next(a for a in completed if a.backend == "boom")
+        assert crash.status is SolveStatus.ERROR
+        assert "backend exploded" in crash.error
+
+    def test_second_conclusive_attempt_does_not_displace_winner(self):
+        design_a, design_b = FakeDesign(), FakeDesign()
+
+        def slow_b(cancel):
+            time.sleep(0.05)
+            return attempt("b", SolveStatus.FEASIBLE, design_b)
+
+        winner, _ = race_backends(
+            [("a", instant_winner("a", design_a)), ("b", slow_b)]
+        )
+        assert winner is not None
+        assert winner.backend == "a"

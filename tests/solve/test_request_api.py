@@ -1,0 +1,86 @@
+"""PartitionRequest / PartitioningOutcome: the unified facade API."""
+
+import pytest
+
+from repro import (
+    PartitionerConfig,
+    PartitionRequest,
+    PartitioningOutcome,
+    RefinementConfig,
+    SolverSettings,
+    TemporalPartitioner,
+)
+from repro.arch import ReconfigurableProcessor
+from repro.taskgraph import ar_filter
+
+
+@pytest.fixture
+def partitioner() -> TemporalPartitioner:
+    return TemporalPartitioner(
+        ReconfigurableProcessor(400, 128, 20.0),
+        PartitionerConfig(
+            search=RefinementConfig(gamma=1),
+            solver=SolverSettings(time_limit=15.0),
+        ),
+    )
+
+
+class TestRequestEquivalence:
+    def test_request_and_legacy_agree_on_ar_filter(self, partitioner):
+        legacy = partitioner.partition(ar_filter())
+        via_request = partitioner.solve(PartitionRequest(graph=ar_filter()))
+        assert legacy.feasible and via_request.feasible
+        assert via_request.total_latency == legacy.total_latency
+        assert via_request.num_partitions == legacy.num_partitions
+
+    def test_partition_accepts_a_request(self, partitioner):
+        outcome = partitioner.partition(PartitionRequest(graph=ar_filter()))
+        assert isinstance(outcome, PartitioningOutcome)
+        assert outcome.feasible
+
+    def test_request_processor_override(self, partitioner):
+        # A request may carry its own device; the partitioner's is unused.
+        bigger = ReconfigurableProcessor(800, 128, 20.0)
+        outcome = partitioner.solve(
+            PartitionRequest(graph=ar_filter(), processor=bigger)
+        )
+        base = partitioner.partition(ar_filter())
+        assert outcome.feasible
+        # Twice the area lets more tasks share a partition: never worse.
+        assert outcome.total_latency <= base.total_latency
+
+    def test_request_config_override(self, partitioner):
+        custom = PartitionerConfig(
+            search=RefinementConfig(gamma=0),
+            solver=SolverSettings(time_limit=15.0),
+        )
+        outcome = partitioner.solve(
+            PartitionRequest(graph=ar_filter(), config=custom)
+        )
+        assert outcome.feasible
+
+
+class TestOutcomeShape:
+    def test_outcome_is_keyword_only(self):
+        with pytest.raises(TypeError):
+            PartitioningOutcome(None, None, None, None, 0.0, False, False)
+
+    def test_outcome_is_self_describing(self, partitioner):
+        outcome = partitioner.solve(PartitionRequest(graph=ar_filter()))
+        assert outcome.feasible is True
+        assert outcome.degraded is False
+        assert outcome.telemetry is not None
+        # Every executed solve is telemetered; trace rows may additionally
+        # include LP-bound short-circuits that never reached the executor.
+        assert 0 < outcome.telemetry.total_solves <= len(outcome.trace)
+
+    def test_to_dict_round_trips_through_json(self, partitioner):
+        import json
+
+        outcome = partitioner.solve(PartitionRequest(graph=ar_filter()))
+        payload = json.loads(json.dumps(outcome.to_dict(include_solves=True)))
+        assert payload["feasible"] is True
+        assert payload["degraded"] is False
+        assert payload["num_partitions"] == outcome.num_partitions
+        assert payload["telemetry"]["total_solves"] > 0
+        assert set(payload["design"]) == set(ar_filter().task_names)

@@ -1,0 +1,140 @@
+"""SolveExecutor: caching, deadlines, degradation, telemetry."""
+
+import time
+
+import pytest
+
+from repro.arch import ReconfigurableProcessor
+from repro.core import SolverSettings, bounds
+from repro.ilp.status import SolveStatus
+from repro.solve import SolveExecutor
+from repro.taskgraph import ar_filter, dct_4x4
+
+
+@pytest.fixture
+def processor() -> ReconfigurableProcessor:
+    return ReconfigurableProcessor(400, 128, 20.0)
+
+
+def window(graph, n, c_t=20.0):
+    return (
+        bounds.max_latency(graph, n, c_t),
+        bounds.min_latency(graph, n, c_t),
+    )
+
+
+class TestCachingThroughExecutor:
+    def test_repeat_window_is_served_from_cache(self, processor):
+        executor = SolveExecutor(SolverSettings(time_limit=15.0))
+        graph = ar_filter()
+        d_max, d_min = window(graph, 3)
+        first = executor.solve_window(graph, processor, 3, d_max, d_min)
+        second = executor.solve_window(graph, processor, 3, d_max, d_min)
+        assert first.feasible and second.feasible
+        assert not first.cache_hit
+        assert second.cache_hit and second.backend == "cache"
+        assert second.achieved == first.achieved
+        assert executor.telemetry.cache_hits == 1
+
+    def test_disabled_cache_always_solves(self, processor):
+        executor = SolveExecutor(
+            SolverSettings(time_limit=15.0, enable_cache=False)
+        )
+        graph = ar_filter()
+        d_max, d_min = window(graph, 3)
+        executor.solve_window(graph, processor, 3, d_max, d_min)
+        second = executor.solve_window(graph, processor, 3, d_max, d_min)
+        assert executor.cache is None
+        assert not second.cache_hit
+
+    def test_monotone_feasible_hit_on_wider_window(self, processor):
+        executor = SolveExecutor(SolverSettings(time_limit=15.0))
+        graph = ar_filter()
+        d_max, d_min = window(graph, 3)
+        first = executor.solve_window(graph, processor, 3, d_max, d_min)
+        wider = executor.solve_window(
+            graph, processor, 3, d_max + 50.0, max(d_min - 50.0, 0.0)
+        )
+        assert wider.cache_hit
+        assert wider.achieved == first.achieved
+
+
+class TestDeadlinesAndDegradation:
+    def test_expired_deadline_degrades_without_solving(self, processor):
+        executor = SolveExecutor(SolverSettings(time_limit=15.0))
+        graph = ar_filter()
+        d_max, d_min = window(graph, 3)
+        outcome = executor.solve_window(
+            graph, processor, 3, d_max, d_min,
+            deadline=time.perf_counter() - 1.0,
+        )
+        assert outcome.degraded
+        # The greedy fallback still certifies a design when one fits.
+        if outcome.feasible:
+            assert outcome.backend.startswith("heuristic:")
+            assert outcome.design.audit(processor) == []
+        assert executor.telemetry.fallbacks == 1
+
+    def test_tiny_budget_on_big_model_degrades(self):
+        processor = ReconfigurableProcessor(576, 2048, 30.0)
+        executor = SolveExecutor(SolverSettings(time_limit=1e-4))
+        graph = dct_4x4()
+        d_max, d_min = window(graph, 8, 30.0)
+        outcome = executor.solve_window(graph, processor, 8, d_max, d_min)
+        assert outcome.degraded
+        assert outcome.feasible          # greedy fits 8 partitions easily
+        assert outcome.backend.startswith("heuristic:")
+
+    def test_fallback_can_be_disabled(self):
+        processor = ReconfigurableProcessor(576, 2048, 30.0)
+        executor = SolveExecutor(
+            SolverSettings(time_limit=1e-4, heuristic_fallback=False)
+        )
+        graph = dct_4x4()
+        d_max, d_min = window(graph, 8, 30.0)
+        outcome = executor.solve_window(graph, processor, 8, d_max, d_min)
+        assert outcome.degraded and not outcome.feasible
+        assert outcome.status is SolveStatus.TIME_LIMIT
+
+
+class TestPortfolioThroughExecutor:
+    def test_portfolio_matches_sequential_verdict(self, processor):
+        graph = ar_filter()
+        d_max, d_min = window(graph, 3)
+        sequential = SolveExecutor(SolverSettings(time_limit=15.0))
+        portfolio = SolveExecutor(
+            SolverSettings(time_limit=15.0, portfolio=("highs", "bnb"))
+        )
+        a = sequential.solve_window(graph, processor, 3, d_max, d_min)
+        b = portfolio.solve_window(graph, processor, 3, d_max, d_min)
+        assert a.feasible == b.feasible
+        assert b.backend in ("highs", "bnb")
+
+    def test_unknown_backend_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown solve backend"):
+            SolveExecutor(SolverSettings(backend="cplex"))
+
+    def test_cp_backend_participates(self, processor):
+        graph = ar_filter()
+        d_max, d_min = window(graph, 3)
+        executor = SolveExecutor(
+            SolverSettings(time_limit=15.0, portfolio=("highs", "cp"))
+        )
+        outcome = executor.solve_window(graph, processor, 3, d_max, d_min)
+        assert outcome.feasible
+        assert outcome.backend in ("highs", "cp")
+
+
+class TestTelemetry:
+    def test_solves_are_recorded(self, processor):
+        executor = SolveExecutor(SolverSettings(time_limit=15.0))
+        graph = ar_filter()
+        d_max, d_min = window(graph, 3)
+        executor.solve_window(graph, processor, 3, d_max, d_min)
+        telemetry = executor.telemetry
+        assert telemetry.total_solves == 1
+        assert telemetry.backend_wins.get("highs") == 1
+        payload = telemetry.to_dict(include_solves=True)
+        assert payload["total_solves"] == 1
+        assert payload["solves"][0]["backend"] == "highs"
+        assert "cache_hit_rate" in payload
