@@ -5,7 +5,6 @@ achieves better solutions."  Sweep delta on the R=1024 DCT experiment and
 record iterations + achieved latency per setting.
 """
 
-from repro.core import SolverSettings
 from repro.experiments import DctExperiment, SMALL_CT, TextTable, run_experiment
 from repro.taskgraph import dct_4x4
 from repro.core import FormulationOptions

@@ -7,7 +7,7 @@ synthetic layered workload and check both regimes.
 """
 
 from repro.arch import ReconfigurableProcessor
-from repro.core import RefinementConfig, SolverSettings
+from repro.core import RefinementConfig
 from repro.experiments import reconfiguration_sweep, sweep_table
 from repro.taskgraph import layered_graph
 

@@ -31,6 +31,7 @@ from repro.core.cp_solver import CpStats, cp_solve
 from repro.core.diagnose import InfeasibilityReport, diagnose_infeasibility
 from repro.core.formulation import (
     FormulationOptions,
+    ModelTemplate,
     TemporalPartitioningModel,
     build_model,
     extract_design,
@@ -77,6 +78,7 @@ __all__ = [
     "FormulationOptions",
     "InfeasibilityReport",
     "IterationRecord",
+    "ModelTemplate",
     "OptimalAttempt",
     "OptimalResult",
     "POLICIES",

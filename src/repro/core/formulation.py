@@ -26,22 +26,34 @@ The non-linear products in (4)-(5) are linearized one-sidedly by default:
 elsewhere only in the memory *capacity* row, which pushes it down (see
 :func:`repro.ilp.linearize.product_of_sums`).  ``FormulationOptions`` can
 request the exact two-sided linearization for verification.
+
+Model construction is two-tier.  :func:`build_model` assembles a fresh
+ILP for one latency window — the reference path.  :class:`ModelTemplate`
+builds the *window-independent* part once per ``(graph, N, options)``,
+compiles it to the sparse standard form of :mod:`repro.ilp.compile`, and
+then :meth:`ModelTemplate.instantiate` produces per-window models by
+patching only the right-hand sides of the latency rows (9)-(10) — one
+``b_ub`` copy instead of a full rebuild.  The binary-subdivision search
+(:mod:`repro.core.reduce_latency` via
+:class:`repro.solve.executor.SolveExecutor`) holds one template across
+all its iterations.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, replace
-from typing import Mapping, Sequence
+from typing import Mapping
 
 from repro.arch.processor import ReconfigurableProcessor
-from repro.ilp import Model, Solution, VarType, lin_sum
+from repro.ilp import CompiledModel, Model, Solution, VarType, lin_sum, solve_compiled
 from repro.taskgraph.graph import TaskGraph
 from repro.taskgraph.paths import count_paths, enumerate_paths
 from repro.core.solution import PartitionedDesign, Placement
 
 __all__ = [
     "FormulationOptions",
+    "ModelTemplate",
     "TemporalPartitioningModel",
     "build_model",
     "extract_design",
@@ -162,7 +174,17 @@ class FormulationOptions:
 
 @dataclass
 class TemporalPartitioningModel:
-    """A built ILP plus the handles needed to interpret its solutions."""
+    """A built ILP plus the handles needed to interpret its solutions.
+
+    When produced by :meth:`ModelTemplate.instantiate`, ``compiled``
+    carries the window-patched sparse standard form (solves bypass the
+    expression layer entirely) and ``base_fingerprint`` the template's
+    windowless structure digest (fingerprinting becomes a tuple
+    composition instead of a hash).  ``model`` is then the template's
+    *shared* expression model, kept in sync with the latest
+    instantiation's window rows — use ``compiled`` for anything
+    solver-facing.
+    """
 
     model: Model
     graph: TaskGraph
@@ -174,9 +196,16 @@ class TemporalPartitioningModel:
     y_name: Mapping[tuple[str, int, int], str] = field(default_factory=dict)
     d_name: Mapping[int, str] = field(default_factory=dict)
     eta_name: str = "eta"
+    #: Window-patched sparse standard form (template path); ``None`` when
+    #: built freshly by :func:`build_model`.
+    compiled: CompiledModel | None = None
+    #: Windowless structure digest shared by all sibling instantiations.
+    base_fingerprint: str | None = None
 
     def solve(self, **solve_kwargs) -> Solution:
         """Solve the underlying model (see :meth:`repro.ilp.Model.solve`)."""
+        if self.compiled is not None:
+            return solve_compiled(self.compiled, **solve_kwargs)
         return self.model.solve(**solve_kwargs)
 
     def design_from(self, solution: Solution) -> PartitionedDesign:
@@ -192,26 +221,25 @@ def _w_name(partition: int, src: str, dst: str) -> str:
     return f"w[{partition},{src},{dst}]"
 
 
-def build_model(
+def _populate_ilp(
     graph: TaskGraph,
     processor: ReconfigurableProcessor,
     num_partitions: int,
+    options: FormulationOptions,
     d_max: float,
-    d_min: float = 0.0,
-    options: FormulationOptions | None = None,
-) -> TemporalPartitioningModel:
-    """Build the combined partitioning + design-selection ILP.
+    d_min: float,
+    force_lb: bool = False,
+) -> tuple[Model, dict[tuple[str, int, int], str], dict[int, str]]:
+    """Assemble constraints (1)-(10) into a fresh :class:`Model`.
 
-    ``d_max``/``d_min`` bound the *overall* latency
-    ``sum(d_p) + C_T * eta`` (equations (9)-(10)); both include the
-    reconfiguration overhead, exactly as produced by
-    :func:`repro.core.bounds.max_latency` / ``min_latency``.
+    Shared by the fresh-build path (:func:`build_model`) and the
+    template path (:class:`ModelTemplate`).  The latency-window rows are
+    always the *last* constraints added — ``latency_ub`` then (when
+    ``d_min > 0`` or ``force_lb``) ``latency_lb`` — which the template
+    relies on to patch or drop them in the compiled form without
+    touching any other row.  ``force_lb`` makes the lower-bound row
+    unconditional so a template can serve windows with ``d_min > 0``.
     """
-    if num_partitions < 1:
-        raise ValueError("need at least one partition")
-    if d_max < d_min:
-        raise ValueError(f"empty latency window [{d_min}, {d_max}]")
-    options = options or FormulationOptions()
     n = num_partitions
     partitions = range(1, n + 1)
     model = Model(f"tp_{graph.name}_N{n}")
@@ -448,7 +476,7 @@ def build_model(
         lin_sum(d.values()) + processor.reconfiguration_time * eta
     )
     model.add_constr(total_latency <= d_max, name="latency_ub")
-    if d_min > 0:
+    if force_lb or d_min > 0:
         model.add_constr(total_latency >= d_min, name="latency_lb")
 
     if options.minimize_latency:
@@ -456,11 +484,42 @@ def build_model(
             lin_sum(d.values()) + processor.reconfiguration_time * eta
         )
 
+    return model, y_name, d_name
+
+
+def build_model(
+    graph: TaskGraph,
+    processor: ReconfigurableProcessor,
+    num_partitions: int,
+    d_max: float,
+    d_min: float = 0.0,
+    options: FormulationOptions | None = None,
+) -> TemporalPartitioningModel:
+    """Build the combined partitioning + design-selection ILP.
+
+    ``d_max``/``d_min`` bound the *overall* latency
+    ``sum(d_p) + C_T * eta`` (equations (9)-(10)); both include the
+    reconfiguration overhead, exactly as produced by
+    :func:`repro.core.bounds.max_latency` / ``min_latency``.
+
+    This is the reference single-window path.  A search that slides the
+    window over a fixed ``(graph, N, options)`` should build one
+    :class:`ModelTemplate` and call :meth:`ModelTemplate.instantiate`
+    instead — same model, a fraction of the construction cost.
+    """
+    if num_partitions < 1:
+        raise ValueError("need at least one partition")
+    if d_max < d_min:
+        raise ValueError(f"empty latency window [{d_min}, {d_max}]")
+    options = options or FormulationOptions()
+    model, y_name, d_name = _populate_ilp(
+        graph, processor, num_partitions, options, d_max, d_min
+    )
     return TemporalPartitioningModel(
         model=model,
         graph=graph,
         processor=processor,
-        num_partitions=n,
+        num_partitions=num_partitions,
         d_max=d_max,
         d_min=d_min,
         options=options,
@@ -468,6 +527,124 @@ def build_model(
         d_name=d_name,
         eta_name="eta",
     )
+
+
+class ModelTemplate:
+    """Window-independent base model, instantiated per latency window.
+
+    The binary-subdivision search solves the *same* constraint system
+    under a sliding window ``[d_min, d_max]``: of the hundreds of rows
+    built by :func:`build_model`, only the right-hand sides of
+    ``latency_ub`` / ``latency_lb`` (equations (9)-(10)) change between
+    iterations.  A template therefore:
+
+    1. builds the expression model **once** with placeholder window rows
+       (the lower-bound row is forced in so both window shapes exist),
+    2. compiles it **once** to the sparse standard form of
+       :mod:`repro.ilp.compile` (CSR arrays, bounds, integrality,
+       variable index map),
+    3. hashes the windowless structure **once**
+       (``base_fingerprint``, the solve cache's native key),
+
+    and :meth:`instantiate` then costs one ``b_ub`` copy plus two scalar
+    writes.  When ``d_min == 0`` the trailing ``latency_lb`` row is
+    dropped via a zero-copy row truncation, so the instantiated form is
+    array-for-array identical to what :func:`build_model` +
+    :meth:`repro.ilp.Model.compile` produce for the same window — exact
+    solution equivalence, not just agreement.
+    """
+
+    def __init__(
+        self,
+        graph: TaskGraph,
+        processor: ReconfigurableProcessor,
+        num_partitions: int,
+        options: FormulationOptions | None = None,
+    ) -> None:
+        from repro.solve.fingerprint import WINDOW_ROW_NAMES
+
+        if num_partitions < 1:
+            raise ValueError("need at least one partition")
+        self.graph = graph
+        self.processor = processor
+        self.num_partitions = num_partitions
+        self.options = options or FormulationOptions()
+        model, y_name, d_name = _populate_ilp(
+            graph,
+            processor,
+            num_partitions,
+            self.options,
+            d_max=0.0,
+            d_min=0.0,
+            force_lb=True,
+        )
+        self._model = model
+        self._y_name = y_name
+        self._d_name = d_name
+        compiled = model.compile()
+        kind_ub, self._ub_row = compiled.row_position("latency_ub")
+        kind_lb, self._lb_row = compiled.row_position("latency_lb")
+        last = compiled.num_ub_rows - 1
+        if (
+            kind_ub != "ub"
+            or kind_lb != "ub"
+            or self._lb_row != last
+            or self._ub_row != last - 1
+        ):
+            raise AssertionError(
+                "window rows must be the last two inequality rows; "
+                "_populate_ilp no longer adds them last"
+            )
+        self._full = compiled
+        # Zero-copy prefix view without the latency_lb row, for windows
+        # whose lower edge is zero (build_model omits the row there).
+        self._no_lb = compiled.truncate_ub_rows(last)
+        #: Digest of everything but the window rows; shared verbatim by
+        #: every instantiation, so per-window fingerprints are composed
+        #: without hashing (see :func:`repro.solve.fingerprint
+        #: .fingerprint_model`).
+        self.base_fingerprint = compiled.fingerprint(
+            skip_rows=WINDOW_ROW_NAMES
+        )
+
+    def instantiate(
+        self, d_min: float, d_max: float
+    ) -> TemporalPartitioningModel:
+        """Produce the model for one latency window ``[d_min, d_max]``.
+
+        Patches only the right-hand sides of the latency rows (9)-(10);
+        matrix structure, bounds, objective and the compiled dense/CSR
+        view caches are shared across all windows of this template.
+        """
+        if d_max < d_min:
+            raise ValueError(f"empty latency window [{d_min}, {d_max}]")
+        d_min = float(d_min)
+        d_max = float(d_max)
+        # Keep the shared expression model's window rows in sync so LP
+        # dumps and debugging reflect the latest instantiation.
+        self._model.set_rhs("latency_ub", d_max)
+        self._model.set_rhs("latency_lb", d_min)
+        if d_min > 0:
+            compiled = self._full.with_b_ub(
+                # latency_lb is a >= row: stored negated in the <= block.
+                {self._ub_row: d_max, self._lb_row: -d_min}
+            )
+        else:
+            compiled = self._no_lb.with_b_ub({self._ub_row: d_max})
+        return TemporalPartitioningModel(
+            model=self._model,
+            graph=self.graph,
+            processor=self.processor,
+            num_partitions=self.num_partitions,
+            d_max=d_max,
+            d_min=d_min,
+            options=self.options,
+            y_name=self._y_name,
+            d_name=self._d_name,
+            eta_name="eta",
+            compiled=compiled,
+            base_fingerprint=self.base_fingerprint,
+        )
 
 
 def lp_latency_lower_bound(
@@ -498,7 +675,9 @@ def lp_latency_lower_bound(
     tp_model = build_model(
         graph, processor, num_partitions, d_max, 0.0, relax_options
     )
-    form = tp_model.model.to_standard_form()
+    # The compiled sparse form goes straight to linprog — no dense
+    # standard-form materialization for a one-shot LP.
+    form = tp_model.model.compile()
     status, _x, objective, _iters = solve_relaxation(form)
     if status is _Status.INFEASIBLE:
         return math.inf

@@ -18,7 +18,11 @@ reproduces that trade-off.
 Each window question is executed by the solver execution layer
 (:class:`repro.solve.SolveExecutor`): backend portfolio racing, solve
 memoization, deadline enforcement and graceful degradation all live
-there, not in this algorithm (see ``docs/solving.md``).
+there, not in this algorithm (see ``docs/solving.md``).  The executor
+also holds the run's :class:`repro.core.formulation.ModelTemplate`s, so
+across the bisection's iterations the constraint system is built and
+compiled once and each window costs two right-hand-side patches (see
+``docs/architecture.md``).
 """
 
 from __future__ import annotations
@@ -76,6 +80,16 @@ class SolverSettings:
         Memoize window verdicts by model fingerprint
         (:mod:`repro.solve.cache`), reusing feasibility certificates and
         emptiness proofs across the run's near-identical ILPs.
+    reuse_templates:
+        Prepare window models incrementally: one
+        :class:`repro.core.formulation.ModelTemplate` per model
+        structure, instantiated per window by patching the two
+        latency-row right-hand sides of the pre-compiled sparse form.
+        Off, every iteration rebuilds (and recompiles, and rehashes) the
+        full ILP from expressions — the pre-template behavior, kept as
+        the baseline of ``benchmarks/test_model_build.py``.  Both paths
+        produce array-identical models, so the search trajectory does
+        not depend on this flag.
     heuristic_fallback:
         When every backend times out, fall back to the greedy
         level-packing heuristics and mark the outcome ``degraded=True``
@@ -89,6 +103,7 @@ class SolverSettings:
     use_lp_bound: bool = True
     guide_with_objective: bool = True
     enable_cache: bool = True
+    reuse_templates: bool = True
     heuristic_fallback: bool = True
     extra: dict = field(default_factory=dict)
 

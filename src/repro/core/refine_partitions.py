@@ -118,8 +118,10 @@ def refine_partitions_bound(
     """Run Algorithm ``Refine_Partitions_Bound`` (Figure 2).
 
     One :class:`repro.solve.SolveExecutor` serves every window solve of
-    the run, so the solve cache and telemetry span both phases.  Pass
-    ``executor`` to share them across runs too (e.g. a warm-cache replay).
+    the run, so the solve cache, the model templates (one compiled base
+    model per partition bound, window rows patched per iteration) and
+    the telemetry span both phases.  Pass ``executor`` to share them
+    across runs too (e.g. a warm-cache replay).
     """
     config = config or RefinementConfig()
     options = options or FormulationOptions()

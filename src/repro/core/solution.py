@@ -19,7 +19,7 @@ solver result in this repository is independently verified.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Mapping
+from typing import Mapping
 
 from repro.arch.processor import ReconfigurableProcessor
 from repro.taskgraph.designpoint import DesignPoint

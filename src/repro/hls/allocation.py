@@ -13,7 +13,7 @@ import itertools
 from dataclasses import dataclass
 
 from repro.hls.dfg import Dfg
-from repro.hls.modules import FuLibrary, FuType
+from repro.hls.modules import FuLibrary
 
 __all__ = ["Allocation", "enumerate_allocations"]
 

@@ -14,7 +14,7 @@ bit-widths" — the functional-unit area/delay models in
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Iterator
 
 __all__ = [

@@ -31,15 +31,23 @@ from repro.ilp.errors import (
     SolverError,
     UnboundedError,
 )
+from repro.ilp.compile import CompiledModel, compile_model, ensure_compiled
 from repro.ilp.expr import Constraint, LinExpr, Sense, Variable, VarType, lin_sum
 from repro.ilp.linearize import product_binary, product_of_sums
 from repro.ilp.lp_writer import lp_string, write_lp
-from repro.ilp.model import Model, ObjectiveSense, StandardForm, register_backend
+from repro.ilp.model import (
+    Model,
+    ObjectiveSense,
+    StandardForm,
+    register_backend,
+    solve_compiled,
+)
 from repro.ilp.presolve import PresolveResult, presolve
 from repro.ilp.status import Solution, SolveStatus
 
 __all__ = [
     "BackendNotAvailableError",
+    "CompiledModel",
     "Constraint",
     "ExpressionError",
     "IlpError",
@@ -56,9 +64,12 @@ __all__ = [
     "UnboundedError",
     "VarType",
     "Variable",
+    "compile_model",
+    "ensure_compiled",
     "lin_sum",
     "lp_string",
     "presolve",
+    "solve_compiled",
     "product_binary",
     "product_of_sums",
     "register_backend",

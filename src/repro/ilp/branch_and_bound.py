@@ -86,9 +86,12 @@ def _strengthen_with_cover_cuts(form, rounds: int, stop=None):
     """
     import dataclasses
 
+    from repro.ilp.compile import CompiledModel
     from repro.ilp.cuts import apply_cuts, find_cover_cuts
 
-    work = form
+    # The cut loop grows the inequality block row by row; do that on the
+    # dense StandardForm (cuts are a cold, optional path).
+    work = form.to_standard_form() if isinstance(form, CompiledModel) else form
     for _ in range(rounds):
         if stop is not None and stop():
             break
@@ -107,10 +110,13 @@ def _strengthen_with_cover_cuts(form, rounds: int, stop=None):
 
 
 def branch_and_bound(form, options: BnbOptions | None = None) -> BnbResult:
-    """Minimize a :class:`repro.ilp.model.StandardForm` MILP.
+    """Minimize a standard-form MILP.
 
-    The returned objective excludes the standard form's constant ``c0``
-    (callers add it back), matching :func:`solve_relaxation`.
+    ``form`` is a :class:`repro.ilp.model.StandardForm` or a
+    :class:`repro.ilp.compile.CompiledModel` — both expose the matrix
+    attributes the node loop reads.  The returned objective excludes the
+    form's constant ``c0`` (callers add it back), matching
+    :func:`solve_relaxation`.
     """
     options = options or BnbOptions()
     deadline = (
@@ -291,8 +297,16 @@ def branch_and_bound(form, options: BnbOptions | None = None) -> BnbResult:
 
 
 def solve_with_bnb(model, **options) -> Solution:
-    """Backend adapter for :meth:`repro.ilp.model.Model.solve`."""
-    form = model.to_standard_form()
+    """Backend adapter for :meth:`repro.ilp.model.Model.solve`.
+
+    Accepts a :class:`repro.ilp.model.Model` or a pre-compiled
+    :class:`repro.ilp.compile.CompiledModel`; node relaxations then run
+    off the compiled arrays (sparse via scipy, dense via the own
+    simplex) without per-solve matrix rebuilds.
+    """
+    from repro.ilp.compile import ensure_compiled
+
+    form = ensure_compiled(model)
     bnb_options = BnbOptions(
         lp_engine=options.get("lp_engine", "scipy"),
         first_feasible=bool(options.get("first_feasible", False)),

@@ -1,0 +1,444 @@
+"""Sparse standard-form compilation of MILP models.
+
+A :class:`CompiledModel` is the canonical *solver-facing* view of a
+model: CSR-style numpy arrays for the constraint matrix, right-hand
+sides, variable bounds, an integrality mask and a stable name -> column
+index map.  It is built once per model structure
+(:func:`compile_model` / :meth:`repro.ilp.model.Model.compile`) and then
+shared by every backend — the HiGHS adapter consumes the sparse rows
+directly, the dense simplex and the from-scratch branch & bound read the
+cached dense views, and :mod:`repro.solve.fingerprint` hashes the arrays
+instead of re-walking ``dict``-of-terms expressions.
+
+Cheap derived views make incremental re-solves possible without
+recompiling:
+
+* :meth:`CompiledModel.with_b_ub` — a sibling sharing every array except
+  a patched copy of ``b_ub`` (used by the model templates of
+  :mod:`repro.core.formulation` to slide the latency window),
+* :meth:`CompiledModel.truncate_ub_rows` — a prefix view dropping
+  trailing inequality rows without copying the matrix (used to drop the
+  optional ``latency_lb`` row when the window's lower edge is zero).
+
+Row order matches :meth:`repro.ilp.model.Model.to_standard_form`
+exactly: inequality rows (``>=`` negated to ``<=``) in constraint
+insertion order, then equality rows in insertion order, so a dense
+round-trip through :meth:`CompiledModel.to_standard_form` is
+bit-identical to the legacy path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+import numpy as np
+
+from repro.ilp.expr import Sense, Variable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.ilp.model import Model, StandardForm
+
+__all__ = ["CompiledModel", "compile_model", "ensure_compiled"]
+
+
+class _ViewCache:
+    """Lazily materialized dense/scipy views, shared by RHS siblings.
+
+    All :class:`CompiledModel` instances produced by
+    :meth:`CompiledModel.with_b_ub` share one ``_ViewCache`` because
+    they share the same matrix structure; the dense and scipy-sparse
+    renderings are therefore built at most once per structure no matter
+    how many windows are instantiated from it.
+    """
+
+    __slots__ = ("dense_ub", "dense_eq", "csr_ub", "csr_eq")
+
+    def __init__(self) -> None:
+        self.dense_ub: np.ndarray | None = None
+        self.dense_eq: np.ndarray | None = None
+        self.csr_ub = None
+        self.csr_eq = None
+
+
+def _dense_from_csr(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    data: np.ndarray,
+    num_rows: int,
+    num_cols: int,
+) -> np.ndarray:
+    out = np.zeros((num_rows, num_cols))
+    for i in range(num_rows):
+        lo, hi = indptr[i], indptr[i + 1]
+        out[i, indices[lo:hi]] = data[lo:hi]
+    return out
+
+
+@dataclass
+class CompiledModel:
+    """CSR standard form of one MILP, shared by every backend.
+
+    The objective is always stored in the *minimization* direction (a
+    MAXIMIZE model is negated at compile time, exactly like
+    ``to_standard_form``); ``maximize`` records the original sense so
+    :func:`repro.ilp.model.solve_compiled` can flip reported values
+    back.
+    """
+
+    variables: tuple[Variable, ...]
+    c: np.ndarray
+    c0: float
+    # Inequality block, normalized to `<=` (GE rows negated).
+    ub_indptr: np.ndarray
+    ub_indices: np.ndarray
+    ub_data: np.ndarray
+    b_ub: np.ndarray
+    ub_names: tuple[str | None, ...]
+    # Equality block.
+    eq_indptr: np.ndarray
+    eq_indices: np.ndarray
+    eq_data: np.ndarray
+    b_eq: np.ndarray
+    eq_names: tuple[str | None, ...]
+    lb: np.ndarray
+    ub: np.ndarray
+    is_integral: np.ndarray
+    maximize: bool = False
+    _views: _ViewCache = field(default_factory=_ViewCache, repr=False)
+    _var_index: dict[str, int] | None = field(default=None, repr=False)
+    _fingerprints: dict[tuple[str, ...], str] = field(
+        default_factory=dict, repr=False
+    )
+
+    # -- shapes --------------------------------------------------------------
+
+    @property
+    def num_vars(self) -> int:
+        return len(self.variables)
+
+    @property
+    def num_ub_rows(self) -> int:
+        return len(self.b_ub)
+
+    @property
+    def num_eq_rows(self) -> int:
+        return len(self.b_eq)
+
+    @property
+    def var_index(self) -> dict[str, int]:
+        """Stable ``name -> column`` map (model insertion order)."""
+        if self._var_index is None:
+            self._var_index = {
+                var.name: j for j, var in enumerate(self.variables)
+            }
+        return self._var_index
+
+    # -- dense / scipy views (cached, shared across RHS siblings) ------------
+
+    @property
+    def a_ub(self) -> np.ndarray:
+        """Dense inequality matrix (cached; rows normalized to ``<=``)."""
+        cache = self._views
+        if cache.dense_ub is None or cache.dense_ub.shape[0] < self.num_ub_rows:
+            cache.dense_ub = _dense_from_csr(
+                self.ub_indptr,
+                self.ub_indices,
+                self.ub_data,
+                self.num_ub_rows,
+                self.num_vars,
+            )
+        return cache.dense_ub[: self.num_ub_rows]
+
+    @property
+    def a_eq(self) -> np.ndarray:
+        """Dense equality matrix (cached)."""
+        cache = self._views
+        if cache.dense_eq is None or cache.dense_eq.shape[0] < self.num_eq_rows:
+            cache.dense_eq = _dense_from_csr(
+                self.eq_indptr,
+                self.eq_indices,
+                self.eq_data,
+                self.num_eq_rows,
+                self.num_vars,
+            )
+        return cache.dense_eq[: self.num_eq_rows]
+
+    def a_ub_csr(self):
+        """Scipy CSR view of the inequality block (cached, zero-copy)."""
+        from scipy import sparse
+
+        cache = self._views
+        if cache.csr_ub is None or cache.csr_ub.shape[0] != self.num_ub_rows:
+            cache.csr_ub = sparse.csr_matrix(
+                (self.ub_data, self.ub_indices, self.ub_indptr),
+                shape=(self.num_ub_rows, self.num_vars),
+            )
+        return cache.csr_ub
+
+    def a_eq_csr(self):
+        """Scipy CSR view of the equality block (cached, zero-copy)."""
+        from scipy import sparse
+
+        cache = self._views
+        if cache.csr_eq is None or cache.csr_eq.shape[0] != self.num_eq_rows:
+            cache.csr_eq = sparse.csr_matrix(
+                (self.eq_data, self.eq_indices, self.eq_indptr),
+                shape=(self.num_eq_rows, self.num_vars),
+            )
+        return cache.csr_eq
+
+    # -- solution helpers (StandardForm-compatible) --------------------------
+
+    def values_to_dict(self, x: Sequence[float]) -> dict[str, float]:
+        return {var.name: float(val) for var, val in zip(self.variables, x)}
+
+    def objective_at(self, x: np.ndarray) -> float:
+        return float(self.c @ x) + self.c0
+
+    def to_standard_form(self) -> "StandardForm":
+        """Materialize the legacy dense :class:`StandardForm` view."""
+        from repro.ilp.model import StandardForm
+
+        return StandardForm(
+            variables=list(self.variables),
+            c=self.c,
+            c0=self.c0,
+            a_ub=self.a_ub,
+            b_ub=self.b_ub,
+            a_eq=self.a_eq,
+            b_eq=self.b_eq,
+            lb=self.lb,
+            ub=self.ub,
+            is_integral=self.is_integral,
+        )
+
+    # -- incremental views ---------------------------------------------------
+
+    def row_position(self, name: str) -> tuple[str, int]:
+        """Locate a named row: ``("ub"|"eq", index within its block)``.
+
+        For ``>=`` rows the stored right-hand side is the *negated*
+        bound; callers patching ``b_ub`` must negate accordingly.
+        """
+        for i, row_name in enumerate(self.ub_names):
+            if row_name == name:
+                return ("ub", i)
+        for i, row_name in enumerate(self.eq_names):
+            if row_name == name:
+                return ("eq", i)
+        raise KeyError(name)
+
+    def with_b_ub(self, updates: Mapping[int, float]) -> "CompiledModel":
+        """Sibling sharing every array except a patched copy of ``b_ub``.
+
+        ``updates`` maps inequality-row indices to new stored right-hand
+        sides (already in the normalized ``<=`` direction).  The matrix
+        structure, bounds, objective and the dense/scipy view caches are
+        shared, so instantiating a new window costs one ``b_ub`` copy.
+        """
+        b_ub = self.b_ub.copy()
+        for row, value in updates.items():
+            b_ub[row] = value
+        return CompiledModel(
+            variables=self.variables,
+            c=self.c,
+            c0=self.c0,
+            ub_indptr=self.ub_indptr,
+            ub_indices=self.ub_indices,
+            ub_data=self.ub_data,
+            b_ub=b_ub,
+            ub_names=self.ub_names,
+            eq_indptr=self.eq_indptr,
+            eq_indices=self.eq_indices,
+            eq_data=self.eq_data,
+            b_eq=self.b_eq,
+            eq_names=self.eq_names,
+            lb=self.lb,
+            ub=self.ub,
+            is_integral=self.is_integral,
+            maximize=self.maximize,
+            _views=self._views,
+            _var_index=self._var_index,
+        )
+
+    def truncate_ub_rows(self, num_rows: int) -> "CompiledModel":
+        """Prefix view keeping only the first ``num_rows`` inequality rows.
+
+        Shares the underlying arrays via numpy slices (no copy); used to
+        drop trailing optional rows such as the latency-window lower
+        bound.  The dense cache is shared with the parent: the truncated
+        view renders as a row-slice of the parent's dense matrix.
+        """
+        if not 0 <= num_rows <= self.num_ub_rows:
+            raise ValueError(
+                f"cannot keep {num_rows} of {self.num_ub_rows} rows"
+            )
+        nnz = int(self.ub_indptr[num_rows])
+        return CompiledModel(
+            variables=self.variables,
+            c=self.c,
+            c0=self.c0,
+            ub_indptr=self.ub_indptr[: num_rows + 1],
+            ub_indices=self.ub_indices[:nnz],
+            ub_data=self.ub_data[:nnz],
+            b_ub=self.b_ub[:num_rows],
+            ub_names=self.ub_names[:num_rows],
+            eq_indptr=self.eq_indptr,
+            eq_indices=self.eq_indices,
+            eq_data=self.eq_data,
+            b_eq=self.b_eq,
+            eq_names=self.eq_names,
+            lb=self.lb,
+            ub=self.ub,
+            is_integral=self.is_integral,
+            maximize=self.maximize,
+            _views=self._views,
+            _var_index=self._var_index,
+        )
+
+    # -- identity ------------------------------------------------------------
+
+    def fingerprint(self, skip_rows: tuple[str, ...] = ()) -> str:
+        """SHA-256 digest of the compiled structure, skipping named rows.
+
+        Hashes the raw array bytes (variables, sparse rows, right-hand
+        sides, bounds, integrality, objective) — no expression walking,
+        no string-formatting of thousands of terms.  Cached per
+        ``skip_rows`` tuple, so repeated fingerprinting of one compiled
+        model is free.
+        """
+        key = tuple(skip_rows)
+        cached = self._fingerprints.get(key)
+        if cached is not None:
+            return cached
+        digest = hashlib.sha256()
+        update = digest.update
+        for var in self.variables:
+            update(
+                f"v|{var.name}|{var.lb!r}|{var.ub!r}|{var.vtype.value}\n".encode()
+            )
+        skip = set(skip_rows)
+
+        def hash_block(indptr, indices, data, rhs, names, tag: bytes) -> None:
+            for i, name in enumerate(names):
+                if name is not None and name in skip:
+                    continue
+                lo, hi = int(indptr[i]), int(indptr[i + 1])
+                update(tag)
+                update(f"{name}|{rhs[i]!r}|".encode())
+                update(np.ascontiguousarray(indices[lo:hi]).tobytes())
+                update(np.ascontiguousarray(data[lo:hi]).tobytes())
+
+        hash_block(
+            self.ub_indptr, self.ub_indices, self.ub_data,
+            self.b_ub, self.ub_names, b"u|",
+        )
+        hash_block(
+            self.eq_indptr, self.eq_indices, self.eq_data,
+            self.b_eq, self.eq_names, b"e|",
+        )
+        update(b"o|")
+        update(b"max|" if self.maximize else b"min|")
+        update(f"{self.c0!r}|".encode())
+        update(np.ascontiguousarray(self.c).tobytes())
+        value = digest.hexdigest()
+        self._fingerprints[key] = value
+        return value
+
+
+def compile_model(model: "Model") -> CompiledModel:
+    """Compile a :class:`repro.ilp.model.Model` into sparse standard form.
+
+    One pass over the constraint list; every ``>=`` row is negated into
+    the ``<=`` block, equalities go to their own block, and a MAXIMIZE
+    objective is negated (mirroring ``to_standard_form``).
+    """
+    from repro.ilp.model import ObjectiveSense
+
+    variables = tuple(model.variables)
+    index = {var: j for j, var in enumerate(variables)}
+    n = len(variables)
+
+    c = np.zeros(n)
+    for var, coef in model.objective.terms.items():
+        c[index[var]] = coef
+    c0 = model.objective.constant
+    maximize = model.objective_sense == ObjectiveSense.MAXIMIZE
+    if maximize:
+        c, c0 = -c, -c0
+
+    ub_indptr = [0]
+    ub_indices: list[int] = []
+    ub_data: list[float] = []
+    b_ub: list[float] = []
+    ub_names: list[str | None] = []
+    eq_indptr = [0]
+    eq_indices: list[int] = []
+    eq_data: list[float] = []
+    b_eq: list[float] = []
+    eq_names: list[str | None] = []
+
+    for constr in model.constraints:
+        cols = [index[var] for var in constr.expr.terms]
+        coefs = list(constr.expr.terms.values())
+        if constr.sense is Sense.EQ:
+            eq_indices.extend(cols)
+            eq_data.extend(coefs)
+            eq_indptr.append(len(eq_indices))
+            b_eq.append(constr.rhs)
+            eq_names.append(constr.name)
+        elif constr.sense is Sense.LE:
+            ub_indices.extend(cols)
+            ub_data.extend(coefs)
+            ub_indptr.append(len(ub_indices))
+            b_ub.append(constr.rhs)
+            ub_names.append(constr.name)
+        else:  # GE: negate into the <= block
+            ub_indices.extend(cols)
+            ub_data.extend(-coef for coef in coefs)
+            ub_indptr.append(len(ub_indices))
+            b_ub.append(-constr.rhs)
+            ub_names.append(constr.name)
+
+    return CompiledModel(
+        variables=variables,
+        c=c,
+        c0=float(c0),
+        ub_indptr=np.asarray(ub_indptr, dtype=np.intp),
+        ub_indices=np.asarray(ub_indices, dtype=np.intp),
+        ub_data=np.asarray(ub_data, dtype=float),
+        b_ub=np.asarray(b_ub, dtype=float),
+        ub_names=tuple(ub_names),
+        eq_indptr=np.asarray(eq_indptr, dtype=np.intp),
+        eq_indices=np.asarray(eq_indices, dtype=np.intp),
+        eq_data=np.asarray(eq_data, dtype=float),
+        b_eq=np.asarray(b_eq, dtype=float),
+        eq_names=tuple(eq_names),
+        lb=np.array([v.lb for v in variables]),
+        ub=np.array([v.ub for v in variables]),
+        is_integral=np.array(
+            [v.vtype.is_integral for v in variables], dtype=bool
+        ),
+        maximize=maximize,
+    )
+
+
+def ensure_compiled(model_or_compiled) -> CompiledModel:
+    """Coerce a backend argument (Model or CompiledModel) to compiled form.
+
+    Backends registered with :func:`repro.ilp.model.register_backend`
+    receive whatever the dispatcher was given; this helper lets them
+    accept both the modeling object and a pre-compiled form (as produced
+    by the incremental model templates) through one code path.
+    """
+    if isinstance(model_or_compiled, CompiledModel):
+        return model_or_compiled
+    compiled = getattr(model_or_compiled, "compile", None)
+    if compiled is None:
+        raise TypeError(
+            f"expected a Model or CompiledModel, got "
+            f"{type(model_or_compiled).__name__}"
+        )
+    return compiled()

@@ -24,7 +24,9 @@ from repro.ilp.errors import ExpressionError
 
 __all__ = ["VarType", "Variable", "LinExpr", "Constraint", "Sense", "lin_sum"]
 
-_var_counter = itertools.count()
+#: Process-wide counter behind ``Variable._uid``.  The uid exists solely
+#: to make variables hashable by identity; it is never used for ordering.
+_uid_counter = itertools.count()
 
 
 class VarType(enum.Enum):
@@ -50,13 +52,20 @@ class Sense(enum.Enum):
 class Variable:
     """A single decision variable.
 
-    Variables are identified by object identity (each carries a unique
-    monotonically increasing ``index``), while ``name`` is a human-readable
-    label used in solutions and LP-file export.  Names must therefore be
-    unique within one model; :class:`repro.ilp.model.Model` enforces this.
+    Variables are identified by object identity (hashing uses a private
+    process-wide ``_uid``), while ``name`` is a human-readable label used
+    in solutions and LP-file export.  Names must therefore be unique
+    within one model; :class:`repro.ilp.model.Model` enforces this.
+
+    ``index`` is the variable's *deterministic ordering key*: for
+    variables registered in a :class:`~repro.ilp.model.Model` it is the
+    position within that model (assigned by ``add_var``), so identical
+    models built at different points of the process lifetime order,
+    print and compile identically.  Standalone variables fall back to
+    their creation order.
     """
 
-    __slots__ = ("name", "lb", "ub", "vtype", "index")
+    __slots__ = ("name", "lb", "ub", "vtype", "index", "_uid")
 
     def __init__(
         self,
@@ -77,7 +86,8 @@ class Variable:
         self.lb = float(lb)
         self.ub = float(ub)
         self.vtype = vtype
-        self.index = next(_var_counter)
+        self._uid = next(_uid_counter)
+        self.index = self._uid
 
     # -- conversion to expressions ------------------------------------
 
@@ -122,7 +132,7 @@ class Variable:
         return NotImplemented
 
     def __hash__(self) -> int:
-        return self.index
+        return self._uid
 
     def __repr__(self) -> str:
         return (

@@ -26,11 +26,12 @@ from typing import Callable, Iterable, Mapping, Sequence
 
 import numpy as np
 
+from repro.ilp.compile import CompiledModel, compile_model
 from repro.ilp.errors import BackendNotAvailableError, ModelError
 from repro.ilp.expr import Constraint, LinExpr, Sense, Variable, VarType
-from repro.ilp.status import Solution, SolveStatus
+from repro.ilp.status import Solution
 
-__all__ = ["Model", "ObjectiveSense", "StandardForm"]
+__all__ = ["Model", "ObjectiveSense", "StandardForm", "solve_compiled"]
 
 
 class ObjectiveSense:
@@ -91,6 +92,10 @@ class Model:
         self._constraints: list[Constraint] = []
         self._objective: LinExpr = LinExpr()
         self._sense: str = ObjectiveSense.MINIMIZE
+        self._compiled: CompiledModel | None = None
+
+    def _invalidate(self) -> None:
+        self._compiled = None
 
     # -- construction ------------------------------------------------------
 
@@ -105,8 +110,13 @@ class Model:
         if name in self._names:
             raise ModelError(f"duplicate variable name {name!r}")
         var = Variable(name, lb=lb, ub=ub, vtype=vtype)
+        # Model-scoped ordering key: identical models built at different
+        # points of the process lifetime index (and therefore print,
+        # sort and compile) identically.
+        var.index = len(self._variables)
         self._variables.append(var)
         self._names.add(name)
+        self._invalidate()
         return var
 
     def add_binary(self, name: str) -> Variable:
@@ -135,11 +145,44 @@ class Model:
         if name is not None:
             constraint.name = name
         self._constraints.append(constraint)
+        self._invalidate()
         return constraint
 
     def add_constrs(self, constraints: Iterable[Constraint]) -> None:
         for constraint in constraints:
             self.add_constr(constraint)
+
+    def remove_constr(self, name: str) -> Constraint:
+        """Remove (and return) the first constraint named ``name``."""
+        for position, constraint in enumerate(self._constraints):
+            if constraint.name == name:
+                del self._constraints[position]
+                self._invalidate()
+                return constraint
+        raise ModelError(f"no constraint named {name!r}")
+
+    def set_rhs(self, name: str, rhs: float) -> None:
+        """Update the right-hand side of the constraint named ``name``.
+
+        This is the incremental-update fast path: when a compiled form is
+        cached it is patched in place (one scalar write) instead of being
+        rebuilt, so templated re-solves that only slide a bound cost
+        nothing beyond the write.
+        """
+        for constraint in self._constraints:
+            if constraint.name == name:
+                constraint.rhs = float(rhs)
+                break
+        else:
+            raise ModelError(f"no constraint named {name!r}")
+        if self._compiled is not None:
+            kind, row = self._compiled.row_position(name)
+            if kind == "eq":
+                self._compiled.b_eq[row] = float(rhs)
+            elif constraint.sense is Sense.GE:
+                self._compiled.b_ub[row] = -float(rhs)
+            else:
+                self._compiled.b_ub[row] = float(rhs)
 
     def set_objective(
         self, expr, sense: str = ObjectiveSense.MINIMIZE
@@ -148,6 +191,7 @@ class Model:
             raise ModelError(f"unknown objective sense {sense!r}")
         self._objective = LinExpr.from_value(expr)
         self._sense = sense
+        self._invalidate()
 
     # -- inspection ----------------------------------------------------------
 
@@ -211,59 +255,27 @@ class Model:
 
     # -- standard form ---------------------------------------------------------
 
+    def compile(self) -> CompiledModel:
+        """The sparse standard form of this model (cached).
+
+        The compiled view is rebuilt after any structural change
+        (``add_var``, ``add_constr``, ``remove_constr``,
+        ``set_objective``) and patched in place by :meth:`set_rhs`.  All
+        backends consume this form; see :mod:`repro.ilp.compile`.
+        """
+        if self._compiled is None:
+            self._compiled = compile_model(self)
+        return self._compiled
+
     def to_standard_form(self) -> StandardForm:
-        """Build the dense matrix view consumed by the backends.
+        """Build the legacy dense matrix view (from the compiled form).
 
         The objective is always expressed in the *minimization* direction;
         a MAXIMIZE objective is negated here and the reported objective
-        value is negated back by :meth:`solve`.
+        value is negated back by :meth:`solve`.  The returned arrays are
+        views of the compiled cache — treat them as read-only.
         """
-        variables = list(self._variables)
-        index = {var: j for j, var in enumerate(variables)}
-        n = len(variables)
-
-        c = np.zeros(n)
-        for var, coef in self._objective.terms.items():
-            c[index[var]] = coef
-        c0 = self._objective.constant
-        if self._sense == ObjectiveSense.MAXIMIZE:
-            c, c0 = -c, -c0
-
-        ub_rows: list[np.ndarray] = []
-        ub_rhs: list[float] = []
-        eq_rows: list[np.ndarray] = []
-        eq_rhs: list[float] = []
-        for constr in self._constraints:
-            row = np.zeros(n)
-            for var, coef in constr.expr.terms.items():
-                row[index[var]] = coef
-            if constr.sense is Sense.LE:
-                ub_rows.append(row)
-                ub_rhs.append(constr.rhs)
-            elif constr.sense is Sense.GE:
-                ub_rows.append(-row)
-                ub_rhs.append(-constr.rhs)
-            else:
-                eq_rows.append(row)
-                eq_rhs.append(constr.rhs)
-
-        def stack(rows: list[np.ndarray]) -> np.ndarray:
-            return np.array(rows) if rows else np.zeros((0, n))
-
-        return StandardForm(
-            variables=variables,
-            c=c,
-            c0=c0,
-            a_ub=stack(ub_rows),
-            b_ub=np.array(ub_rhs),
-            a_eq=stack(eq_rows),
-            b_eq=np.array(eq_rhs),
-            lb=np.array([v.lb for v in variables]),
-            ub=np.array([v.ub for v in variables]),
-            is_integral=np.array(
-                [v.vtype.is_integral for v in variables], dtype=bool
-            ),
-        )
+        return self.compile().to_standard_form()
 
     # -- solving -----------------------------------------------------------------
 
@@ -291,38 +303,14 @@ class Model:
         node_limit:
             Branch & bound node budget (ignored by pure-LP backends).
         """
-        try:
-            solver = _BACKENDS[backend]
-        except KeyError:
-            raise BackendNotAvailableError(
-                f"unknown backend {backend!r}; available: {sorted(_BACKENDS)}"
-            ) from None
-        start = time.perf_counter()
-        solution = solver(
+        return _dispatch(
             self,
+            maximize=self._sense == ObjectiveSense.MAXIMIZE,
+            backend=backend,
             first_feasible=first_feasible,
             time_limit=time_limit,
             node_limit=node_limit,
             **options,
-        )
-        elapsed = time.perf_counter() - start
-        objective = solution.objective
-        if self._sense == ObjectiveSense.MAXIMIZE and not math.isnan(objective):
-            # StandardForm negates MAXIMIZE objectives; undo for reporting.
-            objective = -objective
-        bound = solution.bound
-        if (
-            bound is not None
-            and self._sense == ObjectiveSense.MAXIMIZE
-        ):
-            bound = -bound
-        return Solution(
-            status=solution.status,
-            objective=objective,
-            values=solution.values,
-            iterations=solution.iterations,
-            wall_time=elapsed,
-            bound=bound,
         )
 
     def __repr__(self) -> str:
@@ -333,6 +321,61 @@ class Model:
         )
 
 
+def solve_compiled(
+    compiled: CompiledModel,
+    backend: str = "highs",
+    first_feasible: bool = False,
+    time_limit: float | None = None,
+    node_limit: int | None = None,
+    **options,
+) -> Solution:
+    """Solve a pre-compiled model directly, bypassing the Model object.
+
+    This is the hot path of the incremental model templates: a
+    :class:`repro.ilp.compile.CompiledModel` produced once (and patched
+    per window) is handed straight to the backend, so no expression
+    objects are rebuilt and no matrices re-derived per solve.  Options
+    mirror :meth:`Model.solve`.
+    """
+    return _dispatch(
+        compiled,
+        maximize=compiled.maximize,
+        backend=backend,
+        first_feasible=first_feasible,
+        time_limit=time_limit,
+        node_limit=node_limit,
+        **options,
+    )
+
+
+def _dispatch(target, maximize: bool, backend: str, **options) -> Solution:
+    """Run a backend on a Model or CompiledModel and normalize the result."""
+    try:
+        solver = _BACKENDS[backend]
+    except KeyError:
+        raise BackendNotAvailableError(
+            f"unknown backend {backend!r}; available: {sorted(_BACKENDS)}"
+        ) from None
+    start = time.perf_counter()
+    solution = solver(target, **options)
+    elapsed = time.perf_counter() - start
+    objective = solution.objective
+    if maximize and not math.isnan(objective):
+        # The compiled form negates MAXIMIZE objectives; undo for reporting.
+        objective = -objective
+    bound = solution.bound
+    if bound is not None and maximize:
+        bound = -bound
+    return Solution(
+        status=solution.status,
+        objective=objective,
+        values=solution.values,
+        iterations=solution.iterations,
+        wall_time=elapsed,
+        bound=bound,
+    )
+
+
 # -- backend registry -----------------------------------------------------------
 
 _BACKENDS: dict[str, Callable[..., Solution]] = {}
@@ -341,9 +384,11 @@ _BACKENDS: dict[str, Callable[..., Solution]] = {}
 def register_backend(name: str, solver: Callable[..., Solution]) -> None:
     """Register a solver callable under ``name``.
 
-    The callable receives the model plus the keyword options of
-    :meth:`Model.solve` and returns a :class:`Solution` whose objective is
-    in the *minimization* direction of the standard form.
+    The callable receives the model — either a :class:`Model` or a
+    pre-compiled :class:`repro.ilp.compile.CompiledModel` (normalize with
+    :func:`repro.ilp.compile.ensure_compiled`) — plus the keyword options
+    of :meth:`Model.solve`, and returns a :class:`Solution` whose
+    objective is in the *minimization* direction of the standard form.
     """
     _BACKENDS[name] = solver
 

@@ -12,6 +12,12 @@ are deliberately conservative — each preserves the exact feasible set:
 * **binary fixing propagation**: variables whose tightened bounds collapse
   to a point are fixed.
 
+The analysis runs on the sparse compiled standard form
+(:class:`repro.ilp.compile.CompiledModel`) — activity bounds are numpy
+reductions over the CSR arrays rather than per-constraint walks over
+``dict``-of-terms expressions.  ``>=`` rows arrive pre-normalized to
+``<=`` (negated), so only two row kinds exist here.
+
 The temporal-partitioning formulation benefits mostly from the redundancy
 filter (path-latency rows for short paths are dominated by longer ones) —
 see ``benchmarks/test_ablation_order_constraints.py``.
@@ -22,8 +28,11 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
-from repro.ilp.expr import LinExpr, Sense
-from repro.ilp.model import Model
+import numpy as np
+
+from repro.ilp.compile import CompiledModel, ensure_compiled
+from repro.ilp.expr import LinExpr
+from repro.ilp.model import Model, ObjectiveSense
 
 __all__ = ["PresolveResult", "presolve"]
 
@@ -39,111 +48,141 @@ class PresolveResult:
     fixed_variables: dict[str, float] = field(default_factory=dict)
 
 
-def _activity_bounds(constr, lb, ub) -> tuple[float, float]:
+def _row_activity(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    data: np.ndarray,
+    row: int,
+    lb: np.ndarray,
+    ub: np.ndarray,
+) -> tuple[float, float]:
     """Smallest and largest value the row's LHS can take within bounds."""
-    low = high = 0.0
-    for var, coef in constr.expr.terms.items():
-        lo, hi = lb[var.name], ub[var.name]
-        if coef >= 0:
-            low += coef * lo
-            high += coef * hi
-        else:
-            low += coef * hi
-            high += coef * lo
-    return low, high
+    lo, hi = indptr[row], indptr[row + 1]
+    cols = indices[lo:hi]
+    coefs = data[lo:hi]
+    low_ends = np.where(coefs >= 0, lb[cols], ub[cols])
+    high_ends = np.where(coefs >= 0, ub[cols], lb[cols])
+    return float(coefs @ low_ends), float(coefs @ high_ends)
 
 
-def presolve(model: Model, max_rounds: int = 5) -> PresolveResult:
-    """Return a reduced, equivalent model (or a proof of infeasibility)."""
-    lb = {v.name: v.lb for v in model.variables}
-    ub = {v.name: v.ub for v in model.variables}
-    active = list(model.constraints)
+def presolve(model, max_rounds: int = 5) -> PresolveResult:
+    """Return a reduced, equivalent model (or a proof of infeasibility).
+
+    ``model`` may be a :class:`repro.ilp.model.Model` or an already
+    compiled :class:`repro.ilp.compile.CompiledModel`.
+    """
+    compiled: CompiledModel = ensure_compiled(model)
+    lb = compiled.lb.astype(float).copy()
+    ub = compiled.ub.astype(float).copy()
+    num_ub = compiled.num_ub_rows
+    num_eq = compiled.num_eq_rows
+    # (kind, row): kind 0 = inequality (<=), kind 1 = equality.
+    active: list[tuple[int, int]] = [(0, i) for i in range(num_ub)] + [
+        (1, i) for i in range(num_eq)
+    ]
     rows_removed = 0
     bounds_tightened = 0
 
+    def row_slice(kind: int, row: int):
+        if kind == 0:
+            lo, hi = compiled.ub_indptr[row], compiled.ub_indptr[row + 1]
+            return (
+                compiled.ub_indices[lo:hi],
+                compiled.ub_data[lo:hi],
+                float(compiled.b_ub[row]),
+            )
+        lo, hi = compiled.eq_indptr[row], compiled.eq_indptr[row + 1]
+        return (
+            compiled.eq_indices[lo:hi],
+            compiled.eq_data[lo:hi],
+            float(compiled.b_eq[row]),
+        )
+
     for _ in range(max_rounds):
         changed = False
-        kept = []
-        for constr in active:
-            terms = constr.expr.terms
-            if len(terms) == 1:
+        kept: list[tuple[int, int]] = []
+        for kind, row in active:
+            cols, coefs, rhs = row_slice(kind, row)
+            if len(cols) == 1:
                 # Singleton row: fold into the variable's bounds.
-                (var, coef), = terms.items()
-                limit = constr.rhs / coef
-                senses: list[Sense]
-                if constr.sense is Sense.EQ:
-                    senses = [Sense.LE, Sense.GE]
-                else:
-                    senses = [constr.sense]
-                for sense in senses:
-                    tighten_upper = (sense is Sense.LE) == (coef > 0)
-                    if tighten_upper:
-                        if limit < ub[var.name] - 1e-12:
-                            ub[var.name] = limit
+                j = int(cols[0])
+                coef = float(coefs[0])
+                limit = rhs / coef
+                # An inequality tightens one side; an equality both.
+                tighten_upper = [coef > 0] if kind == 0 else [True, False]
+                for upper in tighten_upper:
+                    if upper:
+                        if limit < ub[j] - 1e-12:
+                            ub[j] = limit
                             bounds_tightened += 1
                             changed = True
                     else:
-                        if limit > lb[var.name] + 1e-12:
-                            lb[var.name] = limit
+                        if limit > lb[j] + 1e-12:
+                            lb[j] = limit
                             bounds_tightened += 1
                             changed = True
                 rows_removed += 1
                 continue
 
-            low, high = _activity_bounds(constr, lb, ub)
-            if constr.sense is Sense.LE:
-                if high <= constr.rhs + 1e-12:
+            low_ends = np.where(coefs >= 0, lb[cols], ub[cols])
+            high_ends = np.where(coefs >= 0, ub[cols], lb[cols])
+            low = float(coefs @ low_ends)
+            high = float(coefs @ high_ends)
+            if kind == 0:
+                if high <= rhs + 1e-12:
                     rows_removed += 1
                     changed = True
                     continue
-                if low > constr.rhs + 1e-9:
-                    return PresolveResult(None, proven_infeasible=True)
-            elif constr.sense is Sense.GE:
-                if low >= constr.rhs - 1e-12:
-                    rows_removed += 1
-                    changed = True
-                    continue
-                if high < constr.rhs - 1e-9:
+                if low > rhs + 1e-9:
                     return PresolveResult(None, proven_infeasible=True)
             else:
-                if low > constr.rhs + 1e-9 or high < constr.rhs - 1e-9:
+                if low > rhs + 1e-9 or high < rhs - 1e-9:
                     return PresolveResult(None, proven_infeasible=True)
-            kept.append(constr)
+            kept.append((kind, row))
         active = kept
         if not changed:
             break
 
-    for name in lb:
-        if lb[name] > ub[name] + 1e-9:
-            return PresolveResult(None, proven_infeasible=True)
+    if np.any(lb > ub + 1e-9):
+        return PresolveResult(None, proven_infeasible=True)
 
     fixed = {
-        name: lb[name]
-        for name in lb
-        if math.isclose(lb[name], ub[name], abs_tol=1e-9)
+        var.name: float(lb[j])
+        for j, var in enumerate(compiled.variables)
+        if math.isclose(lb[j], ub[j], abs_tol=1e-9)
     }
 
-    reduced = Model(f"{model.name}_presolved")
-    var_map = {}
-    for var in model.variables:
-        var_map[var.name] = reduced.add_var(
-            var.name, lb=lb[var.name], ub=ub[var.name], vtype=var.vtype
+    reduced = Model("presolved")
+    var_list = []
+    for j, var in enumerate(compiled.variables):
+        var_list.append(
+            reduced.add_var(
+                var.name, lb=float(lb[j]), ub=float(ub[j]), vtype=var.vtype
+            )
         )
-    for constr in active:
+    for kind, row in active:
+        cols, coefs, rhs = row_slice(kind, row)
         expr = LinExpr(
-            {var_map[v.name]: coef for v, coef in constr.expr.terms.items()}
+            {var_list[int(j)]: float(c) for j, c in zip(cols, coefs)}
         )
-        if constr.sense is Sense.LE:
-            reduced.add_constr(expr <= constr.rhs, name=constr.name)
-        elif constr.sense is Sense.GE:
-            reduced.add_constr(expr >= constr.rhs, name=constr.name)
+        name = (
+            compiled.ub_names[row] if kind == 0 else compiled.eq_names[row]
+        )
+        if kind == 0:
+            reduced.add_constr(expr <= rhs, name=name)
         else:
-            reduced.add_constr(expr == constr.rhs, name=constr.name)
+            reduced.add_constr(expr == rhs, name=name)
+    # The compiled objective is stored in minimization direction; restore
+    # the original sense so the reduced model reports like the input.
+    c, c0 = compiled.c, compiled.c0
+    sense = ObjectiveSense.MINIMIZE
+    if compiled.maximize:
+        c, c0 = -c, -c0
+        sense = ObjectiveSense.MAXIMIZE
     objective = LinExpr(
-        {var_map[v.name]: coef for v, coef in model.objective.terms.items()},
-        model.objective.constant,
+        {var_list[j]: float(c[j]) for j in np.flatnonzero(c)}, float(c0)
     )
-    reduced.set_objective(objective, sense=model.objective_sense)
+    reduced.set_objective(objective, sense=sense)
     return PresolveResult(
         reduced,
         rows_removed=rows_removed,

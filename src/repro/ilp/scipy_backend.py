@@ -17,6 +17,7 @@ import math
 import numpy as np
 from scipy import optimize, sparse
 
+from repro.ilp.compile import CompiledModel, ensure_compiled
 from repro.ilp.status import Solution, SolveStatus
 
 __all__ = ["solve_with_highs", "solve_relaxation"]
@@ -26,21 +27,27 @@ def _bounds(form) -> optimize.Bounds:
     return optimize.Bounds(lb=form.lb, ub=form.ub)
 
 
+def _sparse_blocks(form):
+    """``(A_ub, A_eq)`` as CSR matrices, zero-copy for compiled models."""
+    if isinstance(form, CompiledModel):
+        return form.a_ub_csr(), form.a_eq_csr()
+    return sparse.csr_matrix(form.a_ub), sparse.csr_matrix(form.a_eq)
+
+
 def _linear_constraints(form) -> list[optimize.LinearConstraint]:
+    a_ub, a_eq = _sparse_blocks(form)
     constraints = []
-    if form.a_ub.shape[0]:
+    if a_ub.shape[0]:
         constraints.append(
             optimize.LinearConstraint(
-                sparse.csr_matrix(form.a_ub),
-                -np.inf * np.ones(form.a_ub.shape[0]),
+                a_ub,
+                -np.inf * np.ones(a_ub.shape[0]),
                 form.b_ub,
             )
         )
-    if form.a_eq.shape[0]:
+    if a_eq.shape[0]:
         constraints.append(
-            optimize.LinearConstraint(
-                sparse.csr_matrix(form.a_eq), form.b_eq, form.b_eq
-            )
+            optimize.LinearConstraint(a_eq, form.b_eq, form.b_eq)
         )
     return constraints
 
@@ -51,8 +58,12 @@ def solve_with_highs(model, **options) -> Solution:
     Honors ``first_feasible`` by setting a HiGHS MIP gap so large that the
     search stops as soon as an incumbent exists, which reproduces the
     paper's use of CPLEX as a constraint-satisfaction engine.
+
+    Accepts either a :class:`repro.ilp.model.Model` or a pre-compiled
+    :class:`repro.ilp.compile.CompiledModel`; the sparse rows of the
+    compiled form are handed to HiGHS without densification.
     """
-    form = model.to_standard_form()
+    form = ensure_compiled(model)
     milp_options: dict = {}
     time_limit = options.get("time_limit")
     if time_limit is not None:
@@ -146,7 +157,8 @@ def solve_relaxation(
     ``extra_lb``/``extra_ub`` override the form's bounds (used for branch
     & bound node bounds).  Returns ``(status, x, objective, iterations)``
     with the objective in the minimization direction and *excluding* the
-    constant term ``form.c0``.
+    constant term ``form.c0``.  ``form`` may be a dense ``StandardForm``
+    or a :class:`repro.ilp.compile.CompiledModel` (solved sparsely).
     """
     lb = form.lb if extra_lb is None else extra_lb
     ub = form.ub if extra_ub is None else extra_ub
@@ -155,12 +167,13 @@ def solve_relaxation(
     lp_options: dict = {"presolve": True}
     if time_limit is not None:
         lp_options["time_limit"] = float(time_limit)
+    a_ub, a_eq = _sparse_blocks(form)
     result = optimize.linprog(
         c=form.c,
-        A_ub=form.a_ub if form.a_ub.shape[0] else None,
-        b_ub=form.b_ub if form.a_ub.shape[0] else None,
-        A_eq=form.a_eq if form.a_eq.shape[0] else None,
-        b_eq=form.b_eq if form.a_eq.shape[0] else None,
+        A_ub=a_ub if a_ub.shape[0] else None,
+        b_ub=form.b_ub if a_ub.shape[0] else None,
+        A_eq=a_eq if a_eq.shape[0] else None,
+        b_eq=form.b_eq if a_eq.shape[0] else None,
         bounds=np.column_stack([lb, ub]),
         method="highs",
         options=lp_options,

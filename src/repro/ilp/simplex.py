@@ -331,8 +331,13 @@ def solve_with_simplex(model, **options) -> Solution:
 
     Integrality markers are ignored; this backend exists for pure-LP use
     and as the relaxation engine inside the from-scratch branch & bound.
+    Accepts a :class:`repro.ilp.model.Model` or a pre-compiled
+    :class:`repro.ilp.compile.CompiledModel` (its cached dense views are
+    used — the tableau algorithm is dense by construction).
     """
-    form = model.to_standard_form()
+    from repro.ilp.compile import ensure_compiled
+
+    form = ensure_compiled(model)
     result = solve_lp(
         form.c,
         form.a_ub,

@@ -20,6 +20,7 @@ from repro.solve.cache import CachedVerdict, SolveCache
 from repro.solve.executor import KNOWN_BACKENDS, SolveExecutor, WindowOutcome
 from repro.solve.fingerprint import (
     ModelFingerprint,
+    fingerprint_compiled,
     fingerprint_ilp,
     fingerprint_model,
 )
@@ -36,6 +37,7 @@ __all__ = [
     "SolveExecutor",
     "SolveStats",
     "WindowOutcome",
+    "fingerprint_compiled",
     "fingerprint_ilp",
     "fingerprint_model",
     "race_backends",

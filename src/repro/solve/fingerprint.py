@@ -3,18 +3,27 @@
 The solve cache must recognize that two ``build_model()`` calls describe
 the *same* constraint system even though the objects differ, and it must
 separate the latency window (equations (9)-(10)) from the rest of the
-model so window-monotonic verdict reuse is possible.  This module hashes
-the built :class:`repro.ilp.Model`:
+model so window-monotonic verdict reuse is possible.  The digest covers:
 
 * every variable as ``(name, lb, ub, vtype)``,
-* every constraint as ``(name, sorted terms, sense, rhs)`` — *except*
-  the two latency-window rows (``latency_ub`` / ``latency_lb``), which
-  are represented structurally by the fingerprint's ``d_min``/``d_max``
-  fields instead,
+* every constraint — *except* the two latency-window rows
+  (``latency_ub`` / ``latency_lb``), which are represented structurally
+  by the fingerprint's ``d_min``/``d_max`` fields instead,
 * the objective terms and sense.
 
-Floats are hashed via ``repr`` so the digest is exact (no quantization):
-a perturbed capacity, latency value or coefficient changes the digest.
+The canonical hashing path is :func:`fingerprint_compiled`: it digests
+the raw arrays of the sparse compiled form
+(:class:`repro.ilp.compile.CompiledModel`) — no expression walking.
+Template-built models (:class:`repro.core.formulation.ModelTemplate`)
+skip hashing entirely: the template's ``base_fingerprint`` is composed
+with the window into a :class:`ModelFingerprint` as-is, so a cache key
+for a new window costs nothing.  :func:`fingerprint_ilp` remains as the
+expression-level reference implementation (and for models one does not
+want to compile).
+
+Floats are hashed via ``repr`` (or raw IEEE bytes on the compiled path)
+so the digest is exact (no quantization): a perturbed capacity, latency
+value or coefficient changes the digest.
 """
 
 from __future__ import annotations
@@ -25,9 +34,15 @@ from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.formulation import TemporalPartitioningModel
+    from repro.ilp.compile import CompiledModel
     from repro.ilp.model import Model
 
-__all__ = ["ModelFingerprint", "fingerprint_model", "fingerprint_ilp"]
+__all__ = [
+    "ModelFingerprint",
+    "fingerprint_compiled",
+    "fingerprint_model",
+    "fingerprint_ilp",
+]
 
 #: Constraint names that encode the latency window, excluded from the
 #: structural digest and carried as the fingerprint's window fields.
@@ -90,14 +105,40 @@ def fingerprint_ilp(model: "Model", skip_rows: tuple[str, ...] = ()) -> str:
     return digest.hexdigest()
 
 
+def fingerprint_compiled(
+    compiled: "CompiledModel", skip_rows: tuple[str, ...] = ()
+) -> str:
+    """SHA-256 digest of a compiled model's structure, skipping named rows.
+
+    Hashes the raw CSR arrays (cached per ``skip_rows`` on the compiled
+    object), so fingerprinting shares work with solving instead of
+    re-walking expressions.
+    """
+    return compiled.fingerprint(skip_rows=skip_rows)
+
+
 def fingerprint_model(tp_model: "TemporalPartitioningModel") -> ModelFingerprint:
     """Fingerprint a built temporal-partitioning model.
 
     The latency-window rows are excluded from the digest and surfaced as
     the fingerprint's ``d_min``/``d_max``, enabling the cache's
     monotonicity rules (see :mod:`repro.solve.cache`).
+
+    Three cost tiers, cheapest first:
+
+    * template-built models carry their template's ``base_fingerprint``
+      — composed directly, no hashing at all;
+    * models with a compiled form (or a cached one on their ``model``)
+      hash the compiled arrays via :func:`fingerprint_compiled`;
+    * otherwise the model is compiled first (the compilation is cached
+      on the :class:`repro.ilp.Model`, so a subsequent solve reuses it).
     """
-    base = fingerprint_ilp(tp_model.model, skip_rows=WINDOW_ROW_NAMES)
+    base = tp_model.base_fingerprint
+    if base is None:
+        compiled = tp_model.compiled
+        if compiled is None:
+            compiled = tp_model.model.compile()
+        base = fingerprint_compiled(compiled, skip_rows=WINDOW_ROW_NAMES)
     return ModelFingerprint(
         base=base,
         num_partitions=tp_model.num_partitions,

@@ -83,6 +83,11 @@ class RunTelemetry:
     timeouts: int = 0
     #: Window solves answered by the greedy heuristic fallback.
     fallbacks: int = 0
+    #: Model templates built (one full construct + compile + hash each).
+    template_builds: int = 0
+    #: Window models served by patching a template (cheap path); compare
+    #: with ``template_builds`` for the incremental-reuse ratio.
+    template_instantiations: int = 0
 
     # -- recording (executor-facing) ----------------------------------------
 
@@ -140,6 +145,8 @@ class RunTelemetry:
             "total_wall_time": self.total_wall_time,
             "timeouts": self.timeouts,
             "fallbacks": self.fallbacks,
+            "template_builds": self.template_builds,
+            "template_instantiations": self.template_instantiations,
             "degraded": self.degraded,
             "backend_wall": dict(self.backend_wall),
             "backend_wins": dict(self.backend_wins),

@@ -15,8 +15,8 @@ construction and reports) and validates acyclicity on demand.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Mapping, Sequence
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping
 
 from repro.taskgraph.designpoint import DesignPoint
 

@@ -15,7 +15,7 @@ Two distinct needs of the reproduction meet here:
 
 from __future__ import annotations
 
-from typing import Callable, Iterator, Sequence
+from typing import Callable, Sequence
 
 from repro.taskgraph.graph import GraphValidationError, TaskGraph
 

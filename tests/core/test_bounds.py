@@ -4,7 +4,7 @@ import pytest
 
 from repro.arch import ReconfigurableProcessor
 from repro.core import bounds
-from repro.taskgraph import DesignPoint, TaskGraph, ar_filter, dct_4x4
+from repro.taskgraph import DesignPoint, TaskGraph
 
 
 class TestPartitionCounts:

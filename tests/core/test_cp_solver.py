@@ -91,7 +91,7 @@ class TestBudgets:
 
 class TestAgreementWithIlp:
     def test_cp_and_ilp_agree_on_feasibility(self, diamond_graph):
-        from repro.core import FormulationOptions, build_model
+        from repro.core import build_model
 
         processor = ReconfigurableProcessor(250, 1000, 10)
         for d_max in (80.0, 120.0, 1000.0):

@@ -1,6 +1,5 @@
 """Unit tests for infeasibility diagnosis."""
 
-import pytest
 
 from repro.arch import ReconfigurableProcessor
 from repro.core import build_model, diagnose_infeasibility

@@ -5,7 +5,7 @@ import pytest
 from repro.arch import ReconfigurableProcessor
 from repro.core import FormulationOptions, build_model
 from repro.core.formulation import interchangeable_groups, lp_latency_lower_bound
-from repro.taskgraph import DesignPoint, TaskGraph, dct_4x4
+from repro.taskgraph import dct_4x4
 
 
 def proc(r=400, m=1000, c_t=10.0):

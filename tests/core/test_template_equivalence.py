@@ -1,0 +1,175 @@
+"""Property: ``ModelTemplate.instantiate`` equals a fresh ``build_model``.
+
+The incremental path must be *exactly* equivalent to the reference path,
+not merely agree on verdicts: for any graph, partition bound and latency
+window, the compiled standard form produced by patching a template's
+window rows is array-for-array identical to compiling a freshly built
+model, and both solve to the same feasibility verdict on every backend.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.arch import ReconfigurableProcessor
+from repro.core import ModelTemplate, bounds, build_model
+from repro.core.formulation import FormulationOptions
+from repro.solve import fingerprint_model
+from repro.taskgraph import random_dag
+
+SLOW = settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+ARRAY_FIELDS = (
+    "c",
+    "ub_indptr",
+    "ub_indices",
+    "ub_data",
+    "b_ub",
+    "eq_indptr",
+    "eq_indices",
+    "eq_data",
+    "b_eq",
+    "lb",
+    "ub",
+    "is_integral",
+)
+
+
+def graph_for(seed: int):
+    return random_dag(
+        num_tasks=4 + seed % 4, seed=seed, edge_probability=0.35
+    )
+
+
+def processor_for(seed: int):
+    return ReconfigurableProcessor(
+        resource_capacity=600 + 40 * (seed % 5),
+        memory_capacity=512,
+        reconfiguration_time=float(5 * (seed % 4)),
+        name=f"tmpl{seed}",
+    )
+
+
+def windows_for(graph, processor, n):
+    """Window shapes the bisection produces: open bottom and d_min > 0."""
+    c_t = processor.reconfiguration_time
+    d_max = bounds.max_latency(graph, n, c_t)
+    d_min = bounds.min_latency(graph, n, c_t)
+    mid = (d_max + d_min) / 2.0
+    return [
+        (0.0, d_max),
+        (d_min, d_max),
+        (max(d_min, 1e-6), mid if mid > d_min else d_max),
+    ]
+
+
+def assert_compiled_equal(a, b):
+    for name in ARRAY_FIELDS:
+        assert np.array_equal(getattr(a, name), getattr(b, name)), name
+    assert a.ub_names == b.ub_names
+    assert a.eq_names == b.eq_names
+    assert a.c0 == b.c0
+    assert a.maximize == b.maximize
+    assert [v.name for v in a.variables] == [v.name for v in b.variables]
+
+
+class TestTemplateEquivalence:
+    @given(st.integers(0, 10_000))
+    @SLOW
+    def test_compiled_form_is_array_identical(self, seed):
+        graph = graph_for(seed)
+        processor = processor_for(seed)
+        n = max(
+            2, bounds.min_area_partitions(graph, processor.resource_capacity)
+        )
+        options = FormulationOptions(minimize_latency=bool(seed % 2))
+        template = ModelTemplate(graph, processor, n, options)
+        for d_min, d_max in windows_for(graph, processor, n):
+            inst = template.instantiate(d_min, d_max)
+            fresh = build_model(
+                graph, processor, n, d_max, d_min, options
+            ).model.compile()
+            assert_compiled_equal(inst.compiled, fresh)
+
+    @given(st.integers(0, 10_000))
+    @SLOW
+    def test_fingerprints_compose_identically(self, seed):
+        graph = graph_for(seed)
+        processor = processor_for(seed)
+        n = max(
+            2, bounds.min_area_partitions(graph, processor.resource_capacity)
+        )
+        template = ModelTemplate(graph, processor, n)
+        for d_min, d_max in windows_for(graph, processor, n):
+            via_template = fingerprint_model(
+                template.instantiate(d_min, d_max)
+            )
+            via_fresh = fingerprint_model(
+                build_model(graph, processor, n, d_max, d_min)
+            )
+            assert via_template == via_fresh
+
+    @pytest.mark.parametrize("backend", ["highs", "bnb"])
+    @given(st.integers(0, 10_000))
+    @SLOW
+    def test_solve_verdicts_match(self, backend, seed):
+        graph = graph_for(seed)
+        processor = processor_for(seed)
+        n = max(
+            2, bounds.min_area_partitions(graph, processor.resource_capacity)
+        )
+        template = ModelTemplate(graph, processor, n)
+        for d_min, d_max in windows_for(graph, processor, n):
+            inst = template.instantiate(d_min, d_max)
+            fresh = build_model(graph, processor, n, d_max, d_min)
+            a = inst.solve(backend=backend, first_feasible=True)
+            b = fresh.solve(backend=backend, first_feasible=True)
+            assert a.status.has_solution == b.status.has_solution
+            if a.status.has_solution:
+                # Both certificates decode to audited designs in window.
+                for tp, sol in ((inst, a), (fresh, b)):
+                    design = tp.design_from(sol)
+                    assert design.audit(processor) == []
+                    assert (
+                        design.total_latency(processor) <= d_max + 1e-6
+                    )
+
+
+class TestTemplateWindowRows:
+    def test_window_rows_are_last_and_patchable(self):
+        graph = graph_for(3)
+        processor = processor_for(3)
+        template = ModelTemplate(graph, processor, 2)
+        inst = template.instantiate(10.0, 500.0)
+        names = inst.compiled.ub_names
+        assert names[-2:] == ("latency_ub", "latency_lb")
+        assert inst.compiled.b_ub[-2] == 500.0
+        assert inst.compiled.b_ub[-1] == -10.0  # >= row, stored negated
+
+    def test_zero_lower_edge_drops_lb_row(self):
+        graph = graph_for(3)
+        processor = processor_for(3)
+        template = ModelTemplate(graph, processor, 2)
+        inst = template.instantiate(0.0, 500.0)
+        assert inst.compiled.ub_names[-1] == "latency_ub"
+        assert "latency_lb" not in inst.compiled.ub_names
+
+    def test_instantiations_do_not_alias_each_other(self):
+        graph = graph_for(5)
+        processor = processor_for(5)
+        template = ModelTemplate(graph, processor, 2)
+        first = template.instantiate(0.0, 400.0)
+        second = template.instantiate(0.0, 300.0)
+        assert first.compiled.b_ub[-1] == 400.0
+        assert second.compiled.b_ub[-1] == 300.0
+
+    def test_empty_window_rejected(self):
+        graph = graph_for(7)
+        processor = processor_for(7)
+        template = ModelTemplate(graph, processor, 2)
+        with pytest.raises(ValueError):
+            template.instantiate(10.0, 5.0)

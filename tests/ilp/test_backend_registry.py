@@ -1,6 +1,5 @@
 """Tests for the solver backend registry."""
 
-import pytest
 
 from repro.ilp import Model, Solution, SolveStatus, register_backend
 

@@ -5,7 +5,6 @@ independent implementations; on random models they must agree on
 feasibility and optimal objective value.
 """
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.ilp import Model, SolveStatus, VarType
-from repro.ilp.branch_and_bound import BnbOptions, branch_and_bound
 
 
 def knapsack_model(weights, values, capacity):

@@ -1,0 +1,182 @@
+"""The sparse compiled standard form: correctness, views, fingerprints."""
+
+import numpy as np
+import pytest
+
+from repro.ilp import (
+    Model,
+    ModelError,
+    SolveStatus,
+    VarType,
+    compile_model,
+    ensure_compiled,
+    solve_compiled,
+)
+
+
+def mixed_model() -> Model:
+    """A small model exercising LE, GE and EQ rows plus MAXIMIZE."""
+    m = Model("mixed")
+    x = m.add_var("x", ub=4, vtype=VarType.INTEGER)
+    y = m.add_binary("y")
+    z = m.add_var("z", lb=-1.0, ub=3.0)
+    m.add_constr(2 * x + y <= 7, name="cap")
+    m.add_constr(x + z >= 1, name="floor")
+    m.add_constr(y + z == 2, name="link")
+    m.set_objective(3 * x + 2 * y - z, sense="maximize")
+    return m
+
+
+class TestCompileCorrectness:
+    def test_matches_dense_standard_form(self):
+        model = mixed_model()
+        compiled = compile_model(model)
+        form = model.to_standard_form()
+        assert np.array_equal(compiled.a_ub, form.a_ub)
+        assert np.array_equal(compiled.b_ub, form.b_ub)
+        assert np.array_equal(compiled.a_eq, form.a_eq)
+        assert np.array_equal(compiled.b_eq, form.b_eq)
+        assert np.array_equal(compiled.c, form.c)
+        assert compiled.c0 == form.c0
+        assert np.array_equal(compiled.lb, form.lb)
+        assert np.array_equal(compiled.ub, form.ub)
+        assert np.array_equal(compiled.is_integral, form.is_integral)
+
+    def test_ge_row_is_negated(self):
+        compiled = compile_model(mixed_model())
+        kind, row = compiled.row_position("floor")
+        assert kind == "ub"
+        assert compiled.b_ub[row] == -1.0  # x + z >= 1  ->  -x - z <= -1
+
+    def test_round_trip_to_standard_form(self):
+        model = mixed_model()
+        direct = model.to_standard_form()
+        via_compiled = compile_model(model).to_standard_form()
+        assert np.array_equal(direct.a_ub, via_compiled.a_ub)
+        assert np.array_equal(direct.a_eq, via_compiled.a_eq)
+
+    def test_csr_views_match_dense(self):
+        compiled = compile_model(mixed_model())
+        assert np.array_equal(compiled.a_ub_csr().toarray(), compiled.a_ub)
+        assert np.array_equal(compiled.a_eq_csr().toarray(), compiled.a_eq)
+
+    def test_var_index_is_insertion_order(self):
+        compiled = compile_model(mixed_model())
+        assert compiled.var_index == {"x": 0, "y": 1, "z": 2}
+
+    def test_model_compile_is_cached(self):
+        model = mixed_model()
+        assert model.compile() is model.compile()
+
+    def test_mutation_invalidates_compile_cache(self):
+        model = mixed_model()
+        first = model.compile()
+        model.add_var("extra")
+        assert model.compile() is not first
+
+
+class TestEnsureCompiled:
+    def test_idempotent_on_compiled(self):
+        compiled = compile_model(mixed_model())
+        assert ensure_compiled(compiled) is compiled
+
+    def test_coerces_model(self):
+        model = mixed_model()
+        assert ensure_compiled(model) is model.compile()
+
+    def test_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            ensure_compiled(object())
+
+
+class TestIncrementalViews:
+    def test_with_b_ub_patches_only_rhs(self):
+        base = compile_model(mixed_model())
+        kind, row = base.row_position("cap")
+        patched = base.with_b_ub({row: 5.0})
+        assert patched.b_ub[row] == 5.0
+        assert base.b_ub[row] == 7.0  # original untouched
+        # Structure and view caches are shared, not copied.
+        assert patched.ub_data is base.ub_data
+        assert patched.a_ub_csr() is base.a_ub_csr()
+
+    def test_truncate_drops_trailing_rows_zero_copy(self):
+        base = compile_model(mixed_model())
+        short = base.truncate_ub_rows(base.num_ub_rows - 1)
+        assert short.num_ub_rows == base.num_ub_rows - 1
+        assert short.ub_names == base.ub_names[:-1]
+        assert short.b_ub.base is base.b_ub  # numpy slice view
+        assert np.array_equal(short.a_ub, base.a_ub[:-1])
+
+    def test_truncate_bounds_checked(self):
+        base = compile_model(mixed_model())
+        with pytest.raises(ValueError):
+            base.truncate_ub_rows(base.num_ub_rows + 1)
+
+
+class TestFingerprint:
+    def test_stable_across_identical_builds(self):
+        assert (
+            compile_model(mixed_model()).fingerprint()
+            == compile_model(mixed_model()).fingerprint()
+        )
+
+    def test_rhs_change_alters_digest(self):
+        base = compile_model(mixed_model())
+        kind, row = base.row_position("cap")
+        patched = base.with_b_ub({row: 5.0})
+        assert base.fingerprint() != patched.fingerprint()
+
+    def test_skip_rows_makes_digest_window_invariant(self):
+        base = compile_model(mixed_model())
+        kind, row = base.row_position("cap")
+        patched = base.with_b_ub({row: 5.0})
+        skip = ("cap",)
+        assert base.fingerprint(skip) == patched.fingerprint(skip)
+
+
+class TestModelIncrementalEdits:
+    def test_set_rhs_updates_cached_compiled_in_place(self):
+        model = mixed_model()
+        compiled = model.compile()
+        model.set_rhs("cap", 6.0)
+        kind, row = compiled.row_position("cap")
+        assert compiled.b_ub[row] == 6.0
+        assert model.compile() is compiled  # no recompilation
+
+    def test_set_rhs_negates_ge_rows(self):
+        model = mixed_model()
+        compiled = model.compile()
+        model.set_rhs("floor", 2.0)
+        kind, row = compiled.row_position("floor")
+        assert compiled.b_ub[row] == -2.0
+
+    def test_set_rhs_unknown_name(self):
+        with pytest.raises(ModelError):
+            mixed_model().set_rhs("nope", 1.0)
+
+    def test_remove_constr(self):
+        model = mixed_model()
+        removed = model.remove_constr("cap")
+        assert removed.name == "cap"
+        assert all(c.name != "cap" for c in model.constraints)
+        with pytest.raises(ModelError):
+            model.remove_constr("cap")
+
+
+class TestSolveCompiled:
+    @pytest.mark.parametrize("backend", ["highs", "bnb"])
+    def test_matches_model_solve(self, backend):
+        model = mixed_model()
+        direct = model.solve(backend=backend)
+        compiled = solve_compiled(model.compile(), backend=backend)
+        assert direct.status is SolveStatus.OPTIMAL
+        assert compiled.status is SolveStatus.OPTIMAL
+        assert compiled.objective == pytest.approx(direct.objective)
+        assert compiled.values == pytest.approx(direct.values)
+
+    def test_simplex_relaxation(self):
+        model = mixed_model()
+        direct = model.solve(backend="simplex")
+        compiled = solve_compiled(model.compile(), backend="simplex")
+        assert compiled.objective == pytest.approx(direct.objective)

@@ -1,7 +1,6 @@
 """Budget-exhaustion behaviour of the from-scratch solvers."""
 
 import numpy as np
-import pytest
 
 from repro.ilp import Model, SolveStatus
 from repro.ilp.simplex import solve_lp

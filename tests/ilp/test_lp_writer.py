@@ -2,9 +2,7 @@
 
 import math
 
-import pytest
-
-from repro.ilp import Model, ObjectiveSense, VarType, lp_string
+from repro.ilp import Model, ObjectiveSense, lp_string
 
 
 def demo_model():

@@ -1,0 +1,73 @@
+"""Regression tests for variable identity and per-model ordering.
+
+Variable ordering used to lean on a process-global counter: two
+structurally identical models built at different points of the process
+lifetime ordered (and therefore printed and compiled) their expressions
+differently, and a model's column order depended on how many unrelated
+variables had ever been created.  ``index`` is now assigned per model by
+``Model.add_var``; only the hash uid stays process-global (object
+identity must never collide, because ``Variable.__eq__`` builds
+constraints instead of comparing).
+"""
+
+import numpy as np
+
+from repro.ilp import Model, Variable, lp_string
+
+
+def build(tag: str) -> Model:
+    m = Model(f"scoped_{tag}")
+    x = m.add_var("x", ub=9)
+    y = m.add_binary("y")
+    z = m.add_var("z", ub=5)
+    m.add_constr(z + 3 * x + y <= 7, name="row")
+    m.set_objective(y + 2 * x)
+    return m
+
+
+class TestPerModelIndices:
+    def test_indices_restart_per_model(self):
+        a = build("a")
+        # Unrelated variables created in between must not shift model b.
+        for i in range(25):
+            Variable(f"junk{i}")
+        b = build("b")
+        assert [v.index for v in a.variables] == [0, 1, 2]
+        assert [v.index for v in b.variables] == [0, 1, 2]
+
+    def test_identical_builds_print_identically(self):
+        a = build("x")
+        for i in range(10):
+            Variable(f"noise{i}")
+        b = build("x")
+        assert lp_string(a) == lp_string(b)
+        assert repr(a.constraints[0]) == repr(b.constraints[0])
+
+    def test_identical_builds_compile_identically(self):
+        a = build("x").compile()
+        for i in range(10):
+            Variable(f"noise{i}")
+        b = build("x").compile()
+        assert np.array_equal(a.ub_indices, b.ub_indices)
+        assert np.array_equal(a.ub_data, b.ub_data)
+        assert np.array_equal(a.c, b.c)
+        assert a.fingerprint() == b.fingerprint()
+
+
+class TestHashIdentity:
+    def test_same_index_different_models_stay_distinct_keys(self):
+        # Variables from different models share indices (both 0); if the
+        # hash were the index, dict lookups would conflate them because
+        # Variable.__eq__ returns a (truthy) Constraint for variables.
+        a = build("a").variables[0]
+        b = build("b").variables[0]
+        assert a.index == b.index == 0
+        assert hash(a) != hash(b)
+        terms = {a: 1.0, b: 2.0}
+        assert len(terms) == 2
+
+    def test_expression_on_mixed_models_keeps_both(self):
+        a = build("a").variables[0]
+        b = build("b").variables[0]
+        expr = a + b
+        assert len(expr.terms) == 2

@@ -138,3 +138,71 @@ class TestTelemetry:
         assert payload["total_solves"] == 1
         assert payload["solves"][0]["backend"] == "highs"
         assert "cache_hit_rate" in payload
+
+
+class TestTemplateReuse:
+    def test_templates_are_shared_across_windows(self, processor):
+        executor = SolveExecutor(
+            SolverSettings(time_limit=15.0, enable_cache=False)
+        )
+        graph = ar_filter()
+        d_max, d_min = window(graph, 3)
+        executor.solve_window(graph, processor, 3, d_max, d_min)
+        executor.solve_window(graph, processor, 3, d_max - 30.0, d_min)
+        executor.solve_window(graph, processor, 3, d_max - 60.0, 0.0)
+        assert executor.telemetry.template_builds == 1
+        assert executor.telemetry.template_instantiations == 3
+
+    def test_each_structure_gets_its_own_template(self, processor):
+        executor = SolveExecutor(
+            SolverSettings(time_limit=15.0, enable_cache=False)
+        )
+        graph = ar_filter()
+        for n in (3, 4):
+            d_max, d_min = window(graph, n)
+            executor.solve_window(graph, processor, n, d_max, d_min)
+        assert executor.telemetry.template_builds == 2
+
+    def test_reuse_can_be_disabled(self, processor):
+        executor = SolveExecutor(
+            SolverSettings(
+                time_limit=15.0, enable_cache=False, reuse_templates=False
+            )
+        )
+        graph = ar_filter()
+        d_max, d_min = window(graph, 3)
+        outcome = executor.solve_window(graph, processor, 3, d_max, d_min)
+        assert outcome.feasible
+        assert executor.telemetry.template_builds == 0
+        assert executor.telemetry.template_instantiations == 0
+
+    def test_both_paths_reach_the_same_verdict(self, processor):
+        graph = ar_filter()
+        d_max, d_min = window(graph, 3)
+        outcomes = []
+        for reuse in (True, False):
+            executor = SolveExecutor(
+                SolverSettings(
+                    time_limit=15.0,
+                    enable_cache=False,
+                    reuse_templates=reuse,
+                )
+            )
+            outcomes.append(
+                executor.solve_window(graph, processor, 3, d_max, d_min)
+            )
+        templated, fresh = outcomes
+        assert templated.feasible == fresh.feasible
+
+    def test_template_fingerprint_matches_fresh_cache_key(self, processor):
+        """A warm cache from the template path must hit on fresh builds."""
+        graph = ar_filter()
+        d_max, d_min = window(graph, 3)
+        executor = SolveExecutor(SolverSettings(time_limit=15.0))
+        executor.solve_window(graph, processor, 3, d_max, d_min)
+        cold = SolveExecutor(
+            SolverSettings(time_limit=15.0, reuse_templates=False),
+            cache=executor.cache,
+        )
+        replay = cold.solve_window(graph, processor, 3, d_max, d_min)
+        assert replay.cache_hit

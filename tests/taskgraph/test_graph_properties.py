@@ -1,6 +1,5 @@
 """Hypothesis properties of the TaskGraph container itself."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.taskgraph import (

@@ -6,7 +6,6 @@ without updating the experiments would break the table reproductions, and
 these tests catch that immediately.
 """
 
-import math
 
 import pytest
 
