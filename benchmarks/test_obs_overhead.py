@@ -1,0 +1,177 @@
+"""Overhead audit of the observability layer.
+
+Two promises are checked against the paper's two workloads (the AR
+filter of Table 1 and the 4x4 DCT of Table 3):
+
+1. **Disabled tracing is free.**  Every pipeline layer is permanently
+   instrumented, so the relevant cost when no tracer is configured is
+   the null-span machinery.  A microbenchmark prices one no-op span,
+   the traced run counts how many spans an average search iteration
+   opens, and the product must stay under 2% of the measured
+   per-iteration wall time.  The search trajectory must also be
+   identical with and without a tracer attached — instrumentation may
+   observe the search but never steer it.  (Identity is asserted up to
+   the first timeout-decided window: rows concluded by the wall clock
+   rather than by a solver verdict are legitimately run-dependent.)
+2. **Enabled tracing is honest.**  The phase profile reconstructed from
+   the event stream must agree with the always-on ``RunTelemetry``
+   wall-clock accounting to within 5% on ``solve_window`` time.
+
+Writes ``benchmarks/results/BENCH_obs_overhead.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from conftest import EXPERIMENT_BUDGET, RESULTS_DIR, SOLVE_LIMIT
+from repro.arch import ReconfigurableProcessor
+from repro.core import RefinementConfig, SolverSettings, refine_partitions_bound
+from repro.obs import NULL_TRACER, MemorySink, PhaseProfile, Tracer
+from repro.taskgraph import ar_filter, dct_4x4
+
+CASES = [
+    {
+        "name": "ar_filter",
+        "graph": ar_filter,
+        "processor": lambda: ReconfigurableProcessor(400.0, 128.0, 20.0),
+        "delta": 0.1,
+    },
+    {
+        "name": "dct_4x4",
+        "graph": dct_4x4,
+        "processor": lambda: ReconfigurableProcessor(576.0, 2048.0, 30.0),
+        "delta": 200.0,
+    },
+]
+
+MAX_DISABLED_OVERHEAD = 0.02
+PROFILE_TELEMETRY_TOLERANCE = 0.05
+
+
+def run_case(case, tracer=None):
+    settings = SolverSettings(time_limit=SOLVE_LIMIT, tracer=tracer)
+    start = time.perf_counter()
+    result = refine_partitions_bound(
+        case["graph"](),
+        case["processor"](),
+        RefinementConfig(
+            delta=case["delta"], gamma=1, time_budget=EXPERIMENT_BUDGET
+        ),
+        settings=settings,
+    )
+    wall = time.perf_counter() - start
+    return result, wall
+
+
+def trajectory(result):
+    return [
+        (r.num_partitions, r.iteration, r.d_max, r.d_min, r.achieved)
+        for r in result.trace
+    ]
+
+
+def conclusive_prefix(result) -> int:
+    """Rows before the first verdict decided by the wall clock.
+
+    A record with an empty backend (hard timeout) or the degraded flag
+    was concluded by elapsed time, not by a solver; everything after it
+    can differ between otherwise identical runs.
+    """
+    for index, record in enumerate(result.trace):
+        if record.degraded or record.backend == "":
+            return index
+    return len(result.trace)
+
+
+def null_span_cost(rounds: int = 50_000) -> float:
+    """Seconds per no-op span enter/exit (attrs included, like call sites)."""
+    start = time.perf_counter()
+    for i in range(rounds):
+        with NULL_TRACER.span("probe", iteration=i, d_min=0.0) as span:
+            span.annotate(status="ok")
+    return (time.perf_counter() - start) / rounds
+
+
+def test_obs_overhead():
+    per_span = null_span_cost()
+    payload = {
+        "solve_limit": SOLVE_LIMIT,
+        "null_span_cost_us": round(per_span * 1e6, 4),
+        "max_disabled_overhead": MAX_DISABLED_OVERHEAD,
+        "cases": {},
+    }
+
+    for case in CASES:
+        plain, plain_wall = run_case(case)
+        assert plain.feasible, f"{case['name']} must be partitionable"
+
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        traced, traced_wall = run_case(case, tracer=tracer)
+        tracer.close()
+
+        # Tracing never steers the search: identical up to the first
+        # window decided by the wall clock instead of a solver verdict.
+        comparable = min(conclusive_prefix(plain), conclusive_prefix(traced))
+        fully_conclusive = comparable == len(plain.trace) == len(traced.trace)
+        assert (
+            trajectory(plain)[:comparable] == trajectory(traced)[:comparable]
+        ), f"{case['name']}: tracer changed the search trajectory"
+        if fully_conclusive:
+            assert trajectory(plain) == trajectory(traced)
+
+        # Price the disabled path: spans opened per iteration (measured
+        # on the traced twin) times the no-op span cost, relative to the
+        # real per-iteration wall time.
+        span_ends = sum(
+            1 for e in sink.events if e["type"] == "span_end"
+        )
+        iterations = len(plain.trace)
+        spans_per_iteration = span_ends / max(iterations, 1)
+        seconds_per_iteration = plain_wall / max(iterations, 1)
+        disabled_overhead = (
+            spans_per_iteration * per_span / seconds_per_iteration
+        )
+        assert disabled_overhead < MAX_DISABLED_OVERHEAD, (
+            f"{case['name']}: null-tracer overhead "
+            f"{disabled_overhead:.2%} exceeds {MAX_DISABLED_OVERHEAD:.0%}"
+        )
+
+        # The profile must reconcile with the always-on telemetry.
+        profile = PhaseProfile.from_events(sink.events)
+        traced_window = profile.inclusive("solve_window")
+        measured_window = traced.telemetry.total_wall_time
+        assert traced_window == pytest.approx(
+            measured_window, rel=PROFILE_TELEMETRY_TOLERANCE
+        ), (
+            f"{case['name']}: profile solve_window {traced_window:.3f}s "
+            f"vs telemetry {measured_window:.3f}s"
+        )
+
+        payload["cases"][case["name"]] = {
+            "final_latency": plain.achieved,
+            "iterations": iterations,
+            "conclusive_iterations_compared": comparable,
+            "fully_conclusive": fully_conclusive,
+            "wall_time_off": round(plain_wall, 3),
+            "wall_time_on": round(traced_wall, 3),
+            "enabled_overhead": (
+                round(traced_wall / plain_wall - 1.0, 4)
+                if plain_wall > 0
+                else None
+            ),
+            "events_recorded": len(sink.events),
+            "spans_per_iteration": round(spans_per_iteration, 2),
+            "disabled_overhead": round(disabled_overhead, 6),
+            "profile_solve_window_s": round(traced_window, 3),
+            "telemetry_solve_window_s": round(measured_window, 3),
+        }
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_obs_overhead.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )

@@ -24,6 +24,10 @@ Subpackages
     simulator used as an independent semantics oracle.
 ``repro.experiments``
     The harness that regenerates every table and figure of the paper.
+``repro.obs``
+    Span tracing, the structured event stream, Chrome-trace export and
+    phase profiling (attach a :class:`repro.obs.Tracer` via
+    ``SolverSettings(tracer=...)``).
 
 Quickstart::
 
@@ -46,12 +50,15 @@ from repro.core import (
     SolverSettings,
     TemporalPartitioner,
 )
+from repro.obs import JsonlSink, MemorySink, Tracer
 from repro.solve import RunTelemetry, SolveCache, SolveExecutor
 
 __version__ = "1.0.0"
 
 __all__ = [
     "FormulationOptions",
+    "JsonlSink",
+    "MemorySink",
     "PartitionedDesign",
     "PartitionerConfig",
     "PartitionRequest",
@@ -62,5 +69,6 @@ __all__ = [
     "SolveExecutor",
     "SolverSettings",
     "TemporalPartitioner",
+    "Tracer",
     "__version__",
 ]

@@ -17,12 +17,19 @@ Subcommands:
     resulting design points.
 ``table``
     Regenerate one of the paper's tables (1-8).
+``trace``
+    Inspect a recorded trace: ``trace report run.jsonl`` prints the
+    per-phase time profile and span tree, ``trace export-chrome``
+    converts a JSONL event file for ``chrome://tracing`` / Perfetto.
 
 Examples::
 
     repro-tp generate layered --levels 3 --per-level 4 -o g.json
     repro-tp bounds g.json --r-max 700
     repro-tp partition g.json --r-max 700 --m-max 512 --ct 40 --gamma 1
+    repro-tp partition g.json --r-max 700 --trace-jsonl run.jsonl \\
+        --trace-chrome run.trace.json
+    repro-tp trace report run.jsonl
     repro-tp estimate vector-product --length 4 --data-width 8
     repro-tp table 1
 """
@@ -76,6 +83,22 @@ def _load_graph(path: str) -> TaskGraph:
     return graph_io.load_json(Path(path))
 
 
+def _write_text(path_str: str, text: str, label: str) -> Path:
+    """Write an output file, creating parent directories.
+
+    A path that cannot be written (missing permissions, a directory in
+    the way, ...) aborts the command with a clear message instead of a
+    traceback.
+    """
+    path = Path(path_str)
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text)
+    except OSError as exc:
+        raise SystemExit(f"error: cannot write {label} to {path}: {exc}")
+    return path
+
+
 def _cmd_partition(args: argparse.Namespace) -> int:
     graph = _load_graph(args.graph)
     processor = _device(args)
@@ -92,6 +115,23 @@ def _cmd_partition(args: argparse.Namespace) -> int:
             graph = clustering.graph
         else:
             clustering = None
+    tracer = None
+    chrome_events = None
+    if args.trace_jsonl or args.trace_chrome:
+        from repro.obs import JsonlSink, MemorySink, Tracer
+
+        sinks = []
+        if args.trace_jsonl:
+            try:
+                sinks.append(JsonlSink(args.trace_jsonl))
+            except OSError as exc:
+                raise SystemExit(
+                    f"error: cannot write trace to {args.trace_jsonl}: {exc}"
+                )
+        if args.trace_chrome:
+            chrome_events = MemorySink()
+            sinks.append(chrome_events)
+        tracer = Tracer(*sinks)
     if args.backend == "portfolio":
         # Race the scipy/HiGHS backend against the native branch & bound;
         # the first conclusive verdict wins each window solve.
@@ -99,12 +139,14 @@ def _cmd_partition(args: argparse.Namespace) -> int:
             portfolio=("highs", "bnb"),
             time_limit=args.solve_limit,
             enable_cache=not args.no_cache,
+            tracer=tracer,
         )
     else:
         solver = SolverSettings(
             backend=args.backend,
             time_limit=args.solve_limit,
             enable_cache=not args.no_cache,
+            tracer=tracer,
         )
     config = PartitionerConfig(
         search=RefinementConfig(
@@ -118,9 +160,32 @@ def _cmd_partition(args: argparse.Namespace) -> int:
     )
     outcome = TemporalPartitioner(processor, config).partition(graph)
 
+    if tracer is not None:
+        # Every span is closed once the partitioner returns: flush the
+        # JSONL sink and export the Chrome trace now, so the files exist
+        # even when no feasible design was found.
+        tracer.close()
+        if args.trace_jsonl:
+            print(f"trace events written to {args.trace_jsonl}")
+        if args.trace_chrome:
+            from repro.obs import write_chrome_trace
+
+            try:
+                write_chrome_trace(args.trace_chrome, chrome_events.events)
+            except OSError as exc:
+                raise SystemExit(
+                    "error: cannot write chrome trace to "
+                    f"{args.trace_chrome}: {exc}"
+                )
+            print(f"chrome trace written to {args.trace_chrome}")
+
     if args.telemetry_json and outcome.telemetry is not None:
-        Path(args.telemetry_json).write_text(
-            json.dumps(outcome.telemetry.to_dict(include_solves=True), indent=2)
+        _write_text(
+            args.telemetry_json,
+            json.dumps(
+                outcome.telemetry.to_dict(include_solves=True), indent=2
+            ),
+            "telemetry",
         )
         print(f"telemetry written to {args.telemetry_json}")
     if outcome.degraded:
@@ -162,8 +227,10 @@ def _cmd_partition(args: argparse.Namespace) -> int:
         chosen = ", ".join(f"{k}: {v}" for k, v in histogram.items())
         print(f"design points chosen: {chosen}")
     if args.out_json:
-        Path(args.out_json).write_text(
-            json.dumps(outcome.design.as_assignment(), indent=2)
+        _write_text(
+            args.out_json,
+            json.dumps(outcome.design.as_assignment(), indent=2),
+            "assignment",
         )
         print(f"assignment written to {args.out_json}")
     if args.out_dot:
@@ -171,8 +238,8 @@ def _cmd_partition(args: argparse.Namespace) -> int:
             name: outcome.design.partition_of(name)
             for name in graph.task_names
         }
-        Path(args.out_dot).write_text(
-            graph_io.to_dot(graph, partition_of)
+        _write_text(
+            args.out_dot, graph_io.to_dot(graph, partition_of), "DOT file"
         )
         print(f"clustered DOT written to {args.out_dot}")
     return 0
@@ -295,6 +362,42 @@ def _cmd_diagnose(args: argparse.Namespace) -> int:
     return 1
 
 
+def _cmd_trace_report(args: argparse.Namespace) -> int:
+    from repro.obs import PhaseProfile, load_events, render_span_tree
+
+    try:
+        events = load_events(args.file)
+    except OSError as exc:
+        print(f"error: cannot read {args.file}: {exc}", file=sys.stderr)
+        return 1
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    profile = PhaseProfile.from_events(events)
+    print(profile.report(top=args.top))
+    if not args.no_tree:
+        print()
+        print("span tree")
+        print("---------")
+        print(render_span_tree(events, max_depth=args.depth))
+    return 0
+
+
+def _cmd_trace_export(args: argparse.Namespace) -> int:
+    from repro.obs import jsonl_to_chrome
+
+    try:
+        out = jsonl_to_chrome(args.file, args.output)
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(f"chrome trace written to {out}")
+    return 0
+
+
 def _cmd_table(args: argparse.Namespace) -> int:
     from repro.experiments import (
         DCT_EXPERIMENTS,
@@ -358,6 +461,13 @@ def build_parser() -> argparse.ArgumentParser:
                            help="write the assignment as JSON")
     partition.add_argument("--out-dot", default=None,
                            help="write a partition-clustered DOT file")
+    partition.add_argument("--trace-jsonl", default=None,
+                           help="record structured trace events (spans, "
+                           "backend races, cache hits) as JSONL; inspect "
+                           "with 'repro-tp trace report'")
+    partition.add_argument("--trace-chrome", default=None,
+                           help="write a Chrome trace-event-format JSON "
+                           "for chrome://tracing / Perfetto")
     partition.set_defaults(func=_cmd_partition)
 
     bounds_cmd = subparsers.add_parser(
@@ -432,6 +542,29 @@ def build_parser() -> argparse.ArgumentParser:
     table.add_argument("--solve-limit", type=float, default=15.0)
     table.add_argument("--time-budget", type=float, default=300.0)
     table.set_defaults(func=_cmd_table)
+
+    trace = subparsers.add_parser(
+        "trace", help="inspect a recorded trace (JSONL event file)"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    report = trace_sub.add_parser(
+        "report", help="print the phase profile and span tree"
+    )
+    report.add_argument("file", help="JSONL event file (--trace-jsonl)")
+    report.add_argument("--top", type=int, default=15,
+                        help="number of phases to show, default 15")
+    report.add_argument("--no-tree", action="store_true",
+                        help="skip the span tree")
+    report.add_argument("--depth", type=int, default=None,
+                        help="maximum span-tree depth")
+    report.set_defaults(func=_cmd_trace_report)
+    export = trace_sub.add_parser(
+        "export-chrome",
+        help="convert a JSONL event file to Chrome trace-event JSON",
+    )
+    export.add_argument("file", help="JSONL event file (--trace-jsonl)")
+    export.add_argument("output", help="Chrome trace JSON to write")
+    export.set_defaults(func=_cmd_trace_export)
 
     return parser
 

@@ -58,6 +58,7 @@ def cp_solve(
     time_limit: float | None = None,
     stats: CpStats | None = None,
     should_stop: Callable[[], bool] | None = None,
+    tracer=None,
 ) -> PartitionedDesign | None:
     """First assignment with total latency ``<= d_max``, or ``None``.
 
@@ -65,12 +66,16 @@ def cp_solve(
     matching the ILP's equation (9).  ``should_stop`` is a cooperative
     cancellation predicate polled with the other budgets at every node;
     a cancelled search reports ``stats.timed_out`` (it proves nothing).
+    ``tracer`` (:class:`repro.obs.Tracer`) receives periodic
+    ``cp_checkpoint`` events with the node and backtrack counters.
     """
     if num_partitions < 1:
         raise ValueError("need at least one partition")
     stats = stats if stats is not None else CpStats()
     start = time.perf_counter()
     deadline = None if time_limit is None else start + time_limit
+    checkpoint_every = 10_000
+    next_checkpoint = checkpoint_every
 
     order = graph.topological_order()
     n = num_partitions
@@ -127,6 +132,7 @@ def cp_solve(
         return False
 
     def place(index: int) -> bool:
+        nonlocal next_checkpoint
         if index == len(order):
             return True
         if out_of_budget():
@@ -155,6 +161,14 @@ def cp_solve(
                 ):
                     continue
                 stats.nodes += 1
+                if tracer is not None and stats.nodes >= next_checkpoint:
+                    next_checkpoint += checkpoint_every
+                    tracer.event(
+                        "cp_checkpoint",
+                        nodes=stats.nodes,
+                        backtracks=stats.backtracks,
+                        depth=index,
+                    )
                 arrival = max(
                     (
                         finish[pred]

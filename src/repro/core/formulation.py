@@ -560,28 +560,38 @@ class ModelTemplate:
         processor: ReconfigurableProcessor,
         num_partitions: int,
         options: FormulationOptions | None = None,
+        tracer=None,
     ) -> None:
+        from repro.obs.tracer import as_tracer
         from repro.solve.fingerprint import WINDOW_ROW_NAMES
 
         if num_partitions < 1:
             raise ValueError("need at least one partition")
+        tracer = as_tracer(tracer)
         self.graph = graph
         self.processor = processor
         self.num_partitions = num_partitions
         self.options = options or FormulationOptions()
-        model, y_name, d_name = _populate_ilp(
-            graph,
-            processor,
-            num_partitions,
-            self.options,
-            d_max=0.0,
-            d_min=0.0,
-            force_lb=True,
-        )
+        with tracer.span("template_populate", num_partitions=num_partitions):
+            model, y_name, d_name = _populate_ilp(
+                graph,
+                processor,
+                num_partitions,
+                self.options,
+                d_max=0.0,
+                d_min=0.0,
+                force_lb=True,
+            )
         self._model = model
         self._y_name = y_name
         self._d_name = d_name
-        compiled = model.compile()
+        with tracer.span("template_compile") as sp:
+            compiled = model.compile()
+            sp.annotate(
+                ub_rows=compiled.num_ub_rows,
+                eq_rows=compiled.num_eq_rows,
+                vars=compiled.num_vars,
+            )
         kind_ub, self._ub_row = compiled.row_position("latency_ub")
         kind_lb, self._lb_row = compiled.row_position("latency_lb")
         last = compiled.num_ub_rows - 1
@@ -603,9 +613,10 @@ class ModelTemplate:
         #: every instantiation, so per-window fingerprints are composed
         #: without hashing (see :func:`repro.solve.fingerprint
         #: .fingerprint_model`).
-        self.base_fingerprint = compiled.fingerprint(
-            skip_rows=WINDOW_ROW_NAMES
-        )
+        with tracer.span("template_fingerprint"):
+            self.base_fingerprint = compiled.fingerprint(
+                skip_rows=WINDOW_ROW_NAMES
+            )
 
     def instantiate(
         self, d_min: float, d_max: float

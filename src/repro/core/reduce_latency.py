@@ -94,6 +94,15 @@ class SolverSettings:
         When every backend times out, fall back to the greedy
         level-packing heuristics and mark the outcome ``degraded=True``
         instead of silently reporting infeasibility.
+    tracer:
+        Optional :class:`repro.obs.Tracer` recording spans and events
+        for every layer of the run (search iterations, window solves,
+        backend attempts, model preparation).  ``None`` — the default —
+        routes all instrumentation to the no-op
+        :data:`repro.obs.NULL_TRACER`; :class:`RunTelemetry` stays the
+        cheap always-on aggregate either way.  Excluded from equality
+        so settings compare by solver behavior, which tracing never
+        changes.
     """
 
     backend: str = "highs"
@@ -106,6 +115,7 @@ class SolverSettings:
     reuse_templates: bool = True
     heuristic_fallback: bool = True
     extra: dict = field(default_factory=dict)
+    tracer: "object | None" = field(default=None, repr=False, compare=False)
 
 
 @dataclass
@@ -163,89 +173,119 @@ def reduce_latency(
     settings = settings or SolverSettings()
     if executor is None:
         executor = SolveExecutor(settings)
+    # The executor's tracer is the run's tracer: sharing an executor
+    # across calls keeps every span in one tree.
+    tracer = executor.tracer
     trace = SearchTrace()
     iteration = 1
     degraded = False
 
-    def result(design, achieved) -> ReduceLatencyResult:
-        return ReduceLatencyResult(
-            num_partitions,
-            design,
-            achieved,
-            trace,
-            degraded=degraded,
-            telemetry=executor.telemetry,
-        )
+    with tracer.span(
+        "reduce_latency",
+        num_partitions=num_partitions,
+        d_min=float(d_min),
+        d_max=float(d_max),
+        delta=float(delta),
+    ) as rl_span:
 
-    if settings.use_lp_bound:
-        # Extension: windows below the LP-relaxation latency bound are
-        # provably empty; raising D_min to the bound keeps every bisection
-        # trial in the region where solutions may exist.
-        lp_bound = lp_latency_lower_bound(
-            graph, processor, num_partitions, options
-        )
-        if lp_bound > d_max:
+        def result(design, achieved) -> ReduceLatencyResult:
+            rl_span.annotate(
+                feasible=design is not None,
+                achieved=achieved,
+                iterations=len(trace),
+                degraded=degraded,
+            )
+            return ReduceLatencyResult(
+                num_partitions,
+                design,
+                achieved,
+                trace,
+                degraded=degraded,
+                telemetry=executor.telemetry,
+            )
+
+        if settings.use_lp_bound:
+            # Extension: windows below the LP-relaxation latency bound are
+            # provably empty; raising D_min to the bound keeps every
+            # bisection trial in the region where solutions may exist.
+            with tracer.span("lp_bound", num_partitions=num_partitions) as sp:
+                lp_bound = lp_latency_lower_bound(
+                    graph, processor, num_partitions, options
+                )
+                sp.annotate(bound=lp_bound)
+            if lp_bound > d_max:
+                tracer.event(
+                    "lp_bound_prunes_window", bound=lp_bound, d_max=d_max
+                )
+                trace.add(
+                    IterationRecord(
+                        num_partitions=num_partitions,
+                        iteration=iteration,
+                        d_max=d_max,
+                        d_min=d_min,
+                        achieved=None,
+                    )
+                )
+                return result(None, None)
+            d_min = max(d_min, lp_bound)
+
+        def solve(window_max: float, window_min: float) -> WindowOutcome:
+            nonlocal iteration, degraded
+            with tracer.span(
+                "iteration",
+                iteration=iteration,
+                num_partitions=num_partitions,
+                d_min=float(window_min),
+                d_max=float(window_max),
+            ):
+                outcome = executor.solve_window(
+                    graph,
+                    processor,
+                    num_partitions,
+                    window_max,
+                    window_min,
+                    options,
+                    deadline=deadline,
+                )
+            degraded = degraded or outcome.degraded
             trace.add(
                 IterationRecord(
                     num_partitions=num_partitions,
                     iteration=iteration,
-                    d_max=d_max,
-                    d_min=d_min,
-                    achieved=None,
+                    d_max=window_max,
+                    d_min=window_min,
+                    achieved=outcome.achieved,
+                    wall_time=outcome.wall_time,
+                    solver_iterations=outcome.iterations,
+                    backend=outcome.backend,
+                    cache_hit=outcome.cache_hit,
+                    degraded=outcome.degraded,
                 )
             )
+            iteration += 1
+            return outcome
+
+        # First call on the full window.
+        first = solve(d_max, d_min)
+        if first.design is None:
             return result(None, None)
-        d_min = max(d_min, lp_bound)
+        achieved = first.achieved
+        best = first.design
 
-    def solve(window_max: float, window_min: float) -> WindowOutcome:
-        nonlocal iteration, degraded
-        outcome = executor.solve_window(
-            graph,
-            processor,
-            num_partitions,
-            window_max,
-            window_min,
-            options,
-            deadline=deadline,
-        )
-        degraded = degraded or outcome.degraded
-        trace.add(
-            IterationRecord(
-                num_partitions=num_partitions,
-                iteration=iteration,
-                d_max=window_max,
-                d_min=window_min,
-                achieved=outcome.achieved,
-                wall_time=outcome.wall_time,
-                solver_iterations=outcome.iterations,
-                backend=outcome.backend,
-                cache_hit=outcome.cache_hit,
-                degraded=outcome.degraded,
-            )
-        )
-        iteration += 1
-        return outcome
-
-    # First call on the full window.
-    first = solve(d_max, d_min)
-    if first.design is None:
-        return result(None, None)
-    achieved = first.achieved
-    best = first.design
-
-    while (d_max - d_min >= delta) and (achieved - d_min >= delta):
-        if deadline is not None and time.perf_counter() > deadline:
-            break
-        # Bisect, then keep halving until the trial bound undercuts the
-        # incumbent — otherwise the solve could return the same solution.
-        trial = (d_max + d_min) / 2.0
-        while trial >= achieved:
-            trial = (trial + d_min) / 2.0
-        candidate = solve(trial, d_min)
-        if candidate.design is None:
-            d_min = trial
-        else:
-            achieved = candidate.achieved
-            best = candidate.design
-            d_max = achieved
-    return result(best, achieved)
+        while (d_max - d_min >= delta) and (achieved - d_min >= delta):
+            if deadline is not None and time.perf_counter() > deadline:
+                tracer.event("deadline_expired", phase="bisection")
+                break
+            # Bisect, then keep halving until the trial bound undercuts the
+            # incumbent — otherwise the solve could return the same solution.
+            trial = (d_max + d_min) / 2.0
+            while trial >= achieved:
+                trial = (trial + d_min) / 2.0
+            candidate = solve(trial, d_min)
+            if candidate.design is None:
+                d_min = trial
+            else:
+                achieved = candidate.achieved
+                best = candidate.design
+                d_max = achieved
+        return result(best, achieved)

@@ -128,6 +128,7 @@ def refine_partitions_bound(
     settings = settings or SolverSettings()
     if executor is None:
         executor = SolveExecutor(settings)
+    tracer = executor.tracer
     deadline = (
         time.perf_counter() + config.time_budget
         if config.time_budget is not None
@@ -148,82 +149,126 @@ def refine_partitions_bound(
     explored: list[int] = []
     degraded = False
 
-    def run_reduce(num_partitions, d_max, d_min) -> ReduceLatencyResult:
-        nonlocal degraded
-        result = reduce_latency(
-            graph,
-            processor,
-            num_partitions,
-            d_max,
-            d_min,
-            delta,
-            options=options,
-            settings=settings,
-            deadline=deadline,
-            executor=executor,
-        )
-        trace.extend(result.trace)
-        explored.append(num_partitions)
-        degraded = degraded or result.degraded
-        return result
+    with tracer.span(
+        "refine_partitions",
+        n_start=prange.start,
+        n_stop=prange.stop,
+        delta=float(delta),
+    ) as root_span:
 
-    # Phase 1: find the first feasible partition bound.
-    result = run_reduce(
-        n, bounds.max_latency(graph, n, c_t), bounds.min_latency(graph, n, c_t)
-    )
-    escalations = 0
-    while not result.feasible:
-        if time_expired():
-            return RefinementResult(
-                None, None, trace, tuple(explored), delta,
-                stopped_by_time=True,
-                degraded=degraded,
-                telemetry=executor.telemetry,
-            )
-        escalations += 1
-        if escalations > config.infeasible_escalation_limit:
-            return RefinementResult(
-                None, None, trace, tuple(explored), delta,
-                degraded=degraded,
-                telemetry=executor.telemetry,
-            )
-        n += 1
+        def run_reduce(
+            num_partitions, d_max, d_min, phase
+        ) -> ReduceLatencyResult:
+            nonlocal degraded
+            with tracer.span(
+                "partition_bound",
+                num_partitions=num_partitions,
+                phase=phase,
+                d_min=float(d_min),
+                d_max=float(d_max),
+            ) as sp:
+                result = reduce_latency(
+                    graph,
+                    processor,
+                    num_partitions,
+                    d_max,
+                    d_min,
+                    delta,
+                    options=options,
+                    settings=settings,
+                    deadline=deadline,
+                    executor=executor,
+                )
+                sp.annotate(
+                    feasible=result.feasible, achieved=result.achieved
+                )
+            trace.extend(result.trace)
+            explored.append(num_partitions)
+            degraded = degraded or result.degraded
+            return result
+
+        # Phase 1: find the first feasible partition bound.
         result = run_reduce(
             n,
             bounds.max_latency(graph, n, c_t),
             bounds.min_latency(graph, n, c_t),
+            phase="escalate",
         )
+        escalations = 0
+        while not result.feasible:
+            if time_expired():
+                tracer.event("time_budget_expired", phase="escalate")
+                root_span.annotate(feasible=False, stopped_by_time=True)
+                return RefinementResult(
+                    None, None, trace, tuple(explored), delta,
+                    stopped_by_time=True,
+                    degraded=degraded,
+                    telemetry=executor.telemetry,
+                )
+            escalations += 1
+            if escalations > config.infeasible_escalation_limit:
+                tracer.event(
+                    "escalation_limit_reached", escalations=escalations
+                )
+                root_span.annotate(feasible=False)
+                return RefinementResult(
+                    None, None, trace, tuple(explored), delta,
+                    degraded=degraded,
+                    telemetry=executor.telemetry,
+                )
+            n += 1
+            result = run_reduce(
+                n,
+                bounds.max_latency(graph, n, c_t),
+                bounds.min_latency(graph, n, c_t),
+                phase="escalate",
+            )
 
-    best_design = result.design
-    best_latency = result.achieved
-    stopped_by_cut = False
-    stopped_by_time = False
+        best_design = result.design
+        best_latency = result.achieved
+        stopped_by_cut = False
+        stopped_by_time = False
 
-    # Phase 2: relax N while better solutions remain possible.
-    while n < prange.stop:
-        if time_expired():
-            stopped_by_time = True
-            break
-        n += 1
-        d_min = bounds.min_latency(graph, n, c_t)
-        if d_min >= best_latency:
-            # Even the fastest possible schedule at N partitions loses to
-            # the incumbent: no relaxation can help (large-C_T early exit).
-            stopped_by_cut = True
-            break
-        result = run_reduce(n, best_latency, d_min)
-        if result.feasible and result.achieved < best_latency:
-            best_design = result.design
-            best_latency = result.achieved
+        # Phase 2: relax N while better solutions remain possible.
+        while n < prange.stop:
+            if time_expired():
+                tracer.event("time_budget_expired", phase="relax")
+                stopped_by_time = True
+                break
+            n += 1
+            d_min = bounds.min_latency(graph, n, c_t)
+            if d_min >= best_latency:
+                # Even the fastest possible schedule at N partitions loses
+                # to the incumbent: no relaxation can help (large-C_T
+                # early exit).
+                tracer.event(
+                    "min_latency_cut",
+                    num_partitions=n,
+                    min_latency=d_min,
+                    incumbent=best_latency,
+                )
+                stopped_by_cut = True
+                break
+            result = run_reduce(n, best_latency, d_min, phase="relax")
+            if result.feasible and result.achieved < best_latency:
+                best_design = result.design
+                best_latency = result.achieved
 
-    return RefinementResult(
-        design=best_design,
-        achieved=best_latency,
-        trace=trace,
-        explored_partitions=tuple(explored),
-        delta=delta,
-        stopped_by_min_latency_cut=stopped_by_cut,
-        stopped_by_time=stopped_by_time,
-        degraded=degraded,
-        telemetry=executor.telemetry,
-    )
+        root_span.annotate(
+            feasible=best_design is not None,
+            achieved=best_latency,
+            explored=len(explored),
+            stopped_by_min_latency_cut=stopped_by_cut,
+            stopped_by_time=stopped_by_time,
+        )
+        return RefinementResult(
+            design=best_design,
+            achieved=best_latency,
+            trace=trace,
+            explored_partitions=tuple(explored),
+            delta=delta,
+            stopped_by_min_latency_cut=stopped_by_cut,
+            stopped_by_time=stopped_by_time,
+            degraded=degraded,
+            telemetry=executor.telemetry,
+        )

@@ -132,16 +132,36 @@ def run_experiment(
     experiment: DctExperiment,
     graph: TaskGraph,
     options: FormulationOptions | None = None,
+    tracer=None,
 ) -> ExperimentResult:
-    """Execute one experiment on ``graph`` and collect its trace."""
+    """Execute one experiment on ``graph`` and collect its trace.
+
+    ``tracer`` (:class:`repro.obs.Tracer`) wraps the run in an
+    ``experiment`` span; it is installed on the solver settings, so the
+    whole pipeline below records into it.
+    """
+    settings = experiment.solver
+    if tracer is not None:
+        from dataclasses import replace as _replace
+
+        settings = _replace(settings, tracer=tracer)
+    from repro.obs.tracer import as_tracer
+
     start = time.perf_counter()
-    result = refine_partitions_bound(
-        graph,
-        experiment.processor(),
-        config=experiment.config(),
-        options=options,
-        settings=experiment.solver,
-    )
+    with as_tracer(tracer).span(
+        "experiment",
+        table=experiment.table,
+        r_max=experiment.resource_capacity,
+        c_t=experiment.reconfiguration_time,
+        delta=experiment.delta,
+    ):
+        result = refine_partitions_bound(
+            graph,
+            experiment.processor(),
+            config=experiment.config(),
+            options=options,
+            settings=settings,
+        )
     return ExperimentResult(
         experiment=experiment,
         result=result,

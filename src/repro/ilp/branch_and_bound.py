@@ -54,6 +54,11 @@ class BnbOptions:
     #: Rounds of knapsack cover cuts separated at the root node (0 = off).
     #: Valid for all integer points; tightens packing relaxations.
     root_cuts: int = 0
+    #: Optional :class:`repro.obs.Tracer`: a ``bnb_checkpoint`` event
+    #: (nodes, incumbent, bound, stack depth) is emitted every
+    #: ``checkpoint_every`` explored nodes.
+    tracer: object | None = None
+    checkpoint_every: int = 1000
 
 
 @dataclass
@@ -206,6 +211,19 @@ def branch_and_bound(form, options: BnbOptions | None = None) -> BnbResult:
             continue
         status, x, objective = solve_node(node.lb, node.ub)
         nodes_explored += 1
+        if (
+            options.tracer is not None
+            and nodes_explored % options.checkpoint_every == 0
+        ):
+            options.tracer.event(
+                "bnb_checkpoint",
+                nodes=nodes_explored,
+                incumbent=(
+                    incumbent_obj if math.isfinite(incumbent_obj) else None
+                ),
+                best_bound=best_bound if math.isfinite(best_bound) else None,
+                stack_depth=len(stack),
+            )
         if status is SolveStatus.INFEASIBLE:
             continue
         if status is SolveStatus.UNBOUNDED:
@@ -313,6 +331,7 @@ def solve_with_bnb(model, **options) -> Solution:
         node_limit=options.get("node_limit") or 200_000,
         time_limit=options.get("time_limit"),
         should_stop=options.get("should_stop"),
+        tracer=options.get("tracer"),
     )
     if "dive_every" in options:
         bnb_options.dive_every = options["dive_every"]

@@ -349,16 +349,35 @@ def solve_compiled(
 
 
 def _dispatch(target, maximize: bool, backend: str, **options) -> Solution:
-    """Run a backend on a Model or CompiledModel and normalize the result."""
+    """Run a backend on a Model or CompiledModel and normalize the result.
+
+    An optional ``tracer`` (:class:`repro.obs.Tracer`) wraps the backend
+    call in an ``ilp:<backend>`` span; it is forwarded into the backend
+    only when the backend's signature can take it, so externally
+    registered solvers never see an unexpected keyword.
+    """
+    tracer = options.pop("tracer", None)
     try:
         solver = _BACKENDS[backend]
     except KeyError:
         raise BackendNotAvailableError(
             f"unknown backend {backend!r}; available: {sorted(_BACKENDS)}"
         ) from None
-    start = time.perf_counter()
-    solution = solver(target, **options)
-    elapsed = time.perf_counter() - start
+    if tracer is not None and getattr(tracer, "enabled", False):
+        if _accepts_tracer(solver):
+            options["tracer"] = tracer
+        with tracer.span(f"ilp:{backend}", backend=backend) as span:
+            start = time.perf_counter()
+            solution = solver(target, **options)
+            elapsed = time.perf_counter() - start
+            span.annotate(
+                status=solution.status.value,
+                iterations=solution.iterations,
+            )
+    else:
+        start = time.perf_counter()
+        solution = solver(target, **options)
+        elapsed = time.perf_counter() - start
     objective = solution.objective
     if maximize and not math.isnan(objective):
         # The compiled form negates MAXIMIZE objectives; undo for reporting.
@@ -374,6 +393,28 @@ def _dispatch(target, maximize: bool, backend: str, **options) -> Solution:
         wall_time=elapsed,
         bound=bound,
     )
+
+
+_TRACER_SUPPORT: dict[int, bool] = {}
+
+
+def _accepts_tracer(solver: Callable) -> bool:
+    """Whether ``solver`` can be called with a ``tracer=`` keyword."""
+    key = id(solver)
+    cached = _TRACER_SUPPORT.get(key)
+    if cached is None:
+        import inspect
+
+        try:
+            params = inspect.signature(solver).parameters
+            cached = "tracer" in params or any(
+                p.kind is inspect.Parameter.VAR_KEYWORD
+                for p in params.values()
+            )
+        except (TypeError, ValueError):  # builtins without signatures
+            cached = False
+        _TRACER_SUPPORT[key] = cached
+    return cached
 
 
 # -- backend registry -----------------------------------------------------------

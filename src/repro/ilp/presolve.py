@@ -65,12 +65,28 @@ def _row_activity(
     return float(coefs @ low_ends), float(coefs @ high_ends)
 
 
-def presolve(model, max_rounds: int = 5) -> PresolveResult:
+def presolve(model, max_rounds: int = 5, tracer=None) -> PresolveResult:
     """Return a reduced, equivalent model (or a proof of infeasibility).
 
     ``model`` may be a :class:`repro.ilp.model.Model` or an already
-    compiled :class:`repro.ilp.compile.CompiledModel`.
+    compiled :class:`repro.ilp.compile.CompiledModel`.  A ``tracer``
+    (:class:`repro.obs.Tracer`) records the reductions in a
+    ``presolve`` span.
     """
+    from repro.obs.tracer import as_tracer
+
+    with as_tracer(tracer).span("presolve") as span:
+        result = _presolve(model, max_rounds)
+        span.annotate(
+            proven_infeasible=result.proven_infeasible,
+            rows_removed=result.rows_removed,
+            bounds_tightened=result.bounds_tightened,
+            fixed_variables=len(result.fixed_variables),
+        )
+    return result
+
+
+def _presolve(model, max_rounds: int) -> PresolveResult:
     compiled: CompiledModel = ensure_compiled(model)
     lb = compiled.lb.astype(float).copy()
     ub = compiled.ub.astype(float).copy()

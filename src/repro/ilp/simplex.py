@@ -349,6 +349,13 @@ def solve_with_simplex(model, **options) -> Solution:
         max_iters=options.get("max_iters", 20_000),
         time_limit=options.get("time_limit"),
     )
+    tracer = options.get("tracer")
+    if tracer is not None:
+        tracer.event(
+            "simplex_done",
+            status=result.status.value,
+            pivots=result.iterations,
+        )
     values: dict[str, float] = {}
     objective = math.nan
     if result.status is SolveStatus.OPTIMAL and result.x is not None:

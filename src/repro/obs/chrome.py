@@ -1,0 +1,169 @@
+"""Chrome trace-event-format export.
+
+Converts the event stream of :mod:`repro.obs.tracer` into the JSON
+object format understood by ``chrome://tracing`` and
+`Perfetto <https://ui.perfetto.dev>`_: spans become complete (``"X"``)
+events with microsecond timestamps, instantaneous events become
+``"i"`` events, and per-thread metadata rows name the lanes after the
+originating Python threads.  :func:`validate_chrome_trace` checks a
+payload against the format's structural rules — used by the CI smoke
+job (``tools/check_chrome_trace.py``) and the observability tests.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+__all__ = [
+    "chrome_trace",
+    "write_chrome_trace",
+    "jsonl_to_chrome",
+    "validate_chrome_trace",
+]
+
+#: Synthetic process id for the whole run (single-process system).
+_PID = 1
+
+
+def chrome_trace(events: Iterable[dict]) -> dict:
+    """Build a trace-event-format payload from tracer events.
+
+    ``span_end`` records map to complete events (one per span, with the
+    span's attributes as ``args``); ``event`` records map to
+    thread-scoped instant events.  ``span_start`` records are skipped —
+    the complete event already carries both endpoints.
+    """
+    trace_events: list[dict] = []
+    tids: dict[str, int] = {}
+
+    def tid_for(thread: str) -> int:
+        if thread not in tids:
+            tids[thread] = len(tids) + 1
+        return tids[thread]
+
+    for event in events:
+        kind = event.get("type")
+        thread = str(event.get("thread", "main"))
+        if kind == "span_end":
+            args = dict(event.get("attrs", {}))
+            args["span_id"] = event.get("span_id")
+            if event.get("parent_id") is not None:
+                args["parent_id"] = event["parent_id"]
+            if event.get("process_dur") is not None:
+                args["process_time_s"] = event["process_dur"]
+            if event.get("status") and event["status"] != "ok":
+                args["status"] = event["status"]
+            trace_events.append(
+                {
+                    "name": str(event.get("name", "?")),
+                    "ph": "X",
+                    "ts": float(event.get("t_start", 0.0)) * 1e6,
+                    "dur": max(float(event.get("dur", 0.0)), 0.0) * 1e6,
+                    "pid": _PID,
+                    "tid": tid_for(thread),
+                    "cat": "span",
+                    "args": args,
+                }
+            )
+        elif kind == "event":
+            args = dict(event.get("attrs", {}))
+            if event.get("span_id") is not None:
+                args["span_id"] = event["span_id"]
+            trace_events.append(
+                {
+                    "name": str(event.get("name", "?")),
+                    "ph": "i",
+                    "ts": float(event.get("ts", 0.0)) * 1e6,
+                    "pid": _PID,
+                    "tid": tid_for(thread),
+                    "cat": "event",
+                    "s": "t",
+                    "args": args,
+                }
+            )
+
+    metadata = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": _PID,
+            "args": {"name": "repro solve pipeline"},
+        }
+    ]
+    for thread, tid in tids.items():
+        metadata.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": _PID,
+                "tid": tid,
+                "args": {"name": thread},
+            }
+        )
+    return {"traceEvents": metadata + trace_events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path: str | Path, events: Iterable[dict]) -> Path:
+    """Serialize :func:`chrome_trace` of ``events`` to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(chrome_trace(events), default=str, indent=1))
+    return path
+
+
+def jsonl_to_chrome(jsonl_path: str | Path, out_path: str | Path) -> Path:
+    """Convert a JSONL event file to a Chrome trace file."""
+    from repro.obs.profile import load_events
+
+    return write_chrome_trace(out_path, load_events(jsonl_path))
+
+
+def validate_chrome_trace(payload) -> list[str]:
+    """Structural validation of a trace-event-format payload.
+
+    Returns a list of problems (empty when the payload is well-formed):
+    the JSON-object envelope, the per-event required keys, the phase
+    codes this exporter produces, non-negative microsecond timestamps
+    and durations, and consistent pid/tid typing.
+    """
+    problems: list[str] = []
+    if not isinstance(payload, dict):
+        return [f"top level must be an object, got {type(payload).__name__}"]
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents must be a list"]
+    if not events:
+        problems.append("traceEvents is empty")
+    known_phases = {"X", "i", "I", "M", "B", "E", "b", "e", "n", "C"}
+    for position, event in enumerate(events):
+        where = f"traceEvents[{position}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        phase = event.get("ph")
+        if phase not in known_phases:
+            problems.append(f"{where}: unknown phase {phase!r}")
+            continue
+        if not isinstance(event.get("name"), str) or not event.get("name"):
+            problems.append(f"{where}: missing or empty name")
+        if "pid" not in event:
+            problems.append(f"{where}: missing pid")
+        if phase == "M":
+            continue  # metadata rows need no timestamp
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"{where}: bad ts {ts!r}")
+        if "tid" not in event:
+            problems.append(f"{where}: missing tid")
+        if phase == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: complete event with bad dur {dur!r}")
+        if phase in ("i", "I") and event.get("s") not in (None, "t", "p", "g"):
+            problems.append(f"{where}: bad instant scope {event.get('s')!r}")
+        args = event.get("args")
+        if args is not None and not isinstance(args, dict):
+            problems.append(f"{where}: args must be an object")
+    return problems

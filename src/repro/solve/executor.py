@@ -41,6 +41,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.ilp.status import SolveStatus
+from repro.obs.tracer import as_tracer
 from repro.solve.cache import SolveCache
 from repro.solve.fingerprint import ModelFingerprint, fingerprint_model
 from repro.solve.portfolio import AttemptFn, SolveAttempt, race_backends
@@ -97,6 +98,10 @@ class SolveExecutor:
 
             settings = SolverSettings()
         self.settings = settings
+        #: The run's tracer (``settings.tracer`` or the no-op
+        #: :data:`repro.obs.NULL_TRACER`).  Search drivers trace through
+        #: this attribute so a shared executor keeps one span tree.
+        self.tracer = as_tracer(getattr(settings, "tracer", None))
         use_cache = getattr(settings, "enable_cache", True)
         self.cache = cache if cache is not None else (
             SolveCache() if use_cache else None
@@ -170,7 +175,13 @@ class SolveExecutor:
         key = (id(graph), id(processor), num_partitions, options)
         template = self._templates.get(key)
         if template is None:
-            template = ModelTemplate(graph, processor, num_partitions, options)
+            with self.tracer.span(
+                "template_build", num_partitions=num_partitions
+            ):
+                template = ModelTemplate(
+                    graph, processor, num_partitions, options,
+                    tracer=self.tracer,
+                )
             self._templates[key] = template
             self.telemetry.template_builds += 1
         return template
@@ -203,73 +214,121 @@ class SolveExecutor:
         from repro.core.formulation import build_model
 
         start = time.perf_counter()
-        options = self._effective_options(options)
-        if self.reuse_templates:
-            template = self.template_for(
-                graph, processor, num_partitions, options
-            )
-            tp_model = template.instantiate(d_min, d_max)
-            self.telemetry.template_instantiations += 1
-        else:
-            tp_model = build_model(
-                graph, processor, num_partitions, d_max, d_min, options
-            )
+        tracer = self.tracer
+        with tracer.span(
+            "solve_window",
+            num_partitions=num_partitions,
+            d_min=float(d_min),
+            d_max=float(d_max),
+        ):
+            options = self._effective_options(options)
+            if self.reuse_templates:
+                template = self.template_for(
+                    graph, processor, num_partitions, options
+                )
+                with tracer.span("template_instantiate"):
+                    tp_model = template.instantiate(d_min, d_max)
+                self.telemetry.template_instantiations += 1
+            else:
+                with tracer.span(
+                    "build_model", num_partitions=num_partitions
+                ):
+                    tp_model = build_model(
+                        graph, processor, num_partitions, d_max, d_min,
+                        options,
+                    )
 
-        fp: ModelFingerprint | None = None
-        if self.cache is not None:
-            fp = fingerprint_model(tp_model)
-            hit = self.cache.lookup(fp)
-            if hit is not None:
-                return self._from_cache(hit, num_partitions, d_min, d_max, start)
+            fp: ModelFingerprint | None = None
+            if self.cache is not None:
+                fp = fingerprint_model(tp_model)
+                hit = self.cache.lookup(fp)
+                if hit is not None:
+                    tracer.event(
+                        "cache_hit",
+                        rule=hit.rule,
+                        feasible=hit.verdict.feasible,
+                    )
+                    return self._from_cache(
+                        hit, num_partitions, d_min, d_max, start
+                    )
+                tracer.event("cache_miss")
 
-        budget = self._remaining_budget(deadline)
-        if budget is not None and budget <= 0.0:
-            # The overall deadline is already spent: degrade immediately.
+            budget = self._remaining_budget(deadline)
+            if budget is not None and budget <= 0.0:
+                # The overall deadline is already spent: degrade
+                # immediately.
+                tracer.event("deadline_expired", phase="pre_solve")
+                return self._degrade(
+                    graph, processor, num_partitions, d_max, d_min,
+                    options, fp, start, timed_out=True,
+                )
+
+            attempts = self._build_attempts(
+                tp_model, graph, processor, num_partitions, d_max, options,
+                budget,
+            )
+            winner, completed = race_backends(attempts, tracer=tracer)
+            for attempt in completed:
+                self.telemetry.add_backend_wall(
+                    attempt.backend, attempt.wall_time
+                )
+                # Count budget exhaustion only when the race as a whole
+                # was inconclusive — a loser cancelled mid-race also
+                # reports TIME_LIMIT, but nothing actually timed out then.
+                if winner is None and attempt.status in (
+                    SolveStatus.TIME_LIMIT,
+                    SolveStatus.NODE_LIMIT,
+                ):
+                    self.telemetry.timeouts += 1
+                    tracer.event(
+                        "backend_timeout",
+                        backend=attempt.backend,
+                        status=attempt.status.value,
+                        wall_time=attempt.wall_time,
+                    )
+                elif winner is not None and attempt is winner:
+                    tracer.event(
+                        "backend_win",
+                        backend=attempt.backend,
+                        status=attempt.status.value,
+                        wall_time=attempt.wall_time,
+                        contenders=len(attempts),
+                    )
+                else:
+                    tracer.event(
+                        "backend_loss",
+                        backend=attempt.backend,
+                        status=attempt.status.value,
+                        wall_time=attempt.wall_time,
+                        cancelled=attempt.status
+                        in (SolveStatus.TIME_LIMIT, SolveStatus.NODE_LIMIT),
+                    )
+
+            if winner is not None and winner.design is not None:
+                achieved = winner.design.total_latency(processor)
+                if fp is not None:
+                    self.cache.store_feasible(
+                        fp, winner.design, achieved, backend=winner.backend
+                    )
+                return self._conclude(
+                    winner.design, achieved, winner.status, winner.backend,
+                    num_partitions, d_min, d_max, start,
+                    iterations=winner.iterations,
+                )
+            if winner is not None:  # proven INFEASIBLE (or UNBOUNDED)
+                if fp is not None and winner.status is SolveStatus.INFEASIBLE:
+                    self.cache.store_infeasible(fp, backend=winner.backend)
+                return self._conclude(
+                    None, None, winner.status, winner.backend,
+                    num_partitions, d_min, d_max, start,
+                    iterations=winner.iterations,
+                )
+
+            # Every backend ran out of budget (or crashed): degrade.
             return self._degrade(
                 graph, processor, num_partitions, d_max, d_min,
                 options, fp, start, timed_out=True,
             )
-
-        attempts = self._build_attempts(
-            tp_model, graph, processor, num_partitions, d_max, options, budget
-        )
-        winner, completed = race_backends(attempts)
-        for attempt in completed:
-            self.telemetry.add_backend_wall(attempt.backend, attempt.wall_time)
-            # Count budget exhaustion only when the race as a whole was
-            # inconclusive — a loser cancelled mid-race also reports
-            # TIME_LIMIT, but nothing actually timed out then.
-            if winner is None and attempt.status in (
-                SolveStatus.TIME_LIMIT,
-                SolveStatus.NODE_LIMIT,
-            ):
-                self.telemetry.timeouts += 1
-
-        if winner is not None and winner.design is not None:
-            achieved = winner.design.total_latency(processor)
-            if fp is not None:
-                self.cache.store_feasible(
-                    fp, winner.design, achieved, backend=winner.backend
-                )
-            return self._conclude(
-                winner.design, achieved, winner.status, winner.backend,
-                num_partitions, d_min, d_max, start,
-                iterations=winner.iterations,
-            )
-        if winner is not None:  # proven INFEASIBLE (or UNBOUNDED)
-            if fp is not None and winner.status is SolveStatus.INFEASIBLE:
-                self.cache.store_infeasible(fp, backend=winner.backend)
-            return self._conclude(
-                None, None, winner.status, winner.backend,
-                num_partitions, d_min, d_max, start,
-                iterations=winner.iterations,
-            )
-
-        # Every backend ran out of budget (or crashed): degrade.
-        return self._degrade(
-            graph, processor, num_partitions, d_max, d_min,
-            options, fp, start, timed_out=True,
-        )
 
     # -- outcome assembly ----------------------------------------------------
 
@@ -295,6 +354,27 @@ class SolveExecutor:
             backend=backend,
             wall_time=wall,
             iterations=iterations,
+            cache_hit=cache_hit,
+            degraded=degraded,
+        )
+        span = self.tracer.current_span()
+        if span is not None:
+            span.annotate(
+                backend=backend,
+                status=status.value,
+                cache_hit=cache_hit,
+                degraded=degraded,
+                feasible=design is not None,
+            )
+        self.tracer.event(
+            "window_verdict",
+            num_partitions=num_partitions,
+            d_min=d_min,
+            d_max=d_max,
+            feasible=design is not None,
+            achieved=achieved,
+            backend=backend,
+            status=status.value,
             cache_hit=cache_hit,
             degraded=degraded,
         )
@@ -350,30 +430,42 @@ class SolveExecutor:
         if getattr(self.settings, "heuristic_fallback", True):
             from repro.core.heuristics import greedy_partition
 
-            for policy in _FALLBACK_POLICIES:
-                result = greedy_partition(
-                    graph,
-                    processor,
-                    policy,
-                    include_env_memory=options.include_env_memory,
-                )
-                design = result.design
-                if design.num_partitions_used > num_partitions:
-                    continue
-                achieved = design.total_latency(processor)
-                if achieved > d_max + 1e-9:
-                    continue
-                if design.audit(processor, options.include_env_memory):
-                    continue
-                if fp is not None:
-                    self.cache.store_feasible(
-                        fp, design, achieved, backend=f"heuristic:{policy}"
+            with self.tracer.span(
+                "heuristic_fallback", num_partitions=num_partitions
+            ) as sp:
+                for policy in _FALLBACK_POLICIES:
+                    result = greedy_partition(
+                        graph,
+                        processor,
+                        policy,
+                        include_env_memory=options.include_env_memory,
                     )
-                return self._conclude(
-                    design, achieved, SolveStatus.FEASIBLE,
-                    f"heuristic:{policy}", num_partitions, d_min, d_max,
-                    start, degraded=True,
-                )
+                    design = result.design
+                    if design.num_partitions_used > num_partitions:
+                        sp.event("fallback_rejected", policy=policy,
+                                 reason="too_many_partitions")
+                        continue
+                    achieved = design.total_latency(processor)
+                    if achieved > d_max + 1e-9:
+                        sp.event("fallback_rejected", policy=policy,
+                                 reason="over_latency", achieved=achieved)
+                        continue
+                    if design.audit(processor, options.include_env_memory):
+                        sp.event("fallback_rejected", policy=policy,
+                                 reason="audit_failed")
+                        continue
+                    sp.annotate(policy=policy, achieved=achieved)
+                    if fp is not None:
+                        self.cache.store_feasible(
+                            fp, design, achieved,
+                            backend=f"heuristic:{policy}",
+                        )
+                    return self._conclude(
+                        design, achieved, SolveStatus.FEASIBLE,
+                        f"heuristic:{policy}", num_partitions, d_min, d_max,
+                        start, degraded=True,
+                    )
+                sp.annotate(policy=None, exhausted=True)
         status = SolveStatus.TIME_LIMIT if timed_out else SolveStatus.ERROR
         return self._conclude(
             None, None, status, "", num_partitions, d_min, d_max, start,
@@ -421,12 +513,17 @@ class SolveExecutor:
 
     def _ilp_attempt(self, tp_model, backend: str, time_limit) -> AttemptFn:
         settings = self.settings
+        tracer = self.tracer
 
         def run(cancel: threading.Event) -> SolveAttempt:
             start = time.perf_counter()
             kwargs = dict(settings.extra)
             if backend == "bnb":
                 kwargs.setdefault("should_stop", cancel.is_set)
+            if tracer.enabled:
+                # Only forwarded when tracing is live: test-registered
+                # backends need not accept the keyword otherwise.
+                kwargs.setdefault("tracer", tracer)
             solution = tp_model.solve(
                 backend=backend,
                 first_feasible=True,
@@ -450,6 +547,8 @@ class SolveExecutor:
     def _cp_attempt(
         self, graph, processor, num_partitions, d_max, options, time_limit
     ) -> AttemptFn:
+        tracer = self.tracer
+
         def run(cancel: threading.Event) -> SolveAttempt:
             from repro.core.cp_solver import CpStats, cp_solve
 
@@ -464,6 +563,7 @@ class SolveExecutor:
                 time_limit=time_limit,
                 stats=stats,
                 should_stop=cancel.is_set,
+                tracer=tracer if tracer.enabled else None,
             )
             if design is not None:
                 status = SolveStatus.FEASIBLE

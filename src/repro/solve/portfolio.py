@@ -65,6 +65,8 @@ AttemptFn = Callable[[threading.Event], SolveAttempt]
 def race_backends(
     attempts: Sequence[tuple[str, AttemptFn]],
     grace: float = 0.05,
+    tracer=None,
+    parent=None,
 ) -> tuple[SolveAttempt | None, list[SolveAttempt]]:
     """Run every attempt concurrently; return the first conclusive one.
 
@@ -77,6 +79,13 @@ def race_backends(
     grace:
         After a winner emerges, how long to wait for already-finished
         futures when collecting loser statistics.
+    tracer:
+        Optional :class:`repro.obs.Tracer`.  Each attempt runs inside an
+        ``attempt:<backend>`` span.  Worker threads cannot see the
+        caller's thread-local span stack, so the parent is captured here
+        (``parent`` or the caller's current span) and attached
+        explicitly — the spans nest under the window solve in the tree
+        even though they ran on other threads.
 
     Returns
     -------
@@ -85,10 +94,29 @@ def race_backends(
     ``completed`` lists every attempt that finished before the race was
     abandoned — used for per-backend telemetry.
     """
+    if tracer is None:
+        from repro.obs.tracer import NULL_TRACER
+
+        tracer = NULL_TRACER
+    if parent is None:
+        parent = tracer.current_span()
+
+    def run(name: str, fn: AttemptFn, cancel: threading.Event) -> SolveAttempt:
+        with tracer.span(f"attempt:{name}", parent=parent, backend=name) as sp:
+            attempt = _run_guarded(name, fn, cancel)
+            sp.annotate(
+                status=attempt.status.value,
+                iterations=attempt.iterations,
+                conclusive=attempt.conclusive,
+            )
+            if attempt.error:
+                sp.annotate(error=attempt.error)
+        return attempt
+
     cancel = threading.Event()
     if len(attempts) == 1:
         name, fn = attempts[0]
-        attempt = _run_guarded(name, fn, cancel)
+        attempt = run(name, fn, cancel)
         return (attempt if attempt.conclusive else None), [attempt]
 
     completed: list[SolveAttempt] = []
@@ -98,7 +126,7 @@ def race_backends(
     )
     try:
         pending = {
-            pool.submit(_run_guarded, name, fn, cancel): name
+            pool.submit(run, name, fn, cancel): name
             for name, fn in attempts
         }
         while pending:

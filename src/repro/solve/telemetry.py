@@ -93,7 +93,10 @@ class RunTelemetry:
 
     def record(self, stats: SolveStats) -> None:
         self.solves.append(stats)
-        if stats.backend and not stats.cache_hit:
+        # A degraded verdict means every backend lost: the greedy
+        # fallback's "heuristic:<policy>" name is not a backend win (it
+        # is already counted in ``fallbacks``).
+        if stats.backend and not stats.cache_hit and not stats.degraded:
             self.backend_wins[stats.backend] = (
                 self.backend_wins.get(stats.backend, 0) + 1
             )
@@ -164,5 +167,8 @@ class RunTelemetry:
             f"{self.total_solves} solves "
             f"({self.cache_hits} cached, hit rate "
             f"{self.cache_hit_rate:.0%}), wins: {backends}, "
-            f"{self.timeouts} timeouts, {self.fallbacks} fallbacks"
+            f"{self.timeouts} timeouts, {self.fallbacks} fallbacks, "
+            f"templates: {self.template_builds} built/"
+            f"{self.template_instantiations} instantiated, "
+            f"{self.total_wall_time:.2f}s total"
         )

@@ -109,6 +109,37 @@ class TestConvergenceChart:
         body = chart.split("|")[1]
         assert len(body) == 30
 
+    def test_single_record_spans_full_width(self):
+        trace = SearchTrace()
+        trace.add(record(d_min=40.0, d_max=80.0, achieved=60.0))
+        chart = trace.convergence_chart(width=21)
+        body = chart.split("|")[1]
+        # The lone window defines the whole axis: dashes edge to edge,
+        # the achieved marker at the midpoint.
+        assert body[0] in "-*"
+        assert body[-1] in "-*"
+        assert body[10] == "*"
+
+    def test_zero_width_window(self):
+        # d_min == d_max across the trace makes the axis span zero; the
+        # epsilon guard must keep the column math finite and in range.
+        trace = SearchTrace()
+        trace.add(record(d_min=50.0, d_max=50.0, achieved=50.0))
+        chart = trace.convergence_chart(width=10)
+        body = chart.split("|")[1]
+        assert len(body) == 10
+        assert body.count("*") == 1
+
+    def test_infeasible_marker_sits_at_window_upper_end(self):
+        trace = SearchTrace()
+        trace.add(record(i=1, d_min=0.0, d_max=100.0, achieved=50.0))
+        trace.add(record(i=2, d_min=0.0, d_max=50.0, achieved=None))
+        chart = trace.convergence_chart(width=41)
+        infeasible_body = chart.splitlines()[1].split("|")[1]
+        # d_max=50 on a 0..100 axis of width 41 -> column 20.
+        assert infeasible_body[20] == "x"
+        assert "-" not in infeasible_body[21:]
+
     def test_real_search_chart(self, ):
         from repro.arch import ReconfigurableProcessor
         from repro.core import (

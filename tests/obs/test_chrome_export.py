@@ -1,0 +1,163 @@
+"""Chrome trace-event export and its structural validator."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import (
+    JsonlSink,
+    MemorySink,
+    Tracer,
+    chrome_trace,
+    jsonl_to_chrome,
+    load_events,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+
+
+def recorded_events() -> list[dict]:
+    sink = MemorySink()
+    tracer = Tracer(sink)
+    with tracer.span("outer", n=2) as outer:
+        tracer.event("marker", k=1)
+        with tracer.span("inner"):
+            pass
+    assert outer.duration >= 0
+    return sink.events
+
+
+class TestChromeTrace:
+    def test_spans_become_complete_events(self):
+        payload = chrome_trace(recorded_events())
+        complete = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        assert {e["name"] for e in complete} == {"outer", "inner"}
+        for event in complete:
+            assert event["ts"] >= 0.0
+            assert event["dur"] >= 0.0
+            assert event["pid"] == 1
+        outer = next(e for e in complete if e["name"] == "outer")
+        assert outer["args"]["n"] == 2
+        inner = next(e for e in complete if e["name"] == "inner")
+        assert inner["args"]["parent_id"] == outer["args"]["span_id"]
+
+    def test_events_become_instants(self):
+        payload = chrome_trace(recorded_events())
+        instants = [e for e in payload["traceEvents"] if e["ph"] == "i"]
+        assert len(instants) == 1
+        assert instants[0]["name"] == "marker"
+        assert instants[0]["s"] == "t"
+
+    def test_metadata_names_process_and_threads(self):
+        payload = chrome_trace(recorded_events())
+        metadata = [e for e in payload["traceEvents"] if e["ph"] == "M"]
+        names = {e["name"] for e in metadata}
+        assert names == {"process_name", "thread_name"}
+
+    def test_microsecond_conversion(self):
+        events = [
+            {
+                "type": "span_end", "span_id": 1, "parent_id": None,
+                "name": "s", "thread": "main", "status": "ok",
+                "t_start": 0.5, "dur": 0.25, "process_dur": 0.2,
+                "ts": 0.75, "attrs": {},
+            }
+        ]
+        payload = chrome_trace(events)
+        span = next(e for e in payload["traceEvents"] if e["ph"] == "X")
+        assert span["ts"] == 0.5e6
+        assert span["dur"] == 0.25e6
+
+    def test_error_status_lands_in_args(self):
+        events = [
+            {
+                "type": "span_end", "span_id": 1, "parent_id": None,
+                "name": "s", "thread": "main", "status": "error",
+                "t_start": 0.0, "dur": 0.1, "process_dur": 0.1,
+                "ts": 0.1, "attrs": {},
+            }
+        ]
+        payload = chrome_trace(events)
+        span = next(e for e in payload["traceEvents"] if e["ph"] == "X")
+        assert span["args"]["status"] == "error"
+
+    def test_write_and_jsonl_conversion_agree(self, tmp_path):
+        jsonl_path = tmp_path / "run.jsonl"
+        sink = JsonlSink(jsonl_path)
+        tracer = Tracer(sink)
+        with tracer.span("a"):
+            tracer.event("e")
+        tracer.close()
+        direct = tmp_path / "direct.json"
+        converted = tmp_path / "converted.json"
+        write_chrome_trace(direct, load_events(jsonl_path))
+        jsonl_to_chrome(jsonl_path, converted)
+        assert json.loads(direct.read_text()) == json.loads(
+            converted.read_text()
+        )
+
+    def test_write_creates_parent_directories(self, tmp_path):
+        out = tmp_path / "sub" / "dir" / "trace.json"
+        write_chrome_trace(out, recorded_events())
+        assert out.exists()
+
+
+class TestValidator:
+    def test_exported_payload_validates_clean(self):
+        assert validate_chrome_trace(chrome_trace(recorded_events())) == []
+
+    def test_rejects_non_object_top_level(self):
+        assert validate_chrome_trace([1, 2]) != []
+        assert validate_chrome_trace(None) != []
+
+    def test_rejects_missing_trace_events(self):
+        assert validate_chrome_trace({}) == ["traceEvents must be a list"]
+
+    def test_flags_empty_trace(self):
+        problems = validate_chrome_trace({"traceEvents": []})
+        assert problems == ["traceEvents is empty"]
+
+    def test_flags_unknown_phase(self):
+        payload = {"traceEvents": [{"ph": "Z", "name": "x", "pid": 1}]}
+        assert any("unknown phase" in p for p in validate_chrome_trace(payload))
+
+    def test_flags_negative_timestamps_and_durations(self):
+        payload = {
+            "traceEvents": [
+                {"ph": "X", "name": "x", "pid": 1, "tid": 1,
+                 "ts": -5.0, "dur": 1.0},
+                {"ph": "X", "name": "y", "pid": 1, "tid": 1,
+                 "ts": 0.0, "dur": -1.0},
+            ]
+        }
+        problems = validate_chrome_trace(payload)
+        assert any("bad ts" in p for p in problems)
+        assert any("bad dur" in p for p in problems)
+
+    def test_flags_missing_name_pid_tid(self):
+        payload = {
+            "traceEvents": [{"ph": "X", "ts": 0.0, "dur": 0.0}]
+        }
+        problems = validate_chrome_trace(payload)
+        assert any("name" in p for p in problems)
+        assert any("pid" in p for p in problems)
+        assert any("tid" in p for p in problems)
+
+    def test_flags_bad_instant_scope_and_args(self):
+        payload = {
+            "traceEvents": [
+                {"ph": "i", "name": "e", "pid": 1, "tid": 1,
+                 "ts": 0.0, "s": "w"},
+                {"ph": "i", "name": "e", "pid": 1, "tid": 1,
+                 "ts": 0.0, "args": [1]},
+            ]
+        }
+        problems = validate_chrome_trace(payload)
+        assert any("instant scope" in p for p in problems)
+        assert any("args" in p for p in problems)
+
+    def test_metadata_rows_need_no_timestamp(self):
+        payload = {
+            "traceEvents": [{"ph": "M", "name": "process_name", "pid": 1}]
+        }
+        assert validate_chrome_trace(payload) == []

@@ -1,0 +1,166 @@
+"""Span trees and phase profiles reconstructed from event streams."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import (
+    MemorySink,
+    PhaseProfile,
+    Tracer,
+    build_span_tree,
+    load_events,
+    render_span_tree,
+)
+
+
+def end(span_id, name, t_start, dur, parent=None, status="ok", attrs=None):
+    return {
+        "type": "span_end", "span_id": span_id, "parent_id": parent,
+        "name": name, "thread": "main", "status": status,
+        "t_start": t_start, "dur": dur, "process_dur": dur,
+        "ts": t_start + dur, "attrs": attrs or {},
+    }
+
+
+class TestLoadEvents:
+    def test_reads_lines_and_skips_blanks(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        path.write_text('{"a": 1}\n\n{"b": 2}\n')
+        assert load_events(path) == [{"a": 1}, {"b": 2}]
+
+    def test_malformed_line_reports_line_number(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        path.write_text('{"a": 1}\nnot json\n')
+        with pytest.raises(ValueError, match=":2:"):
+            load_events(path)
+
+
+class TestBuildSpanTree:
+    def test_builds_parent_child_links(self):
+        roots = build_span_tree([
+            end(1, "root", 0.0, 1.0),
+            end(2, "child", 0.1, 0.3, parent=1),
+            end(3, "child", 0.5, 0.4, parent=1),
+        ])
+        assert len(roots) == 1
+        assert [c.name for c in roots[0].children] == ["child", "child"]
+        assert roots[0].children[0].t_start == 0.1  # ordered by start
+
+    def test_orphans_become_roots(self):
+        roots = build_span_tree([
+            end(2, "lost", 0.0, 0.5, parent=99),
+            end(3, "normal", 1.0, 0.5),
+        ])
+        assert {r.name for r in roots} == {"lost", "normal"}
+
+    def test_span_starts_are_ignored(self):
+        roots = build_span_tree([
+            {"type": "span_start", "span_id": 1, "name": "open"},
+            end(2, "done", 0.0, 1.0),
+        ])
+        assert [r.name for r in roots] == ["done"]
+
+    def test_exclusive_subtracts_direct_children_only(self):
+        roots = build_span_tree([
+            end(1, "root", 0.0, 1.0),
+            end(2, "mid", 0.0, 0.6, parent=1),
+            end(3, "leaf", 0.0, 0.5, parent=2),
+        ])
+        root = roots[0]
+        assert root.exclusive == pytest.approx(0.4)
+        assert root.children[0].exclusive == pytest.approx(0.1)
+        assert root.children[0].children[0].exclusive == pytest.approx(0.5)
+
+    def test_exclusive_clamps_at_zero(self):
+        # Concurrent children can sum past the parent's wall time.
+        roots = build_span_tree([
+            end(1, "race", 0.0, 1.0),
+            end(2, "a", 0.0, 0.9, parent=1),
+            end(3, "b", 0.0, 0.9, parent=1),
+        ])
+        assert roots[0].exclusive == 0.0
+
+
+class TestPhaseProfile:
+    def events(self):
+        return [
+            end(1, "search", 0.0, 2.0),
+            end(2, "solve", 0.0, 0.8, parent=1),
+            end(3, "solve", 1.0, 0.6, parent=1),
+            end(4, "compile", 0.1, 0.2, parent=2),
+        ]
+
+    def test_aggregates_by_name(self):
+        profile = PhaseProfile.from_events(self.events())
+        solve = profile.phases["solve"]
+        assert solve.count == 2
+        assert solve.inclusive == pytest.approx(1.4)
+        assert solve.exclusive == pytest.approx(1.2)
+        assert solve.max_duration == pytest.approx(0.8)
+        assert solve.mean_inclusive == pytest.approx(0.7)
+
+    def test_exclusive_times_partition_the_total(self):
+        profile = PhaseProfile.from_events(self.events())
+        total_exclusive = sum(
+            s.exclusive for s in profile.phases.values()
+        )
+        assert total_exclusive == pytest.approx(profile.total_time)
+
+    def test_top_orders_by_exclusive(self):
+        profile = PhaseProfile.from_events(self.events())
+        names = [s.name for s in profile.top()]
+        assert names[0] == "solve"
+        assert profile.top(1) == profile.top()[:1]
+
+    def test_lookup_helpers(self):
+        profile = PhaseProfile.from_events(self.events())
+        assert profile.inclusive("search") == pytest.approx(2.0)
+        assert profile.exclusive("missing") == 0.0
+
+    def test_report_renders_table(self):
+        report = PhaseProfile.from_events(self.events()).report()
+        assert "phase" in report
+        assert "solve" in report
+        assert "total root wall time" in report
+
+    def test_report_on_empty_trace(self):
+        assert "empty trace" in PhaseProfile.from_events([]).report()
+
+    def test_report_collapses_phases_past_top(self):
+        report = PhaseProfile.from_events(self.events()).report(top=1)
+        assert "more phases" in report
+
+
+class TestRenderSpanTree:
+    def test_tree_shows_nesting_durations_and_attrs(self):
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        with tracer.span("outer", num_partitions=4):
+            with tracer.span("inner", backend="highs"):
+                pass
+        rendered = render_span_tree(sink.events)
+        lines = rendered.splitlines()
+        assert lines[0].startswith("outer")
+        assert "num_partitions=4" in lines[0]
+        assert lines[1].startswith("  inner")
+        assert "backend=highs" in lines[1]
+        assert "ms" in lines[0]
+
+    def test_max_depth_collapses_children(self):
+        rendered = render_span_tree(
+            [
+                end(1, "root", 0.0, 1.0),
+                end(2, "child", 0.0, 0.5, parent=1),
+            ],
+            max_depth=1,
+        )
+        assert "collapsed" in rendered
+        assert "child" not in rendered.splitlines()[0]
+
+    def test_error_spans_are_marked(self):
+        rendered = render_span_tree([end(1, "bad", 0.0, 1.0, status="error")])
+        assert rendered.startswith("bad!")
+
+    def test_empty_trace(self):
+        assert "empty trace" in render_span_tree([])

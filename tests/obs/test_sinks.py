@@ -1,0 +1,97 @@
+"""Event sinks: protocol conformance, JSONL round-trip, error behavior."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import EventSink, JsonlSink, MemorySink, Tracer, load_events
+
+
+class TestMemorySink:
+    def test_collects_events_in_order(self):
+        sink = MemorySink()
+        sink.emit({"type": "event", "name": "a"})
+        sink.emit({"type": "event", "name": "b"})
+        assert [e["name"] for e in sink] == ["a", "b"]
+        assert len(sink) == 2
+
+    def test_satisfies_the_protocol(self):
+        assert isinstance(MemorySink(), EventSink)
+
+    def test_concurrent_emits_do_not_lose_events(self):
+        sink = MemorySink()
+
+        def emit_many(i: int) -> None:
+            for j in range(200):
+                sink.emit({"i": i, "j": j})
+
+        threads = [
+            threading.Thread(target=emit_many, args=(i,)) for i in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(sink) == 8 * 200
+
+
+class TestJsonlSink:
+    def test_round_trip_through_load_events(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonlSink(path)
+        tracer = Tracer(sink)
+        with tracer.span("outer", n=1):
+            tracer.event("ping", x=2.5)
+        tracer.close()
+        events = load_events(path)
+        assert [e["type"] for e in events] == [
+            "span_start", "event", "span_end",
+        ]
+        assert events[1]["attrs"] == {"x": 2.5}
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "events.jsonl"
+        sink = JsonlSink(path)
+        sink.emit({"type": "event", "name": "a"})
+        sink.close()
+        assert path.exists()
+
+    def test_satisfies_the_protocol(self, tmp_path):
+        assert isinstance(JsonlSink(tmp_path / "x.jsonl"), EventSink)
+
+    def test_unwritable_path_fails_at_construction(self, tmp_path):
+        blocker = tmp_path / "file"
+        blocker.write_text("")
+        with pytest.raises(OSError):
+            JsonlSink(blocker / "events.jsonl")  # parent is a file
+
+    def test_close_is_idempotent_and_stops_writes(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonlSink(path)
+        sink.emit({"n": 1})
+        sink.close()
+        sink.close()
+        sink.emit({"n": 2})  # silently dropped, no crash
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 1
+
+    def test_non_serializable_values_are_stringified(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonlSink(path)
+        sink.emit({"obj": object()})
+        sink.close()
+        record = json.loads(path.read_text())
+        assert "object" in record["obj"]
+
+    def test_multi_sink_tracer_feeds_both(self, tmp_path):
+        memory = MemorySink()
+        jsonl = JsonlSink(tmp_path / "e.jsonl")
+        tracer = Tracer(memory, jsonl)
+        with tracer.span("s"):
+            pass
+        tracer.close()
+        assert len(memory) == 2
+        assert len(load_events(tmp_path / "e.jsonl")) == 2

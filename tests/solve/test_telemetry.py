@@ -1,0 +1,80 @@
+"""RunTelemetry aggregation: wins, fallbacks, summary content."""
+
+from __future__ import annotations
+
+from repro.solve.telemetry import RunTelemetry, SolveStats
+
+
+def stats(**overrides) -> SolveStats:
+    base = dict(
+        num_partitions=4,
+        d_min=100.0,
+        d_max=200.0,
+        backend="highs",
+        status="feasible",
+        wall_time=0.5,
+    )
+    base.update(overrides)
+    return SolveStats(**base)
+
+
+class TestRecord:
+    def test_backend_win_counted(self):
+        telemetry = RunTelemetry()
+        telemetry.record(stats())
+        assert telemetry.backend_wins == {"highs": 1}
+
+    def test_cache_hits_are_not_wins(self):
+        telemetry = RunTelemetry()
+        telemetry.record(stats(backend="cache", cache_hit=True))
+        assert telemetry.backend_wins == {}
+        assert telemetry.cache_hits == 1
+
+    def test_degraded_fallback_is_not_a_backend_win(self):
+        """Regression: a greedy fallback after every backend timed out was
+        counted in ``backend_wins`` under its ``heuristic:<policy>`` name,
+        inflating the win table for runs that actually degraded."""
+        telemetry = RunTelemetry()
+        telemetry.record(
+            stats(backend="heuristic:min_area", degraded=True)
+        )
+        assert telemetry.backend_wins == {}
+        assert telemetry.fallbacks == 1
+        assert telemetry.degraded
+
+    def test_hard_timeout_without_fallback(self):
+        telemetry = RunTelemetry()
+        telemetry.record(
+            stats(backend="", status="time_limit", degraded=True)
+        )
+        assert telemetry.backend_wins == {}
+        assert telemetry.fallbacks == 1
+
+
+class TestSummary:
+    def test_summary_includes_template_and_wall_time_metrics(self):
+        telemetry = RunTelemetry()
+        telemetry.record(stats(wall_time=1.25))
+        telemetry.record(stats(wall_time=0.75, backend="bnb"))
+        telemetry.template_builds = 2
+        telemetry.template_instantiations = 7
+        summary = telemetry.summary()
+        assert "templates: 2 built/7 instantiated" in summary
+        assert "2.00s total" in summary
+        assert "bnb: 1" in summary
+        assert "highs: 1" in summary
+
+    def test_summary_excludes_degraded_from_wins(self):
+        telemetry = RunTelemetry()
+        telemetry.record(stats(backend="heuristic:balanced", degraded=True))
+        summary = telemetry.summary()
+        assert "wins: none" in summary
+        assert "1 fallbacks" in summary
+
+    def test_to_dict_round_trip(self):
+        telemetry = RunTelemetry()
+        telemetry.record(stats())
+        payload = telemetry.to_dict(include_solves=True)
+        assert payload["total_solves"] == 1
+        assert payload["backend_wins"] == {"highs": 1}
+        assert payload["solves"][0]["backend"] == "highs"

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Validate a Chrome trace-event JSON file produced by the tracing layer.
+
+Usage::
+
+    python tools/check_chrome_trace.py trace.json [more.json ...]
+
+Exits non-zero and lists every structural problem if any file fails
+``repro.obs.validate_chrome_trace`` — the same checks chrome://tracing
+and Perfetto rely on (envelope shape, known phases, non-negative
+timestamps, complete name/pid/tid fields).  Used by CI to smoke-test
+the ``--trace-chrome`` export end to end.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.obs import validate_chrome_trace  # noqa: E402
+
+
+def check_file(path: Path) -> list[str]:
+    try:
+        payload = json.loads(path.read_text())
+    except OSError as exc:
+        return [f"cannot read file: {exc}"]
+    except json.JSONDecodeError as exc:
+        return [f"not valid JSON: {exc}"]
+    return validate_chrome_trace(payload)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "traces", nargs="+", type=Path, help="Chrome trace JSON file(s)"
+    )
+    args = parser.parse_args(argv)
+
+    failed = False
+    for path in args.traces:
+        problems = check_file(path)
+        if problems:
+            failed = True
+            print(f"{path}: INVALID", file=sys.stderr)
+            for problem in problems:
+                print(f"  - {problem}", file=sys.stderr)
+        else:
+            events = json.loads(path.read_text())["traceEvents"]
+            print(f"{path}: ok ({len(events)} events)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
