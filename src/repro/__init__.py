@@ -28,6 +28,11 @@ Subpackages
     Span tracing, the structured event stream, Chrome-trace export and
     phase profiling (attach a :class:`repro.obs.Tracer` via
     ``SolverSettings(tracer=...)``).
+``repro.analysis``
+    The pre-solve model analyzer: structural and paper-conformance
+    diagnostics over compiled models (enable with
+    ``SolverSettings(analyze="warn")`` or run ``repro-tp analyze``;
+    catalog in ``docs/analysis.md``).
 
 Quickstart::
 
@@ -40,6 +45,7 @@ Quickstart::
     print(outcome.design.summary(partitioner.processor))
 """
 
+from repro.analysis import AnalysisReport, ModelAnalysisError, analyze_model
 from repro.core import (
     FormulationOptions,
     PartitionedDesign,
@@ -56,9 +62,11 @@ from repro.solve import RunTelemetry, SolveCache, SolveExecutor
 __version__ = "1.0.0"
 
 __all__ = [
+    "AnalysisReport",
     "FormulationOptions",
     "JsonlSink",
     "MemorySink",
+    "ModelAnalysisError",
     "PartitionedDesign",
     "PartitionerConfig",
     "PartitionRequest",
@@ -71,4 +79,5 @@ __all__ = [
     "TemporalPartitioner",
     "Tracer",
     "__version__",
+    "analyze_model",
 ]

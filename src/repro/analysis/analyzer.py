@@ -1,0 +1,76 @@
+"""Facade of the pre-solve analyzer: one call, one report.
+
+:func:`analyze_compiled` runs the structural pass (and, when given the
+build context, the paper-conformance pass) and returns an
+:class:`repro.analysis.diagnostics.AnalysisReport`.
+:func:`analyze_model` is the convenience wrapper for a built
+:class:`repro.core.formulation.TemporalPartitioningModel` — it prefers
+the model's window-patched compiled form (the template path) and falls
+back to compiling the expression model.
+
+The solver execution layer runs this before any backend when
+``SolverSettings.analyze`` is ``"warn"`` or ``"strict"``; the CLI's
+``repro-tp analyze`` renders the same report for a problem file.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.analysis.conformance import check_conformance
+from repro.analysis.diagnostics import AnalysisReport
+from repro.analysis.structure import analyze_structure
+from repro.ilp.compile import CompiledModel
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.core.formulation import (
+        FormulationOptions,
+        TemporalPartitioningModel,
+    )
+    from repro.taskgraph.graph import TaskGraph
+
+__all__ = ["analyze_compiled", "analyze_model"]
+
+#: ``SolverSettings.analyze`` accepts exactly these values.
+ANALYZE_MODES = ("off", "warn", "strict")
+
+
+def analyze_compiled(
+    compiled: CompiledModel,
+    graph: "TaskGraph | None" = None,
+    num_partitions: int | None = None,
+    options: "FormulationOptions | None" = None,
+    d_min: float = 0.0,
+) -> AnalysisReport:
+    """Analyze a compiled model; add conformance checks when possible.
+
+    The structural pass always runs.  The paper-conformance pass needs
+    the build context (``graph`` and ``num_partitions``); without it the
+    report covers structure only.
+    """
+    diagnostics = analyze_structure(compiled)
+    if graph is not None and num_partitions:
+        diagnostics.extend(
+            check_conformance(
+                compiled,
+                graph,
+                num_partitions,
+                options=options,
+                d_min=d_min,
+            )
+        )
+    return AnalysisReport(diagnostics)
+
+
+def analyze_model(tp_model: "TemporalPartitioningModel") -> AnalysisReport:
+    """Analyze a built temporal-partitioning model (both passes)."""
+    compiled = tp_model.compiled
+    if compiled is None:
+        compiled = tp_model.model.compile()
+    return analyze_compiled(
+        compiled,
+        graph=tp_model.graph,
+        num_partitions=tp_model.num_partitions,
+        options=tp_model.options,
+        d_min=tp_model.d_min,
+    )

@@ -1,0 +1,281 @@
+"""Paper-conformance checks: does a model carry the rows it must?
+
+The structural pass of :mod:`repro.analysis.structure` knows nothing
+about the paper; this pass does.  Given the compiled form *and* the task
+graph / options / partition bound it was built from, it certifies that
+the formulation of Section 3.2.3 is complete:
+
+* every task carries exactly one uniqueness row (equation (1)),
+* every crossing variable ``w[p,src,dst]`` carries a well-formed
+  linearization row (equations (4)-(5)), including the two-sided rows
+  when :attr:`repro.core.formulation.FormulationOptions.two_sided_w`
+  is set,
+* every partition carries a resource row (equation (6)),
+* ``eta`` exists, is bounded by the partition count, and every sink
+  contributes an ``eta`` bound row (equation (8)),
+* the latency window is two-sided as requested: ``latency_ub`` always
+  (equation (9)), ``latency_lb`` whenever the window's lower edge is
+  positive (equation (10)), and both rows reference every ``d[p]`` and
+  ``eta``.
+
+A missing row is reported as an ERROR with the paper-equation tag of the
+family it belongs to, so a corrupted or hand-edited model names the
+equation that was lost.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.ilp.compile import CompiledModel
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.core.formulation import FormulationOptions
+    from repro.taskgraph.graph import TaskGraph
+
+__all__ = ["check_conformance"]
+
+
+def _row_support(compiled: CompiledModel, block: str, row: int) -> set[int]:
+    if block == "ub":
+        indptr, indices = compiled.ub_indptr, compiled.ub_indices
+    else:
+        indptr, indices = compiled.eq_indptr, compiled.eq_indices
+    lo, hi = int(indptr[row]), int(indptr[row + 1])
+    return set(int(j) for j in indices[lo:hi])
+
+
+def check_conformance(
+    compiled: CompiledModel,
+    graph: "TaskGraph",
+    num_partitions: int,
+    options: "FormulationOptions | None" = None,
+    d_min: float = 0.0,
+) -> list[Diagnostic]:
+    """Check that the paper's constraint families are all present."""
+    diags: list[Diagnostic] = []
+    ub_rows: dict[str, list[int]] = {}
+    for i, name in enumerate(compiled.ub_names):
+        if name is not None:
+            ub_rows.setdefault(name, []).append(i)
+    eq_rows: dict[str, list[int]] = {}
+    for i, name in enumerate(compiled.eq_names):
+        if name is not None:
+            eq_rows.setdefault(name, []).append(i)
+    var_index = compiled.var_index
+
+    diags.extend(_check_uniqueness(compiled, graph, num_partitions, eq_rows))
+    diags.extend(_check_crossing(compiled, options, ub_rows, var_index))
+    diags.extend(_check_resource(num_partitions, ub_rows))
+    diags.extend(_check_eta(compiled, graph, num_partitions, ub_rows,
+                            var_index))
+    diags.extend(_check_latency_window(compiled, num_partitions, d_min,
+                                       ub_rows, var_index))
+    return diags
+
+
+# -- (1) uniqueness ----------------------------------------------------------
+
+
+def _check_uniqueness(compiled, graph, num_partitions, eq_rows):
+    for task in graph:
+        name = f"uniq[{task.name}]"
+        rows = eq_rows.get(name, [])
+        if not rows:
+            yield Diagnostic(
+                code="missing-uniqueness",
+                severity=Severity.ERROR,
+                message=(
+                    f"task {task.name!r} has no uniqueness row {name!r}: "
+                    "nothing forces the task to be placed exactly once"
+                ),
+                rows=(name,),
+                paper_eq="(1)",
+            )
+            continue
+        if len(rows) > 1:
+            yield Diagnostic(
+                code="duplicate-uniqueness",
+                severity=Severity.ERROR,
+                message=(
+                    f"task {task.name!r} carries {len(rows)} uniqueness "
+                    f"rows named {name!r}; equation (1) demands exactly one"
+                ),
+                rows=(name,),
+                paper_eq="(1)",
+            )
+        expected = num_partitions * len(task.design_points)
+        support = _row_support(compiled, "eq", rows[0])
+        rhs = float(compiled.b_eq[rows[0]])
+        if len(support) != expected or abs(rhs - 1.0) > 1e-9:
+            yield Diagnostic(
+                code="malformed-uniqueness",
+                severity=Severity.ERROR,
+                message=(
+                    f"uniqueness row {name!r} should sum all "
+                    f"{expected} Y columns of task {task.name!r} to 1 "
+                    f"(found {len(support)} columns, rhs {rhs:g})"
+                ),
+                rows=(name,),
+                paper_eq="(1)",
+            )
+
+
+# -- (4)-(5) crossing-variable linearization ---------------------------------
+
+
+def _check_crossing(compiled, options, ub_rows, var_index):
+    two_sided = bool(options.two_sided_w) if options is not None else False
+    for var in compiled.variables:
+        if not var.name.startswith("w["):
+            continue
+        required = [f"{var.name}_ge"]
+        if two_sided:
+            required += [f"{var.name}_le_src", f"{var.name}_le_dst"]
+        for row_name in required:
+            rows = ub_rows.get(row_name, [])
+            if not rows:
+                yield Diagnostic(
+                    code="missing-crossing-row",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"crossing variable {var.name!r} has no "
+                        f"linearization row {row_name!r}; the product of "
+                        "sums is unconstrained"
+                    ),
+                    rows=(row_name,),
+                    variables=(var.name,),
+                    paper_eq="(4)-(5)",
+                )
+            elif var_index[var.name] not in _row_support(
+                compiled, "ub", rows[0]
+            ):
+                yield Diagnostic(
+                    code="malformed-crossing-row",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"linearization row {row_name!r} does not "
+                        f"reference its crossing variable {var.name!r}"
+                    ),
+                    rows=(row_name,),
+                    variables=(var.name,),
+                    paper_eq="(4)-(5)",
+                )
+
+
+# -- (6) resource ------------------------------------------------------------
+
+
+def _check_resource(num_partitions, ub_rows):
+    for p in range(1, num_partitions + 1):
+        name = f"resource[{p}]"
+        if name not in ub_rows:
+            yield Diagnostic(
+                code="missing-resource-row",
+                severity=Severity.ERROR,
+                message=(
+                    f"partition {p} has no resource row {name!r}: its "
+                    "area usage is unbounded"
+                ),
+                rows=(name,),
+                paper_eq="(6)",
+            )
+
+
+# -- (8) partition count -----------------------------------------------------
+
+
+def _check_eta(compiled, graph, num_partitions, ub_rows, var_index):
+    if "eta" not in var_index:
+        yield Diagnostic(
+            code="missing-eta",
+            severity=Severity.ERROR,
+            message="the model has no 'eta' partition-count variable",
+            variables=("eta",),
+            paper_eq="(8)",
+        )
+        return
+    j = var_index["eta"]
+    ub = float(compiled.ub[j])
+    if ub > num_partitions + 1e-9:
+        yield Diagnostic(
+            code="malformed-eta-bound",
+            severity=Severity.ERROR,
+            message=(
+                f"'eta' is bounded by {ub:g} but the model was built for "
+                f"at most {num_partitions} partitions (equation (8))"
+            ),
+            variables=("eta",),
+            paper_eq="(8)",
+        )
+    for sink in graph.sinks():
+        name = f"eta[{sink}]"
+        rows = ub_rows.get(name, [])
+        if not rows:
+            yield Diagnostic(
+                code="missing-eta-bound",
+                severity=Severity.ERROR,
+                message=(
+                    f"sink {sink!r} has no eta bound row {name!r}: eta "
+                    "does not count the partitions the schedule uses"
+                ),
+                rows=(name,),
+                paper_eq="(8)",
+            )
+        elif j not in _row_support(compiled, "ub", rows[0]):
+            yield Diagnostic(
+                code="malformed-eta-bound",
+                severity=Severity.ERROR,
+                message=(
+                    f"eta bound row {name!r} does not reference 'eta'"
+                ),
+                rows=(name,),
+                variables=("eta",),
+                paper_eq="(8)",
+            )
+
+
+# -- (9)-(10) latency window -------------------------------------------------
+
+
+def _check_latency_window(compiled, num_partitions, d_min, ub_rows,
+                          var_index):
+    required = [("latency_ub", "(9)")]
+    if d_min > 0:
+        required.append(("latency_lb", "(10)"))
+    d_columns = {
+        var_index[f"d[{p}]"]
+        for p in range(1, num_partitions + 1)
+        if f"d[{p}]" in var_index
+    }
+    eta_column = var_index.get("eta")
+    for name, tag in required:
+        rows = ub_rows.get(name, [])
+        if not rows:
+            yield Diagnostic(
+                code="missing-latency-window",
+                severity=Severity.ERROR,
+                message=(
+                    f"the model has no {name!r} row; the latency window "
+                    "is one-sided where the search expects two sides"
+                ),
+                rows=(name,),
+                paper_eq=tag,
+            )
+            continue
+        support = _row_support(compiled, "ub", rows[0])
+        missing_d = d_columns - support
+        if missing_d or (eta_column is not None
+                         and eta_column not in support):
+            yield Diagnostic(
+                code="malformed-latency-window",
+                severity=Severity.ERROR,
+                message=(
+                    f"window row {name!r} must sum every partition "
+                    "latency d[p] plus the reconfiguration term "
+                    "C_T * eta; some columns are missing"
+                ),
+                rows=(name,),
+                paper_eq=tag,
+            )

@@ -1,0 +1,213 @@
+"""Typed diagnostics emitted by the pre-solve model analyzer.
+
+A :class:`Diagnostic` is one finding about a built model: a severity,
+a stable machine-readable ``code``, a human message, the provenance
+(constraint rows and/or variable columns it concerns) and — where the
+finding maps onto the paper's formulation — the equation tag of
+Section 3.2.3 ("(1)" for uniqueness, "(4)-(5)" for the crossing-variable
+linearization, and so on).  :class:`AnalysisReport` aggregates the
+findings of one analyzer run, renders them for the CLI and serializes
+them for telemetry/CI consumers.
+
+The full diagnostic catalog (codes, severities, equation tags) is
+documented in ``docs/analysis.md``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = [
+    "AnalysisReport",
+    "Diagnostic",
+    "ModelAnalysisError",
+    "Severity",
+    "paper_equation_for",
+]
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    ``ERROR`` findings make the model malformed or provably pointless to
+    solve (strict mode aborts on them); ``WARNING`` findings are legal
+    but wasteful or numerically risky; ``INFO`` is advisory.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @property
+    def rank(self) -> int:
+        return _SEVERITY_RANK[self]
+
+
+_SEVERITY_RANK = {Severity.ERROR: 0, Severity.WARNING: 1, Severity.INFO: 2}
+
+
+#: Constraint/variable name prefixes mapped to the paper-equation tag of
+#: Section 3.2.3.  Longest-prefix wins ("latency_ub" before "latency_").
+_EQUATION_PREFIXES: tuple[tuple[str, str], ...] = (
+    ("uniq[", "(1)"),
+    ("order[", "(2)"),
+    ("memory[", "(3)"),
+    ("w[", "(4)-(5)"),
+    ("resource", "(6)"),
+    ("pathlat[", "(7)"),
+    ("prec[", "(7)"),
+    ("finish[", "(7)"),
+    ("same[", "(7)"),
+    ("s[", "(7)"),
+    ("d[", "(7)"),
+    ("eta_area_cut", "(8)"),
+    ("eta[", "(8)"),
+    ("eta", "(8)"),
+    ("latency_ub", "(9)"),
+    ("latency_lb", "(10)"),
+    ("Y[", "(1)-(2)"),
+)
+
+
+def paper_equation_for(name: str | None) -> str | None:
+    """Map a constraint/variable name to its paper-equation tag.
+
+    Follows the naming scheme of :mod:`repro.core.formulation`
+    (``uniq[T1]``, ``w[2,T1,T2]_ge``, ``latency_ub``, ...).  Names that
+    do not belong to the formulation (extension rows such as ``sym[...]``
+    or anything user-defined) map to ``None``.
+    """
+    if not name:
+        return None
+    for prefix, tag in _EQUATION_PREFIXES:
+        if name.startswith(prefix):
+            return tag
+    return None
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One analyzer finding.
+
+    Attributes
+    ----------
+    code:
+        Stable machine-readable identifier (``"dangling-column"``,
+        ``"row-infeasible"``, ...); the catalog lives in
+        ``docs/analysis.md``.
+    severity:
+        See :class:`Severity`.
+    message:
+        Human-readable one-liner.
+    rows:
+        Names of the constraint rows the finding concerns (may be empty).
+    variables:
+        Names of the variable columns the finding concerns (may be empty).
+    paper_eq:
+        Equation tag of Section 3.2.3 when the provenance maps onto the
+        paper's formulation, else ``None``.
+    """
+
+    code: str
+    severity: Severity
+    message: str
+    rows: tuple[str, ...] = ()
+    variables: tuple[str, ...] = ()
+    paper_eq: str | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "code": self.code,
+            "severity": self.severity.value,
+            "message": self.message,
+            "rows": list(self.rows),
+            "variables": list(self.variables),
+            "paper_eq": self.paper_eq,
+        }
+
+    def render(self) -> str:
+        tag = f" {self.paper_eq}" if self.paper_eq else ""
+        return f"{self.severity.value.upper():<8}{self.code}{tag}: {self.message}"
+
+
+@dataclass
+class AnalysisReport:
+    """All findings of one analyzer run, worst first."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.diagnostics.sort(key=lambda d: d.severity.rank)
+
+    # -- views ---------------------------------------------------------------
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.WARNING]
+
+    @property
+    def ok(self) -> bool:
+        """No ERROR-severity findings (warnings do not fail a model)."""
+        return not self.errors
+
+    @property
+    def clean(self) -> bool:
+        """No findings at all."""
+        return not self.diagnostics
+
+    def by_code(self, code: str) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.code == code]
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def __iter__(self):
+        return iter(self.diagnostics)
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+    def summary(self) -> str:
+        if self.clean:
+            return "model analysis: clean (no findings)"
+        return (
+            f"model analysis: {len(self.errors)} error(s), "
+            f"{len(self.warnings)} warning(s), "
+            f"{len(self.diagnostics)} finding(s) total"
+        )
+
+    def render(self) -> str:
+        """Multi-line report for the CLI (worst findings first)."""
+        lines = [self.summary()]
+        for diag in self.diagnostics:
+            lines.append("  " + diag.render())
+        return "\n".join(lines)
+
+
+class ModelAnalysisError(RuntimeError):
+    """Raised in strict mode when the analyzer finds ERROR diagnostics.
+
+    Carries the full :class:`AnalysisReport` as ``report`` so callers can
+    render or serialize the findings that aborted the solve.
+    """
+
+    def __init__(self, report: AnalysisReport) -> None:
+        first = report.errors[0] if report.errors else None
+        detail = f"; first: {first.render()}" if first is not None else ""
+        super().__init__(
+            f"model analysis failed with {len(report.errors)} error(s)"
+            f"{detail}"
+        )
+        self.report = report

@@ -1,0 +1,347 @@
+"""Structural checks over the compiled sparse standard form.
+
+Every check reads only the :class:`repro.ilp.compile.CompiledModel`
+arrays — no expression walking, no graph knowledge — so it applies to
+any model the ILP stack can compile, not just the temporal-partitioning
+formulation.  Paper-equation tags are attached opportunistically from
+the row/variable naming scheme (:func:`repro.analysis.diagnostics
+.paper_equation_for`); models with unrelated names simply get untagged
+findings.
+
+The checks (see ``docs/analysis.md`` for the catalog):
+
+* contradictory or non-binary variable bounds,
+* dangling variables — columns that appear in no constraint row,
+* empty rows (vacuous or trivially infeasible),
+* trivially infeasible rows by interval arithmetic over the variable
+  bounds (a row whose *minimum* activity already exceeds its bound can
+  never be satisfied, so the whole model is infeasible without a solve),
+* duplicate and dominated inequality rows,
+* non-unit coefficients on the formulation's logical rows (uniqueness
+  and crossing-variable linearization rows are pure ±1 rows by
+  construction),
+* numerical hygiene: extreme coefficient magnitude spread and
+  non-integral right-hand sides on all-integer rows.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.analysis.diagnostics import Diagnostic, Severity, paper_equation_for
+from repro.ilp.compile import CompiledModel
+
+__all__ = ["analyze_structure"]
+
+_TOL = 1e-9
+
+#: Row-name prefixes whose rows are pure ±1 "logical" rows in the paper's
+#: formulation: uniqueness (1) and the crossing-variable linearization
+#: (4)-(5).  Order rows are excluded — the compact ``order_mode="index"``
+#: encoding legitimately uses partition-index coefficients.
+_LOGICAL_PREFIXES = ("uniq[", "w[")
+
+#: Beyond this ratio between the largest and smallest nonzero coefficient
+#: magnitude, LP solvers start losing digits (HiGHS guidance: keep the
+#: matrix within ~1e8 of dynamic range).
+_SPREAD_LIMIT = 1e8
+
+
+def _row_name(names: tuple[str | None, ...], i: int, block: str) -> str:
+    name = names[i]
+    return name if name is not None else f"<unnamed {block} row {i}>"
+
+
+def _activity_range(
+    cols: np.ndarray, coefs: np.ndarray, lb: np.ndarray, ub: np.ndarray
+) -> tuple[float, float]:
+    """Interval-arithmetic bounds of ``coefs @ x`` over the variable box."""
+    lo = np.where(coefs > 0, lb[cols], ub[cols])
+    hi = np.where(coefs > 0, ub[cols], lb[cols])
+    return float(coefs @ lo), float(coefs @ hi)
+
+
+def _is_integral_value(value: float) -> bool:
+    return math.isfinite(value) and abs(value - round(value)) <= _TOL
+
+
+def analyze_structure(compiled: CompiledModel) -> list[Diagnostic]:
+    """Run every structural check; return the findings (unordered)."""
+    diags: list[Diagnostic] = []
+    diags.extend(_check_bounds(compiled))
+    diags.extend(_check_dangling_columns(compiled))
+    seen_patterns: dict = {}
+    for block in ("ub", "eq"):
+        diags.extend(_check_rows(compiled, block, seen_patterns))
+    diags.extend(_check_coefficient_spread(compiled))
+    return diags
+
+
+# -- variable checks ---------------------------------------------------------
+
+
+def _check_bounds(compiled: CompiledModel) -> list[Diagnostic]:
+    diags: list[Diagnostic] = []
+    for j, var in enumerate(compiled.variables):
+        lb, ub = float(compiled.lb[j]), float(compiled.ub[j])
+        if lb > ub + _TOL:
+            diags.append(
+                Diagnostic(
+                    code="bounds-contradictory",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"variable {var.name!r} has empty domain "
+                        f"[{lb:g}, {ub:g}]"
+                    ),
+                    variables=(var.name,),
+                    paper_eq=paper_equation_for(var.name),
+                )
+            )
+        elif var.vtype.name == "BINARY" and (lb < -_TOL or ub > 1 + _TOL):
+            diags.append(
+                Diagnostic(
+                    code="binary-domain",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"binary variable {var.name!r} has bounds "
+                        f"[{lb:g}, {ub:g}] outside [0, 1]"
+                    ),
+                    variables=(var.name,),
+                    paper_eq=paper_equation_for(var.name),
+                )
+            )
+    return diags
+
+
+def _check_dangling_columns(compiled: CompiledModel) -> list[Diagnostic]:
+    referenced = np.zeros(compiled.num_vars, dtype=bool)
+    for indices in (compiled.ub_indices, compiled.eq_indices):
+        if len(indices):
+            referenced[indices] = True
+    diags: list[Diagnostic] = []
+    for j in np.flatnonzero(~referenced):
+        var = compiled.variables[int(j)]
+        in_objective = bool(compiled.c[j])
+        severity = (
+            Severity.WARNING
+            if not compiled.is_integral[j] or in_objective
+            else Severity.ERROR
+        )
+        suffix = (
+            " (it appears only in the objective)"
+            if in_objective
+            else " (it appears in no constraint and no objective)"
+        )
+        diags.append(
+            Diagnostic(
+                code="dangling-column",
+                severity=severity,
+                message=(
+                    f"variable {var.name!r} is dangling: its column is "
+                    f"all-zero across every constraint row{suffix}"
+                ),
+                variables=(var.name,),
+                paper_eq=paper_equation_for(var.name),
+            )
+        )
+    return diags
+
+
+# -- row checks --------------------------------------------------------------
+
+
+def _check_rows(
+    compiled: CompiledModel, block: str, seen_patterns: dict
+) -> list[Diagnostic]:
+    if block == "ub":
+        indptr, indices, data = (
+            compiled.ub_indptr, compiled.ub_indices, compiled.ub_data,
+        )
+        rhs, names = compiled.b_ub, compiled.ub_names
+    else:
+        indptr, indices, data = (
+            compiled.eq_indptr, compiled.eq_indices, compiled.eq_data,
+        )
+        rhs, names = compiled.b_eq, compiled.eq_names
+
+    diags: list[Diagnostic] = []
+    lb, ub = compiled.lb, compiled.ub
+    is_integral = compiled.is_integral
+    for i in range(len(rhs)):
+        lo, hi = int(indptr[i]), int(indptr[i + 1])
+        cols = indices[lo:hi]
+        coefs = data[lo:hi]
+        b = float(rhs[i])
+        name = _row_name(names, i, block)
+        tag = paper_equation_for(names[i])
+
+        if lo == hi:
+            diags.extend(_empty_row(block, name, b, tag))
+            continue
+
+        diags.extend(
+            _infeasible_row(block, name, b, tag, cols, coefs, lb, ub)
+        )
+        diags.extend(_duplicate_row(block, name, b, tag, cols, coefs,
+                                    seen_patterns))
+        if names[i] and any(names[i].startswith(p)
+                            for p in _LOGICAL_PREFIXES):
+            diags.extend(_logical_row(name, tag, coefs))
+        diags.extend(
+            _fractional_rhs(block, name, b, tag, cols, coefs, is_integral)
+        )
+    return diags
+
+
+def _empty_row(block: str, name: str, b: float, tag):
+    if (block == "ub" and b < -_TOL) or (block == "eq" and abs(b) > _TOL):
+        yield Diagnostic(
+            code="row-infeasible",
+            severity=Severity.ERROR,
+            message=(
+                f"row {name!r} has no coefficients but an unsatisfiable "
+                f"right-hand side ({'0 <= ' if block == 'ub' else '0 == '}"
+                f"{b:g} is false)"
+            ),
+            rows=(name,),
+            paper_eq=tag,
+        )
+    else:
+        yield Diagnostic(
+            code="empty-row",
+            severity=Severity.WARNING,
+            message=f"row {name!r} has no coefficients (vacuous)",
+            rows=(name,),
+            paper_eq=tag,
+        )
+
+
+def _infeasible_row(block, name, b, tag, cols, coefs, lb, ub):
+    lo_act, hi_act = _activity_range(cols, coefs, lb, ub)
+    if block == "ub":
+        infeasible = lo_act > b + _TOL
+        detail = f"minimum activity {lo_act:g} exceeds bound {b:g}"
+    else:
+        infeasible = lo_act > b + _TOL or hi_act < b - _TOL
+        detail = (
+            f"activity range [{lo_act:g}, {hi_act:g}] cannot reach {b:g}"
+        )
+    if infeasible and math.isfinite(lo_act):
+        yield Diagnostic(
+            code="row-infeasible",
+            severity=Severity.ERROR,
+            message=(
+                f"row {name!r} is trivially infeasible over the variable "
+                f"bounds: {detail}"
+            ),
+            rows=(name,),
+            paper_eq=tag,
+        )
+
+
+def _duplicate_row(block, name, b, tag, cols, coefs, seen_patterns):
+    pattern = (block, cols.tobytes(), coefs.tobytes())
+    previous = seen_patterns.get(pattern)
+    if previous is None:
+        seen_patterns[pattern] = (name, b)
+        return
+    prev_name, prev_b = previous
+    if abs(prev_b - b) <= _TOL:
+        yield Diagnostic(
+            code="duplicate-row",
+            severity=Severity.WARNING,
+            message=(
+                f"row {name!r} duplicates row {prev_name!r} "
+                "(same coefficients, same right-hand side)"
+            ),
+            rows=(name, prev_name),
+            paper_eq=tag,
+        )
+    elif block == "ub":
+        loose, tight = (
+            (name, prev_name) if b > prev_b else (prev_name, name)
+        )
+        yield Diagnostic(
+            code="dominated-row",
+            severity=Severity.WARNING,
+            message=(
+                f"row {loose!r} is dominated by row {tight!r} "
+                "(same coefficients, tighter right-hand side)"
+            ),
+            rows=(loose, tight),
+            paper_eq=tag,
+        )
+
+
+def _logical_row(name, tag, coefs):
+    bad = [c for c in coefs.tolist() if abs(abs(c) - 1.0) > _TOL]
+    if bad:
+        yield Diagnostic(
+            code="nonunit-logical-coefficient",
+            severity=Severity.ERROR,
+            message=(
+                f"logical row {name!r} carries non-unit coefficient(s) "
+                f"{sorted(set(bad))[:4]} on binary variables; uniqueness "
+                "and crossing-linearization rows are pure ±1 rows"
+            ),
+            rows=(name,),
+            paper_eq=tag,
+        )
+
+
+def _fractional_rhs(block, name, b, tag, cols, coefs, is_integral):
+    if _is_integral_value(b):
+        return
+    if not bool(np.all(is_integral[cols])):
+        return
+    if not all(_is_integral_value(c) for c in coefs.tolist()):
+        return
+    if block == "eq":
+        yield Diagnostic(
+            code="row-infeasible",
+            severity=Severity.ERROR,
+            message=(
+                f"equality row {name!r} forces an all-integer expression "
+                f"to the non-integral value {b!r}"
+            ),
+            rows=(name,),
+            paper_eq=tag,
+        )
+    else:
+        yield Diagnostic(
+            code="fractional-rhs",
+            severity=Severity.WARNING,
+            message=(
+                f"row {name!r} bounds an all-integer expression by the "
+                f"non-integral {b!r}; the bound could be floored to "
+                f"{math.floor(b)} without cutting any integer point"
+            ),
+            rows=(name,),
+            paper_eq=tag,
+        )
+
+
+def _check_coefficient_spread(compiled: CompiledModel) -> list[Diagnostic]:
+    magnitudes = np.abs(
+        np.concatenate([compiled.ub_data, compiled.eq_data])
+    )
+    magnitudes = magnitudes[magnitudes > 0]
+    if len(magnitudes) == 0:
+        return []
+    largest = float(magnitudes.max())
+    smallest = float(magnitudes.min())
+    if largest / smallest <= _SPREAD_LIMIT:
+        return []
+    return [
+        Diagnostic(
+            code="coefficient-spread",
+            severity=Severity.WARNING,
+            message=(
+                f"constraint coefficients span {largest / smallest:.1e} "
+                f"orders of magnitude (|a| in [{smallest:g}, {largest:g}]); "
+                "LP solvers lose precision beyond ~1e8 of dynamic range"
+            ),
+        )
+    ]

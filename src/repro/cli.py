@@ -21,6 +21,19 @@ Subcommands:
     Inspect a recorded trace: ``trace report run.jsonl`` prints the
     per-phase time profile and span tree, ``trace export-chrome``
     converts a JSONL event file for ``chrome://tracing`` / Perfetto.
+``analyze``
+    Build the window model for a graph/device/partition-count
+    combination and run the pre-solve analyzer (:mod:`repro.analysis`)
+    without solving; prints the diagnostics report (catalog in
+    ``docs/analysis.md``).
+
+Exit codes (shared by all subcommands):
+
+* ``0`` — success (``analyze``: no ERROR diagnostics),
+* ``1`` — no solution / no feasible design,
+* ``2`` — usage or input error (bad flags, unreadable or invalid
+  graph file),
+* ``3`` — ``analyze`` found diagnostics at the failing severity.
 
 Examples::
 
@@ -30,6 +43,7 @@ Examples::
     repro-tp partition g.json --r-max 700 --trace-jsonl run.jsonl \\
         --trace-chrome run.trace.json
     repro-tp trace report run.jsonl
+    repro-tp analyze g.json --r-max 700 -n 3
     repro-tp estimate vector-product --length 4 --data-width 8
     repro-tp table 1
 """
@@ -53,6 +67,17 @@ from repro.taskgraph import generators, io as graph_io
 from repro.taskgraph.graph import TaskGraph
 
 __all__ = ["main", "build_parser"]
+
+#: Exit codes of every subcommand (documented in ``--help``).
+EXIT_OK = 0
+#: No feasible design / no solution found.
+EXIT_NO_SOLUTION = 1
+#: Usage or input error (argparse uses 2 for bad flags; unreadable or
+#: invalid graph files map here too so scripts can tell "bad input"
+#: from "clean run, bad model").
+EXIT_USAGE = 2
+#: ``repro-tp analyze`` found diagnostics at the failing severity.
+EXIT_DIAGNOSTICS = 3
 
 
 def _add_device_arguments(parser: argparse.ArgumentParser) -> None:
@@ -80,7 +105,14 @@ def _device(args: argparse.Namespace) -> ReconfigurableProcessor:
 
 
 def _load_graph(path: str) -> TaskGraph:
-    return graph_io.load_json(Path(path))
+    """Load a task-graph JSON file, exiting with :data:`EXIT_USAGE` on
+    unreadable or invalid input (``GraphValidationError`` is a
+    ``ValueError``)."""
+    try:
+        return graph_io.load_json(Path(path))
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        print(f"error: cannot load graph {path}: {exc}", file=sys.stderr)
+        raise SystemExit(EXIT_USAGE)
 
 
 def _write_text(path_str: str, text: str, label: str) -> Path:
@@ -362,6 +394,40 @@ def _cmd_diagnose(args: argparse.Namespace) -> int:
     return 1
 
 
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis import analyze_model
+    from repro.core import build_model
+
+    graph = _load_graph(args.graph)
+    processor = _device(args)
+    d_max = args.d_max
+    if d_max is None:
+        d_max = bounds.max_latency(
+            graph, args.partitions, processor.reconfiguration_time
+        )
+    tp = build_model(
+        graph, processor, args.partitions, d_max, args.d_min
+    )
+    report = analyze_model(tp)
+    if args.json:
+        payload = {
+            "graph": graph.name,
+            "num_partitions": args.partitions,
+            "d_min": args.d_min,
+            "d_max": d_max,
+            **report.to_dict(),
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        print(
+            f"analyzing {graph.name} at N={args.partitions}, "
+            f"window [{args.d_min:g}, {d_max:g}]"
+        )
+        print(report.render())
+    failing = report.errors if not args.strict else report.diagnostics
+    return EXIT_DIAGNOSTICS if failing else EXIT_OK
+
+
 def _cmd_trace_report(args: argparse.Namespace) -> int:
     from repro.obs import PhaseProfile, load_events, render_span_tree
 
@@ -423,6 +489,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-tp",
         description="Temporal partitioning with design space exploration "
         "(DATE 1999 reproduction)",
+        epilog="exit codes: 0 success; 1 no feasible design/solution; "
+        "2 usage or input error; 3 'analyze' found failing diagnostics",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -534,6 +602,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     diagnose.add_argument("--solve-limit", type=float, default=30.0)
     diagnose.set_defaults(func=_cmd_diagnose)
+
+    analyze = subparsers.add_parser(
+        "analyze",
+        help="run the pre-solve model analyzer without solving",
+        description="Build the window model and run the structural and "
+        "paper-conformance analyzer passes (repro.analysis) without "
+        "invoking any solver backend.  Exit codes: 0 = no failing "
+        "diagnostics, 2 = usage/input error, 3 = diagnostics found at "
+        "the failing severity (errors; with --strict also warnings).",
+    )
+    analyze.add_argument("graph", help="task graph JSON file")
+    _add_device_arguments(analyze)
+    analyze.add_argument("--partitions", "-n", type=int, required=True)
+    analyze.add_argument(
+        "--d-max", type=float, default=None,
+        help="latency upper bound incl. overhead; default MaxLatency(N)",
+    )
+    analyze.add_argument(
+        "--d-min", type=float, default=0.0,
+        help="latency lower bound (adds the eq (10) window row when > 0)",
+    )
+    analyze.add_argument("--json", action="store_true",
+                         help="emit the report as JSON")
+    analyze.add_argument("--strict", action="store_true",
+                         help="exit 3 on warnings too, not just errors")
+    analyze.set_defaults(func=_cmd_analyze)
 
     table = subparsers.add_parser(
         "table", help="regenerate one of the paper's tables"

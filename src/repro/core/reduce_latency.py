@@ -94,6 +94,16 @@ class SolverSettings:
         When every backend times out, fall back to the greedy
         level-packing heuristics and mark the outcome ``degraded=True``
         instead of silently reporting infeasibility.
+    analyze:
+        Pre-solve model analysis mode (:mod:`repro.analysis`).
+        ``"off"`` — the default — skips the analyzer entirely;
+        ``"warn"`` runs both the structural and paper-conformance passes
+        on every prepared window model, records the findings in
+        telemetry and tracer events, and continues; ``"strict"``
+        additionally raises
+        :class:`repro.analysis.ModelAnalysisError` before any backend
+        attempt when the report contains errors.  The diagnostic
+        catalog lives in ``docs/analysis.md``.
     tracer:
         Optional :class:`repro.obs.Tracer` recording spans and events
         for every layer of the run (search iterations, window solves,
@@ -114,6 +124,7 @@ class SolverSettings:
     enable_cache: bool = True
     reuse_templates: bool = True
     heuristic_fallback: bool = True
+    analyze: str = "off"
     extra: dict = field(default_factory=dict)
     tracer: "object | None" = field(default=None, repr=False, compare=False)
 

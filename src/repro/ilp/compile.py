@@ -25,6 +25,14 @@ exactly: inequality rows (``>=`` negated to ``<=``) in constraint
 insertion order, then equality rows in insertion order, so a dense
 round-trip through :meth:`CompiledModel.to_standard_form` is
 bit-identical to the legacy path.
+
+Because the derived views *alias* their parent's arrays, every array of
+a :class:`CompiledModel` is frozen (``writeable=False``) at compile
+time: an accidental in-place write — which would silently corrupt every
+template sibling sharing the buffer — fails loudly with numpy's
+``ValueError: assignment destination is read-only`` instead.  Backends
+needing scratch space must ``.copy()`` first (they all do); the custom
+lint rule RL001 (``tools/repro_lint.py``) guards call sites.
 """
 
 from __future__ import annotations
@@ -41,6 +49,20 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.ilp.model import Model, StandardForm
 
 __all__ = ["CompiledModel", "compile_model", "ensure_compiled"]
+
+
+def _frozen(array: np.ndarray) -> np.ndarray:
+    """Mark ``array`` read-only and return it.
+
+    Compiled arrays are shared across template siblings (see
+    :meth:`CompiledModel.with_b_ub` / :meth:`CompiledModel
+    .truncate_ub_rows`), so in-place mutation would corrupt models that
+    look independent; freezing turns that silent corruption into an
+    immediate ``ValueError``.  Views taken of a frozen array (the
+    truncated prefix siblings) inherit the read-only flag from numpy.
+    """
+    array.flags.writeable = False
+    return array
 
 
 class _ViewCache:
@@ -142,12 +164,14 @@ class CompiledModel:
         """Dense inequality matrix (cached; rows normalized to ``<=``)."""
         cache = self._views
         if cache.dense_ub is None or cache.dense_ub.shape[0] < self.num_ub_rows:
-            cache.dense_ub = _dense_from_csr(
-                self.ub_indptr,
-                self.ub_indices,
-                self.ub_data,
-                self.num_ub_rows,
-                self.num_vars,
+            cache.dense_ub = _frozen(
+                _dense_from_csr(
+                    self.ub_indptr,
+                    self.ub_indices,
+                    self.ub_data,
+                    self.num_ub_rows,
+                    self.num_vars,
+                )
             )
         return cache.dense_ub[: self.num_ub_rows]
 
@@ -156,12 +180,14 @@ class CompiledModel:
         """Dense equality matrix (cached)."""
         cache = self._views
         if cache.dense_eq is None or cache.dense_eq.shape[0] < self.num_eq_rows:
-            cache.dense_eq = _dense_from_csr(
-                self.eq_indptr,
-                self.eq_indices,
-                self.eq_data,
-                self.num_eq_rows,
-                self.num_vars,
+            cache.dense_eq = _frozen(
+                _dense_from_csr(
+                    self.eq_indptr,
+                    self.eq_indices,
+                    self.eq_data,
+                    self.num_eq_rows,
+                    self.num_vars,
+                )
             )
         return cache.dense_eq[: self.num_eq_rows]
 
@@ -237,10 +263,12 @@ class CompiledModel:
         sides (already in the normalized ``<=`` direction).  The matrix
         structure, bounds, objective and the dense/scipy view caches are
         shared, so instantiating a new window costs one ``b_ub`` copy.
+        The patched copy is frozen again before it is handed out.
         """
         b_ub = self.b_ub.copy()
         for row, value in updates.items():
             b_ub[row] = value
+        b_ub = _frozen(b_ub)
         return CompiledModel(
             variables=self.variables,
             c=self.c,
@@ -254,6 +282,40 @@ class CompiledModel:
             eq_indices=self.eq_indices,
             eq_data=self.eq_data,
             b_eq=self.b_eq,
+            eq_names=self.eq_names,
+            lb=self.lb,
+            ub=self.ub,
+            is_integral=self.is_integral,
+            maximize=self.maximize,
+            _views=self._views,
+            _var_index=self._var_index,
+        )
+
+    def with_b_eq(self, updates: Mapping[int, float]) -> "CompiledModel":
+        """Sibling sharing every array except a patched copy of ``b_eq``.
+
+        The equality-block counterpart of :meth:`with_b_ub`; used by
+        :meth:`repro.ilp.model.Model.set_rhs` to patch an equality
+        right-hand side without mutating arrays that template siblings
+        may alias.
+        """
+        b_eq = self.b_eq.copy()
+        for row, value in updates.items():
+            b_eq[row] = value
+        b_eq = _frozen(b_eq)
+        return CompiledModel(
+            variables=self.variables,
+            c=self.c,
+            c0=self.c0,
+            ub_indptr=self.ub_indptr,
+            ub_indices=self.ub_indices,
+            ub_data=self.ub_data,
+            b_ub=self.b_ub,
+            ub_names=self.ub_names,
+            eq_indptr=self.eq_indptr,
+            eq_indices=self.eq_indices,
+            eq_data=self.eq_data,
+            b_eq=b_eq,
             eq_names=self.eq_names,
             lb=self.lb,
             ub=self.ub,
@@ -404,22 +466,22 @@ def compile_model(model: "Model") -> CompiledModel:
 
     return CompiledModel(
         variables=variables,
-        c=c,
+        c=_frozen(c),
         c0=float(c0),
-        ub_indptr=np.asarray(ub_indptr, dtype=np.intp),
-        ub_indices=np.asarray(ub_indices, dtype=np.intp),
-        ub_data=np.asarray(ub_data, dtype=float),
-        b_ub=np.asarray(b_ub, dtype=float),
+        ub_indptr=_frozen(np.asarray(ub_indptr, dtype=np.intp)),
+        ub_indices=_frozen(np.asarray(ub_indices, dtype=np.intp)),
+        ub_data=_frozen(np.asarray(ub_data, dtype=float)),
+        b_ub=_frozen(np.asarray(b_ub, dtype=float)),
         ub_names=tuple(ub_names),
-        eq_indptr=np.asarray(eq_indptr, dtype=np.intp),
-        eq_indices=np.asarray(eq_indices, dtype=np.intp),
-        eq_data=np.asarray(eq_data, dtype=float),
-        b_eq=np.asarray(b_eq, dtype=float),
+        eq_indptr=_frozen(np.asarray(eq_indptr, dtype=np.intp)),
+        eq_indices=_frozen(np.asarray(eq_indices, dtype=np.intp)),
+        eq_data=_frozen(np.asarray(eq_data, dtype=float)),
+        b_eq=_frozen(np.asarray(b_eq, dtype=float)),
         eq_names=tuple(eq_names),
-        lb=np.array([v.lb for v in variables]),
-        ub=np.array([v.ub for v in variables]),
-        is_integral=np.array(
-            [v.vtype.is_integral for v in variables], dtype=bool
+        lb=_frozen(np.array([v.lb for v in variables])),
+        ub=_frozen(np.array([v.ub for v in variables])),
+        is_integral=_frozen(
+            np.array([v.vtype.is_integral for v in variables], dtype=bool)
         ),
         maximize=maximize,
     )

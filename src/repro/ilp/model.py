@@ -165,9 +165,13 @@ class Model:
         """Update the right-hand side of the constraint named ``name``.
 
         This is the incremental-update fast path: when a compiled form is
-        cached it is patched in place (one scalar write) instead of being
-        rebuilt, so templated re-solves that only slide a bound cost
-        nothing beyond the write.
+        cached it is replaced by a right-hand-side sibling (one RHS-array
+        copy, every other array shared) instead of being rebuilt.  The
+        compiled arrays themselves are frozen and never written in
+        place — template siblings produced by
+        :meth:`repro.ilp.compile.CompiledModel.with_b_ub` /
+        ``truncate_ub_rows`` alias them, so an in-place write here would
+        silently retarget models that look independent.
         """
         for constraint in self._constraints:
             if constraint.name == name:
@@ -178,11 +182,11 @@ class Model:
         if self._compiled is not None:
             kind, row = self._compiled.row_position(name)
             if kind == "eq":
-                self._compiled.b_eq[row] = float(rhs)
+                self._compiled = self._compiled.with_b_eq({row: float(rhs)})
             elif constraint.sense is Sense.GE:
-                self._compiled.b_ub[row] = -float(rhs)
+                self._compiled = self._compiled.with_b_ub({row: -float(rhs)})
             else:
-                self._compiled.b_ub[row] = float(rhs)
+                self._compiled = self._compiled.with_b_ub({row: float(rhs)})
 
     def set_objective(
         self, expr, sense: str = ObjectiveSense.MINIMIZE

@@ -40,6 +40,7 @@ import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
+from repro.analysis.analyzer import ANALYZE_MODES
 from repro.ilp.status import SolveStatus
 from repro.obs.tracer import as_tracer
 from repro.solve.cache import SolveCache
@@ -110,6 +111,12 @@ class SolveExecutor:
         self.reuse_templates = bool(
             getattr(settings, "reuse_templates", True)
         )
+        self.analyze_mode = str(getattr(settings, "analyze", "off") or "off")
+        if self.analyze_mode not in ANALYZE_MODES:
+            raise ValueError(
+                f"unknown analyze mode {self.analyze_mode!r}; "
+                f"known: {ANALYZE_MODES}"
+            )
         # Templates keyed by object identity of graph/processor (plus N
         # and the *effective* options).  The template itself holds strong
         # references to both objects, so a live entry's ids cannot be
@@ -238,6 +245,9 @@ class SolveExecutor:
                         options,
                     )
 
+            if self.analyze_mode != "off":
+                self._analyze(tp_model)
+
             fp: ModelFingerprint | None = None
             if self.cache is not None:
                 fp = fingerprint_model(tp_model)
@@ -329,6 +339,46 @@ class SolveExecutor:
                 graph, processor, num_partitions, d_max, d_min,
                 options, fp, start, timed_out=True,
             )
+
+    # -- pre-solve analysis --------------------------------------------------
+
+    #: Per-pass cap on ``analyzer_diagnostic`` tracer events; the full
+    #: report is still counted in telemetry and summarized on the span.
+    _MAX_DIAGNOSTIC_EVENTS = 20
+
+    def _analyze(self, tp_model) -> None:
+        """Run the pre-solve analyzer on the prepared window model.
+
+        ``"warn"`` records the findings (tracer span + events, telemetry
+        counters) and continues; ``"strict"`` raises
+        :class:`repro.analysis.ModelAnalysisError` on ERROR-severity
+        findings *before any backend attempt* so a malformed model never
+        costs a portfolio race.
+        """
+        from repro.analysis import ModelAnalysisError, analyze_model
+
+        with self.tracer.span("model_analyze", mode=self.analyze_mode) as sp:
+            report = analyze_model(tp_model)
+            num_errors = len(report.errors)
+            num_warnings = len(report.warnings)
+            sp.annotate(errors=num_errors, warnings=num_warnings)
+            self.telemetry.record_analysis(num_errors, num_warnings)
+            for diag in report.diagnostics[: self._MAX_DIAGNOSTIC_EVENTS]:
+                sp.event(
+                    "analyzer_diagnostic",
+                    code=diag.code,
+                    severity=diag.severity.value,
+                    paper_eq=diag.paper_eq,
+                    message=diag.message,
+                )
+            if len(report.diagnostics) > self._MAX_DIAGNOSTIC_EVENTS:
+                sp.event(
+                    "analyzer_diagnostics_truncated",
+                    emitted=self._MAX_DIAGNOSTIC_EVENTS,
+                    total=len(report.diagnostics),
+                )
+        if self.analyze_mode == "strict" and not report.ok:
+            raise ModelAnalysisError(report)
 
     # -- outcome assembly ----------------------------------------------------
 

@@ -88,6 +88,12 @@ class RunTelemetry:
     #: Window models served by patching a template (cheap path); compare
     #: with ``template_builds`` for the incremental-reuse ratio.
     template_instantiations: int = 0
+    #: Pre-solve analyzer passes run (``SolverSettings.analyze != "off"``).
+    analysis_runs: int = 0
+    #: ERROR-severity diagnostics across all analyzer passes.
+    analysis_errors: int = 0
+    #: WARNING-severity diagnostics across all analyzer passes.
+    analysis_warnings: int = 0
 
     # -- recording (executor-facing) ----------------------------------------
 
@@ -107,6 +113,12 @@ class RunTelemetry:
         self.backend_wall[backend] = (
             self.backend_wall.get(backend, 0.0) + seconds
         )
+
+    def record_analysis(self, num_errors: int, num_warnings: int) -> None:
+        """Count one pre-solve analyzer pass and its findings."""
+        self.analysis_runs += 1
+        self.analysis_errors += num_errors
+        self.analysis_warnings += num_warnings
 
     # -- derived views ------------------------------------------------------
 
@@ -150,6 +162,9 @@ class RunTelemetry:
             "fallbacks": self.fallbacks,
             "template_builds": self.template_builds,
             "template_instantiations": self.template_instantiations,
+            "analysis_runs": self.analysis_runs,
+            "analysis_errors": self.analysis_errors,
+            "analysis_warnings": self.analysis_warnings,
             "degraded": self.degraded,
             "backend_wall": dict(self.backend_wall),
             "backend_wins": dict(self.backend_wins),

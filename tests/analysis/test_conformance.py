@@ -1,0 +1,184 @@
+"""Paper-conformance analyzer checks: complete constraint families.
+
+Includes the acceptance scenario of the analyzer: a deliberately
+corrupted AR-filter model (dropped uniqueness row, duplicated resource
+row, dangling crossing column) must be reported defect by defect, each
+with the paper-equation tag it violates.
+"""
+
+import pytest
+
+from repro.analysis import (
+    Severity,
+    analyze_model,
+    check_conformance,
+    paper_equation_for,
+)
+from repro.arch import ReconfigurableProcessor
+from repro.core import build_model
+from repro.core.formulation import FormulationOptions
+from repro.taskgraph.library import ar_filter
+
+
+@pytest.fixture(scope="module")
+def processor():
+    return ReconfigurableProcessor(
+        resource_capacity=400.0,
+        memory_capacity=128.0,
+        reconfiguration_time=20.0,
+        name="xc6264",
+    )
+
+
+def ar_model(processor, d_max=640.0, d_min=0.0, options=None):
+    return build_model(ar_filter(), processor, 3, d_max, d_min, options)
+
+
+def conformance(tp):
+    return check_conformance(
+        tp.model.compile(),
+        tp.graph,
+        tp.num_partitions,
+        options=tp.options,
+        d_min=tp.d_min,
+    )
+
+
+class TestEquationPrefixMap:
+    @pytest.mark.parametrize(
+        "name,tag",
+        [
+            ("uniq[T3]", "(1)"),
+            ("order[T1,T2,2]", "(2)"),
+            ("memory[1]", "(3)"),
+            ("w[2,T1,T4]_ge", "(4)-(5)"),
+            ("resource[3]", "(6)"),
+            ("resource_mult[3]", "(6)"),
+            ("pathlat[0,2]", "(7)"),
+            ("eta_area_cut", "(8)"),
+            ("eta[T6]", "(8)"),
+            ("latency_ub", "(9)"),
+            ("latency_lb", "(10)"),
+            ("Y[T1,2,0]", "(1)-(2)"),
+            ("sym[1]", None),
+            (None, None),
+        ],
+    )
+    def test_prefixes(self, name, tag):
+        assert paper_equation_for(name) == tag
+
+
+class TestCleanConformance:
+    def test_ar_filter_model_is_conformant(self, processor):
+        assert conformance(ar_model(processor)) == []
+
+    def test_two_sided_window_checked_when_d_min_positive(self, processor):
+        tp = ar_model(processor, d_min=100.0)
+        assert conformance(tp) == []
+
+    def test_two_sided_w_rows_checked(self, processor):
+        tp = ar_model(
+            processor, options=FormulationOptions(two_sided_w=True)
+        )
+        assert conformance(tp) == []
+
+
+class TestMissingFamilies:
+    def test_dropped_uniqueness_row(self, processor):
+        tp = ar_model(processor)
+        tp.model.remove_constr("uniq[T3]")
+        diags = conformance(tp)
+        assert [d.code for d in diags] == ["missing-uniqueness"]
+        assert diags[0].paper_eq == "(1)"
+        assert "T3" in diags[0].message
+
+    def test_dropped_resource_row(self, processor):
+        tp = ar_model(processor)
+        tp.model.remove_constr("resource[2]")
+        diags = conformance(tp)
+        assert [d.code for d in diags] == ["missing-resource-row"]
+        assert diags[0].paper_eq == "(6)"
+
+    def test_dropped_crossing_row(self, processor):
+        tp = ar_model(processor)
+        w_name = next(
+            v.name for v in tp.model.variables if v.name.startswith("w[")
+        )
+        tp.model.remove_constr(f"{w_name}_ge")
+        diags = conformance(tp)
+        assert [d.code for d in diags] == ["missing-crossing-row"]
+        assert diags[0].paper_eq == "(4)-(5)"
+        assert diags[0].variables == (w_name,)
+
+    def test_dropped_latency_window(self, processor):
+        tp = ar_model(processor)
+        tp.model.remove_constr("latency_ub")
+        diags = conformance(tp)
+        assert [d.code for d in diags] == ["missing-latency-window"]
+        assert diags[0].paper_eq == "(9)"
+
+    def test_dropped_eta_sink_row(self, processor):
+        tp = ar_model(processor)
+        sink = next(iter(tp.graph.sinks()))
+        tp.model.remove_constr(f"eta[{sink}]")
+        diags = conformance(tp)
+        assert [d.code for d in diags] == ["missing-eta-bound"]
+        assert diags[0].paper_eq == "(8)"
+
+    def test_duplicated_uniqueness_row(self, processor):
+        tp = ar_model(processor)
+        uniq = next(
+            c for c in tp.model.constraints if c.name == "uniq[T2]"
+        )
+        tp.model.add_constr((uniq.expr == uniq.rhs).named("uniq[T2]"))
+        diags = conformance(tp)
+        assert [d.code for d in diags] == ["duplicate-uniqueness"]
+        assert diags[0].paper_eq == "(1)"
+
+
+class TestAcceptanceScenario:
+    """ISSUE acceptance: corrupted AR model, three seeded defects."""
+
+    def test_each_defect_reported_with_its_equation(self, processor):
+        tp = ar_model(processor)
+        # Defect 1: drop the uniqueness row of T3 (equation (1)).
+        tp.model.remove_constr("uniq[T3]")
+        # Defect 2: duplicate the resource row of partition 2 (eq (6)).
+        resource = next(
+            c for c in tp.model.constraints if c.name == "resource[2]"
+        )
+        tp.model.add_constr(
+            (resource.expr <= resource.rhs).named("resource[2]_dup")
+        )
+        # Defect 3: a dangling crossing column (eqs (4)-(5)) — the
+        # variable exists but no linearization row constrains it.
+        tp.model.add_binary("w[9,T1,T2]")
+
+        report = analyze_model(tp)
+        assert not report.ok
+
+        missing_uniq = report.by_code("missing-uniqueness")
+        assert len(missing_uniq) == 1
+        assert missing_uniq[0].paper_eq == "(1)"
+        assert missing_uniq[0].severity is Severity.ERROR
+
+        duplicates = report.by_code("duplicate-row")
+        assert any(
+            set(d.rows) == {"resource[2]", "resource[2]_dup"}
+            and d.paper_eq == "(6)"
+            for d in duplicates
+        )
+
+        dangling = report.by_code("dangling-column")
+        assert any(
+            d.variables == ("w[9,T1,T2]",)
+            and d.paper_eq == "(4)-(5)"
+            and d.severity is Severity.ERROR
+            for d in dangling
+        )
+
+        crossing = report.by_code("missing-crossing-row")
+        assert any(
+            d.variables == ("w[9,T1,T2]",) and d.paper_eq == "(4)-(5)"
+            for d in crossing
+        )

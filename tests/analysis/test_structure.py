@@ -1,0 +1,192 @@
+"""Structural analyzer checks on hand-built ILP models."""
+
+import numpy as np
+
+from repro.analysis import Severity, analyze_compiled, analyze_structure
+from repro.ilp import Model, VarType
+
+
+def clean_model() -> Model:
+    m = Model("clean")
+    x = m.add_var("x", ub=4, vtype=VarType.INTEGER)
+    y = m.add_binary("y")
+    m.add_constr(x + y <= 5, name="cap")
+    m.add_constr(x - y >= 0, name="floor")
+    m.set_objective(x + y, sense="maximize")
+    return m
+
+
+def codes(diags):
+    return sorted(d.code for d in diags)
+
+
+class TestCleanModels:
+    def test_clean_model_has_no_findings(self):
+        assert analyze_structure(clean_model().compile()) == []
+
+    def test_report_facade(self):
+        report = analyze_compiled(clean_model().compile())
+        assert report.ok
+        assert report.clean
+        assert "clean" in report.summary()
+
+
+class TestVariableChecks:
+    def test_contradictory_bounds(self):
+        m = clean_model()
+        z = m.add_var("z", lb=0.0, ub=5.0)
+        m.add_constr(z <= 5, name="zcap")
+        z.lb, z.ub = 10.0, 5.0  # simulate post-construction corruption
+        diags = analyze_structure(m.compile())
+        assert "bounds-contradictory" in codes(diags)
+        bad = next(d for d in diags if d.code == "bounds-contradictory")
+        assert bad.severity is Severity.ERROR
+        assert bad.variables == ("z",)
+
+    def test_binary_domain_violation(self):
+        m = clean_model()
+        b = m.add_binary("b")
+        m.add_constr(b <= 1, name="bcap")
+        b.ub = 2.0
+        diags = analyze_structure(m.compile())
+        assert "binary-domain" in codes(diags)
+
+    def test_dangling_integer_column_is_error(self):
+        m = clean_model()
+        m.add_binary("unused")
+        diags = analyze_structure(m.compile())
+        dangling = [d for d in diags if d.code == "dangling-column"]
+        assert len(dangling) == 1
+        assert dangling[0].severity is Severity.ERROR
+        assert dangling[0].variables == ("unused",)
+
+    def test_dangling_objective_column_is_warning(self):
+        m = clean_model()
+        extra = m.add_var("extra", ub=3.0)
+        m.set_objective(extra, sense="maximize")
+        diags = analyze_structure(m.compile())
+        dangling = [d for d in diags if d.code == "dangling-column"]
+        assert len(dangling) == 1
+        assert dangling[0].severity is Severity.WARNING
+
+
+class TestRowChecks:
+    def test_trivially_infeasible_le_row(self):
+        m = clean_model()
+        x = next(v for v in m.variables if v.name == "x")
+        m.add_constr(x >= 100, name="impossible")  # x <= 4
+        diags = analyze_structure(m.compile())
+        assert "row-infeasible" in codes(diags)
+
+    def test_trivially_infeasible_eq_row(self):
+        m = clean_model()
+        y = next(v for v in m.variables if v.name == "y")
+        m.add_constr(y == 7, name="impossible_eq")  # y binary
+        diags = analyze_structure(m.compile())
+        infeasible = [d for d in diags if d.code == "row-infeasible"]
+        assert infeasible and infeasible[0].severity is Severity.ERROR
+
+    def test_duplicate_row(self):
+        m = clean_model()
+        x = next(v for v in m.variables if v.name == "x")
+        y = next(v for v in m.variables if v.name == "y")
+        m.add_constr(x + y <= 5, name="cap_dup")
+        diags = analyze_structure(m.compile())
+        dup = [d for d in diags if d.code == "duplicate-row"]
+        assert len(dup) == 1
+        assert set(dup[0].rows) == {"cap", "cap_dup"}
+
+    def test_dominated_row(self):
+        m = clean_model()
+        x = next(v for v in m.variables if v.name == "x")
+        y = next(v for v in m.variables if v.name == "y")
+        m.add_constr(x + y <= 9, name="cap_loose")
+        diags = analyze_structure(m.compile())
+        dom = [d for d in diags if d.code == "dominated-row"]
+        assert len(dom) == 1
+        assert dom[0].rows[0] == "cap_loose"  # the loose one is redundant
+
+    def test_nonunit_logical_coefficient(self):
+        m = Model("logical")
+        a = m.add_binary("Y[a,1,1]")
+        b = m.add_binary("Y[a,2,1]")
+        m.add_constr(2 * a + b == 1, name="uniq[a]")
+        diags = analyze_structure(m.compile())
+        bad = [d for d in diags if d.code == "nonunit-logical-coefficient"]
+        assert len(bad) == 1
+        assert bad[0].paper_eq == "(1)"
+
+    def test_fractional_rhs_on_integer_row(self):
+        m = Model("frac")
+        x = m.add_integer("x", ub=10)
+        m.add_constr(x <= 4.5, name="frac_cap")
+        diags = analyze_structure(m.compile())
+        frac = [d for d in diags if d.code == "fractional-rhs"]
+        assert len(frac) == 1
+        assert frac[0].severity is Severity.WARNING
+        assert "floored to 4" in frac[0].message
+
+    def test_fractional_rhs_on_integer_equality_is_infeasible(self):
+        m = Model("frac_eq")
+        x = m.add_integer("x", ub=10)
+        m.add_constr(x == 4.5, name="frac_link")
+        diags = analyze_structure(m.compile())
+        assert "row-infeasible" in codes(diags)
+
+    def test_fractional_rhs_skipped_with_continuous_support(self):
+        m = Model("frac_cont")
+        x = m.add_integer("x", ub=10)
+        z = m.add_var("z", ub=10.0)
+        m.add_constr(x + z <= 4.5, name="mixed_cap")
+        assert analyze_structure(m.compile()) == []
+
+    def test_coefficient_spread_warning(self):
+        m = Model("spread")
+        x = m.add_var("x", ub=1.0)
+        y = m.add_var("y", ub=1.0)
+        m.add_constr(1e-6 * x + 1e6 * y <= 1, name="wide")
+        diags = analyze_structure(m.compile())
+        spread = [d for d in diags if d.code == "coefficient-spread"]
+        assert len(spread) == 1
+        assert spread[0].severity is Severity.WARNING
+
+
+class TestReportOrderingAndSerialization:
+    def test_errors_sort_before_warnings(self):
+        m = clean_model()
+        x = next(v for v in m.variables if v.name == "x")
+        y = next(v for v in m.variables if v.name == "y")
+        m.add_constr(x + y <= 9, name="cap_loose")   # warning
+        m.add_constr(x >= 100, name="impossible")     # error
+        report = analyze_compiled(m.compile())
+        severities = [d.severity for d in report.diagnostics]
+        assert severities == sorted(severities, key=lambda s: s.rank)
+        assert not report.ok
+        assert not report.clean
+
+    def test_to_dict_round_trips_counts(self):
+        m = clean_model()
+        m.add_binary("unused")
+        report = analyze_compiled(m.compile())
+        payload = report.to_dict()
+        assert payload["errors"] == len(report.errors)
+        assert payload["diagnostics"][0]["code"] == "dangling-column"
+
+    def test_render_mentions_paper_eq(self):
+        m = Model("tagged")
+        a = m.add_binary("Y[a,1,1]")
+        m.add_constr(2 * a == 1, name="uniq[a]")
+        report = analyze_compiled(m.compile())
+        assert "(1)" in report.render()
+
+
+class TestFrozenInputTolerated:
+    def test_analyzer_never_writes_its_input(self):
+        compiled = clean_model().compile()
+        before = {
+            name: np.array(getattr(compiled, name))
+            for name in ("b_ub", "ub_data", "lb", "ub")
+        }
+        analyze_structure(compiled)
+        for name, snapshot in before.items():
+            assert np.array_equal(getattr(compiled, name), snapshot)

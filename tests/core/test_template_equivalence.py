@@ -173,3 +173,24 @@ class TestTemplateWindowRows:
         template = ModelTemplate(graph, processor, 2)
         with pytest.raises(ValueError):
             template.instantiate(10.0, 5.0)
+
+    def test_instantiated_windows_are_immutable(self):
+        """Window siblings share structure arrays; writes must fail loudly.
+
+        ``instantiate`` hands out ``with_b_ub`` siblings whose structure
+        arrays alias the template's.  A silent in-place write to one
+        window would corrupt every other window (and the cached
+        ``_no_lb`` view), so the compiled arrays are frozen.
+        """
+        graph = graph_for(5)
+        processor = processor_for(5)
+        template = ModelTemplate(graph, processor, 2)
+        first = template.instantiate(0.0, 400.0)
+        second = template.instantiate(0.0, 300.0)
+        with pytest.raises(ValueError):
+            first.compiled.b_ub[-1] = 123.0  # repro-lint: ignore[RL001]
+        with pytest.raises(ValueError):
+            first.compiled.ub_data[0] = 9.0  # repro-lint: ignore[RL001]
+        # The failed writes left both windows intact.
+        assert first.compiled.b_ub[-1] == 400.0
+        assert second.compiled.b_ub[-1] == 300.0

@@ -136,20 +136,38 @@ class TestFingerprint:
 
 
 class TestModelIncrementalEdits:
-    def test_set_rhs_updates_cached_compiled_in_place(self):
+    def test_set_rhs_patches_cached_compiled_without_recompiling(self):
         model = mixed_model()
         compiled = model.compile()
         model.set_rhs("cap", 6.0)
         kind, row = compiled.row_position("cap")
-        assert compiled.b_ub[row] == 6.0
-        assert model.compile() is compiled  # no recompilation
+        patched = model.compile()
+        assert patched.b_ub[row] == 6.0
+        # No recompilation: every structure array is shared verbatim;
+        # only the RHS vector was copied.
+        assert patched.ub_data is compiled.ub_data
+        assert patched.eq_data is compiled.eq_data
+        assert patched.variables is compiled.variables
+        # Previously-handed-out compiled forms are never retargeted:
+        # the old handle still describes the old model.
+        assert compiled.b_ub[row] == 7.0
 
     def test_set_rhs_negates_ge_rows(self):
         model = mixed_model()
         compiled = model.compile()
         model.set_rhs("floor", 2.0)
         kind, row = compiled.row_position("floor")
-        assert compiled.b_ub[row] == -2.0
+        assert model.compile().b_ub[row] == -2.0
+
+    def test_set_rhs_patches_equality_rows(self):
+        model = mixed_model()
+        compiled = model.compile()
+        model.set_rhs("link", 3.0)
+        kind, row = compiled.row_position("link")
+        assert kind == "eq"
+        patched = model.compile()
+        assert patched.b_eq[row] == 3.0
+        assert patched.ub_data is compiled.ub_data
 
     def test_set_rhs_unknown_name(self):
         with pytest.raises(ModelError):
@@ -180,3 +198,40 @@ class TestSolveCompiled:
         direct = model.solve(backend="simplex")
         compiled = solve_compiled(model.compile(), backend="simplex")
         assert compiled.objective == pytest.approx(direct.objective)
+
+
+class TestFrozenArrays:
+    """Compiled arrays are read-only: aliased siblings fail loudly."""
+
+    def test_every_array_is_read_only(self):
+        compiled = compile_model(mixed_model())
+        for attr in (
+            "c", "ub_indptr", "ub_indices", "ub_data", "b_ub",
+            "eq_indptr", "eq_indices", "eq_data", "b_eq",
+            "lb", "ub", "is_integral",
+        ):
+            assert not getattr(compiled, attr).flags.writeable, attr
+
+    def test_in_place_write_raises(self):
+        compiled = compile_model(mixed_model())
+        with pytest.raises(ValueError):
+            compiled.b_ub[0] = 99.0  # repro-lint: ignore[RL001]
+        with pytest.raises(ValueError):
+            compiled.ub_data[0] = 99.0  # repro-lint: ignore[RL001]
+
+    def test_sibling_rhs_copies_are_read_only_too(self):
+        compiled = compile_model(mixed_model())
+        kind, row = compiled.row_position("cap")
+        sibling = compiled.with_b_ub({row: 5.0})
+        with pytest.raises(ValueError):
+            sibling.b_ub[row] = 1.0  # repro-lint: ignore[RL001]
+        truncated = compiled.truncate_ub_rows(1)
+        with pytest.raises(ValueError):
+            truncated.b_ub[0] = 1.0  # repro-lint: ignore[RL001]
+
+    def test_dense_views_are_read_only(self):
+        compiled = compile_model(mixed_model())
+        with pytest.raises(ValueError):
+            compiled.a_ub[0, 0] = 1.0
+        with pytest.raises(ValueError):
+            compiled.a_eq[0, 0] = 1.0

@@ -89,3 +89,50 @@ class TestCleanGraphs:
         report = validate_graph(ar_filter(), resource_capacity=400)
         assert report.ok
         assert report.warnings == []
+
+
+class TestEdgeCases:
+    def test_single_task_graph_is_clean(self):
+        graph = TaskGraph()
+        graph.add_task("only", (dp(),))
+        report = validate_graph(graph, resource_capacity=100)
+        assert report.ok
+        # A lone task has no neighbors by definition; that is not an
+        # "isolated fragment" worth warning about.
+        assert report.warnings == []
+
+    def test_single_oversized_task(self):
+        graph = TaskGraph()
+        graph.add_task("only", (dp(area=1000),))
+        report = validate_graph(graph, resource_capacity=100)
+        assert not report.ok
+
+    def test_task_with_zero_design_points_rejected_at_construction(self):
+        graph = TaskGraph()
+        with pytest.raises(GraphValidationError, match="no design points"):
+            graph.add_task("empty", ())
+
+    def test_cycle_through_longer_path(self):
+        graph = TaskGraph()
+        for name in ("a", "b", "c"):
+            graph.add_task(name, (dp(),))
+        graph.add_edge("a", "b", 1)
+        graph.add_edge("b", "c", 1)
+        graph.add_edge("c", "a", 1)
+        report = validate_graph(graph)
+        assert not report.ok
+        assert "cycle" in report.errors[0]
+
+    def test_empty_graph_short_circuits_before_other_checks(self):
+        report = validate_graph(TaskGraph(), resource_capacity=1.0)
+        assert report.errors == ["task graph has no tasks"]
+        assert report.warnings == []
+
+    def test_strict_on_clean_graph_stays_ok(self):
+        graph = TaskGraph()
+        graph.add_task("a", (dp(),))
+        graph.add_task("b", (dp(),))
+        graph.add_edge("a", "b", 1)
+        report = validate_graph(graph, strict=True)
+        assert report.ok
+        assert report.warnings == []

@@ -178,3 +178,69 @@ class TestParser:
     def test_unknown_table_rejected(self):
         with pytest.raises(SystemExit):
             main(["table", "9"])
+
+
+class TestAnalyze:
+    def test_clean_model_exits_0(self, ar_json, capsys):
+        code = main([
+            "analyze", ar_json,
+            "--r-max", "400", "--m-max", "128", "--ct", "20", "-n", "3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "clean" in out
+
+    def test_defective_model_exits_3(self, ar_json, capsys):
+        # d_max below C_T makes the latency_ub row trivially infeasible.
+        code = main([
+            "analyze", ar_json,
+            "--r-max", "400", "--m-max", "128", "--ct", "20", "-n", "3",
+            "--d-max", "1",
+        ])
+        assert code == 3
+        out = capsys.readouterr().out
+        assert "row-infeasible" in out
+        assert "(9)" in out
+
+    def test_json_output(self, ar_json, capsys):
+        code = main([
+            "analyze", ar_json,
+            "--r-max", "400", "--m-max", "128", "--ct", "20", "-n", "3",
+            "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["num_partitions"] == 3
+        assert payload["diagnostics"] == []
+
+    def test_missing_graph_file_exits_2(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main([
+                "analyze", str(tmp_path / "nope.json"),
+                "--r-max", "400", "-n", "3",
+            ])
+        assert excinfo.value.code == 2
+        assert "cannot load graph" in capsys.readouterr().err
+
+    def test_invalid_graph_file_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"tasks": "not-a-list"}')
+        with pytest.raises(SystemExit) as excinfo:
+            main([
+                "analyze", str(bad),
+                "--r-max", "400", "-n", "3",
+            ])
+        assert excinfo.value.code == 2
+
+    def test_usage_error_exits_2(self, ar_json):
+        # argparse exits 2 on missing required arguments (-n).
+        with pytest.raises(SystemExit) as excinfo:
+            main(["analyze", ar_json, "--r-max", "400"])
+        assert excinfo.value.code == 2
+
+    def test_help_documents_exit_codes(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--help"])
+        assert excinfo.value.code == 0
+        assert "exit codes" in capsys.readouterr().out

@@ -16,6 +16,7 @@ PACKAGES = [
     "repro.arch",
     "repro.core",
     "repro.experiments",
+    "repro.analysis",
 ]
 
 

@@ -1,0 +1,198 @@
+"""The repo-specific AST lint (tools/repro_lint.py): rules RL001-RL003.
+
+``tools`` is not a package, so the module is loaded straight from its
+file path.  Each rule is exercised on seeded sources (violations must be
+flagged with the right rule and line) and on the real tree (the clean
+repo must pass — the acceptance gate CI enforces).
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+TOOL_PATH = REPO_ROOT / "tools" / "repro_lint.py"
+
+
+def _load_tool():
+    spec = importlib.util.spec_from_file_location("repro_lint", TOOL_PATH)
+    module = importlib.util.module_from_spec(spec)
+    # dataclass processing resolves the defining module via sys.modules,
+    # so the module must be registered before exec.
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+repro_lint = _load_tool()
+
+
+def lint_snippet(tmp_path, source: str, in_library: bool = False):
+    """Lint one snippet, optionally as if it lived under src/repro/."""
+    if in_library:
+        target = tmp_path / "src" / "repro" / "solve" / "snippet.py"
+        target.parent.mkdir(parents=True, exist_ok=True)
+    else:
+        target = tmp_path / "snippet.py"
+    target.write_text(source)
+    return repro_lint.lint_paths([target])
+
+
+class TestRL001CompiledMutation:
+    def test_subscript_write_flagged(self, tmp_path):
+        violations = lint_snippet(
+            tmp_path,
+            "def patch(compiled, row):\n"
+            "    compiled.b_ub[row] = 5.0\n",
+        )
+        assert [v.rule for v in violations] == ["RL001"]
+        assert violations[0].lineno == 2
+
+    def test_all_protected_structure_arrays_flagged(self, tmp_path):
+        arrays = (
+            "b_ub", "b_eq", "ub_data", "ub_indices", "ub_indptr",
+            "eq_data", "eq_indices", "eq_indptr", "is_integral",
+        )
+        body = "".join(f"    anything.{a}[0] = 1\n" for a in arrays)
+        violations = lint_snippet(tmp_path, f"def f(anything):\n{body}")
+        assert len(violations) == len(arrays)
+        assert {v.rule for v in violations} == {"RL001"}
+
+    def test_inplace_numpy_methods_flagged(self, tmp_path):
+        violations = lint_snippet(
+            tmp_path,
+            "def f(compiled):\n"
+            "    compiled.b_eq.fill(0.0)\n"
+            "    compiled.ub_data.sort()\n",
+        )
+        assert [v.rule for v in violations] == ["RL001", "RL001"]
+
+    def test_augmented_attribute_assignment_flagged(self, tmp_path):
+        violations = lint_snippet(
+            tmp_path,
+            "def f(compiled):\n"
+            "    compiled.b_ub += 1.0\n",
+        )
+        assert [v.rule for v in violations] == ["RL001"]
+
+    def test_context_arrays_need_compiled_base(self, tmp_path):
+        violations = lint_snippet(
+            tmp_path,
+            "def f(compiled, model, self):\n"
+            "    compiled.lb[0] = 1.0\n"      # flagged: compiled base
+            "    self._compiled.c[0] = 1.0\n"  # flagged: _compiled chain
+            "    model.lb[0] = 1.0\n",         # not flagged: other object
+        )
+        assert len(violations) == 2
+        assert all(v.rule == "RL001" for v in violations)
+
+    def test_rebinding_is_not_mutation(self, tmp_path):
+        assert lint_snippet(
+            tmp_path,
+            "def f(compiled, x):\n"
+            "    compiled.b_ub = x\n",  # dataclass construction / replace
+        ) == []
+
+    def test_suppression_comment(self, tmp_path):
+        source = (
+            "def f(compiled):\n"
+            "    compiled.b_ub[0] = 1.0  # repro-lint: ignore[RL001]\n"
+            "    compiled.b_ub[1] = 1.0  # repro-lint: ignore\n"
+            "    compiled.b_ub[2] = 1.0  # repro-lint: ignore[RL002]\n"
+        )
+        violations = lint_snippet(tmp_path, source)
+        # Only the mismatched-code suppression keeps its violation.
+        assert [v.lineno for v in violations] == [4]
+
+
+class TestRL002WorkerSharedState:
+    def test_self_write_in_cancel_function_flagged(self, tmp_path):
+        violations = lint_snippet(
+            tmp_path,
+            "class W:\n"
+            "    def run(self, cancel):\n"
+            "        self.result = 1\n",
+        )
+        assert [v.rule for v in violations] == ["RL002"]
+
+    def test_global_and_nonlocal_flagged(self, tmp_path):
+        violations = lint_snippet(
+            tmp_path,
+            "def outer():\n"
+            "    hits = 0\n"
+            "    def run(cancel):\n"
+            "        nonlocal hits\n"
+            "        global other\n"
+            "        hits = 1\n"
+            "    return run\n",
+        )
+        assert sorted(v.rule for v in violations) == ["RL002", "RL002"]
+
+    def test_functions_without_cancel_are_free(self, tmp_path):
+        assert lint_snippet(
+            tmp_path,
+            "class W:\n"
+            "    def run(self):\n"
+            "        self.result = 1\n"
+            "def g():\n"
+            "    global other\n",
+        ) == []
+
+    def test_local_writes_are_fine(self, tmp_path):
+        assert lint_snippet(
+            tmp_path,
+            "def run(cancel):\n"
+            "    local = 1\n"
+            "    return local\n",
+        ) == []
+
+
+class TestRL003StrayTracer:
+    SOURCE = (
+        "from repro.obs import Tracer\n"
+        "def f():\n"
+        "    return Tracer()\n"
+    )
+
+    def test_flagged_inside_library(self, tmp_path):
+        violations = lint_snippet(tmp_path, self.SOURCE, in_library=True)
+        assert [v.rule for v in violations] == ["RL003"]
+
+    def test_not_flagged_outside_library(self, tmp_path):
+        assert lint_snippet(tmp_path, self.SOURCE, in_library=False) == []
+
+    def test_obs_and_cli_are_composition_roots(self, tmp_path):
+        for rel in ("src/repro/obs/tracer.py", "src/repro/cli.py"):
+            target = tmp_path / rel
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(self.SOURCE)
+            assert repro_lint.lint_paths([target]) == [], rel
+
+
+class TestDriver:
+    def test_clean_repo_passes(self, capsys):
+        exit_code = repro_lint.main(
+            [str(REPO_ROOT / p) for p in ("src", "tests", "benchmarks",
+                                          "tools")]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0, captured.out + captured.err
+
+    def test_violations_exit_1_and_print_locations(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f(compiled):\n    compiled.b_ub[0] = 1\n")
+        exit_code = repro_lint.main([str(bad)])
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert f"{bad}:2: RL001" in captured.out
+
+    def test_missing_path_exits_2(self, tmp_path, capsys):
+        exit_code = repro_lint.main([str(tmp_path / "nope.py")])
+        assert exit_code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_syntax_error_reported_as_rl000(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def f(:\n")
+        violations = repro_lint.lint_paths([bad])
+        assert [v.rule for v in violations] == ["RL000"]

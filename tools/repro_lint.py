@@ -1,0 +1,326 @@
+#!/usr/bin/env python
+"""Repo-specific AST lint: invariants ruff cannot express.
+
+Usage::
+
+    python tools/repro_lint.py [path ...]      # default: src tests benchmarks tools
+
+Rules
+-----
+
+``RL001`` — in-place mutation of ``CompiledModel`` arrays.
+    ``with_b_ub``/``with_b_eq``/``truncate_ub_rows`` hand out siblings
+    whose numpy arrays alias the original's (and the template's cached
+    ``_no_lb`` view), so ``compiled.b_ub[i] = x`` silently corrupts
+    every sibling.  The arrays are frozen at compile time; this rule
+    catches the write *statically*, before the runtime ``ValueError``.
+    Flags subscript/augmented assignment to the protected attributes and
+    in-place numpy method calls (``.fill``, ``.sort``, ``.put``,
+    ``.resize``, ``.partition``) on them.
+
+``RL002`` — shared-state writes in portfolio workers.
+    ``repro.solve.portfolio`` attempt functions (signature marker: a
+    parameter named ``cancel``) run in racing threads.  They must
+    communicate only through their returned ``SolveAttempt`` and the
+    cancellation event; writing ``self.<attr>``, ``global`` or
+    ``nonlocal`` state from a worker is a data race.
+
+``RL003`` — tracer construction outside the composition roots.
+    Library code must trace through the run's tracer
+    (``SolverSettings.tracer``, threaded via ``SolveExecutor.tracer`` /
+    ``as_tracer``).  Constructing a fresh ``Tracer(...)`` anywhere in
+    ``src/repro/`` except :mod:`repro.obs` itself and the CLI entry
+    point forks the span tree.  Only enforced under ``src/repro/``.
+
+Suppression: append ``# repro-lint: ignore`` (all rules) or
+``# repro-lint: ignore[RL001]`` (one rule) to the offending line.
+
+Exit codes: 0 clean, 1 violations found, 2 usage/IO error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import re
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+#: Attributes that are *always* CompiledModel arrays when written through
+#: an attribute access — the names are unique to the compiled form.
+_ALWAYS_PROTECTED = frozenset({
+    "b_ub", "b_eq",
+    "ub_data", "ub_indices", "ub_indptr",
+    "eq_data", "eq_indices", "eq_indptr",
+    "is_integral",
+})
+
+#: Attributes shared with other objects (models have ``lb``/``ub``/``c``
+#: too); only flagged when the base object plausibly is a compiled model.
+_CONTEXT_PROTECTED = frozenset({"lb", "ub", "c"})
+
+#: Base names that mark the object as a compiled standard form.
+_COMPILED_NAMES = frozenset({"compiled", "cm", "form"})
+
+#: numpy ndarray methods that mutate in place.
+_INPLACE_METHODS = frozenset({"fill", "sort", "partition", "put", "resize"})
+
+_SUPPRESS_RE = re.compile(r"repro-lint:\s*ignore(?:\[(?P<codes>[A-Z0-9, ]+)\])?")
+
+
+@dataclass(frozen=True)
+class Violation:
+    path: Path
+    lineno: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.lineno}: {self.rule} {self.message}"
+
+
+def _base_is_compiled(node: ast.expr) -> bool:
+    """Does ``node`` (the object whose attribute is written) look like a
+    compiled model?  ``compiled`` / ``cm`` / ``form`` names and any
+    attribute chain ending in ``_compiled`` (e.g. ``self._compiled``)."""
+    if isinstance(node, ast.Name):
+        return node.id in _COMPILED_NAMES
+    if isinstance(node, ast.Attribute):
+        return node.attr.endswith("_compiled") or node.attr in _COMPILED_NAMES
+    return False
+
+
+def _protected_attribute(node: ast.expr) -> str | None:
+    """The protected-array attribute accessed by ``node``, if any.
+
+    Matches ``<obj>.b_ub`` for the always-protected names and
+    ``compiled.lb``-style accesses for the context-dependent ones.
+    """
+    if not isinstance(node, ast.Attribute):
+        return None
+    if node.attr in _ALWAYS_PROTECTED:
+        return node.attr
+    if node.attr in _CONTEXT_PROTECTED and _base_is_compiled(node.value):
+        return node.attr
+    return None
+
+
+class _RuleVisitor(ast.NodeVisitor):
+    def __init__(self, path: Path, in_library: bool) -> None:
+        self.path = path
+        self.in_library = in_library  # under src/repro/, RL003 applies
+        self.violations: list[Violation] = []
+        self._cancel_depth = 0  # inside a function taking ``cancel``
+
+    def _flag(self, node: ast.AST, rule: str, message: str) -> None:
+        self.violations.append(
+            Violation(self.path, node.lineno, rule, message)
+        )
+
+    # -- RL001: in-place writes to compiled arrays ---------------------------
+
+    def _check_write_target(self, target: ast.expr) -> None:
+        # compiled.b_ub[i] = x  /  compiled.b_ub[i] += x.  Re-binding the
+        # attribute itself (compiled.b_ub = x) is construction, not
+        # mutation, and stays legal.
+        if isinstance(target, ast.Subscript):
+            attr = _protected_attribute(target.value)
+            if attr is not None:
+                self._flag(
+                    target, "RL001",
+                    f"in-place write to CompiledModel array '.{attr}' — "
+                    "arrays alias template/sibling views; build a patched "
+                    "sibling with with_b_ub()/with_b_eq() instead",
+                )
+
+    # -- RL002 helpers -------------------------------------------------------
+
+    def _check_self_write(self, target: ast.expr) -> None:
+        if (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            self._flag(
+                target, "RL002",
+                f"write to 'self.{target.attr}' inside a portfolio attempt "
+                "(parameter 'cancel') — workers race in threads; return "
+                "results via SolveAttempt instead",
+            )
+
+    # -- combined traversal --------------------------------------------------
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_write_target(target)
+            if self._cancel_depth:
+                self._check_self_write(target)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_write_target(node.target)
+        # ``compiled.b_ub += x`` goes through ndarray.__iadd__: in-place
+        # mutation, unlike a plain re-binding assignment.
+        attr = _protected_attribute(node.target)
+        if attr is not None:
+            self._flag(
+                node, "RL001",
+                f"augmented assignment to CompiledModel array '.{attr}' "
+                "mutates in place via ndarray.__iadd__ — build a patched "
+                "sibling with with_b_ub()/with_b_eq() instead",
+            )
+        if self._cancel_depth:
+            self._check_self_write(node.target)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        # RL001: compiled.b_ub.fill(0) and friends
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _INPLACE_METHODS
+        ):
+            attr = _protected_attribute(func.value)
+            if attr is not None:
+                self._flag(
+                    node, "RL001",
+                    f"in-place numpy call '.{attr}.{func.attr}()' on a "
+                    "CompiledModel array — arrays alias template/sibling "
+                    "views; copy first or build a patched sibling",
+                )
+        # RL003: stray Tracer construction in library code
+        name = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        if name == "Tracer" and self.in_library:
+            self._flag(
+                node, "RL003",
+                "Tracer constructed in library code — thread the run's "
+                "tracer through SolverSettings.tracer / as_tracer() so "
+                "the span tree stays whole",
+            )
+        self.generic_visit(node)
+
+    def _visit_function(self, node) -> None:
+        args = node.args
+        names = [a.arg for a in (*args.posonlyargs, *args.args,
+                                 *args.kwonlyargs)]
+        takes_cancel = "cancel" in names
+        if takes_cancel:
+            self._cancel_depth += 1
+        self.generic_visit(node)
+        if takes_cancel:
+            self._cancel_depth -= 1
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    def visit_Global(self, node: ast.Global) -> None:
+        if self._cancel_depth:
+            self._flag(
+                node, "RL002",
+                f"'global {', '.join(node.names)}' inside a portfolio "
+                "attempt (parameter 'cancel') — workers race in threads; "
+                "return results via SolveAttempt instead",
+            )
+        self.generic_visit(node)
+
+    def visit_Nonlocal(self, node: ast.Nonlocal) -> None:
+        if self._cancel_depth:
+            self._flag(
+                node, "RL002",
+                f"'nonlocal {', '.join(node.names)}' inside a portfolio "
+                "attempt (parameter 'cancel') — workers race in threads; "
+                "return results via SolveAttempt instead",
+            )
+        self.generic_visit(node)
+
+
+def _lint_source(path: Path, source: str, in_library: bool) -> list[Violation]:
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [Violation(path, exc.lineno or 0, "RL000",
+                          f"syntax error: {exc.msg}")]
+    visitor = _RuleVisitor(path, in_library)
+    visitor.visit(tree)
+
+    lines = source.splitlines()
+    kept = []
+    for violation in visitor.violations:
+        line = lines[violation.lineno - 1] if (
+            0 < violation.lineno <= len(lines)
+        ) else ""
+        match = _SUPPRESS_RE.search(line)
+        if match:
+            codes = match.group("codes")
+            if codes is None:
+                continue  # bare ignore: all rules
+            if violation.rule in {c.strip() for c in codes.split(",")}:
+                continue
+        kept.append(violation)
+    return kept
+
+
+def _is_library_path(path: Path) -> bool:
+    """RL003 scope: ``src/repro/**`` minus ``obs/`` and ``cli.py``."""
+    parts = path.as_posix()
+    if "src/repro/" not in parts:
+        return False
+    rest = parts.split("src/repro/", 1)[1]
+    if rest.startswith("obs/") or "/obs/" in rest:
+        return False
+    return rest != "cli.py"
+
+
+def lint_paths(paths: list[Path]) -> list[Violation]:
+    files: list[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py" and path.exists():
+            files.append(path)
+        else:
+            raise FileNotFoundError(f"not a Python file or directory: {path}")
+    violations: list[Violation] = []
+    for file in files:
+        if "__pycache__" in file.parts:
+            continue
+        source = file.read_text()
+        violations.extend(
+            _lint_source(file, source, _is_library_path(file))
+        )
+    return violations
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="repo-specific AST lint (RL001 compiled-array "
+        "mutation, RL002 worker shared state, RL003 stray tracers)",
+    )
+    parser.add_argument(
+        "paths", nargs="*", type=Path,
+        default=[Path("src"), Path("tests"), Path("benchmarks"),
+                 Path("tools")],
+        help="files or directories to lint (default: src tests "
+        "benchmarks tools)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        violations = lint_paths(args.paths)
+    except (OSError, FileNotFoundError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for violation in violations:
+        print(violation.render())
+    if violations:
+        print(f"{len(violations)} violation(s) found", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
