@@ -16,7 +16,11 @@ the formulation of Section 3.2.3 is complete:
 * the latency window is two-sided as requested: ``latency_ub`` always
   (equation (9)), ``latency_lb`` whenever the window's lower edge is
   positive (equation (10)), and both rows reference every ``d[p]`` and
-  ``eta``.
+  ``eta``,
+* when :attr:`~repro.core.formulation.FormulationOptions.symmetry_breaking`
+  is set, every consecutive pair of an interchangeable group carries a
+  ``sym[a,b]`` ordering row referencing both tasks' ``Y`` columns (an
+  extension over the paper, tagged ``ext``).
 
 A missing row is reported as an ERROR with the paper-equation tag of the
 family it belongs to, so a corrupted or hand-edited model names the
@@ -72,6 +76,9 @@ def check_conformance(
                             var_index))
     diags.extend(_check_latency_window(compiled, num_partitions, d_min,
                                        ub_rows, var_index))
+    if options is not None and getattr(options, "symmetry_breaking", False):
+        diags.extend(_check_symmetry(compiled, graph, num_partitions,
+                                     ub_rows, var_index))
     return diags
 
 
@@ -279,3 +286,60 @@ def _check_latency_window(compiled, num_partitions, d_min, ub_rows,
                 rows=(name,),
                 paper_eq=tag,
             )
+
+
+# -- symmetry breaking (extension) -------------------------------------------
+
+
+def _check_symmetry(compiled, graph, num_partitions, ub_rows, var_index):
+    """Lexicographic partition-ordering rows over interchangeable tasks.
+
+    An extension over the paper (no equation tag): when
+    :attr:`FormulationOptions.symmetry_breaking` is set, every
+    consecutive pair ``(a, b)`` of an interchangeable group must carry a
+    ``sym[a,b]`` row referencing Y columns of *both* tasks — a row that
+    mentions only one side constrains nothing (or worse, the wrong
+    thing).
+    """
+    from repro.core.formulation import interchangeable_groups
+
+    def y_columns(task_name: str) -> set[int]:
+        points = len(graph.task(task_name).design_points)
+        return {
+            var_index[f"Y[{task_name},{p},{k}]"]
+            for p in range(1, num_partitions + 1)
+            for k in range(1, points + 1)
+            if f"Y[{task_name},{p},{k}]" in var_index
+        }
+
+    for group in interchangeable_groups(graph):
+        for first, second in zip(group, group[1:]):
+            name = f"sym[{first},{second}]"
+            rows = ub_rows.get(name, [])
+            if not rows:
+                yield Diagnostic(
+                    code="missing-symmetry-row",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"interchangeable pair ({first!r}, {second!r}) has "
+                        f"no ordering row {name!r} although symmetry "
+                        "breaking is enabled"
+                    ),
+                    rows=(name,),
+                    paper_eq="ext",
+                )
+                continue
+            support = _row_support(compiled, "ub", rows[0])
+            if not (support & y_columns(first)) or not (
+                support & y_columns(second)
+            ):
+                yield Diagnostic(
+                    code="malformed-symmetry-row",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"ordering row {name!r} must reference Y columns "
+                        f"of both {first!r} and {second!r}"
+                    ),
+                    rows=(name,),
+                    paper_eq="ext",
+                )

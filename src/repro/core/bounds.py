@@ -14,7 +14,14 @@ Four estimators seed and steer the iterative search:
 * :func:`max_latency` — ``D_max``: everything serialized on the slowest
   design points, plus ``N * C_T``,
 * :func:`min_latency` — ``D_min``: critical path on the fastest design
-  points, plus ``N * C_T``.
+  points, plus ``N * C_T``,
+* :func:`packing_min_latency` — a capacity-aware ``D_min`` refinement:
+  the area budget forces crowded partitions onto small (slow) design
+  points, so the sum of per-partition latency maxima is bounded from
+  below by a tiny grouping DP.  On area-tight instances (the paper's
+  DCT at ``R_max = 576``) this bound sits far above the critical path
+  and lets the search skip provably-empty windows that the MILP solver
+  cannot refute within any practical budget.
 """
 
 from __future__ import annotations
@@ -31,6 +38,7 @@ __all__ = [
     "max_area_partitions",
     "max_latency",
     "min_latency",
+    "packing_min_latency",
     "PartitionRange",
     "partition_range",
 ]
@@ -69,6 +77,170 @@ def min_latency(
         graph, lambda name: graph.task(name).min_latency
     )
     return path + partitions * reconfiguration_time
+
+
+def packing_min_latency(
+    graph: TaskGraph,
+    processor: ReconfigurableProcessor,
+    partitions: int,
+) -> float:
+    """Capacity-aware lower bound on the total latency at ``<= N`` partitions.
+
+    Any feasible design groups the tasks into ``eta <= N`` non-empty
+    partitions whose chosen-point areas fit ``R_max``, and each
+    partition's latency ``d[p]`` is at least the latency of every member
+    (the intra-partition path bound of equation (7) only adds to that).
+    Two relaxations make the minimum over all such groupings computable
+    in closed form:
+
+    * ``h(content)`` — the smallest possible latency maximum of one
+      partition holding a given number of tasks of each *type* (tasks
+      with identical design-point sets are interchangeable): the
+      smallest latency ``L`` at which every member's cheapest
+      ``<= L`` point still fits the area budget together.  Crowded
+      partitions are forced onto small, slow points — on area-tight
+      instances ``h`` jumps sharply at the crowding threshold.
+    * a counting DP over contents: ``D(state, g)`` = least sum of ``h``
+      over ``g`` partitions covering ``state`` tasks of each type.
+      Which *individual* task lands where is relaxed away; only the
+      type profile matters.  When the type/content space is too wide,
+      all tasks collapse to one pseudo-type over the union of their
+      points (a weaker multiset relaxation, always cheap).
+
+    The bound is ``min over eta <= N of D(m, eta) + eta * C_T`` (the
+    reconfiguration term counts *used* partitions, exactly as the window
+    rows (9)-(10) do), combined with nothing else — callers take the max
+    with :func:`min_latency`.  Every relaxation only discards
+    constraints, so any window whose ``D_max`` lies below this value is
+    provably empty.
+    """
+    if partitions < 1:
+        raise ValueError("partition count must be at least 1")
+    capacity = processor.resource_capacity
+    c_t = processor.reconfiguration_time
+
+    # Group the tasks by design-point set: within a "type" tasks are
+    # interchangeable, so a partition's content is fully described by
+    # how many tasks of each type it holds.  When the resulting state
+    # space is too large (many distinct point sets), collapse everything
+    # to one pseudo-type over the *union* of all points — the original
+    # multiset relaxation, strictly weaker but always cheap.
+    by_type: dict[tuple, int] = {}
+    for task in graph:
+        key = tuple(sorted((dp.latency, dp.area) for dp in task.design_points))
+        by_type[key] = by_type.get(key, 0) + 1
+    if not by_type:
+        return 0.0
+    num_tasks = sum(by_type.values())
+    state_space = 1
+    for count in by_type.values():
+        state_space *= count + 1
+
+    def group_costs(
+        type_points: list[tuple], counts: tuple[int, ...]
+    ) -> list[tuple[tuple[int, ...], float]] | None:
+        """Every possible partition content with its latency floor.
+
+        A content is a count per type; its floor ``h`` is the smallest
+        latency threshold ``L`` at which everyone's cheapest ``<= L``
+        point still fits the area budget together (exact per content —
+        same-type tasks are interchangeable by construction).  Returns
+        ``None`` when the list outgrows what the DP below can afford.
+        """
+        latencies = sorted(
+            {latency for key in type_points for latency, _ in key}
+        )
+        level = {latency: i for i, latency in enumerate(latencies)}
+        min_area = [
+            [math.inf] * len(latencies) for _ in type_points
+        ]
+        for t, key in enumerate(type_points):
+            row = min_area[t]
+            for latency, area in key:
+                i = level[latency]
+                row[i] = min(row[i], area)
+            for i in range(1, len(latencies)):
+                row[i] = min(row[i], row[i - 1])
+
+        def h(composition: tuple[int, ...]) -> float:
+            for i, latency in enumerate(latencies):
+                needed = 0.0
+                for t, k in enumerate(composition):
+                    if k:
+                        area = min_area[t][i]
+                        if math.isinf(area):
+                            needed = math.inf
+                            break
+                        needed += k * area
+                if needed <= capacity:
+                    return latency
+            return math.inf
+
+        stack: list[tuple[int, ...]] = [()]
+        for count in counts:
+            stack = [
+                prefix + (k,)
+                for prefix in stack
+                for k in range(count + 1)
+            ]
+        out: list[tuple[tuple[int, ...], float]] = []
+        for comp in stack:
+            if not any(comp):
+                continue
+            cost = h(comp)
+            if cost < math.inf:
+                out.append((comp, cost))
+                if len(out) > 64:
+                    return None
+        return out
+
+    type_points = list(by_type)
+    counts = tuple(by_type[key] for key in type_points)
+    comps = None
+    if state_space <= 2048:
+        comps = group_costs(type_points, counts)
+    if comps is None:
+        # Too many distinct contents for the exact DP: collapse to one
+        # pseudo-type over the union of all points (the multiset
+        # relaxation — strictly weaker but always cheap, and loose
+        # instances land below the critical path anyway).
+        union = tuple(sorted({p for key in by_type for p in key}))
+        type_points = [union]
+        counts = (num_tasks,)
+        comps = group_costs(type_points, counts)
+        if comps is None:
+            # Even the collapsed DP is too wide (large loose instance):
+            # give up on refinement, 0 is still a valid lower bound.
+            return 0.0
+    if not comps:
+        return math.inf
+
+    # D(state, g): least sum of per-partition latency maxima covering
+    # ``state`` tasks of each type with exactly ``g`` partitions.  The
+    # bound is the best ``D(all tasks, eta) + eta * C_T`` over every
+    # usable partition count — the whole range must be scanned, because
+    # with a small ``C_T`` splitting finer keeps paying off.
+    full = counts
+    dp: dict[tuple[int, ...], float] = {(0,) * len(counts): 0.0}
+    best_bound = math.inf
+    for eta in range(1, partitions + 1):
+        nxt: dict[tuple[int, ...], float] = {}
+        for state, cost in dp.items():
+            for comp, comp_cost in comps:
+                merged = tuple(s + k for s, k in zip(state, comp))
+                if any(m > c for m, c in zip(merged, full)):
+                    continue
+                candidate = cost + comp_cost
+                held = nxt.get(merged)
+                if held is None or candidate < held:
+                    nxt[merged] = candidate
+        dp = nxt
+        if not dp:
+            break
+        covered = dp.get(full)
+        if covered is not None:
+            best_bound = min(best_bound, covered + eta * c_t)
+    return best_bound
 
 
 @dataclass(frozen=True)

@@ -59,6 +59,7 @@ __all__ = [
     "extract_design",
     "interchangeable_groups",
     "lp_latency_lower_bound",
+    "warm_values_from_design",
 ]
 
 
@@ -609,6 +610,22 @@ class ModelTemplate:
         # Zero-copy prefix view without the latency_lb row, for windows
         # whose lower edge is zero (build_model omits the row there).
         self._no_lb = compiled.truncate_ub_rows(last)
+        #: Inequality-row indices of the resource rows (6) — the
+        #: window-independent positive-binary knapsack rows that cover
+        #: cuts may be separated from.  Valid for every sibling: cuts
+        #: and window patches never reorder the prefix.
+        self.resource_row_indices: tuple[int, ...] = tuple(
+            i
+            for i, name in enumerate(compiled.ub_names)
+            if name is not None and name.startswith("resource")
+        )
+        # Persistent cover-cut pool (see add_pool_cuts): cuts separated
+        # once on the resource rows are valid for every window, so they
+        # are stored here and re-applied on each instantiation.
+        self._pool_cuts: list = []
+        self._pool_keys: set[tuple[int, ...]] = set()
+        self._pool_version = 0
+        self._ext_cache: tuple[int, CompiledModel, CompiledModel] | None = None
         #: Digest of everything but the window rows; shared verbatim by
         #: every instantiation, so per-window fingerprints are composed
         #: without hashing (see :func:`repro.solve.fingerprint
@@ -618,14 +635,69 @@ class ModelTemplate:
                 skip_rows=WINDOW_ROW_NAMES
             )
 
+    def add_pool_cuts(self, cuts) -> int:
+        """Add cover cuts to the persistent pool; return how many were new.
+
+        Cuts must be separated from window-independent rows only (the
+        executor passes :attr:`resource_row_indices` to the separator),
+        so each pooled cut is a valid inequality for *every* window of
+        this template.  Duplicates (same cover) are dropped.
+        """
+        added = 0
+        for cut in cuts:
+            key = tuple(cut.cover)
+            if key in self._pool_keys:
+                continue
+            self._pool_keys.add(key)
+            self._pool_cuts.append(cut)
+            added += 1
+        if added:
+            self._pool_version += 1
+        return added
+
+    @property
+    def pooled_cuts(self) -> int:
+        """Number of cover cuts currently in the persistent pool."""
+        return len(self._pool_cuts)
+
+    def _extended(self) -> tuple[CompiledModel, CompiledModel]:
+        """Cut-extended ``(_full, _no_lb)`` pair, cached per pool version.
+
+        Pool rows are appended *after* every existing inequality row, so
+        the window-row indices ``_ub_row`` / ``_lb_row`` remain valid in
+        the extended forms.
+        """
+        if not self._pool_cuts:
+            return self._full, self._no_lb
+        cached = self._ext_cache
+        if cached is not None and cached[0] == self._pool_version:
+            return cached[1], cached[2]
+        rows = [
+            (list(cut.cover), [1.0] * len(cut.cover))
+            for cut in self._pool_cuts
+        ]
+        rhs = [cut.rhs for cut in self._pool_cuts]
+        names = [f"pool_cut[{i}]" for i in range(len(rows))]
+        full_ext = self._full.with_extra_ub_rows(rows, rhs, names)
+        no_lb_ext = self._no_lb.with_extra_ub_rows(rows, rhs, names)
+        self._ext_cache = (self._pool_version, full_ext, no_lb_ext)
+        return full_ext, no_lb_ext
+
     def instantiate(
-        self, d_min: float, d_max: float
+        self,
+        d_min: float,
+        d_max: float,
+        include_pool_cuts: bool = False,
     ) -> TemporalPartitioningModel:
         """Produce the model for one latency window ``[d_min, d_max]``.
 
         Patches only the right-hand sides of the latency rows (9)-(10);
         matrix structure, bounds, objective and the compiled dense/CSR
         view caches are shared across all windows of this template.
+        With ``include_pool_cuts`` the persistent cover cuts are appended
+        as extra inequality rows — they are valid for all integer points,
+        so the instantiation answers exactly the same feasibility
+        question (and may share the cache key of its cut-free sibling).
         """
         if d_max < d_min:
             raise ValueError(f"empty latency window [{d_min}, {d_max}]")
@@ -635,13 +707,18 @@ class ModelTemplate:
         # dumps and debugging reflect the latest instantiation.
         self._model.set_rhs("latency_ub", d_max)
         self._model.set_rhs("latency_lb", d_min)
+        full, no_lb = (
+            self._extended()
+            if include_pool_cuts
+            else (self._full, self._no_lb)
+        )
         if d_min > 0:
-            compiled = self._full.with_b_ub(
+            compiled = full.with_b_ub(
                 # latency_lb is a >= row: stored negated in the <= block.
                 {self._ub_row: d_max, self._lb_row: -d_min}
             )
         else:
-            compiled = self._no_lb.with_b_ub({self._ub_row: d_max})
+            compiled = no_lb.with_b_ub({self._ub_row: d_max})
         return TemporalPartitioningModel(
             model=self._model,
             graph=self.graph,
@@ -696,6 +773,75 @@ def lp_latency_lower_bound(
         # No usable bound; fall back to "no information".
         return 0.0
     return objective + form.c0
+
+
+def warm_values_from_design(
+    tp_model: TemporalPartitioningModel, design: PartitionedDesign
+) -> dict[str, float]:
+    """Lift a :class:`PartitionedDesign` back into ILP variable space.
+
+    The inverse of :func:`extract_design`, extended to *every* variable
+    of the formulation — ``Y``, ``d_p``, ``eta``, the crossing
+    indicators ``w`` and (in levels mode) the start times ``s`` /
+    same-partition indicators.  The returned mapping is a complete
+    assignment: if the design satisfies the model's constraints, the
+    point is feasible, so it can serve as an incumbent-reuse certificate
+    (:meth:`repro.ilp.compile.CompiledModel.point_feasible`) or a
+    validated MILP warm start.
+    """
+    graph = tp_model.graph
+    n = tp_model.num_partitions
+    values: dict[str, float] = {}
+    part: dict[str, int] = {}
+    for task in graph:
+        placement = design.placements[task.name]
+        part[task.name] = placement.partition
+        chosen_k = None
+        for k, dp in enumerate(task.design_points, start=1):
+            if dp == placement.design_point:
+                chosen_k = k  # first matching index: duplicates pick one Y
+                break
+        if chosen_k is None:
+            raise ValueError(
+                f"design point of task {task.name!r} is not among the "
+                "task's design points"
+            )
+        for p in range(1, n + 1):
+            for k in range(1, len(task.design_points) + 1):
+                values[tp_model.y_name[(task.name, p, k)]] = float(
+                    p == placement.partition and k == chosen_k
+                )
+    for p in range(1, n + 1):
+        values[tp_model.d_name[p]] = float(design.partition_latency(p))
+    values[tp_model.eta_name] = float(design.num_partitions_used)
+    for p in range(2, n + 1):
+        for src, dst, _volume in graph.edges:
+            values[_w_name(p, src, dst)] = float(part[src] < p <= part[dst])
+    # Levels-mode extras: start offsets within each partition and the
+    # same-partition edge indicators.  Detected by variable presence so
+    # "auto" templates are handled regardless of how the mode resolved.
+    if tp_model.compiled is not None:
+        known = tp_model.compiled.var_index
+    else:
+        known = {var.name: j for j, var in enumerate(tp_model.model.variables)}
+    first_task = next(iter(graph)).name
+    if f"s[{first_task}]" in known:
+        start: dict[str, float] = {}
+        for name in graph.topological_order():
+            arrival = max(
+                (
+                    start[pred]
+                    + design.placements[pred].design_point.latency
+                    for pred in graph.predecessors(name)
+                    if part[pred] == part[name]
+                ),
+                default=0.0,
+            )
+            start[name] = arrival
+            values[f"s[{name}]"] = arrival
+        for src, dst, _volume in graph.edges:
+            values[f"same[{src},{dst}]"] = float(part[src] == part[dst])
+    return values
 
 
 def extract_design(

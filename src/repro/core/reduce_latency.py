@@ -31,6 +31,7 @@ import time
 from dataclasses import dataclass, field
 
 from repro.arch.processor import ReconfigurableProcessor
+from repro.core import bounds
 from repro.core.formulation import (
     FormulationOptions,
     lp_latency_lower_bound,
@@ -66,12 +67,19 @@ class SolverSettings:
         CPLEX runs — unless the greedy fallback produces a certificate
         (see ``heuristic_fallback``).
     use_lp_bound:
-        Tighten ``D_min`` with the LP-relaxation latency bound
-        (:func:`repro.core.formulation.lp_latency_lower_bound`) before the
-        bisection starts.  Windows below the LP bound are provably empty,
-        so this removes most time-limited infeasibility probes.  An
-        extension over the paper; disable to reproduce the paper's exact
-        bound bookkeeping (Ablation E compares both).
+        Tighten ``D_min`` before the bisection starts, with both the
+        LP-relaxation latency bound
+        (:func:`repro.core.formulation.lp_latency_lower_bound`) and the
+        combinatorial packing bound
+        (:func:`repro.core.bounds.packing_min_latency`).  Windows below
+        either bound are provably empty, so this removes the
+        time-limited infeasibility probes — on area-tight instances the
+        packing bound is the decisive one: it refutes by arithmetic the
+        deep windows the MILP solver cannot refute within any practical
+        budget.  An extension over the paper; disable to reproduce the
+        paper's exact bound bookkeeping (Ablation E compares both).
+        Applied identically on plain and accelerated paths, so it never
+        perturbs trajectory identity.
     guide_with_objective:
         Attach the latency objective even in constraint-satisfaction mode
         so the MILP heuristics aim low; the first incumbent is still
@@ -94,6 +102,33 @@ class SolverSettings:
         When every backend times out, fall back to the greedy
         level-packing heuristics and mark the outcome ``degraded=True``
         instead of silently reporting infeasibility.
+    incumbent_reuse:
+        Carry the last feasible assignment across windows: before any
+        backend starts, the previous incumbent is checked against the
+        new window's rows (one sparse matrix-vector product); if it
+        still fits, the window is answered SAT with zero solver work,
+        otherwise it is installed as a validated MILP warm start.
+        Sound under the monotone window rules: the check is a full
+        feasibility certificate, never a guess.
+    primal_first:
+        Run a cheap primal stage (LP relaxation + rounding/diving from
+        :mod:`repro.ilp.rounding`) under a small budget before the
+        portfolio race.  The paper's procedure only needs feasibility,
+        so a primal hit skips the MILP entirely; an LP-infeasible
+        relaxation is a proof of window emptiness and also skips it.
+    reuse_basis:
+        Re-use the previous window's optimal root-LP basis as a simplex
+        warm start for RHS-only re-solves (own-engine branch & bound
+        node LPs crash onto it instead of running phase I).
+    persistent_cuts:
+        Store cover cuts separated from the window-independent resource
+        rows (6) on the run's :class:`ModelTemplate` and re-apply them
+        to every instantiation, instead of re-separating from scratch.
+    symmetry_breaking:
+        Force :attr:`FormulationOptions.symmetry_breaking` on for every
+        window model prepared by the executor (lexicographic
+        partition-index ordering over interchangeable tasks, added at
+        template-compile time).
     analyze:
         Pre-solve model analysis mode (:mod:`repro.analysis`).
         ``"off"`` — the default — skips the analyzer entirely;
@@ -124,6 +159,11 @@ class SolverSettings:
     enable_cache: bool = True
     reuse_templates: bool = True
     heuristic_fallback: bool = True
+    incumbent_reuse: bool = False
+    primal_first: bool = False
+    reuse_basis: bool = False
+    persistent_cuts: bool = False
+    symmetry_breaking: bool = False
     analyze: str = "off"
     extra: dict = field(default_factory=dict)
     tracer: "object | None" = field(default=None, repr=False, compare=False)
@@ -216,17 +256,29 @@ def reduce_latency(
             )
 
         if settings.use_lp_bound:
-            # Extension: windows below the LP-relaxation latency bound are
-            # provably empty; raising D_min to the bound keeps every
-            # bisection trial in the region where solutions may exist.
+            # Extension: windows below the LP-relaxation latency bound or
+            # the combinatorial packing bound are provably empty; raising
+            # D_min to the tighter of the two keeps every bisection trial
+            # in the region where solutions may exist.
             with tracer.span("lp_bound", num_partitions=num_partitions) as sp:
                 lp_bound = lp_latency_lower_bound(
                     graph, processor, num_partitions, options
                 )
                 sp.annotate(bound=lp_bound)
-            if lp_bound > d_max:
+            with tracer.span(
+                "packing_bound", num_partitions=num_partitions
+            ) as sp:
+                packing = bounds.packing_min_latency(
+                    graph, processor, num_partitions
+                )
+                sp.annotate(bound=packing)
+            tightened = max(lp_bound, packing)
+            if tightened > d_max:
                 tracer.event(
-                    "lp_bound_prunes_window", bound=lp_bound, d_max=d_max
+                    "bound_prunes_window",
+                    lp_bound=lp_bound,
+                    packing_bound=packing,
+                    d_max=d_max,
                 )
                 trace.add(
                     IterationRecord(
@@ -238,7 +290,7 @@ def reduce_latency(
                     )
                 )
                 return result(None, None)
-            d_min = max(d_min, lp_bound)
+            d_min = max(d_min, tightened)
 
         def solve(window_max: float, window_min: float) -> WindowOutcome:
             nonlocal iteration, degraded

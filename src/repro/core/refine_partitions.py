@@ -230,6 +230,11 @@ def refine_partitions_bound(
         stopped_by_time = False
 
         # Phase 2: relax N while better solutions remain possible.
+        # Each relaxation opens a window at the incumbent's latency, so
+        # with ``SolverSettings.incumbent_reuse`` the carried design
+        # usually answers the opening solve outright — this loop is
+        # where the cross-window acceleration pays off, not inside the
+        # bisections (whose trial windows always undercut the incumbent).
         while n < prange.stop:
             if time_expired():
                 tracer.event("time_budget_expired", phase="relax")

@@ -44,9 +44,17 @@ class BnbOptions:
     gap_tol: float = 1e-9           # absolute optimality gap
     dive_every: int = 50            # run the diving heuristic every N nodes
     dive_resolves: int = 25
-    #: Optional warm start: a feasible point (original variable order).
-    #: Installed as the initial incumbent, enabling immediate pruning.
+    #: Optional warm start: a candidate point (original variable order).
+    #: Validated against bounds, integrality and all rows before being
+    #: installed as the initial incumbent — a stale or infeasible point
+    #: is discarded rather than silently repaired, because a wrong
+    #: incumbent prunes optimal subtrees.
     warm_start: np.ndarray | None = None
+    #: Optional simplex basis from a previous solve of the same canonical
+    #: structure (see :func:`repro.ilp.simplex.solve_lp`).  Only used
+    #: with ``lp_engine="own"``; node LPs crash onto the most recent
+    #: optimal basis instead of running phase I from scratch.
+    start_basis: np.ndarray | None = None
     #: Cooperative cancellation: polled alongside the wall-clock deadline
     #: before every node, every diving re-solve and every root-cut round.
     #: Used by the portfolio runner to stop a losing race early.
@@ -71,6 +79,12 @@ class BnbResult:
     nodes: int
     best_bound: float = -math.inf
     incumbents: list[float] = field(default_factory=list)
+    #: Optimal basis of the root LP relaxation, when solved by the own
+    #: simplex — reusable as ``BnbOptions.start_basis`` for RHS-only
+    #: re-solves of the same model structure.
+    root_basis: np.ndarray | None = None
+    #: Node LPs that skipped phase I by crashing onto a previous basis.
+    basis_restarts: int = 0
 
 
 @dataclass
@@ -114,6 +128,33 @@ def _strengthen_with_cover_cuts(form, rounds: int, stop=None):
     return work
 
 
+def _validate_warm_start(
+    form, point: np.ndarray, int_tol: float
+) -> np.ndarray | None:
+    """Validate a warm-start point; return the snapped point or ``None``.
+
+    The point must have the right shape, be finite, sit within bounds
+    and on integer values up to ``int_tol`` (small drift is snapped, but
+    nothing is clipped or rounded into feasibility), and satisfy every
+    row of the form.  Anything else is rejected: installing an
+    infeasible incumbent would wrongly prune feasible subtrees.
+    """
+    point = np.asarray(point, dtype=float)
+    if point.shape != form.lb.shape or not np.all(np.isfinite(point)):
+        return None
+    if np.any(point < form.lb - int_tol) or np.any(point > form.ub + int_tol):
+        return None
+    mask = form.is_integral
+    if not rounding.is_integral(point, mask, int_tol):
+        return None
+    snapped = point.copy()
+    snapped[mask] = np.round(snapped[mask])
+    snapped = np.clip(snapped, form.lb, form.ub)
+    if not rounding.feasible_point(form, snapped):
+        return None
+    return snapped
+
+
 def branch_and_bound(form, options: BnbOptions | None = None) -> BnbResult:
     """Minimize a standard-form MILP.
 
@@ -142,6 +183,14 @@ def branch_and_bound(form, options: BnbOptions | None = None) -> BnbResult:
     if options.root_cuts > 0:
         form = _strengthen_with_cover_cuts(form, options.root_cuts, stop=halted)
 
+    # Basis reuse across node LPs (own engine only): the canonical
+    # structure is identical at every node — only bound *values* change —
+    # so each LP can crash onto the previous node's optimal basis.  The
+    # seed basis may come from a previous window's root solve.
+    basis_state: dict[str, object] = {
+        "last": options.start_basis, "root": None, "restarts": 0,
+    }
+
     def solve_node(lb, ub):
         # The budget binds *inside* the node loop too: no LP (including a
         # diving re-solve) starts once it is spent, and scipy LPs inherit
@@ -151,8 +200,15 @@ def branch_and_bound(form, options: BnbOptions | None = None) -> BnbResult:
             return SolveStatus.TIME_LIMIT, None, math.nan
         if options.lp_engine == "own":
             result = solve_lp(
-                form.c, form.a_ub, form.b_ub, form.a_eq, form.b_eq, lb, ub
+                form.c, form.a_ub, form.b_ub, form.a_eq, form.b_eq, lb, ub,
+                start_basis=basis_state["last"],
             )
+            if result.status is SolveStatus.OPTIMAL:
+                if basis_state["root"] is None:
+                    basis_state["root"] = result.basis
+                basis_state["last"] = result.basis
+                if result.warm:
+                    basis_state["restarts"] += 1
             return result.status, result.x, result.objective
         remaining = None
         if deadline is not None:
@@ -184,10 +240,10 @@ def branch_and_bound(form, options: BnbOptions | None = None) -> BnbResult:
             incumbents.append(objective)
 
     if options.warm_start is not None:
-        candidate = rounding.round_nearest(form, options.warm_start)
-        if candidate is not None and rounding.is_integral(
-            candidate, mask, options.int_tol
-        ):
+        candidate = _validate_warm_start(
+            form, options.warm_start, options.int_tol
+        )
+        if candidate is not None:
             register(candidate, float(form.c @ candidate))
 
     root = _Node(
@@ -288,13 +344,17 @@ def branch_and_bound(form, options: BnbOptions | None = None) -> BnbResult:
             stack.append(down)
             stack.append(up)
 
+    root_basis = basis_state["root"]
+    restarts = int(basis_state["restarts"])
     if incumbent_x is None:
         if status_on_exit in (SolveStatus.TIME_LIMIT, SolveStatus.NODE_LIMIT):
             return BnbResult(
-                status_on_exit, None, math.nan, nodes_explored, best_bound
+                status_on_exit, None, math.nan, nodes_explored, best_bound,
+                root_basis=root_basis, basis_restarts=restarts,
             )
         return BnbResult(
-            SolveStatus.INFEASIBLE, None, math.nan, nodes_explored, best_bound
+            SolveStatus.INFEASIBLE, None, math.nan, nodes_explored, best_bound,
+            root_basis=root_basis, basis_restarts=restarts,
         )
 
     finished = not stack and status_on_exit is SolveStatus.OPTIMAL
@@ -311,6 +371,8 @@ def branch_and_bound(form, options: BnbOptions | None = None) -> BnbResult:
         nodes_explored,
         best_bound,
         incumbents,
+        root_basis=root_basis,
+        basis_restarts=restarts,
     )
 
 
@@ -337,6 +399,10 @@ def solve_with_bnb(model, **options) -> Solution:
         bnb_options.dive_every = options["dive_every"]
     if "root_cuts" in options:
         bnb_options.root_cuts = int(options["root_cuts"])
+    if options.get("start_basis") is not None:
+        bnb_options.start_basis = np.asarray(
+            options["start_basis"], dtype=np.intp
+        )
     warm_start = options.get("warm_start")
     if warm_start is not None:
         # A name -> value mapping; unknown names are ignored, missing
@@ -356,10 +422,14 @@ def solve_with_bnb(model, **options) -> Solution:
         values = form.values_to_dict(x)
         objective = form.objective_at(x)
     bound = result.best_bound + form.c0 if math.isfinite(result.best_bound) else None
+    stats: dict[str, object] = {"basis_restarts": result.basis_restarts}
+    if result.root_basis is not None:
+        stats["root_basis"] = result.root_basis
     return Solution(
         status=result.status,
         objective=objective,
         values=values,
         iterations=result.nodes,
         bound=bound,
+        stats=stats,
     )

@@ -360,6 +360,100 @@ class CompiledModel:
             _var_index=self._var_index,
         )
 
+    def with_extra_ub_rows(
+        self,
+        rows: Sequence[tuple[Sequence[int], Sequence[float]]],
+        rhs: Sequence[float],
+        names: Sequence[str | None] | None = None,
+    ) -> "CompiledModel":
+        """Sibling with additional inequality rows appended at the end.
+
+        ``rows`` is a sequence of ``(column_indices, coefficients)``
+        pairs, ``rhs`` the matching right-hand sides (``<=`` direction).
+        Appending *after* every existing row keeps positional row
+        bookkeeping valid — the model templates rely on their window-row
+        indices surviving cut-pool extension.  The structure changes, so
+        the sibling gets a fresh view cache and fingerprint cache; the
+        variable index is still shared.
+        """
+        if len(rows) != len(rhs):
+            raise ValueError("rows and rhs length mismatch")
+        if not rows:
+            return self
+        if names is not None and len(names) != len(rows):
+            raise ValueError("names and rows length mismatch")
+        extra_indices: list[int] = []
+        extra_data: list[float] = []
+        extra_indptr: list[int] = []
+        nnz = int(self.ub_indptr[-1])
+        for cols, coefs in rows:
+            if len(cols) != len(coefs):
+                raise ValueError("row indices and data length mismatch")
+            extra_indices.extend(int(c) for c in cols)
+            extra_data.extend(float(v) for v in coefs)
+            nnz += len(cols)
+            extra_indptr.append(nnz)
+        return CompiledModel(
+            variables=self.variables,
+            c=self.c,
+            c0=self.c0,
+            ub_indptr=_frozen(
+                np.concatenate([
+                    self.ub_indptr,
+                    np.asarray(extra_indptr, dtype=np.intp),
+                ])
+            ),
+            ub_indices=_frozen(
+                np.concatenate([
+                    self.ub_indices,
+                    np.asarray(extra_indices, dtype=np.intp),
+                ])
+            ),
+            ub_data=_frozen(
+                np.concatenate([
+                    self.ub_data,
+                    np.asarray(extra_data, dtype=float),
+                ])
+            ),
+            b_ub=_frozen(
+                np.concatenate([self.b_ub, np.asarray(rhs, dtype=float)])
+            ),
+            ub_names=self.ub_names + (
+                tuple(names) if names is not None else (None,) * len(rows)
+            ),
+            eq_indptr=self.eq_indptr,
+            eq_indices=self.eq_indices,
+            eq_data=self.eq_data,
+            b_eq=self.b_eq,
+            eq_names=self.eq_names,
+            lb=self.lb,
+            ub=self.ub,
+            is_integral=self.is_integral,
+            maximize=self.maximize,
+            _var_index=self._var_index,
+        )
+
+    def point_feasible(self, x: np.ndarray, tol: float = 1e-6) -> bool:
+        """Cheap feasibility certificate: does ``x`` satisfy this model?
+
+        Evaluates bounds and both row blocks through the cached sparse
+        views — no solver involved.  This is the incumbent-reuse check:
+        a previous window's assignment that still passes here answers
+        the new window SAT with zero solver work.
+        """
+        x = np.asarray(x, dtype=float)
+        if x.shape != self.lb.shape or not np.all(np.isfinite(x)):
+            return False
+        if np.any(x < self.lb - tol) or np.any(x > self.ub + tol):
+            return False
+        if self.num_ub_rows and np.any(self.a_ub_csr() @ x > self.b_ub + tol):
+            return False
+        if self.num_eq_rows and np.any(
+            np.abs(self.a_eq_csr() @ x - self.b_eq) > tol
+        ):
+            return False
+        return True
+
     # -- identity ------------------------------------------------------------
 
     def fingerprint(self, skip_rows: tuple[str, ...] = ()) -> str:

@@ -16,6 +16,7 @@ apply a round of cuts at the root (``BnbOptions.root_cuts``).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -75,15 +76,21 @@ def find_cover_cuts(
     x_star: np.ndarray,
     max_cuts: int = 50,
     min_violation: float = 1e-4,
+    rows: "Sequence[int] | None" = None,
 ) -> list[CoverCut]:
     """Separate violated cover inequalities at the LP point ``x_star``.
 
     Only rows whose support is entirely positive-coefficient binary
     columns are considered (exactly the resource rows of the
-    temporal-partitioning model).
+    temporal-partitioning model).  ``rows`` restricts separation to the
+    given row indices — the persistent cut pool passes the template's
+    window-independent resource rows here so no cut ever derives from a
+    row whose RHS changes between bisection windows.
     """
     cuts: list[CoverCut] = []
-    for i in range(a_ub.shape[0]):
+    candidates = range(a_ub.shape[0]) if rows is None else rows
+    for i in candidates:
+        i = int(i)
         row = a_ub[i]
         support = np.flatnonzero(np.abs(row) > _EPS)
         if support.size < 2:

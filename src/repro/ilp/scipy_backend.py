@@ -62,6 +62,12 @@ def solve_with_highs(model, **options) -> Solution:
     Accepts either a :class:`repro.ilp.model.Model` or a pre-compiled
     :class:`repro.ilp.compile.CompiledModel`; the sparse rows of the
     compiled form are handed to HiGHS without densification.
+
+    ``warm_start`` (a name -> value mapping) is accepted for interface
+    parity with :func:`repro.ilp.branch_and_bound.solve_with_bnb` but
+    ignored: :func:`scipy.optimize.milp` exposes no MIP-start hook.  It
+    *is* honored by the status-4 fallback, which re-dispatches to the
+    from-scratch branch & bound with the original options.
     """
     form = ensure_compiled(model)
     milp_options: dict = {}

@@ -35,12 +35,22 @@ _TOL = 1e-9
 
 @dataclass(frozen=True)
 class LpResult:
-    """Raw result of :func:`solve_lp` (values in the original variables)."""
+    """Raw result of :func:`solve_lp` (values in the original variables).
+
+    ``basis`` is the optimal simplex basis — canonical column indices
+    (structural + slack space), one per row — usable as ``start_basis``
+    for a later :func:`solve_lp` call on the *same canonical structure*
+    (identical bounds-finiteness pattern and row count; RHS and bound
+    values may differ).  ``warm`` reports whether a supplied
+    ``start_basis`` was successfully crashed onto, skipping phase I.
+    """
 
     status: SolveStatus
     x: np.ndarray | None
     objective: float
     iterations: int
+    basis: np.ndarray | None = None
+    warm: bool = False
 
 
 class _Canonical:
@@ -158,6 +168,47 @@ def _ratio_test(
     return int(tied[np.argmin(basis[tied])])
 
 
+def _crash_basis(
+    tableau: np.ndarray,
+    basis: np.ndarray,
+    start_basis: np.ndarray,
+    artificial_start: int,
+) -> bool:
+    """Try to pivot the tableau onto ``start_basis``, replacing phase I.
+
+    ``start_basis`` holds canonical column indices (structural + slack
+    space) from a previous optimal solve of the same canonical structure.
+    Each desired column is greedily pivoted onto a row still held by an
+    artificial.  Succeeds only when every artificial leaves the basis and
+    the resulting RHS is primal feasible; on any failure the tableau and
+    basis are restored untouched so the cold phase I can run.
+    """
+    if start_basis.shape != basis.shape:
+        return False
+    if np.any(start_basis < 0) or np.any(start_basis >= artificial_start):
+        return False
+    snapshot_tableau = tableau.copy()
+    snapshot_basis = basis.copy()
+    for col in start_basis:
+        col = int(col)
+        if col in basis:
+            continue
+        candidates = np.flatnonzero(
+            (basis >= artificial_start)
+            & (np.abs(tableau[:, col]) > 1e-7)
+        )
+        if candidates.size == 0:
+            continue
+        _pivot(tableau, basis, int(candidates[0]), col)
+    rhs = tableau[:, -1]
+    if np.all(basis < artificial_start) and np.all(rhs >= -1e-9):
+        np.clip(rhs, 0.0, None, out=rhs)
+        return True
+    tableau[:] = snapshot_tableau
+    basis[:] = snapshot_basis
+    return False
+
+
 def _run_simplex(
     tableau: np.ndarray,
     basis: np.ndarray,
@@ -204,12 +255,20 @@ def solve_lp(
     ub: np.ndarray,
     max_iters: int = 20_000,
     time_limit: float | None = None,
+    start_basis: np.ndarray | None = None,
 ) -> LpResult:
     """Minimize ``c @ x`` subject to the given rows and bounds.
 
     All arguments are dense numpy arrays; ``a_ub``/``a_eq`` may have zero
     rows.  Returns an :class:`LpResult` whose ``x`` is in the original
     variable space.
+
+    ``start_basis`` may carry the optimal basis of a previous solve with
+    the same canonical structure (same rows and bounds-finiteness
+    pattern; only RHS / bound *values* changed — the RHS-only re-solves
+    of the bisection).  When the basis can be crashed onto and is primal
+    feasible for the new RHS, phase I is skipped entirely; otherwise the
+    solver silently falls back to a cold start.
     """
     deadline = (
         time.perf_counter() + time_limit if time_limit is not None else None
@@ -259,36 +318,46 @@ def solve_lp(
         [n_cols + n_slack + i for i in range(m)], dtype=np.intp
     )
 
-    # Phase I: minimize the sum of artificials.
-    phase1_cost = np.zeros(total)
-    phase1_cost[n_cols + n_slack :] = 1.0
-    outcome, iters1 = _run_simplex(
-        tableau,
-        basis,
-        phase1_cost,
-        0.0,
-        allowed=total,
-        max_iters=max_iters,
-        deadline=deadline,
-    )
-    if outcome == "time_limit":
-        return LpResult(SolveStatus.TIME_LIMIT, None, math.nan, iters1)
-    if outcome == "iteration_limit":
-        return LpResult(SolveStatus.ERROR, None, math.nan, iters1)
-    infeasibility = float(phase1_cost[basis] @ tableau[:, -1])
-    if infeasibility > 1e-7:
-        return LpResult(SolveStatus.INFEASIBLE, None, math.nan, iters1)
-
-    # Drive any artificial still in the basis out (degenerate rows), or
-    # accept it at value zero when its row has no eligible pivot.
     artificial_start = n_cols + n_slack
-    for i in range(m):
-        if basis[i] >= artificial_start:
-            eligible = np.flatnonzero(
-                np.abs(tableau[i, :artificial_start]) > _TOL
-            )
-            if eligible.size:
-                _pivot(tableau, basis, i, int(eligible[0]))
+    warm = False
+    if start_basis is not None:
+        warm = _crash_basis(
+            tableau, basis, np.asarray(start_basis, dtype=np.intp),
+            artificial_start,
+        )
+
+    if warm:
+        iters1 = 0
+    else:
+        # Phase I: minimize the sum of artificials.
+        phase1_cost = np.zeros(total)
+        phase1_cost[n_cols + n_slack :] = 1.0
+        outcome, iters1 = _run_simplex(
+            tableau,
+            basis,
+            phase1_cost,
+            0.0,
+            allowed=total,
+            max_iters=max_iters,
+            deadline=deadline,
+        )
+        if outcome == "time_limit":
+            return LpResult(SolveStatus.TIME_LIMIT, None, math.nan, iters1)
+        if outcome == "iteration_limit":
+            return LpResult(SolveStatus.ERROR, None, math.nan, iters1)
+        infeasibility = float(phase1_cost[basis] @ tableau[:, -1])
+        if infeasibility > 1e-7:
+            return LpResult(SolveStatus.INFEASIBLE, None, math.nan, iters1)
+
+        # Drive any artificial still in the basis out (degenerate rows),
+        # or accept it at value zero when its row has no eligible pivot.
+        for i in range(m):
+            if basis[i] >= artificial_start:
+                eligible = np.flatnonzero(
+                    np.abs(tableau[i, :artificial_start]) > _TOL
+                )
+                if eligible.size:
+                    _pivot(tableau, basis, i, int(eligible[0]))
 
     # Phase II: original objective on canonical columns.
     phase2_cost = np.zeros(total)
@@ -323,7 +392,10 @@ def solve_lp(
     u[basis] = tableau[:, -1]
     x = canonical.restore(u[:n_cols])
     objective = float(c @ x)
-    return LpResult(SolveStatus.OPTIMAL, x, objective, iterations)
+    return LpResult(
+        SolveStatus.OPTIMAL, x, objective, iterations,
+        basis=basis.copy(), warm=warm,
+    )
 
 
 def solve_with_simplex(model, **options) -> Solution:
@@ -348,6 +420,7 @@ def solve_with_simplex(model, **options) -> Solution:
         form.ub,
         max_iters=options.get("max_iters", 20_000),
         time_limit=options.get("time_limit"),
+        start_basis=options.get("start_basis"),
     )
     tracer = options.get("tracer")
     if tracer is not None:
@@ -358,12 +431,16 @@ def solve_with_simplex(model, **options) -> Solution:
         )
     values: dict[str, float] = {}
     objective = math.nan
+    stats: dict[str, object] = {"basis_restarts": int(result.warm)}
     if result.status is SolveStatus.OPTIMAL and result.x is not None:
         values = form.values_to_dict(result.x)
         objective = result.objective + form.c0
+        if result.basis is not None:
+            stats["root_basis"] = result.basis
     return Solution(
         status=result.status,
         objective=objective,
         values=values,
         iterations=result.iterations,
+        stats=stats,
     )

@@ -35,10 +35,13 @@ handed in by the caller to share the cache across runs).
 
 from __future__ import annotations
 
+import math
 import threading
 import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
+
+import numpy as np
 
 from repro.analysis.analyzer import ANALYZE_MODES
 from repro.ilp.status import SolveStatus
@@ -124,6 +127,32 @@ class SolveExecutor:
         self._templates: dict[
             tuple[int, int, int, "FormulationOptions"], "ModelTemplate"
         ] = {}
+        # Cross-window acceleration state (see docs/solving.md).  The
+        # incumbent map holds the best feasible design seen per
+        # (graph, processor, options); the processor is pinned in the
+        # value (and the graph via the design) so the id-based key can
+        # never be recycled under a live entry.
+        self.incumbent_reuse = bool(
+            getattr(settings, "incumbent_reuse", False)
+        )
+        self.primal_first = bool(getattr(settings, "primal_first", False))
+        self.reuse_basis = bool(getattr(settings, "reuse_basis", False))
+        self.persistent_cuts = bool(
+            getattr(settings, "persistent_cuts", False)
+        )
+        self._incumbents: dict[
+            tuple[int, int, "FormulationOptions"],
+            tuple["PartitionedDesign", float, "ReconfigurableProcessor"],
+        ] = {}
+        #: Root-LP bases keyed by base fingerprint; shape-checked (and
+        #: cold-started on mismatch) by the simplex basis crash.
+        self._bases: dict[str, np.ndarray] = {}
+        #: Packing bounds per (graph, processor, N); the value pins both
+        #: objects so the id-based key can never be recycled live.
+        self._packing_bounds: dict[
+            tuple[int, int, int],
+            tuple["TaskGraph", "ReconfigurableProcessor", float],
+        ] = {}
         self._validate_backends()
 
     def _validate_backends(self) -> None:
@@ -159,6 +188,11 @@ class SolveExecutor:
         options = options or FormulationOptions()
         if self.settings.guide_with_objective and not options.minimize_latency:
             options = _replace(options, minimize_latency=True)
+        if (
+            getattr(self.settings, "symmetry_breaking", False)
+            and not options.symmetry_breaking
+        ):
+            options = _replace(options, symmetry_breaking=True)
         return options
 
     def template_for(
@@ -217,7 +251,41 @@ class SolveExecutor:
         the ILP from expressions.  Both paths produce array-identical
         compiled models; ``settings.reuse_templates=False`` selects the
         fresh-build path (the benchmark's baseline).
+
+        With ``settings.incumbent_reuse`` every feasible verdict —
+        whoever produced it — is remembered per ``(graph, processor,
+        options)`` and offered to the next window, first as a zero-work
+        feasibility certificate, then as a validated MILP warm start.
         """
+        outcome = self._solve_window(
+            graph, processor, num_partitions, d_max, d_min, options,
+            deadline,
+        )
+        if self.incumbent_reuse and outcome.design is not None:
+            key = (
+                id(graph), id(processor), self._effective_options(options),
+            )
+            held = self._incumbents.get(key)
+            if held is None or (
+                outcome.achieved is not None and outcome.achieved < held[1]
+            ):
+                self._incumbents[key] = (
+                    outcome.design,
+                    float(outcome.achieved),
+                    processor,
+                )
+        return outcome
+
+    def _solve_window(
+        self,
+        graph: "TaskGraph",
+        processor: "ReconfigurableProcessor",
+        num_partitions: int,
+        d_max: float,
+        d_min: float,
+        options: "FormulationOptions | None" = None,
+        deadline: float | None = None,
+    ) -> WindowOutcome:
         from repro.core.formulation import build_model
 
         start = time.perf_counter()
@@ -229,12 +297,16 @@ class SolveExecutor:
             d_max=float(d_max),
         ):
             options = self._effective_options(options)
+            template = None
             if self.reuse_templates:
                 template = self.template_for(
                     graph, processor, num_partitions, options
                 )
                 with tracer.span("template_instantiate"):
-                    tp_model = template.instantiate(d_min, d_max)
+                    tp_model = template.instantiate(
+                        d_min, d_max,
+                        include_pool_cuts=self.persistent_cuts,
+                    )
                 self.telemetry.template_instantiations += 1
             else:
                 with tracer.span(
@@ -263,6 +335,17 @@ class SolveExecutor:
                     )
                 tracer.event("cache_miss")
 
+            # Incumbent carry-over: check the previous feasible design
+            # against this window's rows before any backend runs.
+            warm_values = None
+            if self.incumbent_reuse:
+                reused, warm_values = self._try_incumbent(
+                    tp_model, graph, processor, num_partitions,
+                    d_min, d_max, fp, start,
+                )
+                if reused is not None:
+                    return reused
+
             budget = self._remaining_budget(deadline)
             if budget is not None and budget <= 0.0:
                 # The overall deadline is already spent: degrade
@@ -273,14 +356,42 @@ class SolveExecutor:
                     options, fp, start, timed_out=True,
                 )
 
+            # Primal-first stage: LP relaxation + rounding/diving under a
+            # small budget; the paper's procedure only needs feasibility.
+            if self.primal_first and tp_model.compiled is not None:
+                probe_start = time.perf_counter()
+                probed = self._primal_probe(
+                    tp_model, template, graph, processor, options,
+                    num_partitions, d_min, d_max, fp, budget, start,
+                )
+                if probed is not None:
+                    return probed
+                if budget is not None:
+                    budget -= time.perf_counter() - probe_start
+                    if budget <= 0.0:
+                        tracer.event(
+                            "deadline_expired", phase="post_primal"
+                        )
+                        return self._degrade(
+                            graph, processor, num_partitions, d_max, d_min,
+                            options, fp, start, timed_out=True,
+                        )
+
+            start_basis = None
+            if self.reuse_basis and fp is not None:
+                start_basis = self._bases.get(fp.base)
+
             attempts = self._build_attempts(
                 tp_model, graph, processor, num_partitions, d_max, options,
-                budget,
+                budget, warm_values=warm_values, start_basis=start_basis,
             )
             winner, completed = race_backends(attempts, tracer=tracer)
             for attempt in completed:
                 self.telemetry.add_backend_wall(
                     attempt.backend, attempt.wall_time
+                )
+                self.telemetry.basis_restarts += int(
+                    attempt.stats.get("basis_restarts", 0) or 0
                 )
                 # Count budget exhaustion only when the race as a whole
                 # was inconclusive — a loser cancelled mid-race also
@@ -312,6 +423,13 @@ class SolveExecutor:
                         wall_time=attempt.wall_time,
                         cancelled=attempt.status
                         in (SolveStatus.TIME_LIMIT, SolveStatus.NODE_LIMIT),
+                    )
+
+            if self.reuse_basis and winner is not None and fp is not None:
+                root_basis = winner.stats.get("root_basis")
+                if root_basis is not None:
+                    self._bases[fp.base] = np.asarray(
+                        root_basis, dtype=np.intp
                     )
 
             if winner is not None and winner.design is not None:
@@ -457,6 +575,317 @@ class SolveExecutor:
             "cache", num_partitions, d_min, d_max, start, cache_hit=True,
         )
 
+    # -- cross-window acceleration -------------------------------------------
+
+    @staticmethod
+    def _vectorize(compiled, values: dict) -> "np.ndarray | None":
+        """Order a name -> value mapping into the compiled column order.
+
+        Returns ``None`` when any compiled variable is missing from the
+        mapping — a partial point is no feasibility certificate.
+        """
+        x = np.empty(compiled.num_vars)
+        for name, j in compiled.var_index.items():
+            value = values.get(name)
+            if value is None:
+                return None
+            x[j] = value
+        return x
+
+    def _try_incumbent(
+        self,
+        tp_model,
+        graph,
+        processor,
+        num_partitions: int,
+        d_min: float,
+        d_max: float,
+        fp: ModelFingerprint | None,
+        start: float,
+    ) -> tuple[WindowOutcome | None, dict | None]:
+        """Check the carried incumbent against this window's rows.
+
+        Returns ``(outcome, warm_values)``: a concluded outcome when the
+        incumbent is still feasible (one sparse matrix-vector product,
+        zero solver work), else the lifted variable assignment to offer
+        the backends as a validated warm start (or ``None`` if there is
+        no usable incumbent).
+        """
+        from repro.core.formulation import warm_values_from_design
+
+        key = (id(graph), id(processor), tp_model.options)
+        held = self._incumbents.get(key)
+        if held is None:
+            return None, None
+        design, achieved, _processor = held
+        if design.num_partitions_used > num_partitions:
+            return None, None
+        with self.tracer.span("incumbent_check", achieved=achieved) as sp:
+            values = warm_values_from_design(tp_model, design)
+            compiled = tp_model.compiled
+            if compiled is None:
+                sp.annotate(result="no_compiled_form")
+                return None, values
+            x = self._vectorize(compiled, values)
+            if x is None:
+                sp.annotate(result="incomplete_point")
+                return None, None
+            if not compiled.point_feasible(x):
+                sp.annotate(result="stale")
+                return None, values
+            sp.annotate(result="reused")
+        self.telemetry.incumbent_reuses += 1
+        self.tracer.event(
+            "incumbent_reuse", achieved=achieved,
+            num_partitions=num_partitions,
+        )
+        if fp is not None:
+            self.cache.store_feasible(
+                fp, design, achieved, backend="incumbent"
+            )
+        return (
+            self._conclude(
+                design, achieved, SolveStatus.FEASIBLE, "incumbent",
+                num_partitions, d_min, d_max, start,
+            ),
+            None,
+        )
+
+    def _primal_probe(
+        self,
+        tp_model,
+        template,
+        graph,
+        processor,
+        options,
+        num_partitions: int,
+        d_min: float,
+        d_max: float,
+        fp: ModelFingerprint | None,
+        budget: float | None,
+        start: float,
+    ) -> WindowOutcome | None:
+        """Bound check, LP relaxation + primal heuristics, pre-race.
+
+        Four conclusive exits, all sound for the base (cut-free) model:
+
+        * the packing bound (:func:`repro.core.bounds.packing_min_latency`)
+          exceeds ``d_max`` — pure arithmetic proves the window empty
+          before even the LP is touched.  This is the exit that answers
+          the deep windows of area-tight instances, where the LP
+          relaxation is trivially feasible and the MILP refutation is
+          out of reach at any practical budget.
+        * LP INFEASIBLE — the relaxation is a superset of the integer
+          points (and pool cuts are valid inequalities), so the window
+          is *provably* empty: cached and concluded like any backend's
+          infeasibility proof.
+        * ``round_nearest`` or ``dive`` lands an integer-feasible point
+          — a genuine design, decoded and audited like a backend win.
+        * A greedy level-packing design that audits clean, uses at most
+          ``N`` partitions and fits under ``d_max`` — the same
+          certificate argument as the degrade path, but *before* any
+          backend burns its budget (and without the ``degraded`` mark:
+          a valid design is a valid design, whoever found it).
+        * Anything else (LP timeout, no primal point) returns ``None``
+          and the portfolio runs as usual, minus the spent budget.
+
+        While the LP point is available, cover cuts are separated from
+        the template's window-independent resource rows into the
+        persistent pool (``settings.persistent_cuts``).
+        """
+        from repro.ilp.rounding import dive, round_nearest
+        from repro.ilp.scipy_backend import solve_relaxation
+        from repro.ilp.status import Solution
+
+        packing = self._packing_bound(graph, processor, num_partitions)
+        if packing > d_max + 1e-9:
+            self.tracer.event(
+                "packing_bound_refutes_window",
+                bound=packing, d_max=d_max,
+            )
+            self.telemetry.primal_hits += 1
+            if fp is not None:
+                self.cache.store_infeasible(fp, backend="primal:bound")
+            return self._conclude(
+                None, None, SolveStatus.INFEASIBLE, "primal:bound",
+                num_partitions, d_min, d_max, start,
+            )
+
+        form = tp_model.compiled
+        probe_limit = None
+        if budget is not None:
+            # Keep the probe a sliver of the window budget: its job is
+            # the cheap certificates, and every second it burns is a
+            # second the portfolio race loses on the hard windows.
+            probe_limit = max(0.2, min(2.0, 0.1 * budget))
+        with self.tracer.span("primal_probe") as sp:
+            status, x, _objective, _n = solve_relaxation(
+                form, time_limit=probe_limit
+            )
+            if status is SolveStatus.INFEASIBLE:
+                sp.annotate(result="lp_infeasible")
+                self.telemetry.primal_hits += 1
+                if fp is not None:
+                    self.cache.store_infeasible(fp, backend="primal:lp")
+                return self._conclude(
+                    None, None, SolveStatus.INFEASIBLE, "primal:lp",
+                    num_partitions, d_min, d_max, start,
+                )
+            if status is not SolveStatus.OPTIMAL or x is None:
+                sp.annotate(result="lp_inconclusive", status=status.value)
+                return None
+
+            if self.persistent_cuts and template is not None:
+                from repro.ilp.cuts import find_cover_cuts
+
+                is_binary = (
+                    form.is_integral & (form.lb >= 0.0) & (form.ub <= 1.0)
+                )
+                cuts = find_cover_cuts(
+                    form.a_ub, form.b_ub, is_binary, x,
+                    rows=template.resource_row_indices,
+                )
+                added = template.add_pool_cuts(cuts) if cuts else 0
+                if added:
+                    self.telemetry.pooled_cuts += added
+                    sp.event(
+                        "cuts_pooled", added=added,
+                        pool=template.pooled_cuts,
+                    )
+
+            candidate = round_nearest(form, x)
+            label = "primal:round"
+            if candidate is None:
+                # Cheap structural heuristic before LP diving: the greedy
+                # level packers are window-independent, so they can hit
+                # only while ``d_max`` is above their fixed latency —
+                # typically the wide opening window of each bisection,
+                # which is also the most expensive one to race.
+                greedy = self._greedy_probe(
+                    graph, processor, options, num_partitions,
+                    d_min, d_max, fp, start, sp,
+                )
+                if greedy is not None:
+                    return greedy
+            if candidate is None:
+                label = "primal:dive"
+                probe_deadline = (
+                    time.perf_counter() + probe_limit
+                    if probe_limit is not None
+                    else None
+                )
+
+                def solve_node(lb, ub):
+                    if (
+                        probe_deadline is not None
+                        and time.perf_counter() > probe_deadline
+                    ):
+                        return SolveStatus.TIME_LIMIT, None, math.nan
+                    remaining = None
+                    if probe_deadline is not None:
+                        remaining = max(
+                            probe_deadline - time.perf_counter(), 1e-3
+                        )
+                    node_status, node_x, node_obj, _ = solve_relaxation(
+                        form, extra_lb=lb, extra_ub=ub,
+                        time_limit=remaining,
+                    )
+                    return node_status, node_x, node_obj
+
+                resolves = int(
+                    getattr(self.settings, "extra", {}).get(
+                        "primal_dive_resolves", 8
+                    )
+                )
+                dived = dive(
+                    form, x,
+                    form.lb.astype(float), form.ub.astype(float),
+                    solve_node, max_resolves=resolves,
+                )
+                candidate = dived[0] if dived is not None else None
+            if candidate is None:
+                sp.annotate(result="no_primal_point")
+                return None
+
+            solution = Solution(
+                status=SolveStatus.FEASIBLE,
+                objective=form.objective_at(candidate),
+                values=form.values_to_dict(candidate),
+            )
+            design = tp_model.design_from(solution)
+            achieved = design.total_latency(processor)
+            sp.annotate(result="hit", label=label, achieved=achieved)
+        self.telemetry.primal_hits += 1
+        if fp is not None:
+            self.cache.store_feasible(fp, design, achieved, backend=label)
+        return self._conclude(
+            design, achieved, SolveStatus.FEASIBLE, label,
+            num_partitions, d_min, d_max, start,
+        )
+
+    def _packing_bound(
+        self, graph, processor, num_partitions: int
+    ) -> float:
+        """Memoized :func:`repro.core.bounds.packing_min_latency`."""
+        from repro.core.bounds import packing_min_latency
+
+        key = (id(graph), id(processor), num_partitions)
+        held = self._packing_bounds.get(key)
+        if held is None:
+            held = (
+                graph,
+                processor,
+                packing_min_latency(graph, processor, num_partitions),
+            )
+            self._packing_bounds[key] = held
+        return held[2]
+
+    def _greedy_probe(
+        self,
+        graph,
+        processor,
+        options,
+        num_partitions: int,
+        d_min: float,
+        d_max: float,
+        fp: ModelFingerprint | None,
+        start: float,
+        sp,
+    ) -> WindowOutcome | None:
+        """Try the greedy level packers as a primal certificate.
+
+        Same acceptance rules as the degrade path (at most ``N``
+        partitions, clean audit, latency under ``d_max``; the window's
+        lower edge excludes no true design), but run up front as part of
+        the primal-first stage, so a hit costs microseconds instead of a
+        full backend race.  Returns ``None`` when no policy qualifies.
+        """
+        from repro.core.heuristics import greedy_partition
+
+        for policy in _FALLBACK_POLICIES:
+            result = greedy_partition(
+                graph, processor, policy,
+                include_env_memory=options.include_env_memory,
+            )
+            design = result.design
+            if design.num_partitions_used > num_partitions:
+                continue
+            achieved = design.total_latency(processor)
+            if achieved > d_max + 1e-9:
+                continue
+            if design.audit(processor, options.include_env_memory):
+                continue
+            label = f"primal:greedy:{policy}"
+            sp.annotate(result="hit", label=label, achieved=achieved)
+            self.telemetry.primal_hits += 1
+            if fp is not None:
+                self.cache.store_feasible(fp, design, achieved, backend=label)
+            return self._conclude(
+                design, achieved, SolveStatus.FEASIBLE, label,
+                num_partitions, d_min, d_max, start,
+            )
+        return None
+
     def _degrade(
         self,
         graph,
@@ -542,6 +971,8 @@ class SolveExecutor:
         d_max: float,
         options,
         time_limit: float | None,
+        warm_values: dict | None = None,
+        start_basis: "np.ndarray | None" = None,
     ) -> list[tuple[str, AttemptFn]]:
         attempts: list[tuple[str, AttemptFn]] = []
         for name in self.backends:
@@ -557,11 +988,25 @@ class SolveExecutor:
                 )
             else:
                 attempts.append(
-                    (name, self._ilp_attempt(tp_model, name, time_limit))
+                    (
+                        name,
+                        self._ilp_attempt(
+                            tp_model, name, time_limit,
+                            warm_values=warm_values,
+                            start_basis=start_basis,
+                        ),
+                    )
                 )
         return attempts
 
-    def _ilp_attempt(self, tp_model, backend: str, time_limit) -> AttemptFn:
+    def _ilp_attempt(
+        self,
+        tp_model,
+        backend: str,
+        time_limit,
+        warm_values: dict | None = None,
+        start_basis: "np.ndarray | None" = None,
+    ) -> AttemptFn:
         settings = self.settings
         tracer = self.tracer
 
@@ -570,6 +1015,14 @@ class SolveExecutor:
             kwargs = dict(settings.extra)
             if backend == "bnb":
                 kwargs.setdefault("should_stop", cancel.is_set)
+                if start_basis is not None:
+                    kwargs.setdefault("start_basis", start_basis)
+            if warm_values is not None:
+                # Validated by the backend: bnb installs it as the
+                # initial incumbent only after a full bounds/integrality
+                # /rows check; highs accepts-and-ignores it (scipy's
+                # milp has no MIP-start hook).
+                kwargs.setdefault("warm_start", warm_values)
             if tracer.enabled:
                 # Only forwarded when tracing is live: test-registered
                 # backends need not accept the keyword otherwise.
@@ -590,6 +1043,7 @@ class SolveExecutor:
                 design=design,
                 wall_time=time.perf_counter() - start,
                 iterations=solution.iterations,
+                stats=solution.stats,
             )
 
         return run

@@ -88,6 +88,17 @@ class RunTelemetry:
     #: Window models served by patching a template (cheap path); compare
     #: with ``template_builds`` for the incremental-reuse ratio.
     template_instantiations: int = 0
+    #: Window solves answered by a still-feasible previous incumbent
+    #: (zero solver work; ``SolverSettings.incumbent_reuse``).
+    incumbent_reuses: int = 0
+    #: Window solves answered by the primal-first stage (LP relaxation +
+    #: rounding/diving, or an LP infeasibility proof).
+    primal_hits: int = 0
+    #: Node LPs that skipped simplex phase I by crashing onto a
+    #: previous optimal basis (own-engine branch & bound).
+    basis_restarts: int = 0
+    #: Cover cuts added to persistent template pools across the run.
+    pooled_cuts: int = 0
     #: Pre-solve analyzer passes run (``SolverSettings.analyze != "off"``).
     analysis_runs: int = 0
     #: ERROR-severity diagnostics across all analyzer passes.
@@ -150,6 +161,23 @@ class RunTelemetry:
         """``True`` when any window solve fell back past every backend."""
         return self.fallbacks > 0 or any(s.degraded for s in self.solves)
 
+    def wall_time_percentiles(self) -> dict[str, float]:
+        """Per-window wall time percentiles (nearest-rank p50/p90 + max).
+
+        Raw totals hide the long tail that the acceleration counters are
+        meant to shrink; the percentiles make them interpretable.  All
+        zeros when no window has been solved yet.
+        """
+        times = sorted(s.wall_time for s in self.solves)
+        if not times:
+            return {"p50": 0.0, "p90": 0.0, "max": 0.0}
+
+        def rank(q: float) -> float:
+            index = max(0, min(len(times) - 1, int(q * len(times) + 0.5) - 1))
+            return times[index]
+
+        return {"p50": rank(0.50), "p90": rank(0.90), "max": times[-1]}
+
     def to_dict(self, include_solves: bool = True) -> dict:
         """JSON-ready summary (schema documented in docs/solving.md)."""
         payload = {
@@ -160,6 +188,11 @@ class RunTelemetry:
             "total_wall_time": self.total_wall_time,
             "timeouts": self.timeouts,
             "fallbacks": self.fallbacks,
+            "incumbent_reuses": self.incumbent_reuses,
+            "primal_hits": self.primal_hits,
+            "basis_restarts": self.basis_restarts,
+            "pooled_cuts": self.pooled_cuts,
+            "wall_time_percentiles": self.wall_time_percentiles(),
             "template_builds": self.template_builds,
             "template_instantiations": self.template_instantiations,
             "analysis_runs": self.analysis_runs,
@@ -178,12 +211,26 @@ class RunTelemetry:
         backends = ", ".join(
             f"{name}: {wins}" for name, wins in sorted(self.backend_wins.items())
         ) or "none"
+        pct = self.wall_time_percentiles()
+        reuse = ""
+        if (
+            self.incumbent_reuses or self.primal_hits
+            or self.basis_restarts or self.pooled_cuts
+        ):
+            reuse = (
+                f", reuse: {self.incumbent_reuses} incumbent/"
+                f"{self.primal_hits} primal/"
+                f"{self.basis_restarts} basis/"
+                f"{self.pooled_cuts} cuts"
+            )
         return (
             f"{self.total_solves} solves "
             f"({self.cache_hits} cached, hit rate "
             f"{self.cache_hit_rate:.0%}), wins: {backends}, "
-            f"{self.timeouts} timeouts, {self.fallbacks} fallbacks, "
+            f"{self.timeouts} timeouts, {self.fallbacks} fallbacks{reuse}, "
             f"templates: {self.template_builds} built/"
             f"{self.template_instantiations} instantiated, "
+            f"window wall p50/p90/max "
+            f"{pct['p50']:.2f}/{pct['p90']:.2f}/{pct['max']:.2f}s, "
             f"{self.total_wall_time:.2f}s total"
         )

@@ -99,7 +99,7 @@ DCT_T2_POINTS: tuple[DesignPoint, ...] = (
 )
 
 
-def dct_4x4() -> TaskGraph:
+def dct_4x4(rows: int = 4) -> TaskGraph:
     """The 32-task 4x4 DCT graph of Figure 6.
 
     The 2-D DCT ``Z = C X C^T`` is modeled as 32 vector products: stage 1
@@ -113,9 +113,19 @@ def dct_4x4() -> TaskGraph:
     Every task has three design points (Table 2); each crossing edge
     carries one data unit (one matrix element), each stage-1 task reads
     four elements from the environment, each stage-2 task writes one back.
+
+    ``rows`` keeps only the first ``rows`` of the four independent
+    collections (eight tasks each) — a faithful reduced instance with
+    the same design points, the same bipartite collection structure and
+    the same area pressure per partition, used where the full graph
+    would be too expensive (CI smoke benchmarks).
     """
-    graph = TaskGraph("dct_4x4")
-    for row in range(4):
+    if not 1 <= rows <= 4:
+        raise ValueError("dct_4x4 has between 1 and 4 row collections")
+    graph = TaskGraph(
+        "dct_4x4" if rows == 4 else f"dct_4x4_rows{rows}"
+    )
+    for row in range(rows):
         for col in range(4):
             graph.add_task(f"Y{row}{col}", DCT_T1_POINTS, kind="T1")
         for col in range(4):
@@ -123,7 +133,7 @@ def dct_4x4() -> TaskGraph:
         for producer in range(4):
             for consumer in range(4):
                 graph.add_edge(f"Y{row}{producer}", f"Z{row}{consumer}", 1)
-    for row in range(4):
+    for row in range(rows):
         for col in range(4):
             graph.set_env_input(f"Y{row}{col}", 4)
             graph.set_env_output(f"Z{row}{col}", 1)

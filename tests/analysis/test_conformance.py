@@ -182,3 +182,32 @@ class TestAcceptanceScenario:
             d.variables == ("w[9,T1,T2]",) and d.paper_eq == "(4)-(5)"
             for d in crossing
         )
+
+
+class TestSymmetryFamily:
+    """``sym[a,b]`` ordering rows (extension, checked only when enabled)."""
+
+    def _symmetric(self, processor):
+        return ar_model(
+            processor, options=FormulationOptions(symmetry_breaking=True)
+        )
+
+    def test_clean_symmetric_model_is_conformant(self, processor):
+        assert conformance(self._symmetric(processor)) == []
+
+    def test_dropped_symmetry_row(self, processor):
+        tp = self._symmetric(processor)
+        tp.model.remove_constr("sym[T3,T4]")
+        diags = conformance(tp)
+        assert [d.code for d in diags] == ["missing-symmetry-row"]
+        assert diags[0].paper_eq == "ext"
+        assert "T3" in diags[0].message and "T4" in diags[0].message
+
+    def test_family_not_required_when_option_off(self, processor):
+        # A plain model has no sym rows; without the option the checker
+        # must not demand them.
+        tp = ar_model(processor)
+        assert all(
+            not c.name.startswith("sym[") for c in tp.model.constraints
+        )
+        assert conformance(tp) == []

@@ -1,5 +1,7 @@
 """Unit tests for the Section 3.1 bounds."""
 
+import math
+
 import pytest
 
 from repro.arch import ReconfigurableProcessor
@@ -64,6 +66,95 @@ class TestLatencyBounds:
             assert latency <= bounds.max_latency(
                 ar_graph, n, ar_device.reconfiguration_time
             ) + 1e-9
+
+
+class TestPackingMinLatency:
+    """The capacity-aware D_min refinement (crowding forces slow points)."""
+
+    def test_dct_r576_values(self, dct_graph):
+        # Hand-checked at N = 8: at R_max = 576 at most 4 DCT tasks
+        # share a partition (5 x 116 = 580 > 576), four one-dimensional
+        # DCT tasks force a latency-795 point (4 x 150 = 600 > 576) and
+        # four row-combination tasks a latency-885 one (4 x 190 > 576,
+        # 4 x 144 = 576); the best split of 16 + 16 tasks over 8 full
+        # partitions is 5 x 795 + 3 x 885 + 8 x 30 = 6870.
+        processor = ReconfigurableProcessor(576, 2048, 30)
+        expected = {8: 6870.0, 9: 6105.0, 10: 5430.0, 11: 5250.0, 12: 5250.0}
+        for n, value in expected.items():
+            assert bounds.packing_min_latency(
+                dct_graph, processor, n
+            ) == pytest.approx(value)
+
+    def test_dct_r576_infeasible_below_eight_partitions(self, dct_graph):
+        # k_max = 4, so fewer than ceil(32 / 4) = 8 partitions cannot
+        # hold the graph at all: the bound is infinite.
+        processor = ReconfigurableProcessor(576, 2048, 30)
+        for n in (4, 5, 6, 7):
+            assert bounds.packing_min_latency(
+                dct_graph, processor, n
+            ) == math.inf
+
+    def test_ar_bound_sits_below_the_critical_path(self, ar_graph, ar_device):
+        # In the explored range the AR device is not area-tight: the
+        # packing bound must not exceed the critical-path D_min (so
+        # wiring it into the search leaves AR trajectories untouched).
+        for n in (3, 4):
+            packing = bounds.packing_min_latency(ar_graph, ar_device, n)
+            assert packing <= bounds.min_latency(ar_graph, n, 20.0)
+
+    def test_ar_refutes_two_partitions(self, ar_graph, ar_device):
+        # Minimum areas sum to 970 > 2 x 400: no two-partition design
+        # exists, and the bound knows (the MILP agrees, see the solver
+        # tests).
+        assert bounds.packing_min_latency(ar_graph, ar_device, 2) == math.inf
+
+    def test_sound_against_real_designs(self, dct_graph):
+        # Every auditable design's total latency dominates the bound at
+        # its own partition count — the bound never excludes a solution.
+        from repro.core import greedy_partition
+
+        processor = ReconfigurableProcessor(576, 2048, 30)
+        for policy in ("min_area", "max_area", "balanced", "min_latency"):
+            design = greedy_partition(dct_graph, processor, policy).design
+            if design.audit(processor):
+                continue
+            n = design.num_partitions_used
+            assert design.total_latency(processor) >= bounds.packing_min_latency(
+                dct_graph, processor, n
+            ) - 1e-9
+
+    def test_monotone_in_partition_budget(self, dct_graph):
+        # Allowing more partitions only enlarges the grouping choices,
+        # so the bound is non-increasing in N.
+        processor = ReconfigurableProcessor(576, 2048, 30)
+        values = [
+            bounds.packing_min_latency(dct_graph, processor, n)
+            for n in range(1, 14)
+        ]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_crowding_forces_the_slow_point(self):
+        # Two tasks, each with a fast-but-wide and a slow-but-narrow
+        # point.  Together they exceed capacity on the fast points, so a
+        # single partition costs the slow latency; two partitions run
+        # both fast.
+        graph = TaskGraph()
+        points = (DesignPoint(6, 1), DesignPoint(2, 10))
+        graph.add_task("a", points)
+        graph.add_task("b", points)
+        processor = ReconfigurableProcessor(10, 100, 1)
+        assert bounds.packing_min_latency(graph, processor, 1) == 11.0
+        assert bounds.packing_min_latency(graph, processor, 2) == 4.0
+
+    def test_oversized_task_gives_infinite_bound(self):
+        graph = TaskGraph()
+        graph.add_task("a", (DesignPoint(50, 5),))
+        processor = ReconfigurableProcessor(10, 100, 1)
+        assert bounds.packing_min_latency(graph, processor, 3) == math.inf
+
+    def test_invalid_partition_count(self, ar_graph, ar_device):
+        with pytest.raises(ValueError):
+            bounds.packing_min_latency(ar_graph, ar_device, 0)
 
 
 class TestPartitionRange:

@@ -117,3 +117,77 @@ class TestApplyAndSolve:
         plain = m.solve(backend="bnb")
         cut = m.solve(backend="bnb", root_cuts=5)
         assert cut.objective == pytest.approx(plain.objective)
+
+
+class TestValidityRandomPoints:
+    @given(
+        st.lists(st.integers(1, 9), min_size=3, max_size=6),
+        st.integers(5, 25),
+        st.lists(st.floats(0.0, 1.0), min_size=6, max_size=6),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_cuts_from_random_fractional_points_valid(
+        self, weights, capacity, fractions
+    ):
+        # Every cut separated from *any* fractional point must hold at
+        # every integer point of the knapsack — the soundness property
+        # the persistent pool relies on when replaying cuts across
+        # windows.
+        a_ub, b_ub, is_binary = knapsack_arrays(weights, capacity)
+        x_star = np.array(fractions[: len(weights)])
+        cuts = find_cover_cuts(a_ub, b_ub, is_binary, x_star)
+        for bits in itertools.product([0, 1], repeat=len(weights)):
+            point = np.array(bits, dtype=float)
+            if float(a_ub[0] @ point) <= capacity + 1e-9:
+                for cut in cuts:
+                    assert cut.violation(point) <= 1e-9
+
+
+class TestRowRestriction:
+    def test_cuts_only_from_requested_rows(self):
+        # Two separable rows; restricting to row 0 must never emit a
+        # cut derived from row 1.
+        a_ub = np.array([[4.0, 4.0, 4.0], [5.0, 5.0, 5.0]])
+        b_ub = np.array([10.0, 12.0])
+        is_binary = np.ones(3, dtype=bool)
+        x_star = np.array([0.9, 0.9, 0.9])
+        unrestricted = find_cover_cuts(a_ub, b_ub, is_binary, x_star)
+        assert {c.row_index for c in unrestricted} == {0, 1}
+        restricted = find_cover_cuts(
+            a_ub, b_ub, is_binary, x_star, rows=[0]
+        )
+        assert restricted
+        assert all(c.row_index == 0 for c in restricted)
+
+    def test_template_pool_never_separates_window_rows(self):
+        # The persistent pool separates on ModelTemplate's
+        # window-independent resource rows only: the latency window rows
+        # (whose RHS changes every bisection iteration) must never be a
+        # cut's origin, or a pooled cut could wrongly exclude designs of
+        # later windows.
+        from repro.arch import ReconfigurableProcessor
+        from repro.core.formulation import FormulationOptions, ModelTemplate
+        from repro.taskgraph.library import ar_filter
+
+        processor = ReconfigurableProcessor(400.0, 128.0, 20.0)
+        template = ModelTemplate(
+            ar_filter(), processor, 3, FormulationOptions()
+        )
+        tp = template.instantiate(d_min=460.0, d_max=640.0)
+        names = tp.compiled.ub_names
+        for i in template.resource_row_indices:
+            assert names[i] is not None
+            assert names[i].startswith("resource")
+            assert names[i] not in ("latency_ub", "latency_lb")
+        x_star = np.full(tp.compiled.num_vars, 0.9)
+        is_binary = (
+            tp.compiled.is_integral
+            & (tp.compiled.lb >= 0.0)
+            & (tp.compiled.ub <= 1.0)
+        )
+        cuts = find_cover_cuts(
+            np.asarray(tp.compiled.a_ub), np.asarray(tp.compiled.b_ub),
+            is_binary, x_star, rows=template.resource_row_indices,
+        )
+        for cut in cuts:
+            assert names[cut.row_index].startswith("resource")

@@ -196,3 +196,53 @@ class TestBackendAdapter:
         assert status is SolveStatus.OPTIMAL
         simplex_solution = m.solve(backend="simplex")
         assert simplex_solution.objective == pytest.approx(objective)
+
+
+class TestBasisWarmStart:
+    """Crash onto a previous optimal basis; fall back cold on garbage."""
+
+    def _problem(self, rhs=4.0):
+        # min -x - 2y st x + y <= rhs, x <= 3, y <= 2.
+        a_ub, b_ub = arrays([1, 1]), np.array([float(rhs)])
+        a_eq, b_eq = empty(2)
+        return (
+            np.array([-1.0, -2.0]), a_ub, b_ub, a_eq, b_eq,
+            np.zeros(2), np.array([3.0, 2.0]),
+        )
+
+    def test_warm_resolve_matches_cold(self):
+        cold = solve_lp(*self._problem(rhs=4.0))
+        assert cold.status is SolveStatus.OPTIMAL
+        assert cold.basis is not None
+        # Patch the RHS (the shape of a window re-solve) and restart
+        # from the previous optimal basis.
+        warm = solve_lp(*self._problem(rhs=4.5), start_basis=cold.basis)
+        reference = solve_lp(*self._problem(rhs=4.5))
+        assert warm.status is SolveStatus.OPTIMAL
+        assert warm.warm
+        assert warm.objective == pytest.approx(reference.objective)
+        assert warm.x == pytest.approx(reference.x)
+
+    def test_same_problem_warm_restart(self):
+        cold = solve_lp(*self._problem())
+        warm = solve_lp(*self._problem(), start_basis=cold.basis)
+        assert warm.status is SolveStatus.OPTIMAL
+        assert warm.warm
+        assert warm.objective == pytest.approx(cold.objective)
+
+    def test_garbage_basis_falls_back_cold(self):
+        # Out-of-range column indices: the crash must refuse and the
+        # cold phase I must still produce the right answer.
+        bad = np.array([999, 998])
+        result = solve_lp(*self._problem(), start_basis=bad)
+        assert result.status is SolveStatus.OPTIMAL
+        assert not result.warm
+        assert result.objective == pytest.approx(-6.0)
+
+    def test_mismatched_shape_basis_falls_back_cold(self):
+        cold = solve_lp(*self._problem())
+        bad = np.append(cold.basis, 0)
+        result = solve_lp(*self._problem(), start_basis=bad)
+        assert result.status is SolveStatus.OPTIMAL
+        assert not result.warm
+        assert result.objective == pytest.approx(-6.0)

@@ -53,3 +53,50 @@ class TestWarmStart:
         optimal_warm = {"x0": 1, "x1": 1, "x3": 1}
         warm = m.solve(backend="bnb", warm_start=optimal_warm)
         assert warm.iterations <= cold.iterations
+
+
+class TestStrictValidation:
+    """``_validate_warm_start`` rejects rather than repairs bad points.
+
+    A warm point that needs clipping or rounding to become feasible is
+    not a certificate: installing it as an incumbent could wrongly prune
+    subtrees containing the true optimum.
+    """
+
+    def _form(self):
+        return knapsack().compile()
+
+    def _validate(self, point):
+        import numpy as np
+
+        from repro.ilp.branch_and_bound import _validate_warm_start
+
+        return _validate_warm_start(
+            self._form(), np.asarray(point, dtype=float), 1e-6
+        )
+
+    def test_out_of_bounds_point_rejected_not_clipped(self):
+        # x0 = 2 exceeds the binary upper bound; clipping to 1 would
+        # yield a feasible point, but the validator must refuse.
+        assert self._validate([2, 0, 0, 0, 0]) is None
+
+    def test_negative_point_rejected(self):
+        assert self._validate([-1, 0, 0, 1, 0]) is None
+
+    def test_fractional_point_rejected(self):
+        # Well inside bounds and resource-feasible, but not integral.
+        assert self._validate([0.5, 0.5, 0, 0, 0]) is None
+
+    def test_constraint_violating_point_rejected(self):
+        # Integral and within bounds, but weight 20 > capacity 10.
+        assert self._validate([1, 1, 1, 1, 1]) is None
+
+    def test_small_integer_drift_snapped(self):
+        import numpy as np
+
+        snapped = self._validate([1.0 + 1e-8, 1.0 - 1e-8, 0, 1e-9, 0])
+        assert snapped is not None
+        assert np.array_equal(snapped, [1, 1, 0, 0, 0])
+
+    def test_wrong_shape_rejected(self):
+        assert self._validate([1, 0, 0]) is None

@@ -1,0 +1,250 @@
+"""Cross-window acceleration: incumbents, primal-first, persistent cuts.
+
+The acceleration layer must be *transparent*: every shortcut is a
+feasibility certificate (a re-checked incumbent, a greedy design that
+audits clean, an LP infeasibility proof), so the search trajectory ends
+at the same latency whether the shortcuts fire or not.  These tests pin
+both halves — the shortcuts do fire (counters move, backends are
+labelled), and the finals do not move.
+"""
+
+import pytest
+from hypothesis import given, settings as hsettings, strategies as st
+
+from repro.arch import ReconfigurableProcessor
+from repro.core import SolverSettings, bounds
+from repro.core.reduce_latency import reduce_latency
+from repro.core.refine_partitions import refine_partitions_bound
+from repro.ilp.status import SolveStatus
+from repro.solve import SolveExecutor
+from repro.taskgraph import ar_filter
+
+
+@pytest.fixture
+def processor() -> ReconfigurableProcessor:
+    return ReconfigurableProcessor(400, 128, 20.0)
+
+
+def window(graph, n, c_t=20.0):
+    return (
+        bounds.max_latency(graph, n, c_t),
+        bounds.min_latency(graph, n, c_t),
+    )
+
+
+def accelerated(**overrides) -> SolverSettings:
+    kwargs = dict(
+        time_limit=15.0,
+        incumbent_reuse=True,
+        primal_first=True,
+        persistent_cuts=True,
+    )
+    kwargs.update(overrides)
+    return SolverSettings(**kwargs)
+
+
+class TestIncumbentReuse:
+    def test_previous_incumbent_answers_wider_window(self, processor):
+        # The N=3 incumbent still fits the (different-fingerprint, so
+        # cache-miss) N=4 opening window: the executor must answer SAT
+        # from the carried design with zero solver work.
+        executor = SolveExecutor(
+            SolverSettings(time_limit=15.0, incumbent_reuse=True)
+        )
+        graph = ar_filter()
+        first = executor.solve_window(graph, processor, 3, *window(graph, 3))
+        reused = executor.solve_window(graph, processor, 4, *window(graph, 4))
+        assert first.feasible and reused.feasible
+        assert not reused.cache_hit
+        assert reused.backend == "incumbent"
+        assert reused.achieved == first.achieved
+        assert executor.telemetry.incumbent_reuses == 1
+
+    def test_reused_design_is_a_real_certificate(self, processor):
+        executor = SolveExecutor(
+            SolverSettings(time_limit=15.0, incumbent_reuse=True)
+        )
+        graph = ar_filter()
+        executor.solve_window(graph, processor, 3, *window(graph, 3))
+        reused = executor.solve_window(graph, processor, 4, *window(graph, 4))
+        design = reused.design
+        assert design is not None
+        assert not design.audit(processor)
+        assert design.num_partitions_used <= 4
+        d_max, _ = window(graph, 4)
+        assert reused.achieved <= d_max + 1e-9
+
+    def test_flag_off_never_reuses(self, processor):
+        executor = SolveExecutor(SolverSettings(time_limit=15.0))
+        graph = ar_filter()
+        executor.solve_window(graph, processor, 3, *window(graph, 3))
+        second = executor.solve_window(graph, processor, 4, *window(graph, 4))
+        assert second.backend != "incumbent"
+        assert executor.telemetry.incumbent_reuses == 0
+
+
+class TestPrimalFirst:
+    def test_greedy_probe_answers_wide_window(self, processor):
+        # The opening window is above the greedy packers' fixed latency,
+        # so the primal stage answers it without racing the portfolio.
+        executor = SolveExecutor(
+            SolverSettings(time_limit=15.0, primal_first=True)
+        )
+        graph = ar_filter()
+        result = executor.solve_window(graph, processor, 3, *window(graph, 3))
+        assert result.feasible
+        assert result.backend.startswith("primal:")
+        assert not result.degraded
+        assert executor.telemetry.primal_hits == 1
+        assert not result.design.audit(processor)
+
+    def test_packing_bound_refutes_hopeless_window(self, processor):
+        # d_max below even the packing bound (340 at N=3 for the AR
+        # device): arithmetic proves the window empty before the LP is
+        # touched.
+        executor = SolveExecutor(
+            SolverSettings(time_limit=15.0, primal_first=True)
+        )
+        graph = ar_filter()
+        result = executor.solve_window(graph, processor, 3, 100.0, 0.0)
+        assert not result.feasible
+        assert result.status is SolveStatus.INFEASIBLE
+        assert result.backend == "primal:bound"
+        assert executor.telemetry.primal_hits == 1
+
+    def test_lp_infeasibility_is_a_window_emptiness_proof(self, processor):
+        # A window above the packing bound (340) but below the LP
+        # latency bound (~476.9 at N=3): the relaxation is infeasible,
+        # which proves the MILP window empty without any
+        # branch-and-bound work.
+        executor = SolveExecutor(
+            SolverSettings(time_limit=15.0, primal_first=True)
+        )
+        graph = ar_filter()
+        result = executor.solve_window(graph, processor, 3, 400.0, 0.0)
+        assert not result.feasible
+        assert result.status is SolveStatus.INFEASIBLE
+        assert result.backend == "primal:lp"
+        assert executor.telemetry.primal_hits == 1
+
+    def test_flag_off_no_primal_hits(self, processor):
+        executor = SolveExecutor(SolverSettings(time_limit=15.0))
+        graph = ar_filter()
+        executor.solve_window(graph, processor, 3, *window(graph, 3))
+        assert executor.telemetry.primal_hits == 0
+
+
+class TestPersistentCuts:
+    def test_cover_cuts_are_pooled_on_the_template(self, processor):
+        executor = SolveExecutor(
+            SolverSettings(
+                time_limit=15.0, primal_first=True, persistent_cuts=True
+            )
+        )
+        graph = ar_filter()
+        executor.solve_window(graph, processor, 3, *window(graph, 3))
+        assert executor.telemetry.pooled_cuts >= 1
+
+    def test_cuts_do_not_change_the_verdict(self, processor):
+        graph = ar_filter()
+        d_max, d_min = window(graph, 3)
+        plain = SolveExecutor(SolverSettings(time_limit=15.0))
+        cutting = SolveExecutor(
+            SolverSettings(
+                time_limit=15.0, primal_first=True, persistent_cuts=True
+            )
+        )
+        for n, lo, hi in ((3, d_min, d_max), (3, d_min, 550.0)):
+            a = plain.solve_window(graph, processor, n, hi, lo)
+            b = cutting.solve_window(graph, processor, n, hi, lo)
+            assert a.feasible == b.feasible
+
+
+class TestTrajectoryIdentity:
+    """Accelerated and plain searches end at the same latency.
+
+    Every acceleration shortcut is a certificate, so with a per-solve
+    budget large enough that nothing times out, the bisection must reach
+    the same final latency and partition count for any step size.
+    """
+
+    @given(delta=st.sampled_from([5.0, 10.0, 17.5, 25.0, 40.0]),
+           num_partitions=st.sampled_from([3, 4]))
+    @hsettings(max_examples=8, deadline=None)
+    def test_reduce_latency_finals_identical_on_ar(
+        self, delta, num_partitions
+    ):
+        processor = ReconfigurableProcessor(400, 128, 20.0)
+        graph = ar_filter()
+        d_max, d_min = window(graph, num_partitions)
+        base = reduce_latency(
+            graph, processor, num_partitions, d_max, d_min, delta,
+            settings=SolverSettings(time_limit=15.0),
+        )
+        accel = reduce_latency(
+            graph, processor, num_partitions, d_max, d_min, delta,
+            settings=accelerated(),
+        )
+        assert base.telemetry.timeouts == 0
+        assert accel.telemetry.timeouts == 0
+        assert accel.achieved == base.achieved
+        assert (accel.design is None) == (base.design is None)
+        if base.design is not None:
+            assert (
+                accel.design.num_partitions_used
+                == base.design.num_partitions_used
+            )
+
+    def test_refine_finals_identical_on_ar(self):
+        processor = ReconfigurableProcessor(400, 128, 20.0)
+        base = refine_partitions_bound(
+            ar_filter(), processor,
+            settings=SolverSettings(time_limit=15.0),
+        )
+        accel = refine_partitions_bound(
+            ar_filter(), processor, settings=accelerated(),
+        )
+        assert base.achieved == pytest.approx(510.0)
+        assert accel.achieved == base.achieved
+        assert (
+            accel.design.num_partitions_used
+            == base.design.num_partitions_used
+        )
+        # The run exercised the shortcuts, not just tolerated them.
+        assert accel.telemetry.incumbent_reuses >= 1
+        assert accel.telemetry.primal_hits >= 1
+        assert accel.telemetry.pooled_cuts >= 1
+
+
+class TestTrajectoryIdentityDct:
+    """DCT reference instance: verdicts agree below the feasibility edge.
+
+    At the paper's R_max = 576 device the 32-task DCT needs many
+    partitions; below the boundary every window is provably empty, and
+    both search paths must agree on that emptiness quickly (the
+    accelerated path via the LP relaxation proof, the plain path via
+    the MILP).  Feasible-side identity at the full partition bound is
+    exercised by ``benchmarks/test_portfolio_speedup.py`` where the
+    budgets allow it.
+    """
+
+    @pytest.mark.parametrize("num_partitions", [4, 5, 6])
+    def test_infeasible_bounds_agree(self, num_partitions):
+        from repro.taskgraph import dct_4x4
+
+        processor = ReconfigurableProcessor(576, 1024, 30.0)
+        graph = dct_4x4()
+        d_max, d_min = window(graph, num_partitions, c_t=30.0)
+        base = reduce_latency(
+            graph, processor, num_partitions, d_max, d_min, 1000.0,
+            settings=SolverSettings(time_limit=30.0),
+        )
+        accel = reduce_latency(
+            graph, processor, num_partitions, d_max, d_min, 1000.0,
+            settings=accelerated(time_limit=30.0),
+        )
+        assert base.telemetry.timeouts == 0
+        assert accel.telemetry.timeouts == 0
+        assert base.design is None
+        assert accel.design is None
+        assert accel.achieved == base.achieved  # both None

@@ -1,4 +1,4 @@
-"""The repo-specific AST lint (tools/repro_lint.py): rules RL001-RL003.
+"""The repo-specific AST lint (tools/repro_lint.py): rules RL001-RL004.
 
 ``tools`` is not a package, so the module is loaded straight from its
 file path.  Each rule is exercised on seeded sources (violations must be
@@ -196,3 +196,67 @@ class TestDriver:
         bad.write_text("def f(:\n")
         violations = repro_lint.lint_paths([bad])
         assert [v.rule for v in violations] == ["RL000"]
+
+
+def lint_at(tmp_path, relpath: str, source: str):
+    """Lint one snippet placed at an exact repo-relative path."""
+    target = tmp_path / relpath
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(source)
+    return repro_lint.lint_paths([target])
+
+
+class TestRL004DirectBackendCall:
+    SNIPPET = (
+        "from repro.ilp.highs_backend import solve_with_highs\n"
+        "def run(tp):\n"
+        "    return solve_with_highs(tp)\n"
+    )
+
+    def test_flagged_in_library_client_code(self, tmp_path):
+        violations = lint_at(
+            tmp_path, "src/repro/core/snippet.py", self.SNIPPET
+        )
+        assert [v.rule for v in violations] == ["RL004"]
+        assert violations[0].lineno == 3
+        assert "SolveExecutor" in violations[0].message
+
+    def test_all_entry_points_flagged(self, tmp_path):
+        names = (
+            "solve_with_highs", "solve_with_bnb", "solve_with_simplex",
+            "branch_and_bound", "solve_compiled",
+        )
+        body = "".join(f"    {n}(tp)\n" for n in names)
+        violations = lint_at(
+            tmp_path, "src/repro/core/snippet.py", f"def f(tp):\n{body}"
+        )
+        assert len(violations) == len(names)
+        assert {v.rule for v in violations} == {"RL004"}
+
+    def test_backend_and_executor_layers_exempt(self, tmp_path):
+        # The solver stack itself must call its own entry points.
+        for rel in (
+            "src/repro/ilp/snippet.py",
+            "src/repro/solve/snippet.py",
+            "src/repro/core/formulation.py",
+        ):
+            assert lint_at(tmp_path, rel, self.SNIPPET) == []
+
+    def test_not_flagged_outside_library(self, tmp_path):
+        assert lint_at(tmp_path, "scripts/snippet.py", self.SNIPPET) == []
+
+    def test_method_calls_not_flagged(self, tmp_path):
+        # Only bare entry-point calls are the smell; attribute calls like
+        # tp_model.solve() dispatch through the sanctioned shim.
+        source = (
+            "def f(tp_model):\n"
+            "    return tp_model.solve(backend='highs')\n"
+        )
+        assert lint_at(tmp_path, "src/repro/core/snippet.py", source) == []
+
+    def test_suppression_comment(self, tmp_path):
+        source = (
+            "def f(tp):\n"
+            "    return solve_with_highs(tp)  # repro-lint: ignore[RL004]\n"
+        )
+        assert lint_at(tmp_path, "src/repro/core/snippet.py", source) == []

@@ -32,6 +32,18 @@ Rules
     ``src/repro/`` except :mod:`repro.obs` itself and the CLI entry
     point forks the span tree.  Only enforced under ``src/repro/``.
 
+``RL004`` — direct backend invocation bypassing the execution layer.
+    Window solves in library code must go through
+    ``SolveExecutor.solve_window``, which layers the solve cache, the
+    incumbent check, the primal-first stage and the portfolio race in
+    front of the backends.  Calling a backend entry point
+    (``solve_with_highs``, ``solve_with_bnb``, ``solve_with_simplex``,
+    ``branch_and_bound``, ``solve_compiled``) directly skips all of
+    that.  Enforced under ``src/repro/`` except the solver layers
+    themselves (``ilp/``, ``solve/``), ``obs/``, the CLI entry point
+    and ``core/formulation.py`` (whose ``TpModel.solve`` is the
+    dispatch shim the executor calls).
+
 Suppression: append ``# repro-lint: ignore`` (all rules) or
 ``# repro-lint: ignore[RL001]`` (one rule) to the offending line.
 
@@ -65,6 +77,12 @@ _COMPILED_NAMES = frozenset({"compiled", "cm", "form"})
 
 #: numpy ndarray methods that mutate in place.
 _INPLACE_METHODS = frozenset({"fill", "sort", "partition", "put", "resize"})
+
+#: ILP backend entry points that RL004 keeps out of library code.
+_BACKEND_ENTRYPOINTS = frozenset({
+    "solve_with_highs", "solve_with_bnb", "solve_with_simplex",
+    "branch_and_bound", "solve_compiled",
+})
 
 _SUPPRESS_RE = re.compile(r"repro-lint:\s*ignore(?:\[(?P<codes>[A-Z0-9, ]+)\])?")
 
@@ -107,9 +125,14 @@ def _protected_attribute(node: ast.expr) -> str | None:
 
 
 class _RuleVisitor(ast.NodeVisitor):
-    def __init__(self, path: Path, in_library: bool) -> None:
+    def __init__(
+        self, path: Path, in_library: bool, in_solver_client: bool = False
+    ) -> None:
         self.path = path
         self.in_library = in_library  # under src/repro/, RL003 applies
+        #: RL004 scope: library code that should solve through the
+        #: executor rather than call a backend entry point directly.
+        self.in_solver_client = in_solver_client
         self.violations: list[Violation] = []
         self._cancel_depth = 0  # inside a function taking ``cancel``
 
@@ -202,6 +225,15 @@ class _RuleVisitor(ast.NodeVisitor):
                 "tracer through SolverSettings.tracer / as_tracer() so "
                 "the span tree stays whole",
             )
+        # RL004: backend entry points called outside the solver layers
+        if name in _BACKEND_ENTRYPOINTS and self.in_solver_client:
+            self._flag(
+                node, "RL004",
+                f"direct call to backend entry point '{name}' in library "
+                "code — solve through SolveExecutor.solve_window so the "
+                "cache, incumbent check, primal-first stage and portfolio "
+                "race apply",
+            )
         self.generic_visit(node)
 
     def _visit_function(self, node) -> None:
@@ -239,13 +271,18 @@ class _RuleVisitor(ast.NodeVisitor):
         self.generic_visit(node)
 
 
-def _lint_source(path: Path, source: str, in_library: bool) -> list[Violation]:
+def _lint_source(
+    path: Path,
+    source: str,
+    in_library: bool,
+    in_solver_client: bool = False,
+) -> list[Violation]:
     try:
         tree = ast.parse(source, filename=str(path))
     except SyntaxError as exc:
         return [Violation(path, exc.lineno or 0, "RL000",
                           f"syntax error: {exc.msg}")]
-    visitor = _RuleVisitor(path, in_library)
+    visitor = _RuleVisitor(path, in_library, in_solver_client)
     visitor.visit(tree)
 
     lines = source.splitlines()
@@ -276,6 +313,22 @@ def _is_library_path(path: Path) -> bool:
     return rest != "cli.py"
 
 
+def _is_solver_client_path(path: Path) -> bool:
+    """RL004 scope: library code that consumes the solver layers.
+
+    ``src/repro/**`` minus the solver layers themselves (``ilp/``,
+    ``solve/``), ``obs/``, the CLI entry point, and
+    ``core/formulation.py`` (home of the ``TpModel.solve`` dispatch shim
+    that :class:`repro.solve.executor.SolveExecutor` calls).
+    """
+    if not _is_library_path(path):
+        return False
+    rest = path.as_posix().split("src/repro/", 1)[1]
+    if rest.startswith(("ilp/", "solve/")):
+        return False
+    return rest != "core/formulation.py"
+
+
 def lint_paths(paths: list[Path]) -> list[Violation]:
     files: list[Path] = []
     for path in paths:
@@ -291,7 +344,10 @@ def lint_paths(paths: list[Path]) -> list[Violation]:
             continue
         source = file.read_text()
         violations.extend(
-            _lint_source(file, source, _is_library_path(file))
+            _lint_source(
+                file, source, _is_library_path(file),
+                _is_solver_client_path(file),
+            )
         )
     return violations
 
@@ -299,7 +355,8 @@ def lint_paths(paths: list[Path]) -> list[Violation]:
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="repo-specific AST lint (RL001 compiled-array "
-        "mutation, RL002 worker shared state, RL003 stray tracers)",
+        "mutation, RL002 worker shared state, RL003 stray tracers, "
+        "RL004 backend calls bypassing the executor)",
     )
     parser.add_argument(
         "paths", nargs="*", type=Path,
