@@ -13,7 +13,13 @@ Run with::
     python examples/hls_flow.py
 """
 
-from repro import PartitionerConfig, RefinementConfig, SolverSettings, TemporalPartitioner
+from repro import (
+    PartitionerConfig,
+    PartitionRequest,
+    RefinementConfig,
+    SolverSettings,
+    TemporalPartitioner,
+)
 from repro.arch import time_multiplexed
 from repro.hls import (
     EstimatorConfig,
@@ -101,7 +107,7 @@ def main() -> None:
             solver=SolverSettings(time_limit=15.0),
         ),
     )
-    outcome = partitioner.partition(graph)
+    outcome = partitioner.solve(PartitionRequest(graph=graph))
     print()
     if outcome.feasible:
         print(outcome.design.summary(processor))

@@ -13,7 +13,13 @@ Run with::
     python examples/memory_constrained.py
 """
 
-from repro import PartitionerConfig, RefinementConfig, SolverSettings, TemporalPartitioner
+from repro import (
+    PartitionerConfig,
+    PartitionRequest,
+    RefinementConfig,
+    SolverSettings,
+    TemporalPartitioner,
+)
 from repro.arch import ReconfigurableProcessor
 from repro.experiments import TextTable
 from repro.taskgraph import fork_join_graph
@@ -44,7 +50,7 @@ def main() -> None:
                 solver=SolverSettings(time_limit=10.0),
             ),
         )
-        outcome = partitioner.partition(graph)
+        outcome = partitioner.solve(PartitionRequest(graph=graph))
         if outcome.feasible:
             table.add_row(
                 m_max,

@@ -11,7 +11,13 @@ picks, per task, both a temporal partition and a design point, minimizing
 the overall latency including reconfiguration overhead.
 """
 
-from repro import PartitionerConfig, RefinementConfig, SolverSettings, TemporalPartitioner
+from repro import (
+    PartitionerConfig,
+    PartitionRequest,
+    RefinementConfig,
+    SolverSettings,
+    TemporalPartitioner,
+)
 from repro.arch import simulate, time_multiplexed
 from repro.taskgraph import dct_4x4
 
@@ -29,7 +35,7 @@ def main() -> None:
             solver=SolverSettings(backend="highs", time_limit=20.0),
         ),
     )
-    outcome = partitioner.partition(graph)
+    outcome = partitioner.solve(PartitionRequest(graph=graph))
 
     if not outcome.feasible:
         print("no feasible temporal partitioning found")

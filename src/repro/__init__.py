@@ -24,6 +24,11 @@ Subpackages
     simulator used as an independent semantics oracle.
 ``repro.experiments``
     The harness that regenerates every table and figure of the paper.
+``repro.service``
+    Partition-as-a-service: the async batch facade
+    (:class:`repro.service.PartitionService`), process-pool sharding of
+    the partition-space search, and the persistent disk solve cache
+    (``SolverSettings(cache_path=...)``).
 ``repro.obs``
     Span tracing, the structured event stream, Chrome-trace export and
     phase profiling (attach a :class:`repro.obs.Tracer` via
@@ -36,17 +41,18 @@ Subpackages
 
 Quickstart::
 
-    from repro import TemporalPartitioner
+    from repro import PartitionRequest, TemporalPartitioner
     from repro.arch import time_multiplexed
     from repro.taskgraph import dct_4x4
 
     partitioner = TemporalPartitioner(time_multiplexed(resource_capacity=576))
-    outcome = partitioner.partition(dct_4x4())
+    outcome = partitioner.solve(PartitionRequest(graph=dct_4x4()))
     print(outcome.design.summary(partitioner.processor))
 """
 
 from repro.analysis import AnalysisReport, ModelAnalysisError, analyze_model
 from repro.core import (
+    OUTCOME_SCHEMA_VERSION,
     FormulationOptions,
     PartitionedDesign,
     PartitionerConfig,
@@ -57,16 +63,20 @@ from repro.core import (
     TemporalPartitioner,
 )
 from repro.obs import JsonlSink, MemorySink, Tracer
-from repro.solve import RunTelemetry, SolveCache, SolveExecutor
+from repro.service import PartitionService
+from repro.solve import DiskSolveCache, RunTelemetry, SolveCache, SolveExecutor
 
 __version__ = "1.0.0"
 
 __all__ = [
     "AnalysisReport",
+    "DiskSolveCache",
     "FormulationOptions",
     "JsonlSink",
     "MemorySink",
     "ModelAnalysisError",
+    "OUTCOME_SCHEMA_VERSION",
+    "PartitionService",
     "PartitionedDesign",
     "PartitionerConfig",
     "PartitionRequest",

@@ -7,6 +7,13 @@ Subcommands:
     :mod:`repro.taskgraph.io` for the schema) for a given device, print
     the solution summary and iteration trace, optionally write the
     partitioned design as JSON and/or clustered Graphviz DOT.
+``batch``
+    Solve a JSON list of partitioning requests concurrently through the
+    service layer (:mod:`repro.service`): shard worker processes, an
+    optional persistent solve cache (``--cache``), outcomes as JSON.
+``serve``
+    The same service as a JSONL request/response loop on stdin/stdout —
+    one request per input line, one outcome per output line.
 ``bounds``
     Print the Section 3.1 bounds for a graph/device pair without solving.
 ``generate``
@@ -58,6 +65,7 @@ from pathlib import Path
 from repro.arch.processor import ReconfigurableProcessor
 from repro.core import (
     PartitionerConfig,
+    PartitionRequest,
     RefinementConfig,
     SolverSettings,
     TemporalPartitioner,
@@ -190,7 +198,9 @@ def _cmd_partition(args: argparse.Namespace) -> int:
         ),
         solver=solver,
     )
-    outcome = TemporalPartitioner(processor, config).partition(graph)
+    outcome = TemporalPartitioner(processor, config).solve(
+        PartitionRequest(graph=graph)
+    )
 
     if tracer is not None:
         # Every span is closed once the partitioner returns: flush the
@@ -275,6 +285,149 @@ def _cmd_partition(args: argparse.Namespace) -> int:
         )
         print(f"clustered DOT written to {args.out_dot}")
     return 0
+
+
+def _batch_request(
+    entry, base_dir: Path, line_label: str
+) -> PartitionRequest:
+    """Decode one batch/serve entry into a :class:`PartitionRequest`.
+
+    ``entry["graph"]`` is either a path to a task-graph JSON file
+    (resolved relative to ``base_dir``) or an inline graph payload;
+    optional ``processor``/``config`` keys use the service wire format.
+    """
+    from repro.service import wire as service_wire
+
+    if not isinstance(entry, dict) or "graph" not in entry:
+        print(
+            f"error: {line_label}: expected an object with a 'graph' key",
+            file=sys.stderr,
+        )
+        raise SystemExit(EXIT_USAGE)
+    graph_spec = entry["graph"]
+    if isinstance(graph_spec, str):
+        graph_path = Path(graph_spec)
+        if not graph_path.is_absolute():
+            graph_path = base_dir / graph_path
+        graph = _load_graph(str(graph_path))
+    else:
+        try:
+            graph = graph_io.from_dict(graph_spec)
+        except (ValueError, KeyError, TypeError) as exc:
+            print(
+                f"error: {line_label}: invalid inline graph: {exc}",
+                file=sys.stderr,
+            )
+            raise SystemExit(EXIT_USAGE)
+    return PartitionRequest(
+        graph=graph,
+        processor=(
+            None
+            if entry.get("processor") is None
+            else service_wire.decode_processor(entry["processor"])
+        ),
+        config=(
+            None
+            if entry.get("config") is None
+            else service_wire.decode_config(entry["config"])
+        ),
+    )
+
+
+def _service_config(args: argparse.Namespace) -> PartitionerConfig:
+    return PartitionerConfig(
+        search=RefinementConfig(
+            delta=args.delta,
+            time_budget=args.time_budget,
+        ),
+        solver=SolverSettings(time_limit=args.solve_limit),
+    )
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from repro.service import PartitionService
+
+    requests_path = Path(args.requests)
+    try:
+        payload = json.loads(requests_path.read_text())
+    except (OSError, ValueError) as exc:
+        print(
+            f"error: cannot read batch file {args.requests}: {exc}",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
+    if not isinstance(payload, list):
+        print(
+            "error: batch file must hold a JSON list of requests",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
+    requests = [
+        _batch_request(entry, requests_path.parent, f"request {i}")
+        for i, entry in enumerate(payload, 1)
+    ]
+    with PartitionService(
+        processor=_device(args),
+        config=_service_config(args),
+        max_workers=args.workers,
+        cache_path=args.cache,
+    ) as service:
+        outcomes = service.solve_batch(requests)
+    results = [
+        outcome.to_dict(include_trace=args.trace) for outcome in outcomes
+    ]
+    text = json.dumps(results, indent=2)
+    if args.output:
+        _write_text(args.output, text, "batch results")
+        print(f"{len(results)} outcomes written to {args.output}")
+    else:
+        print(text)
+    feasible = sum(1 for outcome in outcomes if outcome.feasible)
+    print(
+        f"batch: {feasible}/{len(outcomes)} feasible, "
+        f"{sum(1 for o in outcomes if o.degraded)} degraded",
+        file=sys.stderr,
+    )
+    return EXIT_OK if feasible == len(outcomes) else EXIT_NO_SOLUTION
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """JSONL request/response loop over stdin/stdout.
+
+    One request object per input line (same shape as ``batch`` entries);
+    one outcome object per output line, in input order.  A blank line or
+    EOF ends the session.  Designed for driving from another process
+    without any network dependency.
+    """
+    from repro.service import PartitionService
+
+    with PartitionService(
+        processor=_device(args),
+        config=_service_config(args),
+        max_workers=args.workers,
+        cache_path=args.cache,
+    ) as service:
+        served = 0
+        for line in sys.stdin:
+            line = line.strip()
+            if not line:
+                break
+            try:
+                entry = json.loads(line)
+                request = _batch_request(
+                    entry, Path.cwd(), f"line {served + 1}"
+                )
+            except (ValueError, SystemExit):
+                print(json.dumps({"error": "invalid request"}), flush=True)
+                continue
+            outcome = service.submit(request).result()
+            print(
+                json.dumps(outcome.to_dict(include_trace=args.trace)),
+                flush=True,
+            )
+            served += 1
+    print(f"served {served} requests", file=sys.stderr)
+    return EXIT_OK
 
 
 def _cmd_bounds(args: argparse.Namespace) -> int:
@@ -537,6 +690,52 @@ def build_parser() -> argparse.ArgumentParser:
                            help="write a Chrome trace-event-format JSON "
                            "for chrome://tracing / Perfetto")
     partition.set_defaults(func=_cmd_partition)
+
+    def _add_service_arguments(sub: argparse.ArgumentParser) -> None:
+        _add_device_arguments(sub)
+        sub.add_argument(
+            "--workers", type=int, default=2,
+            help="shard worker processes; 0 runs inline "
+            "(deterministic, no subprocesses), default 2",
+        )
+        sub.add_argument(
+            "--cache", default=None,
+            help="persistent solve-cache SQLite file shared by all "
+            "workers and requests",
+        )
+        sub.add_argument("--delta", type=float, default=None,
+                         help="latency tolerance (absolute)")
+        sub.add_argument("--time-budget", type=float, default=300.0)
+        sub.add_argument("--solve-limit", type=float, default=30.0)
+        sub.add_argument("--trace", action="store_true",
+                         help="include the iteration trace in each "
+                         "outcome payload")
+
+    batch = subparsers.add_parser(
+        "batch",
+        help="solve a batch of partitioning requests via the service",
+        description="Read a JSON list of requests (each an object with "
+        "'graph' — a task-graph JSON path or inline payload — and "
+        "optional 'processor'/'config' overrides in the service wire "
+        "format), solve them concurrently over a shard worker pool, and "
+        "emit the outcomes as JSON.  Exit 0 when every request is "
+        "feasible, 1 otherwise.",
+    )
+    batch.add_argument("requests", help="JSON file with a list of requests")
+    _add_service_arguments(batch)
+    batch.add_argument("-o", "--output", default=None,
+                       help="write outcomes to this file instead of stdout")
+    batch.set_defaults(func=_cmd_batch)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="JSONL request/response partitioning loop on stdin/stdout",
+        description="Read one request object per stdin line (same shape "
+        "as 'batch' entries), write one outcome object per stdout line. "
+        "A blank line or EOF ends the session.",
+    )
+    _add_service_arguments(serve)
+    serve.set_defaults(func=_cmd_serve)
 
     bounds_cmd = subparsers.add_parser(
         "bounds", help="print Section 3.1 bounds without solving"

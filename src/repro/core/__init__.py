@@ -44,6 +44,7 @@ from repro.core.heuristics import (
 )
 from repro.core.optimal import OptimalAttempt, OptimalResult, solve_optimal
 from repro.core.partitioner import (
+    OUTCOME_SCHEMA_VERSION,
     PartitionerConfig,
     PartitionRequest,
     PartitioningOutcome,
@@ -57,6 +58,8 @@ from repro.core.reduce_latency import (
 from repro.core.refine_partitions import (
     RefinementConfig,
     RefinementResult,
+    evaluate_partition_bound,
+    partition_bound_window,
     refine_partitions_bound,
 )
 from repro.core.sensitivity import SensitivityReport, capacity_shadow_prices
@@ -79,6 +82,7 @@ __all__ = [
     "InfeasibilityReport",
     "IterationRecord",
     "ModelTemplate",
+    "OUTCOME_SCHEMA_VERSION",
     "OptimalAttempt",
     "OptimalResult",
     "POLICIES",
@@ -106,6 +110,7 @@ __all__ = [
     "design_point_histogram",
     "diagnose_infeasibility",
     "estimate_alpha_gamma",
+    "evaluate_partition_bound",
     "extract_design",
     "greedy_partition",
     "heuristic_partition_count",
@@ -113,6 +118,7 @@ __all__ = [
     "max_latency",
     "min_area_partitions",
     "min_latency",
+    "partition_bound_window",
     "partition_latency_curve",
     "partition_range",
     "reduce_latency",

@@ -12,13 +12,15 @@ iterative search behind one call::
     print(outcome.design.summary(partitioner.processor))
 
 :meth:`TemporalPartitioner.solve` on a :class:`PartitionRequest` is the
-canonical entry point; :meth:`TemporalPartitioner.partition` remains and
-accepts either a bare :class:`~repro.taskgraph.graph.TaskGraph` (the
-original API) or a request.
+one documented entry point.  :meth:`TemporalPartitioner.partition` (the
+original dual bare-graph/request signature) is deprecated and forwards
+here with a :class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import warnings
 from dataclasses import dataclass, field
 
 from repro.arch.processor import ReconfigurableProcessor
@@ -37,11 +39,24 @@ from repro.taskgraph.graph import TaskGraph
 from repro.taskgraph.validate import validate_graph
 
 __all__ = [
+    "OUTCOME_SCHEMA_VERSION",
     "PartitionerConfig",
     "PartitionRequest",
     "PartitioningOutcome",
     "TemporalPartitioner",
 ]
+
+#: Wire-format version of :meth:`PartitioningOutcome.to_dict`.
+#:
+#: * 1 — implicit (payloads without a ``schema_version`` key): summary
+#:   fields plus the design as a placement table keyed by design-point
+#:   *name* (empty for unnamed points).
+#: * 2 — explicit versioning; design-point labels are the round-trippable
+#:   ``dp<i>`` fallbacks for unnamed points; ``partition_bounds`` carries
+#:   the full :class:`repro.core.bounds.PartitionRange`; the search trace
+#:   serializes via ``include_trace``; :meth:`PartitioningOutcome
+#:   .from_dict` restores an outcome from the payload.
+OUTCOME_SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -61,7 +76,7 @@ class PartitionerConfig:
     validate: bool = True
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, kw_only=True)
 class PartitionRequest:
     """One partitioning problem, fully described.
 
@@ -70,12 +85,20 @@ class PartitionRequest:
     ``config`` default to the :class:`TemporalPartitioner`'s own when
     ``None``, so a request can be as small as
     ``PartitionRequest(graph=g)`` — or carry per-call overrides without
-    mutating the partitioner.
+    mutating the partitioner.  Fields are keyword-only; derive variants
+    with :meth:`replace` instead of rebuilding from scratch.
     """
 
     graph: TaskGraph
     processor: ReconfigurableProcessor | None = None
     config: PartitionerConfig | None = None
+
+    def replace(self, **changes) -> "PartitionRequest":
+        """A copy with ``changes`` applied (per-call overrides)::
+
+            request.replace(processor=bigger_device)
+        """
+        return dataclasses.replace(self, **changes)
 
 
 @dataclass(kw_only=True)
@@ -117,23 +140,30 @@ class PartitioningOutcome:
     def execution_latency(self) -> float | None:
         return None if self.design is None else self.design.execution_latency()
 
-    def to_dict(self, include_solves: bool = False) -> dict:
+    def to_dict(
+        self,
+        include_solves: bool = False,
+        include_trace: bool = False,
+    ) -> dict:
         """JSON-serializable summary (design as placement table).
 
         ``include_solves`` forwards to
         :meth:`repro.solve.RunTelemetry.to_dict` — per-solve records are
-        verbose, so they are off by default.
+        verbose, so they are off by default.  ``include_trace`` adds the
+        full per-iteration :class:`~repro.core.trace.SearchTrace` (the
+        paper-table rows); :meth:`from_dict` restores it.
         """
         design = None
         if self.design is not None:
             design = {
                 name: {
                     "partition": placement.partition,
-                    "design_point": placement.design_point.name,
+                    "design_point": self.design.design_point_label(name),
                 }
                 for name, placement in sorted(self.design.placements.items())
             }
-        return {
+        payload = {
+            "schema_version": OUTCOME_SCHEMA_VERSION,
             "feasible": self.feasible,
             "degraded": self.degraded,
             "total_latency": self.total_latency,
@@ -143,6 +173,12 @@ class PartitioningOutcome:
                 self.partition_range.start,
                 self.partition_range.stop,
             ],
+            "partition_bounds": {
+                "lower_bound": self.partition_range.lower_bound,
+                "upper_seed": self.partition_range.upper_seed,
+                "start": self.partition_range.start,
+                "stop": self.partition_range.stop,
+            },
             "delta": self.delta,
             "stopped_by_min_latency_cut": self.stopped_by_min_latency_cut,
             "stopped_by_time": self.stopped_by_time,
@@ -154,6 +190,82 @@ class PartitioningOutcome:
                 else self.telemetry.to_dict(include_solves=include_solves)
             ),
         }
+        if include_trace:
+            payload["trace"] = self.trace.to_dict()
+        return payload
+
+    @classmethod
+    def from_dict(
+        cls, payload: dict, graph: TaskGraph | None = None
+    ) -> "PartitioningOutcome":
+        """Restore an outcome from a :meth:`to_dict` payload.
+
+        Accepts schema versions 1 and 2 (version 1 payloads predate the
+        ``schema_version`` key).  The design is only reconstructed when
+        the originating ``graph`` is supplied — placements reference
+        design points by label, which live on the graph's tasks; without
+        it the summary fields round-trip and ``design`` stays ``None``.
+        """
+        version = int(payload.get("schema_version", 1))
+        if version > OUTCOME_SCHEMA_VERSION:
+            raise ValueError(
+                f"outcome payload has schema_version {version}; "
+                f"this build reads up to {OUTCOME_SCHEMA_VERSION}"
+            )
+        bounds_payload = payload.get("partition_bounds")
+        if bounds_payload is not None:
+            prange = bounds.PartitionRange(
+                lower_bound=int(bounds_payload["lower_bound"]),
+                upper_seed=int(bounds_payload["upper_seed"]),
+                start=int(bounds_payload["start"]),
+                stop=int(bounds_payload["stop"]),
+            )
+        else:
+            start, stop = payload["partition_range"]
+            prange = bounds.PartitionRange(
+                lower_bound=int(start),
+                upper_seed=int(stop),
+                start=int(start),
+                stop=int(stop),
+            )
+        design = None
+        design_payload = payload.get("design")
+        if design_payload is not None and graph is not None:
+            design = PartitionedDesign.from_labels(
+                graph,
+                {
+                    name: (
+                        int(entry["partition"]),
+                        str(entry["design_point"]),
+                    )
+                    for name, entry in design_payload.items()
+                },
+            )
+        trace_payload = payload.get("trace")
+        trace = (
+            SearchTrace.from_dict(trace_payload)
+            if trace_payload is not None
+            else SearchTrace()
+        )
+        telemetry_payload = payload.get("telemetry")
+        telemetry = (
+            RunTelemetry.from_dict(telemetry_payload)
+            if telemetry_payload is not None
+            else None
+        )
+        return cls(
+            design=design,
+            total_latency=payload.get("total_latency"),
+            trace=trace,
+            partition_range=prange,
+            delta=float(payload.get("delta", 0.0)),
+            stopped_by_min_latency_cut=bool(
+                payload.get("stopped_by_min_latency_cut", False)
+            ),
+            stopped_by_time=bool(payload.get("stopped_by_time", False)),
+            degraded=bool(payload.get("degraded", False)),
+            telemetry=telemetry,
+        )
 
 
 class TemporalPartitioner:
@@ -211,13 +323,19 @@ class TemporalPartitioner:
     def partition(
         self, graph: TaskGraph | PartitionRequest
     ) -> PartitioningOutcome:
-        """Partition a graph (or solve a request) for this processor.
+        """Deprecated: use :meth:`solve` with a :class:`PartitionRequest`.
 
-        Kept as the friendly entry point: a bare
-        :class:`~repro.taskgraph.graph.TaskGraph` is wrapped in a
-        :class:`PartitionRequest` using the partitioner's processor and
-        config; a request is forwarded to :meth:`solve` unchanged.
+        The dual bare-graph/request signature predates the request API;
+        ``solve(PartitionRequest(graph=g))`` is the one documented entry
+        point (and the only one the service layer speaks).  This wrapper
+        forwards accordingly and will be removed in a future release.
         """
+        warnings.warn(
+            "TemporalPartitioner.partition() is deprecated; use "
+            "solve(PartitionRequest(graph=...)) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         if isinstance(graph, PartitionRequest):
             return self.solve(graph)
         return self.solve(PartitionRequest(graph=graph))

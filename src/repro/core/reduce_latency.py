@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.arch.processor import ReconfigurableProcessor
 from repro.core import bounds
@@ -129,6 +130,14 @@ class SolverSettings:
         window model prepared by the executor (lexicographic
         partition-index ordering over interchangeable tasks, added at
         template-compile time).
+    cache_path:
+        When set, back the in-process solve cache with the persistent
+        :class:`repro.solve.disk_cache.DiskSolveCache` at this path
+        (SQLite).  Verdicts survive the process and are shared by every
+        executor — and every *worker process* of the sharded service —
+        pointed at the same file; the monotone reuse rules apply
+        unchanged.  ``None`` (the default) keeps the cache in memory
+        only, the previous behavior.
     analyze:
         Pre-solve model analysis mode (:mod:`repro.analysis`).
         ``"off"`` — the default — skips the analyzer entirely;
@@ -164,9 +173,80 @@ class SolverSettings:
     reuse_basis: bool = False
     persistent_cuts: bool = False
     symmetry_breaking: bool = False
+    cache_path: str | None = None
     analyze: str = "off"
     extra: dict = field(default_factory=dict)
     tracer: "object | None" = field(default=None, repr=False, compare=False)
+
+    # -- presets -------------------------------------------------------------
+    #
+    # Service callers pick a profile instead of hand-assembling nine
+    # keywords.  Each preset is *exactly* a hand-built SolverSettings
+    # (property-tested field for field in tests/solve/test_presets.py);
+    # keyword overrides are forwarded to the constructor and win over
+    # the preset's choices.
+
+    #: The acceleration switches the presets toggle as a group.
+    ACCELERATION_FLAGS = (
+        "incumbent_reuse",
+        "primal_first",
+        "reuse_basis",
+        "persistent_cuts",
+        "symmetry_breaking",
+    )
+
+    @classmethod
+    def fast(cls, **overrides) -> "SolverSettings":
+        """Lowest wall time: portfolio race + every acceleration on.
+
+        Races the HiGHS and native branch-&-bound backends per window
+        and enables all of :data:`ACCELERATION_FLAGS` (cross-window
+        incumbent carry, primal-first pipeline, basis reuse, persistent
+        cuts, symmetry breaking).  Verdict-equivalent to the defaults;
+        iteration-level traces may differ.
+        """
+        base: dict = {"portfolio": ("highs", "bnb")}
+        base.update({flag: True for flag in cls.ACCELERATION_FLAGS})
+        base.update(overrides)
+        return cls(**base)
+
+    @classmethod
+    def paper_exact(cls, **overrides) -> "SolverSettings":
+        """The paper's bookkeeping, bit for bit.
+
+        Disables every extension that could change the search
+        trajectory relative to Kaul & Vemuri's procedure: no LP/packing
+        bound tightening, no objective guidance in satisfaction mode,
+        no acceleration flags, and no greedy fallback — a budget-
+        exhausted solve reads as infeasible, the paper's convention for
+        CPLEX timeouts.  (The solve cache and model templates stay on:
+        both are trajectory-preserving.)
+        """
+        base: dict = {
+            "use_lp_bound": False,
+            "guide_with_objective": False,
+            "heuristic_fallback": False,
+        }
+        base.update({flag: False for flag in cls.ACCELERATION_FLAGS})
+        base.update(overrides)
+        return cls(**base)
+
+    @classmethod
+    def debug(cls, **overrides) -> "SolverSettings":
+        """Fail loudly, hide nothing.
+
+        Strict pre-solve analysis (malformed models raise before any
+        backend runs), no solve cache (every window truly solves), and
+        no greedy fallback (budget exhaustion surfaces instead of
+        degrading).  Pair with ``tracer=...`` for the full span tree.
+        """
+        base: dict = {
+            "analyze": "strict",
+            "enable_cache": False,
+            "heuristic_fallback": False,
+        }
+        base.update(overrides)
+        return cls(**base)
 
 
 @dataclass
@@ -196,6 +276,7 @@ def reduce_latency(
     settings: SolverSettings | None = None,
     deadline: float | None = None,
     executor: SolveExecutor | None = None,
+    should_stop: Callable[[], bool] | None = None,
 ) -> ReduceLatencyResult:
     """Run Algorithm ``Reduce_Latency(N, D_max, D_min)`` (Figure 1).
 
@@ -217,6 +298,13 @@ def reduce_latency(
         The execution layer to solve through.  Passing one shares its
         solve cache and telemetry across calls (the outer search does
         this); when ``None`` a fresh executor is built from ``settings``.
+    should_stop:
+        Optional cooperative-cancellation probe, polled wherever the
+        deadline is (before each bisection trial).  Used by the sharded
+        service so one worker's batch cancellation (or a sibling's
+        better bound) stops the others without killing processes.
+        ``None`` — the default — changes nothing: the search trajectory
+        is bit-identical to a run without the parameter.
     """
     if delta <= 0:
         raise ValueError("latency tolerance delta must be positive")
@@ -338,6 +426,9 @@ def reduce_latency(
         while (d_max - d_min >= delta) and (achieved - d_min >= delta):
             if deadline is not None and time.perf_counter() > deadline:
                 tracer.event("deadline_expired", phase="bisection")
+                break
+            if should_stop is not None and should_stop():
+                tracer.event("cancelled", phase="bisection")
                 break
             # Bisect, then keep halving until the trial bound undercuts the
             # incumbent — otherwise the solve could return the same solution.

@@ -36,7 +36,13 @@ from repro.solve.executor import SolveExecutor
 from repro.solve.telemetry import RunTelemetry
 from repro.taskgraph.graph import TaskGraph
 
-__all__ = ["RefinementConfig", "RefinementResult", "refine_partitions_bound"]
+__all__ = [
+    "RefinementConfig",
+    "RefinementResult",
+    "evaluate_partition_bound",
+    "partition_bound_window",
+    "refine_partitions_bound",
+]
 
 
 @dataclass(frozen=True)
@@ -107,6 +113,77 @@ class RefinementResult:
         return self.design is not None
 
 
+def partition_bound_window(
+    graph: TaskGraph,
+    processor: ReconfigurableProcessor,
+    num_partitions: int,
+    incumbent: float | None = None,
+) -> tuple[float, float]:
+    """The latency window one partition bound explores: ``(d_max, d_min)``.
+
+    ``incumbent`` clips the upper edge to the best latency already known
+    (the relax phase's window; the sharded service feeds the shared bound
+    ``D_a`` through here so workers inherit each other's progress).
+    """
+    c_t = processor.reconfiguration_time
+    d_min = bounds.min_latency(graph, num_partitions, c_t)
+    d_max = bounds.max_latency(graph, num_partitions, c_t)
+    if incumbent is not None:
+        d_max = min(d_max, incumbent)
+    return d_max, d_min
+
+
+def evaluate_partition_bound(
+    graph: TaskGraph,
+    processor: ReconfigurableProcessor,
+    num_partitions: int,
+    d_max: float,
+    d_min: float,
+    delta: float,
+    options: FormulationOptions | None = None,
+    settings: SolverSettings | None = None,
+    deadline: float | None = None,
+    executor: SolveExecutor | None = None,
+    should_stop=None,
+    phase: str = "shard",
+) -> ReduceLatencyResult:
+    """One ``Reduce_Latency`` run at a fixed partition bound ``N``.
+
+    This is the body of ``Refine_Partitions_Bound``'s loop, extracted so
+    it can run anywhere: the serial driver calls it per escalation /
+    relaxation step, and each worker process of the sharded service
+    (:mod:`repro.service`) calls it for the one ``N`` it owns.  The
+    ``partition_bound`` tracer span and its ``phase`` annotation are
+    emitted here, so serial and sharded runs produce the same span
+    shape.
+    """
+    if executor is None:
+        executor = SolveExecutor(settings or SolverSettings())
+    tracer = executor.tracer
+    with tracer.span(
+        "partition_bound",
+        num_partitions=num_partitions,
+        phase=phase,
+        d_min=float(d_min),
+        d_max=float(d_max),
+    ) as sp:
+        result = reduce_latency(
+            graph,
+            processor,
+            num_partitions,
+            d_max,
+            d_min,
+            delta,
+            options=options,
+            settings=settings,
+            deadline=deadline,
+            executor=executor,
+            should_stop=should_stop,
+        )
+        sp.annotate(feasible=result.feasible, achieved=result.achieved)
+    return result
+
+
 def refine_partitions_bound(
     graph: TaskGraph,
     processor: ReconfigurableProcessor,
@@ -160,28 +237,19 @@ def refine_partitions_bound(
             num_partitions, d_max, d_min, phase
         ) -> ReduceLatencyResult:
             nonlocal degraded
-            with tracer.span(
-                "partition_bound",
-                num_partitions=num_partitions,
+            result = evaluate_partition_bound(
+                graph,
+                processor,
+                num_partitions,
+                d_max,
+                d_min,
+                delta,
+                options=options,
+                settings=settings,
+                deadline=deadline,
+                executor=executor,
                 phase=phase,
-                d_min=float(d_min),
-                d_max=float(d_max),
-            ) as sp:
-                result = reduce_latency(
-                    graph,
-                    processor,
-                    num_partitions,
-                    d_max,
-                    d_min,
-                    delta,
-                    options=options,
-                    settings=settings,
-                    deadline=deadline,
-                    executor=executor,
-                )
-                sp.annotate(
-                    feasible=result.feasible, achieved=result.achieved
-                )
+            )
             trace.extend(result.trace)
             explored.append(num_partitions)
             degraded = degraded or result.degraded

@@ -308,10 +308,25 @@ class PartitionedDesign:
             )
         return "\n".join(lines)
 
+    def design_point_label(self, task: str) -> str:
+        """Round-trippable label of ``task``'s chosen design point.
+
+        Unlike ``DesignPoint.label()`` alone, unnamed points resolve to
+        their positional ``dp<i>`` fallback — the same label
+        ``Task.design_point`` matches on — so the result always survives
+        a :meth:`from_labels` round trip (serialization, disk cache,
+        process boundary).
+        """
+        chosen = self.placements[task].design_point
+        for index, dp in enumerate(self.graph.task(task).design_points, 1):
+            if dp == chosen:
+                return dp.label(index)
+        return chosen.label()
+
     def as_assignment(self) -> dict[str, tuple[int, str]]:
         """Inverse of :meth:`from_labels` (JSON-friendly)."""
         return {
-            name: (pl.partition, pl.design_point.label())
+            name: (pl.partition, self.design_point_label(name))
             for name, pl in self.placements.items()
         }
 

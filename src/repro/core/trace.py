@@ -45,6 +45,40 @@ class IterationRecord:
     def feasible(self) -> bool:
         return self.achieved is not None
 
+    def to_dict(self) -> dict:
+        """JSON-serializable form (inverse of :meth:`from_dict`)."""
+        return {
+            "num_partitions": self.num_partitions,
+            "iteration": self.iteration,
+            "d_max": self.d_max,
+            "d_min": self.d_min,
+            "achieved": self.achieved,
+            "wall_time": self.wall_time,
+            "solver_iterations": self.solver_iterations,
+            "backend": self.backend,
+            "cache_hit": self.cache_hit,
+            "degraded": self.degraded,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "IterationRecord":
+        return cls(
+            num_partitions=int(payload["num_partitions"]),
+            iteration=int(payload["iteration"]),
+            d_max=float(payload["d_max"]),
+            d_min=float(payload["d_min"]),
+            achieved=(
+                None
+                if payload.get("achieved") is None
+                else float(payload["achieved"])
+            ),
+            wall_time=float(payload.get("wall_time", 0.0)),
+            solver_iterations=int(payload.get("solver_iterations", 0)),
+            backend=str(payload.get("backend", "")),
+            cache_hit=bool(payload.get("cache_hit", False)),
+            degraded=bool(payload.get("degraded", False)),
+        )
+
     def row(self, reconfiguration_time: float = 0.0) -> tuple:
         """(N, I, D_min, D_max, D_a) with the overhead ``N*C_T`` removed.
 
@@ -89,6 +123,19 @@ class SearchTrace:
     @property
     def total_wall_time(self) -> float:
         return sum(r.wall_time for r in self.records)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (inverse of :meth:`from_dict`)."""
+        return {"records": [r.to_dict() for r in self.records]}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SearchTrace":
+        return cls(
+            records=[
+                IterationRecord.from_dict(r)
+                for r in payload.get("records", [])
+            ]
+        )
 
     def for_partitions(self, num_partitions: int) -> list[IterationRecord]:
         return [

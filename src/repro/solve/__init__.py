@@ -9,14 +9,25 @@ decides *how* each question is answered:
   cache lookup, deadline policy, portfolio dispatch, greedy fallback;
 * :mod:`repro.solve.portfolio` — backend racing with cooperative
   cancellation;
-* :mod:`repro.solve.cache` — window-monotonic solve memoization;
+* :mod:`repro.solve.cache` — window-monotonic solve memoization (and
+  the :class:`TieredSolveCache` putting in-process memory in front of
+  shared disk);
+* :mod:`repro.solve.disk_cache` — the persistent SQLite verdict store
+  shared across processes and runs (``SolverSettings(cache_path=...)``);
 * :mod:`repro.solve.fingerprint` — canonical model fingerprints;
 * :mod:`repro.solve.telemetry` — machine-readable run metrics.
 
 See ``docs/solving.md`` for the full design.
 """
 
-from repro.solve.cache import CachedVerdict, SolveCache
+from repro.solve.cache import (
+    CachedVerdict,
+    CacheHit,
+    SolveCache,
+    SolveCacheProtocol,
+    TieredSolveCache,
+)
+from repro.solve.disk_cache import DiskSolveCache
 from repro.solve.executor import KNOWN_BACKENDS, SolveExecutor, WindowOutcome
 from repro.solve.fingerprint import (
     ModelFingerprint,
@@ -28,14 +39,18 @@ from repro.solve.portfolio import SolveAttempt, race_backends
 from repro.solve.telemetry import RunTelemetry, SolveStats
 
 __all__ = [
+    "CacheHit",
     "CachedVerdict",
+    "DiskSolveCache",
     "KNOWN_BACKENDS",
     "ModelFingerprint",
     "RunTelemetry",
     "SolveAttempt",
     "SolveCache",
+    "SolveCacheProtocol",
     "SolveExecutor",
     "SolveStats",
+    "TieredSolveCache",
     "WindowOutcome",
     "fingerprint_compiled",
     "fingerprint_ilp",

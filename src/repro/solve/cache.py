@@ -29,14 +29,21 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
 
 from repro.solve.fingerprint import ModelFingerprint
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.solution import PartitionedDesign
+    from repro.taskgraph.graph import TaskGraph
 
-__all__ = ["CachedVerdict", "SolveCache"]
+__all__ = [
+    "CachedVerdict",
+    "CacheHit",
+    "SolveCache",
+    "SolveCacheProtocol",
+    "TieredSolveCache",
+]
 
 #: Tolerance for window comparisons (floats produced by bisection).
 _EPS = 1e-9
@@ -60,10 +67,48 @@ class CachedVerdict:
 
 @dataclass(frozen=True)
 class CacheHit:
-    """Lookup result: the verdict plus which rule matched."""
+    """Lookup result: the verdict, which rule matched, and which tier."""
 
     verdict: CachedVerdict
     rule: str  # "exact", "feasible", or "infeasible"
+    #: Which cache layer answered: ``"memory"`` for the in-process
+    #: :class:`SolveCache`, ``"disk"`` for the persistent
+    #: :class:`repro.solve.disk_cache.DiskSolveCache`.
+    tier: str = "memory"
+
+
+@runtime_checkable
+class SolveCacheProtocol(Protocol):
+    """What the :class:`repro.solve.executor.SolveExecutor` needs from a
+    solve cache.
+
+    Three implementations exist: the in-process :class:`SolveCache`, the
+    persistent :class:`repro.solve.disk_cache.DiskSolveCache`, and the
+    :class:`TieredSolveCache` composing the two.  ``lookup`` takes the
+    query's :class:`~repro.taskgraph.graph.TaskGraph` so tiers that store
+    designs as plain assignments (the disk tier) can decode them back
+    into :class:`~repro.core.solution.PartitionedDesign` certificates;
+    the in-memory tier ignores it.
+    """
+
+    def lookup(
+        self, fp: ModelFingerprint, graph: "TaskGraph | None" = None
+    ) -> CacheHit | None:
+        ...  # pragma: no cover - protocol
+
+    def store_feasible(
+        self,
+        fp: ModelFingerprint,
+        design: "PartitionedDesign",
+        achieved: float,
+        backend: str = "",
+    ) -> None:
+        ...  # pragma: no cover - protocol
+
+    def store_infeasible(
+        self, fp: ModelFingerprint, backend: str = ""
+    ) -> None:
+        ...  # pragma: no cover - protocol
 
 
 @dataclass
@@ -91,8 +136,15 @@ class SolveCache:
 
     # -- lookup -------------------------------------------------------------
 
-    def lookup(self, fp: ModelFingerprint) -> CacheHit | None:
-        """Return a stored verdict valid for ``fp``'s window, or ``None``."""
+    def lookup(
+        self, fp: ModelFingerprint, graph: "TaskGraph | None" = None
+    ) -> CacheHit | None:
+        """Return a stored verdict valid for ``fp``'s window, or ``None``.
+
+        ``graph`` is part of the :class:`SolveCacheProtocol` signature
+        (the disk tier needs it to decode stored assignments); the
+        in-memory cache holds live designs and ignores it.
+        """
         lo, hi = fp.d_min, fp.d_max
         with self._lock:
             records = self._entries.get(fp.base, ())
@@ -173,6 +225,18 @@ class SolveCache:
             ),
         )
 
+    def insert(self, base: str, record: CachedVerdict) -> None:
+        """Adopt a verdict produced elsewhere (tier promotion).
+
+        Used by :class:`TieredSolveCache` to pull disk hits into memory
+        so repeated queries in the same process never touch SQLite again.
+        """
+        fp = ModelFingerprint(
+            base=base, num_partitions=0,
+            d_min=record.d_min, d_max=record.d_max,
+        )
+        self._store(fp, record)
+
     def _store(self, fp: ModelFingerprint, record: CachedVerdict) -> None:
         with self._lock:
             bucket = self._entries.setdefault(fp.base, [])
@@ -190,3 +254,61 @@ class SolveCache:
             self._entries.clear()
             self.hits = 0
             self.misses = 0
+
+
+class TieredSolveCache:
+    """Two-level solve cache: in-process memory in front of shared disk.
+
+    Lookups consult the memory tier first (no I/O on the hot path); disk
+    hits are promoted into memory so each verdict is decoded at most once
+    per process.  Stores write through to both tiers, which is how one
+    worker's verdict becomes visible to the whole fleet: the memory tier
+    dies with the process, the disk tier (``DiskSolveCache``) is the
+    durable, cross-process store.
+    """
+
+    def __init__(self, memory: SolveCache, disk) -> None:
+        self.memory = memory
+        self.disk = disk
+
+    def __len__(self) -> int:
+        return len(self.memory)
+
+    @property
+    def hits(self) -> int:
+        return self.memory.hits + self.disk.hits
+
+    @property
+    def misses(self) -> int:
+        # Every disk lookup was a memory miss first; only count the
+        # queries neither tier answered.
+        return self.disk.misses
+
+    def lookup(
+        self, fp: ModelFingerprint, graph: "TaskGraph | None" = None
+    ) -> CacheHit | None:
+        hit = self.memory.lookup(fp, graph)
+        if hit is not None:
+            return hit
+        hit = self.disk.lookup(fp, graph)
+        if hit is not None:
+            self.memory.insert(fp.base, hit.verdict)
+        return hit
+
+    def store_feasible(
+        self,
+        fp: ModelFingerprint,
+        design: "PartitionedDesign",
+        achieved: float,
+        backend: str = "",
+    ) -> None:
+        self.memory.store_feasible(fp, design, achieved, backend=backend)
+        self.disk.store_feasible(fp, design, achieved, backend=backend)
+
+    def store_infeasible(self, fp: ModelFingerprint, backend: str = "") -> None:
+        self.memory.store_infeasible(fp, backend=backend)
+        self.disk.store_infeasible(fp, backend=backend)
+
+    def clear(self) -> None:
+        self.memory.clear()
+        self.disk.clear()

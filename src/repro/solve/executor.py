@@ -46,7 +46,7 @@ import numpy as np
 from repro.analysis.analyzer import ANALYZE_MODES
 from repro.ilp.status import SolveStatus
 from repro.obs.tracer import as_tracer
-from repro.solve.cache import SolveCache
+from repro.solve.cache import SolveCache, SolveCacheProtocol, TieredSolveCache
 from repro.solve.fingerprint import ModelFingerprint, fingerprint_model
 from repro.solve.portfolio import AttemptFn, SolveAttempt, race_backends
 from repro.solve.telemetry import RunTelemetry, SolveStats
@@ -94,7 +94,7 @@ class SolveExecutor:
     def __init__(
         self,
         settings: "SolverSettings | None" = None,
-        cache: SolveCache | None = None,
+        cache: SolveCacheProtocol | None = None,
         telemetry: RunTelemetry | None = None,
     ) -> None:
         if settings is None:
@@ -107,9 +107,20 @@ class SolveExecutor:
         #: this attribute so a shared executor keeps one span tree.
         self.tracer = as_tracer(getattr(settings, "tracer", None))
         use_cache = getattr(settings, "enable_cache", True)
-        self.cache = cache if cache is not None else (
-            SolveCache() if use_cache else None
-        )
+        if cache is not None:
+            self.cache = cache
+        elif not use_cache:
+            self.cache = None
+        else:
+            cache_path = getattr(settings, "cache_path", None)
+            if cache_path:
+                from repro.solve.disk_cache import DiskSolveCache
+
+                self.cache = TieredSolveCache(
+                    SolveCache(), DiskSolveCache(cache_path)
+                )
+            else:
+                self.cache = SolveCache()
         self.telemetry = telemetry if telemetry is not None else RunTelemetry()
         self.reuse_templates = bool(
             getattr(settings, "reuse_templates", True)
@@ -323,11 +334,15 @@ class SolveExecutor:
             fp: ModelFingerprint | None = None
             if self.cache is not None:
                 fp = fingerprint_model(tp_model)
-                hit = self.cache.lookup(fp)
+                hit = self.cache.lookup(fp, graph=graph)
                 if hit is not None:
+                    tier = getattr(hit, "tier", "memory")
+                    if tier == "disk":
+                        self.telemetry.disk_hits += 1
                     tracer.event(
                         "cache_hit",
                         rule=hit.rule,
+                        tier=tier,
                         feasible=hit.verdict.feasible,
                     )
                     return self._from_cache(

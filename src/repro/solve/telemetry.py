@@ -64,6 +64,21 @@ class SolveStats:
             "degraded": self.degraded,
         }
 
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SolveStats":
+        """Inverse of :meth:`to_dict` (process-boundary transport)."""
+        return cls(
+            num_partitions=int(payload["num_partitions"]),
+            d_min=float(payload["d_min"]),
+            d_max=float(payload["d_max"]),
+            backend=str(payload.get("backend", "")),
+            status=str(payload.get("status", "")),
+            wall_time=float(payload.get("wall_time", 0.0)),
+            iterations=int(payload.get("iterations", 0)),
+            cache_hit=bool(payload.get("cache_hit", False)),
+            degraded=bool(payload.get("degraded", False)),
+        )
+
 
 @dataclass
 class RunTelemetry:
@@ -99,6 +114,14 @@ class RunTelemetry:
     basis_restarts: int = 0
     #: Cover cuts added to persistent template pools across the run.
     pooled_cuts: int = 0
+    #: Window solves answered by the *persistent* disk tier of the solve
+    #: cache (a verdict some other process — or a previous run — paid
+    #: for).  Memory-tier hits are counted in ``cache_hits`` as before;
+    #: disk hits are a subset of them.
+    disk_hits: int = 0
+    #: Worker telemetries merged into this one (sharded runs); 0 for an
+    #: ordinary single-process run.
+    workers_merged: int = 0
     #: Pre-solve analyzer passes run (``SolverSettings.analyze != "off"``).
     analysis_runs: int = 0
     #: ERROR-severity diagnostics across all analyzer passes.
@@ -130,6 +153,76 @@ class RunTelemetry:
         self.analysis_runs += 1
         self.analysis_errors += num_errors
         self.analysis_warnings += num_warnings
+
+    # -- aggregation across workers -----------------------------------------
+
+    def merge(self, other: "RunTelemetry") -> None:
+        """Fold another run's metrics into this one.
+
+        The sharded service aggregates each worker's telemetry into a
+        single run-wide view: counters add, per-backend maps merge,
+        per-solve records concatenate (callers wanting deterministic
+        order sort shards before merging).
+        """
+        self.solves.extend(other.solves)
+        for name, seconds in other.backend_wall.items():
+            self.backend_wall[name] = (
+                self.backend_wall.get(name, 0.0) + seconds
+            )
+        for name, wins in other.backend_wins.items():
+            self.backend_wins[name] = self.backend_wins.get(name, 0) + wins
+        self.timeouts += other.timeouts
+        self.fallbacks += other.fallbacks
+        self.template_builds += other.template_builds
+        self.template_instantiations += other.template_instantiations
+        self.incumbent_reuses += other.incumbent_reuses
+        self.primal_hits += other.primal_hits
+        self.basis_restarts += other.basis_restarts
+        self.pooled_cuts += other.pooled_cuts
+        self.disk_hits += other.disk_hits
+        self.analysis_runs += other.analysis_runs
+        self.analysis_errors += other.analysis_errors
+        self.analysis_warnings += other.analysis_warnings
+        self.workers_merged += max(other.workers_merged, 1)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RunTelemetry":
+        """Rebuild from :meth:`to_dict` output (wire/disk transport).
+
+        Derived fields (hit rates, percentiles, ``degraded``) are
+        recomputed from the restored base fields; a payload serialized
+        with ``include_solves=False`` restores with an empty per-solve
+        list, so those derived views read as idle.
+        """
+        telemetry = cls(
+            solves=[
+                SolveStats.from_dict(s) for s in payload.get("solves", [])
+            ],
+            backend_wall={
+                str(k): float(v)
+                for k, v in payload.get("backend_wall", {}).items()
+            },
+            backend_wins={
+                str(k): int(v)
+                for k, v in payload.get("backend_wins", {}).items()
+            },
+            timeouts=int(payload.get("timeouts", 0)),
+            fallbacks=int(payload.get("fallbacks", 0)),
+            template_builds=int(payload.get("template_builds", 0)),
+            template_instantiations=int(
+                payload.get("template_instantiations", 0)
+            ),
+            incumbent_reuses=int(payload.get("incumbent_reuses", 0)),
+            primal_hits=int(payload.get("primal_hits", 0)),
+            basis_restarts=int(payload.get("basis_restarts", 0)),
+            pooled_cuts=int(payload.get("pooled_cuts", 0)),
+            disk_hits=int(payload.get("disk_hits", 0)),
+            analysis_runs=int(payload.get("analysis_runs", 0)),
+            analysis_errors=int(payload.get("analysis_errors", 0)),
+            analysis_warnings=int(payload.get("analysis_warnings", 0)),
+        )
+        telemetry.workers_merged = int(payload.get("workers_merged", 0))
+        return telemetry
 
     # -- derived views ------------------------------------------------------
 
@@ -192,6 +285,8 @@ class RunTelemetry:
             "primal_hits": self.primal_hits,
             "basis_restarts": self.basis_restarts,
             "pooled_cuts": self.pooled_cuts,
+            "disk_hits": self.disk_hits,
+            "workers_merged": self.workers_merged,
             "wall_time_percentiles": self.wall_time_percentiles(),
             "template_builds": self.template_builds,
             "template_instantiations": self.template_instantiations,
@@ -223,9 +318,10 @@ class RunTelemetry:
                 f"{self.basis_restarts} basis/"
                 f"{self.pooled_cuts} cuts"
             )
+        disk = f" ({self.disk_hits} disk)" if self.disk_hits else ""
         return (
             f"{self.total_solves} solves "
-            f"({self.cache_hits} cached, hit rate "
+            f"({self.cache_hits} cached{disk}, hit rate "
             f"{self.cache_hit_rate:.0%}), wins: {backends}, "
             f"{self.timeouts} timeouts, {self.fallbacks} fallbacks{reuse}, "
             f"templates: {self.template_builds} built/"

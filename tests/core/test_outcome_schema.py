@@ -1,0 +1,105 @@
+"""Outcome serialization: schema versioning and golden-file compatibility.
+
+``tests/golden/outcome_v1.json`` is a payload in the pre-redesign
+format — no ``schema_version`` key, no ``partition_bounds`` block, no
+service-era telemetry counters.  ``outcome_v2.json`` is the current
+format.  Both must keep parsing; new schema bumps add a fixture here.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core import OUTCOME_SCHEMA_VERSION
+from repro.core.partitioner import PartitioningOutcome
+
+GOLDEN = Path(__file__).resolve().parent.parent / "golden"
+
+
+def load(name: str) -> dict:
+    return json.loads((GOLDEN / name).read_text())
+
+
+class TestGoldenCompatibility:
+    @pytest.mark.parametrize("name", ["outcome_v1.json", "outcome_v2.json"])
+    def test_golden_parses_without_graph(self, name):
+        outcome = PartitioningOutcome.from_dict(load(name))
+        assert outcome.total_latency == 80.0
+        assert outcome.partition_range.start == 1
+        assert outcome.design is None  # no graph, no placements
+        assert outcome.telemetry is not None
+        assert len(outcome.trace.records) == 1
+        assert outcome.trace.records[0].backend == "highs"
+
+    @pytest.mark.parametrize("name", ["outcome_v1.json", "outcome_v2.json"])
+    def test_golden_parses_with_graph(self, name, chain_graph):
+        outcome = PartitioningOutcome.from_dict(load(name), graph=chain_graph)
+        assert outcome.feasible
+        assert outcome.design.as_assignment() == {
+            "t0": (1, "dp1"),
+            "t1": (1, "dp1"),
+            "t2": (1, "dp1"),
+        }
+
+    def test_v1_bounds_fall_back_to_partition_range(self):
+        outcome = PartitioningOutcome.from_dict(load("outcome_v1.json"))
+        assert outcome.partition_range.lower_bound == 1
+        assert outcome.partition_range.stop == 1
+
+    def test_current_format_matches_the_v2_golden_shape(
+        self, chain_graph, ar_device, fast_settings
+    ):
+        from repro.core import (
+            PartitionerConfig,
+            PartitionRequest,
+            TemporalPartitioner,
+        )
+
+        outcome = TemporalPartitioner(
+            ar_device, PartitionerConfig(solver=fast_settings)
+        ).solve(PartitionRequest(graph=chain_graph))
+        payload = outcome.to_dict(include_trace=True)
+        golden = load("outcome_v2.json")
+        assert set(payload) == set(golden)
+        assert set(payload["partition_bounds"]) == set(
+            golden["partition_bounds"]
+        )
+        assert set(payload["trace"]["records"][0]) == set(
+            golden["trace"]["records"][0]
+        )
+        assert payload["schema_version"] == OUTCOME_SCHEMA_VERSION
+
+
+class TestVersionGate:
+    def test_future_schema_version_is_rejected(self):
+        payload = load("outcome_v2.json")
+        payload["schema_version"] = OUTCOME_SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="schema_version"):
+            PartitioningOutcome.from_dict(payload)
+
+    def test_round_trip_preserves_everything(self, chain_graph):
+        payload = load("outcome_v2.json")
+        outcome = PartitioningOutcome.from_dict(payload, graph=chain_graph)
+        again = outcome.to_dict(include_trace=True)
+        # Telemetry percentiles are recomputed from per-solve records
+        # (absent in the golden), so compare the stable summary fields.
+        for key in (
+            "schema_version",
+            "feasible",
+            "degraded",
+            "total_latency",
+            "execution_latency",
+            "num_partitions",
+            "partition_range",
+            "partition_bounds",
+            "delta",
+            "stopped_by_min_latency_cut",
+            "stopped_by_time",
+            "iterations",
+            "design",
+        ):
+            assert again[key] == payload[key], key
+        assert again["trace"] == payload["trace"]

@@ -1,0 +1,169 @@
+"""The persistent SQLite solve cache: rules, durability, resilience."""
+
+from __future__ import annotations
+
+import sqlite3
+from pathlib import Path
+
+import pytest
+
+from repro.core.solution import PartitionedDesign, Placement
+from repro.solve.cache import SolveCache, TieredSolveCache
+from repro.solve.disk_cache import SCHEMA_VERSION, DiskSolveCache
+from repro.solve.fingerprint import ModelFingerprint
+from repro.taskgraph import DesignPoint, TaskGraph
+
+
+@pytest.fixture
+def graph() -> TaskGraph:
+    g = TaskGraph("pair")
+    g.add_task("a", (DesignPoint(area=10, latency=5, name="dp"),))
+    g.add_task("b", (DesignPoint(area=20, latency=7),))  # unnamed point
+    g.add_edge("a", "b", 4)
+    return g
+
+
+@pytest.fixture
+def design(graph) -> PartitionedDesign:
+    return PartitionedDesign(
+        graph,
+        {
+            "a": Placement(1, graph.task("a").design_points[0]),
+            "b": Placement(2, graph.task("b").design_points[0]),
+        },
+    )
+
+
+def fp(d_min: float, d_max: float, base: str = "base0") -> ModelFingerprint:
+    return ModelFingerprint(
+        base=base, num_partitions=2, d_min=d_min, d_max=d_max
+    )
+
+
+class TestVerdictRules:
+    def test_exact_replay(self, tmp_path, graph, design):
+        cache = DiskSolveCache(tmp_path / "c.sqlite")
+        cache.store_feasible(fp(0.0, 100.0), design, 52.0, backend="highs")
+        hit = cache.lookup(fp(0.0, 100.0), graph=graph)
+        assert hit is not None
+        assert hit.rule == "exact"
+        assert hit.tier == "disk"
+        assert hit.verdict.achieved == 52.0
+        assert hit.verdict.design is not None
+
+    def test_monotone_feasible_certificate(self, tmp_path, graph, design):
+        cache = DiskSolveCache(tmp_path / "c.sqlite")
+        cache.store_feasible(fp(0.0, 100.0), design, 52.0)
+        hit = cache.lookup(fp(40.0, 60.0), graph=graph)
+        assert hit is not None and hit.rule == "feasible"
+        # Window excluding the achieved latency must NOT hit.
+        assert cache.lookup(fp(0.0, 50.0), graph=graph) is None
+
+    def test_monotone_infeasible_containment(self, tmp_path, graph):
+        cache = DiskSolveCache(tmp_path / "c.sqlite")
+        cache.store_infeasible(fp(0.0, 40.0))
+        assert cache.lookup(fp(5.0, 30.0), graph=graph).rule == "infeasible"
+        # A window extending past the proven-empty one must not hit.
+        assert cache.lookup(fp(5.0, 50.0), graph=graph) is None
+
+    def test_decoded_design_round_trips_unnamed_points(
+        self, tmp_path, graph, design
+    ):
+        cache = DiskSolveCache(tmp_path / "c.sqlite")
+        cache.store_feasible(fp(0.0, 100.0), design, 52.0)
+        hit = cache.lookup(fp(0.0, 100.0), graph=graph)
+        decoded = hit.verdict.design
+        assert decoded.as_assignment() == design.as_assignment()
+
+    def test_lookup_without_graph_skips_feasible_designs(
+        self, tmp_path, design
+    ):
+        cache = DiskSolveCache(tmp_path / "c.sqlite")
+        cache.store_feasible(fp(0.0, 100.0), design, 52.0)
+        # No graph -> stored assignment cannot be decoded into a
+        # certificate; the lookup must miss rather than fabricate one.
+        assert cache.lookup(fp(0.0, 100.0)) is None
+
+
+class TestDurability:
+    def test_verdicts_survive_reopen(self, tmp_path, graph, design):
+        path = tmp_path / "c.sqlite"
+        DiskSolveCache(path).store_feasible(fp(0.0, 100.0), design, 52.0)
+        reopened = DiskSolveCache(path)
+        assert reopened.lookup(fp(0.0, 100.0), graph=graph).rule == "exact"
+        assert reopened.stats()["entries"] == 1
+
+    def test_duplicate_store_is_idempotent(self, tmp_path, design):
+        cache = DiskSolveCache(tmp_path / "c.sqlite")
+        for _ in range(3):
+            cache.store_feasible(fp(0.0, 100.0), design, 52.0)
+        assert cache.stats()["entries"] == 1
+
+    def test_eviction_keeps_recently_used(self, tmp_path, graph, design):
+        cache = DiskSolveCache(tmp_path / "c.sqlite", max_entries=10)
+        for i in range(12):
+            cache.store_infeasible(fp(0.0, 10.0 + i, base=f"b{i}"))
+        stats = cache.stats()
+        assert stats["entries"] <= 10
+        assert stats["evictions"] > 0
+
+    def test_corrupted_file_is_moved_aside_and_recreated(
+        self, tmp_path, graph, design
+    ):
+        path = tmp_path / "c.sqlite"
+        cache = DiskSolveCache(path)
+        cache.store_feasible(fp(0.0, 100.0), design, 52.0)
+        cache.close()
+        # Scrub the WAL sidecars too, or SQLite transparently heals the
+        # mangled main file from the journal.
+        for suffix in ("-wal", "-shm"):
+            sidecar = Path(str(path) + suffix)
+            if sidecar.exists():
+                sidecar.unlink()
+        path.write_bytes(b"this is not a sqlite database at all")
+        recovered = DiskSolveCache(path)
+        assert recovered.stats()["recovered"] is True
+        assert recovered.lookup(fp(0.0, 100.0), graph=graph) is None
+        # The fresh store is fully usable afterwards.
+        recovered.store_infeasible(fp(0.0, 10.0))
+        assert recovered.lookup(fp(1.0, 9.0), graph=graph) is not None
+
+    def test_schema_mismatch_drops_and_recreates(self, tmp_path, design):
+        path = tmp_path / "c.sqlite"
+        cache = DiskSolveCache(path)
+        cache.store_feasible(fp(0.0, 100.0), design, 52.0)
+        cache.close()
+        with sqlite3.connect(path) as conn:
+            conn.execute(
+                "UPDATE meta SET value = ? WHERE key = 'schema_version'",
+                (str(SCHEMA_VERSION + 1),),
+            )
+        fresh = DiskSolveCache(path)
+        assert fresh.stats()["entries"] == 0
+        assert fresh.stats()["schema_version"] == SCHEMA_VERSION
+
+
+class TestTiered:
+    def test_disk_hit_promotes_to_memory(self, tmp_path, graph, design):
+        path = tmp_path / "c.sqlite"
+        DiskSolveCache(path).store_feasible(fp(0.0, 100.0), design, 52.0)
+        tiered = TieredSolveCache(SolveCache(), DiskSolveCache(path))
+        first = tiered.lookup(fp(0.0, 100.0), graph=graph)
+        assert first.tier == "disk"
+        second = tiered.lookup(fp(0.0, 100.0), graph=graph)
+        assert second.tier == "memory"
+
+    def test_store_writes_through_to_both_tiers(
+        self, tmp_path, graph, design
+    ):
+        path = tmp_path / "c.sqlite"
+        tiered = TieredSolveCache(SolveCache(), DiskSolveCache(path))
+        tiered.store_feasible(fp(0.0, 100.0), design, 52.0)
+        # A brand-new process-equivalent sees the verdict on disk.
+        assert (
+            DiskSolveCache(path)
+            .lookup(fp(0.0, 100.0), graph=graph)
+            .rule
+            == "exact"
+        )
+        assert tiered.lookup(fp(0.0, 100.0), graph=graph).tier == "memory"

@@ -244,3 +244,121 @@ class TestAnalyze:
             main(["--help"])
         assert excinfo.value.code == 0
         assert "exit codes" in capsys.readouterr().out
+
+
+class TestBatch:
+    def _write_batch(self, tmp_path, ar_json, n=2):
+        entries = [{"graph": "ar.json"} for _ in range(n)]
+        path = tmp_path / "requests.json"
+        path.write_text(json.dumps(entries))
+        return str(path)
+
+    def test_batch_inline_workers(self, tmp_path, ar_json, capsys):
+        batch = self._write_batch(tmp_path, ar_json)
+        code = main([
+            "batch", batch,
+            "--r-max", "400", "--m-max", "128", "--ct", "20",
+            "--workers", "0", "--solve-limit", "10",
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        results = json.loads(captured.out)
+        assert len(results) == 2
+        assert all(r["feasible"] for r in results)
+        assert all("schema_version" in r for r in results)
+        assert "2/2 feasible" in captured.err
+
+    def test_batch_to_file_with_cache(self, tmp_path, ar_json, capsys):
+        batch = self._write_batch(tmp_path, ar_json, n=1)
+        out = tmp_path / "results.json"
+        cache = tmp_path / "solves.sqlite"
+        code = main([
+            "batch", batch,
+            "--r-max", "400", "--m-max", "128", "--ct", "20",
+            "--workers", "0", "--solve-limit", "10",
+            "--cache", str(cache), "-o", str(out),
+        ])
+        assert code == 0
+        assert cache.exists()
+        assert json.loads(out.read_text())[0]["feasible"]
+
+    def test_batch_inline_graph_payload(self, tmp_path, capsys):
+        from repro.taskgraph import ar_filter
+        from repro.taskgraph import io as graph_io
+
+        entries = [{"graph": graph_io.to_dict(ar_filter())}]
+        path = tmp_path / "requests.json"
+        path.write_text(json.dumps(entries))
+        code = main([
+            "batch", str(path),
+            "--r-max", "400", "--m-max", "128", "--ct", "20",
+            "--workers", "0", "--solve-limit", "10",
+        ])
+        assert code == 0
+
+    def test_batch_bad_file_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "nope.json"
+        code = main([
+            "batch", str(bad),
+            "--r-max", "400", "--workers", "0",
+        ])
+        assert code == 2
+        assert "cannot read batch file" in capsys.readouterr().err
+
+    def test_batch_non_list_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"graph": "x.json"}')
+        code = main([
+            "batch", str(bad),
+            "--r-max", "400", "--workers", "0",
+        ])
+        assert code == 2
+        assert "JSON list" in capsys.readouterr().err
+
+    def test_batch_entry_without_graph_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('[{"processor": null}]')
+        with pytest.raises(SystemExit) as excinfo:
+            main([
+                "batch", str(bad),
+                "--r-max", "400", "--workers", "0",
+            ])
+        assert excinfo.value.code == 2
+
+
+class TestServe:
+    def test_serve_round_trip(self, monkeypatch, capsys):
+        import io
+
+        from repro.taskgraph import ar_filter
+        from repro.taskgraph import io as graph_io
+
+        line = json.dumps({"graph": graph_io.to_dict(ar_filter())})
+        monkeypatch.setattr("sys.stdin", io.StringIO(line + "\n\n"))
+        code = main([
+            "serve",
+            "--r-max", "400", "--m-max", "128", "--ct", "20",
+            "--workers", "0", "--solve-limit", "10",
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        outcome = json.loads(captured.out.strip().splitlines()[0])
+        assert outcome["feasible"] is True
+        assert "served 1 requests" in captured.err
+
+    def test_serve_invalid_line_reports_error_and_continues(
+        self, monkeypatch, capsys
+    ):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO("not json\n\n"))
+        code = main([
+            "serve",
+            "--r-max", "400", "--workers", "0",
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert json.loads(captured.out.strip().splitlines()[0]) == {
+            "error": "invalid request"
+        }
+        assert "served 0 requests" in captured.err

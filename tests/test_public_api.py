@@ -2,9 +2,15 @@
 
 Guards against stale ``__all__`` entries and accidental removal of
 public API — the kind of breakage editable installs hide until release.
+Also pins the redesigned entry points: ``solve(PartitionRequest(...))``
+is the one documented path, ``partition()`` warns, the
+:class:`SolverSettings` presets match hand-built settings, and a request
+round-trips through the service to a versioned outcome dict.
 """
 
+import dataclasses
 import importlib
+import warnings
 
 import pytest
 
@@ -15,6 +21,9 @@ PACKAGES = [
     "repro.hls",
     "repro.arch",
     "repro.core",
+    "repro.solve",
+    "repro.service",
+    "repro.obs",
     "repro.experiments",
     "repro.analysis",
 ]
@@ -44,6 +53,19 @@ def test_version_string():
     assert repro.__version__.count(".") == 2
 
 
+def test_service_entry_points_are_top_level():
+    import repro
+
+    for name in (
+        "PartitionService",
+        "PartitionRequest",
+        "DiskSolveCache",
+        "OUTCOME_SCHEMA_VERSION",
+    ):
+        assert name in repro.__all__
+        assert hasattr(repro, name)
+
+
 def test_cli_module_importable_without_side_effects():
     import repro.cli
 
@@ -51,10 +73,20 @@ def test_cli_module_importable_without_side_effects():
     assert parser.prog == "repro-tp"
 
 
+def test_cli_has_service_subcommands():
+    import repro.cli
+
+    parser = repro.cli.build_parser()
+    text = parser.format_help()
+    assert "batch" in text
+    assert "serve" in text
+
+
 def test_quickstart_snippet_from_readme():
     """The README quickstart must stay runnable (tiny budget variant)."""
     from repro import (
         PartitionerConfig,
+        PartitionRequest,
         RefinementConfig,
         SolverSettings,
         TemporalPartitioner,
@@ -69,5 +101,133 @@ def test_quickstart_snippet_from_readme():
             solver=SolverSettings(time_limit=10.0),
         ),
     )
-    outcome = partitioner.partition(ar_filter())
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        outcome = partitioner.solve(PartitionRequest(graph=ar_filter()))
     assert outcome.feasible
+
+
+class TestDeprecatedPartitionMethod:
+    def test_partition_warns_and_forwards_to_solve(self, ar_device):
+        from repro import (
+            PartitionerConfig,
+            RefinementConfig,
+            SolverSettings,
+            TemporalPartitioner,
+        )
+        from repro.taskgraph import ar_filter
+
+        partitioner = TemporalPartitioner(
+            ar_device,
+            PartitionerConfig(
+                search=RefinementConfig(delta=25.0, time_budget=30.0),
+                solver=SolverSettings(time_limit=10.0),
+            ),
+        )
+        with pytest.warns(DeprecationWarning, match="solve"):
+            outcome = partitioner.partition(ar_filter())
+        assert outcome.feasible
+
+
+class TestPartitionRequest:
+    def test_fields_are_keyword_only(self, chain_graph):
+        from repro import PartitionRequest
+
+        with pytest.raises(TypeError):
+            PartitionRequest(chain_graph)  # positional graph rejected
+
+    def test_replace_derives_variants(self, chain_graph, ar_device):
+        from repro import PartitionRequest
+
+        base = PartitionRequest(graph=chain_graph)
+        derived = base.replace(processor=ar_device)
+        assert derived.processor is ar_device
+        assert derived.graph is base.graph
+        assert base.processor is None  # original untouched
+
+    def test_requests_are_frozen(self, chain_graph):
+        from repro import PartitionRequest
+
+        request = PartitionRequest(graph=chain_graph)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            request.graph = None
+
+
+class TestSolverSettingsPresets:
+    """Presets are field-identical to hand-built settings (the full
+    property test lives in tests/solve/test_presets.py)."""
+
+    def test_presets_exist_and_build_plain_settings(self):
+        from repro import SolverSettings
+
+        for preset in ("fast", "paper_exact", "debug"):
+            settings = getattr(SolverSettings, preset)()
+            assert isinstance(settings, SolverSettings)
+
+    def test_fast_equals_hand_built(self):
+        from repro import SolverSettings
+
+        expected = SolverSettings(
+            portfolio=("highs", "bnb"),
+            incumbent_reuse=True,
+            primal_first=True,
+            reuse_basis=True,
+            persistent_cuts=True,
+            symmetry_breaking=True,
+        )
+        assert SolverSettings.fast() == expected
+
+
+class TestOutcomeSchema:
+    def test_outcome_dict_carries_schema_version(
+        self, chain_graph, ar_device, fast_settings
+    ):
+        from repro import (
+            OUTCOME_SCHEMA_VERSION,
+            PartitionerConfig,
+            PartitionRequest,
+            TemporalPartitioner,
+        )
+
+        outcome = TemporalPartitioner(
+            ar_device, PartitionerConfig(solver=fast_settings)
+        ).solve(PartitionRequest(graph=chain_graph))
+        payload = outcome.to_dict()
+        assert payload["schema_version"] == OUTCOME_SCHEMA_VERSION
+
+
+class TestRequestServiceOutcomeRoundTrip:
+    def test_ar_filter_through_the_service(self, ar_device):
+        """Request -> PartitionService -> outcome -> dict -> outcome."""
+        from repro import (
+            PartitionerConfig,
+            PartitionRequest,
+            PartitionService,
+            RefinementConfig,
+            SolverSettings,
+        )
+        from repro.core.partitioner import PartitioningOutcome
+        from repro.taskgraph import ar_filter
+
+        graph = ar_filter()
+        request = PartitionRequest(
+            graph=graph,
+            config=PartitionerConfig(
+                # Keep the explored bounds small: N <= 3.
+                search=RefinementConfig(time_budget=60.0),
+                solver=SolverSettings(time_limit=10.0),
+            ),
+        )
+        with PartitionService(processor=ar_device, max_workers=0) as service:
+            outcome = service.submit(request).result(timeout=120)
+        assert outcome.feasible
+        assert outcome.partition_range.start <= 3
+
+        payload = outcome.to_dict(include_trace=True)
+        restored = PartitioningOutcome.from_dict(payload, graph=graph)
+        assert restored.feasible
+        assert restored.total_latency == outcome.total_latency
+        assert (
+            restored.design.as_assignment() == outcome.design.as_assignment()
+        )
+        assert len(restored.trace.records) == len(outcome.trace.records)
