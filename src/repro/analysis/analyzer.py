@@ -48,7 +48,8 @@ def analyze_compiled(
     the build context (``graph`` and ``num_partitions``); without it the
     report covers structure only.
     """
-    diagnostics = analyze_structure(compiled)
+    scenario = getattr(options, "scenario", None) or "paper_oneshot"
+    diagnostics = analyze_structure(compiled, scenario)
     if graph is not None and num_partitions:
         diagnostics.extend(
             check_conformance(
@@ -64,9 +65,7 @@ def analyze_compiled(
 
 def analyze_model(tp_model: "TemporalPartitioningModel") -> AnalysisReport:
     """Analyze a built temporal-partitioning model (both passes)."""
-    compiled = tp_model.compiled
-    if compiled is None:
-        compiled = tp_model.model.compile()
+    compiled = tp_model.compiled_form()
     return analyze_compiled(
         compiled,
         graph=tp_model.graph,

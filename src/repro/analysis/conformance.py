@@ -25,6 +25,14 @@ the formulation of Section 3.2.3 is complete:
 A missing row is reported as an ERROR with the paper-equation tag of the
 family it belongs to, so a corrupted or hand-edited model names the
 equation that was lost.
+
+The checks are *derived from the scenario registry*
+(:mod:`repro.core.families`): each registered
+:class:`~repro.core.families.ConstraintFamily` names the checker that
+certifies it (``family.conformance``) and supplies the equation tags the
+checker reports (``family.paper_eq``), so a new scenario gets
+conformance coverage by declaring its families — there is no parallel
+hand-written check list to keep in sync.
 """
 
 from __future__ import annotations
@@ -38,7 +46,7 @@ if TYPE_CHECKING:  # pragma: no cover - type-only imports
     from repro.core.formulation import FormulationOptions
     from repro.taskgraph.graph import TaskGraph
 
-__all__ = ["check_conformance"]
+__all__ = ["CHECKERS", "check_conformance"]
 
 
 def _row_support(compiled: CompiledModel, block: str, row: int) -> set[int]:
@@ -57,8 +65,18 @@ def check_conformance(
     options: "FormulationOptions | None" = None,
     d_min: float = 0.0,
 ) -> list[Diagnostic]:
-    """Check that the paper's constraint families are all present."""
-    diags: list[Diagnostic] = []
+    """Check that the scenario's constraint families are all present.
+
+    The scenario is taken from ``options.scenario`` (``paper_oneshot``
+    when ``options`` is ``None``); every registered family that names a
+    checker is dispatched with its own equation tags.
+    """
+    # Imported lazily: the registry lives above the analysis layer.
+    from repro.core.families import get_scenario
+
+    scenario = get_scenario(
+        getattr(options, "scenario", None) or "paper_oneshot"
+    )
     ub_rows: dict[str, list[int]] = {}
     for i, name in enumerate(compiled.ub_names):
         if name is not None:
@@ -69,23 +87,33 @@ def check_conformance(
             eq_rows.setdefault(name, []).append(i)
     var_index = compiled.var_index
 
-    diags.extend(_check_uniqueness(compiled, graph, num_partitions, eq_rows))
-    diags.extend(_check_crossing(compiled, options, ub_rows, var_index))
-    diags.extend(_check_resource(num_partitions, ub_rows))
-    diags.extend(_check_eta(compiled, graph, num_partitions, ub_rows,
-                            var_index))
-    diags.extend(_check_latency_window(compiled, num_partitions, d_min,
-                                       ub_rows, var_index))
-    if options is not None and getattr(options, "symmetry_breaking", False):
-        diags.extend(_check_symmetry(compiled, graph, num_partitions,
-                                     ub_rows, var_index))
+    diags: list[Diagnostic] = []
+    for family in scenario.families:
+        checker = CHECKERS.get(family.conformance)
+        if checker is None:
+            continue
+        diags.extend(
+            checker(
+                compiled,
+                graph,
+                num_partitions,
+                options,
+                d_min,
+                ub_rows,
+                eq_rows,
+                var_index,
+                family,
+            )
+        )
     return diags
 
 
 # -- (1) uniqueness ----------------------------------------------------------
 
 
-def _check_uniqueness(compiled, graph, num_partitions, eq_rows):
+def _check_uniqueness(compiled, graph, num_partitions, options, d_min,
+                      ub_rows, eq_rows, var_index, family):
+    tag = family.paper_eq[0]
     for task in graph:
         name = f"uniq[{task.name}]"
         rows = eq_rows.get(name, [])
@@ -98,7 +126,7 @@ def _check_uniqueness(compiled, graph, num_partitions, eq_rows):
                     "nothing forces the task to be placed exactly once"
                 ),
                 rows=(name,),
-                paper_eq="(1)",
+                paper_eq=tag,
             )
             continue
         if len(rows) > 1:
@@ -110,7 +138,7 @@ def _check_uniqueness(compiled, graph, num_partitions, eq_rows):
                     f"rows named {name!r}; equation (1) demands exactly one"
                 ),
                 rows=(name,),
-                paper_eq="(1)",
+                paper_eq=tag,
             )
         expected = num_partitions * len(task.design_points)
         support = _row_support(compiled, "eq", rows[0])
@@ -125,14 +153,16 @@ def _check_uniqueness(compiled, graph, num_partitions, eq_rows):
                     f"(found {len(support)} columns, rhs {rhs:g})"
                 ),
                 rows=(name,),
-                paper_eq="(1)",
+                paper_eq=tag,
             )
 
 
 # -- (4)-(5) crossing-variable linearization ---------------------------------
 
 
-def _check_crossing(compiled, options, ub_rows, var_index):
+def _check_crossing(compiled, graph, num_partitions, options, d_min,
+                    ub_rows, eq_rows, var_index, family):
+    tag = family.paper_eq[0]
     two_sided = bool(options.two_sided_w) if options is not None else False
     for var in compiled.variables:
         if not var.name.startswith("w["):
@@ -153,7 +183,7 @@ def _check_crossing(compiled, options, ub_rows, var_index):
                     ),
                     rows=(row_name,),
                     variables=(var.name,),
-                    paper_eq="(4)-(5)",
+                    paper_eq=tag,
                 )
             elif var_index[var.name] not in _row_support(
                 compiled, "ub", rows[0]
@@ -167,14 +197,16 @@ def _check_crossing(compiled, options, ub_rows, var_index):
                     ),
                     rows=(row_name,),
                     variables=(var.name,),
-                    paper_eq="(4)-(5)",
+                    paper_eq=tag,
                 )
 
 
 # -- (6) resource ------------------------------------------------------------
 
 
-def _check_resource(num_partitions, ub_rows):
+def _check_resource(compiled, graph, num_partitions, options, d_min,
+                    ub_rows, eq_rows, var_index, family):
+    tag = family.paper_eq[0]
     for p in range(1, num_partitions + 1):
         name = f"resource[{p}]"
         if name not in ub_rows:
@@ -186,21 +218,23 @@ def _check_resource(num_partitions, ub_rows):
                     "area usage is unbounded"
                 ),
                 rows=(name,),
-                paper_eq="(6)",
+                paper_eq=tag,
             )
 
 
 # -- (8) partition count -----------------------------------------------------
 
 
-def _check_eta(compiled, graph, num_partitions, ub_rows, var_index):
+def _check_eta(compiled, graph, num_partitions, options, d_min,
+               ub_rows, eq_rows, var_index, family):
+    tag = family.paper_eq[0]
     if "eta" not in var_index:
         yield Diagnostic(
             code="missing-eta",
             severity=Severity.ERROR,
             message="the model has no 'eta' partition-count variable",
             variables=("eta",),
-            paper_eq="(8)",
+            paper_eq=tag,
         )
         return
     j = var_index["eta"]
@@ -214,7 +248,7 @@ def _check_eta(compiled, graph, num_partitions, ub_rows, var_index):
                 f"at most {num_partitions} partitions (equation (8))"
             ),
             variables=("eta",),
-            paper_eq="(8)",
+            paper_eq=tag,
         )
     for sink in graph.sinks():
         name = f"eta[{sink}]"
@@ -228,7 +262,7 @@ def _check_eta(compiled, graph, num_partitions, ub_rows, var_index):
                     "does not count the partitions the schedule uses"
                 ),
                 rows=(name,),
-                paper_eq="(8)",
+                paper_eq=tag,
             )
         elif j not in _row_support(compiled, "ub", rows[0]):
             yield Diagnostic(
@@ -239,18 +273,18 @@ def _check_eta(compiled, graph, num_partitions, ub_rows, var_index):
                 ),
                 rows=(name,),
                 variables=("eta",),
-                paper_eq="(8)",
+                paper_eq=tag,
             )
 
 
 # -- (9)-(10) latency window -------------------------------------------------
 
 
-def _check_latency_window(compiled, num_partitions, d_min, ub_rows,
-                          var_index):
-    required = [("latency_ub", "(9)")]
+def _check_latency_window(compiled, graph, num_partitions, options, d_min,
+                          ub_rows, eq_rows, var_index, family):
+    required = [("latency_ub", family.paper_eq[0])]
     if d_min > 0:
-        required.append(("latency_lb", "(10)"))
+        required.append(("latency_lb", family.paper_eq[-1]))
     d_columns = {
         var_index[f"d[{p}]"]
         for p in range(1, num_partitions + 1)
@@ -291,17 +325,22 @@ def _check_latency_window(compiled, num_partitions, d_min, ub_rows,
 # -- symmetry breaking (extension) -------------------------------------------
 
 
-def _check_symmetry(compiled, graph, num_partitions, ub_rows, var_index):
+def _check_symmetry(compiled, graph, num_partitions, options, d_min,
+                    ub_rows, eq_rows, var_index, family):
     """Lexicographic partition-ordering rows over interchangeable tasks.
 
-    An extension over the paper (no equation tag): when
+    An extension over the paper (tagged ``ext``): when
     :attr:`FormulationOptions.symmetry_breaking` is set, every
     consecutive pair ``(a, b)`` of an interchangeable group must carry a
     ``sym[a,b]`` row referencing Y columns of *both* tasks — a row that
     mentions only one side constrains nothing (or worse, the wrong
     thing).
     """
-    from repro.core.formulation import interchangeable_groups
+    from repro.core.families import interchangeable_groups
+
+    if options is None or not getattr(options, "symmetry_breaking", False):
+        return
+    tag = family.paper_eq[0]
 
     def y_columns(task_name: str) -> set[int]:
         points = len(graph.task(task_name).design_points)
@@ -326,7 +365,7 @@ def _check_symmetry(compiled, graph, num_partitions, ub_rows, var_index):
                         "breaking is enabled"
                     ),
                     rows=(name,),
-                    paper_eq="ext",
+                    paper_eq=tag,
                 )
                 continue
             support = _row_support(compiled, "ub", rows[0])
@@ -341,5 +380,17 @@ def _check_symmetry(compiled, graph, num_partitions, ub_rows, var_index):
                         f"of both {first!r} and {second!r}"
                     ),
                     rows=(name,),
-                    paper_eq="ext",
+                    paper_eq=tag,
                 )
+
+
+#: Checker ids that :class:`repro.core.families.ConstraintFamily`
+#: declarations reference via their ``conformance`` field.
+CHECKERS = {
+    "uniqueness": _check_uniqueness,
+    "crossing": _check_crossing,
+    "resource": _check_resource,
+    "eta": _check_eta,
+    "latency_window": _check_latency_window,
+    "symmetry": _check_symmetry,
+}

@@ -47,40 +47,46 @@ class Severity(enum.Enum):
 _SEVERITY_RANK = {Severity.ERROR: 0, Severity.WARNING: 1, Severity.INFO: 2}
 
 
-#: Constraint/variable name prefixes mapped to the paper-equation tag of
-#: Section 3.2.3.  Longest-prefix wins ("latency_ub" before "latency_").
-_EQUATION_PREFIXES: tuple[tuple[str, str], ...] = (
-    ("uniq[", "(1)"),
-    ("order[", "(2)"),
-    ("memory[", "(3)"),
-    ("w[", "(4)-(5)"),
-    ("resource", "(6)"),
-    ("pathlat[", "(7)"),
-    ("prec[", "(7)"),
-    ("finish[", "(7)"),
-    ("same[", "(7)"),
-    ("s[", "(7)"),
-    ("d[", "(7)"),
-    ("eta_area_cut", "(8)"),
-    ("eta[", "(8)"),
-    ("eta", "(8)"),
-    ("latency_ub", "(9)"),
-    ("latency_lb", "(10)"),
-    ("Y[", "(1)-(2)"),
-)
+#: Per-scenario prefix maps derived from the family registry (each
+#: :class:`repro.core.families.ConstraintFamily` declares its name
+#: prefixes and equation tags), sorted longest-prefix-first so
+#: ``eta_area_cut`` wins over ``eta``.
+_PREFIX_CACHE: dict[str, tuple[tuple[str, str], ...]] = {}
 
 
-def paper_equation_for(name: str | None) -> str | None:
+def _scenario_prefixes(scenario: str) -> tuple[tuple[str, str], ...]:
+    cached = _PREFIX_CACHE.get(scenario)
+    if cached is None:
+        # Imported lazily: the registry lives above the analysis layer.
+        from repro.core.families import get_scenario
+
+        pairs = [
+            pair
+            for family in get_scenario(scenario).families
+            for pair in family.equation_prefixes
+        ]
+        cached = tuple(
+            sorted(pairs, key=lambda item: len(item[0]), reverse=True)
+        )
+        _PREFIX_CACHE[scenario] = cached
+    return cached
+
+
+def paper_equation_for(
+    name: str | None, scenario: str = "paper_oneshot"
+) -> str | None:
     """Map a constraint/variable name to its paper-equation tag.
 
-    Follows the naming scheme of :mod:`repro.core.formulation`
-    (``uniq[T1]``, ``w[2,T1,T2]_ge``, ``latency_ub``, ...).  Names that
-    do not belong to the formulation (extension rows such as ``sym[...]``
-    or anything user-defined) map to ``None``.
+    The map is derived from the scenario's registered constraint
+    families (each declares its name prefixes and tags), following the
+    naming scheme of :mod:`repro.core.families` (``uniq[T1]``,
+    ``w[2,T1,T2]_ge``, ``latency_ub``, ...).  Names that belong to no
+    family (extension rows such as ``sym[...]`` or anything
+    user-defined) map to ``None``.
     """
     if not name:
         return None
-    for prefix, tag in _EQUATION_PREFIXES:
+    for prefix, tag in _scenario_prefixes(scenario):
         if name.startswith(prefix):
             return tag
     return None

@@ -67,14 +67,20 @@ def _is_integral_value(value: float) -> bool:
     return math.isfinite(value) and abs(value - round(value)) <= _TOL
 
 
-def analyze_structure(compiled: CompiledModel) -> list[Diagnostic]:
-    """Run every structural check; return the findings (unordered)."""
+def analyze_structure(
+    compiled: CompiledModel, scenario: str = "paper_oneshot"
+) -> list[Diagnostic]:
+    """Run every structural check; return the findings (unordered).
+
+    ``scenario`` selects the registered family set whose name prefixes
+    supply the equation tags (the checks themselves are scenario-free).
+    """
     diags: list[Diagnostic] = []
-    diags.extend(_check_bounds(compiled))
-    diags.extend(_check_dangling_columns(compiled))
+    diags.extend(_check_bounds(compiled, scenario))
+    diags.extend(_check_dangling_columns(compiled, scenario))
     seen_patterns: dict = {}
     for block in ("ub", "eq"):
-        diags.extend(_check_rows(compiled, block, seen_patterns))
+        diags.extend(_check_rows(compiled, block, seen_patterns, scenario))
     diags.extend(_check_coefficient_spread(compiled))
     return diags
 
@@ -82,7 +88,9 @@ def analyze_structure(compiled: CompiledModel) -> list[Diagnostic]:
 # -- variable checks ---------------------------------------------------------
 
 
-def _check_bounds(compiled: CompiledModel) -> list[Diagnostic]:
+def _check_bounds(
+    compiled: CompiledModel, scenario: str = "paper_oneshot"
+) -> list[Diagnostic]:
     diags: list[Diagnostic] = []
     for j, var in enumerate(compiled.variables):
         lb, ub = float(compiled.lb[j]), float(compiled.ub[j])
@@ -96,7 +104,7 @@ def _check_bounds(compiled: CompiledModel) -> list[Diagnostic]:
                         f"[{lb:g}, {ub:g}]"
                     ),
                     variables=(var.name,),
-                    paper_eq=paper_equation_for(var.name),
+                    paper_eq=paper_equation_for(var.name, scenario),
                 )
             )
         elif var.vtype.name == "BINARY" and (lb < -_TOL or ub > 1 + _TOL):
@@ -109,13 +117,15 @@ def _check_bounds(compiled: CompiledModel) -> list[Diagnostic]:
                         f"[{lb:g}, {ub:g}] outside [0, 1]"
                     ),
                     variables=(var.name,),
-                    paper_eq=paper_equation_for(var.name),
+                    paper_eq=paper_equation_for(var.name, scenario),
                 )
             )
     return diags
 
 
-def _check_dangling_columns(compiled: CompiledModel) -> list[Diagnostic]:
+def _check_dangling_columns(
+    compiled: CompiledModel, scenario: str = "paper_oneshot"
+) -> list[Diagnostic]:
     referenced = np.zeros(compiled.num_vars, dtype=bool)
     for indices in (compiled.ub_indices, compiled.eq_indices):
         if len(indices):
@@ -143,7 +153,7 @@ def _check_dangling_columns(compiled: CompiledModel) -> list[Diagnostic]:
                     f"all-zero across every constraint row{suffix}"
                 ),
                 variables=(var.name,),
-                paper_eq=paper_equation_for(var.name),
+                paper_eq=paper_equation_for(var.name, scenario),
             )
         )
     return diags
@@ -153,7 +163,10 @@ def _check_dangling_columns(compiled: CompiledModel) -> list[Diagnostic]:
 
 
 def _check_rows(
-    compiled: CompiledModel, block: str, seen_patterns: dict
+    compiled: CompiledModel,
+    block: str,
+    seen_patterns: dict,
+    scenario: str = "paper_oneshot",
 ) -> list[Diagnostic]:
     if block == "ub":
         indptr, indices, data = (
@@ -175,7 +188,7 @@ def _check_rows(
         coefs = data[lo:hi]
         b = float(rhs[i])
         name = _row_name(names, i, block)
-        tag = paper_equation_for(names[i])
+        tag = paper_equation_for(names[i], scenario)
 
         if lo == hi:
             diags.extend(_empty_row(block, name, b, tag))

@@ -112,6 +112,54 @@ def _device(args: argparse.Namespace) -> ReconfigurableProcessor:
     )
 
 
+def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scenario", default="paper_oneshot",
+        help="registered formulation scenario (default: paper_oneshot; "
+             "e.g. slot_coresident for slotted partial reconfiguration)",
+    )
+    parser.add_argument(
+        "--scenario-param", action="append", default=[], metavar="KEY=VALUE",
+        help="scenario parameter override (repeatable), "
+             "e.g. --scenario-param num_slots=3",
+    )
+
+
+def _formulation_options(args: argparse.Namespace):
+    """Build :class:`FormulationOptions` from the scenario flags.
+
+    Unknown scenario ids and malformed ``KEY=VALUE`` pairs exit with
+    :data:`EXIT_USAGE` like any other bad input.
+    """
+    from repro.core import FormulationOptions
+
+    params: dict[str, float] = {}
+    for item in args.scenario_param:
+        key, sep, value = item.partition("=")
+        if not sep or not key:
+            print(
+                f"error: --scenario-param expects KEY=VALUE, got {item!r}",
+                file=sys.stderr,
+            )
+            raise SystemExit(EXIT_USAGE)
+        try:
+            params[key] = float(value)
+        except ValueError:
+            print(
+                f"error: --scenario-param value for {key!r} must be a "
+                f"number, got {value!r}",
+                file=sys.stderr,
+            )
+            raise SystemExit(EXIT_USAGE)
+    try:
+        return FormulationOptions(
+            scenario=args.scenario, scenario_params=params
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        raise SystemExit(EXIT_USAGE)
+
+
 def _load_graph(path: str) -> TaskGraph:
     """Load a task-graph JSON file, exiting with :data:`EXIT_USAGE` on
     unreadable or invalid input (``GraphValidationError`` is a
@@ -196,6 +244,7 @@ def _cmd_partition(args: argparse.Namespace) -> int:
             delta_fraction=args.delta_fraction,
             time_budget=args.time_budget,
         ),
+        formulation=_formulation_options(args),
         solver=solver,
     )
     outcome = TemporalPartitioner(processor, config).solve(
@@ -558,14 +607,16 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         d_max = bounds.max_latency(
             graph, args.partitions, processor.reconfiguration_time
         )
+    options = _formulation_options(args)
     tp = build_model(
-        graph, processor, args.partitions, d_max, args.d_min
+        graph, processor, args.partitions, d_max, args.d_min, options
     )
     report = analyze_model(tp)
     if args.json:
         payload = {
             "graph": graph.name,
             "num_partitions": args.partitions,
+            "scenario": options.scenario,
             "d_min": args.d_min,
             "d_max": d_max,
             **report.to_dict(),
@@ -667,6 +718,7 @@ def build_parser() -> argparse.ArgumentParser:
                            "and bnb per window solve")
     partition.add_argument("--no-cache", action="store_true",
                            help="disable solve memoization")
+    _add_scenario_arguments(partition)
     partition.add_argument("--telemetry-json", default=None,
                            help="write execution-layer telemetry "
                            "(backend wins, cache hits, per-solve stats) "
@@ -822,6 +874,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--d-min", type=float, default=0.0,
         help="latency lower bound (adds the eq (10) window row when > 0)",
     )
+    _add_scenario_arguments(analyze)
     analyze.add_argument("--json", action="store_true",
                          help="emit the report as JSON")
     analyze.add_argument("--strict", action="store_true",

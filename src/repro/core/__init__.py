@@ -29,6 +29,13 @@ from repro.core.bounds import (
 )
 from repro.core.cp_solver import CpStats, cp_solve
 from repro.core.diagnose import InfeasibilityReport, diagnose_infeasibility
+from repro.core.families import (
+    ConstraintFamily,
+    ScenarioSpec,
+    get_scenario,
+    register_scenario,
+    scenario_ids,
+)
 from repro.core.formulation import (
     FormulationOptions,
     ModelTemplate,
@@ -76,6 +83,7 @@ from repro.core.tradeoff import (
 from repro.core.trace import IterationRecord, SearchTrace
 
 __all__ = [
+    "ConstraintFamily",
     "ConstraintViolation",
     "CpStats",
     "FormulationOptions",
@@ -96,6 +104,7 @@ __all__ = [
     "ReduceLatencyResult",
     "RefinementConfig",
     "RefinementResult",
+    "ScenarioSpec",
     "SearchTrace",
     "SensitivityReport",
     "SolverSettings",
@@ -112,6 +121,7 @@ __all__ = [
     "estimate_alpha_gamma",
     "evaluate_partition_bound",
     "extract_design",
+    "get_scenario",
     "greedy_partition",
     "heuristic_partition_count",
     "max_area_partitions",
@@ -123,6 +133,8 @@ __all__ = [
     "partition_range",
     "reduce_latency",
     "refine_partitions_bound",
+    "register_scenario",
+    "scenario_ids",
     "solve_optimal",
     "utilization_report",
 ]

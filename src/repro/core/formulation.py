@@ -27,13 +27,23 @@ elsewhere only in the memory *capacity* row, which pushes it down (see
 :func:`repro.ilp.linearize.product_of_sums`).  ``FormulationOptions`` can
 request the exact two-sided linearization for verification.
 
+The constraint families themselves live in registered builders
+(:mod:`repro.core.families`): :func:`_populate_ilp` resolves the
+:class:`~repro.core.families.ScenarioSpec` named by
+``FormulationOptions.scenario`` (default ``paper_oneshot``, the paper's
+exact formulation) and assembles its families in order, recording a
+:class:`repro.ilp.compile.RowGroup` provenance span per family.  New
+formulation variants are added by registering a scenario, not by
+editing this module.
+
 Model construction is two-tier.  :func:`build_model` assembles a fresh
 ILP for one latency window — the reference path.  :class:`ModelTemplate`
 builds the *window-independent* part once per ``(graph, N, options)``,
 compiles it to the sparse standard form of :mod:`repro.ilp.compile`, and
 then :meth:`ModelTemplate.instantiate` produces per-window models by
-patching only the right-hand sides of the latency rows (9)-(10) — one
-``b_ub`` copy instead of a full rebuild.  The binary-subdivision search
+patching only the right-hand sides of the latency rows (9)-(10) —
+located via the window family's row group — one ``b_ub`` copy instead
+of a full rebuild.  The binary-subdivision search
 (:mod:`repro.core.reduce_latency` via
 :class:`repro.solve.executor.SolveExecutor`) holds one template across
 all its iterations.
@@ -46,9 +56,16 @@ from dataclasses import dataclass, field, replace
 from typing import Mapping
 
 from repro.arch.processor import ReconfigurableProcessor
-from repro.ilp import CompiledModel, Model, Solution, VarType, lin_sum, solve_compiled
+from repro.ilp import CompiledModel, Model, RowGroup, Solution, solve_compiled
 from repro.taskgraph.graph import TaskGraph
-from repro.taskgraph.paths import count_paths, enumerate_paths
+from repro.core.families import (
+    BuildContext,
+    _w_name,
+    _y_name,
+    build_scenario,
+    get_scenario,
+    interchangeable_groups,
+)
 from repro.core.solution import PartitionedDesign, Placement
 
 __all__ = [
@@ -61,48 +78,6 @@ __all__ = [
     "lp_latency_lower_bound",
     "warm_values_from_design",
 ]
-
-
-def interchangeable_groups(graph: TaskGraph) -> list[tuple[str, ...]]:
-    """Partition tasks into groups that any solution may permute freely.
-
-    Two tasks are interchangeable when they have identical design-point
-    tuples, the same predecessor and successor sets with the same data
-    volumes, and the same environment I/O.  Swapping two such tasks maps
-    any feasible partitioned design onto another feasible design with the
-    same latency, so ordering them by partition index loses nothing.
-    Only groups of size >= 2 are returned, in deterministic task order.
-    """
-    signatures: dict[tuple, list[str]] = {}
-    for task in graph:
-        signature = (
-            tuple(
-                (dp.area, dp.latency, dp.extra_resources)
-                for dp in task.design_points
-            ),
-            tuple(
-                sorted(
-                    (pred, graph.data_volume(pred, task.name))
-                    for pred in graph.predecessors(task.name)
-                )
-            ),
-            tuple(
-                sorted(
-                    (succ, graph.data_volume(task.name, succ))
-                    for succ in graph.successors(task.name)
-                )
-            ),
-            graph.env_input(task.name),
-            graph.env_output(task.name),
-        )
-        signatures.setdefault(signature, []).append(task.name)
-    groups = [
-        tuple(names) for names in signatures.values() if len(names) >= 2
-    ]
-    # Tasks that appear in each other's neighbor signatures are never
-    # grouped together (their signatures differ), so the ordering
-    # constraints below cannot conflict with the temporal order.
-    return groups
 
 
 @dataclass(frozen=True)
@@ -150,6 +125,17 @@ class FormulationOptions:
         shrinks the symmetric solution space by ``(4!)^8`` and speeds up
         infeasibility proofs dramatically.  An extension beyond the
         paper; off by default, on in the experiment harness.
+    scenario:
+        Id of the registered :class:`~repro.core.families.ScenarioSpec`
+        whose constraint families build the model.  ``"paper_oneshot"``
+        (default) is the paper's formulation; ``"slot_coresident"`` the
+        slotted partial-reconfiguration variant.
+    scenario_params:
+        Scenario parameter overrides as ``(key, value)`` pairs (e.g.
+        ``(("num_slots", 3.0),)``).  A mapping or iterable of pairs is
+        accepted and normalized to a sorted tuple, keeping options
+        hashable (the executor keys its template cache on them) and
+        JSON-round-trippable on the wire.
     """
 
     order_mode: str = "pairwise"
@@ -159,6 +145,8 @@ class FormulationOptions:
     path_limit: int = 100_000
     minimize_latency: bool = False
     symmetry_breaking: bool = False
+    scenario: str = "paper_oneshot"
+    scenario_params: tuple[tuple[str, float], ...] = ()
 
     def __post_init__(self) -> None:
         if self.order_mode not in ("pairwise", "index"):
@@ -171,6 +159,16 @@ class FormulationOptions:
                 f"unknown latency_mode {self.latency_mode!r}; "
                 "expected 'auto', 'paths' or 'levels'"
             )
+        get_scenario(self.scenario)  # raises ValueError on unknown ids
+        # Normalize mapping / list-of-pairs input (wire decode hands the
+        # JSON form straight in) to a sorted tuple of (str, float) pairs.
+        params = self.scenario_params
+        items = params.items() if isinstance(params, Mapping) else params
+        object.__setattr__(
+            self,
+            "scenario_params",
+            tuple(sorted((str(k), float(v)) for k, v in items)),
+        )
 
 
 @dataclass
@@ -202,6 +200,9 @@ class TemporalPartitioningModel:
     compiled: CompiledModel | None = None
     #: Windowless structure digest shared by all sibling instantiations.
     base_fingerprint: str | None = None
+    #: Per-family row-group provenance in build order (see
+    #: :func:`repro.core.families.build_scenario`).
+    row_groups: tuple[RowGroup, ...] | None = None
 
     def solve(self, **solve_kwargs) -> Solution:
         """Solve the underlying model (see :meth:`repro.ilp.Model.solve`)."""
@@ -209,17 +210,18 @@ class TemporalPartitioningModel:
             return solve_compiled(self.compiled, **solve_kwargs)
         return self.model.solve(**solve_kwargs)
 
+    def compiled_form(self) -> CompiledModel:
+        """Compiled standard form with row-group provenance attached."""
+        compiled = self.compiled
+        if compiled is None:
+            compiled = self.model.compile()
+        if compiled.row_groups is None and self.row_groups is not None:
+            compiled.row_groups = self.row_groups
+        return compiled
+
     def design_from(self, solution: Solution) -> PartitionedDesign:
         """Decode a solver solution into a :class:`PartitionedDesign`."""
         return extract_design(self, solution)
-
-
-def _y_name(task: str, partition: int, dp_index: int) -> str:
-    return f"Y[{task},{partition},{dp_index}]"
-
-
-def _w_name(partition: int, src: str, dst: str) -> str:
-    return f"w[{partition},{src},{dst}]"
 
 
 def _populate_ilp(
@@ -229,263 +231,43 @@ def _populate_ilp(
     options: FormulationOptions,
     d_max: float,
     d_min: float,
-    force_lb: bool = False,
-) -> tuple[Model, dict[tuple[str, int, int], str], dict[int, str]]:
-    """Assemble constraints (1)-(10) into a fresh :class:`Model`.
+    include_lb: bool = False,
+) -> tuple[
+    Model,
+    dict[tuple[str, int, int], str],
+    dict[int, str],
+    tuple[RowGroup, ...],
+]:
+    """Assemble the scenario's constraint families into a fresh Model.
 
     Shared by the fresh-build path (:func:`build_model`) and the
-    template path (:class:`ModelTemplate`).  The latency-window rows are
-    always the *last* constraints added — ``latency_ub`` then (when
-    ``d_min > 0`` or ``force_lb``) ``latency_lb`` — which the template
-    relies on to patch or drop them in the compiled form without
-    touching any other row.  ``force_lb`` makes the lower-bound row
+    template path (:class:`ModelTemplate`).  The scenario named by
+    ``options.scenario`` supplies the family sequence; each family's
+    rows are recorded as a :class:`~repro.ilp.compile.RowGroup` span, so
+    downstream consumers address rows by family id instead of position.
+    The registry guarantees the window-dependent family builds last —
+    its rows (``latency_ub`` and, when ``include_lb or d_min > 0``,
+    ``latency_lb``) are the only ones whose right-hand sides change
+    between bisection windows.  ``include_lb`` makes the lower-bound row
     unconditional so a template can serve windows with ``d_min > 0``.
     """
-    n = num_partitions
-    partitions = range(1, n + 1)
-    model = Model(f"tp_{graph.name}_N{n}")
-
-    # -- variables ---------------------------------------------------------
-    y: dict[tuple[str, int, int], object] = {}
-    y_name: dict[tuple[str, int, int], str] = {}
-    for task in graph:
-        for p in partitions:
-            for k, _dp in enumerate(task.design_points, start=1):
-                name = _y_name(task.name, p, k)
-                y[(task.name, p, k)] = model.add_binary(name)
-                y_name[(task.name, p, k)] = name
-
-    # The slowest serial schedule bounds any d_p from above; a finite upper
-    # bound keeps the LP relaxations bounded in feasibility mode.
-    d_cap = graph.total_max_latency()
-    d = {
-        p: model.add_var(f"d[{p}]", lb=0.0, ub=d_cap)
-        for p in partitions
-    }
-    d_name = {p: f"d[{p}]" for p in partitions}
-    eta = model.add_var("eta", lb=1, ub=n, vtype=VarType.INTEGER)
-
-    def y_sum(task: str, parts, dp_indices=None):
-        count = len(graph.task(task).design_points)
-        indices = dp_indices or range(1, count + 1)
-        return lin_sum(y[(task, p, k)] for p in parts for k in indices)
-
-    # -- (1) uniqueness ------------------------------------------------------
-    for task in graph:
-        model.add_constr(
-            y_sum(task.name, partitions) == 1, name=f"uniq[{task.name}]"
-        )
-
-    # -- (2) temporal order ---------------------------------------------------
-    if options.order_mode == "pairwise":
-        # t2 in partition p forbids t1 in any later partition.
-        for src, dst, _volume in graph.edges:
-            for p in partitions:
-                if p == n:
-                    continue  # no later partition exists
-                model.add_constr(
-                    y_sum(dst, [p]) + y_sum(src, range(p + 1, n + 1)) <= 1,
-                    name=f"order[{src},{dst},{p}]",
-                )
-    else:
-        for src, dst, _volume in graph.edges:
-            src_index = lin_sum(
-                p * y[(src, p, k)]
-                for p in partitions
-                for k in range(1, len(graph.task(src).design_points) + 1)
-            )
-            dst_index = lin_sum(
-                p * y[(dst, p, k)]
-                for p in partitions
-                for k in range(1, len(graph.task(dst).design_points) + 1)
-            )
-            model.add_constr(
-                src_index <= dst_index, name=f"order[{src},{dst}]"
-            )
-
-    # -- (4)-(5) crossing variables ---------------------------------------------
-    w: dict[tuple[int, str, str], object] = {}
-    for p in range(2, n + 1):
-        for src, dst, _volume in graph.edges:
-            name = _w_name(p, src, dst)
-            var = model.add_binary(name)
-            w[(p, src, dst)] = var
-            before = y_sum(src, range(1, p))
-            at_or_after = y_sum(dst, range(p, n + 1))
-            model.add_constr(
-                var >= before + at_or_after - 1, name=f"{name}_ge"
-            )
-            if options.two_sided_w:
-                model.add_constr(var <= before, name=f"{name}_le_src")
-                model.add_constr(var <= at_or_after, name=f"{name}_le_dst")
-
-    # -- (3) memory ----------------------------------------------------------------
-    for p in partitions:
-        terms = []
-        for src, dst, volume in graph.edges:
-            if p >= 2 and volume:
-                terms.append(volume * w[(p, src, dst)])
-        if options.include_env_memory:
-            for task_name, volume in graph.env_inputs.items():
-                if volume:
-                    terms.append(
-                        volume * y_sum(task_name, range(p, n + 1))
-                    )
-            for task_name, volume in graph.env_outputs.items():
-                if volume and p >= 2:
-                    terms.append(volume * y_sum(task_name, range(1, p)))
-        if terms:
-            model.add_constr(
-                lin_sum(terms) <= processor.memory_capacity,
-                name=f"memory[{p}]",
-            )
-
-    # -- (6) resource ------------------------------------------------------------------
-    for p in partitions:
-        usage = lin_sum(
-            task.design_points[k - 1].area * y[(task.name, p, k)]
-            for task in graph
-            for k in range(1, len(task.design_points) + 1)
-        )
-        model.add_constr(
-            usage <= processor.resource_capacity, name=f"resource[{p}]"
-        )
-    # Additional resource types ("similar equations can be added if
-    # multiple resource types exist in the FPGA", Section 3.2.3).
-    for kind, capacity in processor.extra_capacities:
-        for p in partitions:
-            usage = lin_sum(
-                task.design_points[k - 1].resource_usage(kind)
-                * y[(task.name, p, k)]
-                for task in graph
-                for k in range(1, len(task.design_points) + 1)
-            )
-            if usage.terms:
-                model.add_constr(
-                    usage <= capacity, name=f"resource_{kind}[{p}]"
-                )
-
-    # -- (7) per-partition latency ---------------------------------------------------
-    latency_mode = options.latency_mode
-    if latency_mode == "auto":
-        latency_mode = (
-            "paths"
-            if count_paths(graph) <= options.path_limit
-            else "levels"
-        )
-    if latency_mode == "paths":
-        paths = enumerate_paths(graph, limit=options.path_limit)
-        for index, path in enumerate(paths):
-            for p in partitions:
-                load = lin_sum(
-                    graph.task(t).design_points[k - 1].latency * y[(t, p, k)]
-                    for t in path
-                    for k in range(1, len(graph.task(t).design_points) + 1)
-                )
-                model.add_constr(load <= d[p], name=f"pathlat[{index},{p}]")
-    else:
-        # Start-time big-M encoding: polynomial in |T| + |E| regardless
-        # of the number of paths.  s[t] is the task's start offset within
-        # its own partition; an edge inside one partition forces the
-        # consumer after the producer; d_p dominates every member's
-        # finish time.  Exact on integer points, weaker as an LP.
-        big_m = d_cap
-
-        def duration(t: str):
-            task = graph.task(t)
-            return lin_sum(
-                task.design_points[k - 1].latency * y[(t, p, k)]
-                for p in partitions
-                for k in range(1, len(task.design_points) + 1)
-            )
-
-        s = {
-            task.name: model.add_var(f"s[{task.name}]", lb=0.0, ub=d_cap)
-            for task in graph
-        }
-        for src, dst, _volume in graph.edges:
-            same = model.add_var(f"same[{src},{dst}]", lb=0.0, ub=1.0)
-            for p in partitions:
-                model.add_constr(
-                    same >= y_sum(src, [p]) + y_sum(dst, [p]) - 1,
-                    name=f"same[{src},{dst},{p}]",
-                )
-            model.add_constr(
-                s[dst] >= s[src] + duration(src) - big_m * (1 - same),
-                name=f"prec[{src},{dst}]",
-            )
-        for task in graph:
-            for p in partitions:
-                model.add_constr(
-                    d[p]
-                    >= s[task.name]
-                    + duration(task.name)
-                    - big_m * (1 - y_sum(task.name, [p])),
-                    name=f"finish[{task.name},{p}]",
-                )
-
-    # Valid inequality: every used partition holds at most R_max area, so
-    # eta * R_max bounds the total area of the chosen design points.  The
-    # cut removes no integer solution but stops the LP relaxation from
-    # pretending one reconfiguration suffices, which makes the LP latency
-    # bound useful in the large-C_T regime.
-    total_area = lin_sum(
-        task.design_points[k - 1].area * y[(task.name, p, k)]
-        for task in graph
-        for p in partitions
-        for k in range(1, len(task.design_points) + 1)
+    scenario = get_scenario(options.scenario)
+    model_name = f"tp_{graph.name}_N{num_partitions}"
+    if scenario.id != "paper_oneshot":
+        model_name += f"_{scenario.id}"
+    ctx = BuildContext(
+        graph=graph,
+        processor=processor,
+        num_partitions=num_partitions,
+        options=options,
+        model=Model(model_name),
+        d_max=d_max,
+        d_min=d_min,
+        include_lb=include_lb,
+        params=scenario.resolved_params(options),
     )
-    model.add_constr(
-        processor.resource_capacity * eta >= total_area,
-        name="eta_area_cut",
-    )
-
-    # -- (8) partitions used ------------------------------------------------------------------
-    for sink in graph.sinks():
-        sink_index = lin_sum(
-            p * y[(sink, p, k)]
-            for p in partitions
-            for k in range(1, len(graph.task(sink).design_points) + 1)
-        )
-        model.add_constr(eta >= sink_index, name=f"eta[{sink}]")
-
-    # -- symmetry breaking (extension; see FormulationOptions) -------------------------
-    if options.symmetry_breaking:
-        for group in interchangeable_groups(graph):
-            for first, second in zip(group, group[1:]):
-                first_index = lin_sum(
-                    p * y[(first, p, k)]
-                    for p in partitions
-                    for k in range(
-                        1, len(graph.task(first).design_points) + 1
-                    )
-                )
-                second_index = lin_sum(
-                    p * y[(second, p, k)]
-                    for p in partitions
-                    for k in range(
-                        1, len(graph.task(second).design_points) + 1
-                    )
-                )
-                model.add_constr(
-                    first_index <= second_index,
-                    name=f"sym[{first},{second}]",
-                )
-
-    # -- (9)-(10) latency window ----------------------------------------------------------------
-    total_latency = (
-        lin_sum(d.values()) + processor.reconfiguration_time * eta
-    )
-    model.add_constr(total_latency <= d_max, name="latency_ub")
-    if force_lb or d_min > 0:
-        model.add_constr(total_latency >= d_min, name="latency_lb")
-
-    if options.minimize_latency:
-        model.set_objective(
-            lin_sum(d.values()) + processor.reconfiguration_time * eta
-        )
-
-    return model, y_name, d_name
+    row_groups = build_scenario(scenario, ctx)
+    return ctx.model, ctx.y_name, ctx.d_name, row_groups
 
 
 def build_model(
@@ -513,7 +295,7 @@ def build_model(
     if d_max < d_min:
         raise ValueError(f"empty latency window [{d_min}, {d_max}]")
     options = options or FormulationOptions()
-    model, y_name, d_name = _populate_ilp(
+    model, y_name, d_name, row_groups = _populate_ilp(
         graph, processor, num_partitions, options, d_max, d_min
     )
     return TemporalPartitioningModel(
@@ -527,6 +309,7 @@ def build_model(
         y_name=y_name,
         d_name=d_name,
         eta_name="eta",
+        row_groups=row_groups,
     )
 
 
@@ -573,51 +356,70 @@ class ModelTemplate:
         self.processor = processor
         self.num_partitions = num_partitions
         self.options = options or FormulationOptions()
+        scenario = get_scenario(self.options.scenario)
         with tracer.span("template_populate", num_partitions=num_partitions):
-            model, y_name, d_name = _populate_ilp(
+            model, y_name, d_name, row_groups = _populate_ilp(
                 graph,
                 processor,
                 num_partitions,
                 self.options,
                 d_max=0.0,
                 d_min=0.0,
-                force_lb=True,
+                include_lb=True,
             )
         self._model = model
         self._y_name = y_name
         self._d_name = d_name
         with tracer.span("template_compile") as sp:
             compiled = model.compile()
+            compiled.row_groups = row_groups
             sp.annotate(
                 ub_rows=compiled.num_ub_rows,
                 eq_rows=compiled.num_eq_rows,
                 vars=compiled.num_vars,
             )
-        kind_ub, self._ub_row = compiled.row_position("latency_ub")
-        kind_lb, self._lb_row = compiled.row_position("latency_lb")
-        last = compiled.num_ub_rows - 1
+        # The window family's rows are located by row-group provenance,
+        # not positional convention.  The registry guarantees the family
+        # builds last, so dropping its lower-bound row is a zero-copy
+        # prefix truncation and every other family's span is untouched.
+        window = compiled.row_group(scenario.window_family.id)
+        names = tuple(
+            compiled.ub_names[i] for i in window.ub_rows()
+        )
         if (
-            kind_ub != "ub"
-            or kind_lb != "ub"
-            or self._lb_row != last
-            or self._ub_row != last - 1
+            window.num_eq != 0
+            or window.num_ub != 2
+            or window.ub_stop != compiled.num_ub_rows
+            or names != WINDOW_ROW_NAMES
         ):
             raise AssertionError(
-                "window rows must be the last two inequality rows; "
-                "_populate_ilp no longer adds them last"
+                f"window family {scenario.window_family.id!r} must "
+                f"contribute exactly the trailing inequality rows "
+                f"{WINDOW_ROW_NAMES}; got span {window} with names {names}"
             )
+        self._ub_row = window.ub_start
+        self._lb_row = window.ub_start + 1
         self._full = compiled
         # Zero-copy prefix view without the latency_lb row, for windows
         # whose lower edge is zero (build_model omits the row there).
-        self._no_lb = compiled.truncate_ub_rows(last)
-        #: Inequality-row indices of the resource rows (6) — the
-        #: window-independent positive-binary knapsack rows that cover
-        #: cuts may be separated from.  Valid for every sibling: cuts
-        #: and window patches never reorder the prefix.
-        self.resource_row_indices: tuple[int, ...] = tuple(
-            i
-            for i, name in enumerate(compiled.ub_names)
-            if name is not None and name.startswith("resource")
+        self._no_lb = compiled.truncate_ub_rows(self._lb_row)
+        #: Id of the scenario family whose rows cover cuts strengthen
+        #: (the positive-binary knapsack capacity rows); stamped onto
+        #: every cut the executor separates.
+        self.cover_cut_family: str | None = next(
+            (fam.id for fam in scenario.families if fam.cover_cuttable),
+            None,
+        )
+        #: Inequality-row indices of the cover-cuttable capacity rows
+        #: (equation (6) in the paper scenario) — window-independent
+        #: positive-binary knapsack rows that cover cuts may be
+        #: separated from.  Derived from row-group provenance; valid for
+        #: every sibling: cuts and window patches never reorder the
+        #: prefix.
+        self.resource_row_indices: tuple[int, ...] = (
+            tuple(compiled.row_group(self.cover_cut_family).ub_rows())
+            if self.cover_cut_family is not None
+            else ()
         )
         # Persistent cover-cut pool (see add_pool_cuts): cuts separated
         # once on the resource rows are valid for every window, so they
@@ -814,9 +616,17 @@ def warm_values_from_design(
     for p in range(1, n + 1):
         values[tp_model.d_name[p]] = float(design.partition_latency(p))
     values[tp_model.eta_name] = float(design.num_partitions_used)
-    for p in range(2, n + 1):
+    # Crossing indicators exist from partition num_slots+1 on and fire
+    # when the producer's slot has been reconfigured (num_slots steps
+    # later) while the consumer has not run yet; num_slots is 1 in the
+    # paper scenario (w[p] = 1 iff part[src] < p <= part[dst]).
+    scenario = get_scenario(tp_model.options.scenario)
+    resident = scenario.num_slots(tp_model.options)
+    for p in range(1 + resident, n + 1):
         for src, dst, _volume in graph.edges:
-            values[_w_name(p, src, dst)] = float(part[src] < p <= part[dst])
+            values[_w_name(p, src, dst)] = float(
+                part[src] + resident <= p <= part[dst]
+            )
     # Levels-mode extras: start offsets within each partition and the
     # same-partition edge indicators.  Detected by variable presence so
     # "auto" templates are handled regardless of how the mode resolved.

@@ -56,7 +56,10 @@ __all__ = [
 #:   the full :class:`repro.core.bounds.PartitionRange`; the search trace
 #:   serializes via ``include_trace``; :meth:`PartitioningOutcome
 #:   .from_dict` restores an outcome from the payload.
-OUTCOME_SCHEMA_VERSION = 2
+#: * 3 — adds ``scenario``, the id of the registered formulation
+#:   scenario that produced the design (``paper_oneshot`` for every
+#:   pre-v3 payload).
+OUTCOME_SCHEMA_VERSION = 3
 
 
 @dataclass(frozen=True)
@@ -127,6 +130,9 @@ class PartitioningOutcome:
     #: Execution-layer metrics (per-solve stats, backend wins, cache hit
     #: rate); ``None`` only for outcomes built outside the normal path.
     telemetry: RunTelemetry | None = None
+    #: Id of the formulation scenario the design was solved under (see
+    #: :mod:`repro.core.families`).
+    scenario: str = "paper_oneshot"
 
     @property
     def feasible(self) -> bool:
@@ -164,6 +170,7 @@ class PartitioningOutcome:
             }
         payload = {
             "schema_version": OUTCOME_SCHEMA_VERSION,
+            "scenario": self.scenario,
             "feasible": self.feasible,
             "degraded": self.degraded,
             "total_latency": self.total_latency,
@@ -200,8 +207,9 @@ class PartitioningOutcome:
     ) -> "PartitioningOutcome":
         """Restore an outcome from a :meth:`to_dict` payload.
 
-        Accepts schema versions 1 and 2 (version 1 payloads predate the
-        ``schema_version`` key).  The design is only reconstructed when
+        Accepts schema versions 1 through 3 (version 1 payloads predate
+        the ``schema_version`` key; pre-v3 payloads default ``scenario``
+        to ``paper_oneshot``).  The design is only reconstructed when
         the originating ``graph`` is supplied — placements reference
         design points by label, which live on the graph's tasks; without
         it the summary fields round-trip and ``design`` stays ``None``.
@@ -265,6 +273,7 @@ class PartitioningOutcome:
             stopped_by_time=bool(payload.get("stopped_by_time", False)),
             degraded=bool(payload.get("degraded", False)),
             telemetry=telemetry,
+            scenario=str(payload.get("scenario", "paper_oneshot")),
         )
 
 
@@ -318,6 +327,7 @@ class TemporalPartitioner:
             stopped_by_time=result.stopped_by_time,
             degraded=result.degraded,
             telemetry=result.telemetry,
+            scenario=config.formulation.scenario,
         )
 
     def partition(

@@ -31,7 +31,12 @@ from repro.ilp.errors import (
     SolverError,
     UnboundedError,
 )
-from repro.ilp.compile import CompiledModel, compile_model, ensure_compiled
+from repro.ilp.compile import (
+    CompiledModel,
+    RowGroup,
+    compile_model,
+    ensure_compiled,
+)
 from repro.ilp.expr import Constraint, LinExpr, Sense, Variable, VarType, lin_sum
 from repro.ilp.linearize import product_binary, product_of_sums
 from repro.ilp.lp_writer import lp_string, write_lp
@@ -48,6 +53,7 @@ from repro.ilp.status import Solution, SolveStatus
 __all__ = [
     "BackendNotAvailableError",
     "CompiledModel",
+    "RowGroup",
     "Constraint",
     "ExpressionError",
     "IlpError",

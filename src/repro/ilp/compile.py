@@ -48,7 +48,53 @@ from repro.ilp.expr import Sense, Variable
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.ilp.model import Model, StandardForm
 
-__all__ = ["CompiledModel", "compile_model", "ensure_compiled"]
+__all__ = ["CompiledModel", "RowGroup", "compile_model", "ensure_compiled"]
+
+
+@dataclass(frozen=True)
+class RowGroup:
+    """Provenance of one constraint family in the compiled blocks.
+
+    Families are built sequentially (see
+    :mod:`repro.core.families`), so each family's rows occupy one
+    contiguous span per block: ``[ub_start, ub_stop)`` in the
+    inequality block and ``[eq_start, eq_stop)`` in the equality
+    block.  Consumers patch or scan rows *by family id* through
+    :meth:`CompiledModel.row_group` instead of relying on positional
+    conventions or name-prefix scans.
+    """
+
+    family: str
+    ub_start: int
+    ub_stop: int
+    eq_start: int
+    eq_stop: int
+
+    @property
+    def num_ub(self) -> int:
+        return self.ub_stop - self.ub_start
+
+    @property
+    def num_eq(self) -> int:
+        return self.eq_stop - self.eq_start
+
+    def ub_rows(self) -> range:
+        """Inequality-row indices owned by this family."""
+        return range(self.ub_start, self.ub_stop)
+
+    def eq_rows(self) -> range:
+        """Equality-row indices owned by this family."""
+        return range(self.eq_start, self.eq_stop)
+
+    def clipped_ub(self, num_rows: int) -> "RowGroup":
+        """The group after truncating the ub block to ``num_rows``."""
+        return RowGroup(
+            family=self.family,
+            ub_start=min(self.ub_start, num_rows),
+            ub_stop=min(self.ub_stop, num_rows),
+            eq_start=self.eq_start,
+            eq_stop=self.eq_stop,
+        )
 
 
 def _frozen(array: np.ndarray) -> np.ndarray:
@@ -128,6 +174,12 @@ class CompiledModel:
     ub: np.ndarray
     is_integral: np.ndarray
     maximize: bool = False
+    #: Named row-group provenance (family id -> contiguous row spans),
+    #: attached by builders that know the family structure (the
+    #: formulation layer); ``None`` for models compiled without one.
+    #: Purely metadata: excluded from :meth:`fingerprint`, which hashes
+    #: the raw arrays only.
+    row_groups: "tuple[RowGroup, ...] | None" = None
     _views: _ViewCache = field(default_factory=_ViewCache, repr=False)
     _var_index: dict[str, int] | None = field(default=None, repr=False)
     _fingerprints: dict[tuple[str, ...], str] = field(
@@ -242,6 +294,17 @@ class CompiledModel:
 
     # -- incremental views ---------------------------------------------------
 
+    def row_group(self, family: str) -> RowGroup:
+        """The row span of one constraint family, by family id.
+
+        Raises :class:`KeyError` when the model carries no provenance
+        (``row_groups is None``) or the family is unknown.
+        """
+        for group in self.row_groups or ():
+            if group.family == family:
+                return group
+        raise KeyError(family)
+
     def row_position(self, name: str) -> tuple[str, int]:
         """Locate a named row: ``("ub"|"eq", index within its block)``.
 
@@ -287,6 +350,7 @@ class CompiledModel:
             ub=self.ub,
             is_integral=self.is_integral,
             maximize=self.maximize,
+            row_groups=self.row_groups,
             _views=self._views,
             _var_index=self._var_index,
         )
@@ -321,6 +385,7 @@ class CompiledModel:
             ub=self.ub,
             is_integral=self.is_integral,
             maximize=self.maximize,
+            row_groups=self.row_groups,
             _views=self._views,
             _var_index=self._var_index,
         )
@@ -356,6 +421,13 @@ class CompiledModel:
             ub=self.ub,
             is_integral=self.is_integral,
             maximize=self.maximize,
+            row_groups=(
+                None
+                if self.row_groups is None
+                else tuple(
+                    group.clipped_ub(num_rows) for group in self.row_groups
+                )
+            ),
             _views=self._views,
             _var_index=self._var_index,
         )
@@ -430,6 +502,9 @@ class CompiledModel:
             ub=self.ub,
             is_integral=self.is_integral,
             maximize=self.maximize,
+            # Appended cut rows belong to no family; the existing spans
+            # stay valid because appending never reorders the prefix.
+            row_groups=self.row_groups,
             _var_index=self._var_index,
         )
 

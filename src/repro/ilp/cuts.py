@@ -27,10 +27,18 @@ _EPS = 1e-9
 
 @dataclass(frozen=True)
 class CoverCut:
-    """A cover inequality ``Σ_{j∈cover} x_j ≤ len(cover) − 1``."""
+    """A cover inequality ``Σ_{j∈cover} x_j ≤ len(cover) − 1``.
+
+    ``family`` names the constraint family (row-group id, see
+    :class:`repro.ilp.compile.RowGroup`) of the row the cut was
+    separated from — i.e. which family the cut strengthens.  The paper
+    scenario separates from the ``resource`` family (equation (6)); the
+    slot scenario from ``slot_resource``.
+    """
 
     row_index: int
     cover: tuple[int, ...]          # column indices
+    family: str = "resource"
 
     @property
     def rhs(self) -> float:
@@ -77,6 +85,7 @@ def find_cover_cuts(
     max_cuts: int = 50,
     min_violation: float = 1e-4,
     rows: "Sequence[int] | None" = None,
+    family: str = "resource",
 ) -> list[CoverCut]:
     """Separate violated cover inequalities at the LP point ``x_star``.
 
@@ -85,7 +94,8 @@ def find_cover_cuts(
     temporal-partitioning model).  ``rows`` restricts separation to the
     given row indices — the persistent cut pool passes the template's
     window-independent resource rows here so no cut ever derives from a
-    row whose RHS changes between bisection windows.
+    row whose RHS changes between bisection windows.  ``family`` stamps
+    each cut with the constraint-family id those rows belong to.
     """
     cuts: list[CoverCut] = []
     candidates = range(a_ub.shape[0]) if rows is None else rows
@@ -104,7 +114,7 @@ def find_cover_cuts(
         cover = _minimal_cover(row, float(b_ub[i]), x_star, interesting)
         if cover is None:
             continue
-        cut = CoverCut(row_index=i, cover=cover)
+        cut = CoverCut(row_index=i, cover=cover, family=family)
         if cut.violation(x_star) >= min_violation:
             cuts.append(cut)
             if len(cuts) >= max_cuts:

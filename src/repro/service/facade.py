@@ -286,6 +286,7 @@ class PartitionService:
             stopped_by_time=result.stopped_by_time,
             degraded=result.degraded,
             telemetry=result.telemetry,
+            scenario=config.formulation.scenario,
         )
         self.tracer.event(
             "service_request_completed",

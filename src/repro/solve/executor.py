@@ -759,6 +759,7 @@ class SolveExecutor:
                 cuts = find_cover_cuts(
                     form.a_ub, form.b_ub, is_binary, x,
                     rows=template.resource_row_indices,
+                    family=template.cover_cut_family or "resource",
                 )
                 added = template.add_pool_cuts(cuts) if cuts else 0
                 if added:

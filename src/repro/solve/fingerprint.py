@@ -62,6 +62,11 @@ class ModelFingerprint:
     num_partitions: int
     d_min: float
     d_max: float
+    #: Id of the scenario whose families built the model.  Annotation
+    #: only: scenarios build different constraint systems, so distinct
+    #: scenarios already yield distinct ``base`` digests — cache keys
+    #: (and warm disk caches) are unaffected by this field.
+    scenario: str = "paper_oneshot"
 
     @property
     def window(self) -> tuple[float, float]:
@@ -72,9 +77,10 @@ class ModelFingerprint:
         return self.base == other.base
 
     def __str__(self) -> str:  # compact, log-friendly
+        suffix = "" if self.scenario == "paper_oneshot" else f"#{self.scenario}"
         return (
             f"{self.base[:12]}@N{self.num_partitions}"
-            f"[{self.d_min:g},{self.d_max:g}]"
+            f"[{self.d_min:g},{self.d_max:g}]{suffix}"
         )
 
 
@@ -144,4 +150,5 @@ def fingerprint_model(tp_model: "TemporalPartitioningModel") -> ModelFingerprint
         num_partitions=tp_model.num_partitions,
         d_min=float(tp_model.d_min),
         d_max=float(tp_model.d_max),
+        scenario=getattr(tp_model.options, "scenario", "paper_oneshot"),
     )

@@ -1,0 +1,120 @@
+"""Registry-driven conformance: checks derive from the scenario spec.
+
+:func:`repro.analysis.conformance.check_conformance` no longer carries
+a hand-maintained list of checks — it walks the registered scenario's
+families and dispatches each family's named checker with the family's
+own paper-equation tags.  These tests close the loop for **every**
+registered scenario: each family that names a checker is corrupted
+(a row dropped from its span) and the emitted diagnostic must carry a
+tag from that family's ``paper_eq``; the untouched model must be
+conformant.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.conformance import CHECKERS, check_conformance
+from repro.arch import ReconfigurableProcessor
+from repro.core import FormulationOptions, bounds, build_model, get_scenario, scenario_ids
+from repro.taskgraph.library import ar_filter
+
+#: One representative row name per checker id, as a function of the
+#: model — used to corrupt exactly the family under test.
+ROW_PICKERS = {
+    "uniqueness": lambda tp: "uniq[T3]",
+    "crossing": lambda tp: next(
+        c.name
+        for c in tp.model.constraints
+        if c.name and c.name.startswith("w[") and c.name.endswith("_ge")
+    ),
+    "resource": lambda tp: next(
+        c.name
+        for c in tp.model.constraints
+        if c.name and c.name.startswith("resource[")
+    ),
+    "eta": lambda tp: next(
+        c.name
+        for c in tp.model.constraints
+        if c.name and c.name.startswith("eta[")
+    ),
+    "latency_window": lambda tp: "latency_ub",
+    "symmetry": lambda tp: next(
+        c.name
+        for c in tp.model.constraints
+        if c.name and c.name.startswith("sym[")
+    ),
+}
+
+
+def build(scenario_id: str) -> object:
+    graph = ar_filter()
+    processor = ReconfigurableProcessor(
+        resource_capacity=800.0,
+        memory_capacity=256.0,
+        reconfiguration_time=20.0,
+        name="conformance-device",
+    )
+    n = 3
+    options = FormulationOptions(
+        scenario=scenario_id, symmetry_breaking=True
+    )
+    d_max = bounds.max_latency(graph, n, processor.reconfiguration_time)
+    return build_model(graph, processor, n, d_max, 0.0, options)
+
+
+def conformance(tp):
+    return check_conformance(
+        tp.model.compile(),
+        tp.graph,
+        tp.num_partitions,
+        options=tp.options,
+        d_min=tp.d_min,
+    )
+
+
+def checkable_families():
+    for scenario_id in scenario_ids():
+        for family in get_scenario(scenario_id).families:
+            if family.conformance is not None:
+                yield pytest.param(
+                    scenario_id, family.id,
+                    id=f"{scenario_id}/{family.id}",
+                )
+
+
+class TestRegistryCoverage:
+    def test_every_named_checker_exists(self):
+        for scenario_id in scenario_ids():
+            for family in get_scenario(scenario_id).families:
+                if family.conformance is not None:
+                    assert family.conformance in CHECKERS, (
+                        scenario_id, family.id, family.conformance,
+                    )
+
+    def test_every_checked_family_declares_equation_tags(self):
+        for scenario_id in scenario_ids():
+            for family in get_scenario(scenario_id).families:
+                if family.conformance is not None:
+                    assert family.paper_eq, (scenario_id, family.id)
+
+    @pytest.mark.parametrize("scenario_id", sorted(scenario_ids()))
+    def test_clean_model_is_conformant(self, scenario_id):
+        tp = build(scenario_id)
+        assert conformance(tp) == []
+
+
+class TestCorruptionPerFamily:
+    @pytest.mark.parametrize("scenario_id,family_id", checkable_families())
+    def test_dropped_row_reports_the_familys_equation(
+        self, scenario_id, family_id
+    ):
+        scenario = get_scenario(scenario_id)
+        family = scenario.family(family_id)
+        tp = build(scenario_id)
+        tp.model.remove_constr(ROW_PICKERS[family.conformance](tp))
+        diags = conformance(tp)
+        assert diags, f"{scenario_id}/{family_id}: corruption not detected"
+        assert all(d.paper_eq in family.paper_eq for d in diags), [
+            (d.code, d.paper_eq) for d in diags
+        ]

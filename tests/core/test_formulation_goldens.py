@@ -1,0 +1,144 @@
+"""Bit-identity of the default scenario against committed goldens.
+
+``tests/golden/paper_oneshot_identity.json`` (written by
+``tools/capture_goldens.py``) pins compiled-model fingerprints and
+search trajectories captured before the formulation stack was
+decomposed into registered constraint families.  These tests recompute
+every digest and every trajectory: any change to the ``paper_oneshot``
+scenario — row order, variable order, coefficients, or search behavior
+— fails here.  New scenarios must register their own families instead
+of touching the paper's.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.arch import ReconfigurableProcessor
+from repro.core import (
+    PartitionerConfig,
+    PartitionRequest,
+    RefinementConfig,
+    SolverSettings,
+    TemporalPartitioner,
+    bounds,
+    build_model,
+)
+from repro.core.formulation import FormulationOptions, ModelTemplate
+from repro.solve.fingerprint import WINDOW_ROW_NAMES
+from repro.taskgraph.library import ar_filter, dct_4x4
+
+GOLDEN = Path(__file__).resolve().parent.parent / "golden"
+
+CASES = {
+    "ar": {
+        "graph": ar_filter,
+        "processor": dict(
+            resource_capacity=400.0,
+            memory_capacity=128.0,
+            reconfiguration_time=20.0,
+            name="xc6264",
+        ),
+    },
+    "dct2": {
+        "graph": lambda: dct_4x4(rows=2),
+        "processor": dict(
+            resource_capacity=576.0,
+            memory_capacity=2048.0,
+            reconfiguration_time=30.0,
+            name="R576",
+        ),
+    },
+}
+
+OPTION_GRID = [
+    ("pairwise", False),
+    ("pairwise", True),
+    ("index", False),
+    ("index", True),
+]
+
+
+@pytest.fixture(scope="module")
+def golden() -> dict:
+    return json.loads((GOLDEN / "paper_oneshot_identity.json").read_text())
+
+
+class TestCompiledFingerprints:
+    @pytest.mark.parametrize("case", sorted(CASES))
+    @pytest.mark.parametrize("order_mode,two_sided", OPTION_GRID)
+    def test_fingerprints_match_golden(
+        self, golden, case, order_mode, two_sided
+    ):
+        spec = CASES[case]
+        graph = spec["graph"]()
+        processor = ReconfigurableProcessor(**spec["processor"])
+        expected = golden["fingerprints"][case]
+        n = expected["num_partitions"]
+        d_max = expected["d_max"]
+        options = FormulationOptions(
+            order_mode=order_mode, two_sided_w=two_sided
+        )
+        want = expected[f"{order_mode}/two_sided={two_sided}"]
+
+        full = build_model(graph, processor, n, d_max, 0.0, options)
+        assert full.model.compile().fingerprint() == want["full"]
+
+        with_lb = build_model(
+            graph, processor, n, d_max, d_max / 2.0, options
+        )
+        assert with_lb.model.compile().fingerprint() == want["with_lb"]
+
+        template = ModelTemplate(graph, processor, n, options)
+        assert template.base_fingerprint == want["base"]
+        assert want["template_base_matches_fresh"] == (
+            template.base_fingerprint
+            == full.model.compile().fingerprint(skip_rows=WINDOW_ROW_NAMES)
+        )
+
+    def test_d_max_matches_bounds(self, golden):
+        # The golden's window is MaxLatency(N); if bounds drift the
+        # fingerprints above would silently compare a different model.
+        for case, spec in CASES.items():
+            graph = spec["graph"]()
+            processor = ReconfigurableProcessor(**spec["processor"])
+            expected = golden["fingerprints"][case]
+            assert expected["d_max"] == bounds.max_latency(
+                graph, expected["num_partitions"],
+                processor.reconfiguration_time,
+            )
+
+
+class TestSearchTrajectories:
+    @pytest.mark.parametrize("case", sorted(CASES))
+    def test_trajectory_matches_golden(self, golden, case):
+        spec = CASES[case]
+        graph = spec["graph"]()
+        processor = ReconfigurableProcessor(**spec["processor"])
+        config = PartitionerConfig(
+            search=RefinementConfig(
+                delta=10.0 if case == "ar" else 800.0, time_budget=120.0
+            ),
+            solver=SolverSettings(backend="highs", time_limit=30.0),
+        )
+        outcome = TemporalPartitioner(processor, config).solve(
+            PartitionRequest(graph=graph)
+        )
+        expected = golden["trajectories"][case]
+        assert outcome.total_latency == expected["total_latency"]
+        assert outcome.num_partitions == expected["num_partitions"]
+        rows = [
+            [
+                record.num_partitions,
+                record.iteration,
+                record.d_min,
+                record.d_max,
+                record.achieved,
+            ]
+            for record in outcome.trace
+        ]
+        assert rows == expected["rows"]
+        assert outcome.scenario == "paper_oneshot"

@@ -2,8 +2,10 @@
 
 ``tests/golden/outcome_v1.json`` is a payload in the pre-redesign
 format — no ``schema_version`` key, no ``partition_bounds`` block, no
-service-era telemetry counters.  ``outcome_v2.json`` is the current
-format.  Both must keep parsing; new schema bumps add a fixture here.
+service-era telemetry counters.  ``outcome_v2.json`` adds explicit
+versioning and round-trippable design labels; ``outcome_v3.json`` is
+the current format with the ``scenario`` id.  All must keep parsing;
+new schema bumps add a fixture here.
 """
 
 from __future__ import annotations
@@ -23,8 +25,11 @@ def load(name: str) -> dict:
     return json.loads((GOLDEN / name).read_text())
 
 
+ALL_VERSIONS = ["outcome_v1.json", "outcome_v2.json", "outcome_v3.json"]
+
+
 class TestGoldenCompatibility:
-    @pytest.mark.parametrize("name", ["outcome_v1.json", "outcome_v2.json"])
+    @pytest.mark.parametrize("name", ALL_VERSIONS)
     def test_golden_parses_without_graph(self, name):
         outcome = PartitioningOutcome.from_dict(load(name))
         assert outcome.total_latency == 80.0
@@ -34,7 +39,7 @@ class TestGoldenCompatibility:
         assert len(outcome.trace.records) == 1
         assert outcome.trace.records[0].backend == "highs"
 
-    @pytest.mark.parametrize("name", ["outcome_v1.json", "outcome_v2.json"])
+    @pytest.mark.parametrize("name", ALL_VERSIONS)
     def test_golden_parses_with_graph(self, name, chain_graph):
         outcome = PartitioningOutcome.from_dict(load(name), graph=chain_graph)
         assert outcome.feasible
@@ -49,7 +54,12 @@ class TestGoldenCompatibility:
         assert outcome.partition_range.lower_bound == 1
         assert outcome.partition_range.stop == 1
 
-    def test_current_format_matches_the_v2_golden_shape(
+    @pytest.mark.parametrize("name", ["outcome_v1.json", "outcome_v2.json"])
+    def test_pre_v3_payloads_default_to_paper_oneshot(self, name):
+        outcome = PartitioningOutcome.from_dict(load(name))
+        assert outcome.scenario == "paper_oneshot"
+
+    def test_current_format_matches_the_v3_golden_shape(
         self, chain_graph, ar_device, fast_settings
     ):
         from repro.core import (
@@ -62,7 +72,7 @@ class TestGoldenCompatibility:
             ar_device, PartitionerConfig(solver=fast_settings)
         ).solve(PartitionRequest(graph=chain_graph))
         payload = outcome.to_dict(include_trace=True)
-        golden = load("outcome_v2.json")
+        golden = load("outcome_v3.json")
         assert set(payload) == set(golden)
         assert set(payload["partition_bounds"]) == set(
             golden["partition_bounds"]
@@ -75,19 +85,20 @@ class TestGoldenCompatibility:
 
 class TestVersionGate:
     def test_future_schema_version_is_rejected(self):
-        payload = load("outcome_v2.json")
+        payload = load("outcome_v3.json")
         payload["schema_version"] = OUTCOME_SCHEMA_VERSION + 1
         with pytest.raises(ValueError, match="schema_version"):
             PartitioningOutcome.from_dict(payload)
 
     def test_round_trip_preserves_everything(self, chain_graph):
-        payload = load("outcome_v2.json")
+        payload = load("outcome_v3.json")
         outcome = PartitioningOutcome.from_dict(payload, graph=chain_graph)
         again = outcome.to_dict(include_trace=True)
         # Telemetry percentiles are recomputed from per-solve records
         # (absent in the golden), so compare the stable summary fields.
         for key in (
             "schema_version",
+            "scenario",
             "feasible",
             "degraded",
             "total_latency",

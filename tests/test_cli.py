@@ -246,6 +246,59 @@ class TestAnalyze:
         assert "exit codes" in capsys.readouterr().out
 
 
+class TestScenarioFlag:
+    def test_analyze_slot_scenario_is_clean(self, ar_json, capsys):
+        code = main([
+            "analyze", ar_json,
+            "--r-max", "800", "--m-max", "256", "--ct", "20", "-n", "4",
+            "--scenario", "slot_coresident", "--strict",
+        ])
+        assert code == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_analyze_json_reports_the_scenario(self, ar_json, capsys):
+        code = main([
+            "analyze", ar_json,
+            "--r-max", "800", "--m-max", "256", "--ct", "20", "-n", "4",
+            "--scenario", "slot_coresident", "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scenario"] == "slot_coresident"
+        assert payload["ok"] is True
+
+    def test_unknown_scenario_exits_2(self, ar_json, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main([
+                "analyze", ar_json,
+                "--r-max", "400", "-n", "3", "--scenario", "nope",
+            ])
+        assert excinfo.value.code == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_malformed_scenario_param_exits_2(self, ar_json, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main([
+                "analyze", ar_json,
+                "--r-max", "400", "-n", "3",
+                "--scenario", "slot_coresident",
+                "--scenario-param", "num_slots",
+            ])
+        assert excinfo.value.code == 2
+        assert "KEY=VALUE" in capsys.readouterr().err
+
+    def test_partition_slot_scenario_end_to_end(self, ar_json, capsys):
+        code = main([
+            "partition", ar_json,
+            "--r-max", "800", "--m-max", "256", "--ct", "20",
+            "--delta", "100", "--no-cache",
+            "--scenario", "slot_coresident",
+            "--scenario-param", "num_slots=2",
+        ])
+        assert code == 0
+        assert "total latency" in capsys.readouterr().out
+
+
 class TestBatch:
     def _write_batch(self, tmp_path, ar_json, n=2):
         entries = [{"graph": "ar.json"} for _ in range(n)]

@@ -1,4 +1,4 @@
-"""The repo-specific AST lint (tools/repro_lint.py): rules RL001-RL004.
+"""The repo-specific AST lint (tools/repro_lint.py): rules RL001-RL005.
 
 ``tools`` is not a package, so the module is loaded straight from its
 file path.  Each rule is exercised on seeded sources (violations must be
@@ -258,5 +258,68 @@ class TestRL004DirectBackendCall:
         source = (
             "def f(tp):\n"
             "    return solve_with_highs(tp)  # repro-lint: ignore[RL004]\n"
+        )
+        assert lint_at(tmp_path, "src/repro/core/snippet.py", source) == []
+
+
+class TestRL005PrivateBuilderImports:
+    def test_private_import_from_families_flagged(self, tmp_path):
+        violations = lint_at(
+            tmp_path,
+            "src/repro/solve/snippet.py",
+            "from repro.core.families import _build_assignment\n",
+        )
+        assert [v.rule for v in violations] == ["RL005"]
+        assert "_build_assignment" in violations[0].message
+
+    def test_private_import_from_formulation_flagged(self, tmp_path):
+        violations = lint_at(
+            tmp_path,
+            "tests/snippet.py",
+            "from repro.core.formulation import _populate_ilp\n",
+        )
+        assert [v.rule for v in violations] == ["RL005"]
+
+    def test_each_private_alias_flagged_once(self, tmp_path):
+        violations = lint_at(
+            tmp_path,
+            "src/repro/analysis/snippet.py",
+            "from repro.core.families import _w_name, _y_name, get_scenario\n",
+        )
+        assert [v.rule for v in violations] == ["RL005", "RL005"]
+
+    def test_public_imports_are_fine(self, tmp_path):
+        assert lint_at(
+            tmp_path,
+            "src/repro/analysis/snippet.py",
+            "from repro.core.families import get_scenario, ScenarioSpec\n"
+            "from repro.core.formulation import build_model\n",
+        ) == []
+
+    def test_formulation_stack_is_exempt(self, tmp_path):
+        # formulation.py consumes the builders' private helpers; the two
+        # modules are one stack.
+        for rel in (
+            "src/repro/core/formulation.py",
+            "src/repro/core/families.py",
+        ):
+            assert lint_at(
+                tmp_path, rel,
+                "from repro.core.families import _w_name, _y_name\n",
+            ) == [], rel
+
+    def test_other_modules_private_names_are_not_this_rules_business(
+        self, tmp_path
+    ):
+        assert lint_at(
+            tmp_path,
+            "src/repro/core/snippet.py",
+            "from repro.solve.cache import _digest\n",
+        ) == []
+
+    def test_suppression_comment(self, tmp_path):
+        source = (
+            "from repro.core.families import _w_name"
+            "  # repro-lint: ignore[RL005]\n"
         )
         assert lint_at(tmp_path, "src/repro/core/snippet.py", source) == []

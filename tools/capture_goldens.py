@@ -1,0 +1,140 @@
+#!/usr/bin/env python
+"""Capture golden identity artifacts for the paper_oneshot formulation.
+
+Writes ``tests/golden/paper_oneshot_identity.json``: compiled-model
+fingerprints (full window form, lower-bounded form, windowless template
+base) and search trajectories for the AR filter and a reduced DCT across
+order modes and ``two_sided_w``.  Run from the repo root::
+
+    PYTHONPATH=src python tools/capture_goldens.py
+
+The file is committed; ``tests/core/test_formulation_goldens.py``
+recomputes every digest and trajectory against it, so any refactor of
+the formulation stack must stay bit-identical for the default scenario.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.arch import ReconfigurableProcessor
+from repro.core import (
+    PartitionRequest,
+    PartitionerConfig,
+    RefinementConfig,
+    SolverSettings,
+    TemporalPartitioner,
+    bounds,
+    build_model,
+)
+from repro.core.formulation import FormulationOptions, ModelTemplate
+from repro.solve.fingerprint import WINDOW_ROW_NAMES
+from repro.taskgraph.library import ar_filter, dct_4x4
+
+GOLDEN = Path(__file__).resolve().parent.parent / "tests" / "golden"
+
+CASES = {
+    "ar": {
+        "graph": ar_filter,
+        "num_partitions": 3,
+        "processor": dict(
+            resource_capacity=400.0,
+            memory_capacity=128.0,
+            reconfiguration_time=20.0,
+            name="xc6264",
+        ),
+    },
+    "dct2": {
+        "graph": lambda: dct_4x4(rows=2),
+        "num_partitions": 4,
+        "processor": dict(
+            resource_capacity=576.0,
+            memory_capacity=2048.0,
+            reconfiguration_time=30.0,
+            name="R576",
+        ),
+    },
+}
+
+OPTION_GRID = [
+    ("pairwise", False),
+    ("pairwise", True),
+    ("index", False),
+    ("index", True),
+]
+
+
+def fingerprints() -> dict:
+    out: dict = {}
+    for case, spec in CASES.items():
+        graph = spec["graph"]()
+        processor = ReconfigurableProcessor(**spec["processor"])
+        n = spec["num_partitions"]
+        d_max = bounds.max_latency(graph, n, processor.reconfiguration_time)
+        entry: dict = {"num_partitions": n, "d_max": d_max}
+        for order_mode, two_sided in OPTION_GRID:
+            options = FormulationOptions(
+                order_mode=order_mode, two_sided_w=two_sided
+            )
+            key = f"{order_mode}/two_sided={two_sided}"
+            full = build_model(graph, processor, n, d_max, 0.0, options)
+            with_lb = build_model(
+                graph, processor, n, d_max, d_max / 2.0, options
+            )
+            template = ModelTemplate(graph, processor, n, options)
+            entry[key] = {
+                "full": full.model.compile().fingerprint(),
+                "with_lb": with_lb.model.compile().fingerprint(),
+                "base": template.base_fingerprint,
+                "template_base_matches_fresh": (
+                    template.base_fingerprint
+                    == full.model.compile().fingerprint(
+                        skip_rows=WINDOW_ROW_NAMES
+                    )
+                ),
+            }
+        out[case] = entry
+    return out
+
+
+def trajectories() -> dict:
+    out: dict = {}
+    for case, spec in CASES.items():
+        graph = spec["graph"]()
+        processor = ReconfigurableProcessor(**spec["processor"])
+        config = PartitionerConfig(
+            search=RefinementConfig(
+                delta=10.0 if case == "ar" else 800.0, time_budget=120.0
+            ),
+            solver=SolverSettings(backend="highs", time_limit=30.0),
+        )
+        outcome = TemporalPartitioner(processor, config).solve(
+            PartitionRequest(graph=graph)
+        )
+        out[case] = {
+            "total_latency": outcome.total_latency,
+            "num_partitions": outcome.num_partitions,
+            "rows": [
+                [
+                    record.num_partitions,
+                    record.iteration,
+                    record.d_min,
+                    record.d_max,
+                    record.achieved,
+                ]
+                for record in outcome.trace
+            ],
+        }
+    return out
+
+
+def main() -> None:
+    payload = {"fingerprints": fingerprints(), "trajectories": trajectories()}
+    path = GOLDEN / "paper_oneshot_identity.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

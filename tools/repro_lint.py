@@ -44,6 +44,17 @@ Rules
     and ``core/formulation.py`` (whose ``TpModel.solve`` is the
     dispatch shim the executor calls).
 
+``RL005`` — private formulation-builder imports outside the registry.
+    The constraint builders (``_build_assignment``, ``_populate_ilp``,
+    ``_w_name``, …) are implementation details of
+    ``repro.core.families`` and ``repro.core.formulation``; the
+    supported extension surface is the scenario registry
+    (``ConstraintFamily`` / ``ScenarioSpec`` / ``register_scenario``)
+    and the public model builders.  ``from repro.core.families import
+    _anything`` (or from ``repro.core.formulation``) anywhere except
+    those two modules couples callers to builder internals that the
+    registry is free to reshape.
+
 Suppression: append ``# repro-lint: ignore`` (all rules) or
 ``# repro-lint: ignore[RL001]`` (one rule) to the offending line.
 
@@ -82,6 +93,11 @@ _INPLACE_METHODS = frozenset({"fill", "sort", "partition", "put", "resize"})
 _BACKEND_ENTRYPOINTS = frozenset({
     "solve_with_highs", "solve_with_bnb", "solve_with_simplex",
     "branch_and_bound", "solve_compiled",
+})
+
+#: Modules whose underscore-prefixed names RL005 keeps private.
+_FORMULATION_MODULES = frozenset({
+    "repro.core.formulation", "repro.core.families",
 })
 
 _SUPPRESS_RE = re.compile(r"repro-lint:\s*ignore(?:\[(?P<codes>[A-Z0-9, ]+)\])?")
@@ -126,13 +142,19 @@ def _protected_attribute(node: ast.expr) -> str | None:
 
 class _RuleVisitor(ast.NodeVisitor):
     def __init__(
-        self, path: Path, in_library: bool, in_solver_client: bool = False
+        self,
+        path: Path,
+        in_library: bool,
+        in_solver_client: bool = False,
+        in_formulation: bool = False,
     ) -> None:
         self.path = path
         self.in_library = in_library  # under src/repro/, RL003 applies
         #: RL004 scope: library code that should solve through the
         #: executor rather than call a backend entry point directly.
         self.in_solver_client = in_solver_client
+        #: RL005 exemption: the formulation/families modules themselves.
+        self.in_formulation = in_formulation
         self.violations: list[Violation] = []
         self._cancel_depth = 0  # inside a function taking ``cancel``
 
@@ -250,6 +272,24 @@ class _RuleVisitor(ast.NodeVisitor):
     visit_FunctionDef = _visit_function
     visit_AsyncFunctionDef = _visit_function
 
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        # RL005: private builder names stay inside the formulation stack.
+        if (
+            not self.in_formulation
+            and node.module in _FORMULATION_MODULES
+            and node.level == 0
+        ):
+            for alias in node.names:
+                if alias.name.startswith("_"):
+                    self._flag(
+                        node, "RL005",
+                        f"import of private name '{alias.name}' from "
+                        f"'{node.module}' — builder internals are not an "
+                        "extension surface; register a ConstraintFamily/"
+                        "ScenarioSpec or use the public builders instead",
+                    )
+        self.generic_visit(node)
+
     def visit_Global(self, node: ast.Global) -> None:
         if self._cancel_depth:
             self._flag(
@@ -276,13 +316,14 @@ def _lint_source(
     source: str,
     in_library: bool,
     in_solver_client: bool = False,
+    in_formulation: bool = False,
 ) -> list[Violation]:
     try:
         tree = ast.parse(source, filename=str(path))
     except SyntaxError as exc:
         return [Violation(path, exc.lineno or 0, "RL000",
                           f"syntax error: {exc.msg}")]
-    visitor = _RuleVisitor(path, in_library, in_solver_client)
+    visitor = _RuleVisitor(path, in_library, in_solver_client, in_formulation)
     visitor.visit(tree)
 
     lines = source.splitlines()
@@ -329,6 +370,15 @@ def _is_solver_client_path(path: Path) -> bool:
     return rest != "core/formulation.py"
 
 
+def _is_formulation_path(path: Path) -> bool:
+    """RL005 exemption: the formulation stack's own modules."""
+    parts = path.as_posix()
+    if "src/repro/" not in parts:
+        return False
+    rest = parts.split("src/repro/", 1)[1]
+    return rest in ("core/formulation.py", "core/families.py")
+
+
 def lint_paths(paths: list[Path]) -> list[Violation]:
     files: list[Path] = []
     for path in paths:
@@ -347,6 +397,7 @@ def lint_paths(paths: list[Path]) -> list[Violation]:
             _lint_source(
                 file, source, _is_library_path(file),
                 _is_solver_client_path(file),
+                _is_formulation_path(file),
             )
         )
     return violations
@@ -356,7 +407,8 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="repo-specific AST lint (RL001 compiled-array "
         "mutation, RL002 worker shared state, RL003 stray tracers, "
-        "RL004 backend calls bypassing the executor)",
+        "RL004 backend calls bypassing the executor, RL005 private "
+        "formulation-builder imports)",
     )
     parser.add_argument(
         "paths", nargs="*", type=Path,
