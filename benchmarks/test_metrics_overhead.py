@@ -1,0 +1,196 @@
+"""Overhead audit of the metrics layer.
+
+Two promises are checked against the paper's two workloads (the AR
+filter of Table 1 and the 4x4 DCT of Table 3):
+
+1. **Disabled metrics are free.**  Every hot path is permanently
+   instrumented, so the relevant cost when no registry is configured is
+   the no-op metric machinery (``NULL_METRICS`` children).  A
+   microbenchmark prices one no-op update, the metered twin run counts
+   how many metric updates an average search iteration performs (from
+   its own snapshot: every counter increment, gauge set and histogram
+   observation leaves a sample), and the product must stay under 2% of
+   the measured per-iteration wall time.  The search trajectory must
+   also be identical with and without a registry attached — metrics may
+   observe the search but never steer it.  (Identity is asserted up to
+   the first timeout-decided window: rows concluded by the wall clock
+   rather than by a solver verdict are legitimately run-dependent.)
+2. **Enabled metrics are honest.**  The counters must reconcile with
+   the always-on ``RunTelemetry``: window solves, cache hits and misses
+   agree exactly.
+
+Writes ``benchmarks/results/BENCH_metrics_overhead.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from conftest import EXPERIMENT_BUDGET, RESULTS_DIR, SOLVE_LIMIT
+from repro.arch import ReconfigurableProcessor
+from repro.core import RefinementConfig, SolverSettings, refine_partitions_bound
+from repro.obs import NULL_METRICS, MetricsRegistry
+from repro.taskgraph import ar_filter, dct_4x4
+
+CASES = [
+    {
+        "name": "ar_filter",
+        "graph": ar_filter,
+        "processor": lambda: ReconfigurableProcessor(400.0, 128.0, 20.0),
+        "delta": 0.1,
+    },
+    {
+        "name": "dct_4x4",
+        "graph": dct_4x4,
+        "processor": lambda: ReconfigurableProcessor(576.0, 2048.0, 30.0),
+        "delta": 200.0,
+    },
+]
+
+MAX_DISABLED_OVERHEAD = 0.02
+
+
+def run_case(case, metrics=None):
+    settings = SolverSettings(time_limit=SOLVE_LIMIT, metrics=metrics)
+    start = time.perf_counter()
+    result = refine_partitions_bound(
+        case["graph"](),
+        case["processor"](),
+        RefinementConfig(
+            delta=case["delta"], gamma=1, time_budget=EXPERIMENT_BUDGET
+        ),
+        settings=settings,
+    )
+    wall = time.perf_counter() - start
+    return result, wall
+
+
+def trajectory(result):
+    return [
+        (r.num_partitions, r.iteration, r.d_max, r.d_min, r.achieved)
+        for r in result.trace
+    ]
+
+
+def conclusive_prefix(result) -> int:
+    """Rows before the first verdict decided by the wall clock."""
+    for index, record in enumerate(result.trace):
+        if record.degraded or record.backend == "":
+            return index
+    return len(result.trace)
+
+
+def null_update_cost(rounds: int = 200_000) -> float:
+    """Seconds per no-op metric update, priced like the call sites: a
+    ``labels()`` resolution plus the update itself."""
+    counter = NULL_METRICS.counter("probe_total", "probe", ("a",))
+    histogram = NULL_METRICS.histogram("probe_seconds", "probe")
+    start = time.perf_counter()
+    for i in range(rounds):
+        counter.labels("x").inc()
+        histogram.observe(0.1)
+    return (time.perf_counter() - start) / (2 * rounds)
+
+
+def updates_recorded(snapshot) -> float:
+    """How many metric updates a run performed, from its snapshot.
+
+    Counter values count their increments (all hot-path counters step
+    by 1); histogram counts count their observations; gauge writes are
+    bounded by the cut-pool counter that accompanies each ``set``.
+    """
+    updates = 0.0
+    for name in snapshot.names():
+        family = snapshot.family(name)
+        if family["kind"] == "histogram":
+            updates += sum(
+                count for _, _, count in family["samples"].values()
+            )
+        else:
+            updates += sum(abs(v) for v in family["samples"].values())
+    return updates
+
+
+def test_metrics_overhead():
+    per_update = null_update_cost()
+    payload = {
+        "solve_limit": SOLVE_LIMIT,
+        "null_update_cost_us": round(per_update * 1e6, 4),
+        "max_disabled_overhead": MAX_DISABLED_OVERHEAD,
+        "cases": {},
+    }
+
+    for case in CASES:
+        plain, plain_wall = run_case(case)
+        assert plain.feasible, f"{case['name']} must be partitionable"
+
+        registry = MetricsRegistry()
+        metered, metered_wall = run_case(case, metrics=registry)
+        snapshot = registry.snapshot()
+
+        # Metrics never steer the search: identical up to the first
+        # window decided by the wall clock instead of a solver verdict.
+        comparable = min(
+            conclusive_prefix(plain), conclusive_prefix(metered)
+        )
+        fully_conclusive = (
+            comparable == len(plain.trace) == len(metered.trace)
+        )
+        assert (
+            trajectory(plain)[:comparable]
+            == trajectory(metered)[:comparable]
+        ), f"{case['name']}: metrics changed the search trajectory"
+        if fully_conclusive:
+            assert trajectory(plain) == trajectory(metered)
+
+        # The counters reconcile with the always-on telemetry.
+        assert snapshot.total("repro_window_solves_total") == len(
+            metered.telemetry.solves
+        )
+        assert snapshot.total("repro_solve_cache_hits_total") == (
+            metered.telemetry.cache_hits
+        )
+
+        # Price the disabled path: metric updates per iteration
+        # (measured on the metered twin) times the no-op update cost,
+        # relative to the real per-iteration wall time.
+        updates = updates_recorded(snapshot)
+        iterations = len(plain.trace)
+        updates_per_iteration = updates / max(iterations, 1)
+        seconds_per_iteration = plain_wall / max(iterations, 1)
+        disabled_overhead = (
+            updates_per_iteration * per_update / seconds_per_iteration
+        )
+        assert disabled_overhead < MAX_DISABLED_OVERHEAD, (
+            f"{case['name']}: null-metrics overhead "
+            f"{disabled_overhead:.2%} exceeds {MAX_DISABLED_OVERHEAD:.0%}"
+        )
+
+        payload["cases"][case["name"]] = {
+            "final_latency": plain.achieved,
+            "iterations": iterations,
+            "conclusive_iterations_compared": comparable,
+            "fully_conclusive": fully_conclusive,
+            "wall_time_off": round(plain_wall, 3),
+            "wall_time_on": round(metered_wall, 3),
+            "enabled_overhead": (
+                round(metered_wall / plain_wall - 1.0, 4)
+                if plain_wall > 0
+                else None
+            ),
+            "metric_updates": int(updates),
+            "updates_per_iteration": round(updates_per_iteration, 2),
+            "disabled_overhead": round(disabled_overhead, 6),
+            "window_solves_counted": int(
+                snapshot.total("repro_window_solves_total")
+            ),
+            "cache_hits_counted": int(
+                snapshot.total("repro_solve_cache_hits_total")
+            ),
+        }
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_metrics_overhead.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )

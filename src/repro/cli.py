@@ -28,6 +28,11 @@ Subcommands:
     Inspect a recorded trace: ``trace report run.jsonl`` prints the
     per-phase time profile and span tree, ``trace export-chrome``
     converts a JSONL event file for ``chrome://tracing`` / Perfetto.
+``metrics``
+    Inspect recorded metrics: ``metrics report metrics.json`` pretty-
+    prints one or more :class:`~repro.obs.MetricsSnapshot` dumps
+    (``--metrics-json``), merging them first; ``--prom`` emits the
+    Prometheus text exposition instead.
 ``analyze``
     Build the window model for a graph/device/partition-count
     combination and run the pre-solve analyzer (:mod:`repro.analysis`)
@@ -203,6 +208,11 @@ def _cmd_partition(args: argparse.Namespace) -> int:
             graph = clustering.graph
         else:
             clustering = None
+    metrics_registry = None
+    if args.metrics_json:
+        from repro.obs import MetricsRegistry
+
+        metrics_registry = MetricsRegistry()
     tracer = None
     chrome_events = None
     if args.trace_jsonl or args.trace_chrome:
@@ -228,6 +238,7 @@ def _cmd_partition(args: argparse.Namespace) -> int:
             time_limit=args.solve_limit,
             enable_cache=not args.no_cache,
             tracer=tracer,
+            metrics=metrics_registry,
         )
     else:
         solver = SolverSettings(
@@ -235,6 +246,7 @@ def _cmd_partition(args: argparse.Namespace) -> int:
             time_limit=args.solve_limit,
             enable_cache=not args.no_cache,
             tracer=tracer,
+            metrics=metrics_registry,
         )
     config = PartitionerConfig(
         search=RefinementConfig(
@@ -279,6 +291,13 @@ def _cmd_partition(args: argparse.Namespace) -> int:
             "telemetry",
         )
         print(f"telemetry written to {args.telemetry_json}")
+    if metrics_registry is not None:
+        _write_text(
+            args.metrics_json,
+            json.dumps(metrics_registry.snapshot().to_dict(), indent=2),
+            "metrics",
+        )
+        print(f"metrics written to {args.metrics_json}")
     if outcome.degraded:
         print(
             "warning: solver budget exhausted on some windows; "
@@ -415,13 +434,16 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         _batch_request(entry, requests_path.parent, f"request {i}")
         for i, entry in enumerate(payload, 1)
     ]
+    registry = _service_metrics(args)
     with PartitionService(
         processor=_device(args),
         config=_service_config(args),
         max_workers=args.workers,
         cache_path=args.cache,
+        metrics=registry,
     ) as service:
         outcomes = service.solve_batch(requests)
+    _dump_service_metrics(args, registry)
     results = [
         outcome.to_dict(include_trace=args.trace) for outcome in outcomes
     ]
@@ -440,41 +462,83 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return EXIT_OK if feasible == len(outcomes) else EXIT_NO_SOLUTION
 
 
+def _service_metrics(args: argparse.Namespace):
+    """A :class:`MetricsRegistry` when any metrics flag asks for one."""
+    wants = bool(getattr(args, "metrics_json", None)) or (
+        getattr(args, "metrics_port", None) is not None
+    )
+    if not wants:
+        return None
+    from repro.obs import MetricsRegistry
+
+    return MetricsRegistry()
+
+
+def _dump_service_metrics(args: argparse.Namespace, registry) -> None:
+    if registry is None or not getattr(args, "metrics_json", None):
+        return
+    _write_text(
+        args.metrics_json,
+        json.dumps(registry.snapshot().to_dict(), indent=2),
+        "metrics",
+    )
+    print(f"metrics written to {args.metrics_json}", file=sys.stderr)
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     """JSONL request/response loop over stdin/stdout.
 
     One request object per input line (same shape as ``batch`` entries);
     one outcome object per output line, in input order.  A blank line or
     EOF ends the session.  Designed for driving from another process
-    without any network dependency.
+    without any network dependency.  With ``--metrics-port`` a
+    background HTTP thread additionally serves the live
+    :class:`~repro.obs.MetricsRegistry` on ``/metrics`` (Prometheus
+    text exposition) and ``/metrics.json`` for the session's lifetime.
     """
     from repro.service import PartitionService
 
-    with PartitionService(
-        processor=_device(args),
-        config=_service_config(args),
-        max_workers=args.workers,
-        cache_path=args.cache,
-    ) as service:
-        served = 0
-        for line in sys.stdin:
-            line = line.strip()
-            if not line:
-                break
-            try:
-                entry = json.loads(line)
-                request = _batch_request(
-                    entry, Path.cwd(), f"line {served + 1}"
+    registry = _service_metrics(args)
+    server = None
+    if args.metrics_port is not None:
+        from repro.obs import MetricsServer
+
+        server = MetricsServer(registry, port=args.metrics_port)
+        server.start()
+        print(f"metrics at {server.url}", file=sys.stderr, flush=True)
+    try:
+        with PartitionService(
+            processor=_device(args),
+            config=_service_config(args),
+            max_workers=args.workers,
+            cache_path=args.cache,
+            metrics=registry,
+        ) as service:
+            served = 0
+            for line in sys.stdin:
+                line = line.strip()
+                if not line:
+                    break
+                try:
+                    entry = json.loads(line)
+                    request = _batch_request(
+                        entry, Path.cwd(), f"line {served + 1}"
+                    )
+                except (ValueError, SystemExit):
+                    print(
+                        json.dumps({"error": "invalid request"}), flush=True
+                    )
+                    continue
+                outcome = service.submit(request).result()
+                print(
+                    json.dumps(outcome.to_dict(include_trace=args.trace)),
+                    flush=True,
                 )
-            except (ValueError, SystemExit):
-                print(json.dumps({"error": "invalid request"}), flush=True)
-                continue
-            outcome = service.submit(request).result()
-            print(
-                json.dumps(outcome.to_dict(include_trace=args.trace)),
-                flush=True,
-            )
-            served += 1
+                served += 1
+    finally:
+        if server is not None:
+            server.stop()
+    _dump_service_metrics(args, registry)
     print(f"served {served} requests", file=sys.stderr)
     return EXIT_OK
 
@@ -668,6 +732,92 @@ def _cmd_trace_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_snapshots(path: str):
+    """Parse a ``--metrics-json`` dump (one snapshot object, a JSON list
+    of them, or JSONL with one snapshot per line) into snapshots."""
+    from repro.obs import MetricsSnapshot
+
+    try:
+        text = Path(path).read_text()
+    except OSError as exc:
+        print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+        raise SystemExit(EXIT_USAGE)
+    try:
+        payload = json.loads(text)
+        payloads = payload if isinstance(payload, list) else [payload]
+    except ValueError:
+        try:
+            payloads = [
+                json.loads(line)
+                for line in text.splitlines()
+                if line.strip()
+            ]
+        except ValueError as exc:
+            print(
+                f"error: {path} is neither JSON nor JSONL: {exc}",
+                file=sys.stderr,
+            )
+            raise SystemExit(EXIT_USAGE)
+    try:
+        return [MetricsSnapshot.from_dict(p) for p in payloads]
+    except (ValueError, KeyError, TypeError) as exc:
+        print(
+            f"error: {path}: not a metrics snapshot: {exc}", file=sys.stderr
+        )
+        raise SystemExit(EXIT_USAGE)
+
+
+def _render_metrics_table(snapshot) -> str:
+    """Human-readable summary of one (possibly merged) snapshot."""
+    lines: list[str] = []
+    for name in snapshot.names():
+        family = snapshot.family(name)
+        lines.append(f"{name} ({family['kind']}) — {family['help']}")
+        labelnames = family["labelnames"]
+        for key in sorted(family["samples"]):
+            label = (
+                "{" + ", ".join(
+                    f"{n}={v}" for n, v in zip(labelnames, key)
+                ) + "}"
+                if labelnames
+                else "-"
+            )
+            if family["kind"] == "histogram":
+                count, total = snapshot.histogram_stats(name, *key)
+                parts = [f"count={count}", f"sum={total:.6g}"]
+                for q, tag in ((0.5, "p50"), (0.95, "p95"), (0.99, "p99")):
+                    estimate = snapshot.quantile(name, q, *key)
+                    if estimate is not None:
+                        parts.append(f"{tag}<={estimate:g}")
+                lines.append(f"  {label:<40} {' '.join(parts)}")
+            else:
+                value = snapshot.value(name, *key)
+                shown = (
+                    f"{int(value)}" if value == int(value) else f"{value:g}"
+                )
+                lines.append(f"  {label:<40} {shown}")
+    return "\n".join(lines)
+
+
+def _cmd_metrics_report(args: argparse.Namespace) -> int:
+    from repro.obs import MetricsSnapshot, render_promtext
+
+    merged = MetricsSnapshot.empty()
+    for path in args.files:
+        for snapshot in _load_snapshots(path):
+            merged = merged.merge(snapshot)
+    if not merged:
+        print("no metrics recorded", file=sys.stderr)
+        return EXIT_NO_SOLUTION
+    if args.prom:
+        sys.stdout.write(render_promtext(merged))
+    elif args.json:
+        print(json.dumps(merged.to_dict(), indent=2))
+    else:
+        print(_render_metrics_table(merged))
+    return EXIT_OK
+
+
 def _cmd_table(args: argparse.Namespace) -> int:
     from repro.experiments import (
         DCT_EXPERIMENTS,
@@ -741,6 +891,11 @@ def build_parser() -> argparse.ArgumentParser:
     partition.add_argument("--trace-chrome", default=None,
                            help="write a Chrome trace-event-format JSON "
                            "for chrome://tracing / Perfetto")
+    partition.add_argument("--metrics-json", default=None,
+                           help="record labeled counters/histograms "
+                           "(window solves, backend races, cache tiers) "
+                           "and write the snapshot as JSON; inspect with "
+                           "'repro-tp metrics report'")
     partition.set_defaults(func=_cmd_partition)
 
     def _add_service_arguments(sub: argparse.ArgumentParser) -> None:
@@ -762,6 +917,10 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--trace", action="store_true",
                          help="include the iteration trace in each "
                          "outcome payload")
+        sub.add_argument("--metrics-json", default=None,
+                         help="write the merged service+worker metrics "
+                         "snapshot as JSON on exit; inspect with "
+                         "'repro-tp metrics report'")
 
     batch = subparsers.add_parser(
         "batch",
@@ -787,6 +946,12 @@ def build_parser() -> argparse.ArgumentParser:
         "A blank line or EOF ends the session.",
     )
     _add_service_arguments(serve)
+    serve.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help="serve live metrics over HTTP on this port (0 picks a free "
+        "one; the chosen URL is printed to stderr): Prometheus text on "
+        "/metrics, snapshot JSON on /metrics.json",
+    )
     serve.set_defaults(func=_cmd_serve)
 
     bounds_cmd = subparsers.add_parser(
@@ -911,6 +1076,32 @@ def build_parser() -> argparse.ArgumentParser:
     export.add_argument("file", help="JSONL event file (--trace-jsonl)")
     export.add_argument("output", help="Chrome trace JSON to write")
     export.set_defaults(func=_cmd_trace_export)
+
+    metrics = subparsers.add_parser(
+        "metrics", help="inspect recorded metrics snapshots"
+    )
+    metrics_sub = metrics.add_subparsers(dest="metrics_command", required=True)
+    metrics_report = metrics_sub.add_parser(
+        "report",
+        help="merge and pretty-print metrics snapshots (--metrics-json)",
+        description="Read one or more metrics snapshot files (a JSON "
+        "object, a JSON list, or JSONL with one snapshot per line), "
+        "merge them — merging is commutative, so file order does not "
+        "matter — and print the result.  Exit 1 when no metrics were "
+        "recorded.",
+    )
+    metrics_report.add_argument(
+        "files", nargs="+", help="snapshot JSON/JSONL files (--metrics-json)"
+    )
+    metrics_report.add_argument(
+        "--prom", action="store_true",
+        help="emit Prometheus text exposition instead of the table",
+    )
+    metrics_report.add_argument(
+        "--json", action="store_true",
+        help="emit the merged snapshot as JSON instead of the table",
+    )
+    metrics_report.set_defaults(func=_cmd_metrics_report)
 
     return parser
 

@@ -157,6 +157,17 @@ class SolverSettings:
         cheap always-on aggregate either way.  Excluded from equality
         so settings compare by solver behavior, which tracing never
         changes.
+    metrics:
+        Optional :class:`repro.obs.MetricsRegistry` accumulating
+        labeled counters/gauges/histograms across runs (windows solved,
+        per-backend attempts, cache tiers, solve-duration histograms).
+        ``None`` — the default — routes all instrumentation to the
+        no-op :data:`repro.obs.NULL_METRICS`.  Threaded exactly like
+        ``tracer``: excluded from equality, never crosses the service
+        wire boundary (shard workers build their own registry and ship
+        a mergeable :class:`repro.obs.MetricsSnapshot` home instead).
+        Scrape it with ``repro-tp serve --metrics-port`` or render it
+        with :func:`repro.obs.render_promtext`.
     """
 
     backend: str = "highs"
@@ -177,6 +188,7 @@ class SolverSettings:
     analyze: str = "off"
     extra: dict = field(default_factory=dict)
     tracer: "object | None" = field(default=None, repr=False, compare=False)
+    metrics: "object | None" = field(default=None, repr=False, compare=False)
 
     # -- presets -------------------------------------------------------------
     #

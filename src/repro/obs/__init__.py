@@ -14,7 +14,14 @@ opt-in, high-resolution view:
 * :mod:`repro.obs.chrome` — Chrome trace-event-format export
   (``chrome://tracing`` / Perfetto) and its validator;
 * :mod:`repro.obs.profile` — span trees and per-phase
-  inclusive/exclusive time profiles.
+  inclusive/exclusive time profiles;
+* :mod:`repro.obs.metrics` — labeled counters/gauges/histograms with
+  mergeable :class:`MetricsSnapshot`s and the zero-overhead
+  :data:`NULL_METRICS`;
+* :mod:`repro.obs.promtext` — Prometheus text exposition rendering and
+  validation (no third-party deps);
+* :mod:`repro.obs.server` — the ``/metrics`` scrape endpoint behind
+  ``repro-tp serve --metrics-port``.
 
 Enable from the API by putting a tracer on the solver settings::
 
@@ -37,6 +44,17 @@ from repro.obs.chrome import (
     validate_chrome_trace,
     write_chrome_trace,
 )
+from repro.obs.metrics import (
+    DEFAULT_SECONDS_BUCKETS,
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSnapshot,
+    NullMetrics,
+    as_metrics,
+)
 from repro.obs.profile import (
     PhaseProfile,
     PhaseStat,
@@ -45,26 +63,40 @@ from repro.obs.profile import (
     load_events,
     render_span_tree,
 )
+from repro.obs.promtext import render_promtext, validate_promtext
+from repro.obs.server import MetricsServer
 from repro.obs.sinks import EventSink, JsonlSink, MemorySink
 from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer, as_tracer
 
 __all__ = [
+    "Counter",
+    "DEFAULT_SECONDS_BUCKETS",
     "EventSink",
+    "Gauge",
+    "Histogram",
     "JsonlSink",
     "MemorySink",
+    "MetricsRegistry",
+    "MetricsServer",
+    "MetricsSnapshot",
+    "NULL_METRICS",
     "NULL_TRACER",
+    "NullMetrics",
     "NullTracer",
     "PhaseProfile",
     "PhaseStat",
     "Span",
     "SpanNode",
     "Tracer",
+    "as_metrics",
     "as_tracer",
     "build_span_tree",
     "chrome_trace",
     "jsonl_to_chrome",
     "load_events",
+    "render_promtext",
     "render_span_tree",
     "validate_chrome_trace",
+    "validate_promtext",
     "write_chrome_trace",
 ]

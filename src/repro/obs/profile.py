@@ -7,8 +7,9 @@ ways:
 
 * :class:`PhaseProfile` — per-phase (span name) aggregates: call count,
   inclusive wall time, **exclusive** wall time (inclusive minus the
-  inclusive time of direct children), process time, rendered as a
-  top-N table by :meth:`PhaseProfile.report`;
+  inclusive time of direct children), process time and p50/p95/p99
+  per-span duration percentiles, rendered as a top-N table by
+  :meth:`PhaseProfile.report`;
 * :func:`render_span_tree` — the parent/child tree with durations and
   key attributes, the textual analogue of a flame graph.
 
@@ -21,6 +22,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
+from math import ceil
 from pathlib import Path
 from typing import Iterable, Sequence
 
@@ -124,10 +126,33 @@ class PhaseStat:
     exclusive: float = 0.0
     process: float = 0.0
     max_duration: float = 0.0
+    durations: list[float] = field(default_factory=list)
 
     @property
     def mean_inclusive(self) -> float:
         return self.inclusive / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile of the per-span inclusive durations
+        (``q`` in [0, 1]); the exact analogue of the bucketed quantiles
+        the metrics histograms expose."""
+        if not self.durations:
+            return 0.0
+        ordered = sorted(self.durations)
+        rank = max(0, min(len(ordered) - 1, ceil(q * len(ordered)) - 1))
+        return ordered[rank]
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(0.50)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(0.95)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(0.99)
 
 
 class PhaseProfile:
@@ -145,6 +170,7 @@ class PhaseProfile:
             stat.exclusive += node.exclusive
             stat.process += node.process_duration
             stat.max_duration = max(stat.max_duration, node.duration)
+            stat.durations.append(node.duration)
             stack.extend(node.children)
 
     @classmethod
@@ -179,6 +205,7 @@ class PhaseProfile:
         header = (
             f"{'phase':<28}{'count':>7}{'incl (s)':>12}"
             f"{'excl (s)':>12}{'excl %':>8}{'avg (ms)':>11}"
+            f"{'p50 (ms)':>11}{'p95 (ms)':>11}{'p99 (ms)':>11}"
         )
         lines = [header, "-" * len(header)]
         shown = self.top(top)
@@ -188,6 +215,9 @@ class PhaseProfile:
                 f"{stat.inclusive:>12.4f}{stat.exclusive:>12.4f}"
                 f"{100.0 * stat.exclusive / total:>7.1f}%"
                 f"{1e3 * stat.mean_inclusive:>11.2f}"
+                f"{1e3 * stat.p50:>11.2f}"
+                f"{1e3 * stat.p95:>11.2f}"
+                f"{1e3 * stat.p99:>11.2f}"
             )
         hidden = len(self.phases) - len(shown)
         if hidden > 0:

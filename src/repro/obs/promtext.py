@@ -1,0 +1,242 @@
+"""Prometheus text exposition (format 0.0.4) — render and validate.
+
+:func:`render_promtext` turns a
+:class:`repro.obs.metrics.MetricsSnapshot` into the plain-text format
+every Prometheus-compatible scraper understands, with no third-party
+dependencies: ``# HELP`` / ``# TYPE`` headers, one
+``name{label="value"} value`` line per sample, and the conventional
+``_bucket``/``_sum``/``_count`` expansion (cumulative ``le`` buckets,
+ending at ``+Inf``) for histograms.  Output is deterministic: families
+sorted by name, samples by label values.
+
+:func:`validate_promtext` is the inverse check used by
+``tools/check_promtext.py`` and the CI ``metrics-smoke`` job: it parses
+an exposition body and returns a list of problems (empty when valid),
+covering line shape, header presence, histogram completeness
+(monotone cumulative buckets, ``+Inf`` terminator, ``_count``
+consistency) and this repo's naming conventions (counters end in
+``_total``).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+__all__ = ["render_promtext", "validate_promtext", "CONTENT_TYPE"]
+
+#: The Content-Type the scrape endpoint serves.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>\S+)$"
+)
+_LABEL_RE = re.compile(
+    r'(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"'
+)
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_value(value: float) -> str:
+    value = float(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _format_labels(labelnames, values, extra=()) -> str:
+    pairs = [
+        f'{name}="{_escape_label(str(value))}"'
+        for name, value in zip(labelnames, values)
+    ]
+    pairs.extend(f'{name}="{_escape_label(str(value))}"' for name, value in extra)
+    if not pairs:
+        return ""
+    return "{" + ",".join(pairs) + "}"
+
+
+def render_promtext(snapshot) -> str:
+    """The snapshot in Prometheus text exposition format 0.0.4."""
+    lines: list[str] = []
+    for name in snapshot.names():
+        family = snapshot.family(name)
+        kind = family["kind"]
+        labelnames = family["labelnames"]
+        if family["help"]:
+            lines.append(f"# HELP {name} {_escape_help(family['help'])}")
+        lines.append(f"# TYPE {name} {kind}")
+        for key in sorted(family["samples"]):
+            sample = family["samples"][key]
+            if kind != "histogram":
+                labels = _format_labels(labelnames, key)
+                lines.append(f"{name}{labels} {_format_value(sample)}")
+                continue
+            counts, total, count = sample
+            cumulative = 0
+            bounds = [_format_value(b) for b in family["buckets"]] + ["+Inf"]
+            for bound, c in zip(bounds, counts):
+                cumulative += c
+                labels = _format_labels(labelnames, key, [("le", bound)])
+                lines.append(f"{name}_bucket{labels} {cumulative}")
+            labels = _format_labels(labelnames, key)
+            lines.append(f"{name}_sum{labels} {_format_value(total)}")
+            lines.append(f"{name}_count{labels} {count}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def _parse_value(raw: str) -> float | None:
+    if raw == "+Inf":
+        return math.inf
+    if raw == "-Inf":
+        return -math.inf
+    try:
+        return float(raw)
+    except ValueError:
+        return None
+
+
+def validate_promtext(text: str, require=()) -> list[str]:
+    """Problems with an exposition body; empty means valid.
+
+    ``require`` lists metric family names that must be present with at
+    least one sample (the smoke test's "did the instrumented paths
+    actually run" check).
+    """
+    problems: list[str] = []
+    types: dict[str, str] = {}
+    helps: set[str] = set()
+    # family -> labelset-without-le -> {le: cumulative}
+    histograms: dict[str, dict[tuple, dict[float, float]]] = {}
+    hist_counts: dict[str, dict[tuple, float]] = {}
+    seen_families: set[str] = set()
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or not _NAME_RE.match(parts[2]):
+                problems.append(f"line {lineno}: malformed HELP line")
+            else:
+                helps.add(parts[2])
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in (
+                "counter",
+                "gauge",
+                "histogram",
+                "summary",
+                "untyped",
+            ):
+                problems.append(f"line {lineno}: malformed TYPE line")
+                continue
+            if parts[2] in types:
+                problems.append(
+                    f"line {lineno}: duplicate TYPE for {parts[2]}"
+                )
+            types[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue  # comments are legal
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            problems.append(f"line {lineno}: unparseable sample: {line!r}")
+            continue
+        name = match.group("name")
+        value = _parse_value(match.group("value"))
+        if value is None:
+            problems.append(
+                f"line {lineno}: bad sample value {match.group('value')!r}"
+            )
+            continue
+        labels: dict[str, str] = {}
+        raw_labels = match.group("labels")
+        if raw_labels:
+            consumed = _LABEL_RE.sub("", raw_labels).replace(",", "").strip()
+            if consumed:
+                problems.append(
+                    f"line {lineno}: malformed label block {{{raw_labels}}}"
+                )
+                continue
+            for m in _LABEL_RE.finditer(raw_labels):
+                labels[m.group("name")] = m.group("value")
+
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            stem = name[: -len(suffix)] if name.endswith(suffix) else None
+            if stem and types.get(stem) == "histogram":
+                base = stem
+                break
+        seen_families.add(base)
+        if base not in types:
+            problems.append(
+                f"line {lineno}: sample {name!r} has no preceding TYPE line"
+            )
+            continue
+        if types[base] == "counter":
+            if not base.endswith("_total"):
+                problems.append(
+                    f"line {lineno}: counter {base!r} should end in _total"
+                )
+            if value < 0:
+                problems.append(f"line {lineno}: negative counter {name!r}")
+        if types[base] == "histogram":
+            key = tuple(
+                sorted((k, v) for k, v in labels.items() if k != "le")
+            )
+            if name.endswith("_bucket"):
+                le = _parse_value(labels.get("le", ""))
+                if le is None:
+                    problems.append(
+                        f"line {lineno}: histogram bucket without le label"
+                    )
+                    continue
+                histograms.setdefault(base, {}).setdefault(key, {})[le] = value
+            elif name.endswith("_count"):
+                hist_counts.setdefault(base, {})[key] = value
+
+    for name in types:
+        if name not in helps:
+            problems.append(f"metric {name} has TYPE but no HELP line")
+
+    for name, by_labels in histograms.items():
+        for key, buckets in by_labels.items():
+            bounds = sorted(buckets)
+            if not bounds or not math.isinf(bounds[-1]):
+                problems.append(
+                    f"histogram {name}{dict(key)} is missing the +Inf bucket"
+                )
+                continue
+            cumulative = [buckets[b] for b in bounds]
+            if any(a > b for a, b in zip(cumulative, cumulative[1:])):
+                problems.append(
+                    f"histogram {name}{dict(key)} buckets are not cumulative"
+                )
+            count = hist_counts.get(name, {}).get(key)
+            if count is None:
+                problems.append(f"histogram {name}{dict(key)} has no _count")
+            elif count != cumulative[-1]:
+                problems.append(
+                    f"histogram {name}{dict(key)}: _count {count} != "
+                    f"+Inf bucket {cumulative[-1]}"
+                )
+
+    for name in require:
+        if name not in seen_families:
+            problems.append(f"required metric {name} is missing")
+    return problems

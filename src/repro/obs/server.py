@@ -1,0 +1,119 @@
+"""A tiny scrape endpoint: stdlib HTTP server for metrics snapshots.
+
+:class:`MetricsServer` runs a :class:`http.server.ThreadingHTTPServer`
+on a daemon thread and serves whatever a snapshot provider returns at
+scrape time:
+
+* ``GET /metrics`` — Prometheus text exposition
+  (:mod:`repro.obs.promtext`), the path monitoring systems scrape;
+* ``GET /metrics.json`` — the same snapshot as
+  :meth:`repro.obs.metrics.MetricsSnapshot.to_dict` JSON, consumable by
+  ``repro-tp metrics report``;
+* ``GET /healthz`` — ``ok``, for liveness probes.
+
+The provider is either a :class:`repro.obs.metrics.MetricsRegistry`
+(snapshotted per scrape) or a zero-argument callable returning a
+:class:`MetricsSnapshot`.  Used by ``repro-tp serve --metrics-port``;
+request logging is suppressed so scrapes don't interleave with the
+serve loop's stdout/stderr protocol.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.obs.metrics import MetricsSnapshot
+from repro.obs.promtext import CONTENT_TYPE, render_promtext
+
+__all__ = ["MetricsServer"]
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-tp-metrics/1"
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        path = self.path.split("?", 1)[0]
+        if path in ("/metrics", "/"):
+            body = render_promtext(self._snapshot()).encode("utf-8")
+            self._reply(200, CONTENT_TYPE, body)
+        elif path == "/metrics.json":
+            body = json.dumps(self._snapshot().to_dict()).encode("utf-8")
+            self._reply(200, "application/json", body)
+        elif path == "/healthz":
+            self._reply(200, "text/plain; charset=utf-8", b"ok\n")
+        else:
+            self._reply(404, "text/plain; charset=utf-8", b"not found\n")
+
+    def _snapshot(self) -> MetricsSnapshot:
+        return self.server.snapshot_provider()
+
+    def _reply(self, status: int, content_type: str, body: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format, *args) -> None:  # noqa: A002
+        pass  # scrapes must not pollute the serve loop's streams
+
+
+class MetricsServer:
+    """Serves metric snapshots over HTTP from a background daemon thread.
+
+    Parameters
+    ----------
+    provider:
+        A ``MetricsRegistry`` (``snapshot()`` is called per scrape) or a
+        zero-argument callable returning a ``MetricsSnapshot``.
+    port:
+        TCP port to bind; ``0`` picks a free one (see :attr:`port`).
+    host:
+        Bind address; loopback by default — metrics are not secrets,
+        but they are nobody else's business either.
+    """
+
+    def __init__(self, provider, port: int = 0, host: str = "127.0.0.1") -> None:
+        if callable(provider):
+            snapshot_provider = provider
+        else:
+            snapshot_provider = provider.snapshot
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._httpd.snapshot_provider = snapshot_provider
+        self._thread: threading.Thread | None = None
+
+    @property
+    def port(self) -> int:
+        """The actually-bound port (useful with ``port=0``)."""
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host, port = self._httpd.server_address[:2]
+        return f"http://{host}:{port}/metrics"
+
+    def start(self) -> "MetricsServer":
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="metrics-server",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "MetricsServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.stop()
+        return False

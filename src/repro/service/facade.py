@@ -37,7 +37,12 @@ Three layers compose here:
 Progress streams through :mod:`repro.obs`: pass ``sinks`` (e.g. a
 :class:`~repro.obs.JsonlSink`) or a ready-made ``tracer`` and the
 service emits ``service_request_*`` / ``shard_*`` events alongside the
-usual solve spans of the inline path.
+usual solve spans of the inline path.  Pass a
+:class:`~repro.obs.MetricsRegistry` as ``metrics`` and the service
+additionally counts requests (``repro_service_requests_total``,
+in-flight gauge, queue-wait and end-to-end latency histograms) and
+absorbs every shard worker's counters into the same registry — one
+scrape sees the whole fleet.
 """
 
 from __future__ import annotations
@@ -59,6 +64,7 @@ from repro.core.partitioner import (
     PartitioningOutcome,
     PartitionRequest,
 )
+from repro.obs.metrics import as_metrics
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.service.sharding import solve_sharded
 from repro.taskgraph.validate import validate_graph
@@ -77,12 +83,16 @@ class PartitionService:
         cache_path: str | None = None,
         sinks: Sequence = (),
         tracer: Tracer | None = None,
+        metrics=None,
     ) -> None:
         """``processor``/``config`` are defaults for requests that omit
         them; ``max_workers`` sizes the shard pool (``None`` — the CPU
         count; ``0`` — inline, deterministic, no subprocesses);
         ``cache_path`` is threaded into every request's solver settings
-        unless they already name their own disk cache.
+        unless they already name their own disk cache; ``metrics`` is an
+        optional :class:`~repro.obs.MetricsRegistry` that collects
+        service-level counters and absorbs every shard worker's
+        snapshot (``None`` — metrics disabled, no overhead).
         """
         if max_workers is None:
             max_workers = os.cpu_count() or 1
@@ -100,6 +110,29 @@ class PartitionService:
             self.tracer = Tracer(*sinks)  # repro-lint: ignore[RL003]
         else:
             self.tracer = NULL_TRACER
+        self.metrics = as_metrics(metrics)
+        self._m_requests = self.metrics.counter(
+            "repro_service_requests_total",
+            "Requests the service finished, by outcome.",
+            ("outcome",),
+        )
+        self._m_in_flight = self.metrics.gauge(
+            "repro_service_requests_in_flight",
+            "Requests accepted but not yet answered.",
+        )
+        self._m_queue_wait = self.metrics.histogram(
+            "repro_service_queue_wait_seconds",
+            "Time between submission and a coordinator picking the "
+            "request up.",
+        )
+        self._m_request_seconds = self.metrics.histogram(
+            "repro_service_request_seconds",
+            "End-to-end request latency (coordination plus solve).",
+        )
+        self._m_cancellations = self.metrics.counter(
+            "repro_service_cancellations_total",
+            "cancel_all() invocations observed by the service.",
+        )
         self._request_ids = itertools.count(1)
         self._lock = threading.Lock()
         self._closed = False
@@ -155,6 +188,7 @@ class PartitionService:
             cancel = self._cancel
         if cancel is not None:
             cancel.set()
+        self._m_cancellations.inc()
         self.tracer.event("service_cancelled")
 
     def __enter__(self) -> "PartitionService":
@@ -204,8 +238,14 @@ class PartitionService:
             graph=request.graph.name,
             tasks=len(request.graph.task_names),
         )
+        self._m_in_flight.inc()
         return self._coordinators.submit(
-            self._run_request, request_id, request, processor, config
+            self._run_request,
+            request_id,
+            request,
+            processor,
+            config,
+            time.perf_counter(),
         )
 
     async def solve(self, request: PartitionRequest) -> PartitioningOutcome:
@@ -242,8 +282,31 @@ class PartitionService:
         request: PartitionRequest,
         processor: ReconfigurableProcessor,
         config: PartitionerConfig,
+        submitted: float | None = None,
     ) -> PartitioningOutcome:
         start = time.perf_counter()
+        if submitted is not None:
+            self._m_queue_wait.observe(max(start - submitted, 0.0))
+        outcome_label = "error"
+        try:
+            outcome = self._solve_request(
+                request_id, request, processor, config, start
+            )
+            outcome_label = "feasible" if outcome.feasible else "infeasible"
+            return outcome
+        finally:
+            self._m_in_flight.dec()
+            self._m_requests.labels(outcome_label).inc()
+            self._m_request_seconds.observe(time.perf_counter() - start)
+
+    def _solve_request(
+        self,
+        request_id: int,
+        request: PartitionRequest,
+        processor: ReconfigurableProcessor,
+        config: PartitionerConfig,
+        start: float,
+    ) -> PartitioningOutcome:
         if config.validate:
             report = validate_graph(
                 request.graph,
@@ -269,6 +332,7 @@ class PartitionService:
             bound_lock=bound_lock,
             cancel=cancel,
             tracer=self.tracer if self.tracer.enabled else None,
+            metrics=self.metrics if self.metrics.enabled else None,
         )
         prange = bounds.partition_range(
             request.graph,

@@ -48,6 +48,7 @@ from repro.core.partitioner import PartitionerConfig
 from repro.core.refine_partitions import RefinementResult
 from repro.core.solution import PartitionedDesign
 from repro.core.trace import SearchTrace
+from repro.obs.metrics import MetricsSnapshot, as_metrics
 from repro.obs.tracer import as_tracer
 from repro.service import wire
 from repro.service.worker import solve_shard
@@ -83,6 +84,7 @@ def solve_sharded(
     bound_lock=None,
     cancel=None,
     tracer=None,
+    metrics=None,
 ) -> RefinementResult:
     """Run the partition-space search with one worker per bound ``N``.
 
@@ -92,9 +94,17 @@ def solve_sharded(
     cooperative cancellation.  With ``max_workers=0`` everything runs
     inline in this process — deterministic, no multiprocessing — using
     local stand-ins for the shared state.
+
+    ``metrics`` is an optional :class:`repro.obs.MetricsRegistry`: each
+    shard counts into its own worker-local registry and ships the
+    snapshot home in its report; those snapshots are absorbed here, in
+    ``num_partitions`` order, so one scrape of the caller's registry
+    sees the whole fleet.  Snapshot merging is commutative, so the
+    totals do not depend on worker timing.
     """
     config = config or PartitionerConfig()
     tracer = as_tracer(tracer)
+    metrics = as_metrics(metrics)
     search = config.search
     c_t = processor.reconfiguration_time
     prange = bounds.partition_range(
@@ -215,6 +225,8 @@ def solve_sharded(
             explored.append(report["num_partitions"])
         if report["telemetry"] is not None:
             telemetry.merge(RunTelemetry.from_dict(report["telemetry"]))
+        if metrics.enabled and report.get("metrics"):
+            metrics.absorb(MetricsSnapshot.from_dict(report["metrics"]))
         degraded = degraded or bool(report["degraded"])
         if report["feasible"] and (
             best_report is None

@@ -61,13 +61,19 @@ def decode_processor(payload: dict[str, Any]) -> ReconfigurableProcessor:
     )
 
 
+#: ``SolverSettings`` fields that never cross the process boundary:
+#: the tracer (sinks hold open files and locks) and the metrics
+#: registry (locks; workers report back a mergeable snapshot instead).
+_LOCAL_SETTINGS_FIELDS = frozenset({"tracer", "metrics"})
+
+
 def _encode_settings(settings: SolverSettings) -> dict[str, Any]:
-    # Field-wise, not asdict: the tracer is process-local (sinks hold
-    # open files and locks) and never crosses the boundary.
+    # Field-wise, not asdict: tracer and metrics are process-local and
+    # never cross the boundary.
     payload = {
         f.name: getattr(settings, f.name)
         for f in dataclasses.fields(settings)
-        if f.name != "tracer"
+        if f.name not in _LOCAL_SETTINGS_FIELDS
     }
     payload["portfolio"] = (
         None if settings.portfolio is None else list(settings.portfolio)
@@ -78,7 +84,11 @@ def _encode_settings(settings: SolverSettings) -> dict[str, Any]:
 
 def _decode_settings(payload: dict[str, Any]) -> SolverSettings:
     known = {f.name for f in dataclasses.fields(SolverSettings)}
-    kwargs = {k: v for k, v in payload.items() if k in known and k != "tracer"}
+    kwargs = {
+        k: v
+        for k, v in payload.items()
+        if k in known and k not in _LOCAL_SETTINGS_FIELDS
+    }
     if kwargs.get("portfolio") is not None:
         kwargs["portfolio"] = tuple(kwargs["portfolio"])
     return SolverSettings(**kwargs)

@@ -43,6 +43,7 @@ from repro.core.refine_partitions import (
     evaluate_partition_bound,
     partition_bound_window,
 )
+from repro.obs.metrics import MetricsRegistry
 from repro.service import wire
 from repro.solve.executor import SolveExecutor
 
@@ -108,6 +109,7 @@ def solve_shard(
             "skipped": None,
             "trace": None,
             "telemetry": None,
+            "metrics": None,
         }
         base.update(fields)
         return base
@@ -133,7 +135,11 @@ def solve_shard(
         current = _shared_bound(bound, bound_lock)
         return current is not None and d_min > current
 
-    executor = SolveExecutor(config.solver)
+    # Metrics never cross the wire as live objects (the registry holds a
+    # lock); each worker counts into its own registry and ships the
+    # snapshot dict home, where the coordinator merges commutatively.
+    registry = MetricsRegistry()  # repro-lint: ignore[RL003]
+    executor = SolveExecutor(config.solver, metrics=registry)
     result = evaluate_partition_bound(
         graph,
         processor,
@@ -159,4 +165,5 @@ def solve_shard(
         degraded=result.degraded,
         trace=result.trace.to_dict(),
         telemetry=executor.telemetry.to_dict(include_solves=False),
+        metrics=registry.snapshot().to_dict(),
     )

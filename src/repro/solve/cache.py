@@ -31,6 +31,7 @@ import threading
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Protocol, runtime_checkable
 
+from repro.obs.metrics import as_metrics
 from repro.solve.fingerprint import ModelFingerprint
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -124,6 +125,22 @@ class SolveCache:
     _lock: threading.Lock = field(default_factory=threading.Lock)
     hits: int = 0
     misses: int = 0
+    #: Optional :class:`repro.obs.MetricsRegistry`; lookups are counted
+    #: as ``repro_solve_cache_{hits,misses}_total{tier="memory"}``.
+    metrics: object = None
+
+    def __post_init__(self) -> None:
+        registry = as_metrics(self.metrics)
+        self._m_hits = registry.counter(
+            "repro_solve_cache_hits_total",
+            "Solve-cache lookups answered, by tier and matching rule.",
+            ("tier", "rule"),
+        )
+        self._m_misses = registry.counter(
+            "repro_solve_cache_misses_total",
+            "Solve-cache lookups nobody answered, by tier.",
+            ("tier",),
+        )
 
     def __len__(self) -> int:
         with self._lock:
@@ -182,8 +199,10 @@ class SolveCache:
                 hit = CacheHit(infeasible, "infeasible")
             else:
                 self.misses += 1
+                self._m_misses.labels("memory").inc()
                 return None
             self.hits += 1
+            self._m_hits.labels("memory", hit.rule).inc()
             return hit
 
     # -- store --------------------------------------------------------------

@@ -47,6 +47,7 @@ import time
 from pathlib import Path
 from typing import TYPE_CHECKING
 
+from repro.obs.metrics import as_metrics
 from repro.solve.cache import CachedVerdict, CacheHit
 from repro.solve.fingerprint import ModelFingerprint
 
@@ -92,6 +93,7 @@ class DiskSolveCache:
         self,
         path: str | Path,
         max_entries: int = 100_000,
+        metrics=None,
     ) -> None:
         if max_entries < 1:
             raise ValueError("max_entries must be positive")
@@ -103,8 +105,29 @@ class DiskSolveCache:
         #: The store on disk was unreadable and has been recreated.
         self.recovered = False
         self._lock = threading.Lock()
+        registry = as_metrics(metrics)
+        self._m_hits = registry.counter(
+            "repro_solve_cache_hits_total",
+            "Solve-cache lookups answered, by tier and matching rule.",
+            ("tier", "rule"),
+        )
+        self._m_misses = registry.counter(
+            "repro_solve_cache_misses_total",
+            "Solve-cache lookups nobody answered, by tier.",
+            ("tier",),
+        )
+        self._m_evictions = registry.counter(
+            "repro_disk_cache_evictions_total",
+            "LRU rows dropped from the persistent solve cache.",
+        )
+        self._m_recoveries = registry.counter(
+            "repro_disk_cache_recoveries_total",
+            "Times an unreadable or incompatible store was recreated.",
+        )
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._conn = self._open()
+        if self.recovered:
+            self._m_recoveries.inc()
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -233,9 +256,11 @@ class DiskSolveCache:
             hit = self._decode(row, rule, graph)
             if hit is not None:
                 self.hits += 1
+                self._m_hits.labels("disk", rule).inc()
                 self._touch(row[0])
                 return hit
         self.misses += 1
+        self._m_misses.labels("disk").inc()
         return None
 
     def _decode(
@@ -377,6 +402,7 @@ class DiskSolveCache:
         )
         self._conn.commit()
         self.evictions += batch
+        self._m_evictions.inc(batch)
 
     def clear(self) -> None:
         with self._lock:

@@ -45,6 +45,7 @@ import numpy as np
 
 from repro.analysis.analyzer import ANALYZE_MODES
 from repro.ilp.status import SolveStatus
+from repro.obs.metrics import as_metrics
 from repro.obs.tracer import as_tracer
 from repro.solve.cache import SolveCache, SolveCacheProtocol, TieredSolveCache
 from repro.solve.fingerprint import ModelFingerprint, fingerprint_model
@@ -96,6 +97,7 @@ class SolveExecutor:
         settings: "SolverSettings | None" = None,
         cache: SolveCacheProtocol | None = None,
         telemetry: RunTelemetry | None = None,
+        metrics=None,
     ) -> None:
         if settings is None:
             from repro.core.reduce_latency import SolverSettings
@@ -106,6 +108,15 @@ class SolveExecutor:
         #: :data:`repro.obs.NULL_TRACER`).  Search drivers trace through
         #: this attribute so a shared executor keeps one span tree.
         self.tracer = as_tracer(getattr(settings, "tracer", None))
+        #: The run's metrics registry (explicit argument wins over
+        #: ``settings.metrics``; the no-op :data:`repro.obs.NULL_METRICS`
+        #: when neither is set).  Shard workers pass their own registry
+        #: here because settings never carry one across the wire.
+        self.metrics = as_metrics(
+            metrics if metrics is not None
+            else getattr(settings, "metrics", None)
+        )
+        self._register_metrics()
         use_cache = getattr(settings, "enable_cache", True)
         if cache is not None:
             self.cache = cache
@@ -117,10 +128,11 @@ class SolveExecutor:
                 from repro.solve.disk_cache import DiskSolveCache
 
                 self.cache = TieredSolveCache(
-                    SolveCache(), DiskSolveCache(cache_path)
+                    SolveCache(metrics=self.metrics),
+                    DiskSolveCache(cache_path, metrics=self.metrics),
                 )
             else:
-                self.cache = SolveCache()
+                self.cache = SolveCache(metrics=self.metrics)
         self.telemetry = telemetry if telemetry is not None else RunTelemetry()
         self.reuse_templates = bool(
             getattr(settings, "reuse_templates", True)
@@ -165,6 +177,48 @@ class SolveExecutor:
             tuple["TaskGraph", "ReconfigurableProcessor", float],
         ] = {}
         self._validate_backends()
+
+    def _register_metrics(self) -> None:
+        """Pre-resolve the executor's metric families (see
+        docs/observability.md for the catalog); with :data:`NULL_METRICS`
+        every family is the shared no-op object."""
+        m = self.metrics
+        self._m_windows = m.counter(
+            "repro_window_solves_total",
+            "Window solves concluded, by producing backend and status.",
+            ("backend", "status"),
+        )
+        self._m_window_seconds = m.histogram(
+            "repro_window_solve_seconds",
+            "End-to-end wall time of one window solve.",
+        )
+        self._m_primal_hits = m.counter(
+            "repro_primal_hits_total",
+            "Windows answered by the primal-first pipeline, by stage.",
+            ("stage",),
+        )
+        self._m_incumbent_reuses = m.counter(
+            "repro_incumbent_reuses_total",
+            "Windows answered by re-validating the carried incumbent.",
+        )
+        self._m_cuts_pooled = m.counter(
+            "repro_cuts_pooled_total",
+            "Cover cuts added to the persistent template pools.",
+        )
+        self._m_cut_pool_size = m.gauge(
+            "repro_cut_pool_size",
+            "Cover cuts pooled on the most recently separated template.",
+        )
+        self._m_template_builds = m.counter(
+            "repro_template_builds_total",
+            "Model templates built (one per graph/N/options structure).",
+        )
+        self._m_backend_timeouts = m.counter(
+            "repro_backend_timeouts_total",
+            "Backend attempts that exhausted their budget in a race "
+            "nobody won.",
+            ("backend",),
+        )
 
     def _validate_backends(self) -> None:
         for name in self.backends:
@@ -236,6 +290,7 @@ class SolveExecutor:
                 )
             self._templates[key] = template
             self.telemetry.template_builds += 1
+            self._m_template_builds.inc()
         return template
 
     # -- the one entry point -------------------------------------------------
@@ -400,7 +455,9 @@ class SolveExecutor:
                 tp_model, graph, processor, num_partitions, d_max, options,
                 budget, warm_values=warm_values, start_basis=start_basis,
             )
-            winner, completed = race_backends(attempts, tracer=tracer)
+            winner, completed = race_backends(
+                attempts, tracer=tracer, metrics=self.metrics
+            )
             for attempt in completed:
                 self.telemetry.add_backend_wall(
                     attempt.backend, attempt.wall_time
@@ -416,6 +473,7 @@ class SolveExecutor:
                     SolveStatus.NODE_LIMIT,
                 ):
                     self.telemetry.timeouts += 1
+                    self._m_backend_timeouts.labels(attempt.backend).inc()
                     tracer.event(
                         "backend_timeout",
                         backend=attempt.backend,
@@ -530,6 +588,8 @@ class SolveExecutor:
         degraded: bool = False,
     ) -> WindowOutcome:
         wall = time.perf_counter() - start
+        self._m_windows.labels(backend or "none", status.value).inc()
+        self._m_window_seconds.observe(wall)
         outcome = WindowOutcome(
             design=design,
             achieved=achieved,
@@ -650,6 +710,7 @@ class SolveExecutor:
                 return None, values
             sp.annotate(result="reused")
         self.telemetry.incumbent_reuses += 1
+        self._m_incumbent_reuses.inc()
         self.tracer.event(
             "incumbent_reuse", achieved=achieved,
             num_partitions=num_partitions,
@@ -719,6 +780,7 @@ class SolveExecutor:
                 bound=packing, d_max=d_max,
             )
             self.telemetry.primal_hits += 1
+            self._m_primal_hits.labels("bound").inc()
             if fp is not None:
                 self.cache.store_infeasible(fp, backend="primal:bound")
             return self._conclude(
@@ -740,6 +802,7 @@ class SolveExecutor:
             if status is SolveStatus.INFEASIBLE:
                 sp.annotate(result="lp_infeasible")
                 self.telemetry.primal_hits += 1
+                self._m_primal_hits.labels("lp").inc()
                 if fp is not None:
                     self.cache.store_infeasible(fp, backend="primal:lp")
                 return self._conclude(
@@ -764,6 +827,8 @@ class SolveExecutor:
                 added = template.add_pool_cuts(cuts) if cuts else 0
                 if added:
                     self.telemetry.pooled_cuts += added
+                    self._m_cuts_pooled.inc(added)
+                    self._m_cut_pool_size.set(template.pooled_cuts)
                     sp.event(
                         "cuts_pooled", added=added,
                         pool=template.pooled_cuts,
@@ -832,6 +897,7 @@ class SolveExecutor:
             achieved = design.total_latency(processor)
             sp.annotate(result="hit", label=label, achieved=achieved)
         self.telemetry.primal_hits += 1
+        self._m_primal_hits.labels(label.split(":", 1)[1]).inc()
         if fp is not None:
             self.cache.store_feasible(fp, design, achieved, backend=label)
         return self._conclude(
@@ -894,6 +960,7 @@ class SolveExecutor:
             label = f"primal:greedy:{policy}"
             sp.annotate(result="hit", label=label, achieved=achieved)
             self.telemetry.primal_hits += 1
+            self._m_primal_hits.labels("greedy").inc()
             if fp is not None:
                 self.cache.store_feasible(fp, design, achieved, backend=label)
             return self._conclude(

@@ -72,6 +72,7 @@ def race_backends(
     grace: float = 0.05,
     tracer=None,
     parent=None,
+    metrics=None,
 ) -> tuple[SolveAttempt | None, list[SolveAttempt]]:
     """Run every attempt concurrently; return the first conclusive one.
 
@@ -91,6 +92,12 @@ def race_backends(
         (``parent`` or the caller's current span) and attached
         explicitly — the spans nest under the window solve in the tree
         even though they ran on other threads.
+    metrics:
+        Optional :class:`repro.obs.MetricsRegistry` recording per-backend
+        attempt counts, win/cancellation counts and solve-duration
+        histograms.  Worker threads only call the registry's (locked)
+        methods — no shared state is assigned — so the portfolio's
+        race-freedom rules hold.
 
     Returns
     -------
@@ -103,12 +110,29 @@ def race_backends(
         from repro.obs.tracer import NULL_TRACER
 
         tracer = NULL_TRACER
+    if metrics is None:
+        from repro.obs.metrics import NULL_METRICS
+
+        metrics = NULL_METRICS
     if parent is None:
         parent = tracer.current_span()
+
+    m_attempts = metrics.counter(
+        "repro_backend_attempts_total",
+        "Backend attempts started in portfolio races.",
+        ("backend",),
+    )
+    m_seconds = metrics.histogram(
+        "repro_backend_solve_seconds",
+        "Wall time of one backend attempt (winners and losers alike).",
+        ("backend",),
+    )
 
     def run(name: str, fn: AttemptFn, cancel: threading.Event) -> SolveAttempt:
         with tracer.span(f"attempt:{name}", parent=parent, backend=name) as sp:
             attempt = _run_guarded(name, fn, cancel)
+            m_attempts.labels(name).inc()
+            m_seconds.labels(name).observe(attempt.wall_time)
             sp.annotate(
                 status=attempt.status.value,
                 iterations=attempt.iterations,
@@ -122,7 +146,9 @@ def race_backends(
     if len(attempts) == 1:
         name, fn = attempts[0]
         attempt = run(name, fn, cancel)
-        return (attempt if attempt.conclusive else None), [attempt]
+        winner = attempt if attempt.conclusive else None
+        _tally_race(metrics, winner, [attempt])
+        return winner, [attempt]
 
     completed: list[SolveAttempt] = []
     winner: SolveAttempt | None = None
@@ -155,7 +181,33 @@ def race_backends(
     finally:
         cancel.set()
         pool.shutdown(wait=False, cancel_futures=True)
+    _tally_race(metrics, winner, completed)
     return winner, completed
+
+
+def _tally_race(metrics, winner, completed) -> None:
+    """Per-backend win/cancellation counters, recorded on the caller's
+    thread once the race is decided (losers reporting a budget status
+    after a winner emerged were cancelled, not slow)."""
+    m_wins = metrics.counter(
+        "repro_backend_wins_total",
+        "Races decided by this backend's conclusive verdict.",
+        ("backend",),
+    )
+    m_cancellations = metrics.counter(
+        "repro_backend_cancellations_total",
+        "Attempts cancelled because another backend answered first.",
+        ("backend",),
+    )
+    if winner is None:
+        return
+    m_wins.labels(winner.backend).inc()
+    for attempt in completed:
+        if attempt is not winner and attempt.status in (
+            SolveStatus.TIME_LIMIT,
+            SolveStatus.NODE_LIMIT,
+        ):
+            m_cancellations.labels(attempt.backend).inc()
 
 
 def _run_guarded(

@@ -301,6 +301,13 @@ class RunTelemetry:
             payload["solves"] = [s.to_dict() for s in self.solves]
         return payload
 
+    @property
+    def disk_hit_rate(self) -> float:
+        """Fraction of window solves answered by the disk tier (0 idle)."""
+        if not self.solves:
+            return 0.0
+        return self.disk_hits / len(self.solves)
+
     def summary(self) -> str:
         """One-line human summary for CLI footers and logs."""
         backends = ", ".join(
@@ -318,15 +325,37 @@ class RunTelemetry:
                 f"{self.basis_restarts} basis/"
                 f"{self.pooled_cuts} cuts"
             )
-        disk = f" ({self.disk_hits} disk)" if self.disk_hits else ""
+        if self.total_solves:
+            disk = ""
+            if self.disk_hits:
+                disk = (
+                    f" ({self.disk_hits} disk, "
+                    f"{self.disk_hit_rate:.0%} disk rate)"
+                )
+            cache = (
+                f"({self.cache_hits} cached{disk}, hit rate "
+                f"{self.cache_hit_rate:.0%})"
+            )
+        elif self.disk_hits:
+            # Merged worker aggregates carry counters but no per-solve
+            # records; the disk tier's work is still worth surfacing.
+            cache = f"({self.disk_hits} disk hits)"
+        else:
+            # No window was solved: a "0.0% hit rate" would read as a
+            # cold cache when the cache was simply never consulted.
+            cache = "(cache idle)"
+        service = (
+            f", merged from {self.workers_merged} worker(s)"
+            if self.workers_merged
+            else ""
+        )
         return (
             f"{self.total_solves} solves "
-            f"({self.cache_hits} cached{disk}, hit rate "
-            f"{self.cache_hit_rate:.0%}), wins: {backends}, "
+            f"{cache}, wins: {backends}, "
             f"{self.timeouts} timeouts, {self.fallbacks} fallbacks{reuse}, "
             f"templates: {self.template_builds} built/"
             f"{self.template_instantiations} instantiated, "
             f"window wall p50/p90/max "
             f"{pct['p50']:.2f}/{pct['p90']:.2f}/{pct['max']:.2f}s, "
-            f"{self.total_wall_time:.2f}s total"
+            f"{self.total_wall_time:.2f}s total{service}"
         )

@@ -124,6 +124,33 @@ class TestPhaseProfile:
         assert "solve" in report
         assert "total root wall time" in report
 
+    def test_percentiles_use_nearest_rank(self):
+        events = [
+            end(i, "solve", float(i), (i + 1) / 100.0) for i in range(100)
+        ]
+        stat = PhaseProfile.from_events(events).phases["solve"]
+        assert stat.p50 == pytest.approx(0.50)
+        assert stat.p95 == pytest.approx(0.95)
+        assert stat.p99 == pytest.approx(0.99)
+
+    def test_percentiles_of_single_span_are_its_duration(self):
+        stat = PhaseProfile.from_events(
+            [end(1, "solve", 0.0, 0.25)]
+        ).phases["solve"]
+        assert stat.p50 == stat.p95 == stat.p99 == pytest.approx(0.25)
+
+    def test_report_shows_percentile_columns(self):
+        report = PhaseProfile.from_events(self.events()).report()
+        header = report.splitlines()[0]
+        for column in ("p50 (ms)", "p95 (ms)", "p99 (ms)"):
+            assert column in header
+        # solve durations 0.8 and 0.6 -> p50 600ms, p95/p99 800ms
+        solve_row = next(
+            line for line in report.splitlines() if line.startswith("solve")
+        )
+        assert "600.00" in solve_row
+        assert "800.00" in solve_row
+
     def test_report_on_empty_trace(self):
         assert "empty trace" in PhaseProfile.from_events([]).report()
 

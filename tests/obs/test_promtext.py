@@ -1,0 +1,177 @@
+"""Prometheus text exposition: rendering and structural validation."""
+
+from __future__ import annotations
+
+import urllib.request
+
+from repro.obs import (
+    MetricsRegistry,
+    MetricsServer,
+    render_promtext,
+    validate_promtext,
+)
+from repro.obs.promtext import CONTENT_TYPE
+
+
+def sample_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter(
+        "repro_window_solves_total", "Window solves.", ("backend", "status")
+    ).labels("highs", "feasible").inc(3)
+    registry.gauge("repro_cut_pool_size", "Pooled cuts.").set(7)
+    registry.histogram(
+        "repro_window_solve_seconds", "Solve wall time.", buckets=(0.1, 1.0)
+    ).observe(0.5)
+    return registry
+
+
+class TestRender:
+    def test_families_carry_help_type_and_samples(self):
+        text = render_promtext(sample_registry().snapshot())
+        assert "# HELP repro_window_solves_total Window solves." in text
+        assert "# TYPE repro_window_solves_total counter" in text
+        assert (
+            'repro_window_solves_total{backend="highs",status="feasible"} 3'
+            in text
+        )
+        assert "# TYPE repro_cut_pool_size gauge" in text
+        assert "repro_cut_pool_size 7" in text
+
+    def test_histogram_renders_cumulative_buckets_sum_count(self):
+        text = render_promtext(sample_registry().snapshot())
+        lines = text.splitlines()
+        assert 'repro_window_solve_seconds_bucket{le="0.1"} 0' in lines
+        assert 'repro_window_solve_seconds_bucket{le="1"} 1' in lines
+        assert 'repro_window_solve_seconds_bucket{le="+Inf"} 1' in lines
+        assert "repro_window_solve_seconds_sum 0.5" in lines
+        assert "repro_window_solve_seconds_count 1" in lines
+
+    def test_output_is_deterministic_and_sorted(self):
+        a = render_promtext(sample_registry().snapshot())
+        b = render_promtext(sample_registry().snapshot())
+        assert a == b
+        names = [
+            line.split()[2]
+            for line in a.splitlines()
+            if line.startswith("# TYPE")
+        ]
+        assert names == sorted(names)
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", "weird", ("p",)).labels('a"b\\c\nd').inc()
+        text = render_promtext(registry.snapshot())
+        assert 'x_total{p="a\\"b\\\\c\\nd"} 1' in text
+        assert validate_promtext(text) == []
+
+    def test_render_validates_clean(self):
+        text = render_promtext(sample_registry().snapshot())
+        assert validate_promtext(text) == []
+
+
+class TestValidate:
+    def test_missing_required_metric_reported(self):
+        text = render_promtext(sample_registry().snapshot())
+        problems = validate_promtext(text, require=("repro_absent_total",))
+        assert any("repro_absent_total" in p for p in problems)
+
+    def test_sample_without_type_header_reported(self):
+        problems = validate_promtext("orphan_total 1\n")
+        assert any("TYPE" in p for p in problems)
+
+    def test_counter_name_convention_enforced(self):
+        problems = validate_promtext(
+            "# HELP bad counter\n# TYPE bad counter\nbad 1\n"
+        )
+        assert any("_total" in p for p in problems)
+
+    def test_negative_counter_reported(self):
+        problems = validate_promtext(
+            "# HELP x_total c\n# TYPE x_total counter\nx_total -1\n"
+        )
+        assert any("negative" in p for p in problems)
+
+    def test_histogram_without_inf_bucket_reported(self):
+        problems = validate_promtext(
+            "# HELP h_seconds h\n# TYPE h_seconds histogram\n"
+            'h_seconds_bucket{le="1"} 1\n'
+            "h_seconds_sum 0.5\nh_seconds_count 1\n"
+        )
+        assert any("+Inf" in p for p in problems)
+
+    def test_non_monotone_histogram_reported(self):
+        problems = validate_promtext(
+            "# HELP h_seconds h\n# TYPE h_seconds histogram\n"
+            'h_seconds_bucket{le="1"} 2\n'
+            'h_seconds_bucket{le="+Inf"} 1\n'
+            "h_seconds_sum 0.5\nh_seconds_count 1\n"
+        )
+        assert any("monoton" in p or "cumulative" in p for p in problems)
+
+    def test_malformed_line_reported(self):
+        problems = validate_promtext("!!! not a metric line\n")
+        assert problems
+
+
+class TestMetricsServer:
+    def test_scrape_metrics_json_and_health(self):
+        registry = sample_registry()
+        with MetricsServer(registry, port=0) as server:
+            text = (
+                urllib.request.urlopen(server.url, timeout=5).read().decode()
+            )
+            assert validate_promtext(
+                text, require=("repro_window_solves_total",)
+            ) == []
+            base = server.url.rsplit("/", 1)[0]
+            body = urllib.request.urlopen(
+                base + "/metrics.json", timeout=5
+            ).read()
+            assert b'"schema_version"' in body
+            health = urllib.request.urlopen(base + "/healthz", timeout=5)
+            assert health.read() == b"ok\n"
+
+    def test_content_type_is_prometheus_text(self):
+        with MetricsServer(sample_registry(), port=0) as server:
+            response = urllib.request.urlopen(server.url, timeout=5)
+            assert response.headers["Content-Type"] == CONTENT_TYPE
+
+    def test_scrape_sees_live_updates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("live_total", "live")
+        with MetricsServer(registry, port=0) as server:
+            counter.inc()
+
+            def scrape() -> str:
+                return (
+                    urllib.request.urlopen(server.url, timeout=5)
+                    .read()
+                    .decode()
+                )
+
+            assert "live_total 1" in scrape()
+            counter.inc()
+            assert "live_total 2" in scrape()
+
+    def test_unknown_path_is_404(self):
+        import urllib.error
+
+        with MetricsServer(sample_registry(), port=0) as server:
+            base = server.url.rsplit("/", 1)[0]
+            try:
+                urllib.request.urlopen(base + "/nope", timeout=5)
+            except urllib.error.HTTPError as exc:
+                assert exc.code == 404
+            else:  # pragma: no cover - failure path
+                raise AssertionError("expected a 404")
+
+    def test_callable_provider(self):
+        from repro.obs import MetricsSnapshot
+
+        snapshot = sample_registry().snapshot()
+        with MetricsServer(lambda: snapshot, port=0) as server:
+            text = (
+                urllib.request.urlopen(server.url, timeout=5).read().decode()
+            )
+        assert "repro_window_solves_total" in text
+        assert isinstance(snapshot, MetricsSnapshot)

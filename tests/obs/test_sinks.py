@@ -86,6 +86,41 @@ class TestJsonlSink:
         record = json.loads(path.read_text())
         assert "object" in record["obj"]
 
+    def test_flush_every_bounds_loss_without_close(self, tmp_path):
+        # A hard-killed process never reaches close(); periodic flushing
+        # bounds the loss to flush_every events.  Read the file while
+        # the sink is still open to prove the flush happened.
+        path = tmp_path / "events.jsonl"
+        sink = JsonlSink(path, flush_every=2)
+        sink.emit({"n": 1})
+        sink.emit({"n": 2})
+        sink.emit({"n": 3})  # not yet flushed
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) >= 2
+        sink.close()
+        assert len(path.read_text().strip().splitlines()) == 3
+
+    def test_flush_every_one_persists_each_event(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonlSink(path, flush_every=1)
+        for n in range(5):
+            sink.emit({"n": n})
+            lines = path.read_text().strip().splitlines()
+            assert len(lines) == n + 1
+        sink.close()
+
+    def test_flush_every_zero_disables_periodic_flush(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonlSink(path, flush_every=0)
+        for n in range(100):
+            sink.emit({"n": n})
+        sink.close()  # close still flushes everything
+        assert len(path.read_text().strip().splitlines()) == 100
+
+    def test_negative_flush_every_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            JsonlSink(tmp_path / "x.jsonl", flush_every=-1)
+
     def test_multi_sink_tracer_feeds_both(self, tmp_path):
         memory = MemorySink()
         jsonl = JsonlSink(tmp_path / "e.jsonl")

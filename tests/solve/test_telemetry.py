@@ -78,3 +78,35 @@ class TestSummary:
         assert payload["total_solves"] == 1
         assert payload["backend_wins"] == {"highs": 1}
         assert payload["solves"][0]["backend"] == "highs"
+
+    def test_zero_solve_summary_reads_idle_not_cold(self):
+        summary = RunTelemetry().summary()
+        assert "cache idle" in summary
+        assert "0%" not in summary
+        assert "0.0%" not in summary
+
+    def test_summary_shows_disk_hits_and_rate(self):
+        telemetry = RunTelemetry()
+        for _ in range(4):
+            telemetry.record(stats(cache_hit=True))
+        telemetry.disk_hits = 2
+        summary = telemetry.summary()
+        assert "2 disk" in summary
+        assert "50% disk rate" in summary
+        assert telemetry.disk_hit_rate == 0.5
+
+    def test_merged_worker_summary_surfaces_disk_and_workers(self):
+        # Shard reports travel with include_solves=False: counters only.
+        worker = RunTelemetry()
+        worker.disk_hits = 3
+        merged = RunTelemetry()
+        merged.merge(
+            RunTelemetry.from_dict(worker.to_dict(include_solves=False))
+        )
+        summary = merged.summary()
+        assert "3 disk hits" in summary
+        assert "merged from 1 worker(s)" in summary
+        assert "0.0%" not in summary
+
+    def test_single_process_summary_has_no_worker_suffix(self):
+        assert "merged" not in RunTelemetry().summary()

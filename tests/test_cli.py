@@ -415,3 +415,105 @@ class TestServe:
             "error": "invalid request"
         }
         assert "served 0 requests" in captured.err
+
+
+class TestMetricsFlags:
+    def test_partition_metrics_json(self, ar_json, tmp_path, capsys):
+        out = tmp_path / "metrics.json"
+        code = main([
+            "partition", ar_json,
+            "--r-max", "400", "--m-max", "128", "--ct", "20",
+            "--solve-limit", "10", "--metrics-json", str(out),
+        ])
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["schema_version"] == 1
+        names = [m["name"] for m in payload["metrics"]]
+        assert "repro_window_solves_total" in names
+        assert f"metrics written to {out}" in capsys.readouterr().out
+
+    def test_serve_metrics_port_scrapes_and_dumps(
+        self, monkeypatch, tmp_path, capsys
+    ):
+        import io
+        import re
+        import urllib.request
+
+        from repro.taskgraph import io as graph_io
+
+        dump = tmp_path / "metrics.json"
+        line = json.dumps({"graph": graph_io.to_dict(ar_filter())})
+
+        scraped = {}
+        real_stdin = io.StringIO(line + "\n\n")
+
+        class ScrapingStdin:
+            """Scrape the live endpoint between request lines."""
+
+            def __iter__(self):
+                for text in real_stdin:
+                    yield text
+                    err = capsys.readouterr().err
+                    match = re.search(r"metrics at (\S+)", err)
+                    if match and "body" not in scraped:
+                        scraped["body"] = urllib.request.urlopen(
+                            match.group(1), timeout=5
+                        ).read().decode()
+
+        monkeypatch.setattr("sys.stdin", ScrapingStdin())
+        code = main([
+            "serve",
+            "--r-max", "400", "--m-max", "128", "--ct", "20",
+            "--workers", "0", "--solve-limit", "10",
+            "--metrics-port", "0", "--metrics-json", str(dump),
+        ])
+        assert code == 0
+        payload = json.loads(dump.read_text())
+        names = [m["name"] for m in payload["metrics"]]
+        assert "repro_service_requests_total" in names
+        assert "repro_window_solves_total" in names
+
+    def test_metrics_report_merges_and_prints(self, tmp_path, capsys):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.counter(
+            "repro_window_solves_total", "solves", ("backend", "status")
+        ).labels("highs", "feasible").inc(3)
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        a.write_text(json.dumps(registry.snapshot().to_dict()))
+        b.write_text(json.dumps(registry.snapshot().to_dict()))
+        code = main(["metrics", "report", str(a), str(b)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "repro_window_solves_total" in out
+        assert "6" in out  # 3 + 3 merged
+
+    def test_metrics_report_prom_output_validates(self, tmp_path, capsys):
+        from repro.obs import MetricsRegistry, validate_promtext
+
+        registry = MetricsRegistry()
+        registry.histogram(
+            "repro_window_solve_seconds", "wall", buckets=(0.1, 1.0)
+        ).observe(0.5)
+        path = tmp_path / "m.json"
+        path.write_text(json.dumps(registry.snapshot().to_dict()))
+        code = main(["metrics", "report", str(path), "--prom"])
+        assert code == 0
+        assert validate_promtext(capsys.readouterr().out) == []
+
+    def test_metrics_report_empty_exits_one(self, tmp_path, capsys):
+        from repro.obs import MetricsSnapshot
+
+        path = tmp_path / "empty.json"
+        path.write_text(json.dumps(MetricsSnapshot.empty().to_dict()))
+        assert main(["metrics", "report", str(path)]) == 1
+        assert "no metrics recorded" in capsys.readouterr().err
+
+    def test_metrics_report_bad_file_exits_two(self, tmp_path, capsys):
+        path = tmp_path / "junk.json"
+        path.write_text("{]")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["metrics", "report", str(path)])
+        assert excinfo.value.code == 2

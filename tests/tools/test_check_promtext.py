@@ -1,0 +1,86 @@
+"""The promtext checker CLI (tools/check_promtext.py).
+
+``tools`` is not a package, so the module is loaded straight from its
+file path.  The checker wraps ``repro.obs.validate_promtext``; these
+tests pin the CLI contract CI relies on — exit codes, ``--require`` and
+per-file problem listings.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+from repro.obs import MetricsRegistry, render_promtext
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+TOOL_PATH = REPO_ROOT / "tools" / "check_promtext.py"
+
+
+def _load_tool():
+    spec = importlib.util.spec_from_file_location("check_promtext", TOOL_PATH)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+check_promtext = _load_tool()
+
+
+def valid_exposition() -> str:
+    registry = MetricsRegistry()
+    registry.counter(
+        "repro_window_solves_total", "Window solves.", ("backend",)
+    ).labels("highs").inc(2)
+    registry.histogram(
+        "repro_window_solve_seconds", "Wall time.", buckets=(0.1, 1.0)
+    ).observe(0.2)
+    return render_promtext(registry.snapshot())
+
+
+class TestCheckPromtext:
+    def test_valid_file_passes(self, tmp_path, capsys):
+        path = tmp_path / "metrics.prom"
+        path.write_text(valid_exposition())
+        assert check_promtext.main([str(path)]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_require_present_metric_passes(self, tmp_path):
+        path = tmp_path / "metrics.prom"
+        path.write_text(valid_exposition())
+        code = check_promtext.main(
+            [str(path), "--require", "repro_window_solves_total"]
+        )
+        assert code == 0
+
+    def test_require_missing_metric_fails(self, tmp_path, capsys):
+        path = tmp_path / "metrics.prom"
+        path.write_text(valid_exposition())
+        code = check_promtext.main(
+            [str(path), "--require", "repro_absent_total"]
+        )
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "INVALID" in err
+        assert "repro_absent_total" in err
+
+    def test_structurally_broken_file_fails(self, tmp_path, capsys):
+        path = tmp_path / "broken.prom"
+        path.write_text(
+            "# HELP h_seconds h\n# TYPE h_seconds histogram\n"
+            'h_seconds_bucket{le="1"} 1\n'
+            "h_seconds_sum 0.5\nh_seconds_count 1\n"
+        )
+        assert check_promtext.main([str(path)]) == 1
+        assert "+Inf" in capsys.readouterr().err
+
+    def test_missing_file_fails(self, tmp_path, capsys):
+        assert check_promtext.main([str(tmp_path / "absent.prom")]) == 1
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_one_bad_file_fails_the_batch(self, tmp_path):
+        good = tmp_path / "good.prom"
+        good.write_text(valid_exposition())
+        bad = tmp_path / "bad.prom"
+        bad.write_text("!!! nope\n")
+        assert check_promtext.main([str(good), str(bad)]) == 1

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Validate a Prometheus text exposition produced by the metrics layer.
+
+Usage::
+
+    python tools/check_promtext.py metrics.prom [more.prom ...]
+    python tools/check_promtext.py --require repro_window_solves_total -- \
+        scraped.prom
+
+Exits non-zero and lists every structural problem if any file fails
+``repro.obs.validate_promtext`` — the same shape rules a Prometheus
+scraper enforces (HELP/TYPE headers, sample-line syntax, ``_total``
+counter naming, complete ``+Inf``-terminated cumulative histograms).
+``--require`` additionally demands that the named metric families are
+present, which is how CI asserts a scrape of ``repro-tp serve
+--metrics-port`` actually carries the solve counters.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.obs import validate_promtext  # noqa: E402
+
+
+def check_file(path: Path, require: tuple[str, ...]) -> list[str]:
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        return [f"cannot read file: {exc}"]
+    return validate_promtext(text, require=require)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "files", nargs="+", type=Path,
+        help="Prometheus text exposition file(s), e.g. a /metrics scrape",
+    )
+    parser.add_argument(
+        "--require", action="append", default=[], metavar="NAME",
+        help="metric family that must be present (repeatable)",
+    )
+    args = parser.parse_args(argv)
+
+    failed = False
+    for path in args.files:
+        problems = check_file(path, tuple(args.require))
+        if problems:
+            failed = True
+            print(f"{path}: INVALID", file=sys.stderr)
+            for problem in problems:
+                print(f"  - {problem}", file=sys.stderr)
+        else:
+            families = sum(
+                1
+                for line in path.read_text().splitlines()
+                if line.startswith("# TYPE ")
+            )
+            print(f"{path}: ok ({families} metric families)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
