@@ -38,6 +38,11 @@ Subcommands:
     combination and run the pre-solve analyzer (:mod:`repro.analysis`)
     without solving; prints the diagnostics report (catalog in
     ``docs/analysis.md``).
+``lint``
+    Run the repo's scope-aware static analysis
+    (:mod:`repro.staticcheck`, rules RL001-RL009) over the source
+    tree; text, JSON or SARIF output, findings baseline support
+    (catalog in ``docs/staticcheck.md``).
 
 Exit codes (shared by all subcommands):
 
@@ -76,6 +81,7 @@ from repro.core import (
     TemporalPartitioner,
     bounds,
 )
+from repro.staticcheck import cli as staticcheck_cli
 from repro.taskgraph import generators, io as graph_io
 from repro.taskgraph.graph import TaskGraph
 
@@ -818,6 +824,10 @@ def _cmd_metrics_report(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    return staticcheck_cli.run(args)
+
+
 def _cmd_table(args: argparse.Namespace) -> int:
     from repro.experiments import (
         DCT_EXPERIMENTS,
@@ -1102,6 +1112,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the merged snapshot as JSON instead of the table",
     )
     metrics_report.set_defaults(func=_cmd_metrics_report)
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="run the repo's scope-aware static analysis (RL001-RL009)",
+        description="Scope-aware static analysis over the repo sources: "
+        "compiled-model immutability, portfolio/process-pool worker "
+        "discipline, async non-blocking, fingerprint determinism and "
+        "scenario-builder purity.  Rule catalog: docs/staticcheck.md.  "
+        "Exit codes: 0 = clean, 1 = active findings, 2 = usage/IO "
+        "error.",
+    )
+    staticcheck_cli.add_arguments(lint)
+    lint.set_defaults(func=_cmd_lint)
 
     return parser
 

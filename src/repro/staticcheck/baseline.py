@@ -1,0 +1,75 @@
+"""The committed findings baseline.
+
+New rules land *warn-first*: their pre-existing findings are recorded in
+a committed baseline file (``.staticcheck-baseline.json`` at the repo
+root) and reported as ``baselined`` instead of failing the run.  Fixing
+a finding removes it from the code; regenerating the baseline
+(``repro-tp lint --write-baseline``) then shrinks the file — the
+baseline only ever ratchets down.
+
+Baseline entries deliberately omit line numbers: they match on
+``(rule, path, symbol, message)`` so unrelated edits shifting a file do
+not invalidate the baseline.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+__all__ = ["Baseline", "DEFAULT_BASELINE_NAME"]
+
+DEFAULT_BASELINE_NAME = ".staticcheck-baseline.json"
+
+_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """A set of accepted findings keyed by their stable identity."""
+
+    entries: set[tuple[str, str, str, str]]
+
+    @classmethod
+    def empty(cls) -> "Baseline":
+        return cls(entries=set())
+
+    @classmethod
+    def load(cls, path: Path | str) -> "Baseline":
+        path = Path(path)
+        try:
+            payload = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"baseline {path} is not valid JSON: {exc}")
+        if payload.get("version") != _VERSION:
+            raise ValueError(
+                f"baseline {path} has unsupported version "
+                f"{payload.get('version')!r} (expected {_VERSION})"
+            )
+        entries = set()
+        for entry in payload.get("findings", []):
+            entries.add((
+                str(entry["rule"]), str(entry["path"]),
+                str(entry.get("symbol") or ""), str(entry["message"]),
+            ))
+        return cls(entries=entries)
+
+    @classmethod
+    def from_findings(cls, findings: Iterable) -> "Baseline":
+        return cls(entries={finding.key() for finding in findings})
+
+    def matches(self, finding) -> bool:
+        return finding.key() in self.entries
+
+    def to_dict(self) -> dict:
+        findings = [
+            {"rule": rule, "path": path, "symbol": symbol or None,
+             "message": message}
+            for rule, path, symbol, message in sorted(self.entries)
+        ]
+        return {"version": _VERSION, "findings": findings}
+
+    def write(self, path: Path | str) -> None:
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2) + "\n")

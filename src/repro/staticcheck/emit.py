@@ -1,0 +1,139 @@
+"""Finding emitters: text, JSON and SARIF 2.1.0.
+
+The JSON form is the machine-readable contract (CI artifact uploads
+consume it); SARIF is for code-scanning UIs.  Both carry the full rule
+catalog metadata so a report is self-describing.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from repro.staticcheck.findings import Finding, iter_rules
+
+__all__ = ["render_text", "render_json", "render_sarif", "FORMATS"]
+
+FORMATS = ("text", "json", "sarif")
+
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_TOOL_NAME = "repro-staticcheck"
+_TOOL_URI = "https://github.com/"  # populated by docs/staticcheck.md
+
+
+def _summary_counts(findings: Sequence[Finding]) -> dict:
+    return {
+        "total": len(findings),
+        "active": sum(1 for f in findings if f.active),
+        "suppressed": sum(1 for f in findings if f.suppressed),
+        "baselined": sum(1 for f in findings if f.baselined),
+    }
+
+
+def render_text(findings: Sequence[Finding], files_checked: int,
+                verbose: bool = False) -> str:
+    """One line per finding, active findings only unless ``verbose``."""
+    lines = [
+        finding.render()
+        for finding in findings
+        if verbose or finding.active
+    ]
+    counts = _summary_counts(findings)
+    summary = (
+        f"{files_checked} file(s) checked: {counts['active']} finding(s)"
+    )
+    extras = []
+    if counts["suppressed"]:
+        extras.append(f"{counts['suppressed']} suppressed")
+    if counts["baselined"]:
+        extras.append(f"{counts['baselined']} baselined")
+    if extras:
+        summary += f" ({', '.join(extras)})"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding], files_checked: int) -> str:
+    payload = {
+        "version": 1,
+        "tool": _TOOL_NAME,
+        "files_checked": files_checked,
+        "summary": _summary_counts(findings),
+        "findings": [finding.to_dict() for finding in findings],
+    }
+    return json.dumps(payload, indent=2)
+
+
+_LEVELS = {"error": "error", "warning": "warning"}
+
+
+def render_sarif(findings: Sequence[Finding], files_checked: int) -> str:
+    """Findings as a SARIF 2.1.0 log (one run, full rule catalog).
+
+    Suppressed/baselined findings are carried with a populated
+    ``suppressions`` array, as the SARIF spec prescribes, so
+    code-scanning UIs show them as resolved rather than open.
+    """
+    rules = [
+        {
+            "id": rule.id,
+            "name": rule.title.replace(" ", "-"),
+            "shortDescription": {"text": rule.title},
+            "fullDescription": {"text": rule.rationale},
+            "help": {"text": rule.fix_hint},
+            "defaultConfiguration": {"level": _LEVELS[rule.severity]},
+        }
+        for rule in iter_rules()
+    ]
+    results = []
+    for finding in findings:
+        result = {
+            "ruleId": finding.rule,
+            "level": _LEVELS.get(finding.severity, "error"),
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path,
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {"startLine": max(finding.line, 1)},
+                    }
+                }
+            ],
+        }
+        if finding.symbol:
+            result["locations"][0]["logicalLocations"] = [
+                {"fullyQualifiedName": finding.symbol}
+            ]
+        if finding.suppressed:
+            result["suppressions"] = [{"kind": "inSource"}]
+        elif finding.baselined:
+            result["suppressions"] = [
+                {"kind": "external",
+                 "justification": "accepted in the committed baseline"}
+            ]
+        results.append(result)
+    log = {
+        "$schema": _SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": _TOOL_NAME,
+                        "informationUri": _TOOL_URI,
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+                "columnKind": "utf16CodeUnits",
+            }
+        ],
+    }
+    return json.dumps(log, indent=2)

@@ -1,0 +1,151 @@
+"""Typed findings and the rule registry.
+
+A :class:`Finding` is one rule violation at one source location; rules
+are registered with :func:`register_rule`, which attaches the rule's
+catalog metadata (severity, rationale, fix hint) so the emitters and
+``docs/staticcheck.md`` share one source of truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Iterable, Iterator
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "register_rule",
+    "rule",
+    "iter_rules",
+    "rule_ids",
+]
+
+#: Severity levels, in increasing order of weight.
+SEVERITIES = ("warning", "error")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One static-analysis finding.
+
+    ``suppressed`` marks findings silenced by an inline
+    ``# repro-lint: ignore[...]`` comment; ``baselined`` marks findings
+    matched by the committed baseline file.  Emitters only *fail* on
+    findings with neither flag set (:attr:`active`).
+    """
+
+    rule: str
+    path: str  #: posix-style path as reported (repo-relative when possible)
+    line: int
+    message: str
+    symbol: str | None = None  #: enclosing function/class, when known
+    severity: str = "error"
+    suppressed: bool = False
+    baselined: bool = False
+
+    @property
+    def active(self) -> bool:
+        return not (self.suppressed or self.baselined)
+
+    def key(self) -> tuple[str, str, str, str]:
+        """Baseline identity: line numbers drift, so the key is the
+        rule, the path, the enclosing symbol and the message."""
+        return (self.rule, self.path, self.symbol or "", self.message)
+
+    def render(self) -> str:
+        location = f"{self.path}:{self.line}"
+        state = ""
+        if self.suppressed:
+            state = " [suppressed]"
+        elif self.baselined:
+            state = " [baselined]"
+        return f"{location}: {self.rule} {self.message}{state}"
+
+    def with_state(self, *, suppressed: bool | None = None,
+                   baselined: bool | None = None) -> "Finding":
+        updates = {}
+        if suppressed is not None:
+            updates["suppressed"] = suppressed
+        if baselined is not None:
+            updates["baselined"] = baselined
+        return replace(self, **updates)
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "symbol": self.symbol,
+            "severity": self.severity,
+            "message": self.message,
+            "suppressed": self.suppressed,
+            "baselined": self.baselined,
+        }
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered rule plus its catalog metadata."""
+
+    id: str
+    title: str
+    severity: str
+    rationale: str
+    fix_hint: str
+    check: Callable = field(compare=False)
+
+    def finding(self, ctx, node, message: str,
+                symbol: str | None = None) -> Finding:
+        """Build a finding for ``node`` in ``ctx`` (a FileContext)."""
+        if symbol is None:
+            symbol = ctx.symbol_at(node)
+        return Finding(
+            rule=self.id,
+            path=ctx.display_path,
+            line=getattr(node, "lineno", 0),
+            message=message,
+            symbol=symbol,
+            severity=self.severity,
+        )
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register_rule(rule_id: str, *, title: str, severity: str = "error",
+                  rationale: str, fix_hint: str):
+    """Class/function decorator registering a rule's check callable.
+
+    The callable receives ``(rule, ctx, project)`` — the rule's own
+    metadata, the per-file context (source, scopes, path classification)
+    and the cross-file project index — and yields :class:`Finding`\\ s.
+    """
+    if severity not in SEVERITIES:
+        raise ValueError(f"unknown severity {severity!r}")
+
+    def decorator(check: Callable) -> Callable:
+        if rule_id in _REGISTRY:
+            raise ValueError(f"rule {rule_id!r} is already registered")
+        _REGISTRY[rule_id] = Rule(
+            id=rule_id, title=title, severity=severity,
+            rationale=rationale, fix_hint=fix_hint, check=check,
+        )
+        return check
+
+    return decorator
+
+
+def rule(rule_id: str) -> Rule:
+    return _REGISTRY[rule_id]
+
+
+def iter_rules(ids: Iterable[str] | None = None) -> Iterator[Rule]:
+    """Registered rules in id order (optionally a subset)."""
+    selected = set(ids) if ids is not None else None
+    for rule_id in sorted(_REGISTRY):
+        if selected is None or rule_id in selected:
+            yield _REGISTRY[rule_id]
+
+
+def rule_ids() -> tuple[str, ...]:
+    return tuple(sorted(_REGISTRY))

@@ -1,0 +1,165 @@
+"""Shared purity queries used by the concurrency and contract packs.
+
+RL006 (process-pool workers) and RL009 (constraint-family builders)
+enforce the same underlying discipline — a function that must not
+touch state outside its arguments — against different scopes.  The
+queries here answer, for one function definition and its module's
+symbol table:
+
+* which statements write or mutate *module-level* state,
+* which reads capture a *mutable module global* (a name bound to a
+  list/dict/set at module level),
+* which reads capture *enclosing-function* state (closure captures),
+* which calls read wall clocks or random sources.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+__all__ = [
+    "walk_function_body",
+    "walk_own_body",
+    "module_state_writes",
+    "mutable_global_reads",
+    "closure_captures",
+    "nondeterministic_call",
+    "MUTATING_METHODS",
+]
+
+#: Methods that mutate their receiver in place (list/dict/set/deque).
+MUTATING_METHODS = frozenset({
+    "append", "extend", "insert", "remove", "pop", "popitem", "clear",
+    "update", "add", "discard", "setdefault", "sort", "reverse",
+    "appendleft", "extendleft", "fill",
+})
+
+#: Wall-clock and RNG entry points, resolved through the symbol table
+#: (so ``from time import perf_counter as tick`` is still caught).
+_WALL_CLOCK = frozenset({
+    "time.time", "time.time_ns", "time.perf_counter",
+    "time.perf_counter_ns", "time.monotonic", "time.monotonic_ns",
+    "time.process_time", "datetime.datetime.now",
+    "datetime.datetime.utcnow", "datetime.date.today",
+})
+
+_RNG_PREFIXES = ("random.", "numpy.random.", "secrets.")
+_RNG_EXACT = frozenset({"os.urandom", "uuid.uuid1", "uuid.uuid4"})
+
+
+def nondeterministic_call(qualname: str | None) -> str | None:
+    """A short label when ``qualname`` reads a clock or random source."""
+    if qualname is None:
+        return None
+    if qualname in _WALL_CLOCK:
+        return "wall clock"
+    if qualname in _RNG_EXACT or qualname.startswith(_RNG_PREFIXES):
+        return "random source"
+    return None
+
+
+def walk_function_body(funcdef) -> Iterator[ast.AST]:
+    """Every node in ``funcdef``'s body, including nested functions."""
+    for stmt in funcdef.body:
+        yield from ast.walk(stmt)
+
+
+def walk_own_body(funcdef) -> Iterator[ast.AST]:
+    """Nodes in ``funcdef``'s body, *excluding* nested def/lambda
+    bodies — the async-blocking rule must not flag a sync helper
+    defined inside an ``async def``."""
+    stack = list(funcdef.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _resolves_to_module(ctx, name_node: ast.Name) -> bool:
+    binding = ctx.scopes.resolve(name_node)
+    return binding is not None and binding.scope.kind == "module"
+
+
+def module_state_writes(ctx, funcdef) -> Iterator[tuple[ast.AST, str]]:
+    """Statements in ``funcdef`` that write or mutate module state.
+
+    Yields ``(node, description)``: ``global``/``nonlocal``
+    declarations, subscript/attribute stores whose base is a module
+    global, and in-place mutation method calls on module globals.
+    """
+    for node in walk_function_body(funcdef):
+        if isinstance(node, ast.Global):
+            yield node, f"'global {', '.join(node.names)}' declaration"
+        elif isinstance(node, ast.Nonlocal):
+            yield node, f"'nonlocal {', '.join(node.names)}' declaration"
+        elif isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = (node.targets if isinstance(node, ast.Assign)
+                       else [node.target])
+            for target in targets:
+                base = target
+                while isinstance(base, (ast.Subscript, ast.Attribute)):
+                    base = base.value
+                if (base is not target and isinstance(base, ast.Name)
+                        and _resolves_to_module(ctx, base)):
+                    yield node, (
+                        f"write through module global '{base.id}'"
+                    )
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (isinstance(func, ast.Attribute)
+                    and func.attr in MUTATING_METHODS
+                    and isinstance(func.value, ast.Name)
+                    and _resolves_to_module(ctx, func.value)):
+                binding = ctx.scopes.resolve(func.value)
+                if binding is not None and binding.kind in (
+                        "assign", "comprehension"):
+                    yield node, (
+                        f"in-place '{func.value.id}.{func.attr}()' on a "
+                        "module global"
+                    )
+
+
+def mutable_global_reads(ctx, funcdef) -> Iterator[tuple[ast.Name, str]]:
+    """Reads in ``funcdef`` of module globals bound to mutable
+    literals (lists/dicts/sets) — shared mutable state by definition."""
+    for node in walk_function_body(funcdef):
+        if not isinstance(node, ast.Name) or not isinstance(
+                node.ctx, ast.Load):
+            continue
+        binding = ctx.scopes.resolve(node)
+        if (binding is not None and binding.scope.kind == "module"
+                and binding.is_mutable_literal):
+            yield node, f"read of mutable module global '{node.id}'"
+
+
+def closure_captures(ctx, funcdef) -> Iterator[tuple[ast.Name, str]]:
+    """Reads in ``funcdef`` resolving to an *enclosing function's*
+    locals — closure captures (only possible for nested functions)."""
+    own_scope = ctx.scopes.scope_of(funcdef)
+    if own_scope is None or own_scope.enclosing_function() is None:
+        return
+    for node in walk_function_body(funcdef):
+        if not isinstance(node, ast.Name) or not isinstance(
+                node.ctx, ast.Load):
+            continue
+        binding = ctx.scopes.resolve(node)
+        if binding is None or binding.scope.kind != "function":
+            continue
+        # Captured: bound in a function scope that encloses (but is
+        # not inside) the worker's own scope.
+        scope = own_scope
+        enclosing = False
+        while scope is not None:
+            scope = scope.parent
+            if scope is binding.scope:
+                enclosing = True
+                break
+        if enclosing:
+            yield node, (
+                f"closure capture of '{node.id}' from the enclosing "
+                "function"
+            )

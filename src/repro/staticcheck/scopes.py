@@ -1,0 +1,452 @@
+"""Per-module symbol tables and lexical scopes.
+
+The rule packs of :mod:`repro.staticcheck.rules` do not match raw AST
+spellings — ``time.sleep(...)`` is only a blocking call when ``time``
+actually is the stdlib module in that scope, and a function is only a
+process-pool worker when the object it is submitted to resolves to a
+``ProcessPoolExecutor``.  This module builds the structure those
+queries need:
+
+* a :class:`Scope` tree (module / class / function / lambda /
+  comprehension) with Python's lexical-lookup semantics — class scopes
+  are skipped when resolving from nested functions, ``global`` and
+  ``nonlocal`` declarations reroute lookups;
+* :class:`Binding` records for every name introduced by an assignment,
+  import, parameter, ``def``/``class`` statement or comprehension
+  target, carrying the binding site and (for simple assignments) the
+  right-hand-side expression so rules can ask *what* a name was bound
+  to;
+* dotted-name resolution (:meth:`ModuleScopes.qualname`) that folds
+  import aliases: with ``from time import sleep as pause``,
+  ``pause(...)`` resolves to ``time.sleep``.
+
+Everything is a single pass over the AST; the tree nodes are stamped
+with their executing scope so later queries are O(1).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = ["Binding", "Scope", "ModuleScopes"]
+
+#: Node attribute used to stamp each AST node with its executing scope.
+_SCOPE_ATTR = "_staticcheck_scope"
+
+#: Expressions considered "mutable literals" when they appear as the
+#: right-hand side of a module-level assignment (lists, dicts, sets and
+#: their comprehensions/constructor calls).
+_MUTABLE_CONSTRUCTORS = frozenset({"list", "dict", "set", "defaultdict",
+                                   "deque", "Counter", "OrderedDict"})
+
+_SET_CONSTRUCTORS = frozenset({"set", "frozenset"})
+
+
+@dataclass
+class Binding:
+    """One name introduced into a scope."""
+
+    name: str
+    kind: str  #: ``import`` | ``assign`` | ``param`` | ``def`` | ``class`` | ``comprehension``
+    lineno: int
+    scope: "Scope"
+    #: For imports: the dotted origin (``import numpy as np`` binds
+    #: ``np`` with qualname ``numpy``; ``from time import sleep`` binds
+    #: ``sleep`` with qualname ``time.sleep``).
+    qualname: str | None = None
+    #: For simple assignments: the right-hand-side expression.
+    value: ast.expr | None = None
+    #: The ``def``/``class`` node for function/class bindings.
+    node: ast.AST | None = None
+
+    def value_call_name(self) -> str | None:
+        """Bare callee name when the binding's RHS is ``Name(...)`` or
+        ``x.Name(...)`` — e.g. ``ProcessPoolExecutor`` for
+        ``pool = ProcessPoolExecutor(4)``."""
+        if not isinstance(self.value, ast.Call):
+            return None
+        func = self.value.func
+        if isinstance(func, ast.Name):
+            return func.id
+        if isinstance(func, ast.Attribute):
+            return func.attr
+        return None
+
+    @property
+    def is_mutable_literal(self) -> bool:
+        """Was the name assigned a list/dict/set literal or constructor?"""
+        value = self.value
+        if isinstance(value, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                              ast.DictComp, ast.SetComp)):
+            return True
+        return self.value_call_name() in _MUTABLE_CONSTRUCTORS
+
+    @property
+    def is_set_valued(self) -> bool:
+        """Was the name assigned a set literal/comprehension/call?"""
+        if isinstance(self.value, (ast.Set, ast.SetComp)):
+            return True
+        return self.value_call_name() in _SET_CONSTRUCTORS
+
+
+class Scope:
+    """One lexical scope; a node in the scope tree."""
+
+    __slots__ = ("kind", "node", "parent", "children", "bindings",
+                 "global_names", "nonlocal_names", "name")
+
+    def __init__(self, kind: str, node: ast.AST | None,
+                 parent: "Scope | None", name: str = "") -> None:
+        self.kind = kind  #: module | class | function | lambda | comprehension
+        self.node = node
+        self.parent = parent
+        self.name = name
+        self.children: list[Scope] = []
+        self.bindings: dict[str, Binding] = {}
+        self.global_names: set[str] = set()
+        self.nonlocal_names: set[str] = set()
+        if parent is not None:
+            parent.children.append(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Scope {self.kind} {self.name!r}>"
+
+    @property
+    def module(self) -> "Scope":
+        scope = self
+        while scope.parent is not None:
+            scope = scope.parent
+        return scope
+
+    def enclosing_function(self) -> "Scope | None":
+        """The nearest enclosing function/lambda scope (not this one)."""
+        scope = self.parent
+        while scope is not None:
+            if scope.kind in ("function", "lambda"):
+                return scope
+            scope = scope.parent
+        return None
+
+    def declare(self, binding: Binding) -> Binding:
+        # First binding wins for lookup purposes (imports at the top of
+        # the file beat a later local shadow only within that scope's
+        # own flow — flow-sensitivity is out of scope for a linter, and
+        # keeping the *first* site makes import resolution stable).
+        existing = self.bindings.get(binding.name)
+        if existing is None:
+            self.bindings[binding.name] = binding
+            return binding
+        return existing
+
+    def lookup(self, name: str) -> Binding | None:
+        """Resolve ``name`` from this scope, Python-style.
+
+        Honors ``global``/``nonlocal`` declarations and skips class
+        scopes for lookups originating in nested scopes.  Returns
+        ``None`` for builtins and genuinely unknown names.
+        """
+        if name in self.global_names:
+            return self.module.bindings.get(name)
+        if name in self.nonlocal_names:
+            scope = self.enclosing_function()
+            while scope is not None:
+                if name in scope.bindings:
+                    return scope.bindings[name]
+                scope = scope.enclosing_function()
+            return None
+        scope: Scope | None = self
+        first = True
+        while scope is not None:
+            if (first or scope.kind != "class") and name in scope.bindings:
+                return scope.bindings[name]
+            first = False
+            scope = scope.parent
+        return None
+
+
+class ModuleScopes:
+    """The scope tree of one parsed module, with resolution helpers."""
+
+    def __init__(self, tree: ast.Module) -> None:
+        self.tree = tree
+        self.module_scope = Scope("module", tree, None, "<module>")
+        #: Class-attribute assignments seen anywhere in the module,
+        #: keyed by attribute name: ``self._pool = ProcessPoolExecutor()``
+        #: records ``_pool -> [Call(ProcessPoolExecutor)]`` so rules can
+        #: resolve ``self._pool.submit(...)`` receivers.
+        self.attribute_values: dict[str, list[ast.expr]] = {}
+        _ScopeBuilder(self).build()
+
+    # -- queries -------------------------------------------------------------
+
+    def scope_at(self, node: ast.AST) -> Scope:
+        """The scope in which ``node`` executes."""
+        return getattr(node, _SCOPE_ATTR, self.module_scope)
+
+    def scope_of(self, node: ast.AST) -> Scope | None:
+        """The scope a ``def``/``class``/``lambda`` node introduces."""
+        for child in self._all_scopes():
+            if child.node is node:
+                return child
+        return None
+
+    def _all_scopes(self) -> Iterator[Scope]:
+        stack = [self.module_scope]
+        while stack:
+            scope = stack.pop()
+            yield scope
+            stack.extend(scope.children)
+
+    def resolve(self, node: ast.Name) -> Binding | None:
+        """The binding a ``Name`` node refers to (``None``: builtin)."""
+        return self.scope_at(node).lookup(node.id)
+
+    def qualname(self, node: ast.expr) -> str | None:
+        """Dotted name of ``node`` with the leading import resolved.
+
+        ``time.sleep`` -> ``"time.sleep"`` when ``time`` is the module
+        import; ``pause`` -> ``"time.sleep"`` under ``from time import
+        sleep as pause``; an unbound bare name resolves to itself (the
+        builtin reading, e.g. ``open``); locally assigned names resolve
+        to ``None`` (their value is not a static module path).
+        """
+        if isinstance(node, ast.Name):
+            binding = self.resolve(node)
+            if binding is None:
+                return node.id  # builtin / unknown global
+            if binding.kind == "import":
+                return binding.qualname
+            return None
+        if isinstance(node, ast.Attribute):
+            base = self.qualname(node.value)
+            if base is None:
+                return None
+            return f"{base}.{node.attr}"
+        return None
+
+    def function_def(self, name: str, scope: Scope | None = None):
+        """The ``FunctionDef`` bound to ``name`` in ``scope`` (module
+        scope by default), or ``None``."""
+        scope = scope or self.module_scope
+        binding = scope.lookup(name)
+        if binding is not None and binding.kind == "def":
+            return binding.node
+        return None
+
+
+class _ScopeBuilder(ast.NodeVisitor):
+    def __init__(self, scopes: ModuleScopes) -> None:
+        self.scopes = scopes
+        self.current = scopes.module_scope
+
+    def build(self) -> None:
+        self.visit(self.scopes.tree)
+
+    # -- plumbing ------------------------------------------------------------
+
+    def visit(self, node: ast.AST) -> None:
+        setattr(node, _SCOPE_ATTR, self.current)
+        super().visit(node)
+
+    def _in_scope(self, scope: Scope, visit) -> None:
+        previous, self.current = self.current, scope
+        try:
+            visit()
+        finally:
+            self.current = previous
+
+    def _bind(self, name: str, kind: str, lineno: int,
+              qualname: str | None = None, value: ast.expr | None = None,
+              node: ast.AST | None = None) -> None:
+        target = self.current
+        if name in target.global_names:
+            target = target.module
+        target.declare(Binding(name, kind, lineno, target,
+                               qualname=qualname, value=value, node=node))
+
+    def _bind_target(self, target: ast.expr,
+                     value: ast.expr | None = None) -> None:
+        if isinstance(target, ast.Name):
+            self._bind(target.id, "assign", target.lineno, value=value)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._bind_target(element)
+        elif isinstance(target, ast.Starred):
+            self._bind_target(target.value)
+        elif isinstance(target, ast.Attribute) and value is not None:
+            self.scopes.attribute_values.setdefault(
+                target.attr, []
+            ).append(value)
+
+    # -- statements that introduce names --------------------------------------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        setattr(node, _SCOPE_ATTR, self.current)
+        for alias in node.names:
+            bound = alias.asname or alias.name.split(".")[0]
+            origin = alias.name if alias.asname else alias.name.split(".")[0]
+            self._bind(bound, "import", node.lineno, qualname=origin)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        setattr(node, _SCOPE_ATTR, self.current)
+        module = node.module or ""
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            bound = alias.asname or alias.name
+            origin = f"{module}.{alias.name}" if module else alias.name
+            self._bind(bound, "import", node.lineno, qualname=origin)
+
+    def visit_Global(self, node: ast.Global) -> None:
+        setattr(node, _SCOPE_ATTR, self.current)
+        self.current.global_names.update(node.names)
+
+    def visit_Nonlocal(self, node: ast.Nonlocal) -> None:
+        setattr(node, _SCOPE_ATTR, self.current)
+        self.current.nonlocal_names.update(node.names)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        setattr(node, _SCOPE_ATTR, self.current)
+        self.visit(node.value)
+        for target in node.targets:
+            self.visit(target)
+            self._bind_target(target, node.value)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        setattr(node, _SCOPE_ATTR, self.current)
+        if node.value is not None:
+            self.visit(node.value)
+        self.visit(node.target)
+        self._bind_target(node.target, node.value)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        setattr(node, _SCOPE_ATTR, self.current)
+        self.visit(node.value)
+        self.visit(node.target)
+
+    def visit_NamedExpr(self, node: ast.NamedExpr) -> None:
+        setattr(node, _SCOPE_ATTR, self.current)
+        self.visit(node.value)
+        # Close enough to PEP 572: bind in the nearest non-comprehension
+        # scope (walrus targets leak out of comprehensions).
+        scope = self.current
+        while scope.kind == "comprehension" and scope.parent is not None:
+            scope = scope.parent
+        scope.declare(Binding(node.target.id, "assign", node.lineno, scope,
+                              value=node.value))
+
+    def visit_For(self, node: ast.For) -> None:
+        self._visit_for(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._visit_for(node)
+
+    def _visit_for(self, node) -> None:
+        setattr(node, _SCOPE_ATTR, self.current)
+        self.visit(node.iter)
+        self.visit(node.target)
+        self._bind_target(node.target, None)
+        for stmt in node.body + node.orelse:
+            self.visit(stmt)
+
+    def visit_With(self, node: ast.With) -> None:
+        self._visit_with(node)
+
+    def visit_AsyncWith(self, node: ast.AsyncWith) -> None:
+        self._visit_with(node)
+
+    def _visit_with(self, node) -> None:
+        setattr(node, _SCOPE_ATTR, self.current)
+        for item in node.items:
+            self.visit(item.context_expr)
+            if item.optional_vars is not None:
+                self.visit(item.optional_vars)
+                self._bind_target(item.optional_vars, item.context_expr)
+        for stmt in node.body:
+            self.visit(stmt)
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        setattr(node, _SCOPE_ATTR, self.current)
+        if node.name:
+            self._bind(node.name, "assign", node.lineno)
+        self.generic_visit(node)
+
+    # -- scope-introducing nodes ----------------------------------------------
+
+    def _visit_function(self, node, kind: str = "function") -> None:
+        setattr(node, _SCOPE_ATTR, self.current)
+        self._bind(node.name, "def", node.lineno, node=node)
+        for decorator in node.decorator_list:
+            self.visit(decorator)
+        args = node.args
+        for default in [*args.defaults, *[d for d in args.kw_defaults if d]]:
+            self.visit(default)
+        scope = Scope(kind, node, self.current, node.name)
+        param_nodes = [*args.posonlyargs, *args.args, *args.kwonlyargs]
+        if args.vararg:
+            param_nodes.append(args.vararg)
+        if args.kwarg:
+            param_nodes.append(args.kwarg)
+        for param in param_nodes:
+            scope.declare(Binding(param.arg, "param", node.lineno, scope))
+
+        def visit_body() -> None:
+            for stmt in node.body:
+                self.visit(stmt)
+
+        self._in_scope(scope, visit_body)
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        setattr(node, _SCOPE_ATTR, self.current)
+        scope = Scope("lambda", node, self.current, "<lambda>")
+        args = node.args
+        for param in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+            scope.declare(Binding(param.arg, "param", node.lineno, scope))
+        self._in_scope(scope, lambda: self.visit(node.body))
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        setattr(node, _SCOPE_ATTR, self.current)
+        self._bind(node.name, "class", node.lineno, node=node)
+        for decorator in node.decorator_list:
+            self.visit(decorator)
+        for base in [*node.bases, *[kw.value for kw in node.keywords]]:
+            self.visit(base)
+        scope = Scope("class", node, self.current, node.name)
+
+        def visit_body() -> None:
+            for stmt in node.body:
+                self.visit(stmt)
+
+        self._in_scope(scope, visit_body)
+
+    def _visit_comprehension(self, node) -> None:
+        setattr(node, _SCOPE_ATTR, self.current)
+        # The first iterable evaluates in the enclosing scope.
+        self.visit(node.generators[0].iter)
+        scope = Scope("comprehension", node, self.current, "<comp>")
+
+        def visit_body() -> None:
+            for index, comp in enumerate(node.generators):
+                self.visit(comp.target)
+                self._bind_target(comp.target)
+                if index > 0:
+                    self.visit(comp.iter)
+                for cond in comp.ifs:
+                    self.visit(cond)
+            if isinstance(node, ast.DictComp):
+                self.visit(node.key)
+                self.visit(node.value)
+            else:
+                self.visit(node.elt)
+
+        self._in_scope(scope, visit_body)
+
+    visit_ListComp = _visit_comprehension
+    visit_SetComp = _visit_comprehension
+    visit_GeneratorExp = _visit_comprehension
+    visit_DictComp = _visit_comprehension

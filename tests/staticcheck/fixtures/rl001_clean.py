@@ -1,0 +1,2 @@
+def patch_window(compiled, b_ub):
+    return compiled.with_b_ub(b_ub)

@@ -1,0 +1,3 @@
+def patch_window(compiled, row, value):
+    compiled.b_ub[row] = value
+    return compiled

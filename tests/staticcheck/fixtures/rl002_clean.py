@@ -1,0 +1,5 @@
+class Runner:
+    def attempt(self, model, cancel):
+        if cancel.is_set():
+            return None
+        return model

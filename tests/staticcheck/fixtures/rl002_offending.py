@@ -1,0 +1,4 @@
+class Runner:
+    def attempt(self, model, cancel):
+        self.last_status = "running"
+        return model

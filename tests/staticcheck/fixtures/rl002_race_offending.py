@@ -1,0 +1,13 @@
+from repro.solve.portfolio import race_backends
+
+_LAST_WINNER = None
+
+
+def _attempt_highs(stop_event):
+    global _LAST_WINNER
+    _LAST_WINNER = "highs"
+    return None
+
+
+def solve(model):
+    return race_backends([("highs", _attempt_highs)])

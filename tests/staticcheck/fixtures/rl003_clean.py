@@ -1,0 +1,5 @@
+from repro.obs.tracer import as_tracer
+
+
+def trace_solve(settings):
+    return as_tracer(settings.tracer)

@@ -1,0 +1,2 @@
+def solve_window(executor, template, d_max):
+    return executor.solve_window(template, d_max)

@@ -1,0 +1,5 @@
+from repro.ilp import solve_with_highs
+
+
+def solve_window(compiled):
+    return solve_with_highs(compiled)

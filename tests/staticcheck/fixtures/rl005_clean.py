@@ -1,0 +1,3 @@
+from repro.core.families import ConstraintFamily, register_scenario
+
+__all__ = ["ConstraintFamily", "register_scenario"]

@@ -1,0 +1,5 @@
+from repro.core.families import _w_name
+
+
+def crossing_name(p, source, sink):
+    return _w_name(p, source, sink)

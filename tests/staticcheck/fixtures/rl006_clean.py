@@ -1,0 +1,11 @@
+from concurrent.futures import ProcessPoolExecutor
+
+
+def _shard(payload):
+    return {"n": payload["n"], "latency": payload["latency"]}
+
+
+def run(payloads):
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(_shard, p) for p in payloads]
+    return [f.result() for f in futures]

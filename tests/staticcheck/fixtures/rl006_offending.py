@@ -1,0 +1,14 @@
+from concurrent.futures import ProcessPoolExecutor
+
+_RESULTS = {}
+
+
+def _shard(payload):
+    _RESULTS[payload["n"]] = payload["latency"]
+    return payload["n"]
+
+
+def run(payloads):
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(_shard, p) for p in payloads]
+    return [f.result() for f in futures]

@@ -1,0 +1,7 @@
+import asyncio
+
+
+class Facade:
+    async def solve(self, request):
+        await asyncio.sleep(0.1)
+        return request

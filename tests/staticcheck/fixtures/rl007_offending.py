@@ -1,0 +1,7 @@
+import time
+
+
+class Facade:
+    async def solve(self, request):
+        time.sleep(0.1)
+        return request

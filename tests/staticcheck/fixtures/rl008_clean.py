@@ -1,0 +1,3 @@
+def fingerprint(model):
+    names = {row.name for row in model.rows}
+    return tuple(sorted(names))

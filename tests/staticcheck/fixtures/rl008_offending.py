@@ -1,0 +1,5 @@
+import time
+
+
+def fingerprint(model):
+    return (model.name, time.perf_counter())

@@ -1,0 +1,11 @@
+from repro.core.families import ConstraintFamily
+
+
+def _build_latency(ctx):
+    for p in ctx.partitions:
+        ctx.model.add_constraint(ctx.d[p] <= ctx.d_max)
+
+
+FAMILY = ConstraintFamily(
+    id="latency_window", build=_build_latency, window_dependent=True
+)

@@ -1,0 +1,10 @@
+from repro.core.families import ConstraintFamily
+
+
+def _build_latency(ctx):
+    print("rows:", ctx.num_partitions)
+
+
+FAMILY = ConstraintFamily(
+    id="latency_window", build=_build_latency, window_dependent=True
+)

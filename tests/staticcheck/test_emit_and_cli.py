@@ -1,0 +1,199 @@
+"""Emitter formats, the baseline file, and the lint CLI exit codes."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.staticcheck import (
+    Baseline,
+    check_sources,
+    render_json,
+    render_sarif,
+    render_text,
+    rule_ids,
+)
+from repro.staticcheck.cli import main as lint_main
+
+REPO = Path(__file__).resolve().parents[2]
+
+OFFENDING = (
+    "def patch(compiled, row):\n"
+    "    compiled.b_ub[row] = 0.0\n"
+)
+SUPPRESSED = OFFENDING.replace("= 0.0", "= 0.0  # repro-lint: ignore[RL001]")
+
+
+def lint(source: str, baseline=None):
+    return check_sources(
+        [("src/repro/solve/patch.py", source)], baseline=baseline
+    )
+
+
+class TestTextEmitter:
+    def test_renders_path_line_rule(self):
+        result = lint(OFFENDING)
+        text = render_text(result.findings, result.files_checked)
+        assert "src/repro/solve/patch.py:2" in text
+        assert "RL001" in text
+        assert "1 file(s) checked: 1 finding(s)" in text
+
+    def test_suppressed_hidden_unless_verbose(self):
+        result = lint(SUPPRESSED)
+        quiet = render_text(result.findings, result.files_checked)
+        loud = render_text(result.findings, result.files_checked,
+                           verbose=True)
+        assert "RL001" not in quiet.splitlines()[0]
+        assert "1 suppressed" in quiet
+        assert any("RL001" in line for line in loud.splitlines())
+
+
+class TestJsonEmitter:
+    def test_parses_and_carries_summary(self):
+        result = lint(OFFENDING)
+        payload = json.loads(render_json(result.findings,
+                                         result.files_checked))
+        assert payload["version"] == 1
+        assert payload["summary"]["active"] == 1
+        (finding,) = payload["findings"]
+        assert finding["rule"] == "RL001"
+        assert finding["line"] == 2
+        assert finding["path"] == "src/repro/solve/patch.py"
+
+
+class TestSarifEmitter:
+    def test_valid_sarif_2_1_0(self):
+        result = lint(OFFENDING)
+        log = json.loads(render_sarif(result.findings,
+                                      result.files_checked))
+        assert log["version"] == "2.1.0"
+        run = log["runs"][0]
+        catalog = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert set(rule_ids()) <= catalog
+        (res,) = run["results"]
+        assert res["ruleId"] == "RL001"
+        loc = res["locations"][0]["physicalLocation"]
+        assert loc["artifactLocation"]["uri"] == "src/repro/solve/patch.py"
+        assert loc["region"]["startLine"] == 2
+        assert "suppressions" not in res
+
+    def test_suppressed_findings_marked_in_source(self):
+        result = lint(SUPPRESSED)
+        log = json.loads(render_sarif(result.findings,
+                                      result.files_checked))
+        (res,) = log["runs"][0]["results"]
+        assert res["suppressions"] == [{"kind": "inSource"}]
+
+    def test_baselined_findings_marked_external(self):
+        baseline = Baseline.from_findings(lint(OFFENDING).active)
+        result = lint(OFFENDING, baseline=baseline)
+        log = json.loads(render_sarif(result.findings,
+                                      result.files_checked))
+        (res,) = log["runs"][0]["results"]
+        assert res["suppressions"][0]["kind"] == "external"
+
+
+class TestBaselineFile:
+    def test_round_trip(self, tmp_path):
+        baseline = Baseline.from_findings(lint(OFFENDING).active)
+        target = tmp_path / "baseline.json"
+        baseline.write(target)
+        loaded = Baseline.load(target)
+        assert lint(OFFENDING, baseline=loaded).active == []
+
+    def test_keys_are_line_number_free(self, tmp_path):
+        baseline = Baseline.from_findings(lint(OFFENDING).active)
+        shifted = "import os  # noqa\n\n\n" + OFFENDING
+        result = check_sources(
+            [("src/repro/solve/patch.py", shifted)], baseline=baseline
+        )
+        assert result.active == []
+        assert len(result.baselined) == 1
+
+    def test_rejects_unknown_version(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        target.write_text('{"version": 99, "findings": []}')
+        with pytest.raises(ValueError):
+            Baseline.load(target)
+
+
+class TestCliExitCodes:
+    def _write_tree(self, tmp_path, source):
+        pkg = tmp_path / "src"
+        pkg.mkdir()
+        module = pkg / "patch.py"
+        module.write_text(source)
+        return module
+
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        module = self._write_tree(tmp_path, "X = 1\n")
+        assert lint_main([str(module), "--no-baseline"]) == 0
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        module = self._write_tree(tmp_path, OFFENDING)
+        assert lint_main([str(module), "--no-baseline"]) == 1
+        assert "RL001" in capsys.readouterr().out
+
+    def test_missing_path_exits_two(self, tmp_path, capsys):
+        missing = tmp_path / "nope"
+        assert lint_main([str(missing)]) == 2
+
+    def test_unknown_rule_exits_two(self, tmp_path, capsys):
+        module = self._write_tree(tmp_path, "X = 1\n")
+        assert lint_main([str(module), "--rules", "RL999"]) == 2
+
+    def test_write_baseline_then_clean(self, tmp_path, capsys):
+        module = self._write_tree(tmp_path, OFFENDING)
+        baseline = tmp_path / "baseline.json"
+        assert lint_main([
+            str(module), "--baseline", str(baseline), "--write-baseline",
+        ]) == 0
+        assert baseline.exists()
+        assert lint_main([
+            str(module), "--baseline", str(baseline),
+        ]) == 0
+
+    def test_list_rules_catalogs_all_nine(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in rule_ids():
+            assert rule_id in out
+
+    def test_json_report_to_file(self, tmp_path, capsys):
+        module = self._write_tree(tmp_path, OFFENDING)
+        out_file = tmp_path / "report.json"
+        code = lint_main([
+            str(module), "--no-baseline", "--format", "json",
+            "-o", str(out_file),
+        ])
+        assert code == 1
+        payload = json.loads(out_file.read_text())
+        assert payload["summary"]["active"] == 1
+
+    def test_syntax_error_reported_as_rl000(self, tmp_path, capsys):
+        module = self._write_tree(tmp_path, "def broken(:\n")
+        assert lint_main([str(module), "--no-baseline"]) == 1
+        assert "RL000" in capsys.readouterr().out
+
+
+class TestReproTpIntegration:
+    """``repro-tp lint`` is wired as a first-class subcommand."""
+
+    def _run(self, *argv):
+        return subprocess.run(
+            [sys.executable, "-m", "repro.cli", "lint", *argv],
+            capture_output=True, text=True, cwd=REPO,
+            env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"},
+        )
+
+    def test_repo_lints_clean_via_subcommand(self):
+        proc = self._run()
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_sarif_output_is_valid_json(self):
+        proc = self._run("--format", "sarif")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        log = json.loads(proc.stdout)
+        assert log["version"] == "2.1.0"

@@ -1,0 +1,110 @@
+"""Unit tests for the symbol-table/scope engine."""
+
+import ast
+
+from repro.staticcheck.scopes import ModuleScopes
+
+
+def scopes_for(source: str) -> ModuleScopes:
+    return ModuleScopes(ast.parse(source))
+
+
+def name_nodes(tree: ast.AST, ident: str) -> list[ast.Name]:
+    return [
+        node for node in ast.walk(tree)
+        if isinstance(node, ast.Name) and node.id == ident
+    ]
+
+
+class TestLexicalResolution:
+    def test_local_shadows_module(self):
+        scopes = scopes_for(
+            "x = 1\n"
+            "def f():\n"
+            "    x = 2\n"
+            "    return x\n"
+        )
+        ret = name_nodes(scopes.tree, "x")[-1]
+        binding = scopes.resolve(ret)
+        assert binding is not None and binding.scope.kind == "function"
+
+    def test_global_declaration_reroutes_to_module(self):
+        scopes = scopes_for(
+            "x = 1\n"
+            "def f():\n"
+            "    global x\n"
+            "    x = 2\n"
+        )
+        write = name_nodes(scopes.tree, "x")[-1]
+        binding = scopes.resolve(write)
+        assert binding is not None and binding.scope.kind == "module"
+
+    def test_class_scope_is_skipped_by_nested_functions(self):
+        scopes = scopes_for(
+            "x = 'module'\n"
+            "class C:\n"
+            "    x = 'class'\n"
+            "    def m(self):\n"
+            "        return x\n"
+        )
+        ret = name_nodes(scopes.tree, "x")[-1]
+        binding = scopes.resolve(ret)
+        assert binding is not None and binding.scope.kind == "module"
+
+    def test_comprehension_has_its_own_scope(self):
+        scopes = scopes_for(
+            "def f(rows):\n"
+            "    return [row for row in rows]\n"
+        )
+        inner = name_nodes(scopes.tree, "row")[-1]
+        binding = scopes.resolve(inner)
+        assert binding is not None
+        assert binding.scope.kind == "comprehension"
+
+    def test_unbound_name_resolves_to_none(self):
+        scopes = scopes_for("def f():\n    return undefined_thing\n")
+        node = name_nodes(scopes.tree, "undefined_thing")[0]
+        assert scopes.resolve(node) is None
+
+
+class TestQualnameResolution:
+    def test_import_alias(self):
+        scopes = scopes_for(
+            "import numpy as np\n"
+            "def f(a):\n"
+            "    return np.sort(a)\n"
+        )
+        call = next(
+            n for n in ast.walk(scopes.tree) if isinstance(n, ast.Call)
+        )
+        assert scopes.qualname(call.func) == "numpy.sort"
+
+    def test_from_import(self):
+        scopes = scopes_for(
+            "from time import perf_counter\n"
+            "def f():\n"
+            "    return perf_counter()\n"
+        )
+        call = next(
+            n for n in ast.walk(scopes.tree) if isinstance(n, ast.Call)
+        )
+        assert scopes.qualname(call.func) == "time.perf_counter"
+
+    def test_builtin_name_is_itself(self):
+        scopes = scopes_for("def f(path):\n    return open(path)\n")
+        call = next(
+            n for n in ast.walk(scopes.tree) if isinstance(n, ast.Call)
+        )
+        assert scopes.qualname(call.func) == "open"
+
+    def test_locally_assigned_name_is_opaque(self):
+        scopes = scopes_for(
+            "def f():\n"
+            "    open = lambda p: p\n"
+            "    return open('x')\n"
+        )
+        call = next(
+            n for n in ast.walk(scopes.tree)
+            if isinstance(n, ast.Call) and isinstance(n.func, ast.Name)
+        )
+        assert scopes.qualname(call.func) is None

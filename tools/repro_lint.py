@@ -1,435 +1,34 @@
-#!/usr/bin/env python
-"""Repo-specific AST lint: invariants ruff cannot express.
+#!/usr/bin/env python3
+"""Deprecation shim: the lint now lives in :mod:`repro.staticcheck`.
 
-Usage::
+This script used to hold the whole repo lint (rules RL001-RL005).  It
+has been promoted into the installable package as a scope-aware
+subsystem with three more rule packs (concurrency, determinism,
+scenario contracts — RL006-RL009), JSON/SARIF output and a findings
+baseline.  Use the CLI subcommand instead::
 
-    python tools/repro_lint.py [path ...]      # default: src tests benchmarks tools
+    repro-tp lint [paths ...] [--format text|json|sarif]
 
-Rules
------
-
-``RL001`` — in-place mutation of ``CompiledModel`` arrays.
-    ``with_b_ub``/``with_b_eq``/``truncate_ub_rows`` hand out siblings
-    whose numpy arrays alias the original's (and the template's cached
-    ``_no_lb`` view), so ``compiled.b_ub[i] = x`` silently corrupts
-    every sibling.  The arrays are frozen at compile time; this rule
-    catches the write *statically*, before the runtime ``ValueError``.
-    Flags subscript/augmented assignment to the protected attributes and
-    in-place numpy method calls (``.fill``, ``.sort``, ``.put``,
-    ``.resize``, ``.partition``) on them.
-
-``RL002`` — shared-state writes in portfolio workers.
-    ``repro.solve.portfolio`` attempt functions (signature marker: a
-    parameter named ``cancel``) run in racing threads.  They must
-    communicate only through their returned ``SolveAttempt`` and the
-    cancellation event; writing ``self.<attr>``, ``global`` or
-    ``nonlocal`` state from a worker is a data race.
-
-``RL003`` — tracer construction outside the composition roots.
-    Library code must trace through the run's tracer
-    (``SolverSettings.tracer``, threaded via ``SolveExecutor.tracer`` /
-    ``as_tracer``).  Constructing a fresh ``Tracer(...)`` anywhere in
-    ``src/repro/`` except :mod:`repro.obs` itself and the CLI entry
-    point forks the span tree.  Only enforced under ``src/repro/``.
-
-``RL004`` — direct backend invocation bypassing the execution layer.
-    Window solves in library code must go through
-    ``SolveExecutor.solve_window``, which layers the solve cache, the
-    incumbent check, the primal-first stage and the portfolio race in
-    front of the backends.  Calling a backend entry point
-    (``solve_with_highs``, ``solve_with_bnb``, ``solve_with_simplex``,
-    ``branch_and_bound``, ``solve_compiled``) directly skips all of
-    that.  Enforced under ``src/repro/`` except the solver layers
-    themselves (``ilp/``, ``solve/``), ``obs/``, the CLI entry point
-    and ``core/formulation.py`` (whose ``TpModel.solve`` is the
-    dispatch shim the executor calls).
-
-``RL005`` — private formulation-builder imports outside the registry.
-    The constraint builders (``_build_assignment``, ``_populate_ilp``,
-    ``_w_name``, …) are implementation details of
-    ``repro.core.families`` and ``repro.core.formulation``; the
-    supported extension surface is the scenario registry
-    (``ConstraintFamily`` / ``ScenarioSpec`` / ``register_scenario``)
-    and the public model builders.  ``from repro.core.families import
-    _anything`` (or from ``repro.core.formulation``) anywhere except
-    those two modules couples callers to builder internals that the
-    registry is free to reshape.
-
-Suppression: append ``# repro-lint: ignore`` (all rules) or
-``# repro-lint: ignore[RL001]`` (one rule) to the offending line.
-
-Exit codes: 0 clean, 1 violations found, 2 usage/IO error.
+This shim keeps old invocations (``python tools/repro_lint.py ...``)
+working by delegating to the same engine; flags and exit codes follow
+``repro-tp lint`` (0 clean, 1 findings, 2 usage error).  It will be
+removed once CI and local hooks have migrated.
 """
 
-from __future__ import annotations
-
-import argparse
-import ast
-import re
 import sys
-from dataclasses import dataclass
 from pathlib import Path
 
-#: Attributes that are *always* CompiledModel arrays when written through
-#: an attribute access — the names are unique to the compiled form.
-_ALWAYS_PROTECTED = frozenset({
-    "b_ub", "b_eq",
-    "ub_data", "ub_indices", "ub_indptr",
-    "eq_data", "eq_indices", "eq_indptr",
-    "is_integral",
-})
+_SRC = Path(__file__).resolve().parents[1] / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
 
-#: Attributes shared with other objects (models have ``lb``/``ub``/``c``
-#: too); only flagged when the base object plausibly is a compiled model.
-_CONTEXT_PROTECTED = frozenset({"lb", "ub", "c"})
-
-#: Base names that mark the object as a compiled standard form.
-_COMPILED_NAMES = frozenset({"compiled", "cm", "form"})
-
-#: numpy ndarray methods that mutate in place.
-_INPLACE_METHODS = frozenset({"fill", "sort", "partition", "put", "resize"})
-
-#: ILP backend entry points that RL004 keeps out of library code.
-_BACKEND_ENTRYPOINTS = frozenset({
-    "solve_with_highs", "solve_with_bnb", "solve_with_simplex",
-    "branch_and_bound", "solve_compiled",
-})
-
-#: Modules whose underscore-prefixed names RL005 keeps private.
-_FORMULATION_MODULES = frozenset({
-    "repro.core.formulation", "repro.core.families",
-})
-
-_SUPPRESS_RE = re.compile(r"repro-lint:\s*ignore(?:\[(?P<codes>[A-Z0-9, ]+)\])?")
-
-
-@dataclass(frozen=True)
-class Violation:
-    path: Path
-    lineno: int
-    rule: str
-    message: str
-
-    def render(self) -> str:
-        return f"{self.path}:{self.lineno}: {self.rule} {self.message}"
-
-
-def _base_is_compiled(node: ast.expr) -> bool:
-    """Does ``node`` (the object whose attribute is written) look like a
-    compiled model?  ``compiled`` / ``cm`` / ``form`` names and any
-    attribute chain ending in ``_compiled`` (e.g. ``self._compiled``)."""
-    if isinstance(node, ast.Name):
-        return node.id in _COMPILED_NAMES
-    if isinstance(node, ast.Attribute):
-        return node.attr.endswith("_compiled") or node.attr in _COMPILED_NAMES
-    return False
-
-
-def _protected_attribute(node: ast.expr) -> str | None:
-    """The protected-array attribute accessed by ``node``, if any.
-
-    Matches ``<obj>.b_ub`` for the always-protected names and
-    ``compiled.lb``-style accesses for the context-dependent ones.
-    """
-    if not isinstance(node, ast.Attribute):
-        return None
-    if node.attr in _ALWAYS_PROTECTED:
-        return node.attr
-    if node.attr in _CONTEXT_PROTECTED and _base_is_compiled(node.value):
-        return node.attr
-    return None
-
-
-class _RuleVisitor(ast.NodeVisitor):
-    def __init__(
-        self,
-        path: Path,
-        in_library: bool,
-        in_solver_client: bool = False,
-        in_formulation: bool = False,
-    ) -> None:
-        self.path = path
-        self.in_library = in_library  # under src/repro/, RL003 applies
-        #: RL004 scope: library code that should solve through the
-        #: executor rather than call a backend entry point directly.
-        self.in_solver_client = in_solver_client
-        #: RL005 exemption: the formulation/families modules themselves.
-        self.in_formulation = in_formulation
-        self.violations: list[Violation] = []
-        self._cancel_depth = 0  # inside a function taking ``cancel``
-
-    def _flag(self, node: ast.AST, rule: str, message: str) -> None:
-        self.violations.append(
-            Violation(self.path, node.lineno, rule, message)
-        )
-
-    # -- RL001: in-place writes to compiled arrays ---------------------------
-
-    def _check_write_target(self, target: ast.expr) -> None:
-        # compiled.b_ub[i] = x  /  compiled.b_ub[i] += x.  Re-binding the
-        # attribute itself (compiled.b_ub = x) is construction, not
-        # mutation, and stays legal.
-        if isinstance(target, ast.Subscript):
-            attr = _protected_attribute(target.value)
-            if attr is not None:
-                self._flag(
-                    target, "RL001",
-                    f"in-place write to CompiledModel array '.{attr}' — "
-                    "arrays alias template/sibling views; build a patched "
-                    "sibling with with_b_ub()/with_b_eq() instead",
-                )
-
-    # -- RL002 helpers -------------------------------------------------------
-
-    def _check_self_write(self, target: ast.expr) -> None:
-        if (
-            isinstance(target, ast.Attribute)
-            and isinstance(target.value, ast.Name)
-            and target.value.id == "self"
-        ):
-            self._flag(
-                target, "RL002",
-                f"write to 'self.{target.attr}' inside a portfolio attempt "
-                "(parameter 'cancel') — workers race in threads; return "
-                "results via SolveAttempt instead",
-            )
-
-    # -- combined traversal --------------------------------------------------
-
-    def visit_Assign(self, node: ast.Assign) -> None:
-        for target in node.targets:
-            self._check_write_target(target)
-            if self._cancel_depth:
-                self._check_self_write(target)
-        self.generic_visit(node)
-
-    def visit_AugAssign(self, node: ast.AugAssign) -> None:
-        self._check_write_target(node.target)
-        # ``compiled.b_ub += x`` goes through ndarray.__iadd__: in-place
-        # mutation, unlike a plain re-binding assignment.
-        attr = _protected_attribute(node.target)
-        if attr is not None:
-            self._flag(
-                node, "RL001",
-                f"augmented assignment to CompiledModel array '.{attr}' "
-                "mutates in place via ndarray.__iadd__ — build a patched "
-                "sibling with with_b_ub()/with_b_eq() instead",
-            )
-        if self._cancel_depth:
-            self._check_self_write(node.target)
-        self.generic_visit(node)
-
-    def visit_Call(self, node: ast.Call) -> None:
-        func = node.func
-        # RL001: compiled.b_ub.fill(0) and friends
-        if (
-            isinstance(func, ast.Attribute)
-            and func.attr in _INPLACE_METHODS
-        ):
-            attr = _protected_attribute(func.value)
-            if attr is not None:
-                self._flag(
-                    node, "RL001",
-                    f"in-place numpy call '.{attr}.{func.attr}()' on a "
-                    "CompiledModel array — arrays alias template/sibling "
-                    "views; copy first or build a patched sibling",
-                )
-        # RL003: stray Tracer construction in library code
-        name = None
-        if isinstance(func, ast.Name):
-            name = func.id
-        elif isinstance(func, ast.Attribute):
-            name = func.attr
-        if name == "Tracer" and self.in_library:
-            self._flag(
-                node, "RL003",
-                "Tracer constructed in library code — thread the run's "
-                "tracer through SolverSettings.tracer / as_tracer() so "
-                "the span tree stays whole",
-            )
-        # RL004: backend entry points called outside the solver layers
-        if name in _BACKEND_ENTRYPOINTS and self.in_solver_client:
-            self._flag(
-                node, "RL004",
-                f"direct call to backend entry point '{name}' in library "
-                "code — solve through SolveExecutor.solve_window so the "
-                "cache, incumbent check, primal-first stage and portfolio "
-                "race apply",
-            )
-        self.generic_visit(node)
-
-    def _visit_function(self, node) -> None:
-        args = node.args
-        names = [a.arg for a in (*args.posonlyargs, *args.args,
-                                 *args.kwonlyargs)]
-        takes_cancel = "cancel" in names
-        if takes_cancel:
-            self._cancel_depth += 1
-        self.generic_visit(node)
-        if takes_cancel:
-            self._cancel_depth -= 1
-
-    visit_FunctionDef = _visit_function
-    visit_AsyncFunctionDef = _visit_function
-
-    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
-        # RL005: private builder names stay inside the formulation stack.
-        if (
-            not self.in_formulation
-            and node.module in _FORMULATION_MODULES
-            and node.level == 0
-        ):
-            for alias in node.names:
-                if alias.name.startswith("_"):
-                    self._flag(
-                        node, "RL005",
-                        f"import of private name '{alias.name}' from "
-                        f"'{node.module}' — builder internals are not an "
-                        "extension surface; register a ConstraintFamily/"
-                        "ScenarioSpec or use the public builders instead",
-                    )
-        self.generic_visit(node)
-
-    def visit_Global(self, node: ast.Global) -> None:
-        if self._cancel_depth:
-            self._flag(
-                node, "RL002",
-                f"'global {', '.join(node.names)}' inside a portfolio "
-                "attempt (parameter 'cancel') — workers race in threads; "
-                "return results via SolveAttempt instead",
-            )
-        self.generic_visit(node)
-
-    def visit_Nonlocal(self, node: ast.Nonlocal) -> None:
-        if self._cancel_depth:
-            self._flag(
-                node, "RL002",
-                f"'nonlocal {', '.join(node.names)}' inside a portfolio "
-                "attempt (parameter 'cancel') — workers race in threads; "
-                "return results via SolveAttempt instead",
-            )
-        self.generic_visit(node)
-
-
-def _lint_source(
-    path: Path,
-    source: str,
-    in_library: bool,
-    in_solver_client: bool = False,
-    in_formulation: bool = False,
-) -> list[Violation]:
-    try:
-        tree = ast.parse(source, filename=str(path))
-    except SyntaxError as exc:
-        return [Violation(path, exc.lineno or 0, "RL000",
-                          f"syntax error: {exc.msg}")]
-    visitor = _RuleVisitor(path, in_library, in_solver_client, in_formulation)
-    visitor.visit(tree)
-
-    lines = source.splitlines()
-    kept = []
-    for violation in visitor.violations:
-        line = lines[violation.lineno - 1] if (
-            0 < violation.lineno <= len(lines)
-        ) else ""
-        match = _SUPPRESS_RE.search(line)
-        if match:
-            codes = match.group("codes")
-            if codes is None:
-                continue  # bare ignore: all rules
-            if violation.rule in {c.strip() for c in codes.split(",")}:
-                continue
-        kept.append(violation)
-    return kept
-
-
-def _is_library_path(path: Path) -> bool:
-    """RL003 scope: ``src/repro/**`` minus ``obs/`` and ``cli.py``."""
-    parts = path.as_posix()
-    if "src/repro/" not in parts:
-        return False
-    rest = parts.split("src/repro/", 1)[1]
-    if rest.startswith("obs/") or "/obs/" in rest:
-        return False
-    return rest != "cli.py"
-
-
-def _is_solver_client_path(path: Path) -> bool:
-    """RL004 scope: library code that consumes the solver layers.
-
-    ``src/repro/**`` minus the solver layers themselves (``ilp/``,
-    ``solve/``), ``obs/``, the CLI entry point, and
-    ``core/formulation.py`` (home of the ``TpModel.solve`` dispatch shim
-    that :class:`repro.solve.executor.SolveExecutor` calls).
-    """
-    if not _is_library_path(path):
-        return False
-    rest = path.as_posix().split("src/repro/", 1)[1]
-    if rest.startswith(("ilp/", "solve/")):
-        return False
-    return rest != "core/formulation.py"
-
-
-def _is_formulation_path(path: Path) -> bool:
-    """RL005 exemption: the formulation stack's own modules."""
-    parts = path.as_posix()
-    if "src/repro/" not in parts:
-        return False
-    rest = parts.split("src/repro/", 1)[1]
-    return rest in ("core/formulation.py", "core/families.py")
-
-
-def lint_paths(paths: list[Path]) -> list[Violation]:
-    files: list[Path] = []
-    for path in paths:
-        if path.is_dir():
-            files.extend(sorted(path.rglob("*.py")))
-        elif path.suffix == ".py" and path.exists():
-            files.append(path)
-        else:
-            raise FileNotFoundError(f"not a Python file or directory: {path}")
-    violations: list[Violation] = []
-    for file in files:
-        if "__pycache__" in file.parts:
-            continue
-        source = file.read_text()
-        violations.extend(
-            _lint_source(
-                file, source, _is_library_path(file),
-                _is_solver_client_path(file),
-                _is_formulation_path(file),
-            )
-        )
-    return violations
-
-
-def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(
-        description="repo-specific AST lint (RL001 compiled-array "
-        "mutation, RL002 worker shared state, RL003 stray tracers, "
-        "RL004 backend calls bypassing the executor, RL005 private "
-        "formulation-builder imports)",
-    )
-    parser.add_argument(
-        "paths", nargs="*", type=Path,
-        default=[Path("src"), Path("tests"), Path("benchmarks"),
-                 Path("tools")],
-        help="files or directories to lint (default: src tests "
-        "benchmarks tools)",
-    )
-    args = parser.parse_args(argv)
-    try:
-        violations = lint_paths(args.paths)
-    except (OSError, FileNotFoundError) as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
-    for violation in violations:
-        print(violation.render())
-    if violations:
-        print(f"{len(violations)} violation(s) found", file=sys.stderr)
-        return 1
-    return 0
+from repro.staticcheck.cli import main  # noqa: E402
 
 
 if __name__ == "__main__":
+    print(
+        "tools/repro_lint.py is deprecated; use 'repro-tp lint' "
+        "(docs/staticcheck.md)",
+        file=sys.stderr,
+    )
     raise SystemExit(main())
